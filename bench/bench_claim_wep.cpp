@@ -1,0 +1,139 @@
+// EXP-C2 (§2.1 + §4): WEP provides no protection here.
+//
+// (a) Insider decryption: anyone holding the shared key reads 100% of the
+//     BSS traffic — WEP gates on key possession only.
+// (b) AirSnort/FMS: frames needed for an outsider to *recover* the key
+//     passively, per IV policy and key length, plus the WEPplus-style
+//     weak-IV-filter ablation that starves the attack.
+// (c) Integrity: CRC-32 bit-flip forgery succeeds without the key.
+#include <cstdio>
+
+#include "attack/fms.hpp"
+#include "crypto/crc32.hpp"
+#include "crypto/wep.hpp"
+#include "dot11/frame.hpp"
+#include "exp_common.hpp"
+#include "util/fmt.hpp"
+
+using namespace rogue;
+
+namespace {
+
+/// Frames captured until the FMS cracker recovers the key (0 = never
+/// within the budget). Counts every frame of the sequential IV stream.
+std::size_t frames_to_crack(const util::Bytes& key, crypto::WepIvPolicy policy,
+                            std::size_t budget, std::uint64_t seed) {
+  attack::FmsCracker cracker(key.size());
+  crypto::WepIvGenerator gen(policy, key.size(), seed);
+  const util::Bytes msdu =
+      dot11::llc_encode(dot11::kEtherTypeIpv4, util::to_bytes("payload"));
+
+  for (std::size_t i = 1; i <= budget; ++i) {
+    const crypto::WepIv iv = gen.next();
+    if (!crypto::is_fms_weak_iv(iv, key.size())) continue;  // speed: only
+    cracker.add_frame(crypto::wep_encrypt(iv, key, msdu));  // weak IVs vote
+    if (cracker.weak_samples() % 64 == 0) {
+      const auto guess = cracker.try_recover();
+      if (guess && *guess == key) return i;
+    }
+  }
+  const auto guess = cracker.try_recover();
+  return (guess && *guess == key) ? budget : 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("EXP-C2", "WEP: insider exposure, FMS key recovery, forgery",
+                      "§2.1 \"it provides no protection what so ever\"; §4 "
+                      "\"retrieved the WEP key via Airsnort\"");
+  bench::print_expectation(
+      "insider: 100% decryption. FMS: key recovered within millions of frames "
+      "under sequential IVs; weak-IV filtering (WEPplus) starves it; random "
+      "IVs slow it; CRC-32 forgery always succeeds");
+
+  // ---- (a) insider decryption -------------------------------------------------
+  {
+    const util::Bytes key = util::to_bytes("SECRETWEPKEY1");
+    crypto::WepIvGenerator gen(crypto::WepIvPolicy::kSequential, key.size(), 3);
+    std::size_t decrypted = 0;
+    constexpr std::size_t kFrames = 5000;
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      const util::Bytes body = crypto::wep_encrypt(
+          gen.next(), key,
+          dot11::llc_encode(dot11::kEtherTypeIpv4, util::to_bytes("frame")));
+      if (crypto::wep_decrypt(body, key)) ++decrypted;
+    }
+    std::printf("(a) insider with the shared key decrypts %zu/%zu frames (%s)\n\n",
+                decrypted, kFrames,
+                util::fmt_percent(static_cast<double>(decrypted) / kFrames).c_str());
+  }
+
+  // ---- (b) FMS frames-to-crack -------------------------------------------------
+  std::printf("(b) AirSnort/FMS passive key recovery (3 runs each, frame budget 40M):\n");
+  util::Table table({"key", "IV policy", "run 1", "run 2", "run 3"});
+  struct Config {
+    const char* label;
+    util::Bytes key;
+    crypto::WepIvPolicy policy;
+    const char* policy_name;
+  };
+  const Config configs[] = {
+      {"WEP-40", util::to_bytes("KEY42"), crypto::WepIvPolicy::kSequential,
+       "sequential"},
+      {"WEP-40", util::to_bytes("KEY42"), crypto::WepIvPolicy::kRandom, "random"},
+      {"WEP-40", util::to_bytes("KEY42"), crypto::WepIvPolicy::kSkipWeak,
+       "skip-weak (WEPplus)"},
+      {"WEP-104", util::to_bytes("SECRETWEPKEY1"), crypto::WepIvPolicy::kSequential,
+       "sequential"},
+  };
+
+  for (const auto& cfg : configs) {
+    std::vector<std::string> row = {cfg.label, cfg.policy_name};
+    std::vector<std::size_t> counts(3);
+    util::parallel_for(3, [&](std::size_t i) {
+      counts[i] = frames_to_crack(cfg.key, cfg.policy, 40'000'000, 11 + i);
+    });
+    for (const std::size_t n : counts) {
+      row.push_back(n == 0 ? "not recovered"
+                           : util::format("{}M frames",
+                                          util::fmt_double(
+                                              static_cast<double>(n) / 1e6, 1)));
+    }
+    table.add_row(row);
+  }
+  table.print();
+
+  // ---- (c) CRC-32 linear forgery -------------------------------------------------
+  {
+    const util::Bytes key = util::to_bytes("SECRETWEPKEY1");
+    const util::Bytes msg = util::to_bytes("transfer 0000100 to account A");
+    std::size_t forged_ok = 0;
+    constexpr int kAttempts = 1000;
+    for (int t = 0; t < kAttempts; ++t) {
+      crypto::WepIvGenerator gen(crypto::WepIvPolicy::kRandom, key.size(),
+                                 static_cast<std::uint64_t>(t));
+      util::Bytes body = crypto::wep_encrypt(gen.next(), key, msg);
+      // Attacker (no key): flip "0000100" -> "9000100" + patch the ICV.
+      util::Bytes delta(msg.size(), 0);
+      delta[9] = '0' ^ '9';
+      const std::uint32_t patch =
+          crypto::crc32(util::Bytes(msg.size(), 0)) ^ crypto::crc32(delta);
+      const std::size_t off = crypto::kWepIvLen + 1;
+      for (std::size_t i = 0; i < delta.size(); ++i) body[off + i] ^= delta[i];
+      for (int i = 0; i < 4; ++i) {
+        body[off + msg.size() + static_cast<std::size_t>(i)] ^=
+            static_cast<std::uint8_t>(patch >> (8 * i));
+      }
+      const auto dec = crypto::wep_decrypt(body, key);
+      if (dec && util::to_string(dec->plaintext).find("9000100") != std::string::npos) {
+        ++forged_ok;
+      }
+    }
+    std::printf("\n(c) keyless CRC-32 bit-flip forgery accepted by the receiver: "
+                "%zu/%d (%s)\n",
+                forged_ok, kAttempts,
+                util::fmt_percent(static_cast<double>(forged_ok) / kAttempts).c_str());
+  }
+  return 0;
+}

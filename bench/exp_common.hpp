@@ -1,0 +1,50 @@
+// Shared experiment-harness helpers for the reproduction benches: a
+// parallel trial runner (each trial owns a full simulated world, seeded
+// deterministically) and uniform table output.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rogue::bench {
+
+/// Run `trials` independent simulations in parallel; `body(seed)` returns
+/// one sample. Results are returned in trial order (deterministic).
+template <typename T>
+std::vector<T> run_trials(std::size_t trials,
+                          const std::function<T(std::uint64_t seed)>& body,
+                          std::uint64_t seed_base = 1000) {
+  std::vector<T> results(trials);
+  util::parallel_for(trials, [&](std::size_t i) {
+    results[i] = body(seed_base + i);
+  });
+  return results;
+}
+
+/// Fraction of true values.
+inline double fraction(const std::vector<bool>& v) {
+  if (v.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const bool b : v) n += b ? 1 : 0;
+  return static_cast<double>(n) / static_cast<double>(v.size());
+}
+
+inline void print_header(const std::string& exp_id, const std::string& title,
+                         const std::string& paper_anchor) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", exp_id.c_str(), title.c_str());
+  std::printf("paper anchor: %s\n", paper_anchor.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_expectation(const std::string& text) {
+  std::printf("expected shape: %s\n\n", text.c_str());
+}
+
+}  // namespace rogue::bench

@@ -1,0 +1,131 @@
+#include "apps/download.hpp"
+
+#include "util/fmt.hpp"
+#include "util/prng.hpp"
+
+namespace rogue::apps {
+
+util::Bytes make_release_blob(std::uint64_t seed, std::size_t size) {
+  util::Bytes out(size);
+  util::Prng rng(seed);
+  rng.fill(out);
+  // A little structure so the blob looks like a tarball, not noise.
+  const std::string header = util::format("RELEASE-{}\n", seed);
+  for (std::size_t i = 0; i < header.size() && i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(header[i]);
+  }
+  return out;
+}
+
+std::string render_download_page(std::string_view href, std::string_view md5_hex) {
+  return util::format(
+      "<html><head><title>Download</title></head><body>\n"
+      "<h1>Project Release</h1>\n"
+      "<p>Get the latest release here: <a href={}>file.tgz</a></p>\n"
+      "<p>MD5SUM: {}</p>\n"
+      "</body></html>\n",
+      href, md5_hex);
+}
+
+void install_download_site(HttpServer& server, const util::Bytes& file) {
+  const std::string md5 = crypto::md5_hex(file);
+  server.route(std::string(kDownloadPagePath), [md5](const HttpRequest&) {
+    HttpResponse resp;
+    resp.headers.emplace_back("Content-Type", "text/html");
+    resp.body = util::to_bytes(render_download_page("file.tgz", md5));
+    return resp;
+  });
+  server.route(std::string(kDownloadFilePath), [file](const HttpRequest&) {
+    HttpResponse resp;
+    resp.headers.emplace_back("Content-Type", "application/octet-stream");
+    resp.body = file;
+    return resp;
+  });
+}
+
+void install_trojan_site(HttpServer& server, const util::Bytes& trojan) {
+  server.route(std::string(kDownloadFilePath), [trojan](const HttpRequest&) {
+    HttpResponse resp;
+    resp.headers.emplace_back("Content-Type", "application/octet-stream");
+    resp.body = trojan;
+    return resp;
+  });
+}
+
+std::optional<DownloadPageInfo> parse_download_page(std::string_view html) {
+  DownloadPageInfo info;
+
+  const std::size_t href_pos = html.find("href=");
+  if (href_pos == std::string_view::npos) return std::nullopt;
+  std::size_t start = href_pos + 5;
+  if (start < html.size() && (html[start] == '"' || html[start] == '\'')) ++start;
+  std::size_t end = start;
+  while (end < html.size() && html[end] != '>' && html[end] != ' ' &&
+         html[end] != '"' && html[end] != '\'') {
+    ++end;
+  }
+  info.href = std::string(html.substr(start, end - start));
+
+  const std::size_t md5_pos = html.find("MD5SUM:");
+  if (md5_pos == std::string_view::npos) return std::nullopt;
+  std::size_t m = md5_pos + 7;
+  while (m < html.size() && html[m] == ' ') ++m;
+  std::size_t me = m;
+  while (me < html.size() && std::isxdigit(static_cast<unsigned char>(html[me]))) {
+    ++me;
+  }
+  info.md5_hex = std::string(html.substr(m, me - m));
+  if (info.md5_hex.size() != 32) return std::nullopt;
+  return info;
+}
+
+void run_download(net::Host& client, net::Ipv4Addr ip, std::uint16_t port,
+                  std::function<void(const DownloadOutcome&)> done) {
+  auto outcome = std::make_shared<DownloadOutcome>();
+
+  HttpClient::get(
+      client, ip, port, std::string(kDownloadPagePath),
+      [&client, ip, port, outcome, done = std::move(done)](const HttpResult& page) {
+        if (!page.ok || page.response.status != 200) {
+          outcome->error = page.ok ? "page status" : page.error;
+          done(*outcome);
+          return;
+        }
+        outcome->page_fetched = true;
+
+        const auto info = parse_download_page(util::to_string(page.response.body));
+        if (!info) {
+          outcome->error = "unparsable page";
+          done(*outcome);
+          return;
+        }
+        outcome->published_md5_hex = info->md5_hex;
+
+        const auto url = parse_url(info->href);
+        if (!url) {
+          outcome->error = "unparsable href";
+          done(*outcome);
+          return;
+        }
+        const net::Ipv4Addr file_ip = url->ip.value_or(ip);
+        const std::uint16_t file_port = url->ip ? url->port : port;
+
+        HttpClient::get(
+            client, file_ip, file_port, url->path,
+            [outcome, done, file_ip](const HttpResult& file) {
+              if (!file.ok || file.response.status != 200) {
+                outcome->error = file.ok ? "file status" : file.error;
+                done(*outcome);
+                return;
+              }
+              outcome->file_fetched = true;
+              outcome->fetched_from = file_ip;
+              outcome->fetched_md5_hex = crypto::md5_hex(file.response.body);
+              outcome->md5_verified =
+                  outcome->fetched_md5_hex == outcome->published_md5_hex;
+              done(*outcome);
+            });
+      });
+}
+
+}  // namespace rogue::apps

@@ -1,0 +1,298 @@
+#include "apps/http.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "util/fmt.hpp"
+
+namespace rogue::apps {
+
+namespace {
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+[[nodiscard]] std::optional<std::string> find_header(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view name) {
+  for (const auto& [k, v] : headers) {
+    if (iequals(k, name)) return v;
+  }
+  return std::nullopt;
+}
+}  // namespace
+
+util::Bytes HttpRequest::encode() const {
+  std::string out = method + " " + path + " HTTP/1.0\r\n";
+  for (const auto& [k, v] : headers) out += k + ": " + v + "\r\n";
+  if (!body.empty() && !find_header(headers, "Content-Length")) {
+    out += util::format("Content-Length: {}\r\n", body.size());
+  }
+  out += "\r\n";
+  util::Bytes bytes = util::to_bytes(out);
+  util::append(bytes, body);
+  return bytes;
+}
+
+std::optional<std::string> HttpRequest::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+util::Bytes HttpResponse::encode() const {
+  std::string out = util::format("HTTP/1.0 {} {}\r\n", status, reason);
+  for (const auto& [k, v] : headers) out += k + ": " + v + "\r\n";
+  if (!find_header(headers, "Content-Length")) {
+    out += util::format("Content-Length: {}\r\n", body.size());
+  }
+  out += "\r\n";
+  util::Bytes bytes = util::to_bytes(out);
+  util::append(bytes, body);
+  return bytes;
+}
+
+std::optional<std::string> HttpResponse::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+// ---- HttpParser -------------------------------------------------------------
+
+void HttpParser::reset() {
+  buffer_.clear();
+  headers_done_ = false;
+  complete_ = false;
+  failed_ = false;
+  content_length_.reset();
+  body_received_ = 0;
+  request_ = {};
+  response_ = {};
+}
+
+bool HttpParser::parse_header_block() {
+  const std::string text = util::to_string(buffer_);
+  const std::size_t end = text.find("\r\n\r\n");
+  if (end == std::string::npos) return false;
+
+  // Split header block into lines.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < end) {
+    const std::size_t eol = text.find("\r\n", pos);
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 2;
+  }
+  if (lines.empty()) {
+    failed_ = true;
+    return false;
+  }
+
+  // Start line.
+  const std::string& start = lines.front();
+  if (kind_ == Kind::kRequest) {
+    const std::size_t sp1 = start.find(' ');
+    const std::size_t sp2 = start.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      failed_ = true;
+      return false;
+    }
+    request_.method = start.substr(0, sp1);
+    request_.path = start.substr(sp1 + 1, sp2 - sp1 - 1);
+  } else {
+    const std::size_t sp1 = start.find(' ');
+    if (sp1 == std::string::npos) {
+      failed_ = true;
+      return false;
+    }
+    const std::size_t sp2 = start.find(' ', sp1 + 1);
+    int status = 0;
+    const std::string code = start.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::from_chars(code.data(), code.data() + code.size(), status);
+    response_.status = status;
+    if (sp2 != std::string::npos) response_.reason = start.substr(sp2 + 1);
+  }
+
+  auto& headers = kind_ == Kind::kRequest ? request_.headers : response_.headers;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::size_t colon = lines[i].find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = lines[i].substr(0, colon);
+    std::string value = lines[i].substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(value.begin());
+    headers.emplace_back(std::move(key), std::move(value));
+  }
+
+  if (const auto cl = find_header(headers, "Content-Length")) {
+    std::size_t n = 0;
+    std::from_chars(cl->data(), cl->data() + cl->size(), n);
+    content_length_ = n;
+  }
+
+  // Retain any body bytes that arrived with the headers.
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(end + 4));
+  headers_done_ = true;
+  return true;
+}
+
+bool HttpParser::feed(util::ByteView data) {
+  if (complete_ || failed_) return complete_;
+  util::append(buffer_, data);
+
+  if (!headers_done_ && !parse_header_block()) return false;
+  if (failed_) return false;
+
+  auto& body = kind_ == Kind::kRequest ? request_.body : response_.body;
+  if (content_length_) {
+    const std::size_t want = *content_length_ - body.size();
+    const std::size_t take = std::min(want, buffer_.size());
+    body.insert(body.end(), buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(take));
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(take));
+    if (body.size() == *content_length_) complete_ = true;
+  } else if (kind_ == Kind::kRequest) {
+    // Requests without Content-Length have no body (GET).
+    complete_ = true;
+  } else {
+    // Responses without Content-Length run until EOF: accumulate.
+    util::append(body, buffer_);
+    buffer_.clear();
+  }
+  return complete_;
+}
+
+bool HttpParser::feed_eof() {
+  if (complete_ || failed_) return complete_;
+  if (headers_done_ && kind_ == Kind::kResponse && !content_length_) {
+    complete_ = true;
+  } else {
+    failed_ = true;
+  }
+  return complete_;
+}
+
+// ---- HttpServer -------------------------------------------------------------
+
+HttpServer::HttpServer(net::Host& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  default_ = [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.status = 404;
+    resp.reason = "Not Found";
+    resp.body = util::to_bytes("not found\n");
+    return resp;
+  };
+  host_.tcp_listen(port_, [this](net::TcpConnectionPtr conn) { on_accept(conn); });
+}
+
+void HttpServer::route(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::on_accept(net::TcpConnectionPtr conn) {
+  auto parser = std::make_shared<HttpParser>(HttpParser::Kind::kRequest);
+  std::weak_ptr<net::TcpConnection> weak = conn;
+  conn->set_on_data([this, parser, weak](util::ByteView data) {
+    const auto conn_locked = weak.lock();
+    if (!conn_locked) return;
+    if (!parser->feed(data)) return;
+    const HttpRequest& req = parser->request();
+    const auto it = routes_.find(req.path);
+    const HttpResponse resp = it != routes_.end() ? it->second(req) : default_(req);
+    ++served_;
+    conn_locked->send(resp.encode());
+    conn_locked->close();
+    parser->reset();
+  });
+}
+
+// ---- HttpClient -------------------------------------------------------------
+
+void HttpClient::get(net::Host& host, net::Ipv4Addr ip, std::uint16_t port,
+                     const std::string& path, Callback done, sim::Time timeout) {
+  auto conn = host.tcp_connect(ip, port);
+  if (!conn) {
+    done(HttpResult{false, "no route", {}});
+    return;
+  }
+
+  struct State {
+    HttpParser parser{HttpParser::Kind::kResponse};
+    Callback done;
+    bool finished = false;
+    sim::TimerHandle timer;
+  };
+  auto state = std::make_shared<State>();
+  state->done = std::move(done);
+
+  auto finish = [state, &host](HttpResult result) {
+    if (state->finished) return;
+    state->finished = true;
+    host.simulator().cancel(state->timer);
+    state->done(result);
+  };
+
+  HttpRequest req;
+  req.path = path;
+  req.headers.emplace_back("Host", ip.to_string());
+
+  std::weak_ptr<net::TcpConnection> weak = conn;
+  conn->set_on_connect([weak, req] {
+    if (const auto c = weak.lock()) c->send(req.encode());
+  });
+  conn->set_on_data([state, finish](util::ByteView data) {
+    if (state->parser.feed(data)) {
+      finish(HttpResult{true, "", state->parser.response()});
+    }
+  });
+  conn->set_on_close([state, finish] {
+    if (state->parser.feed_eof()) {
+      finish(HttpResult{true, "", state->parser.response()});
+    } else {
+      finish(HttpResult{false, "connection closed", {}});
+    }
+  });
+  state->timer = host.simulator().after(timeout, [finish, weak] {
+    finish(HttpResult{false, "timeout", {}});
+    if (const auto c = weak.lock()) c->abort();
+  });
+
+  // Keep the connection alive for the duration via the close callback
+  // capture chain; the socket map in TcpStack holds it while open.
+  (void)conn;
+}
+
+std::optional<Url> parse_url(std::string_view url) {
+  Url out;
+  if (url.rfind("http://", 0) == 0) {
+    url.remove_prefix(7);
+    const std::size_t slash = url.find('/');
+    std::string_view hostport = url.substr(0, slash);
+    out.path = slash == std::string_view::npos ? "/" : std::string(url.substr(slash));
+    const std::size_t colon = hostport.find(':');
+    std::string_view host = hostport.substr(0, colon);
+    if (colon != std::string_view::npos) {
+      unsigned port = 0;
+      const auto rest = hostport.substr(colon + 1);
+      std::from_chars(rest.data(), rest.data() + rest.size(), port);
+      if (port == 0 || port > 65535) return std::nullopt;
+      out.port = static_cast<std::uint16_t>(port);
+    }
+    const auto ip = net::Ipv4Addr::parse(host);
+    if (!ip) return std::nullopt;  // no DNS in this simulation
+    out.ip = *ip;
+    return out;
+  }
+  // Relative.
+  out.path = url.empty() ? "/" : std::string(url);
+  if (out.path.front() != '/') out.path.insert(out.path.begin(), '/');
+  return out;
+}
+
+}  // namespace rogue::apps

@@ -1,0 +1,125 @@
+// Minimal HTTP/1.0 over the simulated TCP stack: a routing server and a
+// callback client. Enough fidelity for the paper's software-download MITM:
+// requests and responses are real bytes on the wire, so netsed can rewrite
+// them and sniffers can read them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "util/bytes.hpp"
+
+namespace rogue::apps {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::vector<std::pair<std::string, std::string>> headers;
+  util::Bytes body;
+
+  [[nodiscard]] util::Bytes encode() const;
+  [[nodiscard]] std::optional<std::string> header(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::vector<std::pair<std::string, std::string>> headers;
+  util::Bytes body;
+
+  /// Adds Content-Length automatically.
+  [[nodiscard]] util::Bytes encode() const;
+  [[nodiscard]] std::optional<std::string> header(std::string_view name) const;
+};
+
+/// Incremental parser shared by server (requests) and client (responses).
+class HttpParser {
+ public:
+  enum class Kind : std::uint8_t { kRequest, kResponse };
+
+  explicit HttpParser(Kind kind) : kind_(kind) {}
+
+  /// Feed bytes; returns true once a complete message is available.
+  bool feed(util::ByteView data);
+  /// Signal EOF (HTTP/1.0 responses may be delimited by connection close).
+  bool feed_eof();
+
+  [[nodiscard]] bool complete() const { return complete_; }
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] const HttpRequest& request() const { return request_; }
+  [[nodiscard]] const HttpResponse& response() const { return response_; }
+
+  void reset();
+
+ private:
+  bool parse_header_block();
+
+  Kind kind_;
+  util::Bytes buffer_;
+  bool headers_done_ = false;
+  bool complete_ = false;
+  bool failed_ = false;
+  std::optional<std::size_t> content_length_;
+  std::size_t body_received_ = 0;
+  HttpRequest request_;
+  HttpResponse response_;
+};
+
+/// HTTP server bound to a host port; handlers run per request.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(net::Host& host, std::uint16_t port);
+
+  /// Register an exact-path handler.
+  void route(std::string path, Handler handler);
+  /// Fallback handler (default: 404).
+  void set_default(Handler handler) { default_ = std::move(handler); }
+
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void on_accept(net::TcpConnectionPtr conn);
+
+  net::Host& host_;
+  std::uint16_t port_;
+  std::map<std::string, Handler> routes_;
+  Handler default_;
+  std::uint64_t served_ = 0;
+};
+
+/// Result handed to HttpClient callbacks.
+struct HttpResult {
+  bool ok = false;            ///< response fully received
+  std::string error;          ///< reason when !ok
+  HttpResponse response;
+};
+
+/// One-shot asynchronous GET.
+class HttpClient {
+ public:
+  using Callback = std::function<void(const HttpResult&)>;
+
+  /// GET http://<ip>:<port><path>. Callback fires exactly once.
+  static void get(net::Host& host, net::Ipv4Addr ip, std::uint16_t port,
+                  const std::string& path, Callback done,
+                  sim::Time timeout = 30 * sim::kSecond);
+};
+
+/// Parsed absolute-or-relative URL (subset: http://host[:port]/path).
+struct Url {
+  std::optional<net::Ipv4Addr> ip;  ///< empty for relative URLs
+  std::uint16_t port = 80;
+  std::string path = "/";
+};
+[[nodiscard]] std::optional<Url> parse_url(std::string_view url);
+
+}  // namespace rogue::apps

@@ -1,0 +1,176 @@
+#include "apps/netsed.hpp"
+
+#include <algorithm>
+
+namespace rogue::apps {
+
+NetsedRule NetsedRule::from_strings(std::string_view pattern,
+                                    std::string_view replacement) {
+  return NetsedRule{util::to_bytes(pattern), util::to_bytes(replacement)};
+}
+
+util::Bytes netsed_apply(const std::vector<NetsedRule>& rules, util::ByteView data,
+                         std::uint64_t* replacements) {
+  util::Bytes current(data.begin(), data.end());
+  for (const auto& rule : rules) {
+    if (rule.pattern.empty()) continue;
+    util::Bytes next;
+    next.reserve(current.size());
+    std::size_t pos = 0;
+    while (pos < current.size()) {
+      const auto it = std::search(current.begin() + static_cast<std::ptrdiff_t>(pos),
+                                  current.end(), rule.pattern.begin(),
+                                  rule.pattern.end());
+      const auto found = static_cast<std::size_t>(it - current.begin());
+      next.insert(next.end(), current.begin() + static_cast<std::ptrdiff_t>(pos),
+                  it);
+      if (it == current.end()) break;
+      next.insert(next.end(), rule.replacement.begin(), rule.replacement.end());
+      if (replacements != nullptr) ++*replacements;
+      pos = found + rule.pattern.size();
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+namespace {
+/// Longest proper suffix of `data` that is a prefix of any rule pattern
+/// (the bytes that must be withheld in streaming mode).
+[[nodiscard]] std::size_t hold_back(const std::vector<NetsedRule>& rules,
+                                    util::ByteView data) {
+  std::size_t best = 0;
+  for (const auto& rule : rules) {
+    if (rule.pattern.size() < 2) continue;
+    const std::size_t max_len = std::min(rule.pattern.size() - 1, data.size());
+    for (std::size_t len = max_len; len > best; --len) {
+      const util::ByteView tail = data.subspan(data.size() - len);
+      if (std::equal(tail.begin(), tail.end(), rule.pattern.begin())) {
+        best = len;
+        break;
+      }
+    }
+  }
+  return best;
+}
+}  // namespace
+
+struct Netsed::Pipe {
+  net::TcpConnectionPtr from;
+  net::TcpConnectionPtr to;
+  const std::vector<NetsedRule>* rules;
+  NetsedMode mode;
+  NetsedStats* stats;
+  std::uint64_t* direction_bytes;
+  util::Bytes carry;       ///< streaming-mode withheld suffix
+  util::Bytes pre_connect; ///< data buffered until `to` is established
+  bool to_established = false;
+  bool closed = false;
+
+  void on_data(util::ByteView data) {
+    *direction_bytes += data.size();
+    util::Bytes work;
+    if (mode == NetsedMode::kStreaming) {
+      work = std::move(carry);
+      carry.clear();
+      util::append(work, data);
+    } else {
+      work.assign(data.begin(), data.end());
+    }
+
+    util::Bytes rewritten = netsed_apply(*rules, work, &stats->replacements);
+
+    if (mode == NetsedMode::kStreaming) {
+      const std::size_t hold = hold_back(*rules, rewritten);
+      if (hold > 0) {
+        carry.assign(rewritten.end() - static_cast<std::ptrdiff_t>(hold),
+                     rewritten.end());
+        rewritten.resize(rewritten.size() - hold);
+      }
+    }
+    forward(rewritten);
+  }
+
+  void forward(util::ByteView data) {
+    if (data.empty()) return;
+    if (to_established) {
+      to->send(data);
+    } else {
+      util::append(pre_connect, data);
+    }
+  }
+
+  void on_to_established() {
+    to_established = true;
+    if (!pre_connect.empty()) {
+      to->send(pre_connect);
+      pre_connect.clear();
+    }
+  }
+
+  void on_eof() {
+    if (closed) return;
+    closed = true;
+    if (!carry.empty()) {
+      forward(carry);
+      carry.clear();
+    }
+    if (to_established) {
+      to->close();
+    } else {
+      pre_connect_close = true;
+    }
+  }
+
+  bool pre_connect_close = false;
+};
+
+Netsed::Netsed(net::Host& host, std::uint16_t listen_port, net::Ipv4Addr dst_ip,
+               std::uint16_t dst_port, std::vector<NetsedRule> rules, NetsedMode mode)
+    : host_(host),
+      dst_ip_(dst_ip),
+      dst_port_(dst_port),
+      rules_(std::move(rules)),
+      mode_(mode) {
+  host_.tcp_listen(listen_port,
+                   [this](net::TcpConnectionPtr client) { on_accept(client); });
+}
+
+void Netsed::on_accept(net::TcpConnectionPtr client) {
+  ++stats_.connections;
+  net::TcpConnectionPtr upstream = host_.tcp_connect(dst_ip_, dst_port_);
+  if (!upstream) {
+    client->abort();
+    return;
+  }
+
+  auto c2s = std::make_shared<Pipe>();
+  c2s->from = client;
+  c2s->to = upstream;
+  c2s->rules = &rules_;
+  c2s->mode = mode_;
+  c2s->stats = &stats_;
+  c2s->direction_bytes = &stats_.bytes_client_to_server;
+
+  auto s2c = std::make_shared<Pipe>();
+  s2c->from = upstream;
+  s2c->to = client;
+  s2c->rules = &rules_;
+  s2c->mode = mode_;
+  s2c->stats = &stats_;
+  s2c->direction_bytes = &stats_.bytes_server_to_client;
+  // The client leg is already established (we were accepted on it).
+  s2c->to_established = true;
+
+  client->set_on_data([c2s](util::ByteView data) { c2s->on_data(data); });
+  client->set_on_close([c2s](){ c2s->on_eof(); });
+
+  upstream->set_on_connect([c2s] {
+    c2s->on_to_established();
+    if (c2s->pre_connect_close) c2s->to->close();
+  });
+  upstream->set_on_data([s2c](util::ByteView data) { s2c->on_data(data); });
+  upstream->set_on_close([s2c] { s2c->on_eof(); });
+}
+
+}  // namespace rogue::apps

@@ -1,0 +1,76 @@
+// netsed equivalent (§4.1): a TCP proxy that rewrites matched byte strings
+// in the proxied stream. The paper's invocation
+//
+//   netsed tcp 10101 Target-IP 80 s/href=file.tgz/href=http:%2f%2f.../
+//                                 s/REALMD5SUM/FAKEMD5SUM
+//
+// maps onto Netsed(host, 10101, target, 80, rules).
+//
+// Two matching modes reproduce §4.2's observation that "netsed will not
+// match strings that cross packet boundaries. These, and other problems,
+// could easily be addressed":
+//   kPerSegment — historic behaviour: each TCP segment rewritten alone.
+//   kStreaming  — the "easily addressed" fix: a carry buffer holds any
+//                 stream suffix that is a proper prefix of a pattern, so
+//                 matches split across segments are still rewritten.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "util/bytes.hpp"
+
+namespace rogue::apps {
+
+struct NetsedRule {
+  util::Bytes pattern;
+  util::Bytes replacement;
+
+  [[nodiscard]] static NetsedRule from_strings(std::string_view pattern,
+                                               std::string_view replacement);
+};
+
+enum class NetsedMode : std::uint8_t { kPerSegment, kStreaming };
+
+struct NetsedStats {
+  std::uint64_t connections = 0;
+  std::uint64_t replacements = 0;
+  std::uint64_t bytes_client_to_server = 0;
+  std::uint64_t bytes_server_to_client = 0;
+};
+
+/// Apply all rules to a buffer (every occurrence); counts replacements.
+[[nodiscard]] util::Bytes netsed_apply(const std::vector<NetsedRule>& rules,
+                                       util::ByteView data,
+                                       std::uint64_t* replacements = nullptr);
+
+class Netsed {
+ public:
+  /// Listen on `listen_port` of `host`; proxy each accepted connection to
+  /// fixed destination (dst_ip, dst_port), rewriting both directions.
+  Netsed(net::Host& host, std::uint16_t listen_port, net::Ipv4Addr dst_ip,
+         std::uint16_t dst_port, std::vector<NetsedRule> rules,
+         NetsedMode mode = NetsedMode::kPerSegment);
+
+  Netsed(const Netsed&) = delete;
+  Netsed& operator=(const Netsed&) = delete;
+
+  [[nodiscard]] const NetsedStats& stats() const { return stats_; }
+
+ private:
+  struct Pipe;  // one direction of one proxied connection
+
+  void on_accept(net::TcpConnectionPtr client);
+
+  net::Host& host_;
+  net::Ipv4Addr dst_ip_;
+  std::uint16_t dst_port_;
+  std::vector<NetsedRule> rules_;
+  NetsedMode mode_;
+  NetsedStats stats_;
+};
+
+}  // namespace rogue::apps

@@ -1,0 +1,46 @@
+#include "attack/arp_spoof.hpp"
+
+#include "net/arp.hpp"
+#include "util/assert.hpp"
+
+namespace rogue::attack {
+
+ArpSpoofer::ArpSpoofer(net::Host& attacker, const std::string& iface,
+                       net::Ipv4Addr victim_ip, net::MacAddr victim_mac,
+                       net::Ipv4Addr spoofed_ip)
+    : attacker_(attacker),
+      iface_(attacker.interface(iface)),
+      victim_ip_(victim_ip),
+      victim_mac_(victim_mac),
+      spoofed_ip_(spoofed_ip) {
+  ROGUE_ASSERT_MSG(iface_ != nullptr, "ArpSpoofer: unknown interface");
+}
+
+void ArpSpoofer::poison_once() {
+  // Forged unsolicited reply: "spoofed_ip is-at <attacker MAC>", unicast
+  // to the victim so the rest of the segment (and its switch CAM table)
+  // is not disturbed.
+  net::ArpPacket reply;
+  reply.op = net::ArpOp::kReply;
+  reply.sender_mac = iface_->mac();
+  reply.sender_ip = spoofed_ip_;
+  reply.target_mac = victim_mac_;
+  reply.target_ip = victim_ip_;
+  iface_->send(victim_mac_, dot11::kEtherTypeArp, reply.serialize());
+  ++sent_;
+}
+
+void ArpSpoofer::start(sim::Time period) {
+  if (running_) return;
+  running_ = true;
+  poison_once();
+  timer_ = attacker_.simulator().every(period, [this] { poison_once(); });
+}
+
+void ArpSpoofer::stop() {
+  if (!running_) return;
+  running_ = false;
+  attacker_.simulator().cancel(timer_);
+}
+
+}  // namespace rogue::attack

@@ -1,0 +1,50 @@
+// ARP cache poisoning — the paper's §1.2 wired-MITM baseline: "In a wired
+// network, one either needs to spoof DNS requests or ARP requests or
+// compromise a valid gateway machine to obtain access to the clients
+// traffic." This implements the ARP variant so the wired and wireless
+// attack costs can be compared like-for-like: it works, but only from a
+// jack on the victim's own switch — which is exactly the physical-access
+// bar the paper says wireless removes.
+#pragma once
+
+#include <cstdint>
+
+#include "net/host.hpp"
+
+namespace rogue::attack {
+
+/// Poisons `victim`'s mapping of `spoofed_ip` (typically the default
+/// gateway) to the attacker's own MAC, by periodically transmitting
+/// forged ARP replies. The attacker host should have ip_forward enabled
+/// and a real route to the true destination so traffic keeps flowing
+/// (transparent interception rather than denial of service).
+class ArpSpoofer {
+ public:
+  /// `iface` is the attacker-host interface on the victim's segment.
+  ArpSpoofer(net::Host& attacker, const std::string& iface,
+             net::Ipv4Addr victim_ip, net::MacAddr victim_mac,
+             net::Ipv4Addr spoofed_ip);
+
+  ArpSpoofer(const ArpSpoofer&) = delete;
+  ArpSpoofer& operator=(const ArpSpoofer&) = delete;
+
+  /// Send one forged reply immediately.
+  void poison_once();
+  /// Re-poison periodically (real caches age out; see ArpCache ttl).
+  void start(sim::Time period = 2 * sim::kSecond);
+  void stop();
+
+  [[nodiscard]] std::uint64_t replies_sent() const { return sent_; }
+
+ private:
+  net::Host& attacker_;
+  net::NetIf* iface_;
+  net::Ipv4Addr victim_ip_;
+  net::MacAddr victim_mac_;
+  net::Ipv4Addr spoofed_ip_;
+  std::uint64_t sent_ = 0;
+  sim::TimerHandle timer_;
+  bool running_ = false;
+};
+
+}  // namespace rogue::attack

@@ -1,0 +1,46 @@
+#include "attack/deauth.hpp"
+
+namespace rogue::attack {
+
+DeauthAttacker::DeauthAttacker(sim::Simulator& simulator, phy::Medium& medium,
+                               phy::Channel channel, net::MacAddr spoofed_bssid,
+                               net::MacAddr target)
+    : sim_(simulator),
+      radio_(medium, "deauth-attacker"),
+      spoofed_bssid_(spoofed_bssid),
+      target_(target) {
+  radio_.set_channel(channel);
+}
+
+void DeauthAttacker::send_once() {
+  dot11::Frame f;
+  f.type = dot11::FrameType::kManagement;
+  f.subtype = static_cast<std::uint8_t>(dot11::MgmtSubtype::kDeauth);
+  f.addr1 = target_;
+  f.addr2 = spoofed_bssid_;  // the forgery: we are not this AP
+  f.addr3 = spoofed_bssid_;
+  // A deliberately implausible sequence number region: real deauth forgery
+  // tools do not continue the AP's counter, which is exactly what the
+  // sequence-control detector (detect/) keys on.
+  f.sequence = seq_++;
+  dot11::DeauthBody body;
+  body.reason = dot11::ReasonCode::kPrevAuthExpired;
+  f.body = body.encode();
+  radio_.transmit(f.serialize());
+  ++sent_;
+}
+
+void DeauthAttacker::start(sim::Time period) {
+  if (running_) return;
+  running_ = true;
+  send_once();
+  timer_ = sim_.every(period, [this] { send_once(); });
+}
+
+void DeauthAttacker::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(timer_);
+}
+
+}  // namespace rogue::attack

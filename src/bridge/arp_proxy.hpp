@@ -1,0 +1,42 @@
+// parprouted equivalent (§4.1, Appendix A): a proxy-ARP "bridge" between
+// two interfaces of an IP-forwarding host. On each interface it answers
+// ARP requests for any address the routing table reaches through the
+// *other* interface, with the local interface's MAC — so neighbours on
+// both sides address their traffic to this host, which then routes it.
+// /32 host routes are learned dynamically from observed ARP traffic,
+// exactly like parprouted's route maintenance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/host.hpp"
+
+namespace rogue::bridge {
+
+class ArpProxyBridge {
+ public:
+  /// `parprouted if_a if_b`. Enables ip_forward on the host (the script's
+  /// "echo 1 > /proc/sys/net/ipv4/ip_forward").
+  ArpProxyBridge(net::Host& host, std::string if_a, std::string if_b);
+
+  ArpProxyBridge(const ArpProxyBridge&) = delete;
+  ArpProxyBridge& operator=(const ArpProxyBridge&) = delete;
+
+  /// Manual "route add -host <ip> dev <iface>".
+  void add_host_route(net::Ipv4Addr ip, const std::string& iface);
+
+  [[nodiscard]] std::uint64_t proxied_replies() const { return proxied_; }
+  [[nodiscard]] std::uint64_t routes_learned() const { return learned_; }
+
+ private:
+  void install(const std::string& on_iface, const std::string& other_iface);
+
+  net::Host& host_;
+  std::string if_a_;
+  std::string if_b_;
+  std::uint64_t proxied_ = 0;
+  std::uint64_t learned_ = 0;
+};
+
+}  // namespace rogue::bridge

@@ -1,0 +1,69 @@
+#include "crypto/aead.hpp"
+
+#include <array>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "util/assert.hpp"
+
+namespace rogue::crypto {
+
+namespace {
+[[nodiscard]] std::array<std::uint8_t, kChaChaNonceLen> nonce_from_seq(std::uint64_t seq) {
+  std::array<std::uint8_t, kChaChaNonceLen> nonce{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    nonce[4 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  return nonce;
+}
+
+[[nodiscard]] Sha256Digest record_mac(util::ByteView mac_key, std::uint64_t seq,
+                                      util::ByteView ad, util::ByteView ciphertext) {
+  util::Bytes msg;
+  msg.reserve(8 + 8 + ad.size() + 8 + ciphertext.size());
+  util::ByteWriter w(msg);
+  w.u64be(seq);
+  w.u64be(ad.size());
+  w.raw(ad);
+  w.u64be(ciphertext.size());
+  w.raw(ciphertext);
+  return hmac_sha256(mac_key, msg);
+}
+}  // namespace
+
+util::Bytes aead_seal(util::ByteView key, std::uint64_t seq, util::ByteView ad,
+                      util::ByteView plaintext) {
+  ROGUE_ASSERT_MSG(key.size() == kAeadKeyLen, "AEAD key must be 64 bytes");
+  const util::ByteView enc_key = key.subspan(0, kChaChaKeyLen);
+  const util::ByteView mac_key = key.subspan(kChaChaKeyLen);
+
+  const auto nonce = nonce_from_seq(seq);
+  ChaCha20 cipher(enc_key, util::ByteView(nonce.data(), nonce.size()));
+  util::Bytes out = cipher.apply(plaintext);
+
+  const Sha256Digest mac = record_mac(mac_key, seq, ad, out);
+  out.insert(out.end(), mac.begin(), mac.begin() + kAeadTagLen);
+  return out;
+}
+
+std::optional<util::Bytes> aead_open(util::ByteView key, std::uint64_t seq,
+                                     util::ByteView ad, util::ByteView sealed) {
+  ROGUE_ASSERT_MSG(key.size() == kAeadKeyLen, "AEAD key must be 64 bytes");
+  if (sealed.size() < kAeadTagLen) return std::nullopt;
+  const util::ByteView enc_key = key.subspan(0, kChaChaKeyLen);
+  const util::ByteView mac_key = key.subspan(kChaChaKeyLen);
+
+  const util::ByteView ciphertext = sealed.subspan(0, sealed.size() - kAeadTagLen);
+  const util::ByteView tag = sealed.subspan(sealed.size() - kAeadTagLen);
+
+  const Sha256Digest mac = record_mac(mac_key, seq, ad, ciphertext);
+  if (!util::equal_ct(util::ByteView(mac.data(), kAeadTagLen), tag)) {
+    return std::nullopt;
+  }
+
+  const auto nonce = nonce_from_seq(seq);
+  ChaCha20 cipher(enc_key, util::ByteView(nonce.data(), nonce.size()));
+  return cipher.apply(ciphertext);
+}
+
+}  // namespace rogue::crypto

@@ -1,0 +1,29 @@
+// Authenticated encryption for VPN records: ChaCha20 encrypt-then-MAC with
+// HMAC-SHA256 (truncated to 16 bytes). The MAC covers the associated data
+// (record header) and the ciphertext, so rogue-AP tampering is detected.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace rogue::crypto {
+
+inline constexpr std::size_t kAeadKeyLen = 64;  // 32 cipher + 32 mac
+inline constexpr std::size_t kAeadTagLen = 16;
+
+/// Seals plaintext under (key, seq). Output = ciphertext || tag.
+/// `key` must be kAeadKeyLen bytes; `seq` doubles as the nonce, so every
+/// record under one key must use a distinct sequence number.
+[[nodiscard]] util::Bytes aead_seal(util::ByteView key, std::uint64_t seq,
+                                    util::ByteView associated_data,
+                                    util::ByteView plaintext);
+
+/// Opens ciphertext||tag; returns nullopt on authentication failure.
+[[nodiscard]] std::optional<util::Bytes> aead_open(util::ByteView key,
+                                                   std::uint64_t seq,
+                                                   util::ByteView associated_data,
+                                                   util::ByteView sealed);
+
+}  // namespace rogue::crypto

@@ -1,0 +1,223 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rogue::crypto {
+
+namespace {
+__extension__ using u128 = unsigned __int128;
+}
+
+BigUint::BigUint(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_bytes_be(util::ByteView bytes) {
+  BigUint out;
+  for (const std::uint8_t byte : bytes) {
+    out = shl(out, 8);
+    if (byte != 0 || !out.limbs_.empty()) {
+      if (out.limbs_.empty()) out.limbs_.push_back(0);
+      out.limbs_[0] |= byte;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::from_hex(std::string_view hex) {
+  util::Bytes digits;
+  std::string clean;
+  for (const char c : hex) {
+    if (c == ' ' || c == '\n' || c == '\t') continue;
+    clean.push_back(c);
+  }
+  if (clean.size() % 2 == 1) clean.insert(clean.begin(), '0');
+  const auto bytes = util::hex_decode(clean);
+  ROGUE_ASSERT_MSG(bytes.has_value(), "invalid hex in BigUint::from_hex");
+  return from_bytes_be(*bytes);
+}
+
+util::Bytes BigUint::to_bytes_be(std::size_t pad_to) const {
+  util::Bytes out;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    for (int b = 7; b >= 0; --b) {
+      const auto byte = static_cast<std::uint8_t>(*it >> (8 * b));
+      if (!out.empty() || byte != 0) out.push_back(byte);
+    }
+  }
+  while (out.size() < pad_to) out.insert(out.begin(), 0);
+  return out;
+}
+
+std::string BigUint::to_hex() const {
+  if (is_zero()) return "0";
+  std::string s = util::hex_encode(to_bytes_be());
+  const std::size_t nz = s.find_first_not_of('0');
+  return nz == std::string::npos ? "0" : s.substr(nz);
+}
+
+std::size_t BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 64;
+  std::uint64_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUint::bit(std::size_t i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return ((limbs_[limb] >> (i % 64)) & 1u) != 0;
+}
+
+int BigUint::compare(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUint BigUint::add(const BigUint& a, const BigUint& b) {
+  BigUint out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n, 0);
+  u128 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    u128 sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  if (carry != 0) out.limbs_.push_back(static_cast<std::uint64_t>(carry));
+  return out;
+}
+
+BigUint BigUint::sub(const BigUint& a, const BigUint& b) {
+  ROGUE_ASSERT_MSG(compare(a, b) >= 0, "BigUint::sub underflow");
+  BigUint out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    const std::uint64_t bv = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    const std::uint64_t av = a.limbs_[i];
+    const std::uint64_t diff = av - bv - borrow;
+    borrow = (av < bv + borrow || (bv == ~0ULL && borrow == 1)) ? 1 : 0;
+    out.limbs_[i] = diff;
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::mul(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return {};
+  BigUint out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    u128 carry = 0;
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      u128 cur = static_cast<u128>(a.limbs_[i]) * b.limbs_[j] +
+                 out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry != 0) {
+      u128 cur = static_cast<u128>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::shl(const BigUint& a, std::size_t bits) {
+  if (a.is_zero() || bits == 0) return a;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  BigUint out;
+  out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= bit_shift == 0 ? a.limbs_[i] : (a.limbs_[i] << bit_shift);
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |= a.limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::shr(const BigUint& a, std::size_t bits) {
+  const std::size_t limb_shift = bits / 64;
+  if (limb_shift >= a.limbs_.size()) return {};
+  const std::size_t bit_shift = bits % 64;
+  BigUint out;
+  out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = bit_shift == 0 ? a.limbs_[i + limb_shift]
+                                   : (a.limbs_[i + limb_shift] >> bit_shift);
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      out.limbs_[i] |= a.limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+std::pair<BigUint, BigUint> BigUint::divmod(const BigUint& a, const BigUint& b) {
+  ROGUE_ASSERT_MSG(!b.is_zero(), "BigUint division by zero");
+  if (compare(a, b) < 0) return {BigUint{}, a};
+
+  // Bitwise long division; adequate for DH-sized (<= 2048 bit) operands.
+  BigUint quotient;
+  BigUint remainder;
+  const std::size_t nbits = a.bit_length();
+  quotient.limbs_.assign((nbits + 63) / 64, 0);
+  for (std::size_t i = nbits; i-- > 0;) {
+    remainder = shl(remainder, 1);
+    if (a.bit(i)) {
+      if (remainder.limbs_.empty()) remainder.limbs_.push_back(0);
+      remainder.limbs_[0] |= 1;
+    }
+    if (compare(remainder, b) >= 0) {
+      remainder = sub(remainder, b);
+      quotient.limbs_[i / 64] |= (1ULL << (i % 64));
+    }
+  }
+  quotient.trim();
+  remainder.trim();
+  return {quotient, remainder};
+}
+
+BigUint BigUint::mod(const BigUint& a, const BigUint& m) {
+  return divmod(a, m).second;
+}
+
+BigUint BigUint::mod_pow(const BigUint& base, const BigUint& exp, const BigUint& m) {
+  ROGUE_ASSERT_MSG(compare(m, BigUint(1)) > 0, "modulus must be > 1");
+  BigUint result(1);
+  BigUint b = mod(base, m);
+  const std::size_t nbits = exp.bit_length();
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (exp.bit(i)) result = mod(mul(result, b), m);
+    b = mod(mul(b, b), m);
+  }
+  return result;
+}
+
+}  // namespace rogue::crypto

@@ -1,0 +1,77 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace rogue::crypto {
+
+namespace {
+void quarter_round(std::array<std::uint32_t, 16>& s, int a, int b, int c, int d) {
+  s[static_cast<std::size_t>(a)] += s[static_cast<std::size_t>(b)];
+  s[static_cast<std::size_t>(d)] = std::rotl(s[static_cast<std::size_t>(d)] ^ s[static_cast<std::size_t>(a)], 16);
+  s[static_cast<std::size_t>(c)] += s[static_cast<std::size_t>(d)];
+  s[static_cast<std::size_t>(b)] = std::rotl(s[static_cast<std::size_t>(b)] ^ s[static_cast<std::size_t>(c)], 12);
+  s[static_cast<std::size_t>(a)] += s[static_cast<std::size_t>(b)];
+  s[static_cast<std::size_t>(d)] = std::rotl(s[static_cast<std::size_t>(d)] ^ s[static_cast<std::size_t>(a)], 8);
+  s[static_cast<std::size_t>(c)] += s[static_cast<std::size_t>(d)];
+  s[static_cast<std::size_t>(b)] = std::rotl(s[static_cast<std::size_t>(b)] ^ s[static_cast<std::size_t>(c)], 7);
+}
+
+[[nodiscard]] std::uint32_t load32le(util::ByteView b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 3]) << 24);
+}
+}  // namespace
+
+ChaCha20::ChaCha20(util::ByteView key, util::ByteView nonce, std::uint32_t counter) {
+  ROGUE_ASSERT_MSG(key.size() == kChaChaKeyLen, "ChaCha20 key must be 32 bytes");
+  ROGUE_ASSERT_MSG(nonce.size() == kChaChaNonceLen, "ChaCha20 nonce must be 12 bytes");
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (std::size_t i = 0; i < 8; ++i) state_[4 + i] = load32le(key, i * 4);
+  state_[12] = counter;
+  for (std::size_t i = 0; i < 3; ++i) state_[13 + i] = load32le(nonce, i * 4);
+}
+
+void ChaCha20::refill() {
+  std::array<std::uint32_t, 16> working = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working, 0, 4, 8, 12);
+    quarter_round(working, 1, 5, 9, 13);
+    quarter_round(working, 2, 6, 10, 14);
+    quarter_round(working, 3, 7, 11, 15);
+    quarter_round(working, 0, 5, 10, 15);
+    quarter_round(working, 1, 6, 11, 12);
+    quarter_round(working, 2, 7, 8, 13);
+    quarter_round(working, 3, 4, 9, 14);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint32_t v = working[i] + state_[i];
+    block_[i * 4] = static_cast<std::uint8_t>(v);
+    block_[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
+    block_[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
+    block_[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  ++state_[12];
+  block_pos_ = 0;
+}
+
+void ChaCha20::process(std::span<std::uint8_t> data) {
+  for (auto& b : data) {
+    if (block_pos_ == block_.size()) refill();
+    b ^= block_[block_pos_++];
+  }
+}
+
+util::Bytes ChaCha20::apply(util::ByteView data) {
+  util::Bytes out(data.begin(), data.end());
+  process(out);
+  return out;
+}
+
+}  // namespace rogue::crypto

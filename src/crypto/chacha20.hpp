@@ -1,0 +1,35 @@
+// ChaCha20 stream cipher (RFC 8439 quarter rounds, 96-bit nonce) — the
+// VPN tunnel's transport cipher. Combined with HMAC-SHA256 in
+// encrypt-then-MAC form by aead.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace rogue::crypto {
+
+inline constexpr std::size_t kChaChaKeyLen = 32;
+inline constexpr std::size_t kChaChaNonceLen = 12;
+
+class ChaCha20 {
+ public:
+  /// key: 32 bytes, nonce: 12 bytes, counter: initial block counter.
+  ChaCha20(util::ByteView key, util::ByteView nonce, std::uint32_t counter = 0);
+
+  /// XOR keystream into data in place (encrypt == decrypt).
+  void process(std::span<std::uint8_t> data);
+
+  [[nodiscard]] util::Bytes apply(util::ByteView data);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_{};
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t block_pos_ = 64;  // empty
+};
+
+}  // namespace rogue::crypto

@@ -1,0 +1,36 @@
+#include "crypto/crc32.hpp"
+
+#include <array>
+
+namespace rogue::crypto {
+
+namespace {
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[n] = c;
+  }
+  return table;
+}
+constexpr auto kTable = make_table();
+}  // namespace
+
+void Crc32::update(util::ByteView data) {
+  std::uint32_t c = state_;
+  for (const std::uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xffu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(util::ByteView data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace rogue::crypto

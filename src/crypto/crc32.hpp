@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used as the WEP ICV and as
+// the FCS sanity check on simulated wired frames. Its linearity is the
+// reason WEP integrity is forgeable, so the exact polynomial matters.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace rogue::crypto {
+
+/// One-shot CRC-32 of a buffer.
+[[nodiscard]] std::uint32_t crc32(util::ByteView data);
+
+/// Incremental interface for streamed data.
+class Crc32 {
+ public:
+  void update(util::ByteView data);
+  [[nodiscard]] std::uint32_t value() const { return ~state_; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace rogue::crypto

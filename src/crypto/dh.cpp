@@ -1,0 +1,57 @@
+#include "crypto/dh.hpp"
+
+namespace rogue::crypto {
+
+const DhGroup& DhGroup::modp1024() {
+  // RFC 2409 §6.2 Second Oakley Group (1024-bit MODP).
+  static const DhGroup group{
+      BigUint::from_hex(
+          "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+          "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+          "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+          "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+          "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381"
+          "FFFFFFFFFFFFFFFF"),
+      BigUint(2),
+      128};
+  return group;
+}
+
+const DhGroup& DhGroup::toy256() {
+  // 256-bit safe-ish prime for unit tests only.
+  static const DhGroup group{
+      BigUint::from_hex(
+          "F5C2E9F3DE2A3D1B4A9C8B7E6F5D4C3B2A190817E6D5C4B3"
+          "A2918073F4E5D6C7"),
+      BigUint(5),
+      32};
+  return group;
+}
+
+DhKeyPair DhKeyPair::generate(const DhGroup& group, util::Prng& rng) {
+  // Secret exponent: byte_len random bytes reduced mod (p - 2), + 2, so it
+  // lies in [2, p-1).
+  util::Bytes raw(group.byte_len);
+  rng.fill(raw);
+  const BigUint p_minus_2 = BigUint::sub(group.p, BigUint(2));
+  const BigUint secret =
+      BigUint::add(BigUint::mod(BigUint::from_bytes_be(raw), p_minus_2), BigUint(2));
+  BigUint pub = BigUint::mod_pow(group.g, secret, group.p);
+  return DhKeyPair(group, secret, std::move(pub));
+}
+
+util::Bytes DhKeyPair::public_bytes() const {
+  return public_.to_bytes_be(group_->byte_len);
+}
+
+util::Bytes DhKeyPair::shared_secret(const BigUint& peer_public) const {
+  if (peer_public <= BigUint(1) || peer_public >= group_->p) return {};
+  const BigUint shared = BigUint::mod_pow(peer_public, secret_, group_->p);
+  return shared.to_bytes_be(group_->byte_len);
+}
+
+util::Bytes DhKeyPair::shared_secret_bytes(util::ByteView peer_public) const {
+  return shared_secret(BigUint::from_bytes_be(peer_public));
+}
+
+}  // namespace rogue::crypto

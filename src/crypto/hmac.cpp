@@ -1,0 +1,54 @@
+#include "crypto/hmac.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace rogue::crypto {
+
+Sha256Digest hmac_sha256(util::ByteView key, util::ByteView message) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const Sha256Digest kd = sha256(key);
+    std::copy(kd.begin(), kd.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(util::ByteView(ipad.data(), ipad.size()));
+  inner.update(message);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(util::ByteView(opad.data(), opad.size()));
+  outer.update(util::ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+util::Bytes kdf_expand(util::ByteView key, util::ByteView info, std::size_t out_len) {
+  util::Bytes out;
+  out.reserve(out_len);
+  Sha256Digest t{};
+  std::uint8_t counter = 1;
+  std::size_t t_len = 0;
+  while (out.size() < out_len) {
+    util::Bytes msg;
+    msg.insert(msg.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(t_len));
+    msg.insert(msg.end(), info.begin(), info.end());
+    msg.push_back(counter++);
+    t = hmac_sha256(key, msg);
+    t_len = t.size();
+    const std::size_t take = std::min(t.size(), out_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace rogue::crypto

@@ -1,0 +1,16 @@
+// HMAC-SHA256 (RFC 2104) and an HKDF-style expand used to derive VPN
+// session keys from the DH shared secret + pre-shared authenticator.
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace rogue::crypto {
+
+[[nodiscard]] Sha256Digest hmac_sha256(util::ByteView key, util::ByteView message);
+
+/// HKDF-Expand-like: out_len bytes keyed by `key`, labelled by `info`.
+[[nodiscard]] util::Bytes kdf_expand(util::ByteView key, util::ByteView info,
+                                     std::size_t out_len);
+
+}  // namespace rogue::crypto

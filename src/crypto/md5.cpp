@@ -1,0 +1,129 @@
+#include "crypto/md5.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace rogue::crypto {
+
+namespace {
+// Per-round shift amounts and sine-derived constants from RFC 1321.
+constexpr std::array<std::uint32_t, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+constexpr std::array<std::uint32_t, 64> kSines = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+}  // namespace
+
+Md5::Md5() : state_{0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u} {}
+
+void Md5::process_block(const std::uint8_t* block) {
+  std::array<std::uint32_t, 16> m;
+  for (std::size_t i = 0; i < 16; ++i) {
+    std::uint32_t w = 0;
+    std::memcpy(&w, block + i * 4, 4);  // little-endian host assumed (x86/arm)
+    m[i] = w;
+  }
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint32_t f = 0;
+    std::uint32_t g = 0;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + std::rotl(a + f + kSines[i] + m[g], static_cast<int>(kShift[i]));
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(util::ByteView data) {
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset += take;
+    if (buffer_len_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (data.size() - offset >= 64) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+Md5Digest Md5::finish() {
+  const std::uint64_t bit_len = total_len_ * 8;
+  static constexpr std::uint8_t kPad = 0x80;
+  update(util::ByteView(&kPad, 1));
+  static constexpr std::uint8_t kZero = 0x00;
+  while (buffer_len_ != 56) update(util::ByteView(&kZero, 1));
+  std::array<std::uint8_t, 8> len_le{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    len_le[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+  }
+  // update() adjusts total_len_, harmless after capture above.
+  update(util::ByteView(len_le.data(), len_le.size()));
+
+  Md5Digest out{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      out[i * 4 + b] = static_cast<std::uint8_t>(state_[i] >> (8 * b));
+    }
+  }
+  return out;
+}
+
+Md5Digest md5(util::ByteView data) {
+  Md5 h;
+  h.update(data);
+  return h.finish();
+}
+
+std::string md5_hex(util::ByteView data) {
+  const Md5Digest d = md5(data);
+  return util::hex_encode(util::ByteView(d.data(), d.size()));
+}
+
+}  // namespace rogue::crypto

@@ -1,0 +1,38 @@
+// MD5 (RFC 1321). The paper's download page publishes an MD5SUM that the
+// attack forges alongside the payload; the downloader client verifies it
+// with this implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace rogue::crypto {
+
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+class Md5 {
+ public:
+  Md5();
+
+  void update(util::ByteView data);
+  /// Finalize and return the digest; the object must not be reused after.
+  [[nodiscard]] Md5Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot digest.
+[[nodiscard]] Md5Digest md5(util::ByteView data);
+/// Lower-case hex digest, the `md5sum` output format.
+[[nodiscard]] std::string md5_hex(util::ByteView data);
+
+}  // namespace rogue::crypto

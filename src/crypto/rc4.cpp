@@ -1,0 +1,37 @@
+#include "crypto/rc4.hpp"
+
+#include <numeric>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace rogue::crypto {
+
+Rc4::Rc4(util::ByteView key) {
+  ROGUE_ASSERT_MSG(!key.empty() && key.size() <= 256, "RC4 key must be 1..256 bytes");
+  std::iota(s_.begin(), s_.end(), 0);
+  std::uint8_t j = 0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    j = static_cast<std::uint8_t>(j + s_[i] + key[i % key.size()]);
+    std::swap(s_[i], s_[j]);
+  }
+}
+
+std::uint8_t Rc4::next() {
+  i_ = static_cast<std::uint8_t>(i_ + 1);
+  j_ = static_cast<std::uint8_t>(j_ + s_[i_]);
+  std::swap(s_[i_], s_[j_]);
+  return s_[static_cast<std::uint8_t>(s_[i_] + s_[j_])];
+}
+
+void Rc4::process(std::span<std::uint8_t> data) {
+  for (auto& b : data) b ^= next();
+}
+
+util::Bytes Rc4::apply(util::ByteView data) {
+  util::Bytes out(data.begin(), data.end());
+  process(out);
+  return out;
+}
+
+}  // namespace rogue::crypto

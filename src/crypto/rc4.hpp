@@ -1,0 +1,39 @@
+// RC4 stream cipher — the cipher WEP is built on. Exposes the internal
+// KSA state so the FMS attack implementation can be tested against the
+// real key schedule.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace rogue::crypto {
+
+class Rc4 {
+ public:
+  /// Key-schedule with the given key (1..256 bytes).
+  explicit Rc4(util::ByteView key);
+
+  /// Next keystream byte.
+  [[nodiscard]] std::uint8_t next();
+
+  /// XOR keystream into data in place (encrypt == decrypt).
+  void process(std::span<std::uint8_t> data);
+
+  /// Encrypt (copying) convenience.
+  [[nodiscard]] util::Bytes apply(util::ByteView data);
+
+  /// Permutation state after KSA / current position (for FMS analysis).
+  [[nodiscard]] const std::array<std::uint8_t, 256>& state() const { return s_; }
+  [[nodiscard]] std::uint8_t i() const { return i_; }
+  [[nodiscard]] std::uint8_t j() const { return j_; }
+
+ private:
+  std::array<std::uint8_t, 256> s_{};
+  std::uint8_t i_ = 0;
+  std::uint8_t j_ = 0;
+};
+
+}  // namespace rogue::crypto

@@ -1,0 +1,34 @@
+// SHA-256 (FIPS 180-4). Basis of HMAC-SHA256, the VPN's record MAC and
+// key-derivation PRF.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace rogue::crypto {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(util::ByteView data);
+  [[nodiscard]] Sha256Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+[[nodiscard]] Sha256Digest sha256(util::ByteView data);
+[[nodiscard]] std::string sha256_hex(util::ByteView data);
+
+}  // namespace rogue::crypto

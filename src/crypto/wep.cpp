@@ -1,0 +1,108 @@
+#include "crypto/wep.hpp"
+
+#include "crypto/crc32.hpp"
+#include "crypto/rc4.hpp"
+#include "util/assert.hpp"
+
+namespace rogue::crypto {
+
+bool is_fms_weak_iv(const WepIv& iv, std::size_t key_len) {
+  // Classic FMS class: IV = (A + 3, 0xFF, X) leaks key byte A.
+  if (iv[1] != 0xff) return false;
+  return iv[0] >= 3 && iv[0] < 3 + key_len;
+}
+
+WepIvGenerator::WepIvGenerator(WepIvPolicy policy, std::size_t key_len,
+                               std::uint64_t seed)
+    : policy_(policy), key_len_(key_len), rng_(seed) {}
+
+WepIv WepIvGenerator::next() {
+  WepIv iv{};
+  switch (policy_) {
+    case WepIvPolicy::kRandom: {
+      rng_.fill(iv);
+      return iv;
+    }
+    case WepIvPolicy::kSequential: {
+      // Little-endian counter, as on Prism-era cards: the low byte is
+      // iv[0], so FMS-weak IVs (A+3, 0xFF, X) recur every 64 Ki frames.
+      iv[0] = static_cast<std::uint8_t>(counter_);
+      iv[1] = static_cast<std::uint8_t>(counter_ >> 8);
+      iv[2] = static_cast<std::uint8_t>(counter_ >> 16);
+      counter_ = (counter_ + 1) & 0xffffffu;
+      return iv;
+    }
+    case WepIvPolicy::kSkipWeak: {
+      do {
+        iv[0] = static_cast<std::uint8_t>(counter_);
+        iv[1] = static_cast<std::uint8_t>(counter_ >> 8);
+        iv[2] = static_cast<std::uint8_t>(counter_ >> 16);
+        counter_ = (counter_ + 1) & 0xffffffu;
+      } while (is_fms_weak_iv(iv, key_len_));
+      return iv;
+    }
+  }
+  return iv;
+}
+
+namespace {
+[[nodiscard]] util::Bytes rc4_key(const WepIv& iv, util::ByteView key) {
+  util::Bytes k;
+  k.reserve(kWepIvLen + key.size());
+  k.insert(k.end(), iv.begin(), iv.end());
+  k.insert(k.end(), key.begin(), key.end());
+  return k;
+}
+}  // namespace
+
+util::Bytes wep_encrypt(const WepIv& iv, util::ByteView key, util::ByteView plaintext,
+                        std::uint8_t key_id) {
+  ROGUE_ASSERT_MSG(key.size() == kWep40KeyLen || key.size() == kWep104KeyLen,
+                   "WEP key must be 5 or 13 bytes");
+  ROGUE_ASSERT_MSG(key_id < 4, "WEP key id is 2 bits");
+
+  // plaintext || ICV (CRC-32 little-endian, per 802.11-1999 8.2.3).
+  util::Bytes data(plaintext.begin(), plaintext.end());
+  const std::uint32_t icv = crc32(plaintext);
+  for (int i = 0; i < 4; ++i) data.push_back(static_cast<std::uint8_t>(icv >> (8 * i)));
+
+  Rc4 cipher(rc4_key(iv, key));
+  cipher.process(data);
+
+  util::Bytes out;
+  out.reserve(kWepIvLen + 1 + data.size());
+  out.insert(out.end(), iv.begin(), iv.end());
+  out.push_back(static_cast<std::uint8_t>(key_id << 6));
+  out.insert(out.end(), data.begin(), data.end());
+  return out;
+}
+
+std::optional<WepHeader> wep_parse_header(util::ByteView body) {
+  if (body.size() < kWepIvLen + 1 + kWepIcvLen) return std::nullopt;
+  WepHeader h{};
+  h.iv = {body[0], body[1], body[2]};
+  h.key_id = static_cast<std::uint8_t>(body[3] >> 6);
+  h.ciphertext = body.subspan(kWepIvLen + 1);
+  return h;
+}
+
+std::optional<WepDecryptResult> wep_decrypt(util::ByteView body, util::ByteView key) {
+  const auto header = wep_parse_header(body);
+  if (!header) return std::nullopt;
+
+  Rc4 cipher(rc4_key(header->iv, key));
+  util::Bytes data = cipher.apply(header->ciphertext);
+
+  const std::size_t plain_len = data.size() - kWepIcvLen;
+  std::uint32_t icv = 0;
+  for (int i = 0; i < 4; ++i) {
+    icv |= static_cast<std::uint32_t>(data[plain_len + static_cast<std::size_t>(i)])
+           << (8 * i);
+  }
+  data.resize(plain_len);
+  if (crc32(data) != icv) return std::nullopt;
+
+  return WepDecryptResult{std::move(data), header->iv, header->key_id};
+}
+
+}  // namespace rogue::crypto

@@ -1,0 +1,48 @@
+#include "detect/seqnum.hpp"
+
+namespace rogue::detect {
+
+SeqNumMonitor::SeqNumMonitor(sim::Simulator& simulator, phy::Medium& medium,
+                             SeqMonitorConfig config)
+    : sim_(simulator), config_(config), radio_(medium, "seq-monitor") {
+  radio_.set_channel(config_.channel);
+  radio_.set_receive_handler([this](util::ByteView raw, const phy::RxInfo& info) {
+    const auto frame = dot11::Frame::parse(raw);
+    if (frame) observe(*frame, info.time);
+  });
+}
+
+void SeqNumMonitor::observe(const dot11::Frame& frame, sim::Time at) {
+  ++frames_;
+  auto& tx = state_[frame.addr2];
+  const std::uint16_t seq = frame.sequence & 0x0fff;
+
+  if (!tx.seen) {
+    tx.seen = true;
+    tx.last_seq = seq;
+    return;
+  }
+
+  const auto forward = static_cast<std::uint16_t>((seq - tx.last_seq) & 0x0fff);
+  const auto backward = static_cast<std::uint16_t>((tx.last_seq - seq) & 0x0fff);
+
+  const bool plausible_forward = forward > 0 && forward <= config_.max_forward_gap;
+  const bool plausible_retry = backward <= config_.max_backward_step;
+  if (!plausible_forward && !plausible_retry) {
+    ++tx.anomaly_count;
+    anomalies_.push_back(SeqAnomaly{
+        at, frame.addr2, tx.last_seq, seq,
+        frame.type == dot11::FrameType::kManagement});
+  }
+  tx.last_seq = seq;
+}
+
+std::vector<net::MacAddr> SeqNumMonitor::suspects(std::size_t min_anomalies) const {
+  std::vector<net::MacAddr> out;
+  for (const auto& [mac, tx] : state_) {
+    if (tx.anomaly_count >= min_anomalies) out.push_back(mac);
+  }
+  return out;
+}
+
+}  // namespace rogue::detect

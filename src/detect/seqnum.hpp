@@ -1,0 +1,67 @@
+// Sequence-control anomaly detection (§2.3: "These techniques rely on
+// monitoring 802.11 Sequence Control numbers", following Wright's MAC
+// spoof detection [15]). Every 802.11 transmitter stamps frames from a
+// single modulo-4096 counter; a second radio forging the same MAC (rogue
+// AP cloning the BSSID, forged deauths) cannot continue the victim's
+// counter, so its frames appear as implausible sequence jumps.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dot11/frame.hpp"
+#include "net/addr.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace rogue::detect {
+
+struct SeqAnomaly {
+  sim::Time time = 0;
+  net::MacAddr transmitter;
+  std::uint16_t previous = 0;
+  std::uint16_t observed = 0;
+  bool management = false;
+};
+
+struct SeqMonitorConfig {
+  phy::Channel channel = 1;
+  /// Forward gap (frames lost to the monitor) tolerated before alarming.
+  std::uint16_t max_forward_gap = 64;
+  /// Small backward steps tolerated (late retries).
+  std::uint16_t max_backward_step = 3;
+};
+
+class SeqNumMonitor {
+ public:
+  SeqNumMonitor(sim::Simulator& simulator, phy::Medium& medium,
+                SeqMonitorConfig config);
+
+  SeqNumMonitor(const SeqNumMonitor&) = delete;
+  SeqNumMonitor& operator=(const SeqNumMonitor&) = delete;
+
+  [[nodiscard]] const std::vector<SeqAnomaly>& anomalies() const { return anomalies_; }
+  /// Transmitters with at least `min_anomalies` flags.
+  [[nodiscard]] std::vector<net::MacAddr> suspects(std::size_t min_anomalies = 2) const;
+  [[nodiscard]] std::uint64_t frames_observed() const { return frames_; }
+  [[nodiscard]] phy::Radio& radio() { return radio_; }
+
+  /// Feed a frame directly (for offline analysis of captures).
+  void observe(const dot11::Frame& frame, sim::Time at);
+
+ private:
+  sim::Simulator& sim_;
+  SeqMonitorConfig config_;
+  phy::Radio radio_;
+  struct TxState {
+    std::uint16_t last_seq = 0;
+    bool seen = false;
+    std::size_t anomaly_count = 0;
+  };
+  std::unordered_map<net::MacAddr, TxState> state_;
+  std::vector<SeqAnomaly> anomalies_;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace rogue::detect

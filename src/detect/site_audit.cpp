@@ -1,0 +1,50 @@
+#include "detect/site_audit.hpp"
+
+#include <algorithm>
+
+namespace rogue::detect {
+
+SiteAudit::SiteAudit(std::vector<AuthorizedAp> inventory)
+    : inventory_(std::move(inventory)) {}
+
+std::vector<AuditFinding> SiteAudit::evaluate(
+    const std::vector<attack::ObservedBss>& census) const {
+  std::vector<AuditFinding> findings;
+
+  for (const auto& bss : census) {
+    const bool own_ssid = std::any_of(
+        inventory_.begin(), inventory_.end(),
+        [&](const AuthorizedAp& ap) { return ap.ssid == bss.ssid; });
+    const auto exact = std::find_if(
+        inventory_.begin(), inventory_.end(), [&](const AuthorizedAp& ap) {
+          return ap.ssid == bss.ssid && ap.bssid == bss.bssid &&
+                 ap.channel == bss.channel;
+        });
+    if (exact != inventory_.end()) continue;  // fully accounted for
+
+    const bool known_bssid = std::any_of(
+        inventory_.begin(), inventory_.end(),
+        [&](const AuthorizedAp& ap) { return ap.bssid == bss.bssid; });
+
+    if (own_ssid && !known_bssid) {
+      findings.push_back({AuditFindingKind::kUnknownBssid, bss});
+    } else if (known_bssid) {
+      // Our BSSID, but SSID/channel do not match the records: a clone.
+      findings.push_back({AuditFindingKind::kClonedBssidWrongChannel, bss});
+    } else {
+      findings.push_back({AuditFindingKind::kUnknownSsid, bss});
+    }
+  }
+  return findings;
+}
+
+bool SiteAudit::rogue_detected(
+    const std::vector<attack::ObservedBss>& census) const {
+  const auto findings = evaluate(census);
+  return std::any_of(findings.begin(), findings.end(), [](const AuditFinding& f) {
+    return f.kind == AuditFindingKind::kUnknownBssid ||
+           f.kind == AuditFindingKind::kClonedBssidWrongChannel;
+  });
+}
+
+}  // namespace rogue::detect

@@ -1,0 +1,51 @@
+// Radio site audit (§2.3: "Good record keeping and doing radio site
+// audits will help detect these rogues"): compare the BSS census gathered
+// by a monitor-mode sweep against the administrator's authorized AP
+// inventory and flag everything unexplained.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attack/sniffer.hpp"
+#include "net/addr.hpp"
+#include "phy/medium.hpp"
+
+namespace rogue::detect {
+
+struct AuthorizedAp {
+  std::string ssid;
+  net::MacAddr bssid;
+  phy::Channel channel = 1;
+};
+
+enum class AuditFindingKind : std::uint8_t {
+  kUnknownBssid,           ///< SSID we own, BSSID we don't — classic rogue
+  kClonedBssidWrongChannel,///< our BSSID beaconing on a channel we don't use
+  kUnknownSsid,            ///< foreign network in our airspace (informational)
+  kPrivacyMismatch,        ///< our SSID advertised with wrong WEP setting
+};
+
+struct AuditFinding {
+  AuditFindingKind kind;
+  attack::ObservedBss bss;
+};
+
+class SiteAudit {
+ public:
+  explicit SiteAudit(std::vector<AuthorizedAp> inventory);
+
+  /// Evaluate a census (from attack::Sniffer::observed_bss or a dedicated
+  /// scan) against the inventory.
+  [[nodiscard]] std::vector<AuditFinding> evaluate(
+      const std::vector<attack::ObservedBss>& census) const;
+
+  /// Convenience: does the census contain a rogue for one of our SSIDs?
+  [[nodiscard]] bool rogue_detected(
+      const std::vector<attack::ObservedBss>& census) const;
+
+ private:
+  std::vector<AuthorizedAp> inventory_;
+};
+
+}  // namespace rogue::detect

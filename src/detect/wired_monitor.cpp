@@ -1,0 +1,19 @@
+#include "detect/wired_monitor.hpp"
+
+namespace rogue::detect {
+
+WiredMonitor::WiredMonitor(sim::Simulator& simulator, net::L2Segment& segment,
+                           std::vector<net::MacAddr> known_macs)
+    : sim_(simulator) {
+  known_.insert(known_macs.begin(), known_macs.end());
+  segment.set_span([this](const net::L2Frame& frame) {
+    ++frames_;
+    seen_.insert(frame.src);
+    if (!known_.contains(frame.src) && !reported_.contains(frame.src)) {
+      reported_.insert(frame.src);
+      findings_.push_back(WiredFinding{sim_.now(), frame.src});
+    }
+  });
+}
+
+}  // namespace rogue::detect

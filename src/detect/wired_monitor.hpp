@@ -1,0 +1,48 @@
+// Wired-side rogue indication (§2.3: "monitoring the traffic on the wired
+// LAN can also aid in detection of Rogue APs"): a span (mirror) port on
+// the wired segment keeping a MAC inventory. New, unregistered source
+// MACs are flagged for the administrator.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace rogue::detect {
+
+struct WiredFinding {
+  sim::Time time = 0;
+  net::MacAddr mac;
+};
+
+class WiredMonitor {
+ public:
+  /// Installs itself as the segment's span (mirror) tap.
+  WiredMonitor(sim::Simulator& simulator, net::L2Segment& segment,
+               std::vector<net::MacAddr> known_macs);
+
+  WiredMonitor(const WiredMonitor&) = delete;
+  WiredMonitor& operator=(const WiredMonitor&) = delete;
+
+  void add_known(net::MacAddr mac) { known_.insert(mac); }
+
+  [[nodiscard]] const std::vector<WiredFinding>& unknown_macs() const {
+    return findings_;
+  }
+  [[nodiscard]] const std::set<net::MacAddr>& seen_macs() const { return seen_; }
+  [[nodiscard]] std::uint64_t frames_observed() const { return frames_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::set<net::MacAddr> known_;
+  std::set<net::MacAddr> seen_;
+  std::set<net::MacAddr> reported_;
+  std::vector<WiredFinding> findings_;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace rogue::detect

@@ -1,0 +1,141 @@
+#include "dot11/wpa.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rogue::dot11 {
+
+util::Bytes wpa_pmk(util::ByteView psk, std::string_view ssid) {
+  util::Bytes label = util::to_bytes("pmk");
+  util::append(label, util::to_bytes(ssid));
+  const crypto::Sha256Digest d = crypto::hmac_sha256(psk, label);
+  return util::Bytes(d.begin(), d.end());
+}
+
+WpaPtk wpa_ptk(util::ByteView pmk, net::MacAddr ap, net::MacAddr sta,
+               const WpaNonce& anonce, const WpaNonce& snonce) {
+  // Order-normalize MACs and nonces (as 802.11i does) so both ends agree.
+  util::Bytes seed = util::to_bytes("pairwise key expansion");
+  const net::MacAddr mac_lo = std::min(ap, sta);
+  const net::MacAddr mac_hi = std::max(ap, sta);
+  util::append(seed, util::ByteView(mac_lo.octets().data(), 6));
+  util::append(seed, util::ByteView(mac_hi.octets().data(), 6));
+  const bool a_lo = std::lexicographical_compare(anonce.begin(), anonce.end(),
+                                                 snonce.begin(), snonce.end());
+  const WpaNonce& n_lo = a_lo ? anonce : snonce;
+  const WpaNonce& n_hi = a_lo ? snonce : anonce;
+  util::append(seed, util::ByteView(n_lo.data(), n_lo.size()));
+  util::append(seed, util::ByteView(n_hi.data(), n_hi.size()));
+
+  const crypto::Sha256Digest prk = crypto::hmac_sha256(pmk, seed);
+  const util::Bytes material =
+      crypto::kdf_expand(util::ByteView(prk.data(), prk.size()),
+                         util::to_bytes("ptk"), kKckLen + crypto::kAeadKeyLen);
+  WpaPtk ptk;
+  ptk.kck.assign(material.begin(), material.begin() + kKckLen);
+  ptk.aead_key.assign(material.begin() + kKckLen, material.end());
+  return ptk;
+}
+
+util::Bytes WpaHandshakeFrame::encode() const {
+  util::Bytes out;
+  util::ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(msg));
+  w.raw(util::ByteView(nonce.data(), nonce.size()));
+  w.u16be(static_cast<std::uint16_t>(sealed_gtk.size()));
+  w.raw(sealed_gtk);
+  w.raw(util::ByteView(mic.data(), mic.size()));
+  return out;
+}
+
+std::optional<WpaHandshakeFrame> WpaHandshakeFrame::decode(util::ByteView raw) {
+  util::ByteReader r(raw);
+  WpaHandshakeFrame f;
+  const std::uint8_t m = r.u8();
+  if (m < 1 || m > 4) return std::nullopt;
+  f.msg = static_cast<WpaMsg>(m);
+  const util::ByteView nonce = r.raw(kNonceLen);
+  const std::uint16_t gtk_len = r.u16be();
+  const util::ByteView gtk = r.raw(gtk_len);
+  const util::ByteView mic = r.raw(kMicLen);
+  if (!r.ok()) return std::nullopt;
+  std::copy(nonce.begin(), nonce.end(), f.nonce.begin());
+  f.sealed_gtk.assign(gtk.begin(), gtk.end());
+  std::copy(mic.begin(), mic.end(), f.mic.begin());
+  return f;
+}
+
+std::array<std::uint8_t, kMicLen> WpaHandshakeFrame::compute_mic(
+    util::ByteView kck) const {
+  WpaHandshakeFrame zeroed = *this;
+  zeroed.mic.fill(0);
+  const crypto::Sha256Digest d = crypto::hmac_sha256(kck, zeroed.encode());
+  std::array<std::uint8_t, kMicLen> out{};
+  std::copy(d.begin(), d.begin() + kMicLen, out.begin());
+  return out;
+}
+
+void WpaHandshakeFrame::sign(util::ByteView kck) { mic = compute_mic(kck); }
+
+bool WpaHandshakeFrame::verify(util::ByteView kck) const {
+  const auto expected = compute_mic(kck);
+  return util::equal_ct(util::ByteView(expected.data(), expected.size()),
+                        util::ByteView(mic.data(), mic.size()));
+}
+
+util::Bytes wpa_protect(util::ByteView aead_key, std::uint64_t pn,
+                        util::ByteView msdu) {
+  util::Bytes out;
+  util::ByteWriter w(out);
+  w.u64be(pn);
+  const util::Bytes sealed = crypto::aead_seal(aead_key, pn, {}, msdu);
+  w.raw(sealed);
+  return out;
+}
+
+std::optional<WpaOpened> wpa_open(util::ByteView aead_key, util::ByteView body) {
+  if (body.size() < 8 + crypto::kAeadTagLen) return std::nullopt;
+  util::ByteReader r(body);
+  const std::uint64_t pn = r.u64be();
+  const auto opened = crypto::aead_open(aead_key, pn, {}, r.take_rest());
+  if (!opened) return std::nullopt;
+  return WpaOpened{pn, *opened};
+}
+
+WpaPassiveDecryptor::WpaPassiveDecryptor(util::ByteView psk, std::string_view ssid)
+    : pmk_(wpa_pmk(psk, ssid)) {}
+
+void WpaPassiveDecryptor::observe_handshake(net::MacAddr ap, net::MacAddr sta,
+                                            const WpaHandshakeFrame& frame) {
+  auto& obs = observed_[{ap, sta}];
+  if (frame.msg == WpaMsg::kM1) obs.anonce = frame.nonce;
+  if (frame.msg == WpaMsg::kM2) obs.snonce = frame.nonce;
+}
+
+std::optional<WpaPtk> WpaPassiveDecryptor::ptk_for(net::MacAddr ap,
+                                                   net::MacAddr sta) const {
+  const auto it = observed_.find({ap, sta});
+  if (it == observed_.end() || !it->second.anonce || !it->second.snonce) {
+    return std::nullopt;
+  }
+  return wpa_ptk(pmk_, ap, sta, *it->second.anonce, *it->second.snonce);
+}
+
+std::optional<WpaOpened> WpaPassiveDecryptor::decrypt(net::MacAddr ap,
+                                                      net::MacAddr sta,
+                                                      util::ByteView body) const {
+  const auto ptk = ptk_for(ap, sta);
+  if (!ptk) return std::nullopt;
+  return wpa_open(ptk->aead_key, body);
+}
+
+std::size_t WpaPassiveDecryptor::sessions_recovered() const {
+  std::size_t n = 0;
+  for (const auto& [pair, obs] : observed_) {
+    if (obs.anonce && obs.snonce) ++n;
+  }
+  return n;
+}
+
+}  // namespace rogue::dot11

@@ -1,0 +1,133 @@
+// Simplified WPA-PSK (§2.2: "802.1x and TKIP ... packaged into a new
+// security solution called WiFi Protected Access (WPA). ... TKIP still
+// relies on a pre shared key, thus is still vulnerable to MITM attack
+// from valid network clients.")
+//
+// Model (faithful in structure, modern in primitives):
+//   PMK  = HMAC(psk, "pmk" || ssid)
+//   4-way handshake over EAPOL-like data frames (ethertype 0x888E):
+//     M1  AP->STA  anonce
+//     M2  STA->AP  snonce || MIC_KCK(m2)
+//     M3  AP->STA  GTK sealed under PTK || MIC_KCK(m3)
+//     M4  STA->AP  MIC_KCK(m4)
+//   PTK  = KDF(PMK, min/max(mac) || min/max(nonce)) -> KCK | pairwise AEAD key
+//   Data = [pn u64][AEAD_{key}(pn, msdu)] with strictly increasing per-
+//          direction packet numbers (replay protection WEP never had).
+//
+// The two properties the paper cares about both hold here:
+//   * an outsider without the PSK can neither join nor decrypt (fixes WEP's
+//     FMS hole), but
+//   * anyone WITH the PSK — every valid client, and therefore the rogue —
+//     can impersonate the network AND passively derive any client's PTK
+//     from its captured handshake (see WpaPassiveDecryptor).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/aead.hpp"
+#include "crypto/hmac.hpp"
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace rogue::dot11 {
+
+/// EtherType carrying the handshake (EAPOL).
+inline constexpr std::uint16_t kEtherTypeEapol = 0x888e;
+
+inline constexpr std::size_t kNonceLen = 32;
+inline constexpr std::size_t kKckLen = 32;       ///< MIC key
+inline constexpr std::size_t kMicLen = 16;
+
+using WpaNonce = std::array<std::uint8_t, kNonceLen>;
+
+/// Pairwise transient key material.
+struct WpaPtk {
+  util::Bytes kck;       ///< handshake MIC key (kKckLen)
+  util::Bytes aead_key;  ///< crypto::kAeadKeyLen bytes for data frames
+};
+
+/// PMK from the pre-shared key + SSID (the paper's "pre shared key").
+[[nodiscard]] util::Bytes wpa_pmk(util::ByteView psk, std::string_view ssid);
+
+/// PTK derivation — symmetric in the two MACs/nonces so both sides (and a
+/// passive PSK-holder) compute the same keys.
+[[nodiscard]] WpaPtk wpa_ptk(util::ByteView pmk, net::MacAddr ap, net::MacAddr sta,
+                             const WpaNonce& anonce, const WpaNonce& snonce);
+
+// ---- Handshake messages (EAPOL payloads) -----------------------------------
+
+enum class WpaMsg : std::uint8_t { kM1 = 1, kM2 = 2, kM3 = 3, kM4 = 4 };
+
+struct WpaHandshakeFrame {
+  WpaMsg msg = WpaMsg::kM1;
+  WpaNonce nonce{};        ///< anonce (M1) / snonce (M2)
+  util::Bytes sealed_gtk;  ///< M3 only: GTK sealed under the PTK AEAD key
+  std::array<std::uint8_t, kMicLen> mic{};  ///< M2-M4
+
+  [[nodiscard]] util::Bytes encode() const;
+  [[nodiscard]] static std::optional<WpaHandshakeFrame> decode(util::ByteView raw);
+
+  /// MIC over the frame with the mic field zeroed (standard EAPOL trick).
+  [[nodiscard]] std::array<std::uint8_t, kMicLen> compute_mic(
+      util::ByteView kck) const;
+  void sign(util::ByteView kck);
+  [[nodiscard]] bool verify(util::ByteView kck) const;
+};
+
+// ---- Data protection ---------------------------------------------------------
+
+/// Encrypt an MSDU under a WPA key: [pn u64 be][AEAD(pn, msdu)].
+[[nodiscard]] util::Bytes wpa_protect(util::ByteView aead_key, std::uint64_t pn,
+                                      util::ByteView msdu);
+
+struct WpaOpened {
+  std::uint64_t pn = 0;
+  util::Bytes msdu;
+};
+/// Decrypt; nullopt on MAC failure or truncation. Replay enforcement is
+/// the caller's job (compare pn against its high-water mark).
+[[nodiscard]] std::optional<WpaOpened> wpa_open(util::ByteView aead_key,
+                                                util::ByteView body);
+
+// ---- Passive PSK-holder decryption --------------------------------------------
+
+/// What §2.2 warns about: a PSK holder who observes a client's 4-way
+/// handshake derives that client's PTK offline and reads all its traffic.
+class WpaPassiveDecryptor {
+ public:
+  WpaPassiveDecryptor(util::ByteView psk, std::string_view ssid);
+
+  /// Feed every EAPOL handshake frame seen on the air.
+  void observe_handshake(net::MacAddr ap, net::MacAddr sta,
+                         const WpaHandshakeFrame& frame);
+
+  /// PTK for the pair once both nonces were captured.
+  [[nodiscard]] std::optional<WpaPtk> ptk_for(net::MacAddr ap,
+                                              net::MacAddr sta) const;
+
+  /// Try to decrypt a pairwise-protected body between ap/sta.
+  [[nodiscard]] std::optional<WpaOpened> decrypt(net::MacAddr ap, net::MacAddr sta,
+                                                 util::ByteView body) const;
+
+  [[nodiscard]] std::size_t sessions_recovered() const;
+
+ private:
+  struct Observed {
+    std::optional<WpaNonce> anonce;
+    std::optional<WpaNonce> snonce;
+  };
+  struct PairHash {
+    std::size_t operator()(const std::pair<net::MacAddr, net::MacAddr>& p) const {
+      return std::hash<net::MacAddr>{}(p.first) ^
+             (std::hash<net::MacAddr>{}(p.second) << 1);
+    }
+  };
+
+  util::Bytes pmk_;
+  std::unordered_map<std::pair<net::MacAddr, net::MacAddr>, Observed, PairHash>
+      observed_;
+};
+
+}  // namespace rogue::dot11

@@ -1,0 +1,81 @@
+#include "net/addr.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace rogue::net {
+
+std::optional<MacAddr> MacAddr::parse(std::string_view s) {
+  std::array<std::uint8_t, 6> octets{};
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i > 0) {
+      if (pos >= s.size() || s[pos] != ':') return std::nullopt;
+      ++pos;
+    }
+    if (pos + 2 > s.size()) return std::nullopt;
+    std::uint8_t v = 0;
+    const auto [ptr, ec] = std::from_chars(s.data() + pos, s.data() + pos + 2, v, 16);
+    if (ec != std::errc{} || ptr != s.data() + pos + 2) return std::nullopt;
+    octets[i] = v;
+    pos += 2;
+  }
+  if (pos != s.size()) return std::nullopt;
+  return MacAddr(octets);
+}
+
+MacAddr MacAddr::from_id(std::uint64_t id) {
+  std::array<std::uint8_t, 6> o{};
+  o[0] = 0x02;  // locally administered, unicast
+  for (std::size_t i = 1; i < 6; ++i) {
+    o[i] = static_cast<std::uint8_t>(id >> (8 * (5 - i)));
+  }
+  return MacAddr(o);
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+std::uint64_t MacAddr::to_u64() const {
+  std::uint64_t v = 0;
+  for (const auto o : octets_) v = (v << 8) | o;
+  return v;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  std::uint32_t value = 0;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= s.size() || s[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    if (pos >= s.size()) return std::nullopt;
+    unsigned octet = 0;
+    const auto [ptr, ec] = std::from_chars(s.data() + pos, s.data() + s.size(), octet);
+    if (ec != std::errc{} || octet > 255 || ptr == s.data() + pos) return std::nullopt;
+    value = (value << 8) | octet;
+    pos = static_cast<std::size_t>(ptr - s.data());
+  }
+  if (pos != s.size()) return std::nullopt;
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (addr_ >> 24) & 0xffu,
+                (addr_ >> 16) & 0xffu, (addr_ >> 8) & 0xffu, addr_ & 0xffu);
+  return buf;
+}
+
+Ipv4Addr netmask(unsigned prefix_len) {
+  if (prefix_len == 0) return Ipv4Addr(0u);
+  if (prefix_len >= 32) return Ipv4Addr(0xffffffffu);
+  return Ipv4Addr(~((1u << (32 - prefix_len)) - 1));
+}
+
+}  // namespace rogue::net

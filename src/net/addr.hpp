@@ -1,0 +1,92 @@
+// Link-layer and network-layer address types shared by the wired stack,
+// the 802.11 MAC, and the attack tooling (MAC spoofing is just assigning
+// someone else's MacAddr — §2.1: "MAC addresses can be changed from their
+// factory default").
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rogue::net {
+
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  explicit constexpr MacAddr(std::array<std::uint8_t, 6> octets) : octets_(octets) {}
+
+  /// Parse "aa:bb:cc:dd:ee:ff"; nullopt on malformed input.
+  [[nodiscard]] static std::optional<MacAddr> parse(std::string_view s);
+  /// Broadcast ff:ff:ff:ff:ff:ff.
+  [[nodiscard]] static constexpr MacAddr broadcast() {
+    return MacAddr({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+  /// Locally-administered address derived from an integer id (for tests
+  /// and simulated NIC factories).
+  [[nodiscard]] static MacAddr from_id(std::uint64_t id);
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+  [[nodiscard]] bool is_broadcast() const { return *this == broadcast(); }
+  [[nodiscard]] bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::uint64_t to_u64() const;
+
+  friend constexpr auto operator<=>(const MacAddr&, const MacAddr&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  explicit constexpr Ipv4Addr(std::uint32_t host_order) : addr_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : addr_((static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+              (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parse dotted quad; nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(std::string_view s);
+  [[nodiscard]] static constexpr Ipv4Addr any() { return Ipv4Addr(0u); }
+  [[nodiscard]] static constexpr Ipv4Addr broadcast() { return Ipv4Addr(0xffffffffu); }
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return addr_; }
+  [[nodiscard]] bool is_any() const { return addr_ == 0; }
+  [[nodiscard]] bool is_broadcast() const { return addr_ == 0xffffffffu; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// True if this and other share the given prefix mask.
+  [[nodiscard]] bool in_subnet(Ipv4Addr network, Ipv4Addr mask) const {
+    return (addr_ & mask.addr_) == (network.addr_ & mask.addr_);
+  }
+
+  friend constexpr auto operator<=>(const Ipv4Addr&, const Ipv4Addr&) = default;
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+/// CIDR-style netmask from prefix length (0..32).
+[[nodiscard]] Ipv4Addr netmask(unsigned prefix_len);
+
+}  // namespace rogue::net
+
+template <>
+struct std::hash<rogue::net::MacAddr> {
+  std::size_t operator()(const rogue::net::MacAddr& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u64());
+  }
+};
+
+template <>
+struct std::hash<rogue::net::Ipv4Addr> {
+  std::size_t operator()(const rogue::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,37 @@
+#include "net/checksum.hpp"
+
+namespace rogue::net {
+
+namespace {
+[[nodiscard]] std::uint32_t sum16(util::ByteView data, std::uint32_t acc) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) acc += static_cast<std::uint32_t>(data[i] << 8);
+  return acc;
+}
+
+[[nodiscard]] std::uint16_t fold(std::uint32_t acc) {
+  while ((acc >> 16) != 0) acc = (acc & 0xffffu) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc & 0xffffu);
+}
+}  // namespace
+
+std::uint16_t internet_checksum(util::ByteView data) {
+  return fold(sum16(data, 0));
+}
+
+std::uint16_t transport_checksum(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
+                                 util::ByteView segment) {
+  std::uint32_t acc = 0;
+  acc += src.value() >> 16;
+  acc += src.value() & 0xffffu;
+  acc += dst.value() >> 16;
+  acc += dst.value() & 0xffffu;
+  acc += protocol;
+  acc += static_cast<std::uint32_t>(segment.size());
+  return fold(sum16(segment, acc));
+}
+
+}  // namespace rogue::net

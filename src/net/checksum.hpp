@@ -1,0 +1,20 @@
+// RFC 1071 Internet checksum, used by the IPv4 header and the TCP/UDP
+// pseudo-header checksums.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace rogue::net {
+
+/// One's-complement sum over `data` (odd trailing byte zero-padded).
+[[nodiscard]] std::uint16_t internet_checksum(util::ByteView data);
+
+/// TCP/UDP checksum with the IPv4 pseudo-header prepended.
+[[nodiscard]] std::uint16_t transport_checksum(Ipv4Addr src, Ipv4Addr dst,
+                                               std::uint8_t protocol,
+                                               util::ByteView segment);
+
+}  // namespace rogue::net

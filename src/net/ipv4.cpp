@@ -1,0 +1,112 @@
+#include "net/ipv4.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "net/checksum.hpp"
+
+namespace rogue::net {
+
+util::Bytes Ipv4Packet::serialize() const {
+  util::Bytes out;
+  out.reserve(20 + payload.size());
+  util::ByteWriter w(out);
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(tos);
+  w.u16be(static_cast<std::uint16_t>(20 + payload.size()));
+  w.u16be(id);
+  w.u16be(0);  // flags/fragment offset: fragmentation not modelled
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16be(0);  // checksum placeholder
+  w.u32be(src.value());
+  w.u32be(dst.value());
+  const std::uint16_t checksum = internet_checksum(util::ByteView(out.data(), 20));
+  out[10] = static_cast<std::uint8_t>(checksum >> 8);
+  out[11] = static_cast<std::uint8_t>(checksum);
+  w.raw(payload);
+  return out;
+}
+
+std::optional<Ipv4Packet> Ipv4Packet::parse(util::ByteView raw) {
+  if (raw.size() < 20) return std::nullopt;
+  if (raw[0] != 0x45) return std::nullopt;  // options unsupported
+  if (internet_checksum(raw.subspan(0, 20)) != 0) return std::nullopt;
+
+  util::ByteReader r(raw);
+  Ipv4Packet p;
+  (void)r.u8();
+  p.tos = r.u8();
+  const std::uint16_t total_len = r.u16be();
+  p.id = r.u16be();
+  (void)r.u16be();
+  p.ttl = r.u8();
+  p.protocol = r.u8();
+  (void)r.u16be();
+  p.src = Ipv4Addr(r.u32be());
+  p.dst = Ipv4Addr(r.u32be());
+  if (total_len < 20 || total_len > raw.size()) return std::nullopt;
+  const util::ByteView body = raw.subspan(20, total_len - 20u);
+  p.payload.assign(body.begin(), body.end());
+  return p;
+}
+
+void fix_transport_checksum(Ipv4Packet& packet) {
+  auto& p = packet.payload;
+  if (packet.protocol == kProtoTcp && p.size() >= 20) {
+    p[16] = 0;
+    p[17] = 0;
+    const std::uint16_t sum =
+        transport_checksum(packet.src, packet.dst, packet.protocol, p);
+    p[16] = static_cast<std::uint8_t>(sum >> 8);
+    p[17] = static_cast<std::uint8_t>(sum);
+  } else if (packet.protocol == kProtoUdp && p.size() >= 8) {
+    p[6] = 0;
+    p[7] = 0;
+    const std::uint16_t sum =
+        transport_checksum(packet.src, packet.dst, packet.protocol, p);
+    p[6] = static_cast<std::uint8_t>(sum >> 8);
+    p[7] = static_cast<std::uint8_t>(sum);
+  }
+}
+
+void RoutingTable::add(Route route) { routes_.push_back(std::move(route)); }
+
+void RoutingTable::add_host(Ipv4Addr host, std::string ifname) {
+  add(Route{host, Ipv4Addr(0xffffffffu), Ipv4Addr::any(), std::move(ifname), 0});
+}
+
+void RoutingTable::add_default(Ipv4Addr gateway, std::string ifname) {
+  add(Route{Ipv4Addr::any(), Ipv4Addr::any(), gateway, std::move(ifname), 100});
+}
+
+void RoutingTable::remove_by_interface(std::string_view ifname) {
+  std::erase_if(routes_, [&](const Route& r) { return r.ifname == ifname; });
+}
+
+void RoutingTable::remove_host(Ipv4Addr host) {
+  std::erase_if(routes_, [&](const Route& r) {
+    return r.network == host && r.mask == Ipv4Addr(0xffffffffu);
+  });
+}
+
+void RoutingTable::remove_default() {
+  std::erase_if(routes_, [](const Route& r) { return r.mask == Ipv4Addr::any(); });
+}
+
+std::optional<Route> RoutingTable::lookup(Ipv4Addr dst) const {
+  const Route* best = nullptr;
+  int best_len = -1;
+  for (const auto& r : routes_) {
+    if (!dst.in_subnet(r.network, r.mask)) continue;
+    const int len = std::popcount(r.mask.value());
+    if (len > best_len || (len == best_len && best != nullptr && r.metric < best->metric)) {
+      best = &r;
+      best_len = len;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+}  // namespace rogue::net

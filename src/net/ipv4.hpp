@@ -1,0 +1,73 @@
+// IPv4 packet format (real 20-byte header with checksum) and the routing
+// table used by hosts and by the rogue gateway's forwarding path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace rogue::net {
+
+inline constexpr std::uint8_t kProtoIcmp = 1;
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+/// Protocol number for VPN tunnel payloads carried IP-in-IP style
+/// (used by vpn::Tunnel when not riding TCP/UDP).
+inline constexpr std::uint8_t kProtoIpIp = 4;
+
+struct Ipv4Packet {
+  std::uint8_t tos = 0;
+  std::uint16_t id = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  util::Bytes payload;
+
+  /// 20-byte header (no options) + payload, header checksum filled in.
+  [[nodiscard]] util::Bytes serialize() const;
+  /// Parse and verify header checksum; nullopt if malformed.
+  [[nodiscard]] static std::optional<Ipv4Packet> parse(util::ByteView raw);
+};
+
+/// Recompute the TCP/UDP checksum inside `packet.payload` using the
+/// packet's current src/dst (call after assigning/rewriting addresses).
+void fix_transport_checksum(Ipv4Packet& packet);
+
+struct Route {
+  Ipv4Addr network;
+  Ipv4Addr mask;
+  Ipv4Addr gateway;   ///< 0.0.0.0 == directly connected
+  std::string ifname; ///< outgoing interface
+  int metric = 0;
+};
+
+/// Longest-prefix-match routing table ("route add ..." in the paper's
+/// bridge script maps 1:1 onto add()).
+class RoutingTable {
+ public:
+  void add(Route route);
+  /// route add -host <ip> dev <if>
+  void add_host(Ipv4Addr host, std::string ifname);
+  /// route add default gw <gw>
+  void add_default(Ipv4Addr gateway, std::string ifname);
+  /// Remove every route through `ifname`.
+  void remove_by_interface(std::string_view ifname);
+  /// Remove host routes for an exact destination.
+  void remove_host(Ipv4Addr host);
+  /// Remove all default (0.0.0.0/0) routes.
+  void remove_default();
+
+  [[nodiscard]] std::optional<Route> lookup(Ipv4Addr dst) const;
+  [[nodiscard]] const std::vector<Route>& entries() const { return routes_; }
+  void clear() { routes_.clear(); }
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace rogue::net

@@ -1,0 +1,161 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace rogue::net {
+
+SegmentPort::SegmentPort(L2Segment& segment, std::string label)
+    : segment_(segment), label_(std::move(label)) {
+  segment_.attach(this);
+}
+
+SegmentPort::~SegmentPort() { segment_.detach(this); }
+
+void SegmentPort::send(L2Frame frame) { segment_.submit(*this, std::move(frame)); }
+
+L2Segment::L2Segment(sim::Simulator& simulator, sim::Time latency,
+                     double bandwidth_bps)
+    : sim_(simulator), latency_(latency), bandwidth_bps_(bandwidth_bps) {}
+
+void L2Segment::attach(SegmentPort* port) { ports_.push_back(port); }
+
+void L2Segment::detach(SegmentPort* port) {
+  std::erase(ports_, port);
+  port_removed(port);
+}
+
+void L2Segment::submit(SegmentPort& from, L2Frame frame) {
+  ++frames_;
+  if (span_) span_(frame);
+  const auto outputs = egress(from, frame);
+
+  sim::Time deliver_at = sim_.now() + latency_;
+  if (bandwidth_bps_ > 0.0) {
+    // Serialize frames across the shared wire: each occupies it for its
+    // transmission time, and queueing delay accumulates under load.
+    const auto tx_us = static_cast<sim::Time>(
+        static_cast<double>(frame.payload.size() + 18) * 8.0 / bandwidth_bps_ * 1e6);
+    const sim::Time start = std::max(sim_.now(), wire_busy_until_);
+    wire_busy_until_ = start + std::max<sim::Time>(tx_us, 1);
+    deliver_at = wire_busy_until_ + latency_;
+  }
+  sim_.at(deliver_at, [outputs, f = std::move(frame)] {
+    for (SegmentPort* port : outputs) {
+      if (port->rx_) port->rx_(f);
+    }
+  });
+}
+
+std::vector<SegmentPort*> Hub::egress(SegmentPort& from, const L2Frame& frame) {
+  (void)frame;
+  std::vector<SegmentPort*> out;
+  for (SegmentPort* p : ports()) {
+    if (p != &from) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<SegmentPort*> Switch::egress(SegmentPort& from, const L2Frame& frame) {
+  table_[frame.src] = &from;  // learn (or re-learn after a move)
+
+  if (!frame.dst.is_broadcast() && !frame.dst.is_multicast()) {
+    const auto it = table_.find(frame.dst);
+    if (it != table_.end() && it->second != &from) {
+      return {it->second};
+    }
+    if (it != table_.end() && it->second == &from) {
+      return {};  // destination is behind the ingress port; nothing to do
+    }
+  }
+  // Broadcast/multicast/unknown unicast: flood.
+  std::vector<SegmentPort*> out;
+  for (SegmentPort* p : ports()) {
+    if (p != &from) out.push_back(p);
+  }
+  return out;
+}
+
+LossyHub::LossyHub(sim::Simulator& simulator, double loss_probability,
+                   sim::Time latency, double bandwidth_bps)
+    : L2Segment(simulator, latency, bandwidth_bps), loss_(loss_probability) {}
+
+std::vector<SegmentPort*> LossyHub::egress(SegmentPort& from, const L2Frame& frame) {
+  (void)frame;
+  std::vector<SegmentPort*> out;
+  for (SegmentPort* p : ports()) {
+    if (p == &from) continue;
+    if (simulator().rng().chance(loss_)) {
+      ++dropped_;
+      continue;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+void Switch::port_removed(SegmentPort* port) {
+  std::erase_if(table_, [port](const auto& entry) { return entry.second == port; });
+}
+
+WiredIf::WiredIf(std::string name, MacAddr mac, L2Segment& segment)
+    : NetIf(std::move(name), mac), port_(segment, this->name()) {
+  port_.set_rx([this](const L2Frame& frame) { deliver_up(frame); });
+}
+
+bool WiredIf::send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) {
+  count_tx();
+  port_.send(L2Frame{dst, mac(), ethertype, util::Bytes(payload.begin(), payload.end())});
+  return true;
+}
+
+StationIf::StationIf(std::string name, dot11::Station& station)
+    : NetIf(std::move(name), station.config().mac), station_(station) {
+  station_.set_rx_handler([this](net::MacAddr src, net::MacAddr dst,
+                                 std::uint16_t ethertype, util::ByteView payload) {
+    deliver_up(L2Frame{dst, src, ethertype,
+                       util::Bytes(payload.begin(), payload.end())});
+  });
+}
+
+bool StationIf::send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) {
+  if (!station_.ready()) return false;
+  count_tx();
+  return station_.send(dst, ethertype, payload);
+}
+
+ApIf::ApIf(std::string name, dot11::AccessPoint& ap)
+    : NetIf(std::move(name), ap.config().bssid), ap_(ap) {
+  ap_.set_ds_handler([this](net::MacAddr src, net::MacAddr dst,
+                            std::uint16_t ethertype, util::ByteView payload) {
+    deliver_up(L2Frame{dst, src, ethertype,
+                       util::Bytes(payload.begin(), payload.end())});
+  });
+}
+
+bool ApIf::send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) {
+  count_tx();
+  return ap_.send_to_station(dst, mac(), ethertype, payload);
+}
+
+ApBridge::ApBridge(dot11::AccessPoint& ap, L2Segment& wired_segment,
+                   std::string label)
+    : ap_(ap), port_(wired_segment, std::move(label)) {
+  // Wired -> wireless: deliver frames destined to associated stations
+  // (or broadcast) into the BSS, preserving the original source MAC.
+  port_.set_rx([this](const L2Frame& frame) {
+    if (frame.dst.is_broadcast() || ap_.is_associated(frame.dst)) {
+      if (ap_.send_to_station(frame.dst, frame.src, frame.ethertype, frame.payload)) {
+        ++to_wireless_;
+      }
+    }
+  });
+  // Wireless -> wired: anything leaving the BSS goes onto the wire.
+  ap_.set_ds_handler([this](net::MacAddr src, net::MacAddr dst,
+                            std::uint16_t ethertype, util::ByteView payload) {
+    ++to_wired_;
+    port_.send(L2Frame{dst, src, ethertype,
+                       util::Bytes(payload.begin(), payload.end())});
+  });
+}
+
+}  // namespace rogue::net

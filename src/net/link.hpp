@@ -1,0 +1,264 @@
+// Link-layer plumbing: the NetIf abstraction hosts bind their IP stack to,
+// wired segments (learning switch vs hub — the distinction behind the
+// paper's §1.1 claim that switched wired LANs resist casual sniffing),
+// and adapters that put a host on a simulated 802.11 station or behind an
+// access point's distribution-system side.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dot11/ap.hpp"
+#include "dot11/sta.hpp"
+#include "net/addr.hpp"
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+
+namespace rogue::net {
+
+/// An L2 frame as seen by hosts (the 802.11 adapters translate to/from
+/// native 802.11 data frames).
+struct L2Frame {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ethertype = 0;
+  util::Bytes payload;
+};
+
+/// Network interface attached to a host. Receives frames via the callback
+/// (including, on shared media, frames not addressed to the host — the
+/// host stack filters; sniffers don't).
+class NetIf {
+ public:
+  using RxCallback = std::function<void(NetIf&, const L2Frame&)>;
+
+  NetIf(std::string name, MacAddr mac) : name_(std::move(name)), mac_(mac) {}
+  virtual ~NetIf() = default;
+
+  NetIf(const NetIf&) = delete;
+  NetIf& operator=(const NetIf&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] MacAddr mac() const { return mac_; }
+  [[nodiscard]] Ipv4Addr ip() const { return ip_; }
+  [[nodiscard]] Ipv4Addr netmask() const { return mask_; }
+
+  /// ifconfig <if> <ip> netmask <mask>
+  void configure_ip(Ipv4Addr ip, Ipv4Addr mask) {
+    ip_ = ip;
+    mask_ = mask;
+  }
+
+  void set_rx_callback(RxCallback cb) { rx_ = std::move(cb); }
+
+  /// Transmit toward dst; false if the link is down / not associated.
+  virtual bool send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) = 0;
+  [[nodiscard]] virtual bool link_up() const = 0;
+  /// Point-to-point interfaces (VPN tun devices) carry no ARP; the host
+  /// transmits on them without neighbour resolution.
+  [[nodiscard]] virtual bool needs_arp() const { return true; }
+
+  [[nodiscard]] std::uint64_t tx_frames() const { return tx_frames_; }
+  [[nodiscard]] std::uint64_t rx_frames() const { return rx_frames_; }
+
+ protected:
+  void deliver_up(const L2Frame& frame) {
+    ++rx_frames_;
+    if (rx_) rx_(*this, frame);
+  }
+  void count_tx() { ++tx_frames_; }
+
+ private:
+  std::string name_;
+  MacAddr mac_;
+  Ipv4Addr ip_;
+  Ipv4Addr mask_;
+  RxCallback rx_;
+  std::uint64_t tx_frames_ = 0;
+  std::uint64_t rx_frames_ = 0;
+};
+
+// ---- Wired segments ---------------------------------------------------------
+
+class L2Segment;
+
+/// One jack on a wired segment.
+class SegmentPort {
+ public:
+  using RxHandler = std::function<void(const L2Frame&)>;
+
+  SegmentPort(L2Segment& segment, std::string label);
+  ~SegmentPort();
+
+  SegmentPort(const SegmentPort&) = delete;
+  SegmentPort& operator=(const SegmentPort&) = delete;
+
+  [[nodiscard]] const std::string& label() const { return label_; }
+  void set_rx(RxHandler handler) { rx_ = std::move(handler); }
+  void send(L2Frame frame);
+
+ private:
+  friend class L2Segment;
+  L2Segment& segment_;
+  std::string label_;
+  RxHandler rx_;
+};
+
+/// Base for wired L2 devices; delivery is scheduled (propagation +
+/// serialization delay) so handlers never re-enter. With a finite
+/// `bandwidth_bps`, frames serialize one after another and queueing delay
+/// builds under load (needed for congestion-sensitive experiments).
+class L2Segment {
+ public:
+  explicit L2Segment(sim::Simulator& simulator, sim::Time latency = 5,
+                     double bandwidth_bps = 0.0);
+
+  /// 0 = infinite (legacy behaviour).
+  void set_bandwidth_bps(double bps) { bandwidth_bps_ = bps; }
+  virtual ~L2Segment() = default;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] std::uint64_t frames_switched() const { return frames_; }
+
+  /// Port mirroring (span port): `tap` sees every frame submitted to the
+  /// segment, regardless of switching decisions. Used by detect::WiredMonitor.
+  using SpanTap = std::function<void(const L2Frame&)>;
+  void set_span(SpanTap tap) { span_ = std::move(tap); }
+
+ protected:
+  friend class SegmentPort;
+
+  void attach(SegmentPort* port);
+  void detach(SegmentPort* port);
+  /// Subclass hook: a port was unplugged (purge learned state).
+  virtual void port_removed(SegmentPort* port) { (void)port; }
+  void submit(SegmentPort& from, L2Frame frame);
+  /// Decide the set of output ports for a frame entering on `from`.
+  [[nodiscard]] virtual std::vector<SegmentPort*> egress(SegmentPort& from,
+                                                         const L2Frame& frame) = 0;
+
+  [[nodiscard]] const std::vector<SegmentPort*>& ports() const { return ports_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Time latency_;
+  double bandwidth_bps_;
+  sim::Time wire_busy_until_ = 0;
+  std::vector<SegmentPort*> ports_;
+  SpanTap span_;
+  std::uint64_t frames_ = 0;
+};
+
+/// Repeats every frame to every other port: anyone can sniff anything.
+class Hub final : public L2Segment {
+ public:
+  using L2Segment::L2Segment;
+
+ protected:
+  std::vector<SegmentPort*> egress(SegmentPort& from, const L2Frame& frame) override;
+};
+
+/// Learning switch: unicast goes only to the learned port (flooded while
+/// unknown); broadcast floods. A co-located adversary sees almost nothing —
+/// the paper's premise for why wired eavesdropping is impractical (§1.1).
+class Switch final : public L2Segment {
+ public:
+  using L2Segment::L2Segment;
+
+  [[nodiscard]] std::size_t table_size() const { return table_.size(); }
+
+ protected:
+  std::vector<SegmentPort*> egress(SegmentPort& from, const L2Frame& frame) override;
+  void port_removed(SegmentPort* port) override;
+
+ private:
+  std::unordered_map<MacAddr, SegmentPort*> table_;
+};
+
+/// Hub with i.i.d. per-receiver frame loss — a stand-in for a degraded
+/// path (used to sweep loss rates in the TCP-over-TCP experiment).
+class LossyHub final : public L2Segment {
+ public:
+  LossyHub(sim::Simulator& simulator, double loss_probability,
+           sim::Time latency = 5, double bandwidth_bps = 0.0);
+
+  void set_loss(double p) { loss_ = p; }
+  [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
+
+ protected:
+  std::vector<SegmentPort*> egress(SegmentPort& from, const L2Frame& frame) override;
+
+ private:
+  double loss_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// NetIf plugged into a wired segment.
+class WiredIf final : public NetIf {
+ public:
+  WiredIf(std::string name, MacAddr mac, L2Segment& segment);
+
+  bool send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) override;
+  [[nodiscard]] bool link_up() const override { return true; }
+
+ private:
+  SegmentPort port_;
+};
+
+// ---- 802.11 adapters --------------------------------------------------------
+
+/// Host interface riding a dot11::Station (the "Managed mode" card).
+/// Link is up only while associated.
+class StationIf final : public NetIf {
+ public:
+  StationIf(std::string name, dot11::Station& station);
+
+  bool send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) override;
+  [[nodiscard]] bool link_up() const override { return station_.ready(); }
+
+  [[nodiscard]] dot11::Station& station() { return station_; }
+
+ private:
+  dot11::Station& station_;
+};
+
+/// Host interface on the DS side of a dot11::AccessPoint (the "Master
+/// mode" card plus the AP's uplink): frames sent here go down to
+/// associated stations; frames from stations destined off-BSS come up.
+class ApIf final : public NetIf {
+ public:
+  ApIf(std::string name, dot11::AccessPoint& ap);
+
+  bool send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) override;
+  [[nodiscard]] bool link_up() const override { return true; }
+
+  [[nodiscard]] dot11::AccessPoint& ap() { return ap_; }
+
+ private:
+  dot11::AccessPoint& ap_;
+};
+
+/// Transparent L2 bridge between an access point's BSS and a wired
+/// segment — how a real infrastructure AP joins the corporate LAN.
+/// Frames keep their original source MACs in both directions, so wired
+/// hosts ARP directly for wireless clients (and the rogue gateway's
+/// proxy-ARP answers on the wireless clients' behalf once they defect).
+class ApBridge {
+ public:
+  ApBridge(dot11::AccessPoint& ap, L2Segment& wired_segment, std::string label);
+
+  [[nodiscard]] std::uint64_t to_wireless() const { return to_wireless_; }
+  [[nodiscard]] std::uint64_t to_wired() const { return to_wired_; }
+
+ private:
+  dot11::AccessPoint& ap_;
+  SegmentPort port_;
+  std::uint64_t to_wireless_ = 0;
+  std::uint64_t to_wired_ = 0;
+};
+
+}  // namespace rogue::net

@@ -1,0 +1,189 @@
+#include "net/netfilter.hpp"
+
+#include "net/checksum.hpp"
+#include "util/assert.hpp"
+
+namespace rogue::net {
+
+void Netfilter::append(Hook hook, Rule rule) {
+  chains_[static_cast<std::size_t>(hook)].push_back(std::move(rule));
+}
+
+void Netfilter::clear(Hook hook) { chains_[static_cast<std::size_t>(hook)].clear(); }
+
+void Netfilter::clear_all() {
+  for (auto& chain : chains_) chain.clear();
+  nat_entries_.clear();
+}
+
+std::optional<std::pair<std::uint16_t, std::uint16_t>> Netfilter::ports_of(
+    const Ipv4Packet& packet) {
+  if (packet.protocol != kProtoTcp && packet.protocol != kProtoUdp) {
+    return std::nullopt;
+  }
+  if (packet.payload.size() < 4) return std::nullopt;
+  const auto sport = static_cast<std::uint16_t>((packet.payload[0] << 8) |
+                                                packet.payload[1]);
+  const auto dport = static_cast<std::uint16_t>((packet.payload[2] << 8) |
+                                                packet.payload[3]);
+  return std::make_pair(sport, dport);
+}
+
+bool Netfilter::matches(const RuleMatch& m, const Ipv4Packet& p,
+                        std::string_view in_iface, std::string_view out_iface) const {
+  if (m.protocol && *m.protocol != p.protocol) return false;
+  if (m.src && !p.src.in_subnet(*m.src, m.src_mask)) return false;
+  if (m.dst && !p.dst.in_subnet(*m.dst, m.dst_mask)) return false;
+  if (!m.in_iface.empty() && m.in_iface != in_iface) return false;
+  if (!m.out_iface.empty() && m.out_iface != out_iface) return false;
+  if (m.dport || m.sport) {
+    const auto ports = ports_of(p);
+    if (!ports) return false;
+    if (m.sport && *m.sport != ports->first) return false;
+    if (m.dport && *m.dport != ports->second) return false;
+  }
+  return true;
+}
+
+void Netfilter::rewrite(Ipv4Packet& packet, bool rewrite_dst, Ipv4Addr ip,
+                        std::uint16_t port) {
+  if (rewrite_dst) {
+    packet.dst = ip;
+  } else {
+    packet.src = ip;
+  }
+  if (port != 0 && packet.payload.size() >= 4 &&
+      (packet.protocol == kProtoTcp || packet.protocol == kProtoUdp)) {
+    const std::size_t off = rewrite_dst ? 2 : 0;
+    packet.payload[off] = static_cast<std::uint8_t>(port >> 8);
+    packet.payload[off + 1] = static_cast<std::uint8_t>(port);
+  }
+  // The transport checksum covers the IP pseudo-header; refresh it.
+  fix_transport_checksum(packet);
+}
+
+bool Netfilter::apply_nat_prerouting(Ipv4Packet& packet) {
+  const auto ports = ports_of(packet);
+  const std::uint16_t sport = ports ? ports->first : 0;
+  const std::uint16_t dport = ports ? ports->second : 0;
+
+  for (const auto& e : nat_entries_) {
+    if (e.protocol != packet.protocol) continue;
+    if (e.is_dnat) {
+      // Forward direction of an established DNAT flow.
+      if (packet.src == e.peer_ip && sport == e.peer_port &&
+          packet.dst == e.orig_ip && dport == e.orig_port) {
+        rewrite(packet, /*rewrite_dst=*/true, e.new_ip, e.new_port);
+        ++counters_.translated;
+        return true;
+      }
+    } else {
+      // Reply direction of an SNAT flow: undo the source rewrite.
+      if (packet.src == e.peer_ip && sport == e.peer_port &&
+          packet.dst == e.new_ip && dport == e.new_port) {
+        rewrite(packet, /*rewrite_dst=*/true, e.orig_ip, e.orig_port);
+        ++counters_.translated;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Netfilter::apply_nat_postrouting(Ipv4Packet& packet) {
+  const auto ports = ports_of(packet);
+  const std::uint16_t sport = ports ? ports->first : 0;
+  const std::uint16_t dport = ports ? ports->second : 0;
+
+  for (const auto& e : nat_entries_) {
+    if (e.protocol != packet.protocol) continue;
+    if (e.is_dnat) {
+      // Reply direction of a DNAT flow: restore the original destination
+      // as the source, so the client sees the address it talked to.
+      if (packet.src == e.new_ip && sport == e.new_port &&
+          packet.dst == e.peer_ip && dport == e.peer_port) {
+        rewrite(packet, /*rewrite_dst=*/false, e.orig_ip, e.orig_port);
+        ++counters_.translated;
+        return true;
+      }
+    } else {
+      // Forward direction of an established SNAT flow.
+      if (packet.src == e.orig_ip && sport == e.orig_port &&
+          packet.dst == e.peer_ip && dport == e.peer_port) {
+        rewrite(packet, /*rewrite_dst=*/false, e.new_ip, e.new_port);
+        ++counters_.translated;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Verdict Netfilter::run(Hook hook, Ipv4Packet& packet, std::string_view in_iface,
+                       std::string_view out_iface, Ipv4Addr local_ip) {
+  ++counters_.evaluated;
+
+  // Conntrack first: established flows bypass rule evaluation.
+  if (hook == Hook::kPrerouting && apply_nat_prerouting(packet)) {
+    return Verdict::kAccept;
+  }
+  if (hook == Hook::kPostrouting && apply_nat_postrouting(packet)) {
+    return Verdict::kAccept;
+  }
+
+  for (const auto& rule : chains_[static_cast<std::size_t>(hook)]) {
+    if (!matches(rule.match, packet, in_iface, out_iface)) continue;
+
+    switch (rule.target) {
+      case RuleTarget::kAccept:
+        return Verdict::kAccept;
+      case RuleTarget::kDrop:
+        ++counters_.dropped;
+        return Verdict::kDrop;
+      case RuleTarget::kDnat:
+      case RuleTarget::kRedirect: {
+        ROGUE_ASSERT_MSG(hook == Hook::kPrerouting || hook == Hook::kOutput,
+                         "DNAT/REDIRECT only valid in PREROUTING/OUTPUT");
+        const auto ports = ports_of(packet);
+        const Ipv4Addr new_ip =
+            rule.target == RuleTarget::kRedirect ? local_ip : rule.nat_ip;
+        const std::uint16_t new_port =
+            rule.nat_port != 0 ? rule.nat_port : (ports ? ports->second : 0);
+        NatEntry e;
+        e.protocol = packet.protocol;
+        e.is_dnat = true;
+        e.peer_ip = packet.src;
+        e.peer_port = ports ? ports->first : 0;
+        e.orig_ip = packet.dst;
+        e.orig_port = ports ? ports->second : 0;
+        e.new_ip = new_ip;
+        e.new_port = new_port;
+        nat_entries_.push_back(e);
+        ++counters_.dnat_created;
+        rewrite(packet, /*rewrite_dst=*/true, new_ip, new_port);
+        return Verdict::kAccept;
+      }
+      case RuleTarget::kSnat: {
+        ROGUE_ASSERT_MSG(hook == Hook::kPostrouting,
+                         "SNAT only valid in POSTROUTING");
+        const auto ports = ports_of(packet);
+        NatEntry e;
+        e.protocol = packet.protocol;
+        e.is_dnat = false;
+        e.peer_ip = packet.dst;
+        e.peer_port = ports ? ports->second : 0;
+        e.orig_ip = packet.src;
+        e.orig_port = ports ? ports->first : 0;
+        e.new_ip = rule.nat_ip;
+        e.new_port = rule.nat_port != 0 ? rule.nat_port : (ports ? ports->first : 0);
+        nat_entries_.push_back(e);
+        ++counters_.snat_created;
+        rewrite(packet, /*rewrite_dst=*/false, e.new_ip, e.new_port);
+        return Verdict::kAccept;
+      }
+    }
+  }
+  return Verdict::kAccept;  // default policy ACCEPT
+}
+
+}  // namespace rogue::net

@@ -1,0 +1,130 @@
+// Netfilter-style packet hooks with NAT and connection tracking — the
+// substrate for the paper's redirection rule (§4.1):
+//
+//   iptables -t nat -A PREROUTING -p tcp -d Target-IP --dport 80
+//            -j DNAT --to Gateway-IP:10101
+//
+// Hooks mirror the kernel's: PREROUTING (DNAT) -> routing -> FORWARD /
+// INPUT -> OUTPUT -> POSTROUTING (SNAT). First matching rule wins;
+// established flows are translated by conntrack without re-evaluating
+// rules, and replies are reverse-translated automatically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/ipv4.hpp"
+#include "util/bytes.hpp"
+
+namespace rogue::net {
+
+enum class Hook : std::uint8_t {
+  kPrerouting,
+  kInput,
+  kForward,
+  kOutput,
+  kPostrouting,
+};
+
+enum class Verdict : std::uint8_t { kAccept, kDrop };
+
+enum class RuleTarget : std::uint8_t {
+  kAccept,
+  kDrop,
+  kDnat,      ///< rewrite destination ip[:port]  (PREROUTING/OUTPUT)
+  kSnat,      ///< rewrite source ip[:port]       (POSTROUTING)
+  kRedirect,  ///< DNAT to this host's interface address, given port
+};
+
+/// Match criteria; unset fields match anything (iptables semantics).
+struct RuleMatch {
+  std::optional<std::uint8_t> protocol;             // -p tcp/udp/icmp
+  std::optional<Ipv4Addr> src;                      // -s (with src_mask)
+  Ipv4Addr src_mask = Ipv4Addr(0xffffffffu);
+  std::optional<Ipv4Addr> dst;                      // -d (with dst_mask)
+  Ipv4Addr dst_mask = Ipv4Addr(0xffffffffu);
+  std::optional<std::uint16_t> dport;               // --dport
+  std::optional<std::uint16_t> sport;               // --sport
+  std::string in_iface;                             // -i (empty = any)
+  std::string out_iface;                            // -o (empty = any)
+};
+
+struct Rule {
+  RuleMatch match;
+  RuleTarget target = RuleTarget::kAccept;
+  Ipv4Addr nat_ip;            ///< for DNAT/SNAT
+  std::uint16_t nat_port = 0; ///< 0 == keep original port
+};
+
+/// Flow endpoints for conntrack.
+struct FlowTuple {
+  std::uint8_t protocol = 0;
+  Ipv4Addr src;
+  std::uint16_t sport = 0;
+  Ipv4Addr dst;
+  std::uint16_t dport = 0;
+
+  friend bool operator==(const FlowTuple&, const FlowTuple&) = default;
+};
+
+struct NetfilterCounters {
+  std::uint64_t evaluated = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t dnat_created = 0;
+  std::uint64_t snat_created = 0;
+  std::uint64_t translated = 0;
+};
+
+class Netfilter {
+ public:
+  /// iptables -t <table> -A <chain> : append a rule to a hook's chain.
+  void append(Hook hook, Rule rule);
+  void clear(Hook hook);
+  void clear_all();
+
+  /// Run a hook over the packet (mutating it for NAT). `in_iface` is the
+  /// arrival interface ("" for locally-generated), `out_iface` the chosen
+  /// egress ("" before routing). `local_ip` is the address REDIRECT
+  /// targets resolve to.
+  Verdict run(Hook hook, Ipv4Packet& packet, std::string_view in_iface,
+              std::string_view out_iface, Ipv4Addr local_ip);
+
+  [[nodiscard]] const NetfilterCounters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t conntrack_size() const { return nat_entries_.size(); }
+
+  /// Extract transport ports (TCP/UDP only).
+  [[nodiscard]] static std::optional<std::pair<std::uint16_t, std::uint16_t>>
+  ports_of(const Ipv4Packet& packet);
+
+ private:
+  struct NatEntry {
+    std::uint8_t protocol = 0;
+    bool is_dnat = false;
+    // Untranslated remote endpoint (the flow initiator for DNAT, the
+    // far side for SNAT).
+    Ipv4Addr peer_ip;
+    std::uint16_t peer_port = 0;
+    // Original and rewritten local endpoint.
+    Ipv4Addr orig_ip;
+    std::uint16_t orig_port = 0;
+    Ipv4Addr new_ip;
+    std::uint16_t new_port = 0;
+  };
+
+  [[nodiscard]] bool matches(const RuleMatch& m, const Ipv4Packet& p,
+                             std::string_view in_iface,
+                             std::string_view out_iface) const;
+  bool apply_nat_prerouting(Ipv4Packet& packet);
+  bool apply_nat_postrouting(Ipv4Packet& packet);
+  static void rewrite(Ipv4Packet& packet, bool rewrite_dst, Ipv4Addr ip,
+                      std::uint16_t port);
+
+  std::vector<Rule> chains_[5];
+  std::vector<NatEntry> nat_entries_;
+  NetfilterCounters counters_;
+};
+
+}  // namespace rogue::net

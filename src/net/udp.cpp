@@ -1,0 +1,77 @@
+#include "net/udp.hpp"
+
+#include "net/checksum.hpp"
+#include "net/ipv4.hpp"
+
+namespace rogue::net {
+
+util::Bytes UdpDatagram::serialize(Ipv4Addr src, Ipv4Addr dst) const {
+  util::Bytes out;
+  out.reserve(8 + payload.size());
+  util::ByteWriter w(out);
+  w.u16be(sport);
+  w.u16be(dport);
+  w.u16be(static_cast<std::uint16_t>(8 + payload.size()));
+  w.u16be(0);  // checksum placeholder
+  w.raw(payload);
+  const std::uint16_t sum = transport_checksum(src, dst, kProtoUdp, out);
+  out[6] = static_cast<std::uint8_t>(sum >> 8);
+  out[7] = static_cast<std::uint8_t>(sum);
+  return out;
+}
+
+std::optional<UdpDatagram> UdpDatagram::parse(Ipv4Addr src, Ipv4Addr dst,
+                                              util::ByteView raw) {
+  if (raw.size() < 8) return std::nullopt;
+  const auto stored = static_cast<std::uint16_t>((raw[6] << 8) | raw[7]);
+  if (stored != 0 && transport_checksum(src, dst, kProtoUdp, raw) != 0) {
+    return std::nullopt;
+  }
+  util::ByteReader r(raw);
+  UdpDatagram d;
+  d.sport = r.u16be();
+  d.dport = r.u16be();
+  const std::uint16_t len = r.u16be();
+  (void)r.u16be();
+  if (len < 8 || len > raw.size()) return std::nullopt;
+  const util::ByteView body = raw.subspan(8, len - 8u);
+  d.payload.assign(body.begin(), body.end());
+  return d;
+}
+
+UdpSocket::~UdpSocket() { stack_.sockets_.erase(port_); }
+
+bool UdpSocket::send_to(Ipv4Addr dst, std::uint16_t dport, util::ByteView payload) {
+  UdpDatagram d;
+  d.sport = port_;
+  d.dport = dport;
+  d.payload.assign(payload.begin(), payload.end());
+  ++sent_;
+  // The source IP is only known after routing; the host recomputes the
+  // transport checksum (fix_transport_checksum) once it assigns src.
+  const util::Bytes raw = d.serialize(Ipv4Addr::any(), dst);
+  return stack_.send_ip_(dst, kProtoUdp, raw);
+}
+
+std::shared_ptr<UdpSocket> UdpStack::open(std::uint16_t port) {
+  if (port == 0) {
+    while (sockets_.contains(next_ephemeral_)) ++next_ephemeral_;
+    port = next_ephemeral_++;
+  } else if (sockets_.contains(port)) {
+    return nullptr;
+  }
+  auto socket = std::make_shared<UdpSocket>(*this, port);
+  sockets_[port] = socket.get();
+  return socket;
+}
+
+void UdpStack::on_packet(Ipv4Addr src, Ipv4Addr dst, util::ByteView payload) {
+  const auto dgram = UdpDatagram::parse(src, dst, payload);
+  if (!dgram) return;
+  const auto it = sockets_.find(dgram->dport);
+  if (it == sockets_.end()) return;
+  ++it->second->received_;
+  if (it->second->rx_) it->second->rx_(src, dgram->sport, dgram->payload);
+}
+
+}  // namespace rogue::net

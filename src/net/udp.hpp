@@ -1,0 +1,85 @@
+// UDP (RFC 768): datagram sockets over the simulated IPv4 stack. Used by
+// the UDP-transport VPN (IPsec analogue) and by workload generators.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace rogue::net {
+
+struct UdpDatagram {
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  util::Bytes payload;
+
+  [[nodiscard]] util::Bytes serialize(Ipv4Addr src, Ipv4Addr dst) const;
+  /// Parse and verify checksum (checksum 0 == not computed, accepted).
+  [[nodiscard]] static std::optional<UdpDatagram> parse(Ipv4Addr src, Ipv4Addr dst,
+                                                        util::ByteView raw);
+};
+
+class UdpStack;
+
+/// A bound UDP socket. Obtain via UdpStack::open(); destroys cleanly when
+/// the shared_ptr is dropped (the stack holds weak references).
+class UdpSocket {
+ public:
+  using RxHandler =
+      std::function<void(Ipv4Addr src, std::uint16_t sport, util::ByteView payload)>;
+
+  UdpSocket(UdpStack& stack, std::uint16_t port) : stack_(stack), port_(port) {}
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  void set_rx(RxHandler handler) { rx_ = std::move(handler); }
+
+  /// Send a datagram; returns false if the host had no route.
+  bool send_to(Ipv4Addr dst, std::uint16_t dport, util::ByteView payload);
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t datagrams_received() const { return received_; }
+
+ private:
+  friend class UdpStack;
+
+  UdpStack& stack_;
+  std::uint16_t port_;
+  RxHandler rx_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+/// Per-host UDP demultiplexer.
+class UdpStack {
+ public:
+  /// Transmit hook provided by the host: send an IPv4 payload.
+  using SendIpFn = std::function<bool(Ipv4Addr dst, std::uint8_t protocol,
+                                      util::ByteView payload)>;
+
+  explicit UdpStack(SendIpFn send_ip) : send_ip_(std::move(send_ip)) {}
+
+  /// Bind a socket; port 0 picks an ephemeral port. Returns nullptr if the
+  /// port is taken.
+  [[nodiscard]] std::shared_ptr<UdpSocket> open(std::uint16_t port);
+
+  /// Host feeds received UDP payloads here.
+  void on_packet(Ipv4Addr src, Ipv4Addr dst, util::ByteView payload);
+
+ private:
+  friend class UdpSocket;
+
+  SendIpFn send_ip_;
+  std::unordered_map<std::uint16_t, UdpSocket*> sockets_;
+  std::uint16_t next_ephemeral_ = 33000;
+};
+
+}  // namespace rogue::net

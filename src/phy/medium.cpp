@@ -1,0 +1,172 @@
+#include "phy/medium.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rogue::phy {
+
+double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Radio::Radio(Medium& medium, std::string name)
+    : medium_(medium), name_(std::move(name)) {
+  medium_.attach(this);
+}
+
+Radio::~Radio() {
+  medium_.simulator().cancel(attempt_timer_);
+  medium_.detach(this);
+}
+
+void Radio::transmit(util::Bytes frame) {
+  queue_.push_back(std::move(frame));
+  if (!attempt_pending_) {
+    attempt_pending_ = true;
+    backoff_attempts_ = 0;
+    attempt_timer_ = medium_.simulator().after(0, [this] { attempt_transmit(); });
+  }
+}
+
+void Radio::attempt_transmit() {
+  if (queue_.empty()) {
+    attempt_pending_ = false;
+    return;
+  }
+  sim::Simulator& sim = medium_.simulator();
+  const sim::Time now = sim.now();
+
+  // Our own transmitter is still keyed: wait for it to finish.
+  if (own_busy_until_ > now) {
+    attempt_timer_ = sim.at(own_busy_until_, [this] { attempt_transmit(); });
+    return;
+  }
+  // CSMA: defer while another (visible) transmission occupies the channel.
+  const sim::Time busy_until = medium_.channel_busy_until(channel_);
+  if (busy_until > now && backoff_attempts_ < 16) {
+    ++deferred_;
+    ++backoff_attempts_;
+    contended_ = false;  // channel state changed: re-draw the backoff slot
+    const sim::Time backoff =
+        sim.rng().uniform_u64(10, medium_.config().max_backoff_us);
+    attempt_timer_ = sim.at(busy_until + backoff, [this] { attempt_transmit(); });
+    return;
+  }
+  // Contention window: even on an idle channel, wait a random slot before
+  // keying up (DIFS + backoff). Without this, request/response peers key
+  // up simultaneously inside the sensing blind window and collide.
+  if (!contended_) {
+    contended_ = true;
+    const sim::Time slot = sim.rng().uniform_u64(5, 120);
+    attempt_timer_ = sim.after(slot, [this] { attempt_transmit(); });
+    return;
+  }
+  contended_ = false;
+
+  util::Bytes frame = std::move(queue_.front());
+  queue_.erase(queue_.begin());
+  backoff_attempts_ = 0;
+  own_busy_until_ = now + medium_.airtime(frame.size()) + 10;  // +SIFS
+  ++frames_sent_;
+  medium_.transmit(*this, std::move(frame));
+  attempt_timer_ = sim.at(own_busy_until_, [this] { attempt_transmit(); });
+}
+
+Medium::Medium(sim::Simulator& simulator, MediumConfig config)
+    : sim_(simulator), config_(config) {}
+
+sim::Time Medium::airtime(std::size_t bytes) const {
+  const double data_us = static_cast<double>(bytes) * 8.0 / config_.bitrate_bps * 1e6;
+  return config_.preamble_us + static_cast<sim::Time>(data_us);
+}
+
+sim::Time Medium::channel_busy_until(Channel channel) const {
+  const sim::Time now = sim_.now();
+  sim::Time busy = 0;
+  for (const auto& tx : active_) {
+    if (tx.channel != channel || tx.end_time <= now) continue;
+    // Blind window: very recent starts are not yet sensed.
+    if (tx.start_time + config_.sense_latency_us > now) continue;
+    busy = std::max(busy, tx.end_time);
+  }
+  return busy;
+}
+
+double Medium::rssi_at(double tx_power_dbm, double dist_m) const {
+  const double d = std::max(dist_m, 0.5);  // clamp: no near-field singularity
+  const double loss =
+      config_.ref_loss_dbm + 10.0 * config_.path_loss_exponent * std::log10(d);
+  return tx_power_dbm - loss;
+}
+
+void Medium::attach(Radio* radio) { radios_.push_back(radio); }
+
+void Medium::detach(Radio* radio) {
+  std::erase(radios_, radio);
+  // Any in-flight transmission from this radio is dropped at delivery time
+  // (sender pointer no longer attached).
+  for (auto& tx : active_) {
+    if (tx.sender == radio) tx.corrupted = true;
+  }
+}
+
+void Medium::transmit(Radio& sender, util::Bytes frame) {
+  ++tx_count_;
+  const sim::Time end = sim_.now() + airtime(frame.size());
+  const std::uint64_t id = next_tx_id_++;
+
+  // Prune stale entries (delivered entries erase themselves; anything
+  // strictly past-end here is an orphan from a detached radio). Entries
+  // ending exactly now still have a pending deliver event — keep them.
+  std::erase_if(active_, [&](const ActiveTx& tx) { return tx.end_time < sim_.now(); });
+  // Overlap on the same channel: two concurrent audible transmissions
+  // corrupt each other (no capture effect).
+  bool collided = false;
+  for (auto& tx : active_) {
+    if (tx.channel == sender.channel() && tx.end_time > sim_.now()) {
+      tx.corrupted = true;
+      ++collision_count_;
+      collided = true;
+    }
+  }
+  active_.push_back(ActiveTx{id, sender.channel(), sim_.now(), end, &sender, collided});
+
+  sim_.at(end, [this, id, sender_ptr = &sender, f = std::move(frame)] {
+    deliver(id, sender_ptr, f);
+  });
+}
+
+void Medium::deliver(std::uint64_t tx_id, const Radio* sender, const util::Bytes& frame) {
+  const auto it = std::find_if(active_.begin(), active_.end(),
+                               [&](const ActiveTx& tx) { return tx.id == tx_id; });
+  ROGUE_ASSERT(it != active_.end());
+  const ActiveTx tx = *it;
+  active_.erase(it);
+  if (tx.corrupted) return;
+  // Sender may have been detached mid-flight.
+  if (std::find(radios_.begin(), radios_.end(), sender) == radios_.end()) return;
+
+  for (Radio* rx : radios_) {
+    if (rx == sender) continue;
+    if (rx->channel() != tx.channel) continue;
+    const double noise =
+        config_.rssi_noise_db * (2.0 * sim_.rng().uniform01() - 1.0);
+    const double rssi =
+        rssi_at(sender->tx_power_dbm(), distance(sender->position(), rx->position())) +
+        noise;
+    const double margin = rssi - rx->sensitivity_dbm();
+    if (margin < 0.0) continue;
+    const double success =
+        (1.0 - config_.base_loss_prob) * (1.0 - std::exp(-margin / config_.margin_scale_db));
+    if (!sim_.rng().chance(success)) continue;
+    if (!rx->handler_) continue;
+    ++rx->frames_received_;
+    rx->handler_(frame, RxInfo{sim_.now(), rssi, tx.channel});
+  }
+}
+
+}  // namespace rogue::phy

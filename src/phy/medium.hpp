@@ -1,0 +1,164 @@
+// Radio medium: the broadcast physical layer whose openness the paper
+// contrasts with "the physical security of the network jacks" (§3.1).
+// Every radio within range on the same channel hears every frame — the
+// MAC layer above decides what to keep, which is exactly why monitor-mode
+// sniffing and rogue APs work.
+//
+// Propagation: log-distance path loss; a frame is delivered to a radio if
+// its RSSI clears the radio's sensitivity, it survives a margin-dependent
+// error probability, and it did not overlap another audible transmission
+// on the same channel (collision, no capture effect).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+
+namespace rogue::phy {
+
+/// 802.11b channel number (1..14).
+using Channel = std::uint8_t;
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+[[nodiscard]] double distance(const Position& a, const Position& b);
+
+/// Reception metadata handed to the MAC with each frame.
+struct RxInfo {
+  sim::Time time = 0;
+  double rssi_dbm = 0.0;
+  Channel channel = 1;
+};
+
+struct MediumConfig {
+  double path_loss_exponent = 3.0;   ///< indoor office
+  double ref_loss_dbm = 40.0;        ///< loss at 1 m
+  double bitrate_bps = 11e6;         ///< 802.11b
+  sim::Time preamble_us = 192;       ///< long preamble + PLCP header
+  /// Extra random loss applied even at high margin (interference floor).
+  double base_loss_prob = 0.0;
+  /// Margin (dB) at which frame success reaches ~63%; success prob is
+  /// 1 - exp(-margin/margin_scale) scaled into [0, 1-base_loss].
+  double margin_scale_db = 3.0;
+  /// Per-reception fading: RSSI jitters uniformly in +/- this many dB.
+  /// Gives scan results realistic sample noise (affects AP selection).
+  double rssi_noise_db = 2.0;
+  /// Carrier-sense blind window: a transmission started within the last
+  /// `sense_latency_us` is invisible to CSMA (propagation + slot time),
+  /// which is how genuinely simultaneous transmissions still collide.
+  sim::Time sense_latency_us = 15;
+  /// Max random backoff added when deferring to a busy channel.
+  sim::Time max_backoff_us = 300;
+};
+
+class Medium;
+
+/// A radio attached to the medium. MAC layers (dot11::AccessPoint /
+/// dot11::Station / attack::Sniffer) own one or more of these.
+class Radio {
+ public:
+  using RxHandler = std::function<void(util::ByteView frame, const RxInfo& info)>;
+
+  Radio(Medium& medium, std::string name);
+  ~Radio();
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Channel channel() const { return channel_; }
+  void set_channel(Channel ch) { channel_ = ch; }
+  [[nodiscard]] const Position& position() const { return position_; }
+  void set_position(Position p) { position_ = p; }
+  [[nodiscard]] double tx_power_dbm() const { return tx_power_dbm_; }
+  void set_tx_power_dbm(double p) { tx_power_dbm_ = p; }
+  [[nodiscard]] double sensitivity_dbm() const { return sensitivity_dbm_; }
+  void set_sensitivity_dbm(double s) { sensitivity_dbm_ = s; }
+
+  void set_receive_handler(RxHandler handler) { handler_ = std::move(handler); }
+
+  /// Queue a frame for transmission on the current channel. The radio
+  /// serializes its own transmissions and defers (CSMA) while the channel
+  /// is sensed busy; delivery lands at tx start + airtime.
+  void transmit(util::Bytes frame);
+
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+  [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
+  [[nodiscard]] std::uint64_t frames_deferred() const { return deferred_; }
+  [[nodiscard]] std::size_t tx_queue_depth() const { return queue_.size(); }
+
+ private:
+  friend class Medium;
+
+  void attempt_transmit();
+
+  Medium& medium_;
+  std::string name_;
+  Channel channel_ = 1;
+  Position position_{};
+  double tx_power_dbm_ = 15.0;
+  double sensitivity_dbm_ = -85.0;
+  RxHandler handler_;
+  std::vector<util::Bytes> queue_;
+  sim::TimerHandle attempt_timer_;
+  bool attempt_pending_ = false;
+  bool contended_ = false;
+  sim::Time own_busy_until_ = 0;
+  unsigned backoff_attempts_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t deferred_ = 0;
+};
+
+class Medium {
+ public:
+  Medium(sim::Simulator& simulator, MediumConfig config = {});
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const MediumConfig& config() const { return config_; }
+
+  /// Airtime for a frame of `bytes` octets at the configured bitrate.
+  [[nodiscard]] sim::Time airtime(std::size_t bytes) const;
+  /// RSSI (dBm) at distance d metres for the given tx power.
+  [[nodiscard]] double rssi_at(double tx_power_dbm, double dist_m) const;
+  /// Latest end time of transmissions on `channel` that a carrier-sensing
+  /// radio can currently see (ignores those inside the blind window).
+  [[nodiscard]] sim::Time channel_busy_until(Channel channel) const;
+
+  [[nodiscard]] std::uint64_t frames_transmitted() const { return tx_count_; }
+  [[nodiscard]] std::uint64_t collisions() const { return collision_count_; }
+
+ private:
+  friend class Radio;
+
+  struct ActiveTx {
+    std::uint64_t id;
+    Channel channel;
+    sim::Time start_time;
+    sim::Time end_time;
+    const Radio* sender;
+    bool corrupted;
+  };
+
+  void attach(Radio* radio);
+  void detach(Radio* radio);
+  void transmit(Radio& sender, util::Bytes frame);
+  void deliver(std::uint64_t tx_id, const Radio* sender, const util::Bytes& frame);
+
+  sim::Simulator& sim_;
+  MediumConfig config_;
+  std::vector<Radio*> radios_;
+  std::vector<ActiveTx> active_;
+  std::uint64_t next_tx_id_ = 1;
+  std::uint64_t tx_count_ = 0;
+  std::uint64_t collision_count_ = 0;
+};
+
+}  // namespace rogue::phy

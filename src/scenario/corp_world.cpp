@@ -1,0 +1,227 @@
+#include "scenario/corp_world.hpp"
+
+#include "crypto/md5.hpp"
+#include "util/assert.hpp"
+
+namespace rogue::scenario {
+
+namespace {
+// Per-client 802.1X-style credentials (kEap mode). The rogue, as the
+// "staff" insider, knows only its own.
+const char* kVictimEapKey = "victim-personal-credential";
+const char* kStaffEapKey = "staff-personal-credential";
+
+// Stable MAC plan (locally administered).
+const net::MacAddr kLegitBssid = net::MacAddr::from_id(0xAABBCCDD01);
+const net::MacAddr kVictimMac = net::MacAddr::from_id(0xAABBCCDD77);
+const net::MacAddr kStaffMac = net::MacAddr::from_id(0xAABBCCDD42);  // offline
+const net::MacAddr kRogueBssidDistinct = net::MacAddr::from_id(0xEE66660001);
+const net::MacAddr kCorpGwLanMac = net::MacAddr::from_id(0x10);
+const net::MacAddr kCorpGwWanMac = net::MacAddr::from_id(0x11);
+const net::MacAddr kWebMac = net::MacAddr::from_id(0x12);
+const net::MacAddr kVpnMac = net::MacAddr::from_id(0x13);
+}  // namespace
+
+CorpWorld::CorpWorld(CorpConfig config)
+    : config_(std::move(config)),
+      sim_(config_.seed),
+      medium_(sim_, config_.medium),
+      corp_lan_(sim_),
+      internet_(sim_) {
+  release_ = apps::make_release_blob(/*seed=*/0xFEED, config_.release_size);
+  trojan_ = apps::make_release_blob(/*seed=*/0xBAD, config_.release_size);
+}
+
+net::MacAddr CorpWorld::legit_bssid() const { return kLegitBssid; }
+net::MacAddr CorpWorld::victim_mac() const { return kVictimMac; }
+
+std::string CorpWorld::release_md5() const {
+  return crypto::md5_hex(release_);
+}
+std::string CorpWorld::trojan_md5() const { return crypto::md5_hex(trojan_); }
+
+void CorpWorld::start() {
+  if (started_) return;
+  started_ = true;
+  build_wired();
+  build_wireless();
+}
+
+void CorpWorld::build_wired() {
+  // Corp gateway: routes between the corp LAN and the "internet".
+  corp_gw_ = std::make_unique<net::Host>(sim_, "corp-gw", config_.tcp);
+  corp_gw_->add_wired("lan0", corp_lan_, kCorpGwLanMac);
+  corp_gw_->add_wired("wan0", internet_, kCorpGwWanMac);
+  corp_gw_->configure("lan0", addr_.corp_gw_lan, 24);
+  corp_gw_->configure("wan0", addr_.corp_gw_wan, 24);
+  corp_gw_->set_ip_forward(true);
+
+  // Web server hosting the download site.
+  web_ = std::make_unique<net::Host>(sim_, "web-server", config_.tcp);
+  web_->add_wired("eth0", internet_, kWebMac);
+  web_->configure("eth0", addr_.web_server, 24);
+  web_->routes().add_default(addr_.corp_gw_wan, "eth0");
+  web_http_ = std::make_unique<apps::HttpServer>(*web_, 80);
+  apps::install_download_site(*web_http_, release_);
+
+  // VPN endpoint on the trusted wired LAN (§5.2 requirement 3).
+  vpn_host_ = std::make_unique<net::Host>(sim_, "vpn-endpoint", config_.tcp);
+  vpn_host_->add_wired("eth0", corp_lan_, kVpnMac);
+  vpn_host_->configure("eth0", addr_.vpn_endpoint, 24);
+  vpn_host_->routes().add_default(addr_.corp_gw_lan, "eth0");
+  vpn::EndpointConfig ep_cfg;
+  ep_cfg.psk = config_.vpn_psk;
+  ep_cfg.port = addr_.vpn_port;
+  endpoint_ = std::make_unique<vpn::Endpoint>(*vpn_host_, ep_cfg);
+  endpoint_->start();
+}
+
+namespace {
+dot11::SecurityMode resolve_security(const CorpConfig& cfg) {
+  if (cfg.security) return *cfg.security;
+  return cfg.wep ? dot11::SecurityMode::kWep : dot11::SecurityMode::kOpen;
+}
+}  // namespace
+
+void CorpWorld::build_wireless() {
+  const dot11::SecurityMode security = resolve_security(config_);
+  // Legitimate AP, bridged onto the corp LAN at L2.
+  dot11::ApConfig ap_cfg;
+  ap_cfg.ssid = "CORP";
+  ap_cfg.bssid = kLegitBssid;
+  ap_cfg.channel = config_.legit_channel;
+  ap_cfg.security = security;
+  ap_cfg.wep_key =
+      security == dot11::SecurityMode::kWep ? config_.wep_key : util::Bytes{};
+  ap_cfg.wpa_psk =
+      security == dot11::SecurityMode::kWpaPsk ? config_.wpa_psk : util::Bytes{};
+  if (security == dot11::SecurityMode::kEap) {
+    ap_cfg.eap_client_keys = {{kVictimMac, util::to_bytes(kVictimEapKey)},
+                              {kStaffMac, util::to_bytes(kStaffEapKey)}};
+  }
+  ap_cfg.iv_policy = config_.iv_policy;
+  ap_cfg.auth_algorithm = config_.auth_algorithm;
+  ap_cfg.mac_filtering = config_.mac_filtering;
+  ap_cfg.allowed_macs = {kVictimMac, kStaffMac};
+  legit_ap_ = std::make_unique<dot11::AccessPoint>(sim_, medium_, ap_cfg, &trace_);
+  legit_ap_->radio().set_position({config_.victim_to_legit_m, 0.0});
+  ap_bridge_ = std::make_unique<net::ApBridge>(*legit_ap_, corp_lan_, "legit-ap-uplink");
+  legit_ap_->start();
+
+  // Victim station + host.
+  dot11::StationConfig sta_cfg;
+  sta_cfg.mac = kVictimMac;
+  sta_cfg.target_ssid = "CORP";
+  sta_cfg.security = security;
+  sta_cfg.wep_key =
+      security == dot11::SecurityMode::kWep ? config_.wep_key : util::Bytes{};
+  sta_cfg.wpa_psk = security == dot11::SecurityMode::kWpaPsk ? config_.wpa_psk
+                    : security == dot11::SecurityMode::kEap
+                        ? util::to_bytes(kVictimEapKey)
+                        : util::Bytes{};
+  sta_cfg.iv_policy = config_.iv_policy;
+  sta_cfg.auth_algorithm = config_.auth_algorithm;
+  sta_cfg.join_policy = config_.victim_join_policy;
+  sta_cfg.scan_channels = {config_.legit_channel, config_.rogue_channel};
+  victim_sta_ = std::make_unique<dot11::Station>(sim_, medium_, sta_cfg, &trace_);
+  victim_sta_->radio().set_position({0.0, 0.0});
+
+  victim_ = std::make_unique<net::Host>(sim_, "victim", config_.tcp);
+  victim_->attach(std::make_unique<net::StationIf>("wlan0", *victim_sta_));
+  victim_->configure("wlan0", addr_.victim, 24);
+  victim_->routes().add_default(addr_.corp_gw_lan, "wlan0");
+
+  // Roaming hygiene: flush neighbour state when the association changes
+  // (models the reachability probing a real stack does after a move).
+  victim_sta_->set_event_handler(
+      [this](std::string_view event, const dot11::BssInfo&) {
+        if (event == "assoc") victim_->arp("wlan0").flush();
+      });
+
+  victim_sta_->start();
+}
+
+attack::RogueGateway& CorpWorld::deploy_rogue() {
+  ROGUE_ASSERT_MSG(started_, "start() the world before deploying the rogue");
+  ROGUE_ASSERT_MSG(!rogue_, "rogue already deployed");
+
+  const dot11::SecurityMode security = resolve_security(config_);
+  attack::RogueGatewayConfig cfg;
+  cfg.ssid = "CORP";
+  cfg.security = security;
+  cfg.use_wep = security == dot11::SecurityMode::kWep;
+  cfg.wep_key =
+      security == dot11::SecurityMode::kWep ? config_.wep_key : util::Bytes{};
+  cfg.wpa_psk = security == dot11::SecurityMode::kWpaPsk ? config_.wpa_psk
+                : security == dot11::SecurityMode::kEap
+                    ? util::to_bytes(kStaffEapKey)  // its own credential only
+                    : util::Bytes{};
+  cfg.auth_algorithm = config_.auth_algorithm;
+  // "created by a valid user, using the authentication information he was
+  // given" / or an outsider with a sniffed MAC: either way the uplink MAC
+  // passes the ACL.
+  cfg.client_mac = kStaffMac;
+  cfg.rogue_bssid = config_.rogue_clones_bssid ? kLegitBssid : kRogueBssidDistinct;
+  cfg.rogue_channel = config_.rogue_channel;
+  cfg.uplink_scan_channels = {config_.legit_channel};
+  cfg.wlan_ip = addr_.rogue_wlan;
+  cfg.eth_ip = addr_.rogue_eth;
+  cfg.upstream_gateway = addr_.corp_gw_lan;
+  cfg.target_ip = addr_.web_server;
+  cfg.target_port = 80;
+  cfg.netsed_mode = config_.netsed_mode;
+  cfg.trojan_blob = trojan_;
+
+  // netsed tcp 10101 Target-IP 80 s/href=file.tgz/href=http:...%2f...
+  //                               s/REALMD5SUM/FAKEMD5SUM
+  cfg.tcp = config_.tcp;
+  const std::string fake_link =
+      "http://" + addr_.rogue_wlan.to_string() + "/file.tgz";
+  if (config_.rewrite_link) {
+    cfg.netsed_rules.push_back(
+        apps::NetsedRule::from_strings("href=file.tgz", "href=" + fake_link));
+  }
+  if (config_.rewrite_md5) {
+    cfg.netsed_rules.push_back(
+        apps::NetsedRule::from_strings(release_md5(), trojan_md5()));
+  }
+
+  rogue_ = std::make_unique<attack::RogueGateway>(sim_, medium_, cfg, &trace_);
+  rogue_->uplink().radio().set_position({config_.victim_to_rogue_m, 2.0});
+  rogue_->ap().radio().set_position({config_.victim_to_rogue_m, 0.0});
+  rogue_->start();
+  return *rogue_;
+}
+
+attack::DeauthAttacker& CorpWorld::start_deauth_forcing(sim::Time period) {
+  ROGUE_ASSERT_MSG(!deauth_, "deauth forcing already running");
+  deauth_ = std::make_unique<attack::DeauthAttacker>(
+      sim_, medium_, config_.legit_channel, kLegitBssid, kVictimMac);
+  deauth_->radio().set_position({config_.victim_to_rogue_m, 0.0});
+  deauth_->start(period);
+  return *deauth_;
+}
+
+void CorpWorld::connect_vpn(std::function<void(bool)> done) {
+  ROGUE_ASSERT_MSG(!victim_tunnel_, "VPN already connected");
+  vpn::ClientConfig cfg;
+  cfg.psk = config_.vpn_psk;
+  cfg.endpoint_ip = addr_.vpn_endpoint;
+  cfg.endpoint_port = addr_.vpn_port;
+  cfg.transport = config_.vpn_transport;
+  victim_tunnel_ = std::make_unique<vpn::ClientTunnel>(*victim_, cfg);
+  victim_tunnel_->start(std::move(done));
+}
+
+void CorpWorld::download(std::function<void(const apps::DownloadOutcome&)> done) {
+  apps::run_download(*victim_, addr_.web_server, 80, std::move(done));
+}
+
+bool CorpWorld::victim_on_rogue() const {
+  if (!victim_sta_->associated()) return false;
+  if (rogue_ == nullptr) return false;
+  // With a cloned BSSID the channel is the distinguishing feature.
+  return victim_sta_->bss().channel == rogue_->config().rogue_channel;
+}
+
+}  // namespace rogue::scenario

@@ -1,0 +1,187 @@
+// CorpWorld: the paper's end-to-end testbed as a single composable world.
+//
+//   [web server 203.0.113.80] --- internet switch --- [corp gw 203.0.113.1
+//                                                              10.0.0.1]
+//                                                           |
+//                                                     corp switch ---
+//                                                     [vpn endpoint 10.0.0.5]
+//                                                           |
+//                                                     [legit AP "CORP" ch1]
+//                                                        )))  (((
+//      [victim 10.0.0.77]     [rogue gateway: eth1 client + wlan0 "CORP" ch6]
+//
+// Figure 1 = deploy_rogue(); Figure 2 = deploy_rogue() + download();
+// Figure 3 = connect_vpn() + download(). Knobs cover WEP on/off, MAC
+// filtering, join policy, signal geometry, deauth forcing, and the netsed
+// matching mode.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apps/download.hpp"
+#include "apps/http.hpp"
+#include "attack/deauth.hpp"
+#include "attack/rogue_gateway.hpp"
+#include "attack/sniffer.hpp"
+#include "dot11/ap.hpp"
+#include "dot11/sta.hpp"
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "vpn/client.hpp"
+#include "vpn/endpoint.hpp"
+
+namespace rogue::scenario {
+
+struct CorpConfig {
+  std::uint64_t seed = 1;
+
+  // Link-layer "security" (the mechanisms §2.1 shows to be insufficient).
+  bool wep = true;
+  util::Bytes wep_key = util::to_bytes("SECRETWEPKEY1");  // 13 bytes (WEP-104)
+  /// When set, overrides `wep`: kOpen / kWep / kWpaPsk (§2.2 extension —
+  /// the rogue is configured with the same credentials either way).
+  std::optional<dot11::SecurityMode> security;
+  util::Bytes wpa_psk = util::to_bytes("corp-wpa-passphrase");
+  crypto::WepIvPolicy iv_policy = crypto::WepIvPolicy::kSequential;
+  dot11::AuthAlgorithm auth_algorithm = dot11::AuthAlgorithm::kOpenSystem;
+  bool mac_filtering = true;
+
+  // Geometry (meters from the victim).
+  double victim_to_legit_m = 15.0;
+  double victim_to_rogue_m = 8.0;
+  phy::Channel legit_channel = 1;
+  phy::Channel rogue_channel = 6;
+
+  dot11::JoinPolicy victim_join_policy = dot11::JoinPolicy::kBestRssi;
+
+  // Radio environment.
+  phy::MediumConfig medium;
+
+  // Download workload.
+  std::size_t release_size = 16 * 1024;
+
+  // Attack configuration.
+  bool rogue_clones_bssid = true;  ///< Figure 1: same "AP MAC"
+  apps::NetsedMode netsed_mode = apps::NetsedMode::kPerSegment;
+  bool rewrite_link = true;  ///< netsed rule 1: href -> attacker mirror
+  bool rewrite_md5 = true;   ///< netsed rule 2: REALMD5SUM -> FAKEMD5SUM
+
+  /// TCP parameters applied to every host in the world (the MSS controls
+  /// where TCP segments — and therefore netsed's match windows — split).
+  net::TcpConfig tcp;
+
+  // VPN configuration.
+  vpn::Transport vpn_transport = vpn::Transport::kTcp;
+  util::Bytes vpn_psk = util::to_bytes("corp-vpn-preshared-authenticator");
+};
+
+/// Well-known addresses inside the world.
+struct CorpAddresses {
+  net::Ipv4Addr corp_gw_lan{10, 0, 0, 1};
+  net::Ipv4Addr vpn_endpoint{10, 0, 0, 5};
+  net::Ipv4Addr victim{10, 0, 0, 77};
+  net::Ipv4Addr rogue_wlan{10, 0, 0, 200};
+  net::Ipv4Addr rogue_eth{10, 0, 0, 201};
+  net::Ipv4Addr corp_gw_wan{203, 0, 113, 1};
+  net::Ipv4Addr web_server{203, 0, 113, 80};
+  std::uint16_t vpn_port = 7000;
+};
+
+class CorpWorld {
+ public:
+  explicit CorpWorld(CorpConfig config = {});
+
+  CorpWorld(const CorpWorld&) = delete;
+  CorpWorld& operator=(const CorpWorld&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::Trace& trace() { return trace_; }
+  [[nodiscard]] phy::Medium& medium() { return medium_; }
+  [[nodiscard]] const CorpConfig& config() const { return config_; }
+  [[nodiscard]] const CorpAddresses& addr() const { return addr_; }
+
+  /// Bring up the wired network, legit AP, web site, VPN endpoint, victim.
+  void start();
+
+  /// Figure 1: stand up the rogue gateway (cloned SSID/WEP/BSSID, proxy
+  /// ARP bridge, DNAT + netsed + trojan mirror).
+  attack::RogueGateway& deploy_rogue();
+  [[nodiscard]] attack::RogueGateway* rogue() { return rogue_.get(); }
+
+  /// §4: force the victim off the legitimate AP with forged deauths.
+  attack::DeauthAttacker& start_deauth_forcing(sim::Time period = 100'000);
+
+  /// Figure 3: victim tunnels all traffic to the trusted endpoint.
+  void connect_vpn(std::function<void(bool ok)> done);
+  [[nodiscard]] vpn::ClientTunnel* victim_tunnel() { return victim_tunnel_.get(); }
+
+  /// §4.1 workload: victim fetches the download page, follows the link,
+  /// verifies the MD5SUM.
+  void download(std::function<void(const apps::DownloadOutcome&)> done);
+
+  /// Drive the simulation forward.
+  void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+
+  // ---- Introspection -------------------------------------------------------
+  [[nodiscard]] dot11::Station& victim_sta() { return *victim_sta_; }
+  [[nodiscard]] net::Host& victim() { return *victim_; }
+  [[nodiscard]] dot11::AccessPoint& legit_ap() { return *legit_ap_; }
+  [[nodiscard]] net::Host& web_server() { return *web_; }
+  [[nodiscard]] net::Host& corp_gw() { return *corp_gw_; }
+  [[nodiscard]] net::Host& vpn_host() { return *vpn_host_; }
+  [[nodiscard]] vpn::Endpoint& vpn_endpoint() { return *endpoint_; }
+  [[nodiscard]] net::Switch& corp_lan() { return corp_lan_; }
+  [[nodiscard]] net::Switch& internet() { return internet_; }
+
+  [[nodiscard]] net::MacAddr legit_bssid() const;
+  [[nodiscard]] net::MacAddr victim_mac() const;
+  /// Is the victim currently associated with the rogue AP (vs the real one)?
+  [[nodiscard]] bool victim_on_rogue() const;
+
+  /// The genuine release blob and the attacker's trojan.
+  [[nodiscard]] const util::Bytes& release_blob() const { return release_; }
+  [[nodiscard]] const util::Bytes& trojan_blob() const { return trojan_; }
+  [[nodiscard]] std::string release_md5() const;
+  [[nodiscard]] std::string trojan_md5() const;
+
+ private:
+  void build_wired();
+  void build_wireless();
+
+  CorpConfig config_;
+  CorpAddresses addr_;
+  sim::Simulator sim_;
+  sim::Trace trace_;
+  phy::Medium medium_;
+  net::Switch corp_lan_;
+  net::Switch internet_;
+
+  util::Bytes release_;
+  util::Bytes trojan_;
+
+  std::unique_ptr<net::Host> corp_gw_;
+  std::unique_ptr<net::Host> web_;
+  std::unique_ptr<apps::HttpServer> web_http_;
+  std::unique_ptr<net::Host> vpn_host_;
+  std::unique_ptr<vpn::Endpoint> endpoint_;
+
+  std::unique_ptr<dot11::AccessPoint> legit_ap_;
+  std::unique_ptr<net::ApBridge> ap_bridge_;
+
+  std::unique_ptr<dot11::Station> victim_sta_;
+  std::unique_ptr<net::Host> victim_;
+  std::unique_ptr<vpn::ClientTunnel> victim_tunnel_;
+
+  std::unique_ptr<attack::RogueGateway> rogue_;
+  std::unique_ptr<attack::DeauthAttacker> deauth_;
+
+  bool started_ = false;
+};
+
+}  // namespace rogue::scenario

@@ -1,0 +1,134 @@
+#include "scenario/hotspot.hpp"
+
+#include "crypto/md5.hpp"
+#include "util/assert.hpp"
+
+namespace rogue::scenario {
+
+namespace {
+const net::MacAddr kHotspotBssid = net::MacAddr::from_id(0xCAFE000001);
+const net::MacAddr kClientMac = net::MacAddr::from_id(0xCAFE000100);
+const net::MacAddr kGwWanMac = net::MacAddr::from_id(0xCAFE000002);
+const net::MacAddr kWebMac = net::MacAddr::from_id(0xCAFE000003);
+const net::MacAddr kHomeMac = net::MacAddr::from_id(0xCAFE000004);
+constexpr std::uint16_t kNetsedPort = 10101;
+}  // namespace
+
+HotspotWorld::HotspotWorld(HotspotConfig config)
+    : config_(std::move(config)),
+      sim_(config_.seed),
+      medium_(sim_, config_.medium),
+      internet_(sim_) {
+  release_ = apps::make_release_blob(0xFEED, config_.release_size);
+  trojan_ = apps::make_release_blob(0xBAD, config_.release_size);
+}
+
+std::string HotspotWorld::release_md5() const { return crypto::md5_hex(release_); }
+std::string HotspotWorld::trojan_md5() const { return crypto::md5_hex(trojan_); }
+
+void HotspotWorld::start() {
+  if (started_) return;
+  started_ = true;
+
+  // Open hotspot AP (public hotspots of the era ran no WEP).
+  dot11::ApConfig ap_cfg;
+  ap_cfg.ssid = "HOTSPOT";
+  ap_cfg.bssid = kHotspotBssid;
+  ap_cfg.channel = 6;
+  ap_ = std::make_unique<dot11::AccessPoint>(sim_, medium_, ap_cfg);
+  ap_->radio().set_position({5.0, 0.0});
+
+  // Hotspot gateway: NAT between the hotspot LAN and the internet.
+  gw_ = std::make_unique<net::Host>(sim_, "hotspot-gw");
+  gw_->attach(std::make_unique<net::ApIf>("wlan0", *ap_));
+  gw_->add_wired("wan0", internet_, kGwWanMac);
+  gw_->configure("wlan0", addr_.hotspot_lan, 24);
+  gw_->configure("wan0", addr_.hotspot_wan, 24);
+  gw_->set_ip_forward(true);
+  {
+    net::Rule masquerade;
+    masquerade.match.src = net::Ipv4Addr(192, 168, 1, 0);
+    masquerade.match.src_mask = net::netmask(24);
+    masquerade.match.out_iface = "wan0";
+    masquerade.target = net::RuleTarget::kSnat;
+    masquerade.nat_ip = addr_.hotspot_wan;
+    gw_->netfilter().append(net::Hook::kPostrouting, masquerade);
+  }
+
+  if (config_.hostile) {
+    // The owner-in-the-middle: same DNAT + netsed + trojan mirror as the
+    // corporate rogue, but running on legitimate infrastructure.
+    net::Rule dnat;
+    dnat.match.protocol = net::kProtoTcp;
+    dnat.match.dst = addr_.web_server;
+    dnat.match.dport = 80;
+    dnat.match.in_iface = "wlan0";
+    dnat.target = net::RuleTarget::kDnat;
+    dnat.nat_ip = addr_.hotspot_lan;
+    dnat.nat_port = kNetsedPort;
+    gw_->netfilter().append(net::Hook::kPrerouting, dnat);
+
+    const std::string fake_link =
+        "http://" + addr_.hotspot_lan.to_string() + "/file.tgz";
+    std::vector<apps::NetsedRule> rules;
+    rules.push_back(
+        apps::NetsedRule::from_strings("href=file.tgz", "href=" + fake_link));
+    rules.push_back(apps::NetsedRule::from_strings(release_md5(), trojan_md5()));
+    netsed_ = std::make_unique<apps::Netsed>(*gw_, kNetsedPort, addr_.web_server,
+                                             80, std::move(rules));
+    trojan_server_ = std::make_unique<apps::HttpServer>(*gw_, 80);
+    apps::install_trojan_site(*trojan_server_, trojan_);
+  }
+
+  // The public web server.
+  web_ = std::make_unique<net::Host>(sim_, "web-server");
+  web_->add_wired("eth0", internet_, kWebMac);
+  web_->configure("eth0", addr_.web_server, 24);
+  web_http_ = std::make_unique<apps::HttpServer>(*web_, 80);
+  apps::install_download_site(*web_http_, release_);
+
+  // The client's *home* VPN endpoint, reachable across the internet
+  // (§5.2: provided by "the client's home corporation, home ISP, or
+  // perhaps a trusted third party").
+  home_ = std::make_unique<net::Host>(sim_, "home-vpn");
+  home_->add_wired("eth0", internet_, kHomeMac);
+  home_->configure("eth0", addr_.home_vpn, 24);
+  vpn::EndpointConfig ep;
+  ep.psk = config_.vpn_psk;
+  ep.port = addr_.vpn_port;
+  endpoint_ = std::make_unique<vpn::Endpoint>(*home_, ep);
+  endpoint_->start();
+
+  // The roaming client.
+  dot11::StationConfig sta;
+  sta.mac = kClientMac;
+  sta.target_ssid = "HOTSPOT";
+  sta.scan_channels = {6};
+  client_sta_ = std::make_unique<dot11::Station>(sim_, medium_, sta);
+  client_sta_->radio().set_position({0.0, 0.0});
+
+  client_ = std::make_unique<net::Host>(sim_, "client");
+  client_->attach(std::make_unique<net::StationIf>("wlan0", *client_sta_));
+  client_->configure("wlan0", addr_.client, 24);
+  client_->routes().add_default(addr_.hotspot_lan, "wlan0");
+
+  ap_->start();
+  client_sta_->start();
+}
+
+void HotspotWorld::connect_vpn(std::function<void(bool)> done) {
+  ROGUE_ASSERT_MSG(!tunnel_, "VPN already connected");
+  vpn::ClientConfig cfg;
+  cfg.psk = config_.vpn_psk;
+  cfg.endpoint_ip = addr_.home_vpn;
+  cfg.endpoint_port = addr_.vpn_port;
+  cfg.transport = config_.vpn_transport;
+  tunnel_ = std::make_unique<vpn::ClientTunnel>(*client_, cfg);
+  tunnel_->start(std::move(done));
+}
+
+void HotspotWorld::download(std::function<void(const apps::DownloadOutcome&)> done) {
+  apps::run_download(*client_, addr_.web_server, 80, std::move(done));
+}
+
+}  // namespace rogue::scenario

@@ -1,0 +1,98 @@
+// Hostile Hotspot world (§1.2.2): a public hotspot whose *owner* is the
+// attacker — no rogue AP needed, the infrastructure itself tampers with
+// traffic. Models the "network promiscuity" threat (§3.2): a roaming
+// client crosses administrative domains whose operators it cannot vet,
+// and only an always-on VPN to its *home* network protects it everywhere.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "apps/download.hpp"
+#include "apps/http.hpp"
+#include "apps/netsed.hpp"
+#include "dot11/ap.hpp"
+#include "dot11/sta.hpp"
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "vpn/client.hpp"
+#include "vpn/endpoint.hpp"
+
+namespace rogue::scenario {
+
+struct HotspotConfig {
+  std::uint64_t seed = 1;
+  bool hostile = false;          ///< the hotspot owner tampers with traffic
+  std::size_t release_size = 16 * 1024;
+  vpn::Transport vpn_transport = vpn::Transport::kTcp;
+  util::Bytes vpn_psk = util::to_bytes("home-vpn-preshared-authenticator");
+  phy::MediumConfig medium;
+};
+
+struct HotspotAddresses {
+  net::Ipv4Addr hotspot_lan{192, 168, 1, 1};
+  net::Ipv4Addr client{192, 168, 1, 100};
+  net::Ipv4Addr hotspot_wan{203, 0, 113, 200};
+  net::Ipv4Addr web_server{203, 0, 113, 80};
+  net::Ipv4Addr home_vpn{203, 0, 113, 5};
+  std::uint16_t vpn_port = 7000;
+};
+
+class HotspotWorld {
+ public:
+  explicit HotspotWorld(HotspotConfig config = {});
+
+  HotspotWorld(const HotspotWorld&) = delete;
+  HotspotWorld& operator=(const HotspotWorld&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] const HotspotAddresses& addr() const { return addr_; }
+  [[nodiscard]] const HotspotConfig& config() const { return config_; }
+
+  void start();
+
+  /// Client tunnels everything home before doing anything else.
+  void connect_vpn(std::function<void(bool ok)> done);
+  /// The download workload, from the client.
+  void download(std::function<void(const apps::DownloadOutcome&)> done);
+
+  void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+
+  [[nodiscard]] net::Host& client() { return *client_; }
+  [[nodiscard]] dot11::Station& client_sta() { return *client_sta_; }
+  [[nodiscard]] net::Host& hotspot_gw() { return *gw_; }
+  [[nodiscard]] const util::Bytes& release_blob() const { return release_; }
+  [[nodiscard]] const util::Bytes& trojan_blob() const { return trojan_; }
+  [[nodiscard]] std::string release_md5() const;
+  [[nodiscard]] std::string trojan_md5() const;
+
+ private:
+  HotspotConfig config_;
+  HotspotAddresses addr_;
+  sim::Simulator sim_;
+  phy::Medium medium_;
+  net::Switch internet_;
+
+  util::Bytes release_;
+  util::Bytes trojan_;
+
+  std::unique_ptr<dot11::AccessPoint> ap_;
+  std::unique_ptr<net::Host> gw_;
+  std::unique_ptr<apps::Netsed> netsed_;
+  std::unique_ptr<apps::HttpServer> trojan_server_;
+
+  std::unique_ptr<net::Host> web_;
+  std::unique_ptr<apps::HttpServer> web_http_;
+  std::unique_ptr<net::Host> home_;
+  std::unique_ptr<vpn::Endpoint> endpoint_;
+
+  std::unique_ptr<dot11::Station> client_sta_;
+  std::unique_ptr<net::Host> client_;
+  std::unique_ptr<vpn::ClientTunnel> tunnel_;
+
+  bool started_ = false;
+};
+
+}  // namespace rogue::scenario

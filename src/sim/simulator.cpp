@@ -1,0 +1,77 @@
+#include "sim/simulator.hpp"
+#include <memory>
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace rogue::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+TimerHandle Simulator::at(Time t, std::function<void()> fn) {
+  ROGUE_ASSERT_MSG(t >= now_, "cannot schedule in the past");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Event{t, next_seq_++, id, std::move(fn)});
+  return TimerHandle(id);
+}
+
+TimerHandle Simulator::after(Time delay, std::function<void()> fn) {
+  return at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(TimerHandle handle) {
+  if (handle.valid()) cancelled_.insert(handle.id_);
+}
+
+TimerHandle Simulator::every(Time period, std::function<void()> fn) {
+  return every(period, period, std::move(fn));
+}
+
+TimerHandle Simulator::every(Time period, Time phase, std::function<void()> fn) {
+  ROGUE_ASSERT_MSG(period > 0, "periodic event needs period > 0");
+  const std::uint64_t id = next_id_++;
+  // Each occurrence re-arms the next one under the same id, so cancelling
+  // the id breaks the chain: the pending occurrence is skipped at pop time
+  // and nothing re-pushes.
+  auto tick = std::make_shared<std::function<void()>>();
+  auto body = std::make_shared<std::function<void()>>(std::move(fn));
+  *tick = [this, id, period, tick, body] {
+    (*body)();
+    heap_.push(Event{now_ + period, next_seq_++, id, *tick});
+  };
+  heap_.push(Event{now_ + phase, next_seq_++, id, *tick});
+  return TimerHandle(id);
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    ROGUE_ASSERT(ev.time >= now_);
+    now_ = ev.time;
+    ++fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+void Simulator::run_until(Time t) {
+  while (!heap_.empty() && heap_.top().time <= t) {
+    if (!step()) break;
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace rogue::sim

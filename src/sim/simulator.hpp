@@ -1,0 +1,94 @@
+// Discrete-event simulation kernel. Single-threaded and deterministic:
+// events fire in (time, insertion-order) order and all randomness flows
+// from the simulator-owned PRNG, so a trial is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace rogue::sim {
+
+/// Simulated time in microseconds.
+using Time = std::uint64_t;
+
+inline constexpr Time kMicrosecond = 1;
+inline constexpr Time kMillisecond = 1000;
+inline constexpr Time kSecond = 1'000'000;
+
+/// Handle for cancelling a scheduled event. Default-constructed handles
+/// are inert.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] util::Prng& rng() { return rng_; }
+
+  /// Schedule `fn` at absolute time t (must be >= now()).
+  TimerHandle at(Time t, std::function<void()> fn);
+  /// Schedule `fn` after a relative delay.
+  TimerHandle after(Time delay, std::function<void()> fn);
+  /// Cancel a scheduled event; no-op if already fired or cancelled.
+  void cancel(TimerHandle handle);
+
+  /// Schedule fn every `period`, first firing after `phase` (defaults to
+  /// one period). Returns a handle that cancels the whole series.
+  TimerHandle every(Time period, std::function<void()> fn);
+  TimerHandle every(Time period, Time phase, std::function<void()> fn);
+
+  /// Execute the next event; false if the queue is empty.
+  bool step();
+  /// Run until the queue drains or `max_events` fire.
+  void run(std::uint64_t max_events = ~0ULL);
+  /// Run events with time <= t, then set now() = t.
+  void run_until(Time t);
+
+  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // insertion order — deterministic tie-break
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct PeriodicState;
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  util::Prng rng_;
+};
+
+}  // namespace rogue::sim

@@ -1,0 +1,25 @@
+#include "sim/trace.hpp"
+
+namespace rogue::sim {
+
+void Trace::record(Time t, std::string tag, std::string message) {
+  records_.push_back(TraceRecord{t, std::move(tag), std::move(message)});
+}
+
+std::vector<TraceRecord> Trace::with_tag(std::string_view tag) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.tag == tag) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t Trace::count_containing(std::string_view needle) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.message.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+}  // namespace rogue::sim

@@ -1,0 +1,39 @@
+// Lightweight event trace: components append tagged records, tests and
+// detectors query them. Plays the role of a tcpdump/kismet capture file.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace rogue::sim {
+
+struct TraceRecord {
+  Time time = 0;
+  std::string tag;      ///< component id, e.g. "ap.legit", "sta.victim"
+  std::string message;  ///< human-readable event description
+};
+
+class Trace {
+ public:
+  void record(Time t, std::string tag, std::string message);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// All records whose tag matches exactly.
+  [[nodiscard]] std::vector<TraceRecord> with_tag(std::string_view tag) const;
+  /// Count records whose message contains `needle`.
+  [[nodiscard]] std::size_t count_containing(std::string_view needle) const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace rogue::sim

@@ -1,0 +1,27 @@
+// Project assertion macro: always on (benchmarked code paths are cheap
+// enough), aborts with location so failures in deep event callbacks are
+// diagnosable.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rogue::util::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "ROGUE_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace rogue::util::detail
+
+#define ROGUE_ASSERT(expr)                                                    \
+  do {                                                                        \
+    if (!(expr)) ::rogue::util::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ROGUE_ASSERT_MSG(expr, msg)                                           \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::rogue::util::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

@@ -1,0 +1,155 @@
+#include "util/bytes.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rogue::util {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string hex_encode(ByteView b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+[[nodiscard]] int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<Bytes> hex_decode(std::string_view s) {
+  Bytes out;
+  out.reserve(s.size() / 2);
+  int hi = -1;
+  for (char c : s) {
+    if (c == ':' || c == ' ') continue;
+    const int v = hex_nibble(c);
+    if (v < 0) return std::nullopt;
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) return std::nullopt;  // odd digit count
+  return out;
+}
+
+bool equal_ct(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+void xor_inplace(std::span<std::uint8_t> a, ByteView b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) a[i] ^= b[i];
+}
+
+void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void ByteWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void ByteWriter::u16be(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32be(std::uint32_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 24));
+  out_.push_back(static_cast<std::uint8_t>(v >> 16));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64be(std::uint64_t v) {
+  u32be(static_cast<std::uint32_t>(v >> 32));
+  u32be(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::u16le(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::raw(ByteView b) { append(out_, b); }
+
+bool ByteReader::need(std::size_t n) {
+  if (!ok_ || in_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!need(1)) return 0;
+  return in_[pos_++];
+}
+
+std::uint16_t ByteReader::u16be() {
+  if (!need(2)) return 0;
+  const auto v = static_cast<std::uint16_t>((in_[pos_] << 8) | in_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32be() {
+  if (!need(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | in_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64be() {
+  const std::uint64_t hi = u32be();
+  const std::uint64_t lo = u32be();
+  return (hi << 32) | lo;
+}
+
+std::uint16_t ByteReader::u16le() {
+  if (!need(2)) return 0;
+  const auto v = static_cast<std::uint16_t>(in_[pos_] | (in_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+ByteView ByteReader::raw(std::size_t n) {
+  if (!need(n)) return {};
+  const ByteView v = in_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+ByteView ByteReader::take_rest() {
+  const ByteView v = in_.subspan(pos_);
+  pos_ = in_.size();
+  return v;
+}
+
+void ByteReader::skip(std::size_t n) {
+  if (need(n)) pos_ += n;
+}
+
+}  // namespace rogue::util

@@ -1,0 +1,92 @@
+// Byte-buffer primitives: owning buffers, hex encoding, and bounds-checked
+// big-endian readers/writers used by every wire format in the project.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rogue::util {
+
+/// Owning, growable byte sequence. Alias so wire-format code reads naturally.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Read-only view over bytes (non-owning).
+using ByteView = std::span<const std::uint8_t>;
+
+/// Build a Bytes from a string literal / std::string (no NUL appended).
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+/// Interpret bytes as text (lossy for non-ASCII; used for HTTP payloads).
+[[nodiscard]] std::string to_string(ByteView b);
+
+/// Lower-case hex, no separators ("deadbeef").
+[[nodiscard]] std::string hex_encode(ByteView b);
+
+/// Parse hex (accepts upper/lower, optional ':' or ' ' separators).
+/// Returns nullopt on bad characters or odd digit count.
+[[nodiscard]] std::optional<Bytes> hex_decode(std::string_view s);
+
+/// Constant-time-ish equality (length leak only); for MAC/checksum checks.
+[[nodiscard]] bool equal_ct(ByteView a, ByteView b);
+
+/// XOR b into a (a ^= b), sizes must match.
+void xor_inplace(std::span<std::uint8_t> a, ByteView b);
+
+/// Append the contents of src to dst.
+void append(Bytes& dst, ByteView src);
+
+/// Bounds-checked sequential writer producing big-endian integers.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v);
+  void u16be(std::uint16_t v);
+  void u32be(std::uint32_t v);
+  void u64be(std::uint64_t v);
+  void u16le(std::uint16_t v);
+  void raw(ByteView b);
+
+  [[nodiscard]] std::size_t written() const { return out_.size(); }
+
+ private:
+  Bytes& out_;  // NOLINT(*-avoid-const-or-ref-data-members) writer is scoped
+};
+
+/// Bounds-checked sequential reader; `ok()` goes false on any overrun and
+/// subsequent reads return zeros, so parsers can check once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView in) : in_(in) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16be();
+  [[nodiscard]] std::uint32_t u32be();
+  [[nodiscard]] std::uint64_t u64be();
+  [[nodiscard]] std::uint16_t u16le();
+  /// Read exactly n bytes; returns empty view and poisons the reader if short.
+  [[nodiscard]] ByteView raw(std::size_t n);
+  /// All bytes not yet consumed (does not advance).
+  [[nodiscard]] ByteView rest() const { return in_.subspan(pos_); }
+  /// Consume the remainder.
+  [[nodiscard]] ByteView take_rest();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  void skip(std::size_t n);
+
+ private:
+  [[nodiscard]] bool need(std::size_t n);
+
+  ByteView in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace rogue::util

@@ -1,0 +1,39 @@
+// Minimal "{}"-placeholder string formatting (std::format is unavailable
+// on the GCC 12 toolchain this project targets). Each "{}" in the format
+// string is replaced by the next argument streamed through operator<<.
+// Extra placeholders render as-is; extra arguments are appended.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rogue::util {
+
+namespace detail {
+inline void format_impl(std::ostringstream& out, std::string_view fmt) {
+  out << fmt;
+}
+
+template <typename First, typename... Rest>
+void format_impl(std::ostringstream& out, std::string_view fmt, First&& first,
+                 Rest&&... rest) {
+  const std::size_t pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    out << fmt << std::forward<First>(first);
+    static_cast<void>((out << ... << std::forward<Rest>(rest)));
+    return;
+  }
+  out << fmt.substr(0, pos) << std::forward<First>(first);
+  format_impl(out, fmt.substr(pos + 2), std::forward<Rest>(rest)...);
+}
+}  // namespace detail
+
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, Args&&... args) {
+  std::ostringstream out;
+  detail::format_impl(out, fmt, std::forward<Args>(args)...);
+  return out.str();
+}
+
+}  // namespace rogue::util

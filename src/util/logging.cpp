@@ -1,0 +1,49 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace rogue::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+Log::Sink& sink_storage() {
+  static Log::Sink sink;
+  return sink;
+}
+}  // namespace
+
+LogLevel Log::level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void Log::set_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+void Log::set_sink(Sink sink) {
+  const std::lock_guard lock(g_sink_mutex);
+  sink_storage() = std::move(sink);
+}
+
+void Log::write(LogLevel lvl, std::string_view msg) {
+  const std::lock_guard lock(g_sink_mutex);
+  if (auto& sink = sink_storage()) {
+    sink(lvl, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(to_string(lvl).size()),
+               to_string(lvl).data(), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace rogue::util

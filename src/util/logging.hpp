@@ -1,0 +1,45 @@
+// Minimal leveled logger. Simulation components log through a shared sink;
+// tests silence it, examples turn it up. Not thread-safe by design: each
+// simulation (and therefore each logger use) is confined to one thread.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/fmt.hpp"
+
+namespace rogue::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// Global log configuration (per-process; experiments run trials in
+/// worker threads but set the level once before spawning).
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  /// Replace the output sink (default writes to stderr). Pass nullptr to
+  /// restore the default.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, std::string_view msg);
+
+  template <typename... Args>
+  static void log(LogLevel lvl, std::string_view fmt, Args&&... args) {
+    if (lvl < level()) return;
+    write(lvl, format(fmt, std::forward<Args>(args)...));
+  }
+};
+
+#define ROGUE_LOG_TRACE(...) ::rogue::util::Log::log(::rogue::util::LogLevel::kTrace, __VA_ARGS__)
+#define ROGUE_LOG_DEBUG(...) ::rogue::util::Log::log(::rogue::util::LogLevel::kDebug, __VA_ARGS__)
+#define ROGUE_LOG_INFO(...) ::rogue::util::Log::log(::rogue::util::LogLevel::kInfo, __VA_ARGS__)
+#define ROGUE_LOG_WARN(...) ::rogue::util::Log::log(::rogue::util::LogLevel::kWarn, __VA_ARGS__)
+#define ROGUE_LOG_ERROR(...) ::rogue::util::Log::log(::rogue::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace rogue::util

@@ -1,0 +1,86 @@
+#include "util/prng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace rogue::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Prng::Prng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Prng::next() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint32_t Prng::uniform_u32(std::uint32_t bound) {
+  if (bound <= 1) return 0;
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  while (true) {
+    const std::uint32_t x = static_cast<std::uint32_t>(next());
+    const std::uint64_t m = static_cast<std::uint64_t>(x) * bound;
+    const auto lo = static_cast<std::uint32_t>(m);
+    if (lo >= bound || lo >= (-bound) % bound) {
+      return static_cast<std::uint32_t>(m >> 32);
+    }
+  }
+}
+
+std::uint64_t Prng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  if (lo >= hi) return lo;
+  const std::uint64_t range = hi - lo + 1;
+  if (range == 0) return next();  // full 64-bit range
+  // Rejection sampling against the largest multiple of `range`.
+  const std::uint64_t limit = ~0ULL - (~0ULL % range);
+  std::uint64_t x = next();
+  while (x >= limit) x = next();
+  return lo + (x % range);
+}
+
+double Prng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Prng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Prng::exponential(double mean) {
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+void Prng::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t v = next();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+Prng Prng::fork() { return Prng(next() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+}  // namespace rogue::util

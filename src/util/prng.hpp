@@ -1,0 +1,47 @@
+// Deterministic PRNG used for every random decision in the simulation.
+// xoshiro256** seeded via splitmix64; never seeded from wall-clock so
+// simulations replay bit-for-bit from a trial seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rogue::util {
+
+/// splitmix64 step; also used standalone for seed derivation / hashing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator, so it can drive <random> too.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+  /// Uniform in [0, bound); bound must be > 0. Uses rejection sampling.
+  std::uint32_t uniform_u32(std::uint32_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+  /// Fill a span with random bytes.
+  void fill(std::span<std::uint8_t> out);
+
+  /// Derive an independent child generator (for per-entity streams).
+  [[nodiscard]] Prng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rogue::util

@@ -1,0 +1,62 @@
+// Small statistics helpers for experiment harnesses: streaming mean/stddev
+// (Welford), min/max, percentiles over retained samples, and a fixed-width
+// console table printer so every bench prints uniform, diffable output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rogue::util {
+
+/// Streaming accumulator (Welford) that also retains samples for quantiles.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+  /// q in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+
+ private:
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width text table; column widths auto-fit content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column separators and a header rule.
+  [[nodiscard]] std::string to_string() const;
+  /// Print to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style %.*f with trailing-zero trim, for table cells.
+[[nodiscard]] std::string fmt_double(double v, int digits = 3);
+/// "12.3%" style.
+[[nodiscard]] std::string fmt_percent(double fraction, int digits = 1);
+/// Human-readable byte count ("1.5 KiB").
+[[nodiscard]] std::string fmt_bytes(std::uint64_t n);
+
+}  // namespace rogue::util

@@ -1,0 +1,53 @@
+// Fixed-size worker pool + parallel_for used to run independent simulation
+// trials concurrently during experiment sweeps. Each task owns its entire
+// world (simulator, hosts, PRNG), so workers share nothing but the queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rogue::util {
+
+class ThreadPool {
+ public:
+  /// n_threads == 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; tasks must not throw (simulation errors assert).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run body(i) for i in [0, n) across the pool; blocks until done.
+/// Indices are handed out dynamically (good for uneven trial costs).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience: one-shot pool sized to hardware.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace rogue::util

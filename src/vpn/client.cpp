@@ -1,0 +1,206 @@
+#include "vpn/client.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace rogue::vpn {
+
+ClientTunnel::ClientTunnel(net::Host& host, ClientConfig config)
+    : host_(host), config_(std::move(config)) {}
+
+ClientTunnel::~ClientTunnel() {
+  host_.simulator().cancel(timeout_timer_);
+  host_.simulator().cancel(retransmit_timer_);
+}
+
+void ClientTunnel::start(EstablishedHandler done) {
+  done_ = std::move(done);
+
+  // Pin the endpoint itself to the underlying path so tunnel transport
+  // packets do not recurse into the tunnel once the default moves.
+  const auto underlying = host_.routes().lookup(config_.endpoint_ip);
+  if (!underlying) {
+    fail();
+    return;
+  }
+  host_.routes().add(net::Route{config_.endpoint_ip, net::Ipv4Addr(0xffffffffu),
+                                underlying->gateway, underlying->ifname, 0});
+
+  // ClientHello.
+  const auto& group = crypto::DhGroup::modp1024();
+  dh_ = crypto::DhKeyPair::generate(group, host_.simulator().rng());
+  util::Bytes client_random(kRandomLen);
+  host_.simulator().rng().fill(client_random);
+  client_hello_.clear();
+  util::append(client_hello_, client_random);
+  const util::Bytes pub = dh_->public_bytes();
+  util::append(client_hello_, pub);
+
+  Message hello;
+  hello.type = MsgType::kClientHello;
+  hello.payload = client_hello_;
+
+  timeout_timer_ = host_.simulator().after(config_.handshake_timeout, [this] {
+    if (!established_) fail();
+  });
+
+  if (config_.transport == Transport::kTcp) {
+    tcp_ = host_.tcp_connect(config_.endpoint_ip, config_.endpoint_port);
+    if (!tcp_) {
+      fail();
+      return;
+    }
+    reader_ = std::make_shared<MessageReader>();
+    auto reader = reader_;
+    tcp_->set_on_connect([this, hello] { send_message(hello); });
+    tcp_->set_on_data([this, reader](util::ByteView data) {
+      reader->feed(data);
+      while (const auto msg = reader->next()) on_message(*msg);
+    });
+    tcp_->set_on_close([this] {
+      if (!established_) fail();
+    });
+  } else {
+    udp_ = host_.udp_open(0);
+    if (!udp_) {
+      fail();
+      return;
+    }
+    udp_->set_rx([this](net::Ipv4Addr, std::uint16_t, util::ByteView data) {
+      const auto msg = Message::from_datagram(data);
+      if (msg) on_message(*msg);
+    });
+    send_message(hello);
+    // Handshake datagrams may be lost; retransmit the hello until done.
+    retransmit_timer_ = host_.simulator().every(config_.udp_retransmit, [this, hello] {
+      if (!established_ && !failed_) send_message(hello);
+    });
+  }
+}
+
+void ClientTunnel::send_message(const Message& msg) {
+  if (config_.transport == Transport::kTcp) {
+    if (tcp_) tcp_->send(msg.frame());
+  } else {
+    if (udp_) udp_->send_to(config_.endpoint_ip, config_.endpoint_port, msg.datagram());
+  }
+}
+
+void ClientTunnel::fail() {
+  if (failed_ || established_) return;
+  failed_ = true;
+  host_.simulator().cancel(timeout_timer_);
+  host_.simulator().cancel(retransmit_timer_);
+  if (tcp_) tcp_->abort();
+  if (done_) done_(false);
+}
+
+void ClientTunnel::on_message(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kServerHello: handle_server_hello(msg); return;
+    case MsgType::kAssign: handle_assign(msg); return;
+    case MsgType::kData: handle_data(msg); return;
+    default: return;
+  }
+}
+
+void ClientTunnel::handle_server_hello(const Message& msg) {
+  if (failed_ || established_) return;
+  if (server_authenticated_) {
+    // Our ClientAuth was probably lost: the server re-answered our
+    // retransmitted hello. Resend the auth (it is deterministic).
+    if (!last_auth_.payload.empty()) send_message(last_auth_);
+    return;
+  }
+  const auto& group = crypto::DhGroup::modp1024();
+  if (msg.payload.size() != kRandomLen + group.byte_len + 32) return;
+
+  const util::ByteView server_random = util::ByteView(msg.payload).subspan(0, kRandomLen);
+  const util::ByteView server_public =
+      util::ByteView(msg.payload).subspan(kRandomLen, group.byte_len);
+  const util::ByteView tag =
+      util::ByteView(msg.payload).subspan(kRandomLen + group.byte_len);
+
+  // Endpoint authentication: only the holder of the PSK can compute this.
+  // A rogue AP terminating our VPN handshake fails right here (§5.2).
+  const crypto::Sha256Digest expected =
+      server_auth_tag(config_.psk, client_hello_, server_public);
+  if (!util::equal_ct(tag, util::ByteView(expected.data(), expected.size()))) {
+    fail();
+    return;
+  }
+  server_authenticated_ = true;
+
+  const util::Bytes shared = dh_->shared_secret_bytes(server_public);
+  if (shared.empty()) {
+    fail();
+    return;
+  }
+  const util::ByteView client_random = util::ByteView(client_hello_).subspan(0, kRandomLen);
+  keys_ = derive_keys(config_.psk, shared, client_random, server_random);
+
+  Message auth;
+  auth.type = MsgType::kClientAuth;
+  const crypto::Sha256Digest tag_out =
+      client_auth_tag(config_.psk, client_hello_, server_public);
+  auth.payload.assign(tag_out.begin(), tag_out.end());
+  last_auth_ = auth;
+  send_message(auth);
+}
+
+void ClientTunnel::handle_assign(const Message& msg) {
+  if (established_ || failed_ || !server_authenticated_) return;
+  if (msg.payload.size() != 4) return;
+  tunnel_ip_ = net::Ipv4Addr((static_cast<std::uint32_t>(msg.payload[0]) << 24) |
+                             (static_cast<std::uint32_t>(msg.payload[1]) << 16) |
+                             (static_cast<std::uint32_t>(msg.payload[2]) << 8) |
+                             msg.payload[3]);
+  established_ = true;
+  host_.simulator().cancel(timeout_timer_);
+  host_.simulator().cancel(retransmit_timer_);
+  bring_up_tun();
+  if (done_) done_(true);
+}
+
+void ClientTunnel::bring_up_tun() {
+  auto tun = std::make_unique<TunIf>("tun0", [this](util::ByteView pkt) {
+    Message data;
+    data.type = MsgType::kData;
+    data.payload = seal_record(keys_.client_to_server, ++tx_seq_, pkt);
+    counters_.bytes_sealed += pkt.size();
+    ++counters_.records_out;
+    send_message(data);
+    return true;
+  });
+  tun_ = tun.get();
+  tun_->set_up(true);
+  host_.attach(std::move(tun));
+  host_.interface("tun0")->configure_ip(tunnel_ip_, net::netmask(32));
+
+  if (config_.route_all_traffic) {
+    // The paper's requirement 4: the VPN "must handle all client traffic".
+    host_.routes().remove_default();
+    host_.routes().add(net::Route{net::Ipv4Addr::any(), net::Ipv4Addr::any(),
+                                  net::Ipv4Addr::any(), "tun0", 50});
+  }
+}
+
+void ClientTunnel::handle_data(const Message& msg) {
+  if (!established_) return;
+  ++counters_.records_in;
+  std::uint64_t seq = 0;
+  const auto inner = open_record(keys_.server_to_client, msg.payload, &seq);
+  if (!inner) {
+    ++counters_.records_bad;
+    return;
+  }
+  if (seq <= last_rx_seq_ && last_rx_seq_ != 0) {
+    ++counters_.records_bad;
+    return;
+  }
+  last_rx_seq_ = seq;
+  counters_.bytes_decrypted += inner->size();
+  tun_->inject(*inner);
+}
+
+}  // namespace rogue::vpn

@@ -1,0 +1,99 @@
+// VPN client: establishes an authenticated tunnel to the endpoint and —
+// the paper's core prescription — repoints the host's *default route* into
+// the tunnel so that ALL traffic (requirement 4, §5.2) traverses it. Only
+// the pinned /32 route to the endpoint itself still uses the underlying
+// (possibly hostile) wireless path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "net/host.hpp"
+#include "vpn/endpoint.hpp"  // Transport
+#include "vpn/protocol.hpp"
+#include "vpn/virtual_if.hpp"
+
+namespace rogue::vpn {
+
+struct ClientConfig {
+  util::Bytes psk;
+  net::Ipv4Addr endpoint_ip;
+  std::uint16_t endpoint_port = 7000;
+  Transport transport = Transport::kTcp;
+  sim::Time handshake_timeout = 5 * sim::kSecond;
+  sim::Time udp_retransmit = 500 * sim::kMillisecond;
+  /// Route every non-endpoint packet through the tunnel once established.
+  bool route_all_traffic = true;
+};
+
+struct ClientCounters {
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t records_bad = 0;
+  std::uint64_t bytes_sealed = 0;
+  std::uint64_t bytes_decrypted = 0;
+};
+
+class ClientTunnel {
+ public:
+  /// done(true) once the tunnel is up (routes installed); done(false) on
+  /// endpoint authentication failure or timeout.
+  using EstablishedHandler = std::function<void(bool ok)>;
+
+  ClientTunnel(net::Host& host, ClientConfig config);
+  ~ClientTunnel();
+
+  ClientTunnel(const ClientTunnel&) = delete;
+  ClientTunnel& operator=(const ClientTunnel&) = delete;
+
+  void start(EstablishedHandler done);
+
+  [[nodiscard]] bool established() const { return established_; }
+  /// True if the peer proved knowledge of the PSK (it is the real
+  /// endpoint, not a rogue terminating our VPN).
+  [[nodiscard]] bool server_authenticated() const { return server_authenticated_; }
+  [[nodiscard]] net::Ipv4Addr tunnel_ip() const { return tunnel_ip_; }
+  [[nodiscard]] const ClientCounters& counters() const { return counters_; }
+  /// Carrier TCP statistics when transport == kTcp (the "unnecessary
+  /// retransmission" §5.3 warns about); nullptr for UDP transport.
+  [[nodiscard]] const net::TcpStats* tcp_transport_stats() const {
+    return tcp_ ? &tcp_->stats() : nullptr;
+  }
+
+ private:
+  void send_message(const Message& msg);
+  void on_message(const Message& msg);
+  void handle_server_hello(const Message& msg);
+  void handle_assign(const Message& msg);
+  void handle_data(const Message& msg);
+  void bring_up_tun();
+  void fail();
+
+  net::Host& host_;
+  ClientConfig config_;
+  EstablishedHandler done_;
+
+  net::TcpConnectionPtr tcp_;
+  std::shared_ptr<net::UdpSocket> udp_;
+  std::shared_ptr<MessageReader> reader_;
+
+  util::Bytes client_hello_;
+  Message last_auth_;  ///< resent when a duplicate ServerHello arrives
+  std::optional<crypto::DhKeyPair> dh_;
+  SessionKeys keys_;
+  bool server_authenticated_ = false;
+  bool established_ = false;
+  bool failed_ = false;
+  net::Ipv4Addr tunnel_ip_;
+  std::uint64_t tx_seq_ = 0;
+  std::uint64_t last_rx_seq_ = 0;
+
+  TunIf* tun_ = nullptr;  // owned by host_
+  sim::TimerHandle timeout_timer_;
+  sim::TimerHandle retransmit_timer_;
+  ClientCounters counters_;
+};
+
+}  // namespace rogue::vpn

@@ -1,0 +1,244 @@
+#include "vpn/endpoint.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace rogue::vpn {
+
+Endpoint::Endpoint(net::Host& host, EndpointConfig config)
+    : host_(host), config_(std::move(config)) {}
+
+void Endpoint::start() {
+  // tun device: return traffic for the tunnel network lands here.
+  auto tun = std::make_unique<TunIf>(
+      "vpn-tun", [this](util::ByteView pkt) { return tun_transmit(pkt); });
+  tun_ = tun.get();
+  tun_->set_up(true);
+  host_.attach(std::move(tun));
+  // The tun itself holds the network's .1 address.
+  const net::Ipv4Addr tun_ip(config_.tunnel_network.value() | 1u);
+  host_.interface("vpn-tun")->configure_ip(tun_ip, net::netmask(config_.tunnel_prefix));
+  host_.routes().add(net::Route{config_.tunnel_network,
+                                net::netmask(config_.tunnel_prefix),
+                                net::Ipv4Addr::any(), "vpn-tun", 0});
+  host_.set_ip_forward(true);
+
+  if (config_.snat_to_wire) {
+    const net::NetIf* egress = host_.interface(config_.egress_ifname);
+    ROGUE_ASSERT_MSG(egress != nullptr, "VPN endpoint: egress interface missing");
+    net::Rule snat;
+    snat.match.src = config_.tunnel_network;
+    snat.match.src_mask = net::netmask(config_.tunnel_prefix);
+    snat.match.out_iface = config_.egress_ifname;
+    snat.target = net::RuleTarget::kSnat;
+    snat.nat_ip = egress->ip();
+    host_.netfilter().append(net::Hook::kPostrouting, snat);
+  }
+
+  host_.tcp_listen(config_.port,
+                   [this](net::TcpConnectionPtr conn) { on_tcp_accept(conn); });
+
+  udp_ = host_.udp_open(config_.port);
+  ROGUE_ASSERT_MSG(udp_ != nullptr, "VPN endpoint: UDP port taken");
+  udp_->set_rx([this](net::Ipv4Addr src, std::uint16_t sport, util::ByteView data) {
+    on_udp_datagram(src, sport, data);
+  });
+}
+
+std::optional<net::Ipv4Addr> Endpoint::allocate_tunnel_ip() {
+  const std::uint32_t host_bits = 32 - config_.tunnel_prefix;
+  if (next_host_id_ >= (1u << host_bits) - 1) return std::nullopt;
+  return net::Ipv4Addr(config_.tunnel_network.value() | next_host_id_++);
+}
+
+void Endpoint::on_tcp_accept(net::TcpConnectionPtr conn) {
+  auto session = std::make_shared<Session>();
+  std::weak_ptr<net::TcpConnection> weak = conn;
+  session->send = [weak](const Message& msg) {
+    if (const auto c = weak.lock()) c->send(msg.frame());
+  };
+
+  auto reader = std::make_shared<MessageReader>();
+  conn->set_on_data([this, session, reader](util::ByteView data) {
+    reader->feed(data);
+    while (const auto msg = reader->next()) {
+      handle_message(session, *msg);
+    }
+  });
+  conn->set_on_close([this, session] {
+    if (session->established) by_tunnel_ip_.erase(session->tunnel_ip);
+  });
+}
+
+void Endpoint::on_udp_datagram(net::Ipv4Addr src, std::uint16_t sport,
+                               util::ByteView data) {
+  const auto msg = Message::from_datagram(data);
+  if (!msg) return;
+
+  auto& session = udp_sessions_[{src, sport}];
+  if (!session) {
+    session = std::make_shared<Session>();
+    auto socket = udp_;
+    session->send = [socket, src, sport](const Message& m) {
+      socket->send_to(src, sport, m.datagram());
+    };
+  }
+  handle_message(session, *msg);
+}
+
+void Endpoint::handle_message(const SessionPtr& session, const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kClientHello:
+      handle_client_hello(session, msg);
+      return;
+    case MsgType::kClientAuth:
+      handle_client_auth(session, msg);
+      return;
+    case MsgType::kData:
+      handle_data(session, msg);
+      return;
+    default:
+      return;
+  }
+}
+
+void Endpoint::handle_client_hello(const SessionPtr& session, const Message& msg) {
+  const auto& group = crypto::DhGroup::modp1024();
+  if (msg.payload.size() != kRandomLen + group.byte_len) return;
+  // Idempotence under datagram loss: a retransmitted identical hello must
+  // get the *same* ServerHello back, or the client (already committed to
+  // our first reply) can never complete the handshake.
+  if (!session->hello_reply.empty() &&
+      session->client_hello.size() >= msg.payload.size() &&
+      std::equal(msg.payload.begin(), msg.payload.end(),
+                 session->client_hello.begin())) {
+    Message cached;
+    cached.type = MsgType::kServerHello;
+    cached.payload = session->hello_reply;
+    session->send(cached);
+    return;
+  }
+  session->client_hello = msg.payload;
+
+  session->dh = crypto::DhKeyPair::generate(group, host_.simulator().rng());
+  const util::Bytes server_public = session->dh->public_bytes();
+
+  util::Bytes server_random(kRandomLen);
+  host_.simulator().rng().fill(server_random);
+
+  const util::ByteView client_random =
+      util::ByteView(session->client_hello).subspan(0, kRandomLen);
+  const util::ByteView client_public =
+      util::ByteView(session->client_hello).subspan(kRandomLen);
+  const util::Bytes shared = session->dh->shared_secret_bytes(client_public);
+  if (shared.empty()) return;  // degenerate public value
+
+  session->keys = derive_keys(config_.psk, shared, client_random, server_random);
+
+  const crypto::Sha256Digest tag =
+      server_auth_tag(config_.psk, session->client_hello, server_public);
+
+  Message hello;
+  hello.type = MsgType::kServerHello;
+  util::ByteWriter w(hello.payload);
+  w.raw(server_random);
+  w.raw(server_public);
+  w.raw(util::ByteView(tag.data(), tag.size()));
+  session->hello_reply = hello.payload;
+  // Stash server_public for verifying the client's auth tag.
+  session->client_hello.insert(session->client_hello.end(), server_public.begin(),
+                               server_public.end());
+  session->send(hello);
+}
+
+void Endpoint::handle_client_auth(const SessionPtr& session, const Message& msg) {
+  if (session->established) {
+    // Duplicate auth after our Assign was lost: resend it.
+    if (!session->assign_reply.empty()) {
+      Message cached;
+      cached.type = MsgType::kAssign;
+      cached.payload = session->assign_reply;
+      session->send(cached);
+    }
+    return;
+  }
+  if (session->client_hello.empty()) return;
+  const auto& group = crypto::DhGroup::modp1024();
+  const std::size_t hello_len = kRandomLen + group.byte_len;
+  if (session->client_hello.size() != hello_len + group.byte_len) return;
+
+  const util::ByteView hello =
+      util::ByteView(session->client_hello).subspan(0, hello_len);
+  const util::ByteView server_public =
+      util::ByteView(session->client_hello).subspan(hello_len);
+  const crypto::Sha256Digest expected =
+      client_auth_tag(config_.psk, hello, server_public);
+  if (!util::equal_ct(msg.payload, util::ByteView(expected.data(), expected.size()))) {
+    ++counters_.auth_failures;
+    return;
+  }
+
+  const auto tunnel_ip = allocate_tunnel_ip();
+  if (!tunnel_ip) return;
+  session->tunnel_ip = *tunnel_ip;
+  session->established = true;
+  by_tunnel_ip_[*tunnel_ip] = session;
+  ++counters_.sessions_established;
+
+  Message assign;
+  assign.type = MsgType::kAssign;
+  util::ByteWriter w(assign.payload);
+  w.u32be(tunnel_ip->value());
+  session->assign_reply = assign.payload;
+  session->send(assign);
+}
+
+void Endpoint::handle_data(const SessionPtr& session, const Message& msg) {
+  if (!session->established) return;
+  ++counters_.records_in;
+
+  std::uint64_t seq = 0;
+  const auto inner =
+      open_record(session->keys.client_to_server, msg.payload, &seq);
+  if (!inner) {
+    ++counters_.records_bad;
+    return;
+  }
+  if (seq <= session->last_rx_seq && session->last_rx_seq != 0) {
+    ++counters_.records_bad;  // replay / reorder outside policy
+    return;
+  }
+  session->last_rx_seq = seq;
+
+  auto packet = net::Ipv4Packet::parse(*inner);
+  if (!packet) {
+    ++counters_.records_bad;
+    return;
+  }
+  // Anti-spoofing: the inner source must be the assigned tunnel address.
+  if (packet->src != session->tunnel_ip) {
+    ++counters_.records_bad;
+    return;
+  }
+  counters_.bytes_decrypted += inner->size();
+  host_.send_packet(std::move(*packet));
+}
+
+bool Endpoint::tun_transmit(util::ByteView ip_packet) {
+  const auto packet = net::Ipv4Packet::parse(ip_packet);
+  if (!packet) return false;
+  const auto it = by_tunnel_ip_.find(packet->dst);
+  if (it == by_tunnel_ip_.end()) return false;
+  Session& session = *it->second;
+
+  Message data;
+  data.type = MsgType::kData;
+  data.payload =
+      seal_record(session.keys.server_to_client, ++session.tx_seq, ip_packet);
+  counters_.bytes_sealed += ip_packet.size();
+  ++counters_.records_out;
+  session.send(data);
+  return true;
+}
+
+}  // namespace rogue::vpn

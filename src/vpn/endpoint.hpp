@@ -1,0 +1,92 @@
+// VPN endpoint (server side): lives on a host inside the trusted wired
+// network (§5.2 requirement 3). Terminates client tunnels, assigns tunnel
+// addresses, decrypts inbound records and routes the inner packets; return
+// traffic for tunnel addresses is routed into a tun interface, sealed, and
+// sent back down the right session. SNAT toward the wire makes the
+// endpoint self-contained (no routes needed on other wired hosts) — and
+// doubles as the paper's §5.3 note that "the client's traffic can also be
+// anonymized for privacy reasons at the VPN endpoint".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "net/host.hpp"
+#include "vpn/protocol.hpp"
+#include "vpn/virtual_if.hpp"
+
+namespace rogue::vpn {
+
+enum class Transport : std::uint8_t { kTcp, kUdp };
+
+struct EndpointConfig {
+  util::Bytes psk;             ///< pre-established authenticator
+  std::uint16_t port = 7000;
+  net::Ipv4Addr tunnel_network = net::Ipv4Addr(172, 16, 0, 0);
+  unsigned tunnel_prefix = 24;
+  bool snat_to_wire = true;    ///< masquerade tunnel clients behind our IP
+  std::string egress_ifname = "eth0";
+};
+
+struct EndpointCounters {
+  std::uint64_t sessions_established = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t records_bad = 0;      ///< MAC failures / replays / spoofed src
+  std::uint64_t bytes_decrypted = 0;
+  std::uint64_t bytes_sealed = 0;
+};
+
+class Endpoint {
+ public:
+  Endpoint(net::Host& host, EndpointConfig config);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Open the TCP listener and UDP socket, install tun routing + SNAT.
+  void start();
+
+  [[nodiscard]] const EndpointCounters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t active_sessions() const { return by_tunnel_ip_.size(); }
+
+ private:
+  struct Session {
+    SessionKeys keys;
+    net::Ipv4Addr tunnel_ip;
+    bool established = false;
+    std::uint64_t tx_seq = 0;
+    std::uint64_t last_rx_seq = 0;
+    util::Bytes client_hello;  ///< retained for transcript auth
+    util::Bytes hello_reply;   ///< cached ServerHello (duplicate M1s resend it)
+    util::Bytes assign_reply;  ///< cached Assign (duplicate auths resend it)
+    std::optional<crypto::DhKeyPair> dh;  ///< fresh per session
+    // Transport binding.
+    std::function<void(const Message&)> send;
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  void on_tcp_accept(net::TcpConnectionPtr conn);
+  void on_udp_datagram(net::Ipv4Addr src, std::uint16_t sport, util::ByteView data);
+  void handle_message(const SessionPtr& session, const Message& msg);
+  void handle_client_hello(const SessionPtr& session, const Message& msg);
+  void handle_client_auth(const SessionPtr& session, const Message& msg);
+  void handle_data(const SessionPtr& session, const Message& msg);
+  bool tun_transmit(util::ByteView ip_packet);
+  [[nodiscard]] std::optional<net::Ipv4Addr> allocate_tunnel_ip();
+
+  net::Host& host_;
+  EndpointConfig config_;
+  TunIf* tun_ = nullptr;  // owned by host_
+  std::shared_ptr<net::UdpSocket> udp_;
+  std::map<std::pair<net::Ipv4Addr, std::uint16_t>, SessionPtr> udp_sessions_;
+  std::unordered_map<net::Ipv4Addr, SessionPtr> by_tunnel_ip_;
+  std::uint32_t next_host_id_ = 2;
+  EndpointCounters counters_;
+};
+
+}  // namespace rogue::vpn

@@ -1,0 +1,110 @@
+#include "vpn/protocol.hpp"
+
+namespace rogue::vpn {
+
+util::Bytes Message::frame() const {
+  util::Bytes out;
+  out.reserve(5 + payload.size());
+  util::ByteWriter w(out);
+  w.u32be(static_cast<std::uint32_t>(1 + payload.size()));
+  w.u8(static_cast<std::uint8_t>(type));
+  w.raw(payload);
+  return out;
+}
+
+util::Bytes Message::datagram() const {
+  util::Bytes out;
+  out.reserve(1 + payload.size());
+  out.push_back(static_cast<std::uint8_t>(type));
+  util::append(out, payload);
+  return out;
+}
+
+std::optional<Message> Message::from_datagram(util::ByteView raw) {
+  if (raw.empty()) return std::nullopt;
+  Message m;
+  m.type = static_cast<MsgType>(raw[0]);
+  m.payload.assign(raw.begin() + 1, raw.end());
+  return m;
+}
+
+void MessageReader::feed(util::ByteView data) { util::append(buffer_, data); }
+
+std::optional<Message> MessageReader::next() {
+  if (buffer_.size() < 5) return std::nullopt;
+  const std::uint32_t len = (static_cast<std::uint32_t>(buffer_[0]) << 24) |
+                            (static_cast<std::uint32_t>(buffer_[1]) << 16) |
+                            (static_cast<std::uint32_t>(buffer_[2]) << 8) |
+                            buffer_[3];
+  if (len < 1 || len > 1 << 20) {  // corrupt framing: drop everything
+    buffer_.clear();
+    return std::nullopt;
+  }
+  if (buffer_.size() < 4 + len) return std::nullopt;
+  Message m;
+  m.type = static_cast<MsgType>(buffer_[4]);
+  m.payload.assign(buffer_.begin() + 5,
+                   buffer_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+  return m;
+}
+
+SessionKeys derive_keys(util::ByteView psk, util::ByteView dh_shared,
+                        util::ByteView client_random, util::ByteView server_random) {
+  util::Bytes seed;
+  util::append(seed, dh_shared);
+  util::append(seed, client_random);
+  util::append(seed, server_random);
+  const crypto::Sha256Digest master = crypto::hmac_sha256(psk, seed);
+  const util::ByteView master_view(master.data(), master.size());
+  SessionKeys keys;
+  keys.client_to_server =
+      crypto::kdf_expand(master_view, util::to_bytes("c2s"), crypto::kAeadKeyLen);
+  keys.server_to_client =
+      crypto::kdf_expand(master_view, util::to_bytes("s2c"), crypto::kAeadKeyLen);
+  return keys;
+}
+
+namespace {
+[[nodiscard]] crypto::Sha256Digest auth_tag(util::ByteView psk, std::string_view label,
+                                            util::ByteView client_hello,
+                                            util::ByteView server_public) {
+  util::Bytes transcript;
+  util::append(transcript, util::to_bytes(label));
+  util::append(transcript, client_hello);
+  util::append(transcript, server_public);
+  return crypto::hmac_sha256(psk, transcript);
+}
+}  // namespace
+
+crypto::Sha256Digest server_auth_tag(util::ByteView psk, util::ByteView client_hello,
+                                     util::ByteView server_public) {
+  return auth_tag(psk, "server-auth", client_hello, server_public);
+}
+
+crypto::Sha256Digest client_auth_tag(util::ByteView psk, util::ByteView client_hello,
+                                     util::ByteView server_public) {
+  return auth_tag(psk, "client-auth", client_hello, server_public);
+}
+
+util::Bytes seal_record(util::ByteView key, std::uint64_t seq,
+                        util::ByteView inner_packet) {
+  util::Bytes out;
+  util::ByteWriter w(out);
+  w.u64be(seq);
+  const util::Bytes sealed = crypto::aead_seal(key, seq, {}, inner_packet);
+  w.raw(sealed);
+  return out;
+}
+
+std::optional<util::Bytes> open_record(util::ByteView key, util::ByteView record,
+                                       std::uint64_t* seq_out) {
+  if (record.size() < 8) return std::nullopt;
+  util::ByteReader r(record);
+  const std::uint64_t seq = r.u64be();
+  if (seq_out != nullptr) *seq_out = seq;
+  return crypto::aead_open(key, seq, {}, r.take_rest());
+}
+
+}  // namespace rogue::vpn

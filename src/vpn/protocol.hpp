@@ -1,0 +1,88 @@
+// VPN wire protocol: an authenticated-key-exchange handshake plus AEAD
+// data records, modelled on the paper's PPP-over-SSH tunnel (§5.3) but
+// with the properties §5.2 demands made explicit:
+//   1. trustworthy provider      -> pre-shared authenticator (PSK)
+//   2. preestablished credentials -> both handshake HMACs keyed by PSK
+//   3. endpoint on trusted wire  -> deployment concern (scenario/)
+//   4. handles all client traffic -> client routing policy (client.hpp)
+//
+// Handshake (over TCP stream or UDP datagrams):
+//   C->S  kClientHello  { client_random[32], dh_pub[128] }
+//   S->C  kServerHello  { server_random[32], dh_pub[128],
+//                         server_auth = HMAC(psk, "server-auth" || transcript) }
+//   C->S  kClientAuth   { client_auth = HMAC(psk, "client-auth" || transcript) }
+//   S->C  kAssign       { tunnel_ip[4] }
+// Keys: master = HMAC(psk, dh_shared || client_random || server_random),
+// then c2s/s2c AEAD keys via kdf_expand. Data records:
+//   kData { seq[8], sealed = AEAD(key_dir, seq, ad = "", inner_ip_packet) }
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/aead.hpp"
+#include "crypto/dh.hpp"
+#include "crypto/hmac.hpp"
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace rogue::vpn {
+
+enum class MsgType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kClientAuth = 3,
+  kAssign = 4,
+  kData = 5,
+};
+
+inline constexpr std::size_t kRandomLen = 32;
+
+struct Message {
+  MsgType type = MsgType::kData;
+  util::Bytes payload;
+
+  /// Length-prefixed framing for stream transports: [u32 len][u8 type][payload].
+  [[nodiscard]] util::Bytes frame() const;
+  /// Datagram encoding (no length prefix): [u8 type][payload].
+  [[nodiscard]] util::Bytes datagram() const;
+  [[nodiscard]] static std::optional<Message> from_datagram(util::ByteView raw);
+};
+
+/// Incremental deframer for the TCP transport.
+class MessageReader {
+ public:
+  void feed(util::ByteView data);
+  /// Pop the next complete message, if any.
+  [[nodiscard]] std::optional<Message> next();
+
+ private:
+  util::Bytes buffer_;
+};
+
+/// Session keys derived from the handshake.
+struct SessionKeys {
+  util::Bytes client_to_server;  ///< kAeadKeyLen bytes
+  util::Bytes server_to_client;
+};
+
+[[nodiscard]] SessionKeys derive_keys(util::ByteView psk, util::ByteView dh_shared,
+                                      util::ByteView client_random,
+                                      util::ByteView server_random);
+
+/// Transcript MACs binding the handshake to the PSK (endpoint auth).
+[[nodiscard]] crypto::Sha256Digest server_auth_tag(util::ByteView psk,
+                                                   util::ByteView client_hello,
+                                                   util::ByteView server_public);
+[[nodiscard]] crypto::Sha256Digest client_auth_tag(util::ByteView psk,
+                                                   util::ByteView client_hello,
+                                                   util::ByteView server_public);
+
+/// Seal/open one data record (seq doubles as nonce).
+[[nodiscard]] util::Bytes seal_record(util::ByteView key, std::uint64_t seq,
+                                      util::ByteView inner_packet);
+[[nodiscard]] std::optional<util::Bytes> open_record(util::ByteView key,
+                                                     util::ByteView record,
+                                                     std::uint64_t* seq_out);
+
+}  // namespace rogue::vpn

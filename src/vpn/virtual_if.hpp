@@ -1,0 +1,45 @@
+// tun-style point-to-point interface: outbound IP packets go to a user
+// callback (the tunnel's encryptor); the tunnel injects inbound decrypted
+// packets with inject(). No ARP, no link layer.
+#pragma once
+
+#include <functional>
+
+#include "net/link.hpp"
+
+namespace rogue::vpn {
+
+class TunIf final : public net::NetIf {
+ public:
+  /// `tx` receives the raw serialized IPv4 packet bytes.
+  using TxHandler = std::function<bool(util::ByteView ip_packet)>;
+
+  TunIf(std::string name, TxHandler tx)
+      : net::NetIf(std::move(name), net::MacAddr::from_id(0x7F00)),
+        tx_(std::move(tx)) {}
+
+  bool send(net::MacAddr /*dst*/, std::uint16_t ethertype,
+            util::ByteView payload) override {
+    if (ethertype != dot11::kEtherTypeIpv4) return false;
+    if (!up_) return false;
+    count_tx();
+    return tx_(payload);
+  }
+
+  [[nodiscard]] bool link_up() const override { return up_; }
+  [[nodiscard]] bool needs_arp() const override { return false; }
+
+  void set_up(bool up) { up_ = up; }
+
+  /// Deliver a decrypted inner packet up into the host's IP stack.
+  void inject(util::ByteView ip_packet) {
+    deliver_up(net::L2Frame{mac(), mac(), dot11::kEtherTypeIpv4,
+                            util::Bytes(ip_packet.begin(), ip_packet.end())});
+  }
+
+ private:
+  TxHandler tx_;
+  bool up_ = false;
+};
+
+}  // namespace rogue::vpn

@@ -1,0 +1,433 @@
+// Crypto tests: published test vectors for every primitive plus
+// property-style round-trip and tamper-detection sweeps.
+#include <gtest/gtest.h>
+
+#include "crypto/aead.hpp"
+#include "crypto/bignum.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/crc32.hpp"
+#include "crypto/dh.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/md5.hpp"
+#include "crypto/rc4.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/wep.hpp"
+#include "util/prng.hpp"
+
+namespace rogue::crypto {
+namespace {
+
+using util::Bytes;
+using util::ByteView;
+using util::hex_encode;
+using util::to_bytes;
+
+// ---- RC4 --------------------------------------------------------------------
+
+TEST(Rc4, KnownVectorKey) {
+  // Classic test vector: key "Key", plaintext "Plaintext".
+  Rc4 rc4(to_bytes("Key"));
+  const Bytes ct = rc4.apply(to_bytes("Plaintext"));
+  EXPECT_EQ(hex_encode(ct), "bbf316e8d940af0ad3");
+}
+
+TEST(Rc4, KnownVectorWiki) {
+  Rc4 rc4(to_bytes("Wiki"));
+  const Bytes ct = rc4.apply(to_bytes("pedia"));
+  EXPECT_EQ(hex_encode(ct), "1021bf0420");
+}
+
+TEST(Rc4, EncryptDecryptRoundTrip) {
+  util::Prng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes key(1 + rng.uniform_u32(32));
+    rng.fill(key);
+    Bytes msg(rng.uniform_u32(500));
+    rng.fill(msg);
+    Rc4 enc(key);
+    Rc4 dec(key);
+    EXPECT_EQ(dec.apply(enc.apply(msg)), msg);
+  }
+}
+
+// ---- CRC32 --------------------------------------------------------------------
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  EXPECT_EQ(crc32(to_bytes("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const Bytes data = to_bytes("hello crc32 world");
+  Crc32 inc;
+  inc.update(ByteView(data).subspan(0, 5));
+  inc.update(ByteView(data).subspan(5));
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32, LinearityEnablesBitFlips) {
+  // The WEP-breaking property: flipping plaintext bits flips predictable
+  // ICV bits, independent of the rest of the message.
+  const Bytes a = to_bytes("message-one-xyz");
+  Bytes b = a;
+  b[3] ^= 0x40;
+  Bytes zero(a.size(), 0);
+  Bytes delta = zero;
+  delta[3] = 0x40;
+  EXPECT_EQ(crc32(a) ^ crc32(b), crc32(zero) ^ crc32(delta));
+}
+
+// ---- MD5 --------------------------------------------------------------------
+
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(md5_hex({}), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(md5_hex(to_bytes("a")), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(md5_hex(to_bytes("abc")), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(md5_hex(to_bytes("message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(md5_hex(to_bytes("abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(md5_hex(to_bytes(
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+}
+
+TEST(Md5, StreamingMatchesOneShot) {
+  util::Prng rng(2);
+  Bytes data(1000);
+  rng.fill(data);
+  Md5 h;
+  // Feed in awkward chunk sizes straddling the 64-byte block boundary.
+  std::size_t pos = 0;
+  const std::size_t chunks[] = {1, 63, 64, 65, 100, 707};
+  for (const std::size_t c : chunks) {
+    h.update(ByteView(data).subspan(pos, c));
+    pos += c;
+  }
+  EXPECT_EQ(pos, data.size());
+  EXPECT_EQ(h.finish(), md5(data));
+}
+
+// ---- SHA-256 ------------------------------------------------------------------
+
+TEST(Sha256, FipsVectors) {
+  EXPECT_EQ(sha256_hex(to_bytes("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto digest = h.finish();
+  EXPECT_EQ(hex_encode(ByteView(digest.data(), digest.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// ---- HMAC ---------------------------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto mac = hmac_sha256(key, to_bytes("Hi There"));
+  EXPECT_EQ(hex_encode(ByteView(mac.data(), mac.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto mac = hmac_sha256(to_bytes("Jefe"),
+                               to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(hex_encode(ByteView(mac.data(), mac.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  const auto mac = hmac_sha256(key, msg);
+  EXPECT_EQ(hex_encode(ByteView(mac.data(), mac.size())),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashed) {
+  const Bytes key(131, 0xaa);
+  const auto mac = hmac_sha256(
+      key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(hex_encode(ByteView(mac.data(), mac.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Kdf, ExpandIsDeterministicAndLabelled) {
+  const Bytes key = to_bytes("master");
+  const Bytes a = kdf_expand(key, to_bytes("c2s"), 64);
+  const Bytes b = kdf_expand(key, to_bytes("c2s"), 64);
+  const Bytes c = kdf_expand(key, to_bytes("s2c"), 64);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 64u);
+  // Prefix property: shorter output is a prefix of longer.
+  const Bytes a16 = kdf_expand(key, to_bytes("c2s"), 16);
+  EXPECT_TRUE(std::equal(a16.begin(), a16.end(), a.begin()));
+}
+
+// ---- ChaCha20 -------------------------------------------------------------------
+
+TEST(ChaCha20, Rfc8439Vector) {
+  // RFC 8439 §2.4.2.
+  Bytes key(32);
+  for (std::size_t i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  const Bytes nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                       0x4a, 0x00, 0x00, 0x00, 0x00};
+  ChaCha20 cipher(key, nonce, 1);
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const Bytes ct = cipher.apply(to_bytes(plaintext));
+  EXPECT_EQ(hex_encode(ByteView(ct).subspan(0, 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+  EXPECT_EQ(hex_encode(ByteView(ct).subspan(ct.size() - 16)),
+            "0bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, RoundTrip) {
+  util::Prng rng(3);
+  Bytes key(32);
+  rng.fill(key);
+  Bytes nonce(12);
+  rng.fill(nonce);
+  Bytes msg(3000);
+  rng.fill(msg);
+  ChaCha20 enc(key, nonce);
+  ChaCha20 dec(key, nonce);
+  EXPECT_EQ(dec.apply(enc.apply(msg)), msg);
+}
+
+// ---- AEAD ---------------------------------------------------------------------
+
+class AeadRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AeadRoundTrip, SealOpen) {
+  util::Prng rng(4);
+  Bytes key(kAeadKeyLen);
+  rng.fill(key);
+  Bytes msg(GetParam());
+  rng.fill(msg);
+  const Bytes ad = to_bytes("header");
+  const Bytes sealed = aead_seal(key, 7, ad, msg);
+  EXPECT_EQ(sealed.size(), msg.size() + kAeadTagLen);
+  const auto opened = aead_open(key, 7, ad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AeadRoundTrip,
+                         ::testing::Values(0, 1, 15, 16, 64, 1000, 1500));
+
+TEST(Aead, RejectsTamperedCiphertext) {
+  util::Prng rng(5);
+  Bytes key(kAeadKeyLen);
+  rng.fill(key);
+  const Bytes msg = to_bytes("attack at dawn");
+  Bytes sealed = aead_seal(key, 1, {}, msg);
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    Bytes corrupted = sealed;
+    corrupted[i] ^= 0x01;
+    EXPECT_FALSE(aead_open(key, 1, {}, corrupted).has_value())
+        << "tampered byte " << i << " accepted";
+  }
+}
+
+TEST(Aead, RejectsWrongSeqKeyAndAd) {
+  util::Prng rng(6);
+  Bytes key(kAeadKeyLen);
+  rng.fill(key);
+  Bytes other_key(kAeadKeyLen);
+  rng.fill(other_key);
+  const Bytes msg = to_bytes("payload");
+  const Bytes sealed = aead_seal(key, 9, to_bytes("ad"), msg);
+  EXPECT_FALSE(aead_open(key, 10, to_bytes("ad"), sealed).has_value());
+  EXPECT_FALSE(aead_open(other_key, 9, to_bytes("ad"), sealed).has_value());
+  EXPECT_FALSE(aead_open(key, 9, to_bytes("xx"), sealed).has_value());
+  EXPECT_TRUE(aead_open(key, 9, to_bytes("ad"), sealed).has_value());
+}
+
+// ---- BigUint / DH ---------------------------------------------------------------
+
+TEST(BigUint, BasicArithmetic) {
+  const BigUint a(1234567890123456789ULL);
+  const BigUint b(987654321ULL);
+  EXPECT_EQ(BigUint::add(a, b).to_hex(), "112210f4b8c7e9c6");
+  EXPECT_EQ(BigUint::mul(BigUint(0xffffffffULL), BigUint(0xffffffffULL)).to_hex(),
+            "fffffffe00000001");
+  EXPECT_EQ(BigUint::sub(a, b).to_hex(), "112210f4430b1864");
+}
+
+TEST(BigUint, HexRoundTrip) {
+  const std::string hex = "deadbeefcafebabe0123456789abcdef00ff";
+  EXPECT_EQ(BigUint::from_hex(hex).to_hex(), hex);
+  EXPECT_EQ(BigUint().to_hex(), "0");
+}
+
+TEST(BigUint, CompareAndShift) {
+  const BigUint one(1);
+  EXPECT_EQ(BigUint::shl(one, 127).to_hex(),
+            "80000000000000000000000000000000");
+  EXPECT_EQ(BigUint::shr(BigUint::shl(one, 127), 127), one);
+  EXPECT_TRUE(BigUint(5) < BigUint(6));
+  EXPECT_TRUE(BigUint::shl(one, 64) > BigUint(~0ULL));
+}
+
+TEST(BigUint, DivMod) {
+  const BigUint a = BigUint::from_hex("123456789abcdef0123456789abcdef0");
+  const BigUint b = BigUint::from_hex("fedcba987");
+  const auto [q, r] = BigUint::divmod(a, b);
+  EXPECT_EQ(BigUint::add(BigUint::mul(q, b), r), a);
+  EXPECT_TRUE(r < b);
+}
+
+TEST(BigUint, ModPowSmallCases) {
+  // 3^4 mod 7 = 4; 2^10 mod 1000 = 24.
+  EXPECT_EQ(BigUint::mod_pow(BigUint(3), BigUint(4), BigUint(7)).to_hex(), "4");
+  EXPECT_EQ(BigUint::mod_pow(BigUint(2), BigUint(10), BigUint(1000)).to_hex(), "18");
+  // Fermat: a^(p-1) mod p == 1 for prime p.
+  const BigUint p(1000000007ULL);
+  EXPECT_EQ(BigUint::mod_pow(BigUint(123456), BigUint(1000000006ULL), p).to_hex(),
+            "1");
+}
+
+TEST(Dh, SharedSecretAgreesToy) {
+  util::Prng rng(7);
+  const auto& group = DhGroup::toy256();
+  const auto alice = DhKeyPair::generate(group, rng);
+  const auto bob = DhKeyPair::generate(group, rng);
+  const Bytes s1 = alice.shared_secret(bob.public_value());
+  const Bytes s2 = bob.shared_secret(alice.public_value());
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), group.byte_len);
+}
+
+TEST(Dh, SharedSecretAgreesModp1024) {
+  util::Prng rng(8);
+  const auto& group = DhGroup::modp1024();
+  const auto alice = DhKeyPair::generate(group, rng);
+  const auto bob = DhKeyPair::generate(group, rng);
+  EXPECT_EQ(alice.shared_secret_bytes(bob.public_bytes()),
+            bob.shared_secret_bytes(alice.public_bytes()));
+}
+
+TEST(Dh, RejectsDegeneratePublicValues) {
+  util::Prng rng(9);
+  const auto& group = DhGroup::toy256();
+  const auto kp = DhKeyPair::generate(group, rng);
+  EXPECT_TRUE(kp.shared_secret(BigUint(0)).empty());
+  EXPECT_TRUE(kp.shared_secret(BigUint(1)).empty());
+  EXPECT_TRUE(kp.shared_secret(group.p).empty());
+}
+
+// ---- WEP ----------------------------------------------------------------------
+
+class WepRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(WepRoundTrip, EncryptDecrypt) {
+  const auto [key_len, msg_len] = GetParam();
+  util::Prng rng(10);
+  Bytes key(key_len);
+  rng.fill(key);
+  Bytes msg(msg_len);
+  rng.fill(msg);
+  const WepIv iv = {0x12, 0x34, 0x56};
+  const Bytes body = wep_encrypt(iv, key, msg, 2);
+  EXPECT_EQ(body.size(), kWepIvLen + 1 + msg.size() + kWepIcvLen);
+  const auto dec = wep_decrypt(body, key);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->plaintext, msg);
+  EXPECT_EQ(dec->iv, iv);
+  EXPECT_EQ(dec->key_id, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeyAndMessageSizes, WepRoundTrip,
+    ::testing::Combine(::testing::Values(kWep40KeyLen, kWep104KeyLen),
+                       ::testing::Values(1, 36, 256, 1500)));
+
+TEST(Wep, WrongKeyFailsIcv) {
+  const Bytes key = to_bytes("AAAAA");
+  const Bytes wrong = to_bytes("BBBBB");
+  const Bytes body = wep_encrypt({1, 2, 3}, key, to_bytes("hello world"));
+  EXPECT_FALSE(wep_decrypt(body, wrong).has_value());
+}
+
+TEST(Wep, TamperedCiphertextFailsIcv) {
+  const Bytes key = to_bytes("AAAAA");
+  Bytes body = wep_encrypt({1, 2, 3}, key, to_bytes("hello world"));
+  body[6] ^= 0xff;  // flip ciphertext
+  EXPECT_FALSE(wep_decrypt(body, key).has_value());
+}
+
+TEST(Wep, BitFlipWithIcvFixupForgery) {
+  // The classic WEP integrity failure: because CRC-32 is linear, an
+  // attacker can flip plaintext bits AND patch the encrypted ICV without
+  // knowing the key. Verifies our WEP is faithfully (in)secure.
+  const Bytes key = to_bytes("AAAAA");
+  const Bytes msg = to_bytes("pay 0001 dollars");
+  Bytes body = wep_encrypt({9, 9, 9}, key, msg);
+
+  Bytes delta(msg.size(), 0);
+  delta[4] = '0' ^ '9';  // change amount 0001 -> 9001
+  const std::uint32_t crc_zero = crc32(Bytes(msg.size(), 0));
+  const std::uint32_t crc_delta = crc32(delta);
+  const std::uint32_t icv_patch = crc_zero ^ crc_delta;
+
+  const std::size_t data_off = kWepIvLen + 1;
+  for (std::size_t i = 0; i < delta.size(); ++i) body[data_off + i] ^= delta[i];
+  for (int i = 0; i < 4; ++i) {
+    body[data_off + msg.size() + static_cast<std::size_t>(i)] ^=
+        static_cast<std::uint8_t>(icv_patch >> (8 * i));
+  }
+
+  const auto dec = wep_decrypt(body, key);
+  ASSERT_TRUE(dec.has_value()) << "forged frame failed ICV — WEP too strong!";
+  EXPECT_EQ(util::to_string(dec->plaintext), "pay 9001 dollars");
+}
+
+TEST(Wep, WeakIvClassification) {
+  EXPECT_TRUE(is_fms_weak_iv({3, 0xff, 0x00}, 5));
+  EXPECT_TRUE(is_fms_weak_iv({7, 0xff, 0xaa}, 5));
+  EXPECT_FALSE(is_fms_weak_iv({8, 0xff, 0xaa}, 5));   // beyond key len
+  EXPECT_TRUE(is_fms_weak_iv({8, 0xff, 0xaa}, 13));
+  EXPECT_FALSE(is_fms_weak_iv({3, 0xfe, 0x00}, 5));   // middle byte not 0xff
+  EXPECT_FALSE(is_fms_weak_iv({2, 0xff, 0x00}, 5));   // below first key byte
+}
+
+TEST(Wep, SequentialIvGeneratorCountsLittleEndian) {
+  WepIvGenerator gen(WepIvPolicy::kSequential, 5, 0);
+  EXPECT_EQ(gen.next(), (WepIv{0, 0, 0}));
+  EXPECT_EQ(gen.next(), (WepIv{1, 0, 0}));
+  for (int i = 2; i < 256; ++i) (void)gen.next();
+  EXPECT_EQ(gen.next(), (WepIv{0, 1, 0}));
+}
+
+TEST(Wep, SkipWeakGeneratorAvoidsWeakIvs) {
+  WepIvGenerator gen(WepIvPolicy::kSkipWeak, 5, 0);
+  for (int i = 0; i < 200000; ++i) {
+    EXPECT_FALSE(is_fms_weak_iv(gen.next(), 5));
+  }
+}
+
+TEST(Wep, SequentialGeneratorEmitsWeakIvs) {
+  WepIvGenerator gen(WepIvPolicy::kSequential, 5, 0);
+  int weak = 0;
+  for (int i = 0; i < 70000; ++i) {
+    if (is_fms_weak_iv(gen.next(), 5)) ++weak;
+  }
+  EXPECT_GT(weak, 0);
+}
+
+}  // namespace
+}  // namespace rogue::crypto

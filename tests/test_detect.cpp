@@ -1,0 +1,237 @@
+// Detection tests (§2.3): sequence-control anomaly monitoring, radio site
+// audits against an AP inventory, and the wired-side MAC census.
+#include <gtest/gtest.h>
+
+#include "attack/deauth.hpp"
+#include "attack/rogue_gateway.hpp"
+#include "detect/seqnum.hpp"
+#include "detect/site_audit.hpp"
+#include "detect/wired_monitor.hpp"
+#include "dot11/ap.hpp"
+#include "dot11/sta.hpp"
+#include "scenario/corp_world.hpp"
+
+namespace rogue::detect {
+namespace {
+
+using net::MacAddr;
+using util::to_bytes;
+
+// ---- Sequence-number monitor (offline observations) --------------------------
+
+dot11::Frame frame_from(MacAddr src, std::uint16_t seq) {
+  dot11::Frame f;
+  f.type = dot11::FrameType::kData;
+  f.addr1 = MacAddr::broadcast();
+  f.addr2 = src;
+  f.sequence = seq;
+  return f;
+}
+
+TEST(SeqMonitor, CleanCounterNoAnomalies) {
+  sim::Simulator sim;
+  phy::Medium medium(sim);
+  SeqNumMonitor monitor(sim, medium, {});
+  const MacAddr mac = MacAddr::from_id(1);
+  for (std::uint16_t s = 0; s < 500; ++s) monitor.observe(frame_from(mac, s), s);
+  EXPECT_TRUE(monitor.anomalies().empty());
+}
+
+TEST(SeqMonitor, ToleratesSmallGapsFromLoss) {
+  sim::Simulator sim;
+  phy::Medium medium(sim);
+  SeqNumMonitor monitor(sim, medium, {});
+  const MacAddr mac = MacAddr::from_id(1);
+  // Monitor misses every other frame: gaps of 2.
+  for (std::uint16_t s = 0; s < 500; s += 2) monitor.observe(frame_from(mac, s), s);
+  EXPECT_TRUE(monitor.anomalies().empty());
+}
+
+TEST(SeqMonitor, ToleratesWraparound) {
+  sim::Simulator sim;
+  phy::Medium medium(sim);
+  SeqNumMonitor monitor(sim, medium, {});
+  const MacAddr mac = MacAddr::from_id(1);
+  for (int i = 0; i < 100; ++i) {
+    monitor.observe(frame_from(mac, static_cast<std::uint16_t>((4090 + i) & 0xfff)),
+                    static_cast<sim::Time>(i));
+  }
+  EXPECT_TRUE(monitor.anomalies().empty());
+}
+
+TEST(SeqMonitor, FlagsForgedInterleavedCounter) {
+  // A spoofer transmitting as `mac` with its own counter interleaves with
+  // the real device: the stream keeps jumping between two regions.
+  sim::Simulator sim;
+  phy::Medium medium(sim);
+  SeqNumMonitor monitor(sim, medium, {});
+  const MacAddr mac = MacAddr::from_id(1);
+  std::uint16_t real_seq = 100;
+  std::uint16_t forged_seq = 3000;
+  for (int i = 0; i < 50; ++i) {
+    monitor.observe(frame_from(mac, real_seq++), static_cast<sim::Time>(2 * i));
+    monitor.observe(frame_from(mac, forged_seq++), static_cast<sim::Time>(2 * i + 1));
+  }
+  EXPECT_GT(monitor.anomalies().size(), 20u);
+  const auto suspects = monitor.suspects();
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], mac);
+}
+
+TEST(SeqMonitor, SeparatesDistinctTransmitters) {
+  sim::Simulator sim;
+  phy::Medium medium(sim);
+  SeqNumMonitor monitor(sim, medium, {});
+  // Two different MACs with wildly different counters: both clean.
+  const MacAddr a = MacAddr::from_id(1);
+  const MacAddr b = MacAddr::from_id(2);
+  std::uint16_t sa = 10;
+  std::uint16_t sb = 3900;
+  for (int i = 0; i < 100; ++i) {
+    monitor.observe(frame_from(a, sa++), static_cast<sim::Time>(2 * i));
+    monitor.observe(frame_from(b, sb++ & 0xfff), static_cast<sim::Time>(2 * i + 1));
+  }
+  EXPECT_TRUE(monitor.anomalies().empty());
+}
+
+TEST(SeqMonitor, DetectsLiveForgedDeauth) {
+  // On-air: a legitimate AP beacons with its counter while the deauth
+  // attacker forges frames from the same BSSID with its own counter.
+  sim::Simulator sim{81};
+  phy::Medium medium(sim);
+  dot11::ApConfig apc;
+  apc.ssid = "CORP";
+  apc.bssid = MacAddr::from_id(0xA9);
+  apc.channel = 1;
+  dot11::AccessPoint ap(sim, medium, apc);
+  ap.radio().set_position({2, 0});
+  SeqMonitorConfig mc;
+  mc.channel = 1;
+  SeqNumMonitor monitor(sim, medium, mc);
+  monitor.radio().set_position({0, 1});
+
+  ap.start();
+  sim.run_until(3 * sim::kSecond);  // let the AP's counter be learned
+  attack::DeauthAttacker attacker(sim, medium, 1, apc.bssid, MacAddr::broadcast());
+  attacker.start(100'000);
+  sim.run_until(6 * sim::kSecond);
+  attacker.stop();
+
+  const auto suspects = monitor.suspects();
+  ASSERT_FALSE(suspects.empty());
+  EXPECT_EQ(suspects[0], apc.bssid);
+}
+
+TEST(SeqMonitor, QuietAirNoFalsePositives) {
+  sim::Simulator sim{82};
+  phy::Medium medium(sim);
+  dot11::ApConfig apc;
+  apc.ssid = "CORP";
+  apc.bssid = MacAddr::from_id(0xA9);
+  apc.channel = 1;
+  dot11::AccessPoint ap(sim, medium, apc);
+  ap.radio().set_position({2, 0});
+  dot11::StationConfig stc;
+  stc.mac = MacAddr::from_id(0x51);
+  stc.target_ssid = "CORP";
+  stc.scan_channels = {1};
+  dot11::Station sta(sim, medium, stc);
+
+  SeqMonitorConfig mc;
+  mc.channel = 1;
+  SeqNumMonitor monitor(sim, medium, mc);
+  monitor.radio().set_position({0, 1});
+
+  ap.start();
+  sta.start();
+  sim.run_until(10 * sim::kSecond);
+  EXPECT_TRUE(monitor.suspects().empty());
+}
+
+// ---- Site audit -----------------------------------------------------------------
+
+attack::ObservedBss bss(const std::string& ssid, MacAddr bssid, phy::Channel ch) {
+  attack::ObservedBss b;
+  b.ssid = ssid;
+  b.bssid = bssid;
+  b.channel = ch;
+  return b;
+}
+
+TEST(SiteAudit, CleanCensusNoFindings) {
+  SiteAudit audit({{"CORP", MacAddr::from_id(0xA9), 1}});
+  EXPECT_TRUE(audit.evaluate({bss("CORP", MacAddr::from_id(0xA9), 1)}).empty());
+  EXPECT_FALSE(audit.rogue_detected({bss("CORP", MacAddr::from_id(0xA9), 1)}));
+}
+
+TEST(SiteAudit, FlagsUnknownBssidOnOwnSsid) {
+  SiteAudit audit({{"CORP", MacAddr::from_id(0xA9), 1}});
+  const auto findings = audit.evaluate({bss("CORP", MacAddr::from_id(0xEE), 6)});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, AuditFindingKind::kUnknownBssid);
+  EXPECT_TRUE(audit.rogue_detected({bss("CORP", MacAddr::from_id(0xEE), 6)}));
+}
+
+TEST(SiteAudit, FlagsClonedBssidOnWrongChannel) {
+  SiteAudit audit({{"CORP", MacAddr::from_id(0xA9), 1}});
+  const auto findings = audit.evaluate({bss("CORP", MacAddr::from_id(0xA9), 6)});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, AuditFindingKind::kClonedBssidWrongChannel);
+}
+
+TEST(SiteAudit, ForeignSsidInformational) {
+  SiteAudit audit({{"CORP", MacAddr::from_id(0xA9), 1}});
+  const auto findings = audit.evaluate({bss("COFFEESHOP", MacAddr::from_id(0x77), 11)});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, AuditFindingKind::kUnknownSsid);
+  EXPECT_FALSE(audit.rogue_detected({bss("COFFEESHOP", MacAddr::from_id(0x77), 11)}));
+}
+
+TEST(SiteAudit, DetectsLiveRogueInCorpWorld) {
+  scenario::CorpWorld world;
+  world.start();
+  world.run_for(2 * sim::kSecond);
+  world.deploy_rogue();
+  world.run_for(2 * sim::kSecond);
+
+  // Auditor sweeps both channels.
+  attack::SnifferConfig sc;
+  sc.hop_channels = {world.config().legit_channel, world.config().rogue_channel};
+  sc.hop_dwell = 300'000;
+  attack::Sniffer auditor(world.sim(), world.medium(), sc);
+  auditor.radio().set_position({5, 5});
+  world.run_for(3 * sim::kSecond);
+
+  SiteAudit audit({{"CORP", world.legit_bssid(), world.config().legit_channel}});
+  EXPECT_TRUE(audit.rogue_detected(auditor.observed_bss()))
+      << "site audit should flag the cloned-BSSID rogue on channel 6";
+}
+
+// ---- Wired monitor ---------------------------------------------------------------
+
+TEST(WiredMonitor, FlagsUnknownMacOnWire) {
+  sim::Simulator sim;
+  net::Switch lan(sim);
+  WiredMonitor monitor(sim, lan, {MacAddr::from_id(0xA)});
+
+  net::Host known(sim, "known");
+  known.add_wired("eth0", lan, MacAddr::from_id(0xA));
+  known.configure("eth0", net::Ipv4Addr(10, 0, 0, 1), 24);
+  net::Host intruder(sim, "intruder");
+  intruder.add_wired("eth0", lan, MacAddr::from_id(0xBAD));
+  intruder.configure("eth0", net::Ipv4Addr(10, 0, 0, 66), 24);
+
+  // Broadcast ARP traffic reaches the monitor port even on a switch.
+  known.ping(net::Ipv4Addr(10, 0, 0, 66), [](std::optional<sim::Time>) {});
+  sim.run_until(2 * sim::kSecond);
+
+  ASSERT_EQ(monitor.unknown_macs().size(), 1u);
+  EXPECT_EQ(monitor.unknown_macs()[0].mac, MacAddr::from_id(0xBAD));
+  // Known MAC not flagged, and each unknown is reported once.
+  known.ping(net::Ipv4Addr(10, 0, 0, 66), [](std::optional<sim::Time>) {});
+  sim.run_until(4 * sim::kSecond);
+  EXPECT_EQ(monitor.unknown_macs().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rogue::detect

@@ -1,0 +1,661 @@
+// Network-stack tests (everything but TCP, which has its own file):
+// addresses, IPv4 codec, routing, ARP, netfilter NAT, wired segments,
+// host forwarding, UDP, ICMP ping.
+#include <gtest/gtest.h>
+
+#include "net/addr.hpp"
+#include "net/arp.hpp"
+#include "net/checksum.hpp"
+#include "net/host.hpp"
+#include "net/ipv4.hpp"
+#include "net/link.hpp"
+#include "net/netfilter.hpp"
+#include "net/udp.hpp"
+#include "sim/simulator.hpp"
+
+namespace rogue::net {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+
+// ---- Addresses -----------------------------------------------------------------
+
+TEST(MacAddr, ParseAndFormat) {
+  const auto mac = MacAddr::parse("aa:bb:cc:dd:ee:ff");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "aa:bb:cc:dd:ee:ff");
+  EXPECT_FALSE(MacAddr::parse("aa:bb:cc:dd:ee").has_value());
+  EXPECT_FALSE(MacAddr::parse("aa:bb:cc:dd:ee:gg").has_value());
+  EXPECT_FALSE(MacAddr::parse("aabbccddeeff").has_value());
+}
+
+TEST(MacAddr, BroadcastAndMulticast) {
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddr::broadcast().is_multicast());
+  EXPECT_FALSE(MacAddr::from_id(1).is_broadcast());
+  EXPECT_FALSE(MacAddr::from_id(1).is_multicast());
+}
+
+TEST(MacAddr, FromIdDistinct) {
+  EXPECT_NE(MacAddr::from_id(1), MacAddr::from_id(2));
+  EXPECT_EQ(MacAddr::from_id(7), MacAddr::from_id(7));
+}
+
+TEST(Ipv4Addr, ParseAndFormat) {
+  const auto ip = Ipv4Addr::parse("10.0.0.77");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "10.0.0.77");
+  EXPECT_EQ(*ip, Ipv4Addr(10, 0, 0, 77));
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0.256").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0.1.2").has_value());
+}
+
+TEST(Ipv4Addr, SubnetMembership) {
+  const Ipv4Addr ip(192, 168, 1, 100);
+  EXPECT_TRUE(ip.in_subnet(Ipv4Addr(192, 168, 1, 0), netmask(24)));
+  EXPECT_FALSE(ip.in_subnet(Ipv4Addr(192, 168, 2, 0), netmask(24)));
+  EXPECT_TRUE(ip.in_subnet(Ipv4Addr(0, 0, 0, 0), netmask(0)));
+}
+
+TEST(Netmask, PrefixLengths) {
+  EXPECT_EQ(netmask(0).value(), 0u);
+  EXPECT_EQ(netmask(8).value(), 0xff000000u);
+  EXPECT_EQ(netmask(24).value(), 0xffffff00u);
+  EXPECT_EQ(netmask(32).value(), 0xffffffffu);
+}
+
+// ---- Checksums -------------------------------------------------------------------
+
+TEST(Checksum, Rfc1071Example) {
+  const Bytes data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, VerifiesToZero) {
+  Bytes data = {0x45, 0x00, 0x00, 0x28, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06,
+                0x00, 0x00, 0x0a, 0x00, 0x00, 0x01, 0x0a, 0x00, 0x00, 0x02};
+  const std::uint16_t sum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(sum >> 8);
+  data[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+// ---- IPv4 codec --------------------------------------------------------------------
+
+TEST(Ipv4Packet, SerializeParseRoundTrip) {
+  Ipv4Packet p;
+  p.ttl = 17;
+  p.protocol = kProtoUdp;
+  p.id = 0xbeef;
+  p.src = Ipv4Addr(10, 0, 0, 1);
+  p.dst = Ipv4Addr(10, 0, 0, 2);
+  p.payload = to_bytes("hello ip");
+  const auto parsed = Ipv4Packet::parse(p.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ttl, 17);
+  EXPECT_EQ(parsed->protocol, kProtoUdp);
+  EXPECT_EQ(parsed->id, 0xbeef);
+  EXPECT_EQ(parsed->src, p.src);
+  EXPECT_EQ(parsed->dst, p.dst);
+  EXPECT_EQ(parsed->payload, p.payload);
+}
+
+TEST(Ipv4Packet, RejectsBadChecksum) {
+  Ipv4Packet p;
+  p.src = Ipv4Addr(1, 2, 3, 4);
+  p.dst = Ipv4Addr(5, 6, 7, 8);
+  Bytes raw = p.serialize();
+  raw[8] ^= 0xff;  // corrupt TTL without fixing checksum
+  EXPECT_FALSE(Ipv4Packet::parse(raw).has_value());
+}
+
+TEST(Ipv4Packet, RejectsTruncated) {
+  Ipv4Packet p;
+  const Bytes raw = p.serialize();
+  EXPECT_FALSE(Ipv4Packet::parse(util::ByteView(raw.data(), 19)).has_value());
+}
+
+// ---- Routing ----------------------------------------------------------------------
+
+TEST(RoutingTable, LongestPrefixWins) {
+  RoutingTable rt;
+  rt.add_default(Ipv4Addr(10, 0, 0, 1), "eth0");
+  rt.add(Route{Ipv4Addr(10, 1, 0, 0), netmask(16), Ipv4Addr::any(), "eth1", 0});
+  rt.add_host(Ipv4Addr(10, 1, 2, 3), "eth2");
+
+  EXPECT_EQ(rt.lookup(Ipv4Addr(8, 8, 8, 8))->ifname, "eth0");
+  EXPECT_EQ(rt.lookup(Ipv4Addr(10, 1, 9, 9))->ifname, "eth1");
+  EXPECT_EQ(rt.lookup(Ipv4Addr(10, 1, 2, 3))->ifname, "eth2");
+}
+
+TEST(RoutingTable, RemoveOperations) {
+  RoutingTable rt;
+  rt.add_default(Ipv4Addr(10, 0, 0, 1), "eth0");
+  rt.add_host(Ipv4Addr(10, 0, 0, 9), "eth1");
+  rt.remove_host(Ipv4Addr(10, 0, 0, 9));
+  EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 0, 9))->ifname, "eth0");
+  rt.remove_default();
+  EXPECT_FALSE(rt.lookup(Ipv4Addr(10, 0, 0, 9)).has_value());
+}
+
+TEST(RoutingTable, NoRouteIsEmpty) {
+  RoutingTable rt;
+  EXPECT_FALSE(rt.lookup(Ipv4Addr(1, 1, 1, 1)).has_value());
+}
+
+// ---- ARP -------------------------------------------------------------------------
+
+TEST(ArpPacket, RoundTrip) {
+  ArpPacket p;
+  p.op = ArpOp::kReply;
+  p.sender_mac = MacAddr::from_id(1);
+  p.sender_ip = Ipv4Addr(10, 0, 0, 1);
+  p.target_mac = MacAddr::from_id(2);
+  p.target_ip = Ipv4Addr(10, 0, 0, 2);
+  const auto parsed = ArpPacket::parse(p.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->op, ArpOp::kReply);
+  EXPECT_EQ(parsed->sender_mac, p.sender_mac);
+  EXPECT_EQ(parsed->target_ip, p.target_ip);
+}
+
+TEST(ArpCache, ResolveViaRequestReply) {
+  sim::Simulator sim;
+  std::vector<ArpPacket> sent;
+  ArpCache cache(sim, MacAddr::from_id(1), [&](const ArpPacket& p) { sent.push_back(p); });
+  cache.set_own_ip(Ipv4Addr(10, 0, 0, 1));
+
+  std::optional<MacAddr> resolved;
+  cache.resolve(Ipv4Addr(10, 0, 0, 2), [&](Ipv4Addr, MacAddr mac) { resolved = mac; });
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].op, ArpOp::kRequest);
+  EXPECT_FALSE(resolved.has_value());
+
+  ArpPacket reply;
+  reply.op = ArpOp::kReply;
+  reply.sender_mac = MacAddr::from_id(2);
+  reply.sender_ip = Ipv4Addr(10, 0, 0, 2);
+  reply.target_mac = MacAddr::from_id(1);
+  reply.target_ip = Ipv4Addr(10, 0, 0, 1);
+  cache.on_packet(reply);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, MacAddr::from_id(2));
+
+  resolved.reset();
+  cache.resolve(Ipv4Addr(10, 0, 0, 2), [&](Ipv4Addr, MacAddr mac) { resolved = mac; });
+  EXPECT_TRUE(resolved.has_value());
+  EXPECT_EQ(sent.size(), 1u);  // cached: no new request
+}
+
+TEST(ArpCache, AnswersRequestsForOwnIp) {
+  sim::Simulator sim;
+  std::vector<ArpPacket> sent;
+  ArpCache cache(sim, MacAddr::from_id(1), [&](const ArpPacket& p) { sent.push_back(p); });
+  cache.set_own_ip(Ipv4Addr(10, 0, 0, 1));
+
+  ArpPacket req;
+  req.op = ArpOp::kRequest;
+  req.sender_mac = MacAddr::from_id(9);
+  req.sender_ip = Ipv4Addr(10, 0, 0, 9);
+  req.target_ip = Ipv4Addr(10, 0, 0, 1);
+  cache.on_packet(req);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].op, ArpOp::kReply);
+  EXPECT_EQ(sent[0].sender_mac, MacAddr::from_id(1));
+  EXPECT_EQ(sent[0].target_mac, MacAddr::from_id(9));
+}
+
+TEST(ArpCache, RetriesThenFails) {
+  sim::Simulator sim;
+  int requests = 0;
+  ArpCache cache(sim, MacAddr::from_id(1), [&](const ArpPacket&) { ++requests; });
+  cache.set_own_ip(Ipv4Addr(10, 0, 0, 1));
+  bool called = false;
+  cache.resolve(Ipv4Addr(10, 0, 0, 2), [&](Ipv4Addr, MacAddr) { called = true; });
+  sim.run_until(5 * sim::kSecond);
+  EXPECT_EQ(requests, 3);
+  EXPECT_FALSE(called);
+  EXPECT_EQ(cache.failures(), 1u);
+}
+
+TEST(ArpCache, EntriesAge) {
+  sim::Simulator sim;
+  ArpCache cache(sim, MacAddr::from_id(1), [](const ArpPacket&) {});
+  cache.set_entry_ttl(1 * sim::kSecond);
+  cache.insert(Ipv4Addr(10, 0, 0, 2), MacAddr::from_id(2));
+  EXPECT_TRUE(cache.lookup(Ipv4Addr(10, 0, 0, 2)).has_value());
+  sim.run_until(2 * sim::kSecond);
+  EXPECT_FALSE(cache.lookup(Ipv4Addr(10, 0, 0, 2)).has_value());
+}
+
+TEST(ArpCache, ProxyAnswersForeignIp) {
+  sim::Simulator sim;
+  std::vector<ArpPacket> sent;
+  ArpCache cache(sim, MacAddr::from_id(1), [&](const ArpPacket& p) { sent.push_back(p); });
+  cache.set_own_ip(Ipv4Addr(10, 0, 0, 1));
+  cache.set_proxy([](Ipv4Addr ip) -> std::optional<MacAddr> {
+    if (ip == Ipv4Addr(10, 0, 0, 50)) return MacAddr::from_id(1);
+    return std::nullopt;
+  });
+
+  ArpPacket req;
+  req.op = ArpOp::kRequest;
+  req.sender_mac = MacAddr::from_id(9);
+  req.sender_ip = Ipv4Addr(10, 0, 0, 9);
+  req.target_ip = Ipv4Addr(10, 0, 0, 50);
+  cache.on_packet(req);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].sender_ip, Ipv4Addr(10, 0, 0, 50));
+  EXPECT_EQ(sent[0].sender_mac, MacAddr::from_id(1));
+
+  req.target_ip = Ipv4Addr(10, 0, 0, 51);
+  cache.on_packet(req);
+  EXPECT_EQ(sent.size(), 1u);  // not proxied
+}
+
+// ---- Netfilter ---------------------------------------------------------------------
+
+class NetfilterFixture : public ::testing::Test {
+ protected:
+  [[nodiscard]] static Ipv4Packet tcp_packet(Ipv4Addr src, std::uint16_t sport,
+                                             Ipv4Addr dst, std::uint16_t dport) {
+    Ipv4Packet p;
+    p.protocol = kProtoTcp;
+    p.src = src;
+    p.dst = dst;
+    p.payload.assign(20, 0);
+    p.payload[0] = static_cast<std::uint8_t>(sport >> 8);
+    p.payload[1] = static_cast<std::uint8_t>(sport);
+    p.payload[2] = static_cast<std::uint8_t>(dport >> 8);
+    p.payload[3] = static_cast<std::uint8_t>(dport);
+    p.payload[12] = 0x50;
+    fix_transport_checksum(p);
+    return p;
+  }
+};
+
+TEST_F(NetfilterFixture, DefaultAccept) {
+  Netfilter nf;
+  auto p = tcp_packet(Ipv4Addr(1, 1, 1, 1), 1000, Ipv4Addr(2, 2, 2, 2), 80);
+  EXPECT_EQ(nf.run(Hook::kPrerouting, p, "eth0", "", Ipv4Addr()), Verdict::kAccept);
+}
+
+TEST_F(NetfilterFixture, DropRuleMatchesProtocolAndPort) {
+  Netfilter nf;
+  Rule drop;
+  drop.match.protocol = kProtoTcp;
+  drop.match.dport = 23;
+  drop.target = RuleTarget::kDrop;
+  nf.append(Hook::kInput, drop);
+
+  auto telnet = tcp_packet(Ipv4Addr(1, 1, 1, 1), 1000, Ipv4Addr(2, 2, 2, 2), 23);
+  auto http = tcp_packet(Ipv4Addr(1, 1, 1, 1), 1000, Ipv4Addr(2, 2, 2, 2), 80);
+  EXPECT_EQ(nf.run(Hook::kInput, telnet, "eth0", "", Ipv4Addr()), Verdict::kDrop);
+  EXPECT_EQ(nf.run(Hook::kInput, http, "eth0", "", Ipv4Addr()), Verdict::kAccept);
+}
+
+TEST_F(NetfilterFixture, FirstMatchWins) {
+  Netfilter nf;
+  Rule accept;
+  accept.match.protocol = kProtoTcp;
+  accept.target = RuleTarget::kAccept;
+  Rule drop;
+  drop.target = RuleTarget::kDrop;
+  nf.append(Hook::kInput, accept);
+  nf.append(Hook::kInput, drop);
+  auto p = tcp_packet(Ipv4Addr(1, 1, 1, 1), 1, Ipv4Addr(2, 2, 2, 2), 2);
+  EXPECT_EQ(nf.run(Hook::kInput, p, "", "", Ipv4Addr()), Verdict::kAccept);
+}
+
+TEST_F(NetfilterFixture, DnatRewritesAndConntracksReverse) {
+  // The paper's rule: -p tcp -d target --dport 80 -j DNAT --to gw:10101.
+  const Ipv4Addr client(10, 0, 0, 77);
+  const Ipv4Addr target(203, 0, 113, 80);
+  const Ipv4Addr gw(10, 0, 0, 200);
+
+  Netfilter nf;
+  Rule dnat;
+  dnat.match.protocol = kProtoTcp;
+  dnat.match.dst = target;
+  dnat.match.dport = 80;
+  dnat.target = RuleTarget::kDnat;
+  dnat.nat_ip = gw;
+  dnat.nat_port = 10101;
+  nf.append(Hook::kPrerouting, dnat);
+
+  auto p = tcp_packet(client, 45000, target, 80);
+  EXPECT_EQ(nf.run(Hook::kPrerouting, p, "wlan0", "", gw), Verdict::kAccept);
+  EXPECT_EQ(p.dst, gw);
+  EXPECT_EQ(Netfilter::ports_of(p)->second, 10101);
+  EXPECT_EQ(transport_checksum(p.src, p.dst, p.protocol, p.payload), 0);
+  EXPECT_EQ(nf.conntrack_size(), 1u);
+
+  auto reply = tcp_packet(gw, 10101, client, 45000);
+  EXPECT_EQ(nf.run(Hook::kPostrouting, reply, "", "wlan0", gw), Verdict::kAccept);
+  EXPECT_EQ(reply.src, target);
+  EXPECT_EQ(Netfilter::ports_of(reply)->first, 80);
+
+  auto p2 = tcp_packet(client, 45000, target, 80);
+  EXPECT_EQ(nf.run(Hook::kPrerouting, p2, "wlan0", "", gw), Verdict::kAccept);
+  EXPECT_EQ(p2.dst, gw);
+  EXPECT_EQ(nf.conntrack_size(), 1u);
+  EXPECT_GE(nf.counters().translated, 2u);
+}
+
+TEST_F(NetfilterFixture, DnatOnlyMatchesConfiguredFlow) {
+  Netfilter nf;
+  Rule dnat;
+  dnat.match.protocol = kProtoTcp;
+  dnat.match.dst = Ipv4Addr(203, 0, 113, 80);
+  dnat.match.dport = 80;
+  dnat.target = RuleTarget::kDnat;
+  dnat.nat_ip = Ipv4Addr(10, 0, 0, 200);
+  dnat.nat_port = 10101;
+  nf.append(Hook::kPrerouting, dnat);
+
+  auto other = tcp_packet(Ipv4Addr(10, 0, 0, 77), 1000, Ipv4Addr(9, 9, 9, 9), 80);
+  nf.run(Hook::kPrerouting, other, "", "", Ipv4Addr());
+  EXPECT_EQ(other.dst, Ipv4Addr(9, 9, 9, 9));
+
+  auto https = tcp_packet(Ipv4Addr(10, 0, 0, 77), 1000, Ipv4Addr(203, 0, 113, 80), 443);
+  nf.run(Hook::kPrerouting, https, "", "", Ipv4Addr());
+  EXPECT_EQ(Netfilter::ports_of(https)->second, 443);
+}
+
+TEST_F(NetfilterFixture, SnatMasquerade) {
+  const Ipv4Addr inner(192, 168, 1, 100);
+  const Ipv4Addr server(203, 0, 113, 80);
+  const Ipv4Addr wan(203, 0, 113, 200);
+
+  Netfilter nf;
+  Rule snat;
+  snat.match.src = Ipv4Addr(192, 168, 1, 0);
+  snat.match.src_mask = netmask(24);
+  snat.target = RuleTarget::kSnat;
+  snat.nat_ip = wan;
+  nf.append(Hook::kPostrouting, snat);
+
+  auto out = tcp_packet(inner, 5555, server, 80);
+  nf.run(Hook::kPostrouting, out, "", "wan0", wan);
+  EXPECT_EQ(out.src, wan);
+
+  auto back = tcp_packet(server, 80, wan, 5555);
+  nf.run(Hook::kPrerouting, back, "wan0", "", wan);
+  EXPECT_EQ(back.dst, inner);
+}
+
+TEST_F(NetfilterFixture, RedirectUsesLocalIp) {
+  Netfilter nf;
+  Rule redirect;
+  redirect.match.protocol = kProtoTcp;
+  redirect.match.dport = 80;
+  redirect.target = RuleTarget::kRedirect;
+  redirect.nat_port = 3128;
+  nf.append(Hook::kPrerouting, redirect);
+
+  const Ipv4Addr local(10, 0, 0, 1);
+  auto p = tcp_packet(Ipv4Addr(10, 0, 0, 2), 1234, Ipv4Addr(8, 8, 8, 8), 80);
+  nf.run(Hook::kPrerouting, p, "eth0", "", local);
+  EXPECT_EQ(p.dst, local);
+  EXPECT_EQ(Netfilter::ports_of(p)->second, 3128);
+}
+
+// ---- Wired segments ----------------------------------------------------------------
+
+struct SegmentFixture {
+  sim::Simulator sim;
+
+  [[nodiscard]] static L2Frame frame(MacAddr src, MacAddr dst) {
+    return L2Frame{dst, src, 0x0800, to_bytes("data")};
+  }
+};
+
+TEST(Hub, FloodsEverything) {
+  SegmentFixture f;
+  Hub hub(f.sim);
+  SegmentPort a(hub, "a");
+  SegmentPort b(hub, "b");
+  SegmentPort c(hub, "c");
+  int b_got = 0;
+  int c_got = 0;
+  b.set_rx([&](const L2Frame&) { ++b_got; });
+  c.set_rx([&](const L2Frame&) { ++c_got; });
+
+  a.send(SegmentFixture::frame(MacAddr::from_id(1), MacAddr::from_id(2)));
+  f.sim.run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 1);  // the hub leaks unicast to everyone
+}
+
+TEST(Switch, LearnsAndIsolatesUnicast) {
+  SegmentFixture f;
+  Switch sw(f.sim);
+  SegmentPort a(sw, "a");
+  SegmentPort b(sw, "b");
+  SegmentPort snoop(sw, "snoop");
+  int b_got = 0;
+  int snoop_got = 0;
+  b.set_rx([&](const L2Frame&) { ++b_got; });
+  snoop.set_rx([&](const L2Frame&) { ++snoop_got; });
+
+  const MacAddr mac_a = MacAddr::from_id(1);
+  const MacAddr mac_b = MacAddr::from_id(2);
+
+  a.send(SegmentFixture::frame(mac_a, mac_b));
+  f.sim.run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(snoop_got, 1);  // unknown dst: flooded
+
+  b.send(SegmentFixture::frame(mac_b, mac_a));
+  f.sim.run();
+  a.send(SegmentFixture::frame(mac_a, mac_b));
+  a.send(SegmentFixture::frame(mac_a, mac_b));
+  f.sim.run();
+  EXPECT_EQ(b_got, 3);
+  EXPECT_EQ(snoop_got, 1);  // isolated after learning
+}
+
+TEST(Switch, BroadcastAlwaysFloods) {
+  SegmentFixture f;
+  Switch sw(f.sim);
+  SegmentPort a(sw, "a");
+  SegmentPort b(sw, "b");
+  int b_got = 0;
+  b.set_rx([&](const L2Frame&) { ++b_got; });
+  a.send(SegmentFixture::frame(MacAddr::from_id(1), MacAddr::broadcast()));
+  f.sim.run();
+  EXPECT_EQ(b_got, 1);
+}
+
+TEST(LossyHub, DropsConfiguredFraction) {
+  SegmentFixture f;
+  LossyHub hub(f.sim, 0.4);
+  SegmentPort a(hub, "a");
+  SegmentPort b(hub, "b");
+  int got = 0;
+  b.set_rx([&](const L2Frame&) { ++got; });
+  for (int i = 0; i < 1000; ++i) {
+    a.send(SegmentFixture::frame(MacAddr::from_id(1), MacAddr::from_id(2)));
+  }
+  f.sim.run();
+  EXPECT_GT(got, 500);
+  EXPECT_LT(got, 700);
+  EXPECT_GT(hub.frames_dropped(), 300u);
+}
+
+// ---- Host integration ----------------------------------------------------------------
+
+struct TwoHostFixture {
+  sim::Simulator sim{3};
+  Switch lan{sim};
+  std::unique_ptr<Host> a;
+  std::unique_ptr<Host> b;
+
+  TwoHostFixture() {
+    a = std::make_unique<Host>(sim, "a");
+    a->add_wired("eth0", lan, MacAddr::from_id(0xA));
+    a->configure("eth0", Ipv4Addr(10, 0, 0, 1), 24);
+    b = std::make_unique<Host>(sim, "b");
+    b->add_wired("eth0", lan, MacAddr::from_id(0xB));
+    b->configure("eth0", Ipv4Addr(10, 0, 0, 2), 24);
+  }
+};
+
+TEST(Host, PingOnLan) {
+  TwoHostFixture f;
+  std::optional<sim::Time> rtt;
+  bool done = false;
+  f.a->ping(Ipv4Addr(10, 0, 0, 2), [&](std::optional<sim::Time> r) {
+    rtt = r;
+    done = true;
+  });
+  f.sim.run_until(2 * sim::kSecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_GT(*rtt, 0u);
+  EXPECT_EQ(f.b->counters().icmp_echo_replies, 1u);
+}
+
+TEST(Host, PingUnreachableTimesOut) {
+  TwoHostFixture f;
+  std::optional<sim::Time> rtt = sim::Time{123};
+  bool done = false;
+  f.a->ping(Ipv4Addr(10, 0, 0, 99), [&](std::optional<sim::Time> r) {
+    rtt = r;
+    done = true;
+  });
+  f.sim.run_until(3 * sim::kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(rtt.has_value());
+}
+
+TEST(Host, UdpEndToEnd) {
+  TwoHostFixture f;
+  auto server = f.b->udp_open(5000);
+  ASSERT_TRUE(server);
+  std::string got;
+  Ipv4Addr from;
+  server->set_rx([&](Ipv4Addr src, std::uint16_t, util::ByteView payload) {
+    from = src;
+    got = util::to_string(payload);
+  });
+  auto client = f.a->udp_open(0);
+  ASSERT_TRUE(client);
+  client->send_to(Ipv4Addr(10, 0, 0, 2), 5000, to_bytes("datagram!"));
+  f.sim.run_until(sim::kSecond);
+  EXPECT_EQ(got, "datagram!");
+  EXPECT_EQ(from, Ipv4Addr(10, 0, 0, 1));
+}
+
+TEST(Host, UdpPortCollisionRejected) {
+  TwoHostFixture f;
+  auto s1 = f.a->udp_open(7777);
+  EXPECT_TRUE(s1);
+  auto s2 = f.a->udp_open(7777);
+  EXPECT_FALSE(s2);
+  s1.reset();
+  auto s3 = f.a->udp_open(7777);
+  EXPECT_TRUE(s3);  // released on destruction
+}
+
+TEST(Host, ForwardingAcrossSubnets) {
+  sim::Simulator sim{4};
+  Switch lan1(sim);
+  Switch lan2(sim);
+
+  Host router(sim, "router");
+  router.add_wired("eth0", lan1, MacAddr::from_id(0x1));
+  router.add_wired("eth1", lan2, MacAddr::from_id(0x2));
+  router.configure("eth0", Ipv4Addr(10, 0, 0, 1), 24);
+  router.configure("eth1", Ipv4Addr(10, 0, 1, 1), 24);
+  router.set_ip_forward(true);
+
+  Host a(sim, "a");
+  a.add_wired("eth0", lan1, MacAddr::from_id(0xA));
+  a.configure("eth0", Ipv4Addr(10, 0, 0, 2), 24);
+  a.routes().add_default(Ipv4Addr(10, 0, 0, 1), "eth0");
+
+  Host b(sim, "b");
+  b.add_wired("eth0", lan2, MacAddr::from_id(0xB));
+  b.configure("eth0", Ipv4Addr(10, 0, 1, 2), 24);
+  b.routes().add_default(Ipv4Addr(10, 0, 1, 1), "eth0");
+
+  std::optional<sim::Time> rtt;
+  a.ping(Ipv4Addr(10, 0, 1, 2), [&](std::optional<sim::Time> r) { rtt = r; });
+  sim.run_until(2 * sim::kSecond);
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_GT(router.counters().ip_forwarded, 0u);
+}
+
+TEST(Host, NoForwardingWithoutFlag) {
+  sim::Simulator sim{5};
+  Switch lan1(sim);
+  Switch lan2(sim);
+
+  Host router(sim, "router");
+  router.add_wired("eth0", lan1, MacAddr::from_id(0x1));
+  router.add_wired("eth1", lan2, MacAddr::from_id(0x2));
+  router.configure("eth0", Ipv4Addr(10, 0, 0, 1), 24);
+  router.configure("eth1", Ipv4Addr(10, 0, 1, 1), 24);
+  // ip_forward stays off.
+
+  Host a(sim, "a");
+  a.add_wired("eth0", lan1, MacAddr::from_id(0xA));
+  a.configure("eth0", Ipv4Addr(10, 0, 0, 2), 24);
+  a.routes().add_default(Ipv4Addr(10, 0, 0, 1), "eth0");
+
+  Host b(sim, "b");
+  b.add_wired("eth0", lan2, MacAddr::from_id(0xB));
+  b.configure("eth0", Ipv4Addr(10, 0, 1, 2), 24);
+  b.routes().add_default(Ipv4Addr(10, 0, 1, 1), "eth0");
+
+  std::optional<sim::Time> rtt;
+  bool done = false;
+  a.ping(Ipv4Addr(10, 0, 1, 2), [&](std::optional<sim::Time> r) {
+    rtt = r;
+    done = true;
+  });
+  sim.run_until(3 * sim::kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(rtt.has_value());
+}
+
+TEST(Host, LoopbackDelivery) {
+  TwoHostFixture f;
+  auto server = f.a->udp_open(9000);
+  std::string got;
+  server->set_rx([&](Ipv4Addr, std::uint16_t, util::ByteView payload) {
+    got = util::to_string(payload);
+  });
+  auto client = f.a->udp_open(0);
+  client->send_to(Ipv4Addr(10, 0, 0, 1), 9000, to_bytes("to-self"));
+  f.sim.run_until(sim::kSecond);
+  EXPECT_EQ(got, "to-self");
+}
+
+TEST(Host, TtlExpiryOnForwardingPath) {
+  TwoHostFixture f;
+  f.a->set_ip_forward(true);
+  f.a->routes().add(Route{Ipv4Addr(10, 0, 5, 0), netmask(24), Ipv4Addr::any(),
+                          "eth0", 0});
+  const auto before = f.a->counters().ip_dropped_ttl;
+
+  Host src_host(f.sim, "src");
+  src_host.add_wired("eth0", f.lan, MacAddr::from_id(0xC));
+  src_host.configure("eth0", Ipv4Addr(10, 0, 0, 9), 24);
+  src_host.routes().add(Route{Ipv4Addr(10, 0, 5, 0), netmask(24),
+                              Ipv4Addr(10, 0, 0, 1), "eth0", 0});
+  Ipv4Packet p;
+  p.ttl = 1;
+  p.protocol = kProtoUdp;
+  p.dst = Ipv4Addr(10, 0, 5, 5);
+  p.payload = to_bytes("x");
+  src_host.send_packet(std::move(p));
+  f.sim.run_until(sim::kSecond);
+  EXPECT_EQ(f.a->counters().ip_dropped_ttl, before + 1);
+}
+
+}  // namespace
+}  // namespace rogue::net

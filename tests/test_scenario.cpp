@@ -1,0 +1,248 @@
+// End-to-end scenario tests — the paper's three figures as assertions:
+//   Figure 1: rogue AP captures the victim despite SSID/WEP/MAC controls.
+//   Figure 2: the captured victim downloads a trojan whose forged MD5SUM
+//             verifies.
+//   Figure 3: VPN-ing all traffic to the trusted endpoint defeats the MITM.
+#include <gtest/gtest.h>
+
+#include "scenario/corp_world.hpp"
+#include "scenario/hotspot.hpp"
+
+namespace rogue::scenario {
+namespace {
+
+TEST(CorpWorld, BaselineVictimJoinsLegitApAndDownloads) {
+  CorpWorld world;
+  world.start();
+  world.run_for(5 * sim::kSecond);
+  ASSERT_TRUE(world.victim_sta().associated());
+  EXPECT_FALSE(world.victim_on_rogue());
+  EXPECT_EQ(world.victim_sta().bss().bssid, world.legit_bssid());
+
+  apps::DownloadOutcome outcome;
+  world.download([&](const apps::DownloadOutcome& o) { outcome = o; });
+  world.run_for(30 * sim::kSecond);
+  ASSERT_TRUE(outcome.file_fetched) << outcome.error;
+  EXPECT_TRUE(outcome.md5_verified);
+  EXPECT_EQ(outcome.fetched_md5_hex, world.release_md5());
+}
+
+TEST(CorpWorld, Figure1RogueCapturesNearbyVictim) {
+  CorpConfig cfg;
+  cfg.victim_to_legit_m = 20.0;  // rogue much closer than the real AP
+  cfg.victim_to_rogue_m = 4.0;
+  CorpWorld world(cfg);
+  world.start();
+  world.run_for(3 * sim::kSecond);
+  world.deploy_rogue();
+  // Make the victim rescan by waiting for a natural deauth-free roam:
+  // the victim is already associated to the legit AP; the attacker kicks
+  // it once (the paper's targeted forcing).
+  world.start_deauth_forcing();
+  world.run_for(15 * sim::kSecond);
+  EXPECT_TRUE(world.victim_sta().associated());
+  EXPECT_TRUE(world.victim_on_rogue())
+      << "victim should have been captured by the stronger rogue AP";
+  EXPECT_TRUE(world.rogue()->uplink_associated());
+}
+
+TEST(CorpWorld, Figure2DownloadMitmForgesChecksum) {
+  CorpConfig cfg;
+  cfg.victim_to_legit_m = 20.0;
+  cfg.victim_to_rogue_m = 4.0;
+  CorpWorld world(cfg);
+  world.start();
+  world.run_for(3 * sim::kSecond);
+  world.deploy_rogue();
+  world.start_deauth_forcing();
+  world.run_for(15 * sim::kSecond);
+  ASSERT_TRUE(world.victim_on_rogue());
+
+  apps::DownloadOutcome outcome;
+  world.download([&](const apps::DownloadOutcome& o) { outcome = o; });
+  world.run_for(60 * sim::kSecond);
+
+  ASSERT_TRUE(outcome.page_fetched) << outcome.error;
+  ASSERT_TRUE(outcome.file_fetched) << outcome.error;
+  // The nefarious part: the victim got the trojan AND the checksum passed.
+  EXPECT_EQ(outcome.fetched_md5_hex, world.trojan_md5());
+  EXPECT_NE(outcome.fetched_md5_hex, world.release_md5());
+  EXPECT_TRUE(outcome.md5_verified)
+      << "the MD5SUM on the page should have been rewritten to match";
+  // And the binary came from the attacker's mirror.
+  EXPECT_EQ(outcome.fetched_from, world.addr().rogue_wlan);
+  EXPECT_GT(world.rogue()->netsed().stats().replacements, 0u);
+}
+
+TEST(CorpWorld, Figure2WithoutCaptureDownloadIsClean) {
+  // Rogue deployed but victim stays on the legit AP (rogue far away, no
+  // deauth forcing): the attack has no vantage point.
+  CorpConfig cfg;
+  cfg.victim_to_legit_m = 4.0;
+  cfg.victim_to_rogue_m = 30.0;
+  CorpWorld world(cfg);
+  world.start();
+  world.run_for(3 * sim::kSecond);
+  world.deploy_rogue();
+  world.run_for(10 * sim::kSecond);
+  ASSERT_TRUE(world.victim_sta().associated());
+  ASSERT_FALSE(world.victim_on_rogue());
+
+  apps::DownloadOutcome outcome;
+  world.download([&](const apps::DownloadOutcome& o) { outcome = o; });
+  world.run_for(30 * sim::kSecond);
+  ASSERT_TRUE(outcome.file_fetched) << outcome.error;
+  EXPECT_EQ(outcome.fetched_md5_hex, world.release_md5());
+  EXPECT_TRUE(outcome.md5_verified);
+}
+
+TEST(CorpWorld, Figure3VpnDefeatsDownloadMitm) {
+  CorpConfig cfg;
+  cfg.victim_to_legit_m = 20.0;
+  cfg.victim_to_rogue_m = 4.0;
+  CorpWorld world(cfg);
+  world.start();
+  world.run_for(3 * sim::kSecond);
+  world.deploy_rogue();
+  world.start_deauth_forcing();
+  world.run_for(15 * sim::kSecond);
+  ASSERT_TRUE(world.victim_on_rogue()) << "need the MITM vantage point";
+
+  bool vpn_ok = false;
+  bool vpn_done = false;
+  world.connect_vpn([&](bool ok) {
+    vpn_ok = ok;
+    vpn_done = true;
+  });
+  world.run_for(10 * sim::kSecond);
+  ASSERT_TRUE(vpn_done);
+  ASSERT_TRUE(vpn_ok) << "VPN should establish through the rogue";
+  ASSERT_TRUE(world.victim_tunnel()->server_authenticated());
+
+  apps::DownloadOutcome outcome;
+  world.download([&](const apps::DownloadOutcome& o) { outcome = o; });
+  world.run_for(60 * sim::kSecond);
+
+  ASSERT_TRUE(outcome.file_fetched) << outcome.error;
+  // Tunnelled traffic never hits the rogue's netsed: clean download.
+  EXPECT_EQ(outcome.fetched_md5_hex, world.release_md5());
+  EXPECT_TRUE(outcome.md5_verified);
+  EXPECT_EQ(world.rogue()->netsed().stats().connections, 0u);
+}
+
+TEST(CorpWorld, WepInsiderRogueWorksBecauseKeyIsShared) {
+  // §2.1: WEP "provides no protection what so ever" against this attack —
+  // the rogue is configured with the same shared key.
+  CorpConfig cfg;
+  cfg.wep = true;
+  cfg.mac_filtering = true;
+  cfg.victim_to_legit_m = 20.0;
+  cfg.victim_to_rogue_m = 4.0;
+  CorpWorld world(cfg);
+  world.start();
+  world.run_for(3 * sim::kSecond);
+  world.deploy_rogue();
+  world.start_deauth_forcing();
+  world.run_for(15 * sim::kSecond);
+  EXPECT_TRUE(world.victim_on_rogue());
+}
+
+TEST(CorpWorld, DistinctBssidRogueAlsoCaptures) {
+  CorpConfig cfg;
+  cfg.rogue_clones_bssid = false;  // lazier attacker, different AP MAC
+  cfg.victim_to_legit_m = 20.0;
+  cfg.victim_to_rogue_m = 4.0;
+  CorpWorld world(cfg);
+  world.start();
+  world.run_for(3 * sim::kSecond);
+  world.deploy_rogue();
+  world.start_deauth_forcing();
+  world.run_for(15 * sim::kSecond);
+  EXPECT_TRUE(world.victim_on_rogue());
+}
+
+TEST(CorpWorld, WpaBaselineDownloadVerifies) {
+  // The §2.2 upgrade in benign conditions: WPA-PSK world, no attack.
+  CorpConfig cfg;
+  cfg.security = dot11::SecurityMode::kWpaPsk;
+  CorpWorld world(cfg);
+  world.start();
+  world.run_for(5 * sim::kSecond);
+  ASSERT_TRUE(world.victim_sta().ready());
+
+  apps::DownloadOutcome outcome;
+  world.download([&](const apps::DownloadOutcome& o) { outcome = o; });
+  world.run_for(40 * sim::kSecond);
+  ASSERT_TRUE(outcome.file_fetched) << outcome.error;
+  EXPECT_TRUE(outcome.md5_verified);
+  EXPECT_EQ(outcome.fetched_md5_hex, world.release_md5());
+}
+
+TEST(CorpWorld, EapBaselineDownloadVerifies) {
+  CorpConfig cfg;
+  cfg.security = dot11::SecurityMode::kEap;
+  CorpWorld world(cfg);
+  world.start();
+  world.run_for(5 * sim::kSecond);
+  ASSERT_TRUE(world.victim_sta().ready());
+
+  apps::DownloadOutcome outcome;
+  world.download([&](const apps::DownloadOutcome& o) { outcome = o; });
+  world.run_for(40 * sim::kSecond);
+  ASSERT_TRUE(outcome.file_fetched) << outcome.error;
+  EXPECT_TRUE(outcome.md5_verified);
+}
+
+TEST(Hotspot, BenignHotspotDownloadVerifies) {
+  HotspotWorld world;
+  world.start();
+  world.run_for(5 * sim::kSecond);
+  ASSERT_TRUE(world.client_sta().associated());
+
+  apps::DownloadOutcome outcome;
+  world.download([&](const apps::DownloadOutcome& o) { outcome = o; });
+  world.run_for(30 * sim::kSecond);
+  ASSERT_TRUE(outcome.file_fetched) << outcome.error;
+  EXPECT_TRUE(outcome.md5_verified);
+  EXPECT_EQ(outcome.fetched_md5_hex, world.release_md5());
+}
+
+TEST(Hotspot, HostileHotspotTrojansTheDownload) {
+  HotspotConfig cfg;
+  cfg.hostile = true;
+  HotspotWorld world(cfg);
+  world.start();
+  world.run_for(5 * sim::kSecond);
+  ASSERT_TRUE(world.client_sta().associated());
+
+  apps::DownloadOutcome outcome;
+  world.download([&](const apps::DownloadOutcome& o) { outcome = o; });
+  world.run_for(60 * sim::kSecond);
+  ASSERT_TRUE(outcome.file_fetched) << outcome.error;
+  EXPECT_EQ(outcome.fetched_md5_hex, world.trojan_md5());
+  EXPECT_TRUE(outcome.md5_verified);  // forged checksum "verifies"
+}
+
+TEST(Hotspot, VpnProtectsAtHostileHotspot) {
+  HotspotConfig cfg;
+  cfg.hostile = true;
+  HotspotWorld world(cfg);
+  world.start();
+  world.run_for(5 * sim::kSecond);
+  ASSERT_TRUE(world.client_sta().associated());
+
+  bool vpn_ok = false;
+  world.connect_vpn([&](bool ok) { vpn_ok = ok; });
+  world.run_for(10 * sim::kSecond);
+  ASSERT_TRUE(vpn_ok);
+
+  apps::DownloadOutcome outcome;
+  world.download([&](const apps::DownloadOutcome& o) { outcome = o; });
+  world.run_for(60 * sim::kSecond);
+  ASSERT_TRUE(outcome.file_fetched) << outcome.error;
+  EXPECT_EQ(outcome.fetched_md5_hex, world.release_md5());
+  EXPECT_TRUE(outcome.md5_verified);
+}
+
+}  // namespace
+}  // namespace rogue::scenario

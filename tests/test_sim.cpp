@@ -1,0 +1,150 @@
+// Simulation-kernel tests: deterministic ordering, cancellation, periodic
+// events, trace queries.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace rogue::sim {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  Time fired_at = 0;
+  sim.at(100, [&] {
+    sim.after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const TimerHandle h = sim.at(10, [&] { fired = true; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireIsHarmless) {
+  Simulator sim;
+  int count = 0;
+  const TimerHandle h = sim.at(10, [&] { ++count; });
+  sim.run();
+  sim.cancel(h);
+  sim.at(20, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  int count = 0;
+  sim.every(10, [&] { ++count; });
+  sim.run_until(95);
+  EXPECT_EQ(count, 9);  // t = 10..90
+}
+
+TEST(Simulator, PeriodicWithPhase) {
+  Simulator sim;
+  std::vector<Time> times;
+  sim.every(10, 0, [&] { times.push_back(sim.now()); });
+  sim.run_until(25);
+  EXPECT_EQ(times, (std::vector<Time>{0, 10, 20}));
+}
+
+TEST(Simulator, PeriodicCancelStopsSeries) {
+  Simulator sim;
+  int count = 0;
+  const TimerHandle h = sim.every(10, [&] { ++count; });
+  sim.at(35, [&, h] { sim.cancel(h); });
+  sim.run_until(200);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(Simulator, RunUntilDoesNotFireLaterEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(100, [&] { fired = true; });
+  sim.run_until(99);
+  EXPECT_FALSE(fired);
+  sim.run_until(100);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.after(1, recurse);
+  };
+  sim.after(1, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, RngDeterministicPerSeed) {
+  Simulator a(99);
+  Simulator b(99);
+  EXPECT_EQ(a.rng().next(), b.rng().next());
+}
+
+TEST(Simulator, MaxEventsBound) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    sim.after(1, forever);
+  };
+  sim.after(1, forever);
+  sim.run(50);
+  EXPECT_EQ(count, 50);
+}
+
+TEST(Trace, RecordsAndQueries) {
+  Trace trace;
+  trace.record(1, "ap", "assoc aa:bb");
+  trace.record(2, "sta", "join");
+  trace.record(3, "ap", "deauth aa:bb");
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.with_tag("ap").size(), 2u);
+  EXPECT_EQ(trace.count_containing("aa:bb"), 2u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rogue::sim

@@ -1,0 +1,320 @@
+// TCP tests: segment codec, handshake, bulk transfer (clean and lossy
+// links), retransmission machinery, teardown, RST handling.
+#include <gtest/gtest.h>
+
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "net/tcp.hpp"
+#include "sim/simulator.hpp"
+
+namespace rogue::net {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+
+TEST(TcpSegment, SerializeParseRoundTrip) {
+  TcpSegment s;
+  s.sport = 12345;
+  s.dport = 80;
+  s.seq = 0xdeadbeef;
+  s.ack = 0xfeedface;
+  s.flags = kTcpAck | kTcpPsh;
+  s.window = 4096;
+  s.payload = to_bytes("segment payload");
+  const Ipv4Addr src(10, 0, 0, 1);
+  const Ipv4Addr dst(10, 0, 0, 2);
+  const auto parsed = TcpSegment::parse(src, dst, s.serialize(src, dst));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sport, 12345);
+  EXPECT_EQ(parsed->dport, 80);
+  EXPECT_EQ(parsed->seq, 0xdeadbeef);
+  EXPECT_EQ(parsed->ack, 0xfeedface);
+  EXPECT_TRUE(parsed->has(kTcpAck));
+  EXPECT_TRUE(parsed->has(kTcpPsh));
+  EXPECT_EQ(parsed->payload, s.payload);
+}
+
+TEST(TcpSegment, ChecksumRejectsCorruption) {
+  TcpSegment s;
+  s.sport = 1;
+  s.dport = 2;
+  const Ipv4Addr src(1, 1, 1, 1);
+  const Ipv4Addr dst(2, 2, 2, 2);
+  Bytes raw = s.serialize(src, dst);
+  raw[5] ^= 0x01;
+  EXPECT_FALSE(TcpSegment::parse(src, dst, raw).has_value());
+  // Pseudo-header coverage: a different destination invalidates. (Note a
+  // plain src/dst swap would NOT: one's-complement addition commutes.)
+  EXPECT_FALSE(
+      TcpSegment::parse(src, Ipv4Addr(9, 9, 9, 9), s.serialize(src, dst)).has_value());
+}
+
+TEST(TcpSeqArith, WrapAround) {
+  EXPECT_TRUE(seq_lt(0xfffffff0u, 0x00000010u));
+  EXPECT_FALSE(seq_lt(0x00000010u, 0xfffffff0u));
+  EXPECT_TRUE(seq_le(5, 5));
+}
+
+// ---- Connection fixture --------------------------------------------------------
+
+struct TcpFixture {
+  sim::Simulator sim{11};
+  std::unique_ptr<L2Segment> lan;
+  std::unique_ptr<Host> client;
+  std::unique_ptr<Host> server;
+
+  explicit TcpFixture(double loss = 0.0) {
+    if (loss > 0.0) {
+      lan = std::make_unique<LossyHub>(sim, loss);
+    } else {
+      lan = std::make_unique<Switch>(sim);
+    }
+    client = std::make_unique<Host>(sim, "client");
+    client->add_wired("eth0", *lan, MacAddr::from_id(0xC1));
+    client->configure("eth0", Ipv4Addr(10, 0, 0, 1), 24);
+    server = std::make_unique<Host>(sim, "server");
+    server->add_wired("eth0", *lan, MacAddr::from_id(0x51));
+    server->configure("eth0", Ipv4Addr(10, 0, 0, 2), 24);
+  }
+};
+
+TEST(Tcp, HandshakeEstablishesBothSides) {
+  TcpFixture f;
+  TcpConnectionPtr accepted;
+  f.server->tcp_listen(80, [&](TcpConnectionPtr c) { accepted = c; });
+  bool connected = false;
+  auto conn = f.client->tcp_connect(Ipv4Addr(10, 0, 0, 2), 80);
+  ASSERT_TRUE(conn);
+  conn->set_on_connect([&] { connected = true; });
+  f.sim.run_until(2 * sim::kSecond);
+  EXPECT_TRUE(connected);
+  ASSERT_TRUE(accepted);
+  EXPECT_TRUE(conn->established());
+  EXPECT_TRUE(accepted->established());
+  EXPECT_EQ(accepted->remote_port(), conn->local_port());
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  TcpFixture f;
+  auto conn = f.client->tcp_connect(Ipv4Addr(10, 0, 0, 2), 81);
+  ASSERT_TRUE(conn);
+  bool closed = false;
+  conn->set_on_close([&] { closed = true; });
+  f.sim.run_until(2 * sim::kSecond);
+  EXPECT_TRUE(closed);   // RST
+  EXPECT_FALSE(conn->established());
+}
+
+TEST(Tcp, ConnectNoRouteReturnsNull) {
+  TcpFixture f;
+  EXPECT_EQ(f.client->tcp_connect(Ipv4Addr(99, 9, 9, 9), 80), nullptr);
+}
+
+TEST(Tcp, SmallDataBothDirections) {
+  TcpFixture f;
+  std::string server_got;
+  std::string client_got;
+  f.server->tcp_listen(80, [&](TcpConnectionPtr c) {
+    c->set_on_data([&, c](util::ByteView data) {
+      server_got += util::to_string(data);
+      c->send(to_bytes("pong"));
+    });
+  });
+  auto conn = f.client->tcp_connect(Ipv4Addr(10, 0, 0, 2), 80);
+  conn->set_on_connect([&, conn] { conn->send(to_bytes("ping")); });
+  conn->set_on_data([&](util::ByteView data) { client_got += util::to_string(data); });
+  f.sim.run_until(3 * sim::kSecond);
+  EXPECT_EQ(server_got, "ping");
+  EXPECT_EQ(client_got, "pong");
+}
+
+class TcpBulkTransfer
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(TcpBulkTransfer, DeliversExactBytesInOrder) {
+  const auto [size, loss] = GetParam();
+  TcpFixture f(loss);
+
+  util::Prng rng(99);
+  Bytes payload(size);
+  rng.fill(payload);
+
+  Bytes received;
+  f.server->tcp_listen(80, [&](TcpConnectionPtr c) {
+    c->set_on_data([&](util::ByteView data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+  });
+  auto conn = f.client->tcp_connect(Ipv4Addr(10, 0, 0, 2), 80);
+  conn->set_on_connect([&, conn] { conn->send(payload); });
+  f.sim.run_until(120 * sim::kSecond);
+
+  ASSERT_EQ(received.size(), payload.size());
+  EXPECT_EQ(received, payload);
+  if (loss > 0.0) {
+    EXPECT_GT(conn->stats().retransmits, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndLoss, TcpBulkTransfer,
+    ::testing::Values(std::make_tuple(std::size_t{1}, 0.0),
+                      std::make_tuple(std::size_t{1400}, 0.0),
+                      std::make_tuple(std::size_t{1401}, 0.0),
+                      std::make_tuple(std::size_t{100'000}, 0.0),
+                      std::make_tuple(std::size_t{50'000}, 0.05),
+                      std::make_tuple(std::size_t{50'000}, 0.15),
+                      std::make_tuple(std::size_t{20'000}, 0.30)));
+
+TEST(Tcp, GracefulCloseBothWays) {
+  TcpFixture f;
+  TcpConnectionPtr accepted;
+  bool server_saw_eof = false;
+  f.server->tcp_listen(80, [&](TcpConnectionPtr c) {
+    accepted = c;
+    c->set_on_close([&] { server_saw_eof = true; });
+  });
+  auto conn = f.client->tcp_connect(Ipv4Addr(10, 0, 0, 2), 80);
+  conn->set_on_connect([conn] {
+    conn->send(to_bytes("bye"));
+    conn->close();
+  });
+  f.sim.run_until(2 * sim::kSecond);
+  ASSERT_TRUE(accepted);
+  EXPECT_TRUE(server_saw_eof);
+  EXPECT_EQ(accepted->state(), TcpState::kCloseWait);
+  accepted->close();
+  f.sim.run_until(10 * sim::kSecond);
+  EXPECT_EQ(accepted->state(), TcpState::kClosed);
+}
+
+TEST(Tcp, DataBeforeCloseAllDelivered) {
+  TcpFixture f;
+  Bytes received;
+  f.server->tcp_listen(80, [&](TcpConnectionPtr c) {
+    c->set_on_data([&](util::ByteView d) {
+      received.insert(received.end(), d.begin(), d.end());
+    });
+  });
+  util::Prng rng(5);
+  Bytes payload(30'000);
+  rng.fill(payload);
+  auto conn = f.client->tcp_connect(Ipv4Addr(10, 0, 0, 2), 80);
+  conn->set_on_connect([&, conn] {
+    conn->send(payload);
+    conn->close();  // FIN must wait for the send buffer to drain
+  });
+  f.sim.run_until(30 * sim::kSecond);
+  EXPECT_EQ(received.size(), payload.size());
+}
+
+TEST(Tcp, AbortSendsRst) {
+  TcpFixture f;
+  TcpConnectionPtr accepted;
+  bool server_closed = false;
+  f.server->tcp_listen(80, [&](TcpConnectionPtr c) {
+    accepted = c;
+    c->set_on_close([&] { server_closed = true; });
+  });
+  auto conn = f.client->tcp_connect(Ipv4Addr(10, 0, 0, 2), 80);
+  f.sim.run_until(sim::kSecond);
+  ASSERT_TRUE(conn->established());
+  conn->abort();
+  f.sim.run_until(2 * sim::kSecond);
+  EXPECT_TRUE(server_closed);
+}
+
+TEST(Tcp, RetransmitsWhenPeerVanishes) {
+  TcpFixture f;
+  TcpConnectionPtr accepted;
+  f.server->tcp_listen(80, [&](TcpConnectionPtr c) { accepted = c; });
+  auto conn = f.client->tcp_connect(Ipv4Addr(10, 0, 0, 2), 80);
+  f.sim.run_until(sim::kSecond);
+  ASSERT_TRUE(conn->established());
+
+  // Server host disappears (drop all its packets by killing the stack's
+  // route). Simplest: destroy the server host entirely.
+  accepted.reset();
+  f.server.reset();
+
+  bool closed = false;
+  conn->set_on_close([&] { closed = true; });
+  conn->send(to_bytes("into the void"));
+  f.sim.run_until(600 * sim::kSecond);
+  EXPECT_TRUE(closed);  // retransmission limit exhausted
+  EXPECT_GE(conn->stats().rto_events, 3u);
+}
+
+TEST(Tcp, SynRetransmitsThenGivesUp) {
+  // No server at all: SYN goes into a black hole (drop route via netfilter).
+  TcpFixture f;
+  Rule drop;
+  drop.match.protocol = kProtoTcp;
+  drop.target = RuleTarget::kDrop;
+  f.server->netfilter().append(Hook::kInput, drop);
+
+  auto conn = f.client->tcp_connect(Ipv4Addr(10, 0, 0, 2), 80);
+  bool closed = false;
+  conn->set_on_close([&] { closed = true; });
+  f.sim.run_until(300 * sim::kSecond);
+  EXPECT_TRUE(closed);
+  EXPECT_FALSE(conn->established());
+  EXPECT_GE(conn->stats().rto_events, 3u);
+}
+
+TEST(Tcp, RttEstimateConvergesAndStatsConsistent) {
+  TcpFixture f;
+  Bytes received;
+  f.server->tcp_listen(80, [&](TcpConnectionPtr c) {
+    c->set_on_data([&](util::ByteView d) {
+      received.insert(received.end(), d.begin(), d.end());
+    });
+  });
+  Bytes payload(200'000);
+  util::Prng rng(1);
+  rng.fill(payload);
+  sim::Time done_at = 0;
+  const std::size_t total = payload.size();
+  f.server->tcp_listen(81, [](TcpConnectionPtr) {});
+  auto conn = f.client->tcp_connect(Ipv4Addr(10, 0, 0, 2), 80);
+  conn->set_on_connect([&, conn] { conn->send(payload); });
+  f.sim.after(1, [&] {});  // ensure at least one event
+  // Poll for completion time.
+  std::function<void()> poll = [&] {
+    if (done_at == 0 && received.size() == total) done_at = f.sim.now();
+    if (done_at == 0) f.sim.after(10'000, poll);
+  };
+  f.sim.after(10'000, poll);
+  f.sim.run_until(60 * sim::kSecond);
+  EXPECT_EQ(received.size(), payload.size());
+  EXPECT_EQ(conn->stats().bytes_acked, payload.size());
+  EXPECT_EQ(conn->stats().bytes_sent, payload.size());
+  EXPECT_EQ(conn->stats().retransmits, 0u);  // clean switch: no loss
+  // Throughput sanity: the transfer must finish fast, proving the
+  // congestion window actually opens (not an RTO-paced crawl).
+  ASSERT_GT(done_at, 0u);
+  EXPECT_LT(done_at, 5 * sim::kSecond);
+}
+
+TEST(Tcp, TwoSimultaneousConnections) {
+  TcpFixture f;
+  std::string a_got;
+  std::string b_got;
+  f.server->tcp_listen(80, [&](TcpConnectionPtr c) {
+    c->set_on_data([&, c](util::ByteView d) { c->send(d); });  // echo
+  });
+  auto c1 = f.client->tcp_connect(Ipv4Addr(10, 0, 0, 2), 80);
+  auto c2 = f.client->tcp_connect(Ipv4Addr(10, 0, 0, 2), 80);
+  c1->set_on_connect([c1] { c1->send(to_bytes("one")); });
+  c2->set_on_connect([c2] { c2->send(to_bytes("two")); });
+  c1->set_on_data([&](util::ByteView d) { a_got += util::to_string(d); });
+  c2->set_on_data([&](util::ByteView d) { b_got += util::to_string(d); });
+  f.sim.run_until(3 * sim::kSecond);
+  EXPECT_EQ(a_got, "one");
+  EXPECT_EQ(b_got, "two");
+  EXPECT_NE(c1->local_port(), c2->local_port());
+}
+
+}  // namespace
+}  // namespace rogue::net

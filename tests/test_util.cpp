@@ -1,0 +1,233 @@
+// Unit tests for util: byte buffers, PRNG, stats, thread pool, formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "util/bytes.hpp"
+#include "util/fmt.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rogue::util {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_encode(data), "0001abff");
+  const auto decoded = hex_decode("0001abff");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Bytes, HexDecodeAcceptsSeparatorsAndCase) {
+  const auto decoded = hex_decode("AA:bb cC");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(hex_encode(*decoded), "aabbcc");
+}
+
+TEST(Bytes, HexDecodeRejectsBadInput) {
+  EXPECT_FALSE(hex_decode("abc").has_value());   // odd digits
+  EXPECT_FALSE(hex_decode("zz").has_value());    // not hex
+}
+
+TEST(Bytes, ToBytesAndBack) {
+  const std::string s = "hello\r\nworld";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, EqualCt) {
+  EXPECT_TRUE(equal_ct(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(equal_ct(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(equal_ct(to_bytes("abc"), to_bytes("abcd")));
+  EXPECT_TRUE(equal_ct({}, {}));
+}
+
+TEST(Bytes, XorInplace) {
+  Bytes a = {0xff, 0x00, 0x55};
+  const Bytes b = {0x0f, 0xf0, 0x55};
+  xor_inplace(a, b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0xf0, 0x00}));
+}
+
+TEST(ByteWriter, BigEndianLayout) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(0x01);
+  w.u16be(0x0203);
+  w.u32be(0x04050607);
+  w.u64be(0x08090a0b0c0d0e0fULL);
+  w.u16le(0x1112);
+  EXPECT_EQ(hex_encode(out), "0102030405060708090a0b0c0d0e0f1211");
+}
+
+TEST(ByteReader, ReadsBackWhatWriterWrote) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u16be(0xbeef);
+  w.u32be(0xdeadc0de);
+  w.raw(to_bytes("xyz"));
+  ByteReader r(out);
+  EXPECT_EQ(r.u16be(), 0xbeef);
+  EXPECT_EQ(r.u32be(), 0xdeadc0deu);
+  EXPECT_EQ(to_string(r.raw(3)), "xyz");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, OverrunPoisons) {
+  const Bytes data = {0x01};
+  ByteReader r(data);
+  EXPECT_EQ(r.u32be(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads stay zero.
+  EXPECT_EQ(r.u8(), 0u);
+}
+
+TEST(ByteReader, TakeRestConsumesEverything) {
+  const Bytes data = {1, 2, 3, 4};
+  ByteReader r(data);
+  (void)r.u8();
+  const ByteView rest = r.take_rest();
+  EXPECT_EQ(rest.size(), 3u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Prng, DeterministicFromSeed) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, UniformU32RespectsBound) {
+  Prng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u32(17), 17u);
+  }
+  EXPECT_EQ(rng.uniform_u32(1), 0u);
+  EXPECT_EQ(rng.uniform_u32(0), 0u);
+}
+
+TEST(Prng, Uniform01InRange) {
+  Prng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, ChanceExtremes) {
+  Prng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Prng, ChanceStatistics) {
+  Prng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Prng, ExponentialMean) {
+  Prng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.2);
+}
+
+TEST(Prng, ForkDiverges) {
+  Prng a(5);
+  Prng b = a.fork();
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Prng, FillCoversAllBytes) {
+  Prng rng(17);
+  Bytes buf(1024);
+  rng.fill(buf);
+  std::set<std::uint8_t> seen(buf.begin(), buf.end());
+  EXPECT_GT(seen.size(), 200u);  // essentially all byte values present
+}
+
+TEST(Summary, MeanStdDevPercentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.stddev(), 29.0115, 0.001);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(1.0), 100.0, 1e-9);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Fmt, Placeholders) {
+  EXPECT_EQ(format("a={} b={}", 1, "two"), "a=1 b=two");
+  EXPECT_EQ(format("no args"), "no args");
+  EXPECT_EQ(format("{} trailing text", 7), "7 trailing text");
+}
+
+TEST(Fmt, Helpers) {
+  EXPECT_EQ(fmt_double(1.5, 3), "1.5");
+  EXPECT_EQ(fmt_double(2.0, 3), "2");
+  EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(1536), "1.5 KiB");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace rogue::util
