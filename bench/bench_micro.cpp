@@ -1,7 +1,15 @@
 // EXP-M1: google-benchmark microbenchmarks for the substrate primitives —
 // crypto throughput, frame/packet codecs, the event queue, and an in-sim
 // TCP transfer. Engineering numbers, not paper claims.
+//
+// Run `bench_micro --smoke` for a quick pass (tiny min-time per benchmark),
+// used as a CI sanity check that every scenario still executes.
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "crypto/aead.hpp"
 #include "crypto/chacha20.hpp"
@@ -12,6 +20,7 @@
 #include "crypto/rc4.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/wep.hpp"
+#include "dot11/ap.hpp"
 #include "dot11/frame.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
@@ -170,6 +179,78 @@ void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue);
 
+void BM_EventScheduleCancel(benchmark::State& state) {
+  // Schedule 1000 timers, cancel them all, then drain: measures the cost
+  // of cancellation plus tombstone/stale-entry cleanup in the queue.
+  std::vector<sim::TimerHandle> handles;
+  handles.reserve(1000);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    handles.clear();
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(sim.at(static_cast<sim::Time>(i % 97), [] {}));
+    }
+    for (const auto& h : handles) sim.cancel(h);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_fired());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);  // schedule + cancel
+}
+BENCHMARK(BM_EventScheduleCancel);
+
+void BM_EventChurn(benchmark::State& state) {
+  // Rolling-timer pattern typical of protocol stacks: every fired event
+  // cancels a pending "retransmit" timer, re-arms it, and schedules its
+  // own successor — a steady schedule/cancel/fire mix.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::TimerHandle> rtx(16);
+    std::uint64_t fired = 0;
+    std::function<void(std::size_t)> work = [&](std::size_t lane) {
+      ++fired;
+      sim.cancel(rtx[lane]);
+      rtx[lane] = sim.after(500, [] {});  // re-armed, normally never fires
+      if (fired < 4000) sim.after(7 + lane, [&work, lane] { work(lane); });
+    };
+    for (std::size_t lane = 0; lane < rtx.size(); ++lane) {
+      rtx[lane] = sim.after(500, [] {});
+      sim.after(1 + lane, [&work, lane] { work(lane); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_fired());
+  }
+  state.SetItemsProcessed(state.iterations() * 4000 * 2);
+}
+BENCHMARK(BM_EventChurn);
+
+void BM_BeaconStorm(benchmark::State& state) {
+  // Eight co-channel APs beaconing for one simulated second: exercises the
+  // periodic-event machinery, CSMA timer churn, and per-frame buffer
+  // traffic through phy + dot11 with zero payload work.
+  for (auto _ : state) {
+    sim::Simulator sim(42);
+    phy::Medium medium(sim);
+    std::vector<std::unique_ptr<dot11::AccessPoint>> aps;
+    for (int i = 0; i < 8; ++i) {
+      dot11::ApConfig cfg;
+      cfg.ssid = "CORP-" + std::to_string(i);
+      cfg.bssid = net::MacAddr::from_id(static_cast<std::uint64_t>(i) + 1);
+      cfg.channel = 1;
+      auto ap = std::make_unique<dot11::AccessPoint>(sim, medium, cfg);
+      ap->radio().set_position({static_cast<double>(i % 3) * 4.0,
+                                static_cast<double>(i / 3) * 4.0});
+      ap->start();
+      aps.push_back(std::move(ap));
+    }
+    sim.run_until(1 * sim::kSecond);
+    std::uint64_t beacons = 0;
+    for (const auto& ap : aps) beacons += ap->counters().beacons_sent;
+    benchmark::DoNotOptimize(beacons);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * 10);
+}
+BENCHMARK(BM_BeaconStorm);
+
 void BM_SimTcpTransfer(benchmark::State& state) {
   // Full in-sim TCP transfer of 100 KiB between two wired hosts:
   // measures simulator events/second end to end.
@@ -198,4 +279,19 @@ BENCHMARK(BM_SimTcpTransfer);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus a `--smoke` flag: rewrites the flag into a tiny
+// --benchmark_min_time so CI can verify every benchmark still runs in
+// seconds rather than minutes.
+int main(int argc, char** argv) {
+  std::string smoke_flag = "--benchmark_min_time=0.01";
+  std::vector<char*> args(argv, argv + argc);
+  for (char*& arg : args) {
+    if (std::string_view(arg) == "--smoke") arg = smoke_flag.data();
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -26,7 +26,9 @@ void DeauthAttacker::send_once() {
   dot11::DeauthBody body;
   body.reason = dot11::ReasonCode::kPrevAuthExpired;
   f.body = body.encode();
-  radio_.transmit(f.serialize());
+  util::Bytes raw = radio_.acquire_buffer(24 + f.body.size());
+  f.serialize_into(raw);
+  radio_.transmit(std::move(raw));
   ++sent_;
 }
 

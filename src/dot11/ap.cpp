@@ -101,6 +101,12 @@ bool AccessPoint::mac_allowed(net::MacAddr mac) const {
   return false;
 }
 
+void AccessPoint::transmit_frame(const Frame& frame) {
+  util::Bytes raw = radio_.acquire_buffer(24 + frame.body.size());
+  frame.serialize_into(raw);
+  radio_.transmit(std::move(raw));
+}
+
 void AccessPoint::send_mgmt(MgmtSubtype subtype, net::MacAddr dst, util::Bytes body) {
   Frame f;
   f.type = FrameType::kManagement;
@@ -111,7 +117,7 @@ void AccessPoint::send_mgmt(MgmtSubtype subtype, net::MacAddr dst, util::Bytes b
   f.sequence = tx_seq_++;
   tx_seq_ &= 0x0fff;
   f.body = std::move(body);
-  radio_.transmit(f.serialize());
+  transmit_frame(f);
 }
 
 void AccessPoint::send_beacon() {
@@ -411,7 +417,7 @@ void AccessPoint::send_data_frame(net::MacAddr dst, net::MacAddr src,
       f.body.assign(msdu.begin(), msdu.end());
       break;
   }
-  radio_.transmit(f.serialize());
+  transmit_frame(f);
 }
 
 void AccessPoint::send_eapol(net::MacAddr sta, const WpaHandshakeFrame& hs) {
@@ -424,7 +430,7 @@ void AccessPoint::send_eapol(net::MacAddr sta, const WpaHandshakeFrame& hs) {
   f.sequence = tx_seq_++;
   tx_seq_ &= 0x0fff;
   f.body = llc_encode(kEtherTypeEapol, hs.encode());
-  radio_.transmit(f.serialize());
+  transmit_frame(f);
 }
 
 void AccessPoint::start_wpa_handshake(net::MacAddr sta) {

@@ -135,6 +135,8 @@ class AccessPoint {
   void send_eapol(net::MacAddr sta, const WpaHandshakeFrame& frame);
 
   void send_mgmt(MgmtSubtype subtype, net::MacAddr dst, util::Bytes body);
+  /// Serialize into a pooled buffer and hand it to the radio.
+  void transmit_frame(const Frame& frame);
   void send_beacon();
   /// Encrypt (if privacy) and transmit a from-DS data frame.
   void send_data_frame(net::MacAddr dst, net::MacAddr src, util::ByteView msdu);

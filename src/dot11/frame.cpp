@@ -42,6 +42,12 @@ template <typename Cb>
 
 util::Bytes Frame::serialize() const {
   util::Bytes out;
+  serialize_into(out);
+  return out;
+}
+
+void Frame::serialize_into(util::Bytes& out) const {
+  out.clear();
   out.reserve(24 + body.size());
   util::ByteWriter w(out);
 
@@ -61,7 +67,6 @@ util::Bytes Frame::serialize() const {
   write_mac(w, addr3);
   w.u16le(static_cast<std::uint16_t>((sequence << 4) | (fragment & 0x0f)));
   w.raw(body);
-  return out;
 }
 
 std::optional<Frame> Frame::parse(util::ByteView raw) {

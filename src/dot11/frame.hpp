@@ -86,6 +86,9 @@ struct Frame {
   [[nodiscard]] bool is_data() const { return type == FrameType::kData; }
 
   [[nodiscard]] util::Bytes serialize() const;
+  /// serialize() into a caller-provided (typically pooled) buffer; `out`
+  /// is cleared first and its capacity reused.
+  void serialize_into(util::Bytes& out) const;
   [[nodiscard]] static std::optional<Frame> parse(util::ByteView raw);
 };
 

@@ -53,6 +53,12 @@ void Station::trace(std::string message) {
   }
 }
 
+void Station::transmit_frame(const Frame& frame) {
+  util::Bytes raw = radio_.acquire_buffer(24 + frame.body.size());
+  frame.serialize_into(raw);
+  radio_.transmit(std::move(raw));
+}
+
 void Station::send_mgmt(MgmtSubtype subtype, net::MacAddr dst, util::Bytes body,
                         bool protect) {
   Frame f;
@@ -70,7 +76,7 @@ void Station::send_mgmt(MgmtSubtype subtype, net::MacAddr dst, util::Bytes body,
   } else {
     f.body = std::move(body);
   }
-  radio_.transmit(f.serialize());
+  transmit_frame(f);
 }
 
 // ---- Scanning -------------------------------------------------------------
@@ -426,7 +432,7 @@ bool Station::send(net::MacAddr dst, std::uint16_t ethertype, util::ByteView pay
       f.body = msdu;
       break;
   }
-  radio_.transmit(f.serialize());
+  transmit_frame(f);
   ++counters_.data_sent;
   return true;
 }
@@ -441,7 +447,7 @@ void Station::send_eapol(const WpaHandshakeFrame& hs) {
   f.sequence = tx_seq_++;
   tx_seq_ &= 0x0fff;
   f.body = llc_encode(kEtherTypeEapol, hs.encode());
-  radio_.transmit(f.serialize());
+  transmit_frame(f);
 }
 
 void Station::handle_eapol(util::ByteView payload) {

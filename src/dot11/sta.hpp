@@ -151,6 +151,8 @@ class Station {
   void arm_beacon_watchdog();
   void send_mgmt(MgmtSubtype subtype, net::MacAddr dst, util::Bytes body,
                  bool protect = false);
+  /// Serialize into a pooled buffer and hand it to the radio.
+  void transmit_frame(const Frame& frame);
   void trace(std::string message);
 
   sim::Simulator& sim_;

@@ -155,13 +155,20 @@ void Host::transmit(Ipv4Packet packet, const Route& route) {
       route.gateway.is_any() ? packet.dst : route.gateway;
 
   if (packet.dst.is_broadcast() || !iface->needs_arp()) {
-    iface->send(MacAddr::broadcast(), dot11::kEtherTypeIpv4, packet.serialize());
+    util::Bytes raw = sim_.buffer_pool().acquire(20 + packet.payload.size());
+    packet.serialize_into(raw);
+    iface->send(MacAddr::broadcast(), dot11::kEtherTypeIpv4, raw);
+    sim_.buffer_pool().release(std::move(raw));
     return;
   }
 
   arp(route.ifname)
       .resolve(next_hop, [this, iface, p = std::move(packet)](Ipv4Addr, MacAddr mac) {
-        if (!iface->send(mac, dot11::kEtherTypeIpv4, p.serialize())) {
+        util::Bytes raw = sim_.buffer_pool().acquire(20 + p.payload.size());
+        p.serialize_into(raw);
+        const bool sent = iface->send(mac, dot11::kEtherTypeIpv4, raw);
+        sim_.buffer_pool().release(std::move(raw));
+        if (!sent) {
           ++counters_.arp_unresolved;
         }
       });

@@ -9,6 +9,12 @@ namespace rogue::net {
 
 util::Bytes Ipv4Packet::serialize() const {
   util::Bytes out;
+  serialize_into(out);
+  return out;
+}
+
+void Ipv4Packet::serialize_into(util::Bytes& out) const {
+  out.clear();
   out.reserve(20 + payload.size());
   util::ByteWriter w(out);
   w.u8(0x45);  // version 4, IHL 5
@@ -25,7 +31,6 @@ util::Bytes Ipv4Packet::serialize() const {
   out[10] = static_cast<std::uint8_t>(checksum >> 8);
   out[11] = static_cast<std::uint8_t>(checksum);
   w.raw(payload);
-  return out;
 }
 
 std::optional<Ipv4Packet> Ipv4Packet::parse(util::ByteView raw) {

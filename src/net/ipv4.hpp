@@ -30,6 +30,9 @@ struct Ipv4Packet {
 
   /// 20-byte header (no options) + payload, header checksum filled in.
   [[nodiscard]] util::Bytes serialize() const;
+  /// serialize() into a caller-provided (typically pooled) buffer; `out`
+  /// is cleared first and its capacity reused.
+  void serialize_into(util::Bytes& out) const;
   /// Parse and verify header checksum; nullopt if malformed.
   [[nodiscard]] static std::optional<Ipv4Packet> parse(util::ByteView raw);
 };

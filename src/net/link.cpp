@@ -39,10 +39,13 @@ void L2Segment::submit(SegmentPort& from, L2Frame frame) {
     wire_busy_until_ = start + std::max<sim::Time>(tx_us, 1);
     deliver_at = wire_busy_until_ + latency_;
   }
-  sim_.at(deliver_at, [outputs, f = std::move(frame)] {
+  sim_.at(deliver_at, [this, outputs, f = std::move(frame)]() mutable {
     for (SegmentPort* port : outputs) {
       if (port->rx_) port->rx_(f);
     }
+    // Receivers have copied what they need; recycle the payload backing
+    // store for the next frame on this simulator.
+    sim_.buffer_pool().release(std::move(f.payload));
   });
 }
 
@@ -104,7 +107,9 @@ WiredIf::WiredIf(std::string name, MacAddr mac, L2Segment& segment)
 
 bool WiredIf::send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) {
   count_tx();
-  port_.send(L2Frame{dst, mac(), ethertype, util::Bytes(payload.begin(), payload.end())});
+  util::Bytes copy = port_.segment().simulator().buffer_pool().acquire(payload.size());
+  copy.assign(payload.begin(), payload.end());
+  port_.send(L2Frame{dst, mac(), ethertype, std::move(copy)});
   return true;
 }
 

@@ -98,6 +98,7 @@ class SegmentPort {
   SegmentPort& operator=(const SegmentPort&) = delete;
 
   [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] L2Segment& segment() { return segment_; }
   void set_rx(RxHandler handler) { rx_ = std::move(handler); }
   void send(L2Frame frame);
 

@@ -10,6 +10,12 @@ namespace rogue::net {
 
 util::Bytes TcpSegment::serialize(Ipv4Addr src, Ipv4Addr dst) const {
   util::Bytes out;
+  serialize_into(src, dst, out);
+  return out;
+}
+
+void TcpSegment::serialize_into(Ipv4Addr src, Ipv4Addr dst, util::Bytes& out) const {
+  out.clear();
   out.reserve(20 + payload.size());
   util::ByteWriter w(out);
   w.u16be(sport);
@@ -25,7 +31,6 @@ util::Bytes TcpSegment::serialize(Ipv4Addr src, Ipv4Addr dst) const {
   const std::uint16_t sum = transport_checksum(src, dst, kProtoTcp, out);
   out[16] = static_cast<std::uint8_t>(sum >> 8);
   out[17] = static_cast<std::uint8_t>(sum);
-  return out;
 }
 
 std::optional<TcpSegment> TcpSegment::parse(Ipv4Addr src, Ipv4Addr dst,
@@ -483,6 +488,19 @@ void TcpConnection::finish(bool notify) {
   stack_.simulator().cancel(time_wait_timer_);
   state_ = TcpState::kClosed;
   if (notify) notify_close();
+  // Handlers routinely capture this connection's own shared_ptr (both the
+  // tests and the apps do), which would form a reference cycle and leak
+  // the connection. Hand them to the simulator to destroy instead of
+  // dropping them here: finish() may be running *inside* one of these
+  // handlers, and destroying an executing closure is not an option. The
+  // no-op event releases them from the run loop (or the simulator's own
+  // teardown), where no connection callback is on the stack.
+  stack_.simulator().after(0, [data = std::move(on_data_),
+                              connect = std::move(on_connect_),
+                              close = std::move(on_close_)] {});
+  on_data_ = nullptr;
+  on_connect_ = nullptr;
+  on_close_ = nullptr;
   stack_.remove(this);
 }
 
@@ -490,6 +508,18 @@ void TcpConnection::finish(bool notify) {
 
 TcpStack::TcpStack(sim::Simulator& simulator, SendIpFn send_ip, TcpConfig config)
     : sim_(simulator), send_ip_(std::move(send_ip)), config_(config) {}
+
+TcpStack::~TcpStack() {
+  // Connections abandoned mid-stream may be kept alive solely by the
+  // handler-capture cycles described in finish(); break them so teardown
+  // reclaims everything. No callback is executing during stack teardown,
+  // so dropping the handlers directly is safe here.
+  for (auto& [key, conn] : connections_) {
+    conn->on_data_ = nullptr;
+    conn->on_connect_ = nullptr;
+    conn->on_close_ = nullptr;
+  }
+}
 
 std::uint16_t TcpStack::ephemeral_port() {
   // Linear probe; fine at simulation scale.
@@ -533,7 +563,13 @@ bool TcpStack::listen(std::uint16_t port, AcceptHandler on_accept) {
 void TcpStack::close_listener(std::uint16_t port) { listeners_.erase(port); }
 
 bool TcpStack::transmit(Ipv4Addr src, Ipv4Addr dst, const TcpSegment& seg) {
-  return send_ip_(dst, kProtoTcp, seg.serialize(src, dst));
+  // Segment construction is the TCP hot path: build the wire bytes in a
+  // pooled buffer and recycle it as soon as the IP layer has copied them.
+  util::Bytes raw = sim_.buffer_pool().acquire(20 + seg.payload.size());
+  seg.serialize_into(src, dst, raw);
+  const bool sent = send_ip_(dst, kProtoTcp, raw);
+  sim_.buffer_pool().release(std::move(raw));
+  return sent;
 }
 
 void TcpStack::send_rst(Ipv4Addr src, Ipv4Addr dst, const TcpSegment& offending) {

@@ -42,6 +42,9 @@ struct TcpSegment {
   [[nodiscard]] bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
   /// 20-byte header + payload; checksum over the pseudo-header.
   [[nodiscard]] util::Bytes serialize(Ipv4Addr src, Ipv4Addr dst) const;
+  /// serialize() into a caller-provided (typically pooled) buffer; `out`
+  /// is cleared first and its capacity reused.
+  void serialize_into(Ipv4Addr src, Ipv4Addr dst, util::Bytes& out) const;
   [[nodiscard]] static std::optional<TcpSegment> parse(Ipv4Addr src, Ipv4Addr dst,
                                                        util::ByteView raw);
 };
@@ -206,6 +209,10 @@ class TcpStack {
   using AcceptHandler = std::function<void(TcpConnectionPtr conn)>;
 
   TcpStack(sim::Simulator& simulator, SendIpFn send_ip, TcpConfig config = {});
+  ~TcpStack();
+
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] const TcpConfig& config() const { return config_; }

@@ -23,6 +23,10 @@ Radio::~Radio() {
   medium_.detach(this);
 }
 
+util::Bytes Radio::acquire_buffer(std::size_t reserve_hint) {
+  return medium_.simulator().buffer_pool().acquire(reserve_hint);
+}
+
 void Radio::transmit(util::Bytes frame) {
   queue_.push_back(std::move(frame));
   if (!attempt_pending_) {
@@ -135,8 +139,11 @@ void Medium::transmit(Radio& sender, util::Bytes frame) {
   }
   active_.push_back(ActiveTx{id, sender.channel(), sim_.now(), end, &sender, collided});
 
-  sim_.at(end, [this, id, sender_ptr = &sender, f = std::move(frame)] {
+  // Exactly 48 captured bytes: stays in EventFn's inline storage. The
+  // frame buffer is recycled once every receiver has been handed its view.
+  sim_.at(end, [this, id, sender_ptr = &sender, f = std::move(frame)]() mutable {
     deliver(id, sender_ptr, f);
+    sim_.buffer_pool().release(std::move(f));
   });
 }
 

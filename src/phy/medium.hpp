@@ -89,6 +89,10 @@ class Radio {
   /// is sensed busy; delivery lands at tx start + airtime.
   void transmit(util::Bytes frame);
 
+  /// Pooled buffer for building the next transmit() frame: recycled from
+  /// the simulator's BufferPool, returned to it after delivery.
+  [[nodiscard]] util::Bytes acquire_buffer(std::size_t reserve_hint = 0);
+
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
   [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
   [[nodiscard]] std::uint64_t frames_deferred() const { return deferred_; }

@@ -1,0 +1,138 @@
+// Small-buffer-optimized callable for simulator events. The kernel fires
+// millions of callbacks per trial and the typical capture set ([this], a
+// handle, a couple of ints, or a pooled frame buffer) is small, so EventFn
+// stores up to kInlineSize bytes inline and only heap-allocates beyond
+// that. Move-only: events are scheduled once and moved out of the queue to
+// fire, never copied.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rogue::sim {
+
+class EventFn {
+ public:
+  /// Inline storage: enough for [this] + a 24-byte vector + two words,
+  /// which covers every hot callback in the phy/dot11/net pipeline.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(*-explicit-*) mirrors std::function conversions
+    using Fn = std::decay_t<F>;
+    if constexpr (trivial_inline<Fn>()) {
+      // Trivially-copyable capture (captureless, [this], PODs): moves are
+      // raw byte copies and destruction is a no-op, signalled by a null
+      // manage_. This is the schedule/fire hot path — no indirect calls
+      // besides the invocation itself.
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* target) { (*static_cast<Fn*>(target))(); };
+      manage_ = nullptr;
+      inline_ = true;
+    } else if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* target) { (*static_cast<Fn*>(target))(); };
+      manage_ = [](Op op, void* self, void* dst) {
+        auto* fn = static_cast<Fn*>(self);
+        if (op == Op::kMoveTo) ::new (dst) Fn(std::move(*fn));
+        fn->~Fn();
+      };
+      inline_ = true;
+    } else {
+      ::new (static_cast<void*>(storage_)) void*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* target) { (*static_cast<Fn*>(target))(); };
+      manage_ = [](Op op, void* self, void* dst) {
+        if (op == Op::kMoveTo) {
+          ::new (dst) void*(self);
+        } else {
+          delete static_cast<Fn*>(self);
+        }
+      };
+      inline_ = false;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { invoke_(target()); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Drop the stored callable (inert afterwards).
+  void reset() {
+    if (invoke_ == nullptr) return;
+    if (manage_ != nullptr) manage_(Op::kDestroy, target(), nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Op : std::uint8_t { kMoveTo, kDestroy };
+  using Invoke = void (*)(void*);
+  using Manage = void (*)(Op, void* self, void* dst);
+
+  template <typename Fn>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize && alignof(Fn) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  [[nodiscard]] static constexpr bool trivial_inline() {
+#ifdef ROGUE_EVENTFN_NO_TRIVIAL  // benchmarking escape hatch
+    return false;
+#else
+    return fits_inline<Fn>() && std::is_trivially_copyable_v<Fn> &&
+           std::is_trivially_destructible_v<Fn>;
+#endif
+  }
+
+  [[nodiscard]] void* target() {
+    if (inline_) return static_cast<void*>(storage_);
+    return *std::launder(reinterpret_cast<void**>(storage_));
+  }
+
+  void move_from(EventFn& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    inline_ = other.inline_;
+    if (other.manage_ == nullptr) {
+      std::memcpy(storage_, other.storage_, kInlineSize);
+    } else {
+      other.manage_(Op::kMoveTo, other.target(), storage_);
+    }
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  bool inline_ = false;
+};
+
+}  // namespace rogue::sim

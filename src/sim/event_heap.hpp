@@ -1,0 +1,102 @@
+// 4-ary min-heap specialized for simulator events. Entries are 24-byte
+// PODs ordered by (time, seq); the callable itself lives in a slot table
+// owned by the Simulator, so heap sift operations move trivially-copyable
+// keys only. A 4-ary layout halves tree depth versus binary, which is
+// where the pop cost goes, and pop *moves* the root out (std::priority_
+// queue forces a copy because top() is const).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rogue::sim {
+
+struct HeapEntry {
+  std::uint64_t time;  ///< absolute fire time (sim::Time)
+  std::uint64_t seq;   ///< insertion order — deterministic tie-break
+  std::uint32_t slot;  ///< index into the simulator's slot table
+  std::uint32_t gen;   ///< slot generation this entry was scheduled against
+};
+
+class EventHeap {
+ public:
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const HeapEntry& top() const { return entries_.front(); }
+
+  void push(HeapEntry entry) {
+    entries_.push_back(entry);
+    sift_up(entries_.size() - 1);
+  }
+
+  /// Remove and return the minimum entry.
+  HeapEntry pop() {
+    HeapEntry out = entries_.front();
+    HeapEntry last = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) {
+      sift_down_from_root(last);
+    }
+    return out;
+  }
+
+  /// Drop every entry matching `pred` and re-heapify. (time, seq) is a
+  /// total order (seq is unique), so rebuilding cannot perturb pop order.
+  template <typename Pred>
+  void remove_if(Pred&& pred) {
+    std::erase_if(entries_, pred);
+    if (entries_.size() < 2) return;
+    for (std::size_t i = (entries_.size() - 2) / kArity + 1; i-- > 0;) {
+      sift_down(i, entries_[i]);
+    }
+  }
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  [[nodiscard]] static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t pos) {
+    const HeapEntry moving = entries_[pos];
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / kArity;
+      if (!before(moving, entries_[parent])) break;
+      entries_[pos] = entries_[parent];
+      pos = parent;
+    }
+    entries_[pos] = moving;
+  }
+
+  void sift_down_from_root(const HeapEntry& moving) { sift_down(0, moving); }
+
+  /// Place `moving` at `pos`, sinking it below any smaller children.
+  void sift_down(std::size_t pos, HeapEntry moving) {
+    const std::size_t n = entries_.size();
+    for (;;) {
+      const std::size_t first_child = pos * kArity + 1;
+      if (first_child >= n) break;
+      const std::size_t last_child = std::min(first_child + kArity, n);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (before(entries_[c], entries_[best])) best = c;
+      }
+      if (!before(entries_[best], moving)) break;
+      entries_[pos] = entries_[best];
+      pos = best;
+    }
+    entries_[pos] = moving;
+  }
+
+  std::vector<HeapEntry> entries_;
+};
+
+}  // namespace rogue::sim

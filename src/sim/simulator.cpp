@@ -1,5 +1,4 @@
 #include "sim/simulator.hpp"
-#include <memory>
 
 #include <utility>
 
@@ -7,58 +6,135 @@
 
 namespace rogue::sim {
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+namespace {
+[[nodiscard]] constexpr std::uint32_t handle_slot(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id & 0xffffffffu);
+}
+[[nodiscard]] constexpr std::uint32_t handle_gen(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+}  // namespace
 
-TimerHandle Simulator::at(Time t, std::function<void()> fn) {
-  ROGUE_ASSERT_MSG(t >= now_, "cannot schedule in the past");
-  const std::uint64_t id = next_id_++;
-  heap_.push(Event{t, next_seq_++, id, std::move(fn)});
-  return TimerHandle(id);
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+  slots_.reserve(1024);
+  free_slots_.reserve(1024);
+  heap_.reserve(1024);
 }
 
-TimerHandle Simulator::after(Time delay, std::function<void()> fn) {
+std::uint32_t Simulator::allocate_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::free_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn.reset();
+  slot.periodic = false;
+  slot.period = 0;
+  // Bumping the generation invalidates every outstanding handle and heap
+  // entry for this tenancy; 0 is reserved so handle ids are never 0.
+  if (++slot.gen == 0) slot.gen = 1;
+  free_slots_.push_back(index);
+}
+
+TimerHandle Simulator::schedule(Time t, EventFn&& fn, bool periodic, Time period) {
+  const std::uint32_t index = allocate_slot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.periodic = periodic;
+  slot.period = period;
+  heap_.push(HeapEntry{t, next_seq_++, index, slot.gen});
+  ++live_;
+  return TimerHandle((static_cast<std::uint64_t>(slot.gen) << 32) | index);
+}
+
+TimerHandle Simulator::at(Time t, EventFn fn) {
+  ROGUE_ASSERT_MSG(t >= now_, "cannot schedule in the past");
+  return schedule(t, std::move(fn), /*periodic=*/false, 0);
+}
+
+TimerHandle Simulator::after(Time delay, EventFn fn) {
   return at(now_ + delay, std::move(fn));
 }
 
-void Simulator::cancel(TimerHandle handle) {
-  if (handle.valid()) cancelled_.insert(handle.id_);
-}
-
-TimerHandle Simulator::every(Time period, std::function<void()> fn) {
+TimerHandle Simulator::every(Time period, EventFn fn) {
   return every(period, period, std::move(fn));
 }
 
-TimerHandle Simulator::every(Time period, Time phase, std::function<void()> fn) {
+TimerHandle Simulator::every(Time period, Time phase, EventFn fn) {
   ROGUE_ASSERT_MSG(period > 0, "periodic event needs period > 0");
-  const std::uint64_t id = next_id_++;
-  // Each occurrence re-arms the next one under the same id, so cancelling
-  // the id breaks the chain: the pending occurrence is skipped at pop time
-  // and nothing re-pushes.
-  auto tick = std::make_shared<std::function<void()>>();
-  auto body = std::make_shared<std::function<void()>>(std::move(fn));
-  *tick = [this, id, period, tick, body] {
-    (*body)();
-    heap_.push(Event{now_ + period, next_seq_++, id, *tick});
-  };
-  heap_.push(Event{now_ + phase, next_seq_++, id, *tick});
-  return TimerHandle(id);
+  return schedule(now_ + phase, std::move(fn), /*periodic=*/true, period);
+}
+
+void Simulator::cancel(TimerHandle handle) {
+  if (!handle.valid()) return;
+  const std::uint32_t index = handle_slot(handle.id_);
+  if (index >= slots_.size() || slots_[index].gen != handle_gen(handle.id_)) {
+    return;  // already fired, already cancelled, or slot recycled
+  }
+  free_slot(index);
+  --live_;
+  ++stale_;
+  maybe_compact();
+}
+
+bool Simulator::scheduled(TimerHandle handle) const {
+  if (!handle.valid()) return false;
+  const std::uint32_t index = handle_slot(handle.id_);
+  return index < slots_.size() && slots_[index].gen == handle_gen(handle.id_);
+}
+
+bool Simulator::settle_top() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.top();
+    if (slots_[top.slot].gen == top.gen) return true;
+    (void)heap_.pop();
+    if (stale_ > 0) --stale_;
+  }
+  return false;
+}
+
+void Simulator::maybe_compact() {
+  // Lazy cancellation leaves entries behind; once they dominate the heap,
+  // filter them out in one O(n) rebuild so memory and pop cost stay
+  // proportional to live events.
+  if (stale_ < 64 || stale_ * 2 < heap_.size()) return;
+  heap_.remove_if(
+      [this](const HeapEntry& e) { return slots_[e.slot].gen != e.gen; });
+  stale_ = 0;
 }
 
 bool Simulator::step() {
-  while (!heap_.empty()) {
-    Event ev = heap_.top();
-    heap_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+  if (!settle_top()) return false;
+  const HeapEntry entry = heap_.pop();
+  ROGUE_ASSERT(entry.time >= now_);
+  now_ = entry.time;
+  ++fired_;
+
+  Slot& slot = slots_[entry.slot];
+  if (slot.periodic) {
+    const Time period = slot.period;
+    // Fire out of a local: the callback may schedule events, which can
+    // reallocate slots_, or cancel its own series.
+    EventFn fn = std::move(slot.fn);
+    fn();
+    Slot& current = slots_[entry.slot];
+    if (current.gen == entry.gen) {  // series not cancelled: re-arm
+      current.fn = std::move(fn);
+      heap_.push(HeapEntry{now_ + period, next_seq_++, entry.slot, entry.gen});
     }
-    ROGUE_ASSERT(ev.time >= now_);
-    now_ = ev.time;
-    ++fired_;
-    ev.fn();
-    return true;
+  } else {
+    EventFn fn = std::move(slot.fn);
+    free_slot(entry.slot);
+    --live_;
+    fn();
   }
-  return false;
+  return true;
 }
 
 void Simulator::run(std::uint64_t max_events) {
@@ -68,8 +144,11 @@ void Simulator::run(std::uint64_t max_events) {
 }
 
 void Simulator::run_until(Time t) {
-  while (!heap_.empty() && heap_.top().time <= t) {
-    if (!step()) break;
+  // settle_top() first: a cancelled tombstone at the heap top must not let
+  // an event *beyond* the deadline fire (the top's time has to be a live
+  // event's time before it is compared against t).
+  while (settle_top() && heap_.top().time <= t) {
+    (void)step();
   }
   if (now_ < t) now_ = t;
 }

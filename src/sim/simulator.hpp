@@ -1,14 +1,23 @@
 // Discrete-event simulation kernel. Single-threaded and deterministic:
 // events fire in (time, insertion-order) order and all randomness flows
 // from the simulator-owned PRNG, so a trial is reproducible from its seed.
+//
+// Internals are built for the hot path: a 4-ary heap over 24-byte POD
+// entries (the callable never moves during sift operations), a
+// slot/generation table giving O(1) cancel() and an exact pending() count,
+// and small-buffer-optimized EventFn callbacks so typical captures never
+// allocate. Cancelled events leave a stale heap entry behind (skipped on
+// pop, compacted when they pile up); correctness never depends on the
+// stale entries because every entry is validated against its slot's
+// generation.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_fn.hpp"
+#include "sim/event_heap.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/prng.hpp"
 
 namespace rogue::sim {
@@ -21,7 +30,9 @@ inline constexpr Time kMillisecond = 1000;
 inline constexpr Time kSecond = 1'000'000;
 
 /// Handle for cancelling a scheduled event. Default-constructed handles
-/// are inert.
+/// are inert. Encodes (slot, generation): stale handles — already fired,
+/// already cancelled, or from a recycled slot — are detected exactly, so
+/// cancel() on them is a true no-op.
 class TimerHandle {
  public:
   TimerHandle() = default;
@@ -31,7 +42,7 @@ class TimerHandle {
  private:
   friend class Simulator;
   explicit TimerHandle(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;
+  std::uint64_t id_ = 0;  // (generation << 32) | slot; generation >= 1
 };
 
 class Simulator {
@@ -43,18 +54,24 @@ class Simulator {
 
   [[nodiscard]] Time now() const { return now_; }
   [[nodiscard]] util::Prng& rng() { return rng_; }
+  /// Frame-buffer freelist shared by this simulation's phy/dot11/net hot
+  /// paths. Per-simulator, so trials stay deterministic and thread-isolated.
+  [[nodiscard]] util::BufferPool& buffer_pool() { return pool_; }
 
   /// Schedule `fn` at absolute time t (must be >= now()).
-  TimerHandle at(Time t, std::function<void()> fn);
+  TimerHandle at(Time t, EventFn fn);
   /// Schedule `fn` after a relative delay.
-  TimerHandle after(Time delay, std::function<void()> fn);
-  /// Cancel a scheduled event; no-op if already fired or cancelled.
+  TimerHandle after(Time delay, EventFn fn);
+  /// Cancel a scheduled event; O(1). No-op if already fired or cancelled.
   void cancel(TimerHandle handle);
+  /// True while `handle` refers to a scheduled (not yet fired/cancelled)
+  /// event or live periodic series.
+  [[nodiscard]] bool scheduled(TimerHandle handle) const;
 
   /// Schedule fn every `period`, first firing after `phase` (defaults to
   /// one period). Returns a handle that cancels the whole series.
-  TimerHandle every(Time period, std::function<void()> fn);
-  TimerHandle every(Time period, Time phase, std::function<void()> fn);
+  TimerHandle every(Time period, EventFn fn);
+  TimerHandle every(Time period, Time phase, EventFn fn);
 
   /// Execute the next event; false if the queue is empty.
   bool step();
@@ -63,32 +80,40 @@ class Simulator {
   /// Run events with time <= t, then set now() = t.
   void run_until(Time t);
 
-  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Exact count of scheduled events (a periodic series counts as one).
+  [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
 
  private:
-  struct Event {
-    Time time;
-    std::uint64_t seq;  // insertion order — deterministic tie-break
-    std::uint64_t id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  /// Per-event state. The generation distinguishes the slot's current
+  /// tenant from stale heap entries and stale handles; it bumps every time
+  /// the slot is freed.
+  struct Slot {
+    std::uint32_t gen = 1;
+    bool periodic = false;
+    Time period = 0;
+    EventFn fn;
   };
 
-  struct PeriodicState;
+  [[nodiscard]] std::uint32_t allocate_slot();
+  void free_slot(std::uint32_t index);
+  [[nodiscard]] TimerHandle schedule(Time t, EventFn&& fn, bool periodic,
+                                     Time period);
+  /// Pop stale (cancelled) entries off the heap top; afterwards the top,
+  /// if any, is a live event. Returns false when the heap is empty.
+  [[nodiscard]] bool settle_top();
+  void maybe_compact();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;   ///< scheduled events (periodic series count once)
+  std::size_t stale_ = 0;  ///< cancelled entries still sitting in the heap
+  EventHeap heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   util::Prng rng_;
+  util::BufferPool pool_;
 };
 
 }  // namespace rogue::sim

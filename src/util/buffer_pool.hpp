@@ -1,0 +1,73 @@
+// Freelist of Bytes backing stores for the per-frame hot path. Every
+// simulated frame used to allocate (and free) its serialization buffer;
+// the pool recycles those vectors so steady-state traffic runs without
+// touching the allocator. One pool per Simulator: no locking, no
+// cross-thread sharing, and determinism is untouched because the pool
+// only changes *where* bytes live, never event order or content.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace rogue::util {
+
+struct BufferPoolStats {
+  std::uint64_t acquires = 0;   ///< total acquire() calls
+  std::uint64_t reuses = 0;     ///< acquires served from the freelist
+  std::uint64_t releases = 0;   ///< buffers accepted back
+  std::uint64_t discards = 0;   ///< buffers rejected (pool full / oversized)
+};
+
+class BufferPool {
+ public:
+  /// `max_pooled` bounds freelist depth; `max_capacity` keeps pathological
+  /// one-off giants (bulk payload copies) from pinning memory forever.
+  explicit BufferPool(std::size_t max_pooled = 128,
+                      std::size_t max_capacity = 64 * 1024)
+      : max_pooled_(max_pooled), max_capacity_(max_capacity) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Get an empty buffer with at least `reserve_hint` capacity. The buffer
+  /// is an ordinary Bytes: callers that never release() it leak nothing.
+  [[nodiscard]] Bytes acquire(std::size_t reserve_hint = 0) {
+    ++stats_.acquires;
+    Bytes out;
+    if (!free_.empty()) {
+      ++stats_.reuses;
+      out = std::move(free_.back());
+      free_.pop_back();
+      out.clear();
+    }
+    if (out.capacity() < reserve_hint) out.reserve(reserve_hint);
+    return out;
+  }
+
+  /// Return a buffer's backing store for reuse. Contents are dropped; the
+  /// caller must not hold views into it past this call.
+  void release(Bytes&& buf) {
+    if (buf.capacity() == 0 || buf.capacity() > max_capacity_ ||
+        free_.size() >= max_pooled_) {
+      ++stats_.discards;  // caller's (moved-from) vector frees it as usual
+      return;
+    }
+    ++stats_.releases;
+    buf.clear();
+    free_.push_back(std::move(buf));
+  }
+
+  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+  [[nodiscard]] const BufferPoolStats& stats() const { return stats_; }
+
+ private:
+  std::vector<Bytes> free_;
+  std::size_t max_pooled_;
+  std::size_t max_capacity_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace rogue::util

@@ -2,9 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
 #include <set>
+#include <vector>
 
+#include "util/buffer_pool.hpp"
 #include "util/bytes.hpp"
 #include "util/fmt.hpp"
 #include "util/prng.hpp"
@@ -205,6 +209,68 @@ TEST(Fmt, Helpers) {
   EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
   EXPECT_EQ(fmt_bytes(512), "512 B");
   EXPECT_EQ(fmt_bytes(1536), "1.5 KiB");
+}
+
+TEST(BufferPool, ReusesReleasedBackingStore) {
+  BufferPool pool;
+  Bytes b = pool.acquire(100);
+  b.assign(100, 0xab);
+  const std::uint8_t* backing = b.data();
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.pooled(), 1u);
+  Bytes c = pool.acquire(50);
+  EXPECT_EQ(c.data(), backing);  // same backing store recycled...
+  EXPECT_TRUE(c.empty());        // ...but cleared
+  EXPECT_GE(c.capacity(), 100u);
+  EXPECT_EQ(pool.stats().acquires, 2u);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_EQ(pool.stats().releases, 1u);
+}
+
+TEST(BufferPool, CapsAndDiscards) {
+  BufferPool pool(/*max_pooled=*/2, /*max_capacity=*/128);
+  Bytes big = pool.acquire(0);
+  big.reserve(256);
+  pool.release(std::move(big));  // over the capacity cap: discarded
+  EXPECT_EQ(pool.pooled(), 0u);
+  EXPECT_EQ(pool.stats().discards, 1u);
+
+  Bytes a = pool.acquire(16);
+  Bytes b = pool.acquire(16);
+  Bytes c = pool.acquire(16);
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  pool.release(std::move(c));  // freelist full: discarded
+  EXPECT_EQ(pool.pooled(), 2u);
+  EXPECT_EQ(pool.stats().discards, 2u);
+
+  Bytes empty;
+  pool.release(std::move(empty));  // capacity 0: nothing worth keeping
+  EXPECT_EQ(pool.pooled(), 2u);
+}
+
+TEST(BufferPool, ReuseNeverAliasesLiveBuffer) {
+  // Property: a buffer handed out by acquire() must never share a backing
+  // store with any buffer the caller still owns.
+  BufferPool pool;
+  Prng rng(7);
+  std::vector<Bytes> live;
+  std::set<const std::uint8_t*> live_ptrs;
+  for (int i = 0; i < 2000; ++i) {
+    if (!live.empty() && rng.chance(0.4)) {
+      const auto idx = rng.uniform_u32(static_cast<std::uint32_t>(live.size()));
+      live_ptrs.erase(live[idx].data());
+      pool.release(std::move(live[idx]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      Bytes b = pool.acquire(1 + rng.uniform_u32(256));
+      b.resize(1 + rng.uniform_u32(64));
+      ASSERT_TRUE(live_ptrs.insert(b.data()).second)
+          << "acquire() returned a backing store still owned by a live buffer";
+      live.push_back(std::move(b));
+    }
+  }
+  EXPECT_GT(pool.stats().reuses, 0u);
 }
 
 TEST(ThreadPool, RunsAllTasks) {
