@@ -26,6 +26,7 @@
 #include "net/link.hpp"
 #include "net/tcp.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 #include "util/prng.hpp"
 
 using namespace rogue;
@@ -250,6 +251,41 @@ void BM_BeaconStorm(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * 10);
 }
 BENCHMARK(BM_BeaconStorm);
+
+void BM_TraceRecord(benchmark::State& state) {
+  // Hot-path trace append with an interned tag: the record itself is a
+  // 64-byte POD-ish row and the typical MAC-layer message stays in the
+  // ShortString inline buffer, so appends don't allocate per record.
+  sim::Trace trace;
+  const sim::TagId tag = trace.intern("ap:aa:bb:cc:dd:ee:01");
+  for (auto _ : state) {
+    trace.clear();
+    for (int i = 0; i < 1000; ++i) {
+      trace.record(static_cast<sim::Time>(i), tag,
+                   "assoc aa:bb:cc:dd:ee:77 aid=1");
+    }
+    benchmark::DoNotOptimize(trace.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TraceRecord);
+
+void BM_TraceRecordLegacy(benchmark::State& state) {
+  // The pre-interning usage pattern every component had: build the tag
+  // string per record (concat + to_string) and pay its heap traffic.
+  sim::Trace trace;
+  const net::MacAddr bssid = net::MacAddr::from_id(0xAABBCCDD01);
+  for (auto _ : state) {
+    trace.clear();
+    for (int i = 0; i < 1000; ++i) {
+      trace.record(static_cast<sim::Time>(i), "ap:" + bssid.to_string(),
+                   "assoc aa:bb:cc:dd:ee:77 aid=1");
+    }
+    benchmark::DoNotOptimize(trace.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TraceRecordLegacy);
 
 void BM_SimTcpTransfer(benchmark::State& state) {
   // Full in-sim TCP transfer of 100 KiB between two wired hosts:

@@ -20,6 +20,8 @@ int main() {
   scenario::CorpConfig cfg;
   cfg.victim_to_legit_m = 20.0;
   cfg.victim_to_rogue_m = 4.0;
+  cfg.deauth_forcing = true;
+  cfg.capture_window = 10 * sim::kSecond;
   scenario::CorpWorld world(cfg);
   world.start();
 
@@ -33,18 +35,9 @@ int main() {
                               world.vpn_host().interface("eth0")->mac()});
 
   // Sequence-control monitor parked on the corporate channel.
-  detect::SeqMonitorConfig smc;
-  smc.channel = cfg.legit_channel;
-  detect::SeqNumMonitor seq_monitor(world.sim(), world.medium(), smc);
-  seq_monitor.radio().set_position({10, 5});
+  detect::SeqNumMonitor& seq_monitor = world.enable_detection();
 
-  world.run_for(3 * sim::kSecond);
-  std::printf("[t=%3.0fs] network up, victim on legit AP\n",
-              static_cast<double>(world.sim().now()) / 1e6);
-
-  world.deploy_rogue();
-  world.start_deauth_forcing();
-  world.run_for(10 * sim::kSecond);
+  world.run_capture_phase();
   std::printf("[t=%3.0fs] rogue deployed; victim on rogue: %s\n",
               static_cast<double>(world.sim().now()) / 1e6,
               world.victim_on_rogue() ? "yes" : "no");

@@ -54,17 +54,14 @@ int main() {
     scenario::CorpConfig cfg;
     cfg.victim_to_legit_m = 20.0;  // rogue parks closer to the victim
     cfg.victim_to_rogue_m = 4.0;
+    cfg.deauth_forcing = true;
     scenario::CorpWorld world(cfg);
-    world.start();
-    world.run_for(3 * sim::kSecond);
 
     std::printf("\nDeploying rogue AP: SSID CORP, cloned BSSID %s, channel %d, "
                 "same WEP key\n",
                 world.legit_bssid().to_string().c_str(),
                 static_cast<int>(cfg.rogue_channel));
-    world.deploy_rogue();
-    world.start_deauth_forcing();
-    world.run_for(15 * sim::kSecond);
+    world.run_capture_phase();
     std::printf("victim captured by rogue: %s\n",
                 world.victim_on_rogue() ? "yes" : "no");
 
@@ -82,12 +79,9 @@ int main() {
     scenario::CorpConfig cfg;
     cfg.victim_to_legit_m = 20.0;
     cfg.victim_to_rogue_m = 4.0;
+    cfg.deauth_forcing = true;
     scenario::CorpWorld world(cfg);
-    world.start();
-    world.run_for(3 * sim::kSecond);
-    world.deploy_rogue();
-    world.start_deauth_forcing();
-    world.run_for(15 * sim::kSecond);
+    world.run_capture_phase();
 
     bool vpn_ok = false;
     world.connect_vpn([&](bool ok) { vpn_ok = ok; });

@@ -18,17 +18,14 @@ int main(int argc, char** argv) {
   scenario::CorpConfig cfg;
   cfg.victim_to_legit_m = 20.0;
   cfg.victim_to_rogue_m = 4.0;
+  cfg.deauth_forcing = true;
   cfg.vpn_transport = udp ? vpn::Transport::kUdp : vpn::Transport::kTcp;
   scenario::CorpWorld world(cfg);
 
   std::printf("VPN countermeasure demo (paper section 5), transport: %s\n\n",
               udp ? "UDP (IPsec-style)" : "TCP (PPP-over-SSH-style)");
 
-  world.start();
-  world.run_for(3 * sim::kSecond);
-  world.deploy_rogue();
-  world.start_deauth_forcing();
-  world.run_for(15 * sim::kSecond);
+  world.run_capture_phase();
   std::printf("[1] victim captured by rogue AP: %s\n",
               world.victim_on_rogue() ? "yes" : "no");
 

@@ -13,6 +13,7 @@ AccessPoint::AccessPoint(sim::Simulator& simulator, phy::Medium& medium,
       config_(std::move(config)),
       radio_(medium, "ap:" + config_.bssid.to_string()),
       trace_(trace) {
+  if (trace_ != nullptr) trace_tag_ = trace_->intern(radio_.name());
   // Back-compat: the legacy privacy flag means WEP.
   if (config_.security == SecurityMode::kOpen && config_.privacy) {
     config_.security = SecurityMode::kWep;
@@ -87,9 +88,9 @@ std::vector<net::MacAddr> AccessPoint::associated_stations() const {
   return out;
 }
 
-void AccessPoint::trace(std::string message) {
+void AccessPoint::trace(std::string_view message, sim::Severity severity) {
   if (trace_ != nullptr) {
-    trace_->record(sim_.now(), "ap:" + config_.bssid.to_string(), std::move(message));
+    trace_->record(sim_.now(), trace_tag_, message, severity);
   }
 }
 
@@ -194,7 +195,8 @@ void AccessPoint::handle_auth(const Frame& frame) {
     send_mgmt(MgmtSubtype::kAuth, sta, resp.encode());
     ++counters_.auth_rejected;
     trace(util::format("auth-reject {} status={}", sta.to_string(),
-                      static_cast<int>(code)));
+                       static_cast<int>(code)),
+          sim::Severity::kWarn);
   };
 
   // A protected auth frame that failed to decrypt/parse: wrong WEP key.
@@ -278,7 +280,7 @@ void AccessPoint::handle_assoc_req(const Frame& frame) {
     resp.status = StatusCode::kAssocDeniedUnspec;
     ++counters_.assoc_rejected;
     send_mgmt(MgmtSubtype::kAssocResp, sta, resp.encode());
-    trace(util::format("assoc-reject {}", sta.to_string()));
+    trace(util::format("assoc-reject {}", sta.to_string()), sim::Severity::kWarn);
     return;
   }
 
@@ -303,7 +305,7 @@ void AccessPoint::handle_deauth(const Frame& frame) {
   const net::MacAddr sta = frame.addr2;
   wpa_.erase(sta);
   if (associated_.erase(sta) > 0 || authenticated_.erase(sta) > 0) {
-    trace(util::format("deauth-rx {}", sta.to_string()));
+    trace(util::format("deauth-rx {}", sta.to_string()), sim::Severity::kWarn);
     if (event_handler_) event_handler_("deauth", sta);
   }
 }
@@ -492,13 +494,14 @@ void AccessPoint::handle_eapol(net::MacAddr sta, util::ByteView payload) {
     if (!pmk) {
       // kEap: no credential on file for this MAC (or, on a rogue AP,
       // for any client but the attacker's own) — handshake cannot proceed.
-      trace(util::format("wpa-m2-unknown-client {}", sta.to_string()));
+      trace(util::format("wpa-m2-unknown-client {}", sta.to_string()),
+            sim::Severity::kWarn);
       return;
     }
     const WpaPtk ptk =
         wpa_ptk(*pmk, config_.bssid, sta, state.anonce, hs->nonce);
     if (!hs->verify(ptk.kck)) {
-      trace(util::format("wpa-m2-bad-mic {}", sta.to_string()));
+      trace(util::format("wpa-m2-bad-mic {}", sta.to_string()), sim::Severity::kWarn);
       return;  // wrong PSK on the station side
     }
     state.ptk = ptk;
@@ -533,7 +536,7 @@ void AccessPoint::deauth_station(net::MacAddr sta, ReasonCode reason) {
   DeauthBody body;
   body.reason = reason;
   send_mgmt(MgmtSubtype::kDeauth, sta, body.encode());
-  trace(util::format("deauth-tx {}", sta.to_string()));
+  trace(util::format("deauth-tx {}", sta.to_string()), sim::Severity::kWarn);
   if (event_handler_) event_handler_("deauth", sta);
 }
 

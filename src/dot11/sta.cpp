@@ -12,6 +12,7 @@ Station::Station(sim::Simulator& simulator, phy::Medium& medium,
       config_(std::move(config)),
       radio_(medium, "sta:" + config_.mac.to_string()),
       trace_(trace) {
+  if (trace_ != nullptr) trace_tag_ = trace_->intern(radio_.name());
   if (config_.security == SecurityMode::kOpen && config_.use_wep) {
     config_.security = SecurityMode::kWep;
   }
@@ -47,9 +48,9 @@ void Station::stop() {
   state_ = StationState::kIdle;
 }
 
-void Station::trace(std::string message) {
+void Station::trace(std::string_view message, sim::Severity severity) {
   if (trace_ != nullptr) {
-    trace_->record(sim_.now(), "sta:" + config_.mac.to_string(), std::move(message));
+    trace_->record(sim_.now(), trace_tag_, message, severity);
   }
 }
 
@@ -87,7 +88,7 @@ void Station::begin_scan() {
   ++counters_.scans;
   scan_results_.clear();
   scan_channel_index_ = 0;
-  trace("scan-start");
+  trace("scan-start", sim::Severity::kDebug);
   radio_.set_channel(config_.scan_channels[0]);
   scan_timer_ = sim_.after(config_.scan_dwell, [this] { scan_next_channel(); });
 }
@@ -106,7 +107,7 @@ void Station::scan_next_channel() {
 void Station::finish_scan() {
   const auto candidate = pick_candidate();
   if (!candidate) {
-    trace("scan-empty");
+    trace("scan-empty", sim::Severity::kDebug);
     scan_timer_ = sim_.after(config_.rescan_delay, [this] { begin_scan(); });
     return;
   }
@@ -185,7 +186,7 @@ void Station::on_join_timeout() {
     send_auth_request();
     return;
   }
-  trace("join-failed");
+  trace("join-failed", sim::Severity::kWarn);
   scan_timer_ = sim_.after(config_.rescan_delay, [this] { begin_scan(); });
   state_ = StationState::kScanning;
 }
@@ -224,7 +225,7 @@ void Station::disconnect(std::string_view why) {
   sim_.cancel(beacon_watchdog_);
   sim_.cancel(join_timer_);
   sim_.cancel(wpa_watchdog_);
-  trace(util::format("disconnect ({})", why));
+  trace(util::format("disconnect ({})", why), sim::Severity::kWarn);
   state_ = StationState::kIdle;
   if (running_) {
     scan_timer_ = sim_.after(config_.rescan_delay, [this] { begin_scan(); });
@@ -300,7 +301,7 @@ void Station::handle_auth_resp(const Frame& frame) {
   if (!auth) return;
 
   if (auth->status != StatusCode::kSuccess) {
-    trace("auth-rejected");
+    trace("auth-rejected", sim::Severity::kWarn);
     on_join_timeout();
     return;
   }
@@ -330,7 +331,7 @@ void Station::handle_assoc_resp(const Frame& frame) {
   const auto resp = AssocRespBody::decode(frame.body);
   if (!resp) return;
   if (resp->status != StatusCode::kSuccess) {
-    trace("assoc-rejected");
+    trace("assoc-rejected", sim::Severity::kWarn);
     on_join_timeout();
     return;
   }
@@ -473,7 +474,7 @@ void Station::handle_eapol(util::ByteView payload) {
   }
   if (hs->msg == WpaMsg::kM3) {
     if (ptk_.kck.empty() || !hs->verify(ptk_.kck)) {
-      trace("wpa-m3-bad-mic");  // wrong PSK on the AP side: abort
+      trace("wpa-m3-bad-mic", sim::Severity::kWarn);  // wrong PSK on the AP side: abort
       return;
     }
     const auto gtk = crypto::aead_open(ptk_.aead_key, /*seq=*/0,

@@ -153,12 +153,14 @@ class Station {
                  bool protect = false);
   /// Serialize into a pooled buffer and hand it to the radio.
   void transmit_frame(const Frame& frame);
-  void trace(std::string message);
+  void trace(std::string_view message,
+             sim::Severity severity = sim::Severity::kInfo);
 
   sim::Simulator& sim_;
   StationConfig config_;
   phy::Radio radio_;
   sim::Trace* trace_ = nullptr;
+  sim::TagId trace_tag_ = 0;
 
   StationState state_ = StationState::kIdle;
   bool running_ = false;

@@ -1,0 +1,104 @@
+#include "runner/metrics.hpp"
+
+namespace rogue::runner {
+
+util::Json to_json(const RunMetrics& run, bool include_wall) {
+  const scenario::Metrics& m = run.metrics;
+  util::Json j = util::Json::object();
+  j.set("scenario", run.scenario);
+  j.set("variant", run.variant);
+  j.set("seed", run.seed);
+  if (include_wall) j.set("wall_ms", run.wall_ms);
+
+  util::Json metrics = util::Json::object();
+  metrics.set("victim_captured", m.victim_captured);
+  metrics.set("time_to_capture_s", m.time_to_capture_s);
+  metrics.set("download_completed", m.download_completed);
+  metrics.set("trojaned", m.trojaned);
+  metrics.set("md5_verified", m.md5_verified);
+  metrics.set("victim_deceived", m.victim_deceived);
+  metrics.set("rogue_detected", m.rogue_detected);
+  metrics.set("detection_latency_s", m.detection_latency_s);
+  metrics.set("seq_anomalies", m.seq_anomalies);
+  metrics.set("vpn_established", m.vpn_established);
+  metrics.set("vpn_goodput_kbps", m.vpn_goodput_kbps);
+  metrics.set("vpn_overhead_ratio", m.vpn_overhead_ratio);
+  metrics.set("vpn_records_out", m.vpn_records_out);
+  metrics.set("vpn_records_in", m.vpn_records_in);
+  metrics.set("events_fired", m.events_fired);
+  metrics.set("trace_records", m.trace_records);
+  metrics.set("trace_warnings", m.trace_warnings);
+  metrics.set("sim_time_s", m.sim_time_s);
+  j.set("metrics", std::move(metrics));
+  return j;
+}
+
+namespace {
+
+bool read_bool(const util::Json& obj, std::string_view key, bool* out) {
+  const util::Json* v = obj.find(key);
+  if (v == nullptr || v->type() != util::Json::Type::kBool) return false;
+  *out = v->as_bool();
+  return true;
+}
+
+bool read_double(const util::Json& obj, std::string_view key, double* out) {
+  const util::Json* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = v->as_double();
+  return true;
+}
+
+bool read_u64(const util::Json& obj, std::string_view key, std::uint64_t* out) {
+  const util::Json* v = obj.find(key);
+  if (v == nullptr || v->type() != util::Json::Type::kInt) return false;
+  *out = static_cast<std::uint64_t>(v->as_int());
+  return true;
+}
+
+bool read_string(const util::Json& obj, std::string_view key, std::string* out) {
+  const util::Json* v = obj.find(key);
+  if (v == nullptr || v->type() != util::Json::Type::kString) return false;
+  *out = v->as_string();
+  return true;
+}
+
+}  // namespace
+
+std::optional<RunMetrics> run_metrics_from_json(const util::Json& j) {
+  if (j.type() != util::Json::Type::kObject) return std::nullopt;
+  RunMetrics run;
+  if (!read_string(j, "scenario", &run.scenario)) return std::nullopt;
+  if (!read_string(j, "variant", &run.variant)) return std::nullopt;
+  if (!read_u64(j, "seed", &run.seed)) return std::nullopt;
+  (void)read_double(j, "wall_ms", &run.wall_ms);  // optional
+
+  const util::Json* metrics = j.find("metrics");
+  if (metrics == nullptr || metrics->type() != util::Json::Type::kObject) {
+    return std::nullopt;
+  }
+  scenario::Metrics& m = run.metrics;
+  const bool ok =
+      read_bool(*metrics, "victim_captured", &m.victim_captured) &&
+      read_double(*metrics, "time_to_capture_s", &m.time_to_capture_s) &&
+      read_bool(*metrics, "download_completed", &m.download_completed) &&
+      read_bool(*metrics, "trojaned", &m.trojaned) &&
+      read_bool(*metrics, "md5_verified", &m.md5_verified) &&
+      read_bool(*metrics, "victim_deceived", &m.victim_deceived) &&
+      read_bool(*metrics, "rogue_detected", &m.rogue_detected) &&
+      read_double(*metrics, "detection_latency_s", &m.detection_latency_s) &&
+      read_u64(*metrics, "seq_anomalies", &m.seq_anomalies) &&
+      read_bool(*metrics, "vpn_established", &m.vpn_established) &&
+      read_double(*metrics, "vpn_goodput_kbps", &m.vpn_goodput_kbps) &&
+      read_double(*metrics, "vpn_overhead_ratio", &m.vpn_overhead_ratio) &&
+      read_u64(*metrics, "vpn_records_out", &m.vpn_records_out) &&
+      read_u64(*metrics, "vpn_records_in", &m.vpn_records_in) &&
+      read_u64(*metrics, "events_fired", &m.events_fired) &&
+      read_u64(*metrics, "trace_records", &m.trace_records) &&
+      read_u64(*metrics, "trace_warnings", &m.trace_warnings) &&
+      read_double(*metrics, "sim_time_s", &m.sim_time_s);
+  if (!ok) return std::nullopt;
+  return run;
+}
+
+}  // namespace rogue::runner

@@ -1,0 +1,87 @@
+#include "runner/scenarios.hpp"
+
+#include <memory>
+
+#include "scenario/corp_world.hpp"
+#include "scenario/hotspot.hpp"
+
+namespace rogue::runner {
+
+namespace {
+
+/// Attack-phase geometry used across the corp variants: the rogue parks
+/// much closer to the victim than the legitimate AP, so best-RSSI roaming
+/// reliably prefers it (the paper's parking-lot placement).
+scenario::CorpConfig corp_attack_config() {
+  scenario::CorpConfig cfg;
+  cfg.victim_to_legit_m = 20.0;
+  cfg.victim_to_rogue_m = 4.0;
+  return cfg;
+}
+
+Variant corp_variant(std::string name, scenario::CorpConfig cfg) {
+  return Variant{std::move(name), [cfg](std::uint64_t) {
+                   return std::make_unique<scenario::CorpWorld>(cfg);
+                 }};
+}
+
+Variant hotspot_variant(std::string name, scenario::HotspotConfig cfg) {
+  return Variant{std::move(name), [cfg](std::uint64_t) {
+                   return std::make_unique<scenario::HotspotWorld>(cfg);
+                 }};
+}
+
+}  // namespace
+
+std::vector<Variant> corp_variants() {
+  std::vector<Variant> variants;
+
+  scenario::CorpConfig baseline;  // no attack, plain download
+  variants.push_back(corp_variant("baseline", baseline));
+
+  scenario::CorpConfig rogue = corp_attack_config();  // Figure 2
+  rogue.deploy_rogue = true;
+  variants.push_back(corp_variant("rogue", rogue));
+
+  scenario::CorpConfig forced = corp_attack_config();  // §4 + §2.3
+  forced.deploy_rogue = true;
+  forced.deauth_forcing = true;
+  forced.enable_detection = true;
+  variants.push_back(corp_variant("rogue+deauth", forced));
+
+  scenario::CorpConfig vpn = corp_attack_config();  // Figure 3
+  vpn.deploy_rogue = true;
+  vpn.deauth_forcing = true;
+  vpn.use_vpn = true;
+  variants.push_back(corp_variant("vpn", vpn));
+
+  return variants;
+}
+
+std::vector<Variant> hotspot_variants() {
+  std::vector<Variant> variants;
+
+  scenario::HotspotConfig benign;
+  variants.push_back(hotspot_variant("benign", benign));
+
+  scenario::HotspotConfig hostile;
+  hostile.hostile = true;
+  variants.push_back(hotspot_variant("hostile", hostile));
+
+  scenario::HotspotConfig defended;
+  defended.hostile = true;
+  defended.use_vpn = true;
+  variants.push_back(hotspot_variant("hostile+vpn", defended));
+
+  return variants;
+}
+
+std::vector<Variant> stock_variants(std::string_view scenario) {
+  if (scenario == "corp") return corp_variants();
+  if (scenario == "hotspot") return hotspot_variants();
+  return {};
+}
+
+std::vector<std::string_view> known_scenarios() { return {"corp", "hotspot"}; }
+
+}  // namespace rogue::runner

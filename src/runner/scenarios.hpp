@@ -1,0 +1,29 @@
+// Stock sweep configurations: maps a scenario name ("corp", "hotspot") to
+// the paper's canonical variant ladder so the sweep CLI and tests don't
+// each re-specify world configs. Custom studies can still build their own
+// Variant lists and hand them to ExperimentRunner directly.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "runner/sweep.hpp"
+
+namespace rogue::runner {
+
+/// The paper's corp-network ladder: baseline download, rogue MITM
+/// (Figure 2), rogue + §4 deauth forcing + §2.3 detection, and the VPN
+/// countermeasure under full attack (Figure 3).
+[[nodiscard]] std::vector<Variant> corp_variants();
+
+/// The §1.2.2 hostile-hotspot ladder: benign hotspot, hostile owner,
+/// hostile owner vs. always-on home VPN.
+[[nodiscard]] std::vector<Variant> hotspot_variants();
+
+/// Lookup by scenario name; empty vector when unknown.
+[[nodiscard]] std::vector<Variant> stock_variants(std::string_view scenario);
+
+/// Names accepted by stock_variants().
+[[nodiscard]] std::vector<std::string_view> known_scenarios();
+
+}  // namespace rogue::runner

@@ -1,0 +1,180 @@
+#include "runner/sweep.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rogue::runner {
+
+ExperimentRunner::ExperimentRunner(SweepConfig config)
+    : config_(std::move(config)) {}
+
+void ExperimentRunner::add_variant(std::string name, WorldFactory make) {
+  ROGUE_ASSERT_MSG(make != nullptr, "variant needs a factory");
+  variants_.push_back(Variant{std::move(name), std::move(make)});
+}
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+VariantSummary summarize(const Variant& variant, const RunMetrics* runs,
+                         std::size_t count) {
+  VariantSummary s;
+  s.name = variant.name;
+  s.runs = count;
+  std::size_t captured = 0, downloaded = 0, deceived = 0, detected = 0,
+              vpn_up = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const scenario::Metrics& m = runs[i].metrics;
+    if (m.victim_captured) {
+      ++captured;
+      s.time_to_capture_s.add(m.time_to_capture_s);
+    }
+    if (m.download_completed) ++downloaded;
+    if (m.victim_deceived) ++deceived;
+    if (m.rogue_detected) {
+      ++detected;
+      if (m.detection_latency_s >= 0.0) {
+        s.detection_latency_s.add(m.detection_latency_s);
+      }
+    }
+    if (m.vpn_established) {
+      ++vpn_up;
+      s.vpn_goodput_kbps.add(m.vpn_goodput_kbps);
+      s.vpn_overhead_ratio.add(m.vpn_overhead_ratio);
+    }
+    s.events_fired.add(static_cast<double>(m.events_fired));
+    s.sim_time_s.add(m.sim_time_s);
+  }
+  const double n = count > 0 ? static_cast<double>(count) : 1.0;
+  s.capture_rate = static_cast<double>(captured) / n;
+  s.download_rate = static_cast<double>(downloaded) / n;
+  s.deception_rate = static_cast<double>(deceived) / n;
+  s.detection_rate = static_cast<double>(detected) / n;
+  s.vpn_rate = static_cast<double>(vpn_up) / n;
+  return s;
+}
+
+util::Json summary_stats_json(const util::Summary& s) {
+  const bool any = s.count() > 0;
+  util::Json j = util::Json::object();
+  j.set("count", static_cast<std::uint64_t>(s.count()));
+  j.set("mean", any ? s.mean() : 0.0);
+  j.set("p50", any ? s.percentile(0.5) : 0.0);
+  j.set("p95", any ? s.percentile(0.95) : 0.0);
+  return j;
+}
+
+}  // namespace
+
+SweepReport ExperimentRunner::run() {
+  ROGUE_ASSERT_MSG(!variants_.empty(), "add_variant() before run()");
+  ROGUE_ASSERT_MSG(config_.runs > 0, "sweep needs runs > 0");
+
+  const std::size_t per_variant = config_.runs;
+  const std::size_t total = variants_.size() * per_variant;
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  util::ThreadPool pool(config_.jobs);
+  std::vector<RunMetrics> runs = util::parallel_map<RunMetrics>(
+      pool, total, [&](std::size_t i) {
+        const Variant& variant = variants_[i / per_variant];
+        const std::uint64_t seed =
+            config_.seed_base + static_cast<std::uint64_t>(i % per_variant);
+        const auto replica_start = std::chrono::steady_clock::now();
+
+        std::unique_ptr<scenario::World> world = variant.make(seed);
+        world->configure(seed);
+        world->run_episode();
+
+        RunMetrics run;
+        run.scenario = config_.scenario;
+        run.variant = variant.name;
+        run.seed = seed;
+        run.metrics = world->collect_metrics();
+        run.wall_ms = elapsed_ms(replica_start);
+        return run;
+      });
+
+  SweepReport report;
+  report.config = config_;
+  report.runs = std::move(runs);
+  report.wall_ms = elapsed_ms(sweep_start);
+  report.summaries.reserve(variants_.size());
+  for (std::size_t v = 0; v < variants_.size(); ++v) {
+    report.summaries.push_back(summarize(
+        variants_[v], report.runs.data() + v * per_variant, per_variant));
+  }
+  return report;
+}
+
+util::Json SweepReport::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("scenario", config.scenario);
+  j.set("seed_base", config.seed_base);
+  j.set("runs_per_variant", static_cast<std::uint64_t>(config.runs));
+
+  util::Json variants = util::Json::array();
+  for (std::size_t v = 0; v < summaries.size(); ++v) {
+    const VariantSummary& s = summaries[v];
+    util::Json agg = util::Json::object();
+    agg.set("runs", static_cast<std::uint64_t>(s.runs));
+    agg.set("capture_rate", s.capture_rate);
+    agg.set("time_to_capture_s", summary_stats_json(s.time_to_capture_s));
+    agg.set("download_rate", s.download_rate);
+    agg.set("deception_rate", s.deception_rate);
+    agg.set("detection_rate", s.detection_rate);
+    agg.set("detection_latency_s", summary_stats_json(s.detection_latency_s));
+    agg.set("vpn_rate", s.vpn_rate);
+    agg.set("vpn_goodput_kbps", summary_stats_json(s.vpn_goodput_kbps));
+    agg.set("vpn_overhead_ratio", summary_stats_json(s.vpn_overhead_ratio));
+    agg.set("events_fired", summary_stats_json(s.events_fired));
+    agg.set("sim_time_s", summary_stats_json(s.sim_time_s));
+
+    util::Json replicas = util::Json::array();
+    for (std::size_t i = v * config.runs;
+         i < (v + 1) * config.runs && i < runs.size(); ++i) {
+      replicas.push_back(runner::to_json(runs[i], /*include_wall=*/false));
+    }
+
+    util::Json entry = util::Json::object();
+    entry.set("name", s.name);
+    entry.set("aggregate", std::move(agg));
+    entry.set("runs", std::move(replicas));
+    variants.push_back(std::move(entry));
+  }
+  j.set("variants", std::move(variants));
+  return j;
+}
+
+std::string SweepReport::table() const {
+  util::Table t({"variant", "runs", "captured", "t_cap p50(s)", "deceived",
+                 "detected", "vpn", "goodput(kbps)", "events mean"});
+  for (const VariantSummary& s : summaries) {
+    t.add_row({
+        s.name,
+        std::to_string(s.runs),
+        util::fmt_percent(s.capture_rate),
+        s.time_to_capture_s.count() > 0
+            ? util::fmt_double(s.time_to_capture_s.percentile(0.5))
+            : "-",
+        util::fmt_percent(s.deception_rate),
+        util::fmt_percent(s.detection_rate),
+        util::fmt_percent(s.vpn_rate),
+        s.vpn_goodput_kbps.count() > 0
+            ? util::fmt_double(s.vpn_goodput_kbps.mean(), 1)
+            : "-",
+        util::fmt_double(s.events_fired.mean(), 0),
+    });
+  }
+  return t.to_string();
+}
+
+}  // namespace rogue::runner

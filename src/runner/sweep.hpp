@@ -1,0 +1,93 @@
+// Parallel multi-seed experiment runner. A sweep fans N (seed, variant)
+// replicas across a worker pool; every replica builds a private World (its
+// own simulator, hosts, PRNG — nothing shared), runs the scenario's
+// canonical episode, and emits a RunMetrics record. The runner then
+// aggregates per variant into mean/percentile summaries.
+//
+// Determinism: a replica's result is a pure function of (variant, seed).
+// Workers write into an index-ordered results vector and aggregation runs
+// sequentially in replica order afterwards, so the report — including its
+// serialized bytes — is identical at 1, 2, or 8 worker threads. Wall-clock
+// readings stay out of the JSON for the same reason.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/metrics.hpp"
+#include "scenario/world.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace rogue::runner {
+
+/// Build a fresh world for one replica. The factory bakes in the variant's
+/// scenario config; the runner reseeds the world via World::configure(), so
+/// the factory may ignore `seed` (it is passed for factories that need it
+/// while constructing, e.g. to derive per-replica geometry).
+using WorldFactory =
+    std::function<std::unique_ptr<scenario::World>(std::uint64_t seed)>;
+
+struct Variant {
+  std::string name;  ///< e.g. "baseline", "rogue+deauth"
+  WorldFactory make;
+};
+
+struct SweepConfig {
+  std::string scenario = "corp";  ///< label stamped into every record
+  std::uint64_t seed_base = 1;    ///< replica i uses seed_base + i
+  std::size_t runs = 100;         ///< replicas per variant
+  std::size_t jobs = 0;           ///< worker threads; 0 = hardware
+};
+
+/// Per-variant aggregate. Rates are over all replicas; the Summary fields
+/// aggregate only the replicas where the quantity was observed (captured /
+/// detected / tunnel up), so "never happened" does not skew the latency.
+struct VariantSummary {
+  std::string name;
+  std::size_t runs = 0;
+  double capture_rate = 0.0;
+  util::Summary time_to_capture_s;
+  double download_rate = 0.0;
+  double deception_rate = 0.0;
+  double detection_rate = 0.0;
+  util::Summary detection_latency_s;
+  double vpn_rate = 0.0;
+  util::Summary vpn_goodput_kbps;
+  util::Summary vpn_overhead_ratio;
+  util::Summary events_fired;
+  util::Summary sim_time_s;
+};
+
+struct SweepReport {
+  SweepConfig config;
+  double wall_ms = 0.0;  ///< whole-sweep wall clock (console only)
+  std::vector<RunMetrics> runs;  ///< variant-major, seed-minor order
+  std::vector<VariantSummary> summaries;
+
+  /// Machine-readable report. Deterministic: depends only on the
+  /// experiment parameters and seeds, never on jobs or host speed.
+  [[nodiscard]] util::Json to_json() const;
+  /// Fixed-width console table of the per-variant aggregates.
+  [[nodiscard]] std::string table() const;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(SweepConfig config);
+
+  void add_variant(std::string name, WorldFactory make);
+  [[nodiscard]] std::size_t variant_count() const { return variants_.size(); }
+
+  /// Run runs-per-variant replicas of every variant across the pool.
+  [[nodiscard]] SweepReport run();
+
+ private:
+  SweepConfig config_;
+  std::vector<Variant> variants_;
+};
+
+}  // namespace rogue::runner

@@ -1,5 +1,6 @@
 #include "scenario/corp_world.hpp"
 
+#include "crypto/aead.hpp"
 #include "crypto/md5.hpp"
 #include "util/assert.hpp"
 
@@ -40,11 +41,55 @@ std::string CorpWorld::release_md5() const {
 }
 std::string CorpWorld::trojan_md5() const { return crypto::md5_hex(trojan_); }
 
+void CorpWorld::configure(std::uint64_t seed) {
+  ROGUE_ASSERT_MSG(!started_, "configure() must precede start()");
+  config_.seed = seed;
+  sim_.reseed(seed);
+}
+
 void CorpWorld::start() {
   if (started_) return;
   started_ = true;
   build_wired();
   build_wireless();
+}
+
+void CorpWorld::run_capture_phase() {
+  start();
+  run_for(config_.settle_time);
+  deploy_rogue();
+  if (config_.deauth_forcing) start_deauth_forcing(config_.deauth_period);
+  run_for(config_.capture_window);
+}
+
+detect::SeqNumMonitor& CorpWorld::enable_detection() {
+  ROGUE_ASSERT_MSG(!monitor_, "detection already enabled");
+  detect::SeqMonitorConfig cfg;
+  cfg.channel = config_.legit_channel;
+  monitor_ = std::make_unique<detect::SeqNumMonitor>(sim_, medium_, cfg);
+  // Park the monitor between the victim and the legitimate AP, off-axis —
+  // close enough to hear both the AP's real counter and the forgeries.
+  monitor_->radio().set_position({config_.victim_to_legit_m / 2.0, 4.0});
+  return *monitor_;
+}
+
+void CorpWorld::run_episode() {
+  start();
+  if (config_.enable_detection && !monitor_) enable_detection();
+  run_for(config_.settle_time);
+  if (config_.deploy_rogue) {
+    deploy_rogue();
+    if (config_.deauth_forcing) start_deauth_forcing(config_.deauth_period);
+    run_for(config_.capture_window);
+  }
+  if (config_.use_vpn) {
+    connect_vpn([](bool) {});
+    run_for(config_.vpn_window);
+  }
+  if (config_.do_download) {
+    download([](const apps::DownloadOutcome&) {});
+    run_for(config_.download_window);
+  }
 }
 
 void CorpWorld::build_wired() {
@@ -133,9 +178,13 @@ void CorpWorld::build_wireless() {
 
   // Roaming hygiene: flush neighbour state when the association changes
   // (models the reachability probing a real stack does after a move).
+  // Also the capture observer: the first association that lands on the
+  // rogue is the paper's "victim captured" moment.
   victim_sta_->set_event_handler(
       [this](std::string_view event, const dot11::BssInfo&) {
-        if (event == "assoc") victim_->arp("wlan0").flush();
+        if (event != "assoc") return;
+        victim_->arp("wlan0").flush();
+        if (!capture_time_ && victim_on_rogue()) capture_time_ = sim_.now();
       });
 
   victim_sta_->start();
@@ -190,6 +239,7 @@ attack::RogueGateway& CorpWorld::deploy_rogue() {
   rogue_->uplink().radio().set_position({config_.victim_to_rogue_m, 2.0});
   rogue_->ap().radio().set_position({config_.victim_to_rogue_m, 0.0});
   rogue_->start();
+  rogue_deploy_time_ = sim_.now();
   return *rogue_;
 }
 
@@ -210,11 +260,20 @@ void CorpWorld::connect_vpn(std::function<void(bool)> done) {
   cfg.endpoint_port = addr_.vpn_port;
   cfg.transport = config_.vpn_transport;
   victim_tunnel_ = std::make_unique<vpn::ClientTunnel>(*victim_, cfg);
-  victim_tunnel_->start(std::move(done));
+  vpn_attempted_ = true;
+  victim_tunnel_->start([this, done = std::move(done)](bool ok) {
+    vpn_ok_ = ok;
+    if (ok) vpn_up_time_ = sim_.now();
+    if (done) done(ok);
+  });
 }
 
 void CorpWorld::download(std::function<void(const apps::DownloadOutcome&)> done) {
-  apps::run_download(*victim_, addr_.web_server, 80, std::move(done));
+  apps::run_download(*victim_, addr_.web_server, 80,
+                     [this, done = std::move(done)](const apps::DownloadOutcome& o) {
+                       outcome_ = o;
+                       if (done) done(o);
+                     });
 }
 
 bool CorpWorld::victim_on_rogue() const {
@@ -222,6 +281,71 @@ bool CorpWorld::victim_on_rogue() const {
   if (rogue_ == nullptr) return false;
   // With a cloned BSSID the channel is the distinguishing feature.
   return victim_sta_->bss().channel == rogue_->config().rogue_channel;
+}
+
+namespace {
+constexpr double kUsPerSecond = 1e6;
+/// Wire framing added to each VPN data record: 8-byte sequence number plus
+/// the AEAD tag (the inner IP bytes themselves are what the counters hold).
+constexpr double kVpnRecordFraming = 8.0 + crypto::kAeadTagLen;
+}  // namespace
+
+Metrics CorpWorld::collect_metrics() const {
+  Metrics m;
+  m.sim_time_s = static_cast<double>(sim_.now()) / kUsPerSecond;
+  m.events_fired = sim_.events_fired();
+  m.trace_records = trace_.size();
+  m.trace_warnings = trace_.count_at_least(sim::Severity::kWarn);
+
+  m.victim_captured = capture_time_.has_value();
+  if (capture_time_) {
+    const sim::Time base =
+        rogue_deploy_time_ ? *rogue_deploy_time_ : sim::Time{0};
+    m.time_to_capture_s =
+        static_cast<double>(*capture_time_ - base) / kUsPerSecond;
+  }
+
+  if (outcome_) {
+    m.download_completed = outcome_->file_fetched;
+    m.md5_verified = outcome_->md5_verified;
+    m.trojaned = outcome_->file_fetched && outcome_->fetched_md5_hex == trojan_md5();
+    m.victim_deceived = m.trojaned && m.md5_verified;
+  }
+
+  if (monitor_) {
+    m.seq_anomalies = monitor_->anomalies().size();
+    m.rogue_detected = !monitor_->suspects().empty();
+    if (rogue_deploy_time_) {
+      for (const auto& anomaly : monitor_->anomalies()) {
+        if (anomaly.time < *rogue_deploy_time_) continue;
+        m.detection_latency_s =
+            static_cast<double>(anomaly.time - *rogue_deploy_time_) / kUsPerSecond;
+        break;
+      }
+    }
+  }
+
+  if (victim_tunnel_) {
+    m.vpn_established = vpn_ok_ && victim_tunnel_->established();
+    const vpn::ClientCounters& c = victim_tunnel_->counters();
+    m.vpn_records_out = c.records_out;
+    m.vpn_records_in = c.records_in;
+    if (vpn_up_time_ && sim_.now() > *vpn_up_time_) {
+      const double active_s =
+          static_cast<double>(sim_.now() - *vpn_up_time_) / kUsPerSecond;
+      m.vpn_goodput_kbps =
+          static_cast<double>(c.bytes_decrypted) * 8.0 / 1000.0 / active_s;
+    }
+    const double payload =
+        static_cast<double>(c.bytes_sealed + c.bytes_decrypted);
+    if (payload > 0.0) {
+      const double wire =
+          payload + kVpnRecordFraming *
+                        static_cast<double>(c.records_out + c.records_in);
+      m.vpn_overhead_ratio = wire / payload;
+    }
+  }
+  return m;
 }
 
 }  // namespace rogue::scenario

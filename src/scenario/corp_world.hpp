@@ -26,11 +26,13 @@
 #include "attack/deauth.hpp"
 #include "attack/rogue_gateway.hpp"
 #include "attack/sniffer.hpp"
+#include "detect/seqnum.hpp"
 #include "dot11/ap.hpp"
 #include "dot11/sta.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "phy/medium.hpp"
+#include "scenario/world.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "vpn/client.hpp"
@@ -79,6 +81,21 @@ struct CorpConfig {
   // VPN configuration.
   vpn::Transport vpn_transport = vpn::Transport::kTcp;
   util::Bytes vpn_psk = util::to_bytes("corp-vpn-preshared-authenticator");
+
+  // Episode script (World::run_episode()). Which phases run, and for how
+  // long. Defaults reproduce Figure 2's baseline: no attack, plain
+  // download. Flip the booleans to get Figure 1 (deploy_rogue), Figure 2
+  // (deploy_rogue + do_download) or Figure 3 (use_vpn + do_download).
+  bool deploy_rogue = false;
+  bool deauth_forcing = false;   ///< §4 forced roam (needs deploy_rogue)
+  bool use_vpn = false;
+  bool enable_detection = false; ///< §2.3 sequence-control monitor
+  bool do_download = true;
+  sim::Time settle_time = 3 * sim::kSecond;
+  sim::Time capture_window = 15 * sim::kSecond;
+  sim::Time vpn_window = 10 * sim::kSecond;
+  sim::Time download_window = 60 * sim::kSecond;
+  sim::Time deauth_period = 100 * sim::kMillisecond;
 };
 
 /// Well-known addresses inside the world.
@@ -93,21 +110,26 @@ struct CorpAddresses {
   std::uint16_t vpn_port = 7000;
 };
 
-class CorpWorld {
+class CorpWorld final : public World {
  public:
   explicit CorpWorld(CorpConfig config = {});
 
-  CorpWorld(const CorpWorld&) = delete;
-  CorpWorld& operator=(const CorpWorld&) = delete;
+  // ---- World interface -----------------------------------------------------
+  [[nodiscard]] std::string_view name() const override { return "corp"; }
+  /// Re-root the simulation at `seed`. Must precede start().
+  void configure(std::uint64_t seed) override;
+  void run_episode() override;
+  [[nodiscard]] Metrics collect_metrics() const override;
+  [[nodiscard]] sim::Simulator& simulator() override { return sim_; }
+  [[nodiscard]] sim::Trace& trace() override { return trace_; }
 
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
-  [[nodiscard]] sim::Trace& trace() { return trace_; }
   [[nodiscard]] phy::Medium& medium() { return medium_; }
   [[nodiscard]] const CorpConfig& config() const { return config_; }
   [[nodiscard]] const CorpAddresses& addr() const { return addr_; }
 
   /// Bring up the wired network, legit AP, web site, VPN endpoint, victim.
-  void start();
+  void start() override;
 
   /// Figure 1: stand up the rogue gateway (cloned SSID/WEP/BSSID, proxy
   /// ARP bridge, DNAT + netsed + trojan mirror).
@@ -116,6 +138,16 @@ class CorpWorld {
 
   /// §4: force the victim off the legitimate AP with forged deauths.
   attack::DeauthAttacker& start_deauth_forcing(sim::Time period = 100'000);
+
+  /// Boilerplate shared by every "rogue captures the victim" driver:
+  /// start(), settle, deploy the rogue (plus deauth forcing when the
+  /// config asks for it), then run out the capture window.
+  void run_capture_phase();
+
+  /// §2.3: park a sequence-control monitor on the corporate channel.
+  /// Created automatically by run_episode() when enable_detection is set.
+  detect::SeqNumMonitor& enable_detection();
+  [[nodiscard]] detect::SeqNumMonitor* detector() { return monitor_.get(); }
 
   /// Figure 3: victim tunnels all traffic to the trusted endpoint.
   void connect_vpn(std::function<void(bool ok)> done);
@@ -126,7 +158,9 @@ class CorpWorld {
   void download(std::function<void(const apps::DownloadOutcome&)> done);
 
   /// Drive the simulation forward.
-  void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+  void run_for(sim::Time duration) override {
+    sim_.run_until(sim_.now() + duration);
+  }
 
   // ---- Introspection -------------------------------------------------------
   [[nodiscard]] dot11::Station& victim_sta() { return *victim_sta_; }
@@ -180,8 +214,18 @@ class CorpWorld {
 
   std::unique_ptr<attack::RogueGateway> rogue_;
   std::unique_ptr<attack::DeauthAttacker> deauth_;
+  std::unique_ptr<detect::SeqNumMonitor> monitor_;
 
   bool started_ = false;
+
+  // Episode observations, filled in as the scenario unfolds and read by
+  // collect_metrics(). "-1 cast to Time" is avoided by optionals.
+  std::optional<sim::Time> rogue_deploy_time_;
+  std::optional<sim::Time> capture_time_;
+  std::optional<sim::Time> vpn_up_time_;
+  bool vpn_attempted_ = false;
+  bool vpn_ok_ = false;
+  std::optional<apps::DownloadOutcome> outcome_;
 };
 
 }  // namespace rogue::scenario

@@ -1,5 +1,6 @@
 #include "scenario/hotspot.hpp"
 
+#include "crypto/aead.hpp"
 #include "crypto/md5.hpp"
 #include "util/assert.hpp"
 
@@ -23,6 +24,12 @@ HotspotWorld::HotspotWorld(HotspotConfig config)
   trojan_ = apps::make_release_blob(0xBAD, config_.release_size);
 }
 
+void HotspotWorld::configure(std::uint64_t seed) {
+  ROGUE_ASSERT_MSG(!started_, "configure() must precede start()");
+  config_.seed = seed;
+  sim_.reseed(seed);
+}
+
 std::string HotspotWorld::release_md5() const { return crypto::md5_hex(release_); }
 std::string HotspotWorld::trojan_md5() const { return crypto::md5_hex(trojan_); }
 
@@ -35,7 +42,7 @@ void HotspotWorld::start() {
   ap_cfg.ssid = "HOTSPOT";
   ap_cfg.bssid = kHotspotBssid;
   ap_cfg.channel = 6;
-  ap_ = std::make_unique<dot11::AccessPoint>(sim_, medium_, ap_cfg);
+  ap_ = std::make_unique<dot11::AccessPoint>(sim_, medium_, ap_cfg, &trace_);
   ap_->radio().set_position({5.0, 0.0});
 
   // Hotspot gateway: NAT between the hotspot LAN and the internet.
@@ -104,8 +111,12 @@ void HotspotWorld::start() {
   sta.mac = kClientMac;
   sta.target_ssid = "HOTSPOT";
   sta.scan_channels = {6};
-  client_sta_ = std::make_unique<dot11::Station>(sim_, medium_, sta);
+  client_sta_ = std::make_unique<dot11::Station>(sim_, medium_, sta, &trace_);
   client_sta_->radio().set_position({0.0, 0.0});
+  client_sta_->set_event_handler(
+      [this](std::string_view event, const dot11::BssInfo&) {
+        if (event == "assoc" && !join_time_) join_time_ = sim_.now();
+      });
 
   client_ = std::make_unique<net::Host>(sim_, "client");
   client_->attach(std::make_unique<net::StationIf>("wlan0", *client_sta_));
@@ -124,11 +135,79 @@ void HotspotWorld::connect_vpn(std::function<void(bool)> done) {
   cfg.endpoint_port = addr_.vpn_port;
   cfg.transport = config_.vpn_transport;
   tunnel_ = std::make_unique<vpn::ClientTunnel>(*client_, cfg);
-  tunnel_->start(std::move(done));
+  tunnel_->start([this, done = std::move(done)](bool ok) {
+    vpn_ok_ = ok;
+    if (ok) vpn_up_time_ = sim_.now();
+    if (done) done(ok);
+  });
 }
 
 void HotspotWorld::download(std::function<void(const apps::DownloadOutcome&)> done) {
-  apps::run_download(*client_, addr_.web_server, 80, std::move(done));
+  apps::run_download(*client_, addr_.web_server, 80,
+                     [this, done = std::move(done)](const apps::DownloadOutcome& o) {
+                       outcome_ = o;
+                       if (done) done(o);
+                     });
+}
+
+void HotspotWorld::run_episode() {
+  start();
+  run_for(config_.settle_time);
+  if (config_.use_vpn) {
+    connect_vpn([](bool) {});
+    run_for(config_.vpn_window);
+  }
+  if (config_.do_download) {
+    download([](const apps::DownloadOutcome&) {});
+    run_for(config_.download_window);
+  }
+}
+
+Metrics HotspotWorld::collect_metrics() const {
+  constexpr double kUsPerSecond = 1e6;
+  constexpr double kVpnRecordFraming = 8.0 + crypto::kAeadTagLen;
+
+  Metrics m;
+  m.sim_time_s = static_cast<double>(sim_.now()) / kUsPerSecond;
+  m.events_fired = sim_.events_fired();
+  m.trace_records = trace_.size();
+  m.trace_warnings = trace_.count_at_least(sim::Severity::kWarn);
+
+  // "Captured" here means attached to attacker-run infrastructure: in the
+  // hostile variant the hotspot itself is the adversary, so joining it at
+  // all is the capture event.
+  if (config_.hostile && join_time_) {
+    m.victim_captured = true;
+    m.time_to_capture_s = static_cast<double>(*join_time_) / kUsPerSecond;
+  }
+
+  if (outcome_) {
+    m.download_completed = outcome_->file_fetched;
+    m.md5_verified = outcome_->md5_verified;
+    m.trojaned = outcome_->file_fetched && outcome_->fetched_md5_hex == trojan_md5();
+    m.victim_deceived = m.trojaned && m.md5_verified;
+  }
+
+  if (tunnel_) {
+    m.vpn_established = vpn_ok_ && tunnel_->established();
+    const vpn::ClientCounters& c = tunnel_->counters();
+    m.vpn_records_out = c.records_out;
+    m.vpn_records_in = c.records_in;
+    if (vpn_up_time_ && sim_.now() > *vpn_up_time_) {
+      const double active_s =
+          static_cast<double>(sim_.now() - *vpn_up_time_) / kUsPerSecond;
+      m.vpn_goodput_kbps =
+          static_cast<double>(c.bytes_decrypted) * 8.0 / 1000.0 / active_s;
+    }
+    const double payload = static_cast<double>(c.bytes_sealed + c.bytes_decrypted);
+    if (payload > 0.0) {
+      const double wire =
+          payload + kVpnRecordFraming *
+                        static_cast<double>(c.records_out + c.records_in);
+      m.vpn_overhead_ratio = wire / payload;
+    }
+  }
+  return m;
 }
 
 }  // namespace rogue::scenario

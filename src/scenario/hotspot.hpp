@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "apps/download.hpp"
 #include "apps/http.hpp"
@@ -16,7 +17,9 @@
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "phy/medium.hpp"
+#include "scenario/world.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 #include "vpn/client.hpp"
 #include "vpn/endpoint.hpp"
 
@@ -29,6 +32,14 @@ struct HotspotConfig {
   vpn::Transport vpn_transport = vpn::Transport::kTcp;
   util::Bytes vpn_psk = util::to_bytes("home-vpn-preshared-authenticator");
   phy::MediumConfig medium;
+
+  // Episode script (World::run_episode()): join the hotspot, optionally
+  // bring the home VPN up first, then run the download workload.
+  bool use_vpn = false;
+  bool do_download = true;
+  sim::Time settle_time = 3 * sim::kSecond;
+  sim::Time vpn_window = 10 * sim::kSecond;
+  sim::Time download_window = 60 * sim::kSecond;
 };
 
 struct HotspotAddresses {
@@ -40,25 +51,32 @@ struct HotspotAddresses {
   std::uint16_t vpn_port = 7000;
 };
 
-class HotspotWorld {
+class HotspotWorld final : public World {
  public:
   explicit HotspotWorld(HotspotConfig config = {});
 
-  HotspotWorld(const HotspotWorld&) = delete;
-  HotspotWorld& operator=(const HotspotWorld&) = delete;
+  // ---- World interface -----------------------------------------------------
+  [[nodiscard]] std::string_view name() const override { return "hotspot"; }
+  void configure(std::uint64_t seed) override;
+  void run_episode() override;
+  [[nodiscard]] Metrics collect_metrics() const override;
+  [[nodiscard]] sim::Simulator& simulator() override { return sim_; }
+  [[nodiscard]] sim::Trace& trace() override { return trace_; }
 
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] const HotspotAddresses& addr() const { return addr_; }
   [[nodiscard]] const HotspotConfig& config() const { return config_; }
 
-  void start();
+  void start() override;
 
   /// Client tunnels everything home before doing anything else.
   void connect_vpn(std::function<void(bool ok)> done);
   /// The download workload, from the client.
   void download(std::function<void(const apps::DownloadOutcome&)> done);
 
-  void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+  void run_for(sim::Time duration) override {
+    sim_.run_until(sim_.now() + duration);
+  }
 
   [[nodiscard]] net::Host& client() { return *client_; }
   [[nodiscard]] dot11::Station& client_sta() { return *client_sta_; }
@@ -72,6 +90,7 @@ class HotspotWorld {
   HotspotConfig config_;
   HotspotAddresses addr_;
   sim::Simulator sim_;
+  sim::Trace trace_;
   phy::Medium medium_;
   net::Switch internet_;
 
@@ -93,6 +112,12 @@ class HotspotWorld {
   std::unique_ptr<vpn::ClientTunnel> tunnel_;
 
   bool started_ = false;
+
+  // Episode observations for collect_metrics().
+  std::optional<sim::Time> join_time_;
+  std::optional<sim::Time> vpn_up_time_;
+  bool vpn_ok_ = false;
+  std::optional<apps::DownloadOutcome> outcome_;
 };
 
 }  // namespace rogue::scenario

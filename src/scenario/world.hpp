@@ -1,0 +1,89 @@
+// The common scenario interface the experiment runner drives. A World
+// packages one self-contained simulated testbed (simulator, radio medium,
+// hosts, attacker, workload) behind a uniform lifecycle:
+//
+//   world.configure(seed);   // reseed every PRNG stream from one root seed
+//   world.run_episode();     // start() + the scenario's canonical script
+//   Metrics m = world.collect_metrics();
+//
+// Each World owns ALL of its mutable state — two worlds never share a
+// simulator, medium, host, or PRNG — so replicas can run on any thread of
+// a sweep and remain bit-deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace rogue::scenario {
+
+/// Scenario-agnostic observations from one replica episode. Fields that a
+/// scenario does not measure keep their "not observed" defaults (-1 for
+/// latencies, false/0 elsewhere), so aggregation can filter on them.
+struct Metrics {
+  // Rogue capture (paper Figure 1).
+  bool victim_captured = false;
+  double time_to_capture_s = -1.0;  ///< simulated seconds; -1 = never captured
+
+  // Download workload (Figure 2).
+  bool download_completed = false;
+  bool trojaned = false;        ///< victim received the attacker's binary
+  bool md5_verified = false;    ///< the checksum check passed
+  bool victim_deceived = false; ///< trojaned AND verified: the paper's payoff
+
+  // Detection (§2.3 monitors, when the scenario enables them).
+  bool rogue_detected = false;
+  double detection_latency_s = -1.0;  ///< rogue deploy -> first seq anomaly
+  std::uint64_t seq_anomalies = 0;
+
+  // VPN countermeasure (Figure 3).
+  bool vpn_established = false;
+  double vpn_goodput_kbps = 0.0;    ///< app payload rate through the tunnel
+  double vpn_overhead_ratio = 0.0;  ///< sealed bytes / app payload bytes
+  std::uint64_t vpn_records_out = 0;
+  std::uint64_t vpn_records_in = 0;
+
+  // Event-kernel counters (engineering health of the replica).
+  std::uint64_t events_fired = 0;
+  std::uint64_t trace_records = 0;
+  std::uint64_t trace_warnings = 0;  ///< records at Severity >= kWarn
+  double sim_time_s = 0.0;
+};
+
+class World {
+ public:
+  World() = default;
+  virtual ~World() = default;
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Scenario id, e.g. "corp" or "hotspot".
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Re-root every PRNG stream in this world at `seed`. Must be called
+  /// before start()/run_episode(); the world must not have run yet.
+  virtual void configure(std::uint64_t seed) = 0;
+
+  /// Bring the testbed up (idempotent).
+  virtual void start() = 0;
+
+  /// Drive the simulation forward by `duration` of simulated time.
+  virtual void run_for(sim::Time duration) = 0;
+
+  /// Run the scenario's canonical experiment script — which phases
+  /// (attack, VPN, workload, detection) is selected by episode knobs in
+  /// the scenario's config. Calls start() itself.
+  virtual void run_episode() = 0;
+
+  [[nodiscard]] virtual sim::Simulator& simulator() = 0;
+  [[nodiscard]] virtual sim::Trace& trace() = 0;
+
+  /// Snapshot the episode's observations. Valid any time after start();
+  /// normally read once run_episode() returns.
+  [[nodiscard]] virtual Metrics collect_metrics() const = 0;
+};
+
+}  // namespace rogue::scenario

@@ -15,10 +15,29 @@ namespace {
 }
 }  // namespace
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+Simulator::Simulator(std::uint64_t seed) : seed_(seed), rng_(seed) {
   slots_.reserve(1024);
   free_slots_.reserve(1024);
   heap_.reserve(1024);
+}
+
+void Simulator::reseed(std::uint64_t seed) {
+  ROGUE_ASSERT_MSG(now_ == 0 && fired_ == 0 && live_ == 0,
+                   "reseed() must precede any scheduling or stepping");
+  seed_ = seed;
+  rng_ = util::Prng(seed);
+}
+
+util::Prng Simulator::derive_rng(std::string_view stream) const {
+  // FNV-1a over the stream name, folded into the root seed through one
+  // splitmix64 step: (seed, name) -> stream, independent of draw order.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : stream) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t state = seed_ ^ h;
+  return util::Prng(util::splitmix64(state));
 }
 
 std::uint32_t Simulator::allocate_slot() {

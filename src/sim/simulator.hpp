@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "sim/event_fn.hpp"
@@ -54,6 +55,17 @@ class Simulator {
 
   [[nodiscard]] Time now() const { return now_; }
   [[nodiscard]] util::Prng& rng() { return rng_; }
+  /// The root seed this simulation's every random decision derives from.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  /// Swap in a new root seed. Only legal on a pristine simulator (nothing
+  /// scheduled or fired yet) — i.e., during World::configure(), before the
+  /// scenario builds anything that draws randomness.
+  void reseed(std::uint64_t seed);
+  /// Derive an independent, named PRNG stream from the root seed. Unlike
+  /// rng(), the derived stream does not depend on how many draws other
+  /// components have made, only on (seed, stream name) — use it for
+  /// randomness that must stay stable as the world grows components.
+  [[nodiscard]] util::Prng derive_rng(std::string_view stream) const;
   /// Frame-buffer freelist shared by this simulation's phy/dot11/net hot
   /// paths. Per-simulator, so trials stay deterministic and thread-isolated.
   [[nodiscard]] util::BufferPool& buffer_pool() { return pool_; }
@@ -105,6 +117,7 @@ class Simulator {
   void maybe_compact();
 
   Time now_ = 0;
+  std::uint64_t seed_ = 1;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
   std::size_t live_ = 0;   ///< scheduled events (periodic series count once)

@@ -2,11 +2,42 @@
 
 namespace rogue::sim {
 
-void Trace::record(Time t, std::string tag, std::string message) {
-  records_.push_back(TraceRecord{t, std::move(tag), std::move(message)});
+TagId Trace::intern(std::string_view tag) {
+  if (const auto it = tag_ids_.find(std::string(tag)); it != tag_ids_.end()) {
+    return it->second;
+  }
+  tag_names_.emplace_back(tag);
+  const TagId id = static_cast<TagId>(tag_names_.size());
+  tag_ids_.emplace(tag_names_.back(), id);
+  return id;
 }
 
-std::vector<TraceRecord> Trace::with_tag(std::string_view tag) const {
+std::string_view Trace::tag_name(TagId id) const {
+  if (id == 0 || id > tag_names_.size()) return {};
+  return tag_names_[id - 1];
+}
+
+std::optional<TagId> Trace::find_tag(std::string_view tag) const {
+  const auto it = tag_ids_.find(std::string(tag));
+  if (it == tag_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Trace::record(Time t, TagId tag, std::string_view message,
+                   Severity severity) {
+  TraceRecord r;
+  r.time = t;
+  r.message = ShortString(message);
+  r.tag = tag;
+  r.severity = severity;
+  records_.push_back(std::move(r));
+}
+
+void Trace::record(Time t, std::string_view tag, std::string_view message) {
+  record(t, intern(tag), message);
+}
+
+std::vector<TraceRecord> Trace::with_tag(TagId tag) const {
   std::vector<TraceRecord> out;
   for (const auto& r : records_) {
     if (r.tag == tag) out.push_back(r);
@@ -14,10 +45,24 @@ std::vector<TraceRecord> Trace::with_tag(std::string_view tag) const {
   return out;
 }
 
+std::vector<TraceRecord> Trace::with_tag(std::string_view tag) const {
+  const auto id = find_tag(tag);
+  if (!id) return {};
+  return with_tag(*id);
+}
+
 std::size_t Trace::count_containing(std::string_view needle) const {
   std::size_t n = 0;
   for (const auto& r : records_) {
-    if (r.message.find(needle) != std::string::npos) ++n;
+    if (r.text().find(needle) != std::string_view::npos) ++n;
+  }
+  return n;
+}
+
+std::size_t Trace::count_at_least(Severity min) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.severity >= min) ++n;
   }
   return n;
 }

@@ -1,39 +1,153 @@
 // Lightweight event trace: components append tagged records, tests and
 // detectors query them. Plays the role of a tcpdump/kismet capture file.
+//
+// Hot-path layout: a record is 64 bytes — an interned tag handle (the
+// "ap:<bssid>" / "sta:<mac>" strings are stored once per component, not
+// once per record), a fixed severity enum, and a small-buffer message
+// that stays inline for every message the MAC layers emit today. The
+// string-based record()/with_tag() overloads remain as compatibility
+// shims for existing callers and tests.
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <cstring>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.hpp"
 
 namespace rogue::sim {
 
+/// Handle for an interned tag string; 0 is "untagged".
+using TagId = std::uint32_t;
+
+enum class Severity : std::uint8_t {
+  kDebug = 0,  ///< chatty protocol detail (scans, retries)
+  kInfo,       ///< normal lifecycle events
+  kWarn,       ///< rejections, failures, disconnects
+  kAlert,      ///< detector findings
+};
+
+/// Small-buffer string for trace messages: up to 46 bytes inline (every
+/// message the dot11 layer emits fits), longer messages spill to the heap
+/// without truncation.
+class ShortString {
+ public:
+  static constexpr std::size_t kInlineCap = 46;
+
+  ShortString() { u_.buf[0] = '\0'; }
+  ShortString(std::string_view s) { assign(s); }
+  ShortString(const ShortString& other) { assign(other.view()); }
+  ShortString(ShortString&& other) noexcept {
+    std::memcpy(this, &other, sizeof other);
+    other.len_ = 0;  // steals the heap pointer, if any
+  }
+  ShortString& operator=(const ShortString& other) {
+    if (this != &other) {
+      release();
+      assign(other.view());
+    }
+    return *this;
+  }
+  ShortString& operator=(ShortString&& other) noexcept {
+    if (this != &other) {
+      release();
+      std::memcpy(this, &other, sizeof other);
+      other.len_ = 0;
+    }
+    return *this;
+  }
+  ~ShortString() { release(); }
+
+  [[nodiscard]] std::string_view view() const {
+    return is_heap() ? std::string_view(u_.heap.data, u_.heap.len)
+                     : std::string_view(u_.buf, len_);
+  }
+  operator std::string_view() const { return view(); }
+  [[nodiscard]] std::size_t size() const { return view().size(); }
+  [[nodiscard]] bool on_heap() const { return is_heap(); }
+
+ private:
+  static constexpr std::uint8_t kHeapMarker = 0xFF;
+
+  [[nodiscard]] bool is_heap() const { return len_ == kHeapMarker; }
+
+  void assign(std::string_view s) {
+    if (s.size() <= kInlineCap) {
+      std::memcpy(u_.buf, s.data(), s.size());
+      len_ = static_cast<std::uint8_t>(s.size());
+    } else {
+      u_.heap.data = new char[s.size()];
+      std::memcpy(u_.heap.data, s.data(), s.size());
+      u_.heap.len = static_cast<std::uint32_t>(s.size());
+      len_ = kHeapMarker;
+    }
+  }
+
+  void release() {
+    if (is_heap()) delete[] u_.heap.data;
+    len_ = 0;
+  }
+
+  union Storage {
+    char buf[kInlineCap + 1];
+    struct {
+      char* data;
+      std::uint32_t len;
+    } heap;
+  } u_;
+  std::uint8_t len_ = 0;  ///< inline length, or kHeapMarker
+};
+
 struct TraceRecord {
   Time time = 0;
-  std::string tag;      ///< component id, e.g. "ap.legit", "sta.victim"
-  std::string message;  ///< human-readable event description
+  ShortString message;  ///< event description
+  TagId tag = 0;        ///< interned component id, e.g. "ap.legit"
+  Severity severity = Severity::kInfo;
+
+  [[nodiscard]] std::string_view text() const { return message.view(); }
 };
 
 class Trace {
  public:
-  void record(Time t, std::string tag, std::string message);
+  /// Intern a tag string, returning a stable handle. Idempotent; interned
+  /// names survive clear() (components cache their TagId across runs).
+  TagId intern(std::string_view tag);
+  /// Name for a handle ("" for the untagged id 0).
+  [[nodiscard]] std::string_view tag_name(TagId id) const;
+  /// Reverse lookup; nullopt if the tag was never interned.
+  [[nodiscard]] std::optional<TagId> find_tag(std::string_view tag) const;
+
+  /// Hot-path record: no per-record tag allocation; messages up to
+  /// ShortString::kInlineCap bytes don't allocate either.
+  void record(Time t, TagId tag, std::string_view message,
+              Severity severity = Severity::kInfo);
+  /// Compatibility shim: interns the tag on every call.
+  void record(Time t, std::string_view tag, std::string_view message);
 
   [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
 
-  /// All records whose tag matches exactly.
+  /// All records carrying this tag handle.
+  [[nodiscard]] std::vector<TraceRecord> with_tag(TagId tag) const;
+  /// Compatibility shim: records whose tag *name* matches exactly.
   [[nodiscard]] std::vector<TraceRecord> with_tag(std::string_view tag) const;
   /// Count records whose message contains `needle`.
   [[nodiscard]] std::size_t count_containing(std::string_view needle) const;
+  /// Count records at severity >= `min`.
+  [[nodiscard]] std::size_t count_at_least(Severity min) const;
 
+  /// Drop records; interned tags are kept.
   void clear() { records_.clear(); }
 
  private:
   std::vector<TraceRecord> records_;
+  std::vector<std::string> tag_names_;  ///< index = TagId - 1
+  std::unordered_map<std::string, TagId> tag_ids_;
 };
 
 }  // namespace rogue::sim

@@ -1,0 +1,369 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace rogue::util {
+
+bool Json::as_bool() const {
+  ROGUE_ASSERT_MSG(type_ == Type::kBool, "json: not a bool");
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  ROGUE_ASSERT_MSG(type_ == Type::kInt, "json: not an integer");
+  return int_;
+}
+
+double Json::as_double() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  ROGUE_ASSERT_MSG(type_ == Type::kDouble, "json: not a number");
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  ROGUE_ASSERT_MSG(type_ == Type::kString, "json: not a string");
+  return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+  ROGUE_ASSERT_MSG(type_ == Type::kArray, "json: not an array");
+  return array_;
+}
+
+const std::vector<Json::Member>& Json::members() const {
+  ROGUE_ASSERT_MSG(type_ == Type::kObject, "json: not an object");
+  return object_;
+}
+
+void Json::push_back(Json v) {
+  ROGUE_ASSERT_MSG(type_ == Type::kArray, "json: push_back on non-array");
+  array_.push_back(std::move(v));
+}
+
+void Json::set(std::string_view key, Json v) {
+  ROGUE_ASSERT_MSG(type_ == Type::kObject, "json: set on non-object");
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(v));
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Json::size() const {
+  switch (type_) {
+    case Type::kArray: return array_.size();
+    case Type::kObject: return object_.size();
+    case Type::kString: return string_.size();
+    default: return 0;
+  }
+}
+
+namespace {
+
+void dump_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; null is the convention
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips every double but prints noisy tails; try shorter
+  // precisions first and keep the first one that parses back exactly.
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out += buf;
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Type::kDouble: dump_double(out, double_); break;
+    case Type::kString: dump_string(out, string_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_indent(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_indent(out, indent, depth + 1);
+        dump_string(out, object_[i].first);
+        out += indent < 0 ? ":" : ": ";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run() {
+    skip_ws();
+    auto v = parse_value(0);
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<Json> parse_value(int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return Json(std::move(*s));
+      }
+      case 't': return consume_literal("true") ? std::optional(Json(true)) : std::nullopt;
+      case 'f': return consume_literal("false") ? std::optional(Json(false)) : std::nullopt;
+      case 'n': return consume_literal("null") ? std::optional(Json()) : std::nullopt;
+      default: return parse_number();
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Reports are ASCII; encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return std::nullopt;  // raw control character
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // RFC 8259: a leading zero may only be followed by '.', 'e'/'E', or end.
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      return std::nullopt;
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return std::nullopt;
+    if (integral) {
+      std::int64_t v = 0;
+      const auto [end, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && end == tok.data() + tok.size()) return Json(v);
+      // fall through to double for out-of-range integers
+    }
+    double d = 0.0;
+    const auto [end, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc() || end != tok.data() + tok.size()) return std::nullopt;
+    return Json(d);
+  }
+
+  std::optional<Json> parse_array(int depth) {
+    if (!consume('[')) return std::nullopt;
+    Json out = Json::array();
+    skip_ws();
+    if (consume(']')) return out;
+    while (true) {
+      skip_ws();
+      auto v = parse_value(depth + 1);
+      if (!v) return std::nullopt;
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return out;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_object(int depth) {
+    if (!consume('{')) return std::nullopt;
+    Json out = Json::object();
+    skip_ws();
+    if (consume('}')) return out;
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      auto v = parse_value(depth + 1);
+      if (!v) return std::nullopt;
+      out.set(*key, std::move(*v));
+      skip_ws();
+      if (consume('}')) return out;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace rogue::util

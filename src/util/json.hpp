@@ -1,0 +1,93 @@
+// Minimal JSON value type for machine-readable experiment reports: enough
+// of RFC 8259 to dump and re-parse the sweep runner's output (objects,
+// arrays, strings, doubles, integers, bools, null). Object keys preserve
+// insertion order so serialized reports are byte-stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rogue::util {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,     ///< stored exactly; dumps without a decimal point
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Member = std::pair<std::string, Json>;
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(std::uint64_t v) : type_(Type::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::kString), string_(s) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+
+  // Accessors assert on type mismatch (reports are trusted input; the
+  // parser is the validation layer).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;  ///< kInt widens to double
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& items() const;
+  [[nodiscard]] const std::vector<Member>& members() const;
+
+  /// Append to an array value.
+  void push_back(Json v);
+  /// Set/overwrite an object member (insertion order preserved).
+  void set(std::string_view key, Json v);
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialize. indent < 0 emits compact one-line output; indent >= 0
+  /// pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete document; nullopt on any syntax error.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<Member> object_;
+};
+
+}  // namespace rogue::util

@@ -35,6 +35,22 @@ double Summary::max() const {
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
+void Summary::merge(const Summary& other) {
+  if (other.samples_.empty()) return;
+  if (samples_.empty()) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(samples_.size());
+  const double nb = static_cast<double>(other.samples_.size());
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  sum_ += other.sum_;
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
 double Summary::percentile(double q) const {
   ROGUE_ASSERT(!samples_.empty());
   if (!sorted_) {

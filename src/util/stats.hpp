@@ -26,6 +26,13 @@ class Summary {
   [[nodiscard]] double percentile(double q) const;
   [[nodiscard]] double median() const { return percentile(0.5); }
 
+  /// Fold another accumulator into this one (Chan's parallel Welford
+  /// combine; retained samples are concatenated). Merging the same
+  /// summaries in the same order is bit-reproducible, which is what the
+  /// sweep runner relies on: workers accumulate per-replica, the runner
+  /// merges in replica order regardless of which thread ran what.
+  void merge(const Summary& other);
+
  private:
   double mean_ = 0.0;
   double m2_ = 0.0;

@@ -50,4 +50,14 @@ void parallel_for(ThreadPool& pool, std::size_t n,
 /// Convenience: one-shot pool sized to hardware.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+/// Map i -> fn(i) for i in [0, n) across the pool and return the results
+/// *in index order*, independent of which worker computed what — the
+/// property the sweep runner's determinism guarantee is built on.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  std::vector<T> results(n);
+  parallel_for(pool, n, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
 }  // namespace rogue::util

@@ -1,0 +1,196 @@
+// Experiment-runner tests: sweep determinism across worker-thread counts
+// (the API's core guarantee), RunMetrics JSON round-trip, and the stock
+// variant registry.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "runner/metrics.hpp"
+#include "runner/scenarios.hpp"
+#include "runner/sweep.hpp"
+#include "scenario/corp_world.hpp"
+#include "scenario/hotspot.hpp"
+
+namespace rogue::runner {
+namespace {
+
+/// Short-episode corp variants so the determinism matrix stays fast: the
+/// rogue-capture physics needs only a few simulated seconds per phase.
+scenario::CorpConfig quick_corp_attack() {
+  scenario::CorpConfig cfg;
+  cfg.victim_to_legit_m = 20.0;
+  cfg.victim_to_rogue_m = 4.0;
+  cfg.deploy_rogue = true;
+  cfg.deauth_forcing = true;
+  cfg.settle_time = 2 * sim::kSecond;
+  cfg.capture_window = 8 * sim::kSecond;
+  cfg.download_window = 30 * sim::kSecond;
+  return cfg;
+}
+
+ExperimentRunner quick_runner(std::size_t jobs, std::size_t runs) {
+  SweepConfig cfg;
+  cfg.scenario = "corp";
+  cfg.seed_base = 100;
+  cfg.runs = runs;
+  cfg.jobs = jobs;
+  ExperimentRunner exp(cfg);
+  exp.add_variant("baseline", [](std::uint64_t) {
+    scenario::CorpConfig c;
+    c.download_window = 30 * sim::kSecond;
+    return std::make_unique<scenario::CorpWorld>(c);
+  });
+  exp.add_variant("rogue+deauth", [](std::uint64_t) {
+    return std::make_unique<scenario::CorpWorld>(quick_corp_attack());
+  });
+  return exp;
+}
+
+TEST(Sweep, AggregatesAreIdenticalAcrossThreadCounts) {
+  // The acceptance property: an identical seed list yields byte-identical
+  // serialized reports at 1, 2, and 8 worker threads.
+  std::string baseline;
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    ExperimentRunner exp = quick_runner(jobs, 2);
+    const SweepReport report = exp.run();
+    const std::string text = report.to_json().dump(2);
+    if (baseline.empty()) {
+      baseline = text;
+    } else {
+      EXPECT_EQ(text, baseline) << "report bytes changed at jobs=" << jobs;
+    }
+  }
+  EXPECT_FALSE(baseline.empty());
+}
+
+TEST(Sweep, ReportShapeAndAggregates) {
+  ExperimentRunner exp = quick_runner(2, 2);
+  const SweepReport report = exp.run();
+
+  ASSERT_EQ(report.runs.size(), 4u);  // 2 variants x 2 seeds
+  ASSERT_EQ(report.summaries.size(), 2u);
+  // Replica order is variant-major, seed-minor regardless of scheduling.
+  EXPECT_EQ(report.runs[0].variant, "baseline");
+  EXPECT_EQ(report.runs[0].seed, 100u);
+  EXPECT_EQ(report.runs[1].seed, 101u);
+  EXPECT_EQ(report.runs[2].variant, "rogue+deauth");
+
+  const VariantSummary& baseline = report.summaries[0];
+  EXPECT_EQ(baseline.runs, 2u);
+  EXPECT_EQ(baseline.capture_rate, 0.0);
+  EXPECT_EQ(baseline.download_rate, 1.0);
+  EXPECT_EQ(baseline.events_fired.count(), 2u);
+
+  const VariantSummary& attack = report.summaries[1];
+  EXPECT_EQ(attack.capture_rate, 1.0);
+  EXPECT_EQ(attack.deception_rate, 1.0);
+  EXPECT_EQ(attack.time_to_capture_s.count(), 2u);
+  EXPECT_GE(attack.time_to_capture_s.percentile(0.95),
+            attack.time_to_capture_s.percentile(0.5));
+
+  // Per-replica wall clock is measured, but kept out of the report bytes.
+  EXPECT_GT(report.runs[0].wall_ms, 0.0);
+  const std::string text = report.to_json().dump();
+  EXPECT_EQ(text.find("wall_ms"), std::string::npos);
+}
+
+TEST(RunMetrics, JsonRoundTrip) {
+  RunMetrics run;
+  run.scenario = "corp";
+  run.variant = "rogue+deauth";
+  run.seed = 4242;
+  run.wall_ms = 12.5;
+  run.metrics.victim_captured = true;
+  run.metrics.time_to_capture_s = 0.291;
+  run.metrics.download_completed = true;
+  run.metrics.trojaned = true;
+  run.metrics.md5_verified = true;
+  run.metrics.victim_deceived = true;
+  run.metrics.rogue_detected = true;
+  run.metrics.detection_latency_s = 0.05;
+  run.metrics.seq_anomalies = 17;
+  run.metrics.vpn_established = true;
+  run.metrics.vpn_goodput_kbps = 123.456;
+  run.metrics.vpn_overhead_ratio = 1.0625;
+  run.metrics.vpn_records_out = 99;
+  run.metrics.vpn_records_in = 88;
+  run.metrics.events_fired = 123456789;
+  run.metrics.trace_records = 4321;
+  run.metrics.trace_warnings = 7;
+  run.metrics.sim_time_s = 86.0;
+
+  const std::string text = to_json(run).dump(2);
+  const auto parsed = util::Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  const auto back = run_metrics_from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+
+  EXPECT_EQ(back->scenario, run.scenario);
+  EXPECT_EQ(back->variant, run.variant);
+  EXPECT_EQ(back->seed, run.seed);
+  EXPECT_DOUBLE_EQ(back->wall_ms, run.wall_ms);
+  EXPECT_EQ(back->metrics.victim_captured, run.metrics.victim_captured);
+  EXPECT_DOUBLE_EQ(back->metrics.time_to_capture_s, run.metrics.time_to_capture_s);
+  EXPECT_EQ(back->metrics.trojaned, run.metrics.trojaned);
+  EXPECT_EQ(back->metrics.seq_anomalies, run.metrics.seq_anomalies);
+  EXPECT_DOUBLE_EQ(back->metrics.vpn_goodput_kbps, run.metrics.vpn_goodput_kbps);
+  EXPECT_DOUBLE_EQ(back->metrics.vpn_overhead_ratio,
+                   run.metrics.vpn_overhead_ratio);
+  EXPECT_EQ(back->metrics.events_fired, run.metrics.events_fired);
+  EXPECT_EQ(back->metrics.trace_warnings, run.metrics.trace_warnings);
+  EXPECT_DOUBLE_EQ(back->metrics.sim_time_s, run.metrics.sim_time_s);
+}
+
+TEST(RunMetrics, FromJsonRejectsMissingFields) {
+  const auto missing_seed = util::Json::parse(
+      R"({"scenario":"corp","variant":"x","metrics":{}})");
+  ASSERT_TRUE(missing_seed.has_value());
+  EXPECT_FALSE(run_metrics_from_json(*missing_seed).has_value());
+  EXPECT_FALSE(run_metrics_from_json(util::Json("not an object")).has_value());
+}
+
+TEST(RunMetrics, ReportRunsRoundTripThroughReportJson) {
+  ExperimentRunner exp = quick_runner(2, 1);
+  const SweepReport report = exp.run();
+  const auto parsed = util::Json::parse(report.to_json().dump(2));
+  ASSERT_TRUE(parsed.has_value());
+
+  const util::Json* variants = parsed->find("variants");
+  ASSERT_NE(variants, nullptr);
+  std::size_t i = 0;
+  for (const util::Json& entry : variants->items()) {
+    const util::Json* replicas = entry.find("runs");
+    ASSERT_NE(replicas, nullptr);
+    for (const util::Json& replica : replicas->items()) {
+      const auto back = run_metrics_from_json(replica);
+      ASSERT_TRUE(back.has_value());
+      ASSERT_LT(i, report.runs.size());
+      EXPECT_EQ(back->seed, report.runs[i].seed);
+      EXPECT_EQ(back->variant, report.runs[i].variant);
+      EXPECT_EQ(back->metrics.events_fired, report.runs[i].metrics.events_fired);
+      EXPECT_EQ(back->metrics.victim_captured,
+                report.runs[i].metrics.victim_captured);
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, report.runs.size());
+}
+
+TEST(Scenarios, StockRegistryKnowsBothWorlds) {
+  EXPECT_EQ(stock_variants("corp").size(), 4u);
+  EXPECT_EQ(stock_variants("hotspot").size(), 3u);
+  EXPECT_TRUE(stock_variants("nope").empty());
+  const auto names = known_scenarios();
+  ASSERT_EQ(names.size(), 2u);
+  for (const auto name : names) {
+    std::vector<Variant> variants = stock_variants(name);
+    ASSERT_FALSE(variants.empty());
+    // Every stock factory builds a world whose name matches the registry.
+    auto world = variants.front().make(1);
+    EXPECT_EQ(world->name(), name);
+  }
+}
+
+}  // namespace
+}  // namespace rogue::runner

@@ -31,15 +31,11 @@ TEST(CorpWorld, Figure1RogueCapturesNearbyVictim) {
   CorpConfig cfg;
   cfg.victim_to_legit_m = 20.0;  // rogue much closer than the real AP
   cfg.victim_to_rogue_m = 4.0;
+  // The victim is already associated to the legit AP; the attacker kicks
+  // it once (the paper's targeted forcing) and it rescans.
+  cfg.deauth_forcing = true;
   CorpWorld world(cfg);
-  world.start();
-  world.run_for(3 * sim::kSecond);
-  world.deploy_rogue();
-  // Make the victim rescan by waiting for a natural deauth-free roam:
-  // the victim is already associated to the legit AP; the attacker kicks
-  // it once (the paper's targeted forcing).
-  world.start_deauth_forcing();
-  world.run_for(15 * sim::kSecond);
+  world.run_capture_phase();
   EXPECT_TRUE(world.victim_sta().associated());
   EXPECT_TRUE(world.victim_on_rogue())
       << "victim should have been captured by the stronger rogue AP";
@@ -50,12 +46,9 @@ TEST(CorpWorld, Figure2DownloadMitmForgesChecksum) {
   CorpConfig cfg;
   cfg.victim_to_legit_m = 20.0;
   cfg.victim_to_rogue_m = 4.0;
+  cfg.deauth_forcing = true;
   CorpWorld world(cfg);
-  world.start();
-  world.run_for(3 * sim::kSecond);
-  world.deploy_rogue();
-  world.start_deauth_forcing();
-  world.run_for(15 * sim::kSecond);
+  world.run_capture_phase();
   ASSERT_TRUE(world.victim_on_rogue());
 
   apps::DownloadOutcome outcome;
@@ -100,12 +93,9 @@ TEST(CorpWorld, Figure3VpnDefeatsDownloadMitm) {
   CorpConfig cfg;
   cfg.victim_to_legit_m = 20.0;
   cfg.victim_to_rogue_m = 4.0;
+  cfg.deauth_forcing = true;
   CorpWorld world(cfg);
-  world.start();
-  world.run_for(3 * sim::kSecond);
-  world.deploy_rogue();
-  world.start_deauth_forcing();
-  world.run_for(15 * sim::kSecond);
+  world.run_capture_phase();
   ASSERT_TRUE(world.victim_on_rogue()) << "need the MITM vantage point";
 
   bool vpn_ok = false;
@@ -138,12 +128,9 @@ TEST(CorpWorld, WepInsiderRogueWorksBecauseKeyIsShared) {
   cfg.mac_filtering = true;
   cfg.victim_to_legit_m = 20.0;
   cfg.victim_to_rogue_m = 4.0;
+  cfg.deauth_forcing = true;
   CorpWorld world(cfg);
-  world.start();
-  world.run_for(3 * sim::kSecond);
-  world.deploy_rogue();
-  world.start_deauth_forcing();
-  world.run_for(15 * sim::kSecond);
+  world.run_capture_phase();
   EXPECT_TRUE(world.victim_on_rogue());
 }
 
@@ -152,12 +139,9 @@ TEST(CorpWorld, DistinctBssidRogueAlsoCaptures) {
   cfg.rogue_clones_bssid = false;  // lazier attacker, different AP MAC
   cfg.victim_to_legit_m = 20.0;
   cfg.victim_to_rogue_m = 4.0;
+  cfg.deauth_forcing = true;
   CorpWorld world(cfg);
-  world.start();
-  world.run_for(3 * sim::kSecond);
-  world.deploy_rogue();
-  world.start_deauth_forcing();
-  world.run_for(15 * sim::kSecond);
+  world.run_capture_phase();
   EXPECT_TRUE(world.victim_on_rogue());
 }
 
@@ -242,6 +226,89 @@ TEST(Hotspot, VpnProtectsAtHostileHotspot) {
   ASSERT_TRUE(outcome.file_fetched) << outcome.error;
   EXPECT_EQ(outcome.fetched_md5_hex, world.release_md5());
   EXPECT_TRUE(outcome.md5_verified);
+}
+
+TEST(World, CorpEpisodeThroughBaseInterfaceYieldsMetrics) {
+  CorpConfig cfg;
+  cfg.victim_to_legit_m = 20.0;
+  cfg.victim_to_rogue_m = 4.0;
+  cfg.deploy_rogue = true;
+  cfg.deauth_forcing = true;
+  cfg.enable_detection = true;
+  CorpWorld corp(cfg);
+  World& world = corp;  // drive purely through the abstract interface
+  world.configure(1234);
+  EXPECT_EQ(world.name(), "corp");
+  EXPECT_EQ(world.simulator().seed(), 1234u);
+  world.run_episode();
+
+  const Metrics m = world.collect_metrics();
+  EXPECT_TRUE(m.victim_captured);
+  EXPECT_GE(m.time_to_capture_s, 0.0);
+  EXPECT_TRUE(m.download_completed);
+  EXPECT_TRUE(m.trojaned);
+  EXPECT_TRUE(m.victim_deceived);
+  EXPECT_TRUE(m.rogue_detected);
+  EXPECT_GE(m.detection_latency_s, 0.0);
+  EXPECT_GT(m.seq_anomalies, 0u);
+  EXPECT_GT(m.events_fired, 0u);
+  EXPECT_GT(m.trace_records, 0u);
+  EXPECT_GT(m.sim_time_s, 0.0);
+}
+
+TEST(World, CorpVpnEpisodeDefeatsMitmInMetrics) {
+  CorpConfig cfg;
+  cfg.victim_to_legit_m = 20.0;
+  cfg.victim_to_rogue_m = 4.0;
+  cfg.deploy_rogue = true;
+  cfg.deauth_forcing = true;
+  cfg.use_vpn = true;
+  CorpWorld world(cfg);
+  world.configure(7);
+  world.run_episode();
+
+  const Metrics m = world.collect_metrics();
+  EXPECT_TRUE(m.victim_captured);
+  EXPECT_TRUE(m.vpn_established);
+  EXPECT_TRUE(m.download_completed);
+  EXPECT_FALSE(m.trojaned) << "tunnelled download must dodge netsed";
+  EXPECT_TRUE(m.md5_verified);
+  EXPECT_GT(m.vpn_records_out, 0u);
+  EXPECT_GT(m.vpn_goodput_kbps, 0.0);
+  EXPECT_GT(m.vpn_overhead_ratio, 1.0);
+}
+
+TEST(World, HotspotEpisodeThroughBaseInterface) {
+  HotspotConfig cfg;
+  cfg.hostile = true;
+  HotspotWorld hotspot(cfg);
+  World& world = hotspot;
+  world.configure(99);
+  EXPECT_EQ(world.name(), "hotspot");
+  world.run_episode();
+
+  const Metrics m = world.collect_metrics();
+  EXPECT_TRUE(m.victim_captured);  // joined attacker-owned infrastructure
+  EXPECT_TRUE(m.download_completed);
+  EXPECT_TRUE(m.trojaned);
+  EXPECT_TRUE(m.victim_deceived);
+}
+
+TEST(World, ConfigureReseedsDeterministically) {
+  auto run_once = [](std::uint64_t seed) {
+    CorpConfig cfg;
+    cfg.victim_to_legit_m = 20.0;
+    cfg.victim_to_rogue_m = 4.0;
+    cfg.deploy_rogue = true;
+    cfg.deauth_forcing = true;
+    CorpWorld world(cfg);
+    world.configure(seed);
+    world.run_episode();
+    const Metrics m = world.collect_metrics();
+    return std::pair<std::uint64_t, double>(m.events_fired, m.time_to_capture_s);
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -306,6 +307,105 @@ TEST(Trace, RecordsAndQueries) {
   EXPECT_EQ(trace.count_containing("aa:bb"), 2u);
   trace.clear();
   EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, InterningGivesStableHandlesAcrossClear) {
+  Trace trace;
+  const TagId ap = trace.intern("ap:aa:bb:cc");
+  const TagId sta = trace.intern("sta:11:22:33");
+  EXPECT_NE(ap, 0u);
+  EXPECT_NE(ap, sta);
+  EXPECT_EQ(trace.intern("ap:aa:bb:cc"), ap);  // idempotent
+  EXPECT_EQ(trace.tag_name(ap), "ap:aa:bb:cc");
+  ASSERT_TRUE(trace.find_tag("sta:11:22:33").has_value());
+  EXPECT_EQ(*trace.find_tag("sta:11:22:33"), sta);
+  EXPECT_FALSE(trace.find_tag("never-interned").has_value());
+
+  trace.record(5, ap, "beacon");
+  trace.clear();
+  // Interned names survive clear(): components cache TagIds across runs.
+  EXPECT_EQ(trace.intern("ap:aa:bb:cc"), ap);
+  trace.record(9, ap, "assoc");
+  ASSERT_EQ(trace.with_tag(ap).size(), 1u);
+  EXPECT_EQ(trace.with_tag(ap)[0].text(), "assoc");
+  // Handle-based and name-based queries agree.
+  EXPECT_EQ(trace.with_tag("ap:aa:bb:cc").size(), 1u);
+}
+
+TEST(Trace, SeverityFilterAndDefaults) {
+  Trace trace;
+  const TagId tag = trace.intern("ap");
+  trace.record(1, tag, "beacon", Severity::kDebug);
+  trace.record(2, tag, "assoc");  // defaults to kInfo
+  trace.record(3, tag, "deauth-rx", Severity::kWarn);
+  trace.record(4, tag, "rogue!", Severity::kAlert);
+  trace.record(5, "legacy", "compat shim is kInfo");
+  EXPECT_EQ(trace.count_at_least(Severity::kDebug), 5u);
+  EXPECT_EQ(trace.count_at_least(Severity::kInfo), 4u);
+  EXPECT_EQ(trace.count_at_least(Severity::kWarn), 2u);
+  EXPECT_EQ(trace.count_at_least(Severity::kAlert), 1u);
+  EXPECT_EQ(trace.records()[0].severity, Severity::kDebug);
+  EXPECT_EQ(trace.records()[4].severity, Severity::kInfo);
+}
+
+TEST(Trace, ShortStringInlineAndHeapSpill) {
+  const std::string small(ShortString::kInlineCap, 'x');
+  const std::string big(ShortString::kInlineCap + 100, 'y');
+
+  ShortString inline_s(small);
+  EXPECT_FALSE(inline_s.on_heap());
+  EXPECT_EQ(inline_s.view(), small);
+
+  ShortString heap_s(big);
+  EXPECT_TRUE(heap_s.on_heap());
+  EXPECT_EQ(heap_s.view(), big);
+
+  // Copy and move preserve content; move steals the heap allocation.
+  ShortString copy = heap_s;
+  EXPECT_EQ(copy.view(), big);
+  ShortString moved = std::move(heap_s);
+  EXPECT_EQ(moved.view(), big);
+  EXPECT_EQ(heap_s.view(), "");  // NOLINT(bugprone-use-after-move)
+
+  copy = inline_s;
+  EXPECT_EQ(copy.view(), small);
+  EXPECT_FALSE(copy.on_heap());
+
+  // Long messages survive the trace intact (no truncation).
+  Trace trace;
+  trace.record(1, trace.intern("t"), big);
+  EXPECT_EQ(trace.records()[0].text(), big);
+  EXPECT_EQ(trace.count_containing("yyy"), 1u);
+}
+
+TEST(Simulator, ReseedRebasesRootSeedBeforeUse) {
+  Simulator sim(1);
+  EXPECT_EQ(sim.seed(), 1u);
+  sim.reseed(777);
+  EXPECT_EQ(sim.seed(), 777u);
+  Simulator fresh(777);
+  // Reseeded simulator draws the same stream as one built with the seed.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(sim.rng().next(), fresh.rng().next());
+}
+
+TEST(Simulator, DeriveRngIsStableNamedAndSeedSensitive) {
+  Simulator sim(42);
+  util::Prng a = sim.derive_rng("phy.noise");
+  util::Prng a2 = sim.derive_rng("phy.noise");
+  util::Prng b = sim.derive_rng("dot11.backoff");
+  // Same (seed, name) -> same stream; different name -> different stream.
+  EXPECT_EQ(a.next(), a2.next());
+  EXPECT_NE(a.next(), b.next());
+  // Deriving is order-independent: interleaved rng() draws don't shift it.
+  sim.rng().next();
+  util::Prng a3 = sim.derive_rng("phy.noise");
+  util::Prng a4 = sim.derive_rng("phy.noise");
+  EXPECT_EQ(a3.next(), a4.next());
+
+  Simulator other(43);
+  util::Prng c = sim.derive_rng("phy.noise");
+  util::Prng d = other.derive_rng("phy.noise");
+  EXPECT_NE(c.next(), d.next());
 }
 
 }  // namespace

@@ -6,11 +6,14 @@
 #include <cstdint>
 #include <numeric>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "util/buffer_pool.hpp"
 #include "util/bytes.hpp"
 #include "util/fmt.hpp"
+#include "util/json.hpp"
 #include "util/prng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -293,6 +296,116 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
 TEST(ThreadPool, ParallelForZeroIsNoop) {
   ThreadPool pool(2);
   parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelMapReturnsResultsInIndexOrder) {
+  ThreadPool pool(4);
+  const std::vector<int> out =
+      parallel_map<int>(pool, 100, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(Summary, MergeMatchesSequentialAccumulation) {
+  Summary a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double x = 0.37 * i - 3.0;
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.percentile(0.5), all.percentile(0.5));
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+
+  Summary empty;
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), all.count());
+  empty.merge(a);  // adopt
+  EXPECT_EQ(empty.count(), all.count());
+  EXPECT_NEAR(empty.mean(), all.mean(), 1e-12);
+}
+
+TEST(Json, DumpAndParseRoundTrip) {
+  Json doc = Json::object();
+  doc.set("name", "sweep");
+  doc.set("count", 42);
+  doc.set("rate", 0.291);
+  doc.set("big", std::uint64_t{1234567890123456789ULL});
+  doc.set("ok", true);
+  doc.set("none", Json());
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(3.5);
+  doc.set("items", std::move(arr));
+
+  for (const int indent : {-1, 0, 2}) {
+    const std::string text = doc.dump(indent);
+    const auto parsed = Json::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->dump(indent), text);  // stable fixed point
+    EXPECT_EQ(parsed->find("name")->as_string(), "sweep");
+    EXPECT_EQ(parsed->find("count")->as_int(), 42);
+    EXPECT_DOUBLE_EQ(parsed->find("rate")->as_double(), 0.291);
+    EXPECT_EQ(parsed->find("big")->as_int(), 1234567890123456789LL);
+    EXPECT_TRUE(parsed->find("ok")->as_bool());
+    EXPECT_TRUE(parsed->find("none")->is_null());
+    ASSERT_EQ(parsed->find("items")->size(), 3u);
+    EXPECT_EQ(parsed->find("items")->items()[1].as_string(), "two");
+  }
+}
+
+TEST(Json, ObjectKeysKeepInsertionOrder) {
+  Json doc = Json::object();
+  doc.set("zebra", 1);
+  doc.set("alpha", 2);
+  doc.set("mid", 3);
+  doc.set("alpha", 4);  // overwrite keeps the original position
+  EXPECT_EQ(doc.dump(), R"({"zebra":1,"alpha":4,"mid":3})");
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string nasty = "quote\" back\\slash \n\t\x01 end";
+  Json doc = Json::object();
+  doc.set("s", nasty);
+  const auto parsed = Json::parse(doc.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("s")->as_string(), nasty);
+
+  const auto unicode = Json::parse(R"(["Aé€"])");
+  ASSERT_TRUE(unicode.has_value());
+  EXPECT_EQ(unicode->items()[0].as_string(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(Json, ParseRejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "01", "1.2.3", "\"unterminated",
+        "[1] trailing", "{\"a\" 1}", "nul", "+1"}) {
+    EXPECT_FALSE(Json::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(Json, DoublesSurviveShortestRoundTrip) {
+  for (const double v : {0.1, 1.0 / 3.0, 1e-9, 6.02214076e23, -0.291,
+                         123456.789, 2.5}) {
+    Json doc = Json::array();
+    doc.push_back(v);
+    const auto parsed = Json::parse(doc.dump());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->items()[0].as_double(), v);
+  }
 }
 
 }  // namespace
