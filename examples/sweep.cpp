@@ -20,8 +20,16 @@ namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s [--scenario corp|hotspot] [--runs N] [--jobs N]\n"
-      "          [--seed-base N] [--out report.json]\n",
+      "usage: %s [--scenario corp|hotspot|corp-chaos|hotspot-chaos]\n"
+      "          [--runs N] [--jobs N] [--seed-base N] [--faults X]\n"
+      "          [--out report.json]\n"
+      "\n"
+      "  --faults X   inject a seed-derived fault plan at intensity X\n"
+      "               (faults per simulated minute; overlays the plain\n"
+      "               scenarios, scales the chaos ones)\n"
+      "\n"
+      "exits 1 when any replica failed (reported under \"failures\" in the\n"
+      "JSON report), 2 on usage errors.\n",
       argv0);
 }
 
@@ -31,6 +39,7 @@ int main(int argc, char** argv) {
   runner::SweepConfig cfg;
   cfg.runs = 20;
   std::string out_path;
+  double fault_intensity = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -49,6 +58,8 @@ int main(int argc, char** argv) {
       cfg.jobs = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
     } else if (std::strcmp(arg, "--seed-base") == 0) {
       cfg.seed_base = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(arg, "--faults") == 0) {
+      fault_intensity = std::strtod(value(), nullptr);
     } else if (std::strcmp(arg, "--out") == 0) {
       out_path = value();
     } else if (std::strcmp(arg, "--help") == 0) {
@@ -61,7 +72,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<runner::Variant> variants = runner::stock_variants(cfg.scenario);
+  std::vector<runner::Variant> variants =
+      runner::stock_variants(cfg.scenario, fault_intensity);
   if (variants.empty()) {
     std::fprintf(stderr, "unknown scenario '%s'; known:", cfg.scenario.c_str());
     for (const auto name : runner::known_scenarios()) {
@@ -95,6 +107,18 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("report written to %s (%zu bytes)\n", out_path.c_str(),
                 text.size() + 1);
+  }
+
+  const std::size_t failed = report.failed_count();
+  if (failed > 0) {
+    std::fprintf(stderr, "%zu replica(s) failed:\n", failed);
+    for (const runner::RunMetrics& run : report.runs) {
+      if (!run.failed) continue;
+      std::fprintf(stderr, "  variant=%s seed=%llu: %s\n", run.variant.c_str(),
+                   static_cast<unsigned long long>(run.seed),
+                   run.error.c_str());
+    }
+    return 1;
   }
   return 0;
 }

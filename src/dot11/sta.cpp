@@ -108,10 +108,23 @@ void Station::finish_scan() {
   const auto candidate = pick_candidate();
   if (!candidate) {
     trace("scan-empty", sim::Severity::kDebug);
-    scan_timer_ = sim_.after(config_.rescan_delay, [this] { begin_scan(); });
+    scan_timer_ = sim_.after(next_rescan_delay(), [this] { begin_scan(); });
     return;
   }
   begin_join(*candidate);
+}
+
+sim::Time Station::next_rescan_delay() {
+  // Exponential backoff with jitter: a station whose network has vanished
+  // (AP outage, deauth storm) must not hammer the channel at a fixed
+  // cadence — and synchronized victims would rescan in lockstep forever.
+  const unsigned shift = std::min(failed_cycles_, 8u);
+  const sim::Time base = std::min(config_.rescan_delay << shift,
+                                  std::max(config_.rescan_delay,
+                                           config_.rescan_backoff_max));
+  ++failed_cycles_;
+  if (base > config_.rescan_delay) ++counters_.scan_backoffs;
+  return base + sim_.rng().uniform_u64(0, base / 2);
 }
 
 std::optional<BssInfo> Station::pick_candidate() {
@@ -187,13 +200,14 @@ void Station::on_join_timeout() {
     return;
   }
   trace("join-failed", sim::Severity::kWarn);
-  scan_timer_ = sim_.after(config_.rescan_delay, [this] { begin_scan(); });
+  scan_timer_ = sim_.after(next_rescan_delay(), [this] { begin_scan(); });
   state_ = StationState::kScanning;
 }
 
 void Station::become_associated() {
   sim_.cancel(join_timer_);
   state_ = StationState::kAssociated;
+  failed_cycles_ = 0;
   wpa_established_ = false;
   m1_seen_ = false;
   wpa_rx_pn_max_ = 0;
@@ -228,7 +242,7 @@ void Station::disconnect(std::string_view why) {
   trace(util::format("disconnect ({})", why), sim::Severity::kWarn);
   state_ = StationState::kIdle;
   if (running_) {
-    scan_timer_ = sim_.after(config_.rescan_delay, [this] { begin_scan(); });
+    scan_timer_ = sim_.after(next_rescan_delay(), [this] { begin_scan(); });
   }
 }
 

@@ -67,6 +67,9 @@ struct StationConfig {
   std::vector<phy::Channel> scan_channels = {1, 6, 11};
   sim::Time scan_dwell = 120'000;          ///< per-channel listen time (us)
   sim::Time rescan_delay = 50'000;         ///< idle time between scan sweeps
+  /// Consecutive failed scan/join cycles back the rescan delay off
+  /// exponentially (with jitter) up to this cap; reset on association.
+  sim::Time rescan_backoff_max = 2 * sim::kSecond;
   sim::Time response_timeout = 20'000;     ///< auth/assoc response timeout
   unsigned max_join_retries = 3;
   /// Beacon-loss disconnect threshold (multiples of the beacon interval).
@@ -75,6 +78,7 @@ struct StationConfig {
 
 struct StationCounters {
   std::uint64_t scans = 0;
+  std::uint64_t scan_backoffs = 0;  ///< rescans delayed beyond the base delay
   std::uint64_t associations = 0;
   std::uint64_t deauths_received = 0;
   std::uint64_t beacon_losses = 0;
@@ -148,6 +152,9 @@ class Station {
   void on_join_timeout();
   void become_associated();
   void disconnect(std::string_view why);
+  /// Next rescan delay under exponential backoff + jitter; bumps the
+  /// failed-cycle count.
+  [[nodiscard]] sim::Time next_rescan_delay();
   void arm_beacon_watchdog();
   void send_mgmt(MgmtSubtype subtype, net::MacAddr dst, util::Bytes body,
                  bool protect = false);
@@ -173,6 +180,7 @@ class Station {
   std::size_t scan_channel_index_ = 0;
   std::map<std::pair<net::MacAddr, phy::Channel>, BssInfo> scan_results_;
   sim::TimerHandle scan_timer_;
+  unsigned failed_cycles_ = 0;  ///< scan/join failures since last association
 
   // Join state.
   BssInfo current_bss_;

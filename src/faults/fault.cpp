@@ -1,0 +1,165 @@
+#include "faults/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rogue::faults {
+
+namespace {
+
+/// Enabled kinds in declaration order (stable draw order = stable plans).
+std::vector<FaultKind> enabled_kinds(const PlanConfig& config) {
+  std::vector<FaultKind> kinds;
+  if (config.ap_outage) kinds.push_back(FaultKind::kApOutage);
+  if (config.channel_degrade) kinds.push_back(FaultKind::kChannelDegrade);
+  if (config.endpoint_outage) kinds.push_back(FaultKind::kEndpointOutage);
+  if (config.link_flap) kinds.push_back(FaultKind::kLinkFlap);
+  if (config.deauth_storm) kinds.push_back(FaultKind::kDeauthStorm);
+  return kinds;
+}
+
+FaultEvent draw_event(util::Prng& rng, const PlanConfig& config, FaultKind kind) {
+  FaultEvent event;
+  event.kind = kind;
+  event.at = rng.uniform_u64(config.start, config.horizon - 1);
+  event.duration = rng.uniform_u64(config.min_duration, config.max_duration);
+  if (kind == FaultKind::kChannelDegrade) event.severity = config.degrade_loss;
+  return event;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kApOutage: return "ap-outage";
+    case FaultKind::kChannelDegrade: return "channel-degrade";
+    case FaultKind::kEndpointOutage: return "endpoint-outage";
+    case FaultKind::kLinkFlap: return "link-flap";
+    case FaultKind::kDeauthStorm: return "deauth-storm";
+  }
+  return "unknown";
+}
+
+Plan Plan::generate(util::Prng& rng, const PlanConfig& config) {
+  ROGUE_ASSERT_MSG(config.horizon > config.start,
+                   "fault plan needs a non-empty [start, horizon) window");
+  ROGUE_ASSERT(config.max_duration >= config.min_duration);
+
+  Plan plan;
+  const std::vector<FaultKind> kinds = enabled_kinds(config);
+  if (kinds.empty() || config.intensity <= 0.0) return plan;
+
+  const double minutes = static_cast<double>(config.horizon - config.start) /
+                         static_cast<double>(60 * sim::kSecond);
+  const auto budget =
+      static_cast<std::size_t>(std::llround(config.intensity * minutes));
+
+  // Coverage first: one window per enabled kind, then random fills.
+  for (const FaultKind kind : kinds) {
+    plan.events_.push_back(draw_event(rng, config, kind));
+  }
+  while (plan.events_.size() < budget) {
+    const FaultKind kind =
+        kinds[rng.uniform_u32(static_cast<std::uint32_t>(kinds.size()))];
+    plan.events_.push_back(draw_event(rng, config, kind));
+  }
+
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+Plan Plan::from_events(std::vector<FaultEvent> events) {
+  Plan plan;
+  plan.events_ = std::move(events);
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+Injector::Injector(sim::Simulator& simulator, FaultTarget& target)
+    : sim_(simulator), target_(target) {}
+
+Injector::~Injector() {
+  for (const sim::TimerHandle handle : timers_) sim_.cancel(handle);
+}
+
+void Injector::install(Plan plan) {
+  ROGUE_ASSERT_MSG(plan_.empty(), "Injector::install called twice");
+  plan_ = std::move(plan);
+  timers_.reserve(plan_.size() * 2);
+  for (const FaultEvent& event : plan_.events()) {
+    timers_.push_back(sim_.at(event.at, [this, event] { begin(event); }));
+    timers_.push_back(
+        sim_.at(event.at + event.duration, [this, event] { end(event); }));
+  }
+}
+
+void Injector::begin(const FaultEvent& event) {
+  ++injected_;
+  const auto kind = static_cast<std::size_t>(event.kind);
+  switch (event.kind) {
+    case FaultKind::kApOutage:
+      if (depth_[kind]++ == 0) target_.fault_ap(true);
+      break;
+    case FaultKind::kChannelDegrade:
+      push_degrade(event.severity);
+      break;
+    case FaultKind::kEndpointOutage:
+      if (depth_[kind]++ == 0) target_.fault_endpoint(true);
+      break;
+    case FaultKind::kLinkFlap:
+      if (depth_[kind]++ == 0) target_.fault_link(true);
+      break;
+    case FaultKind::kDeauthStorm:
+      if (depth_[kind]++ == 0) target_.fault_deauth_storm(true);
+      break;
+  }
+}
+
+void Injector::end(const FaultEvent& event) {
+  const auto kind = static_cast<std::size_t>(event.kind);
+  switch (event.kind) {
+    case FaultKind::kApOutage:
+      if (--depth_[kind] == 0) target_.fault_ap(false);
+      break;
+    case FaultKind::kChannelDegrade:
+      pop_degrade(event.severity);
+      break;
+    case FaultKind::kEndpointOutage:
+      if (--depth_[kind] == 0) target_.fault_endpoint(false);
+      break;
+    case FaultKind::kLinkFlap:
+      if (--depth_[kind] == 0) target_.fault_link(false);
+      break;
+    case FaultKind::kDeauthStorm:
+      if (--depth_[kind] == 0) target_.fault_deauth_storm(false);
+      break;
+  }
+  ROGUE_ASSERT(depth_[kind] >= 0);
+}
+
+void Injector::push_degrade(double severity) {
+  degrade_active_.push_back(severity);
+  target_.fault_channel(*std::max_element(degrade_active_.begin(),
+                                          degrade_active_.end()));
+}
+
+void Injector::pop_degrade(double severity) {
+  const auto it =
+      std::find(degrade_active_.begin(), degrade_active_.end(), severity);
+  ROGUE_ASSERT(it != degrade_active_.end());
+  degrade_active_.erase(it);
+  target_.fault_channel(degrade_active_.empty()
+                            ? 0.0
+                            : *std::max_element(degrade_active_.begin(),
+                                                degrade_active_.end()));
+}
+
+}  // namespace rogue::faults

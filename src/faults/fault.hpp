@@ -1,0 +1,136 @@
+// Deterministic fault injection: seed-derived chaos plans applied to a
+// running scenario. The paper's §5 countermeasure (tunnel everything to a
+// trusted endpoint) is evaluated only on the happy path; this subsystem
+// supplies the churn — AP crashes, channel degradation, VPN endpoint
+// outages, link flaps, deauth storms — against which the recovery
+// machinery (vpn::ClientTunnel keepalive/reconnect, dot11::Station rescan
+// backoff) is measured.
+//
+// Determinism contract: a Plan is a pure function of (PlanConfig, Prng
+// state). Worlds derive the Prng from Simulator::derive_rng("faults.plan"),
+// so the schedule is reproducible from the replica seed alone — never wall
+// clock — and sweep reports stay byte-identical at any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/prng.hpp"
+
+namespace rogue::faults {
+
+enum class FaultKind : std::uint8_t {
+  kApOutage = 0,        ///< legitimate AP powers off, then restarts
+  kChannelDegrade = 1,  ///< raised floor loss on the phy::Medium
+  kEndpointOutage = 2,  ///< VPN endpoint process crash + restart
+  kLinkFlap = 3,        ///< endpoint uplink admin-down window
+  kDeauthStorm = 4,     ///< forged deauth flood against the victim
+};
+
+inline constexpr std::uint8_t kFaultKindCount = 5;
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One scheduled fault window: the condition holds during
+/// [at, at + duration), then lifts.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kApOutage;
+  sim::Time at = 0;
+  sim::Time duration = 0;
+  /// Kind-specific magnitude; for kChannelDegrade this is the extra loss
+  /// probability layered onto MediumConfig::base_loss_prob.
+  double severity = 0.0;
+};
+
+struct PlanConfig {
+  /// Expected fault events per simulated minute of [start, horizon).
+  double intensity = 1.0;
+  /// Events are scheduled in [start, horizon); 0 horizon = "caller fills
+  /// in the episode length" (worlds derive it from their phase windows).
+  sim::Time start = 0;
+  sim::Time horizon = 0;
+  sim::Time min_duration = 200 * sim::kMillisecond;
+  sim::Time max_duration = 3 * sim::kSecond;
+  /// Extra loss probability for channel-degradation windows.
+  double degrade_loss = 0.85;
+  // Per-kind enables (a corp chaos run may e.g. disable link flaps).
+  bool ap_outage = true;
+  bool channel_degrade = true;
+  bool endpoint_outage = true;
+  bool link_flap = true;
+  bool deauth_storm = true;
+};
+
+/// A deterministic schedule of fault windows, sorted by start time.
+class Plan {
+ public:
+  /// Draw a schedule from `rng`. When the budget (intensity x minutes)
+  /// allows, every enabled kind appears at least once — a chaos run that
+  /// never crashes the endpoint would not exercise the recovery path it
+  /// exists to measure.
+  [[nodiscard]] static Plan generate(util::Prng& rng, const PlanConfig& config);
+
+  /// Wrap an explicit schedule (scripted chaos, tests). Events are sorted
+  /// by start time; overlapping windows are fine — the Injector collapses
+  /// them per kind.
+  [[nodiscard]] static Plan from_events(std::vector<FaultEvent> events);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// What a world must expose for faults to land on it. Each hook is edge
+/// triggered: the injector calls it once when a condition begins and once
+/// when it ends, with overlapping windows of the same kind collapsed
+/// (depth counted) so a world never sees "begin" twice without an "end".
+class FaultTarget {
+ public:
+  virtual ~FaultTarget() = default;
+
+  virtual void fault_ap(bool down) = 0;
+  virtual void fault_endpoint(bool down) = 0;
+  /// `extra_loss` is the strongest active degradation (0 = none).
+  virtual void fault_channel(double extra_loss) = 0;
+  virtual void fault_link(bool down) = 0;
+  virtual void fault_deauth_storm(bool active) = 0;
+};
+
+/// Schedules a Plan's begin/end transitions on the simulator and folds
+/// overlapping windows before invoking the target's hooks.
+class Injector {
+ public:
+  Injector(sim::Simulator& simulator, FaultTarget& target);
+  ~Injector();
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Schedule every event in the plan (idempotent per event; call once).
+  void install(Plan plan);
+
+  [[nodiscard]] const Plan& plan() const { return plan_; }
+  /// Fault windows whose begin edge has fired so far.
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+
+ private:
+  void begin(const FaultEvent& event);
+  void end(const FaultEvent& event);
+  void push_degrade(double severity);
+  void pop_degrade(double severity);
+
+  sim::Simulator& sim_;
+  FaultTarget& target_;
+  Plan plan_;
+  std::vector<sim::TimerHandle> timers_;
+  std::uint64_t injected_ = 0;
+  int depth_[kFaultKindCount] = {};
+  std::vector<double> degrade_active_;
+};
+
+}  // namespace rogue::faults

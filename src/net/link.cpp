@@ -105,7 +105,7 @@ WiredIf::WiredIf(std::string name, MacAddr mac, L2Segment& segment)
   port_.set_rx([this](const L2Frame& frame) { deliver_up(frame); });
 }
 
-bool WiredIf::send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) {
+bool WiredIf::transmit(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) {
   count_tx();
   util::Bytes copy = port_.segment().simulator().buffer_pool().acquire(payload.size());
   copy.assign(payload.begin(), payload.end());
@@ -122,7 +122,7 @@ StationIf::StationIf(std::string name, dot11::Station& station)
   });
 }
 
-bool StationIf::send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) {
+bool StationIf::transmit(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) {
   if (!station_.ready()) return false;
   count_tx();
   return station_.send(dst, ethertype, payload);
@@ -137,7 +137,7 @@ ApIf::ApIf(std::string name, dot11::AccessPoint& ap)
   });
 }
 
-bool ApIf::send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) {
+bool ApIf::transmit(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) {
   count_tx();
   return ap_.send_to_station(dst, mac(), ethertype, payload);
 }

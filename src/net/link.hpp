@@ -55,9 +55,19 @@ class NetIf {
 
   void set_rx_callback(RxCallback cb) { rx_ = std::move(cb); }
 
-  /// Transmit toward dst; false if the link is down / not associated.
-  virtual bool send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) = 0;
+  /// Transmit toward dst; false if the link is down / not associated /
+  /// administratively disabled.
+  bool send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) {
+    if (!admin_up_) return false;
+    return transmit(dst, ethertype, payload);
+  }
   [[nodiscard]] virtual bool link_up() const = 0;
+
+  /// Administrative state — the fault injector's "cable pull". A downed
+  /// interface neither transmits nor delivers received frames; link_up()
+  /// is unaffected (carrier vs. admin state, as in real stacks).
+  void set_admin_up(bool up) { admin_up_ = up; }
+  [[nodiscard]] bool admin_up() const { return admin_up_; }
   /// Point-to-point interfaces (VPN tun devices) carry no ARP; the host
   /// transmits on them without neighbour resolution.
   [[nodiscard]] virtual bool needs_arp() const { return true; }
@@ -66,7 +76,12 @@ class NetIf {
   [[nodiscard]] std::uint64_t rx_frames() const { return rx_frames_; }
 
  protected:
+  /// Subclass hook behind send(): the medium-specific transmit path.
+  virtual bool transmit(MacAddr dst, std::uint16_t ethertype,
+                        util::ByteView payload) = 0;
+
   void deliver_up(const L2Frame& frame) {
+    if (!admin_up_) return;
     ++rx_frames_;
     if (rx_) rx_(*this, frame);
   }
@@ -78,6 +93,7 @@ class NetIf {
   Ipv4Addr ip_;
   Ipv4Addr mask_;
   RxCallback rx_;
+  bool admin_up_ = true;
   std::uint64_t tx_frames_ = 0;
   std::uint64_t rx_frames_ = 0;
 };
@@ -203,7 +219,7 @@ class WiredIf final : public NetIf {
  public:
   WiredIf(std::string name, MacAddr mac, L2Segment& segment);
 
-  bool send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) override;
+  bool transmit(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) override;
   [[nodiscard]] bool link_up() const override { return true; }
 
  private:
@@ -218,7 +234,7 @@ class StationIf final : public NetIf {
  public:
   StationIf(std::string name, dot11::Station& station);
 
-  bool send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) override;
+  bool transmit(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) override;
   [[nodiscard]] bool link_up() const override { return station_.ready(); }
 
   [[nodiscard]] dot11::Station& station() { return station_; }
@@ -234,7 +250,7 @@ class ApIf final : public NetIf {
  public:
   ApIf(std::string name, dot11::AccessPoint& ap);
 
-  bool send(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) override;
+  bool transmit(MacAddr dst, std::uint16_t ethertype, util::ByteView payload) override;
   [[nodiscard]] bool link_up() const override { return true; }
 
   [[nodiscard]] dot11::AccessPoint& ap() { return ap_; }

@@ -167,13 +167,20 @@ void Medium::deliver(std::uint64_t tx_id, const Radio* sender, const util::Bytes
         noise;
     const double margin = rssi - rx->sensitivity_dbm();
     if (margin < 0.0) continue;
+    const double floor_loss =
+        std::min(1.0, config_.base_loss_prob + extra_loss_);
     const double success =
-        (1.0 - config_.base_loss_prob) * (1.0 - std::exp(-margin / config_.margin_scale_db));
+        (1.0 - floor_loss) * (1.0 - std::exp(-margin / config_.margin_scale_db));
     if (!sim_.rng().chance(success)) continue;
     if (!rx->handler_) continue;
     ++rx->frames_received_;
     rx->handler_(frame, RxInfo{sim_.now(), rssi, tx.channel});
   }
+}
+
+void Medium::set_loss_override(double extra_loss_prob) {
+  ROGUE_ASSERT(extra_loss_prob >= 0.0);
+  extra_loss_ = extra_loss_prob;
 }
 
 }  // namespace rogue::phy

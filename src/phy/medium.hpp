@@ -139,6 +139,12 @@ class Medium {
   [[nodiscard]] std::uint64_t frames_transmitted() const { return tx_count_; }
   [[nodiscard]] std::uint64_t collisions() const { return collision_count_; }
 
+  /// Chaos knob: extra loss probability layered on top of the configured
+  /// base_loss_prob while a degradation window is open (fault injection,
+  /// scripted burst loss). 0 restores the configured floor.
+  void set_loss_override(double extra_loss_prob);
+  [[nodiscard]] double loss_override() const { return extra_loss_; }
+
  private:
   friend class Radio;
 
@@ -160,6 +166,7 @@ class Medium {
   MediumConfig config_;
   std::vector<Radio*> radios_;
   std::vector<ActiveTx> active_;
+  double extra_loss_ = 0.0;
   std::uint64_t next_tx_id_ = 1;
   std::uint64_t tx_count_ = 0;
   std::uint64_t collision_count_ = 0;

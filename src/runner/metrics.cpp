@@ -9,6 +9,8 @@ util::Json to_json(const RunMetrics& run, bool include_wall) {
   j.set("variant", run.variant);
   j.set("seed", run.seed);
   if (include_wall) j.set("wall_ms", run.wall_ms);
+  j.set("failed", run.failed);
+  j.set("error", run.error);
 
   util::Json metrics = util::Json::object();
   metrics.set("victim_captured", m.victim_captured);
@@ -25,6 +27,13 @@ util::Json to_json(const RunMetrics& run, bool include_wall) {
   metrics.set("vpn_overhead_ratio", m.vpn_overhead_ratio);
   metrics.set("vpn_records_out", m.vpn_records_out);
   metrics.set("vpn_records_in", m.vpn_records_in);
+  metrics.set("faults_injected", m.faults_injected);
+  metrics.set("vpn_tunnel_losses", m.vpn_tunnel_losses);
+  metrics.set("vpn_reconnects", m.vpn_reconnects);
+  metrics.set("vpn_downtime_s", m.vpn_downtime_s);
+  metrics.set("vpn_recover_p50_s", m.vpn_recover_p50_s);
+  metrics.set("vpn_recover_p95_s", m.vpn_recover_p95_s);
+  metrics.set("clear_packets", m.clear_packets);
   metrics.set("events_fired", m.events_fired);
   metrics.set("trace_records", m.trace_records);
   metrics.set("trace_warnings", m.trace_warnings);
@@ -72,6 +81,8 @@ std::optional<RunMetrics> run_metrics_from_json(const util::Json& j) {
   if (!read_string(j, "variant", &run.variant)) return std::nullopt;
   if (!read_u64(j, "seed", &run.seed)) return std::nullopt;
   (void)read_double(j, "wall_ms", &run.wall_ms);  // optional
+  (void)read_bool(j, "failed", &run.failed);      // optional (pre-chaos reports)
+  (void)read_string(j, "error", &run.error);      // optional
 
   const util::Json* metrics = j.find("metrics");
   if (metrics == nullptr || metrics->type() != util::Json::Type::kObject) {
@@ -98,6 +109,14 @@ std::optional<RunMetrics> run_metrics_from_json(const util::Json& j) {
       read_u64(*metrics, "trace_warnings", &m.trace_warnings) &&
       read_double(*metrics, "sim_time_s", &m.sim_time_s);
   if (!ok) return std::nullopt;
+  // Robustness fields are optional so pre-chaos reports still parse.
+  (void)read_u64(*metrics, "faults_injected", &m.faults_injected);
+  (void)read_u64(*metrics, "vpn_tunnel_losses", &m.vpn_tunnel_losses);
+  (void)read_u64(*metrics, "vpn_reconnects", &m.vpn_reconnects);
+  (void)read_double(*metrics, "vpn_downtime_s", &m.vpn_downtime_s);
+  (void)read_double(*metrics, "vpn_recover_p50_s", &m.vpn_recover_p50_s);
+  (void)read_double(*metrics, "vpn_recover_p95_s", &m.vpn_recover_p95_s);
+  (void)read_u64(*metrics, "clear_packets", &m.clear_packets);
   return run;
 }
 

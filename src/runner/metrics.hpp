@@ -18,6 +18,10 @@ struct RunMetrics {
   std::string variant;   ///< e.g. "rogue+deauth"
   std::uint64_t seed = 0;
   double wall_ms = 0.0;  ///< host wall-clock, excluded from aggregates
+  /// The replica threw instead of completing; `metrics` holds defaults and
+  /// is excluded from aggregation. `error` carries the exception text.
+  bool failed = false;
+  std::string error;
   scenario::Metrics metrics;
 };
 

@@ -31,57 +31,128 @@ Variant hotspot_variant(std::string name, scenario::HotspotConfig cfg) {
                  }};
 }
 
+void apply_faults(scenario::CorpConfig& cfg, double intensity) {
+  if (intensity <= 0.0) return;
+  cfg.inject_faults = true;
+  cfg.faults.intensity = intensity;
+}
+
+void apply_faults(scenario::HotspotConfig& cfg, double intensity) {
+  if (intensity <= 0.0) return;
+  cfg.inject_faults = true;
+  cfg.faults.intensity = intensity;
+}
+
 }  // namespace
 
-std::vector<Variant> corp_variants() {
+std::vector<Variant> corp_variants(double fault_intensity) {
   std::vector<Variant> variants;
 
   scenario::CorpConfig baseline;  // no attack, plain download
+  apply_faults(baseline, fault_intensity);
   variants.push_back(corp_variant("baseline", baseline));
 
   scenario::CorpConfig rogue = corp_attack_config();  // Figure 2
   rogue.deploy_rogue = true;
+  apply_faults(rogue, fault_intensity);
   variants.push_back(corp_variant("rogue", rogue));
 
   scenario::CorpConfig forced = corp_attack_config();  // §4 + §2.3
   forced.deploy_rogue = true;
   forced.deauth_forcing = true;
   forced.enable_detection = true;
+  apply_faults(forced, fault_intensity);
   variants.push_back(corp_variant("rogue+deauth", forced));
 
   scenario::CorpConfig vpn = corp_attack_config();  // Figure 3
   vpn.deploy_rogue = true;
   vpn.deauth_forcing = true;
   vpn.use_vpn = true;
+  apply_faults(vpn, fault_intensity);
   variants.push_back(corp_variant("vpn", vpn));
 
   return variants;
 }
 
-std::vector<Variant> hotspot_variants() {
+std::vector<Variant> hotspot_variants(double fault_intensity) {
   std::vector<Variant> variants;
 
   scenario::HotspotConfig benign;
+  apply_faults(benign, fault_intensity);
   variants.push_back(hotspot_variant("benign", benign));
 
   scenario::HotspotConfig hostile;
   hostile.hostile = true;
+  apply_faults(hostile, fault_intensity);
   variants.push_back(hotspot_variant("hostile", hostile));
 
   scenario::HotspotConfig defended;
   defended.hostile = true;
   defended.use_vpn = true;
+  apply_faults(defended, fault_intensity);
   variants.push_back(hotspot_variant("hostile+vpn", defended));
 
   return variants;
 }
 
-std::vector<Variant> stock_variants(std::string_view scenario) {
-  if (scenario == "corp") return corp_variants();
-  if (scenario == "hotspot") return hotspot_variants();
+std::vector<Variant> corp_chaos_variants(double fault_intensity) {
+  if (fault_intensity <= 0.0) fault_intensity = 1.0;
+
+  // Robustness study, not an attack study: no rogue, just a tunnelled
+  // download while the infrastructure misbehaves underneath it.
+  scenario::CorpConfig base;
+  base.use_vpn = true;
+  base.vpn_window = 5 * sim::kSecond;
+  base.download_window = 45 * sim::kSecond;
+  base.inject_faults = true;
+  base.faults.intensity = fault_intensity;
+
+  std::vector<Variant> variants;
+  scenario::CorpConfig undefended = base;  // one-shot tunnel, fail open
+  variants.push_back(corp_variant("chaos-undefended", undefended));
+
+  scenario::CorpConfig defended = base;  // keepalive/DPD + reconnect
+  defended.vpn_auto_reconnect = true;
+  variants.push_back(corp_variant("chaos-defended", defended));
+
+  return variants;
+}
+
+std::vector<Variant> hotspot_chaos_variants(double fault_intensity) {
+  if (fault_intensity <= 0.0) fault_intensity = 1.0;
+
+  scenario::HotspotConfig base;
+  base.hostile = true;  // clear packets here cross attacker-owned ground
+  base.use_vpn = true;
+  base.vpn_window = 5 * sim::kSecond;
+  base.download_window = 45 * sim::kSecond;
+  base.inject_faults = true;
+  base.faults.intensity = fault_intensity;
+
+  std::vector<Variant> variants;
+  scenario::HotspotConfig undefended = base;
+  variants.push_back(hotspot_variant("chaos-undefended", undefended));
+
+  scenario::HotspotConfig defended = base;
+  defended.vpn_auto_reconnect = true;
+  variants.push_back(hotspot_variant("chaos-defended", defended));
+
+  return variants;
+}
+
+std::vector<Variant> stock_variants(std::string_view scenario,
+                                    double fault_intensity) {
+  if (scenario == "corp") return corp_variants(fault_intensity);
+  if (scenario == "hotspot") return hotspot_variants(fault_intensity);
+  if (scenario == "corp-chaos") return corp_chaos_variants(fault_intensity);
+  if (scenario == "hotspot-chaos") {
+    return hotspot_chaos_variants(fault_intensity);
+  }
   return {};
 }
 
-std::vector<std::string_view> known_scenarios() { return {"corp", "hotspot"}; }
+std::vector<std::string_view> known_scenarios() {
+  return {"corp", "hotspot", "corp-chaos", "hotspot-chaos"};
+}
 
 }  // namespace rogue::runner

@@ -13,15 +13,31 @@ namespace rogue::runner {
 
 /// The paper's corp-network ladder: baseline download, rogue MITM
 /// (Figure 2), rogue + §4 deauth forcing + §2.3 detection, and the VPN
-/// countermeasure under full attack (Figure 3).
-[[nodiscard]] std::vector<Variant> corp_variants();
+/// countermeasure under full attack (Figure 3). `fault_intensity > 0`
+/// additionally injects a seed-derived fault plan (AP/endpoint crashes,
+/// channel degradation, link flaps, deauth storms) into every variant.
+[[nodiscard]] std::vector<Variant> corp_variants(double fault_intensity = 0.0);
 
 /// The §1.2.2 hostile-hotspot ladder: benign hotspot, hostile owner,
 /// hostile owner vs. always-on home VPN.
-[[nodiscard]] std::vector<Variant> hotspot_variants();
+[[nodiscard]] std::vector<Variant> hotspot_variants(double fault_intensity = 0.0);
 
-/// Lookup by scenario name; empty vector when unknown.
-[[nodiscard]] std::vector<Variant> stock_variants(std::string_view scenario);
+/// Chaos ladder on the corp world: a tunnelled download under injected
+/// faults, undefended (one-shot tunnel) vs defended (keepalive/DPD +
+/// automatic reconnect with backoff). Every replica is guaranteed at least
+/// one VPN-endpoint outage, so time-to-recover is always exercised.
+[[nodiscard]] std::vector<Variant> corp_chaos_variants(double fault_intensity = 1.0);
+
+/// Chaos ladder on the hostile hotspot: same undefended/defended split,
+/// with the added sting that packets sent in the clear during tunnel gaps
+/// cross attacker-owned infrastructure.
+[[nodiscard]] std::vector<Variant> hotspot_chaos_variants(double fault_intensity = 1.0);
+
+/// Lookup by scenario name; empty vector when unknown. `fault_intensity`
+/// overlays fault injection on the plain ladders and scales the chaos ones
+/// (<= 0 keeps the chaos scenarios at their default intensity).
+[[nodiscard]] std::vector<Variant> stock_variants(std::string_view scenario,
+                                                  double fault_intensity = 0.0);
 
 /// Names accepted by stock_variants().
 [[nodiscard]] std::vector<std::string_view> known_scenarios();

@@ -1,6 +1,7 @@
 #include "runner/sweep.hpp"
 
 #include <chrono>
+#include <exception>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -32,6 +33,10 @@ VariantSummary summarize(const Variant& variant, const RunMetrics* runs,
   std::size_t captured = 0, downloaded = 0, deceived = 0, detected = 0,
               vpn_up = 0;
   for (std::size_t i = 0; i < count; ++i) {
+    if (runs[i].failed) {
+      ++s.failed;
+      continue;  // default-constructed metrics would poison the aggregates
+    }
     const scenario::Metrics& m = runs[i].metrics;
     if (m.victim_captured) {
       ++captured;
@@ -49,6 +54,20 @@ VariantSummary summarize(const Variant& variant, const RunMetrics* runs,
       ++vpn_up;
       s.vpn_goodput_kbps.add(m.vpn_goodput_kbps);
       s.vpn_overhead_ratio.add(m.vpn_overhead_ratio);
+    }
+    // Robustness: aggregate over replicas whose tunnel ever existed (up at
+    // the end, or observed losing a session), so variants without a VPN
+    // phase report empty summaries rather than a wall of zeros.
+    if (m.vpn_established || m.vpn_tunnel_losses > 0) {
+      s.vpn_reconnects.add(static_cast<double>(m.vpn_reconnects));
+      s.vpn_downtime_s.add(m.vpn_downtime_s);
+      s.clear_packets.add(static_cast<double>(m.clear_packets));
+      if (m.vpn_recover_p95_s >= 0.0) {
+        s.time_to_recover_s.add(m.vpn_recover_p95_s);
+      }
+    }
+    if (m.faults_injected > 0) {
+      s.faults_injected.add(static_cast<double>(m.faults_injected));
     }
     s.events_fired.add(static_cast<double>(m.events_fired));
     s.sim_time_s.add(m.sim_time_s);
@@ -90,15 +109,24 @@ SweepReport ExperimentRunner::run() {
             config_.seed_base + static_cast<std::uint64_t>(i % per_variant);
         const auto replica_start = std::chrono::steady_clock::now();
 
-        std::unique_ptr<scenario::World> world = variant.make(seed);
-        world->configure(seed);
-        world->run_episode();
-
         RunMetrics run;
         run.scenario = config_.scenario;
         run.variant = variant.name;
         run.seed = seed;
-        run.metrics = world->collect_metrics();
+        // One faulty replica must not take down the other N-1: report it
+        // as failed (the JSON carries variant/seed/error) and keep going.
+        try {
+          std::unique_ptr<scenario::World> world = variant.make(seed);
+          world->configure(seed);
+          world->run_episode();
+          run.metrics = world->collect_metrics();
+        } catch (const std::exception& e) {
+          run.failed = true;
+          run.error = e.what();
+        } catch (...) {
+          run.failed = true;
+          run.error = "unknown exception";
+        }
         run.wall_ms = elapsed_ms(replica_start);
         return run;
       });
@@ -126,6 +154,7 @@ util::Json SweepReport::to_json() const {
     const VariantSummary& s = summaries[v];
     util::Json agg = util::Json::object();
     agg.set("runs", static_cast<std::uint64_t>(s.runs));
+    agg.set("failed", static_cast<std::uint64_t>(s.failed));
     agg.set("capture_rate", s.capture_rate);
     agg.set("time_to_capture_s", summary_stats_json(s.time_to_capture_s));
     agg.set("download_rate", s.download_rate);
@@ -135,6 +164,11 @@ util::Json SweepReport::to_json() const {
     agg.set("vpn_rate", s.vpn_rate);
     agg.set("vpn_goodput_kbps", summary_stats_json(s.vpn_goodput_kbps));
     agg.set("vpn_overhead_ratio", summary_stats_json(s.vpn_overhead_ratio));
+    agg.set("faults_injected", summary_stats_json(s.faults_injected));
+    agg.set("vpn_reconnects", summary_stats_json(s.vpn_reconnects));
+    agg.set("vpn_downtime_s", summary_stats_json(s.vpn_downtime_s));
+    agg.set("time_to_recover_s", summary_stats_json(s.time_to_recover_s));
+    agg.set("clear_packets", summary_stats_json(s.clear_packets));
     agg.set("events_fired", summary_stats_json(s.events_fired));
     agg.set("sim_time_s", summary_stats_json(s.sim_time_s));
 
@@ -151,16 +185,39 @@ util::Json SweepReport::to_json() const {
     variants.push_back(std::move(entry));
   }
   j.set("variants", std::move(variants));
+
+  // Failures surfaced at top level so operators (and CI) need not walk
+  // every replica record to find them.
+  util::Json failures = util::Json::array();
+  for (const RunMetrics& run : runs) {
+    if (!run.failed) continue;
+    util::Json f = util::Json::object();
+    f.set("variant", run.variant);
+    f.set("seed", run.seed);
+    f.set("error", run.error);
+    failures.push_back(std::move(f));
+  }
+  j.set("failures", std::move(failures));
   return j;
 }
 
+std::size_t SweepReport::failed_count() const {
+  std::size_t n = 0;
+  for (const RunMetrics& run : runs) {
+    if (run.failed) ++n;
+  }
+  return n;
+}
+
 std::string SweepReport::table() const {
-  util::Table t({"variant", "runs", "captured", "t_cap p50(s)", "deceived",
-                 "detected", "vpn", "goodput(kbps)", "events mean"});
+  util::Table t({"variant", "runs", "failed", "captured", "t_cap p50(s)",
+                 "deceived", "detected", "vpn", "goodput(kbps)", "reconn",
+                 "ttr p95(s)", "clear", "events mean"});
   for (const VariantSummary& s : summaries) {
     t.add_row({
         s.name,
         std::to_string(s.runs),
+        std::to_string(s.failed),
         util::fmt_percent(s.capture_rate),
         s.time_to_capture_s.count() > 0
             ? util::fmt_double(s.time_to_capture_s.percentile(0.5))
@@ -170,6 +227,15 @@ std::string SweepReport::table() const {
         util::fmt_percent(s.vpn_rate),
         s.vpn_goodput_kbps.count() > 0
             ? util::fmt_double(s.vpn_goodput_kbps.mean(), 1)
+            : "-",
+        s.vpn_reconnects.count() > 0
+            ? util::fmt_double(s.vpn_reconnects.mean(), 1)
+            : "-",
+        s.time_to_recover_s.count() > 0
+            ? util::fmt_double(s.time_to_recover_s.percentile(0.95))
+            : "-",
+        s.clear_packets.count() > 0
+            ? util::fmt_double(s.clear_packets.mean(), 0)
             : "-",
         util::fmt_double(s.events_fired.mean(), 0),
     });

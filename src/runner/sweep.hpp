@@ -49,6 +49,7 @@ struct SweepConfig {
 struct VariantSummary {
   std::string name;
   std::size_t runs = 0;
+  std::size_t failed = 0;  ///< replicas that threw; excluded from the rest
   double capture_rate = 0.0;
   util::Summary time_to_capture_s;
   double download_rate = 0.0;
@@ -58,6 +59,12 @@ struct VariantSummary {
   double vpn_rate = 0.0;
   util::Summary vpn_goodput_kbps;
   util::Summary vpn_overhead_ratio;
+  // Robustness under chaos (replicas that ran a tunnel).
+  util::Summary faults_injected;
+  util::Summary vpn_reconnects;
+  util::Summary vpn_downtime_s;
+  util::Summary time_to_recover_s;  ///< per-replica p95, gaps that healed
+  util::Summary clear_packets;
   util::Summary events_fired;
   util::Summary sim_time_s;
 };
@@ -73,6 +80,8 @@ struct SweepReport {
   [[nodiscard]] util::Json to_json() const;
   /// Fixed-width console table of the per-variant aggregates.
   [[nodiscard]] std::string table() const;
+  /// Replicas that threw instead of completing (drives CLI exit codes).
+  [[nodiscard]] std::size_t failed_count() const;
 };
 
 class ExperimentRunner {

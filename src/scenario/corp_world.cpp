@@ -76,6 +76,7 @@ detect::SeqNumMonitor& CorpWorld::enable_detection() {
 void CorpWorld::run_episode() {
   start();
   if (config_.enable_detection && !monitor_) enable_detection();
+  if (config_.inject_faults) install_fault_plan();
   run_for(config_.settle_time);
   if (config_.deploy_rogue) {
     deploy_rogue();
@@ -243,6 +244,69 @@ attack::RogueGateway& CorpWorld::deploy_rogue() {
   return *rogue_;
 }
 
+void CorpWorld::install_fault_plan() {
+  ROGUE_ASSERT_MSG(started_, "start() the world before installing faults");
+  if (injector_) return;
+  faults::PlanConfig cfg = config_.faults;
+  if (cfg.horizon == 0) {
+    // Default window: the episode body after settle, so faults land while
+    // the phases the metrics care about are running.
+    cfg.start = sim_.now() + config_.settle_time;
+    sim::Time horizon = cfg.start;
+    if (config_.deploy_rogue) horizon += config_.capture_window;
+    if (config_.use_vpn) horizon += config_.vpn_window;
+    if (config_.do_download) horizon += config_.download_window;
+    if (horizon <= cfg.start) horizon = cfg.start + sim::kSecond;
+    cfg.horizon = horizon;
+  }
+  util::Prng rng = sim_.derive_rng("faults.plan");
+  injector_ = std::make_unique<faults::Injector>(
+      sim_, static_cast<faults::FaultTarget&>(*this));
+  injector_->install(faults::Plan::generate(rng, cfg));
+
+  // Ambient victim traffic for the episode: a tiny periodic heartbeat that
+  // rides the tunnel while it is up and leaks onto the radio during a
+  // fail-open gap — the packets Metrics::clear_packets counts.
+  if (config_.chatter_period > 0) {
+    chatter_sock_ = victim_->udp_open(0);
+    sim_.every(config_.chatter_period, [this] {
+      static const util::Bytes kBeacon = {'h', 'b'};
+      if (chatter_sock_) chatter_sock_->send_to(addr_.web_server, 9, kBeacon);
+    });
+  }
+}
+
+void CorpWorld::fault_ap(bool down) {
+  if (down) legit_ap_->stop();
+  else legit_ap_->start();
+}
+
+void CorpWorld::fault_endpoint(bool down) {
+  if (down) endpoint_->stop();
+  else endpoint_->start();
+}
+
+void CorpWorld::fault_channel(double extra_loss) {
+  medium_.set_loss_override(extra_loss);
+}
+
+void CorpWorld::fault_link(bool down) {
+  if (net::NetIf* eth = vpn_host_->interface("eth0")) eth->set_admin_up(!down);
+}
+
+void CorpWorld::fault_deauth_storm(bool active) {
+  if (active) {
+    if (!chaos_deauth_) {
+      chaos_deauth_ = std::make_unique<attack::DeauthAttacker>(
+          sim_, medium_, config_.legit_channel, kLegitBssid, kVictimMac);
+      chaos_deauth_->radio().set_position({config_.victim_to_rogue_m, 1.0});
+    }
+    chaos_deauth_->start(config_.deauth_period);
+  } else if (chaos_deauth_) {
+    chaos_deauth_->stop();
+  }
+}
+
 attack::DeauthAttacker& CorpWorld::start_deauth_forcing(sim::Time period) {
   ROGUE_ASSERT_MSG(!deauth_, "deauth forcing already running");
   deauth_ = std::make_unique<attack::DeauthAttacker>(
@@ -259,11 +323,29 @@ void CorpWorld::connect_vpn(std::function<void(bool)> done) {
   cfg.endpoint_ip = addr_.vpn_endpoint;
   cfg.endpoint_port = addr_.vpn_port;
   cfg.transport = config_.vpn_transport;
+  cfg.auto_reconnect = config_.vpn_auto_reconnect;
+  cfg.fail_open = config_.vpn_fail_open;
   victim_tunnel_ = std::make_unique<vpn::ClientTunnel>(*victim_, cfg);
+  victim_tunnel_->set_session_handler([this](bool up) {
+    health_.on_session(sim_.now(), up);
+    if (up) {
+      vpn_ok_ = true;
+      if (!vpn_up_time_) vpn_up_time_ = sim_.now();
+    }
+  });
+  // Fail-open exposure meter: victim packets that leave on a physical
+  // interface (not tun0) toward anything but the endpoint itself, while an
+  // established tunnel is torn down, travelled in the clear.
+  victim_->set_tap([this](std::string_view point, const net::Ipv4Packet& packet,
+                          std::string_view ifname) {
+    if (point != "tx" || ifname == "tun0") return;
+    if (packet.dst == addr_.vpn_endpoint) return;
+    if (health_.gap_open()) ++health_.clear_packets;
+  });
   vpn_attempted_ = true;
   victim_tunnel_->start([this, done = std::move(done)](bool ok) {
     vpn_ok_ = ok;
-    if (ok) vpn_up_time_ = sim_.now();
+    if (ok && !vpn_up_time_) vpn_up_time_ = sim_.now();
     if (done) done(ok);
   });
 }
@@ -325,8 +407,18 @@ Metrics CorpWorld::collect_metrics() const {
     }
   }
 
+  if (injector_) m.faults_injected = injector_->injected();
+
   if (victim_tunnel_) {
     m.vpn_established = vpn_ok_ && victim_tunnel_->established();
+    m.vpn_tunnel_losses = health_.losses();
+    m.vpn_reconnects = health_.reconnects();
+    m.vpn_downtime_s = health_.downtime_s(sim_.now());
+    if (health_.recover().count() > 0) {
+      m.vpn_recover_p50_s = health_.recover().percentile(0.50);
+      m.vpn_recover_p95_s = health_.recover().percentile(0.95);
+    }
+    m.clear_packets = health_.clear_packets;
     const vpn::ClientCounters& c = victim_tunnel_->counters();
     m.vpn_records_out = c.records_out;
     m.vpn_records_in = c.records_in;

@@ -28,6 +28,7 @@
 #include "attack/sniffer.hpp"
 #include "detect/seqnum.hpp"
 #include "dot11/ap.hpp"
+#include "faults/fault.hpp"
 #include "dot11/sta.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
@@ -96,6 +97,23 @@ struct CorpConfig {
   sim::Time vpn_window = 10 * sim::kSecond;
   sim::Time download_window = 60 * sim::kSecond;
   sim::Time deauth_period = 100 * sim::kMillisecond;
+
+  // Chaos (fault injection) episode knobs.
+  /// Generate a seed-derived faults::Plan over the episode windows and
+  /// inject it while the episode runs.
+  bool inject_faults = false;
+  /// Plan shape; horizon == 0 means "derive [settle, episode end) from the
+  /// phase windows above".
+  faults::PlanConfig faults;
+  /// Self-healing VPN client (keepalive/DPD + reconnect with backoff).
+  bool vpn_auto_reconnect = false;
+  /// Tunnel gap policy: fail open (restore the raw default route — exposed
+  /// but connected, measured by Metrics::clear_packets) vs fail closed.
+  bool vpn_fail_open = true;
+  /// Background victim heartbeat during chaos episodes (0 disables). A
+  /// stalled download transmits nothing, so without ambient traffic the
+  /// fail-open exposure meter would read zero by construction.
+  sim::Time chatter_period = 500 * sim::kMillisecond;
 };
 
 /// Well-known addresses inside the world.
@@ -110,7 +128,7 @@ struct CorpAddresses {
   std::uint16_t vpn_port = 7000;
 };
 
-class CorpWorld final : public World {
+class CorpWorld final : public World, private faults::FaultTarget {
  public:
   explicit CorpWorld(CorpConfig config = {});
 
@@ -153,6 +171,14 @@ class CorpWorld final : public World {
   void connect_vpn(std::function<void(bool ok)> done);
   [[nodiscard]] vpn::ClientTunnel* victim_tunnel() { return victim_tunnel_.get(); }
 
+  /// Chaos: generate the seed-derived fault plan over the episode windows
+  /// and schedule it. Called by run_episode() when inject_faults is set.
+  void install_fault_plan();
+  [[nodiscard]] const faults::Injector* fault_injector() const {
+    return injector_.get();
+  }
+  [[nodiscard]] const TunnelHealth& tunnel_health() const { return health_; }
+
   /// §4.1 workload: victim fetches the download page, follows the link,
   /// verifies the MD5SUM.
   void download(std::function<void(const apps::DownloadOutcome&)> done);
@@ -188,6 +214,13 @@ class CorpWorld final : public World {
   void build_wired();
   void build_wireless();
 
+  // faults::FaultTarget — how chaos lands on this world's components.
+  void fault_ap(bool down) override;
+  void fault_endpoint(bool down) override;
+  void fault_channel(double extra_loss) override;
+  void fault_link(bool down) override;
+  void fault_deauth_storm(bool active) override;
+
   CorpConfig config_;
   CorpAddresses addr_;
   sim::Simulator sim_;
@@ -215,6 +248,10 @@ class CorpWorld final : public World {
   std::unique_ptr<attack::RogueGateway> rogue_;
   std::unique_ptr<attack::DeauthAttacker> deauth_;
   std::unique_ptr<detect::SeqNumMonitor> monitor_;
+  std::unique_ptr<faults::Injector> injector_;
+  std::unique_ptr<attack::DeauthAttacker> chaos_deauth_;
+  std::shared_ptr<net::UdpSocket> chatter_sock_;
+  TunnelHealth health_;
 
   bool started_ = false;
 

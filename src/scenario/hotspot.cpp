@@ -127,6 +127,65 @@ void HotspotWorld::start() {
   client_sta_->start();
 }
 
+void HotspotWorld::install_fault_plan() {
+  ROGUE_ASSERT_MSG(started_, "start() the world before installing faults");
+  if (injector_) return;
+  faults::PlanConfig cfg = config_.faults;
+  if (cfg.horizon == 0) {
+    cfg.start = sim_.now() + config_.settle_time;
+    sim::Time horizon = cfg.start;
+    if (config_.use_vpn) horizon += config_.vpn_window;
+    if (config_.do_download) horizon += config_.download_window;
+    if (horizon <= cfg.start) horizon = cfg.start + sim::kSecond;
+    cfg.horizon = horizon;
+  }
+  util::Prng rng = sim_.derive_rng("faults.plan");
+  injector_ = std::make_unique<faults::Injector>(
+      sim_, static_cast<faults::FaultTarget&>(*this));
+  injector_->install(faults::Plan::generate(rng, cfg));
+
+  // Ambient client heartbeat (see CorpWorld::install_fault_plan): gives
+  // the fail-open exposure meter traffic to count during tunnel gaps.
+  if (config_.chatter_period > 0) {
+    chatter_sock_ = client_->udp_open(0);
+    sim_.every(config_.chatter_period, [this] {
+      static const util::Bytes kBeacon = {'h', 'b'};
+      if (chatter_sock_) chatter_sock_->send_to(addr_.web_server, 9, kBeacon);
+    });
+  }
+}
+
+void HotspotWorld::fault_ap(bool down) {
+  if (down) ap_->stop();
+  else ap_->start();
+}
+
+void HotspotWorld::fault_endpoint(bool down) {
+  if (down) endpoint_->stop();
+  else endpoint_->start();
+}
+
+void HotspotWorld::fault_channel(double extra_loss) {
+  medium_.set_loss_override(extra_loss);
+}
+
+void HotspotWorld::fault_link(bool down) {
+  if (net::NetIf* eth = home_->interface("eth0")) eth->set_admin_up(!down);
+}
+
+void HotspotWorld::fault_deauth_storm(bool active) {
+  if (active) {
+    if (!chaos_deauth_) {
+      chaos_deauth_ = std::make_unique<attack::DeauthAttacker>(
+          sim_, medium_, /*channel=*/6, kHotspotBssid, kClientMac);
+      chaos_deauth_->radio().set_position({2.0, 1.0});
+    }
+    chaos_deauth_->start(config_.deauth_period);
+  } else if (chaos_deauth_) {
+    chaos_deauth_->stop();
+  }
+}
+
 void HotspotWorld::connect_vpn(std::function<void(bool)> done) {
   ROGUE_ASSERT_MSG(!tunnel_, "VPN already connected");
   vpn::ClientConfig cfg;
@@ -134,10 +193,26 @@ void HotspotWorld::connect_vpn(std::function<void(bool)> done) {
   cfg.endpoint_ip = addr_.home_vpn;
   cfg.endpoint_port = addr_.vpn_port;
   cfg.transport = config_.vpn_transport;
+  cfg.auto_reconnect = config_.vpn_auto_reconnect;
+  cfg.fail_open = config_.vpn_fail_open;
   tunnel_ = std::make_unique<vpn::ClientTunnel>(*client_, cfg);
+  tunnel_->set_session_handler([this](bool up) {
+    health_.on_session(sim_.now(), up);
+    if (up) {
+      vpn_ok_ = true;
+      if (!vpn_up_time_) vpn_up_time_ = sim_.now();
+    }
+  });
+  // Fail-open exposure meter (see CorpWorld::connect_vpn).
+  client_->set_tap([this](std::string_view point, const net::Ipv4Packet& packet,
+                          std::string_view ifname) {
+    if (point != "tx" || ifname == "tun0") return;
+    if (packet.dst == addr_.home_vpn) return;
+    if (health_.gap_open()) ++health_.clear_packets;
+  });
   tunnel_->start([this, done = std::move(done)](bool ok) {
     vpn_ok_ = ok;
-    if (ok) vpn_up_time_ = sim_.now();
+    if (ok && !vpn_up_time_) vpn_up_time_ = sim_.now();
     if (done) done(ok);
   });
 }
@@ -152,6 +227,7 @@ void HotspotWorld::download(std::function<void(const apps::DownloadOutcome&)> do
 
 void HotspotWorld::run_episode() {
   start();
+  if (config_.inject_faults) install_fault_plan();
   run_for(config_.settle_time);
   if (config_.use_vpn) {
     connect_vpn([](bool) {});
@@ -188,8 +264,18 @@ Metrics HotspotWorld::collect_metrics() const {
     m.victim_deceived = m.trojaned && m.md5_verified;
   }
 
+  if (injector_) m.faults_injected = injector_->injected();
+
   if (tunnel_) {
     m.vpn_established = vpn_ok_ && tunnel_->established();
+    m.vpn_tunnel_losses = health_.losses();
+    m.vpn_reconnects = health_.reconnects();
+    m.vpn_downtime_s = health_.downtime_s(sim_.now());
+    if (health_.recover().count() > 0) {
+      m.vpn_recover_p50_s = health_.recover().percentile(0.50);
+      m.vpn_recover_p95_s = health_.recover().percentile(0.95);
+    }
+    m.clear_packets = health_.clear_packets;
     const vpn::ClientCounters& c = tunnel_->counters();
     m.vpn_records_out = c.records_out;
     m.vpn_records_in = c.records_in;

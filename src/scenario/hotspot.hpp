@@ -12,7 +12,9 @@
 #include "apps/download.hpp"
 #include "apps/http.hpp"
 #include "apps/netsed.hpp"
+#include "attack/deauth.hpp"
 #include "dot11/ap.hpp"
+#include "faults/fault.hpp"
 #include "dot11/sta.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
@@ -40,6 +42,14 @@ struct HotspotConfig {
   sim::Time settle_time = 3 * sim::kSecond;
   sim::Time vpn_window = 10 * sim::kSecond;
   sim::Time download_window = 60 * sim::kSecond;
+
+  // Chaos (fault injection) episode knobs — see CorpConfig for semantics.
+  bool inject_faults = false;
+  faults::PlanConfig faults;
+  bool vpn_auto_reconnect = false;
+  bool vpn_fail_open = true;
+  sim::Time deauth_period = 100 * sim::kMillisecond;
+  sim::Time chatter_period = 500 * sim::kMillisecond;
 };
 
 struct HotspotAddresses {
@@ -51,7 +61,7 @@ struct HotspotAddresses {
   std::uint16_t vpn_port = 7000;
 };
 
-class HotspotWorld final : public World {
+class HotspotWorld final : public World, private faults::FaultTarget {
  public:
   explicit HotspotWorld(HotspotConfig config = {});
 
@@ -68,6 +78,14 @@ class HotspotWorld final : public World {
   [[nodiscard]] const HotspotConfig& config() const { return config_; }
 
   void start() override;
+
+  /// Chaos: generate the seed-derived fault plan over the episode windows
+  /// and schedule it. Called by run_episode() when inject_faults is set.
+  void install_fault_plan();
+  [[nodiscard]] const faults::Injector* fault_injector() const {
+    return injector_.get();
+  }
+  [[nodiscard]] const TunnelHealth& tunnel_health() const { return health_; }
 
   /// Client tunnels everything home before doing anything else.
   void connect_vpn(std::function<void(bool ok)> done);
@@ -87,6 +105,13 @@ class HotspotWorld final : public World {
   [[nodiscard]] std::string trojan_md5() const;
 
  private:
+  // faults::FaultTarget — how chaos lands on this world's components.
+  void fault_ap(bool down) override;
+  void fault_endpoint(bool down) override;
+  void fault_channel(double extra_loss) override;
+  void fault_link(bool down) override;
+  void fault_deauth_storm(bool active) override;
+
   HotspotConfig config_;
   HotspotAddresses addr_;
   sim::Simulator sim_;
@@ -110,6 +135,11 @@ class HotspotWorld final : public World {
   std::unique_ptr<dot11::Station> client_sta_;
   std::unique_ptr<net::Host> client_;
   std::unique_ptr<vpn::ClientTunnel> tunnel_;
+
+  std::unique_ptr<faults::Injector> injector_;
+  std::unique_ptr<attack::DeauthAttacker> chaos_deauth_;
+  std::shared_ptr<net::UdpSocket> chatter_sock_;
+  TunnelHealth health_;
 
   bool started_ = false;
 

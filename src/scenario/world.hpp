@@ -16,6 +16,7 @@
 
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "util/stats.hpp"
 
 namespace rogue::scenario {
 
@@ -45,11 +46,68 @@ struct Metrics {
   std::uint64_t vpn_records_out = 0;
   std::uint64_t vpn_records_in = 0;
 
+  // Robustness under injected faults (chaos episodes).
+  std::uint64_t faults_injected = 0;   ///< fault windows whose begin edge fired
+  std::uint64_t vpn_tunnel_losses = 0; ///< sessions torn down (DPD/transport)
+  std::uint64_t vpn_reconnects = 0;    ///< sessions re-established after loss
+  double vpn_downtime_s = 0.0;         ///< tunnel-down time after first up
+  double vpn_recover_p50_s = -1.0;     ///< time-to-recover percentiles across
+  double vpn_recover_p95_s = -1.0;     ///< this replica's gaps; -1 = no gaps
+  /// Packets the client sent outside the tunnel while it was down — the
+  /// fail-open exposure the defended path is supposed to prevent.
+  std::uint64_t clear_packets = 0;
+
   // Event-kernel counters (engineering health of the replica).
   std::uint64_t events_fired = 0;
   std::uint64_t trace_records = 0;
   std::uint64_t trace_warnings = 0;  ///< records at Severity >= kWarn
   double sim_time_s = 0.0;
+};
+
+/// Folds a tunnel's up/down transitions (vpn::ClientTunnel's session
+/// handler) into the robustness metrics: downtime, per-gap recovery
+/// times, and — via the owning world's packet tap — in-the-clear packets.
+class TunnelHealth {
+ public:
+  void on_session(sim::Time now, bool up) {
+    if (up) {
+      if (down_) {
+        const sim::Time gap = now - down_since_;
+        downtime_us_ += gap;
+        recover_s_.add(static_cast<double>(gap) / 1e6);
+        ++reconnects_;
+        down_ = false;
+      }
+      ever_up_ = true;
+    } else if (ever_up_ && !down_) {
+      down_ = true;
+      down_since_ = now;
+      ++losses_;
+    }
+  }
+
+  /// True while an established tunnel is currently torn down.
+  [[nodiscard]] bool gap_open() const { return ever_up_ && down_; }
+  [[nodiscard]] std::uint64_t losses() const { return losses_; }
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+  [[nodiscard]] double downtime_s(sim::Time now) const {
+    sim::Time total = downtime_us_;
+    if (down_) total += now - down_since_;
+    return static_cast<double>(total) / 1e6;
+  }
+  /// Recovery-time distribution over closed gaps.
+  [[nodiscard]] const util::Summary& recover() const { return recover_s_; }
+
+  std::uint64_t clear_packets = 0;  ///< maintained by the world's tap
+
+ private:
+  bool ever_up_ = false;
+  bool down_ = false;
+  sim::Time down_since_ = 0;
+  sim::Time downtime_us_ = 0;
+  std::uint64_t losses_ = 0;
+  std::uint64_t reconnects_ = 0;
+  util::Summary recover_s_;
 };
 
 class World {

@@ -1,32 +1,61 @@
 #include "vpn/client.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
 namespace rogue::vpn {
 
 ClientTunnel::ClientTunnel(net::Host& host, ClientConfig config)
-    : host_(host), config_(std::move(config)) {}
+    : host_(host),
+      config_(std::move(config)),
+      reconnect_rng_(
+          host.simulator().derive_rng("vpn.reconnect." + host.name())) {}
 
 ClientTunnel::~ClientTunnel() {
   host_.simulator().cancel(timeout_timer_);
   host_.simulator().cancel(retransmit_timer_);
+  host_.simulator().cancel(keepalive_timer_);
+  host_.simulator().cancel(reconnect_timer_);
 }
 
 void ClientTunnel::start(EstablishedHandler done) {
   done_ = std::move(done);
+  done_reported_ = false;
+  backoff_ = config_.reconnect_backoff_min;
+  begin_attempt();
+}
+
+void ClientTunnel::begin_attempt() {
+  ++counters_.connect_attempts;
+  failed_ = false;
+  established_ = false;
+  server_authenticated_ = false;
+  last_auth_ = {};
+  tx_seq_ = 0;
+  last_rx_seq_ = 0;
+  host_.simulator().cancel(timeout_timer_);
+  host_.simulator().cancel(retransmit_timer_);
+  teardown_transport();
 
   // Pin the endpoint itself to the underlying path so tunnel transport
-  // packets do not recurse into the tunnel once the default moves.
+  // packets do not recurse into the tunnel once the default moves. The
+  // pin survives session loss: reconnect handshakes must reach the
+  // endpoint even while fail-closed blackholes everything else.
   const auto underlying = host_.routes().lookup(config_.endpoint_ip);
   if (!underlying) {
-    fail();
+    attempt_failed();
     return;
   }
-  host_.routes().add(net::Route{config_.endpoint_ip, net::Ipv4Addr(0xffffffffu),
-                                underlying->gateway, underlying->ifname, 0});
+  if (!pinned_route_ && underlying->mask.value() != 0xffffffffu) {
+    host_.routes().add(net::Route{config_.endpoint_ip,
+                                  net::Ipv4Addr(0xffffffffu),
+                                  underlying->gateway, underlying->ifname, 0});
+    pinned_route_ = true;
+  }
 
-  // ClientHello.
+  // ClientHello (fresh DH keypair + random per attempt).
   const auto& group = crypto::DhGroup::modp1024();
   dh_ = crypto::DhKeyPair::generate(group, host_.simulator().rng());
   util::Bytes client_random(kRandomLen);
@@ -41,13 +70,13 @@ void ClientTunnel::start(EstablishedHandler done) {
   hello.payload = client_hello_;
 
   timeout_timer_ = host_.simulator().after(config_.handshake_timeout, [this] {
-    if (!established_) fail();
+    if (!established_) attempt_failed();
   });
 
   if (config_.transport == Transport::kTcp) {
     tcp_ = host_.tcp_connect(config_.endpoint_ip, config_.endpoint_port);
     if (!tcp_) {
-      fail();
+      attempt_failed();
       return;
     }
     reader_ = std::make_shared<MessageReader>();
@@ -58,12 +87,17 @@ void ClientTunnel::start(EstablishedHandler done) {
       while (const auto msg = reader->next()) on_message(*msg);
     });
     tcp_->set_on_close([this] {
-      if (!established_) fail();
+      if (established_) {
+        ++counters_.dead_peer_events;
+        session_lost();
+      } else {
+        attempt_failed();
+      }
     });
   } else {
     udp_ = host_.udp_open(0);
     if (!udp_) {
-      fail();
+      attempt_failed();
       return;
     }
     udp_->set_rx([this](net::Ipv4Addr, std::uint16_t, util::ByteView data) {
@@ -78,6 +112,28 @@ void ClientTunnel::start(EstablishedHandler done) {
   }
 }
 
+void ClientTunnel::teardown_transport() {
+  // This runs from inside the transport's own rx/close callbacks (a bad
+  // auth tag is detected mid on_data). Destroying those std::functions —
+  // or the socket that owns them — while one is executing is
+  // use-after-free, so detach and abort on the next simulator delta. The
+  // handlers that could fire in between are guarded by failed_ /
+  // established_, which are already set by the time we get here.
+  if (tcp_ || udp_) {
+    host_.simulator().after(0, [tcp = std::move(tcp_), udp = std::move(udp_)] {
+      if (tcp) {
+        tcp->set_on_connect(nullptr);
+        tcp->set_on_data(nullptr);
+        tcp->set_on_close(nullptr);
+        tcp->abort();
+      }
+    });
+    tcp_.reset();
+    udp_.reset();
+  }
+  reader_.reset();
+}
+
 void ClientTunnel::send_message(const Message& msg) {
   if (config_.transport == Transport::kTcp) {
     if (tcp_) tcp_->send(msg.frame());
@@ -86,13 +142,54 @@ void ClientTunnel::send_message(const Message& msg) {
   }
 }
 
-void ClientTunnel::fail() {
+void ClientTunnel::report_initial(bool ok) {
+  if (done_reported_) return;
+  done_reported_ = true;
+  if (done_) done_(ok);
+}
+
+void ClientTunnel::attempt_failed() {
   if (failed_ || established_) return;
   failed_ = true;
   host_.simulator().cancel(timeout_timer_);
   host_.simulator().cancel(retransmit_timer_);
-  if (tcp_) tcp_->abort();
-  if (done_) done_(false);
+  teardown_transport();
+  // Roll back the pinned /32 so a failed start() leaves the routing table
+  // exactly as it found it (the pin is only load-bearing while a session
+  // exists or a reconnect is pending).
+  if (pinned_route_ && !config_.auto_reconnect) {
+    host_.routes().remove_host(config_.endpoint_ip);
+    pinned_route_ = false;
+  }
+  report_initial(false);
+  if (config_.auto_reconnect) schedule_reconnect();
+}
+
+void ClientTunnel::session_lost() {
+  if (!established_) return;
+  established_ = false;
+  server_authenticated_ = false;
+  host_.simulator().cancel(keepalive_timer_);
+  teardown_transport();
+  if (tun_ != nullptr) tun_->set_up(false);
+  if (config_.route_all_traffic && config_.fail_open) {
+    // Fail open: put the pre-VPN default back so the host keeps working —
+    // unprotected. The exposure window is exactly what chaos runs measure.
+    host_.routes().remove_by_interface("tun0");
+    if (saved_default_) host_.routes().add(*saved_default_);
+  }
+  if (session_handler_) session_handler_(false);
+  if (config_.auto_reconnect) schedule_reconnect();
+}
+
+void ClientTunnel::schedule_reconnect() {
+  if (host_.simulator().scheduled(reconnect_timer_)) return;
+  const sim::Time base = backoff_;
+  const sim::Time jitter =
+      base >= 2 ? reconnect_rng_.uniform_u64(0, base / 2) : 0;
+  backoff_ = std::min(base * 2, config_.reconnect_backoff_max);
+  reconnect_timer_ =
+      host_.simulator().after(base + jitter, [this] { begin_attempt(); });
 }
 
 void ClientTunnel::on_message(const Message& msg) {
@@ -100,6 +197,7 @@ void ClientTunnel::on_message(const Message& msg) {
     case MsgType::kServerHello: handle_server_hello(msg); return;
     case MsgType::kAssign: handle_assign(msg); return;
     case MsgType::kData: handle_data(msg); return;
+    case MsgType::kKeepaliveAck: handle_keepalive_ack(msg); return;
     default: return;
   }
 }
@@ -126,14 +224,14 @@ void ClientTunnel::handle_server_hello(const Message& msg) {
   const crypto::Sha256Digest expected =
       server_auth_tag(config_.psk, client_hello_, server_public);
   if (!util::equal_ct(tag, util::ByteView(expected.data(), expected.size()))) {
-    fail();
+    attempt_failed();
     return;
   }
   server_authenticated_ = true;
 
   const util::Bytes shared = dh_->shared_secret_bytes(server_public);
   if (shared.empty()) {
-    fail();
+    attempt_failed();
     return;
   }
   const util::ByteView client_random = util::ByteView(client_hello_).subspan(0, kRandomLen);
@@ -156,33 +254,86 @@ void ClientTunnel::handle_assign(const Message& msg) {
                              (static_cast<std::uint32_t>(msg.payload[2]) << 8) |
                              msg.payload[3]);
   established_ = true;
+  ++counters_.sessions_established;
   host_.simulator().cancel(timeout_timer_);
   host_.simulator().cancel(retransmit_timer_);
   bring_up_tun();
-  if (done_) done_(true);
+  backoff_ = config_.reconnect_backoff_min;
+  last_peer_activity_ = host_.simulator().now();
+  if (config_.auto_reconnect && config_.keepalive_interval > 0) {
+    keepalive_timer_ = host_.simulator().every(config_.keepalive_interval,
+                                               [this] { on_keepalive_tick(); });
+  }
+  report_initial(true);
+  if (session_handler_) session_handler_(true);
 }
 
 void ClientTunnel::bring_up_tun() {
-  auto tun = std::make_unique<TunIf>("tun0", [this](util::ByteView pkt) {
-    Message data;
-    data.type = MsgType::kData;
-    data.payload = seal_record(keys_.client_to_server, ++tx_seq_, pkt);
-    counters_.bytes_sealed += pkt.size();
-    ++counters_.records_out;
-    send_message(data);
-    return true;
-  });
-  tun_ = tun.get();
+  if (tun_ == nullptr) {
+    auto tun = std::make_unique<TunIf>("tun0", [this](util::ByteView pkt) {
+      Message data;
+      data.type = MsgType::kData;
+      data.payload = seal_record(keys_.client_to_server, ++tx_seq_, pkt);
+      counters_.bytes_sealed += pkt.size();
+      ++counters_.records_out;
+      send_message(data);
+      return true;
+    });
+    tun_ = tun.get();
+    host_.attach(std::move(tun));
+  }
   tun_->set_up(true);
-  host_.attach(std::move(tun));
-  host_.interface("tun0")->configure_ip(tunnel_ip_, net::netmask(32));
+  // Reconnects usually get the previous tunnel address back (the endpoint
+  // reuses released IPs), but a different one is possible — reconfigure.
+  tun_->configure_ip(tunnel_ip_, net::netmask(32));
 
   if (config_.route_all_traffic) {
     // The paper's requirement 4: the VPN "must handle all client traffic".
+    if (!saved_default_) {
+      for (const net::Route& route : host_.routes().entries()) {
+        if (route.mask == net::Ipv4Addr::any() && route.ifname != "tun0") {
+          saved_default_ = route;
+          break;
+        }
+      }
+    }
     host_.routes().remove_default();
     host_.routes().add(net::Route{net::Ipv4Addr::any(), net::Ipv4Addr::any(),
                                   net::Ipv4Addr::any(), "tun0", 50});
   }
+}
+
+void ClientTunnel::on_keepalive_tick() {
+  if (!established_) return;
+  const sim::Time now = host_.simulator().now();
+  if (now - last_peer_activity_ >= config_.dead_peer_timeout) {
+    ++counters_.dead_peer_events;
+    session_lost();
+    return;
+  }
+  static const util::Bytes kProbeBody = {'k', 'a'};
+  Message probe;
+  probe.type = MsgType::kKeepalive;
+  probe.payload = seal_record(keys_.client_to_server, ++tx_seq_, kProbeBody);
+  ++counters_.keepalives_sent;
+  send_message(probe);
+}
+
+void ClientTunnel::handle_keepalive_ack(const Message& msg) {
+  if (!established_) return;
+  std::uint64_t seq = 0;
+  const auto inner = open_record(keys_.server_to_client, msg.payload, &seq);
+  if (!inner) {
+    ++counters_.records_bad;
+    return;
+  }
+  if (seq <= last_rx_seq_ && last_rx_seq_ != 0) {
+    ++counters_.records_bad;
+    return;
+  }
+  last_rx_seq_ = seq;
+  ++counters_.keepalive_acks;
+  last_peer_activity_ = host_.simulator().now();
 }
 
 void ClientTunnel::handle_data(const Message& msg) {
@@ -199,6 +350,7 @@ void ClientTunnel::handle_data(const Message& msg) {
     return;
   }
   last_rx_seq_ = seq;
+  last_peer_activity_ = host_.simulator().now();
   counters_.bytes_decrypted += inner->size();
   tun_->inject(*inner);
 }

@@ -3,6 +3,14 @@
 // the tunnel so that ALL traffic (requirement 4, §5.2) traverses it. Only
 // the pinned /32 route to the endpoint itself still uses the underlying
 // (possibly hostile) wireless path.
+//
+// Self-healing (the robustness the paper's §5.3 admits is missing): with
+// auto_reconnect enabled the client probes the endpoint with sealed
+// keepalives, declares the session dead after dead_peer_timeout of
+// silence, tears the tunnel down, and re-handshakes with capped
+// exponential backoff + jitter. While the tunnel is down, fail_open
+// restores the original default route (connectivity, but *in the clear*);
+// fail-closed leaves traffic blackholed until the tunnel returns.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +19,7 @@
 #include <optional>
 
 #include "net/host.hpp"
+#include "util/prng.hpp"
 #include "vpn/endpoint.hpp"  // Transport
 #include "vpn/protocol.hpp"
 #include "vpn/virtual_if.hpp"
@@ -26,6 +35,19 @@ struct ClientConfig {
   sim::Time udp_retransmit = 500 * sim::kMillisecond;
   /// Route every non-endpoint packet through the tunnel once established.
   bool route_all_traffic = true;
+
+  // ---- Self-healing knobs (off by default: legacy one-shot behaviour) ----
+  /// Re-handshake after handshake failure or dead peer.
+  bool auto_reconnect = false;
+  /// Sealed liveness probe period while established (auto_reconnect only).
+  sim::Time keepalive_interval = 1 * sim::kSecond;
+  /// Silence from the endpoint before the session is declared dead.
+  sim::Time dead_peer_timeout = 3500 * sim::kMillisecond;
+  sim::Time reconnect_backoff_min = 250 * sim::kMillisecond;
+  sim::Time reconnect_backoff_max = 8 * sim::kSecond;
+  /// Tunnel down: true restores the saved default route (unprotected
+  /// connectivity — exposure is measurable); false blackholes instead.
+  bool fail_open = true;
 };
 
 struct ClientCounters {
@@ -34,13 +56,21 @@ struct ClientCounters {
   std::uint64_t records_bad = 0;
   std::uint64_t bytes_sealed = 0;
   std::uint64_t bytes_decrypted = 0;
+  std::uint64_t keepalives_sent = 0;
+  std::uint64_t keepalive_acks = 0;
+  std::uint64_t dead_peer_events = 0;     ///< sessions torn down by DPD
+  std::uint64_t connect_attempts = 0;     ///< handshakes started (incl. first)
+  std::uint64_t sessions_established = 0; ///< successful handshakes
 };
 
 class ClientTunnel {
  public:
-  /// done(true) once the tunnel is up (routes installed); done(false) on
-  /// endpoint authentication failure or timeout.
+  /// done(true) once the tunnel is first up (routes installed); done(false)
+  /// when the *initial* establishment fails (auth failure or timeout).
+  /// Fires exactly once; later reconnect outcomes go to the session handler.
   using EstablishedHandler = std::function<void(bool ok)>;
+  /// up=true on every (re-)establishment, up=false on every session loss.
+  using SessionHandler = std::function<void(bool up)>;
 
   ClientTunnel(net::Host& host, ClientConfig config);
   ~ClientTunnel();
@@ -50,12 +80,23 @@ class ClientTunnel {
 
   void start(EstablishedHandler done);
 
+  /// Observe tunnel up/down transitions (robustness metrics).
+  void set_session_handler(SessionHandler handler) {
+    session_handler_ = std::move(handler);
+  }
+
   [[nodiscard]] bool established() const { return established_; }
   /// True if the peer proved knowledge of the PSK (it is the real
   /// endpoint, not a rogue terminating our VPN).
   [[nodiscard]] bool server_authenticated() const { return server_authenticated_; }
   [[nodiscard]] net::Ipv4Addr tunnel_ip() const { return tunnel_ip_; }
   [[nodiscard]] const ClientCounters& counters() const { return counters_; }
+  /// Sessions re-established after a loss (0 for an unbroken tunnel).
+  [[nodiscard]] std::uint64_t reconnects() const {
+    return counters_.sessions_established > 0
+               ? counters_.sessions_established - 1
+               : 0;
+  }
   /// Carrier TCP statistics when transport == kTcp (the "unnecessary
   /// retransmission" §5.3 warns about); nullptr for UDP transport.
   [[nodiscard]] const net::TcpStats* tcp_transport_stats() const {
@@ -63,17 +104,26 @@ class ClientTunnel {
   }
 
  private:
+  void begin_attempt();
+  void attempt_failed();
+  void session_lost();
+  void schedule_reconnect();
+  void teardown_transport();
+  void report_initial(bool ok);
   void send_message(const Message& msg);
   void on_message(const Message& msg);
   void handle_server_hello(const Message& msg);
   void handle_assign(const Message& msg);
   void handle_data(const Message& msg);
+  void handle_keepalive_ack(const Message& msg);
+  void on_keepalive_tick();
   void bring_up_tun();
-  void fail();
 
   net::Host& host_;
   ClientConfig config_;
   EstablishedHandler done_;
+  SessionHandler session_handler_;
+  bool done_reported_ = false;
 
   net::TcpConnectionPtr tcp_;
   std::shared_ptr<net::UdpSocket> udp_;
@@ -91,8 +141,15 @@ class ClientTunnel {
   std::uint64_t last_rx_seq_ = 0;
 
   TunIf* tun_ = nullptr;  // owned by host_
+  bool pinned_route_ = false;  ///< our /32 endpoint pin is installed
+  std::optional<net::Route> saved_default_;  ///< pre-VPN default route
+  sim::Time last_peer_activity_ = 0;
+  sim::Time backoff_ = 0;
+  util::Prng reconnect_rng_;  ///< jitter stream (derive_rng, never wall clock)
   sim::TimerHandle timeout_timer_;
   sim::TimerHandle retransmit_timer_;
+  sim::TimerHandle keepalive_timer_;
+  sim::TimerHandle reconnect_timer_;
   ClientCounters counters_;
 };
 

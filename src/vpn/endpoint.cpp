@@ -9,31 +9,39 @@ Endpoint::Endpoint(net::Host& host, EndpointConfig config)
     : host_(host), config_(std::move(config)) {}
 
 void Endpoint::start() {
-  // tun device: return traffic for the tunnel network lands here.
-  auto tun = std::make_unique<TunIf>(
-      "vpn-tun", [this](util::ByteView pkt) { return tun_transmit(pkt); });
-  tun_ = tun.get();
-  tun_->set_up(true);
-  host_.attach(std::move(tun));
-  // The tun itself holds the network's .1 address.
-  const net::Ipv4Addr tun_ip(config_.tunnel_network.value() | 1u);
-  host_.interface("vpn-tun")->configure_ip(tun_ip, net::netmask(config_.tunnel_prefix));
-  host_.routes().add(net::Route{config_.tunnel_network,
-                                net::netmask(config_.tunnel_prefix),
-                                net::Ipv4Addr::any(), "vpn-tun", 0});
-  host_.set_ip_forward(true);
+  if (running_) return;
+  running_ = true;
+  ++epoch_;
 
-  if (config_.snat_to_wire) {
-    const net::NetIf* egress = host_.interface(config_.egress_ifname);
-    ROGUE_ASSERT_MSG(egress != nullptr, "VPN endpoint: egress interface missing");
-    net::Rule snat;
-    snat.match.src = config_.tunnel_network;
-    snat.match.src_mask = net::netmask(config_.tunnel_prefix);
-    snat.match.out_iface = config_.egress_ifname;
-    snat.target = net::RuleTarget::kSnat;
-    snat.nat_ip = egress->ip();
-    host_.netfilter().append(net::Hook::kPostrouting, snat);
+  if (!plumbed_) {
+    plumbed_ = true;
+    // tun device: return traffic for the tunnel network lands here.
+    auto tun = std::make_unique<TunIf>(
+        "vpn-tun", [this](util::ByteView pkt) { return tun_transmit(pkt); });
+    tun_ = tun.get();
+    host_.attach(std::move(tun));
+    // The tun itself holds the network's .1 address.
+    const net::Ipv4Addr tun_ip(config_.tunnel_network.value() | 1u);
+    host_.interface("vpn-tun")->configure_ip(tun_ip,
+                                             net::netmask(config_.tunnel_prefix));
+    host_.routes().add(net::Route{config_.tunnel_network,
+                                  net::netmask(config_.tunnel_prefix),
+                                  net::Ipv4Addr::any(), "vpn-tun", 0});
+    host_.set_ip_forward(true);
+
+    if (config_.snat_to_wire) {
+      const net::NetIf* egress = host_.interface(config_.egress_ifname);
+      ROGUE_ASSERT_MSG(egress != nullptr, "VPN endpoint: egress interface missing");
+      net::Rule snat;
+      snat.match.src = config_.tunnel_network;
+      snat.match.src_mask = net::netmask(config_.tunnel_prefix);
+      snat.match.out_iface = config_.egress_ifname;
+      snat.target = net::RuleTarget::kSnat;
+      snat.nat_ip = egress->ip();
+      host_.netfilter().append(net::Hook::kPostrouting, snat);
+    }
   }
+  tun_->set_up(true);
 
   host_.tcp_listen(config_.port,
                    [this](net::TcpConnectionPtr conn) { on_tcp_accept(conn); });
@@ -45,14 +53,40 @@ void Endpoint::start() {
   });
 }
 
+void Endpoint::stop() {
+  if (!running_) return;
+  running_ = false;
+  ++epoch_;
+  host_.tcp().close_listener(config_.port);
+  udp_.reset();
+  udp_sessions_.clear();
+  by_tunnel_ip_.clear();
+  // A restarted endpoint hands out addresses from the top of the pool
+  // again, so the first client back gets its old tunnel IP and stalled
+  // flows pinned to it resume.
+  free_tunnel_ips_.clear();
+  next_host_id_ = 2;
+  if (tun_ != nullptr) tun_->set_up(false);
+}
+
 std::optional<net::Ipv4Addr> Endpoint::allocate_tunnel_ip() {
+  // Prefer recently released addresses: a client that dropped its session
+  // and re-handshakes gets the same tunnel IP back, which keeps transport
+  // connections that survived the gap (stalled, not closed) usable.
+  if (!free_tunnel_ips_.empty()) {
+    const net::Ipv4Addr ip = free_tunnel_ips_.back();
+    free_tunnel_ips_.pop_back();
+    return ip;
+  }
   const std::uint32_t host_bits = 32 - config_.tunnel_prefix;
   if (next_host_id_ >= (1u << host_bits) - 1) return std::nullopt;
   return net::Ipv4Addr(config_.tunnel_network.value() | next_host_id_++);
 }
 
 void Endpoint::on_tcp_accept(net::TcpConnectionPtr conn) {
+  if (!running_) return;
   auto session = std::make_shared<Session>();
+  session->epoch = epoch_;
   std::weak_ptr<net::TcpConnection> weak = conn;
   session->send = [weak](const Message& msg) {
     if (const auto c = weak.lock()) c->send(msg.frame());
@@ -66,7 +100,10 @@ void Endpoint::on_tcp_accept(net::TcpConnectionPtr conn) {
     }
   });
   conn->set_on_close([this, session] {
-    if (session->established) by_tunnel_ip_.erase(session->tunnel_ip);
+    if (session->established && session->epoch == epoch_) {
+      by_tunnel_ip_.erase(session->tunnel_ip);
+      free_tunnel_ips_.push_back(session->tunnel_ip);
+    }
   });
 }
 
@@ -75,9 +112,11 @@ void Endpoint::on_udp_datagram(net::Ipv4Addr src, std::uint16_t sport,
   const auto msg = Message::from_datagram(data);
   if (!msg) return;
 
+  if (!running_) return;
   auto& session = udp_sessions_[{src, sport}];
   if (!session) {
     session = std::make_shared<Session>();
+    session->epoch = epoch_;
     auto socket = udp_;
     session->send = [socket, src, sport](const Message& m) {
       socket->send_to(src, sport, m.datagram());
@@ -87,6 +126,7 @@ void Endpoint::on_udp_datagram(net::Ipv4Addr src, std::uint16_t sport,
 }
 
 void Endpoint::handle_message(const SessionPtr& session, const Message& msg) {
+  if (!running_ || session->epoch != epoch_) return;
   switch (msg.type) {
     case MsgType::kClientHello:
       handle_client_hello(session, msg);
@@ -96,6 +136,9 @@ void Endpoint::handle_message(const SessionPtr& session, const Message& msg) {
       return;
     case MsgType::kData:
       handle_data(session, msg);
+      return;
+    case MsgType::kKeepalive:
+      handle_keepalive(session, msg);
       return;
     default:
       return;
@@ -222,6 +265,30 @@ void Endpoint::handle_data(const SessionPtr& session, const Message& msg) {
   }
   counters_.bytes_decrypted += inner->size();
   host_.send_packet(std::move(*packet));
+}
+
+void Endpoint::handle_keepalive(const SessionPtr& session, const Message& msg) {
+  if (!session->established) return;
+  std::uint64_t seq = 0;
+  const auto inner =
+      open_record(session->keys.client_to_server, msg.payload, &seq);
+  if (!inner) {
+    ++counters_.records_bad;
+    return;
+  }
+  if (seq <= session->last_rx_seq && session->last_rx_seq != 0) {
+    ++counters_.records_bad;  // replayed probe
+    return;
+  }
+  session->last_rx_seq = seq;
+  ++counters_.keepalives_in;
+
+  static const util::Bytes kProbeBody = {'k', 'a'};
+  Message ack;
+  ack.type = MsgType::kKeepaliveAck;
+  ack.payload =
+      seal_record(session->keys.server_to_client, ++session->tx_seq, kProbeBody);
+  session->send(ack);
 }
 
 bool Endpoint::tun_transmit(util::ByteView ip_packet) {

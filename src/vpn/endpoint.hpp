@@ -39,6 +39,7 @@ struct EndpointCounters {
   std::uint64_t records_bad = 0;      ///< MAC failures / replays / spoofed src
   std::uint64_t bytes_decrypted = 0;
   std::uint64_t bytes_sealed = 0;
+  std::uint64_t keepalives_in = 0;    ///< liveness probes answered
 };
 
 class Endpoint {
@@ -49,8 +50,16 @@ class Endpoint {
   Endpoint& operator=(const Endpoint&) = delete;
 
   /// Open the TCP listener and UDP socket, install tun routing + SNAT.
+  /// Restart-safe: the tun/route/SNAT plumbing is installed once; a
+  /// start() after stop() only reopens the transports.
   void start();
 
+  /// Simulated process crash: close the transports and forget every
+  /// session (a restarted endpoint has no session state — clients must
+  /// re-handshake, which is exactly what dead-peer detection triggers).
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] const EndpointCounters& counters() const { return counters_; }
   [[nodiscard]] std::size_t active_sessions() const { return by_tunnel_ip_.size(); }
 
@@ -65,6 +74,10 @@ class Endpoint {
     util::Bytes hello_reply;   ///< cached ServerHello (duplicate M1s resend it)
     util::Bytes assign_reply;  ///< cached Assign (duplicate auths resend it)
     std::optional<crypto::DhKeyPair> dh;  ///< fresh per session
+    /// Incarnation of the endpoint that created this session; messages on
+    /// sessions from a pre-crash incarnation are dropped (their transport
+    /// closures may still be alive inside TCP connection callbacks).
+    std::uint64_t epoch = 0;
     // Transport binding.
     std::function<void(const Message&)> send;
   };
@@ -76,6 +89,7 @@ class Endpoint {
   void handle_client_hello(const SessionPtr& session, const Message& msg);
   void handle_client_auth(const SessionPtr& session, const Message& msg);
   void handle_data(const SessionPtr& session, const Message& msg);
+  void handle_keepalive(const SessionPtr& session, const Message& msg);
   bool tun_transmit(util::ByteView ip_packet);
   [[nodiscard]] std::optional<net::Ipv4Addr> allocate_tunnel_ip();
 
@@ -85,7 +99,11 @@ class Endpoint {
   std::shared_ptr<net::UdpSocket> udp_;
   std::map<std::pair<net::Ipv4Addr, std::uint16_t>, SessionPtr> udp_sessions_;
   std::unordered_map<net::Ipv4Addr, SessionPtr> by_tunnel_ip_;
+  std::vector<net::Ipv4Addr> free_tunnel_ips_;  ///< released, reused LIFO
   std::uint32_t next_host_id_ = 2;
+  bool running_ = false;
+  bool plumbed_ = false;   ///< tun/route/SNAT installed (survives restarts)
+  std::uint64_t epoch_ = 0;
   EndpointCounters counters_;
 };
 

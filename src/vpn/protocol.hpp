@@ -34,6 +34,11 @@ enum class MsgType : std::uint8_t {
   kClientAuth = 3,
   kAssign = 4,
   kData = 5,
+  // Liveness probes (dead-peer detection). The payload is a sealed record
+  // carrying the literal "ka" — sharing the data-record seq space so a
+  // replayed probe is rejected exactly like a replayed data record.
+  kKeepalive = 6,
+  kKeepaliveAck = 7,
 };
 
 inline constexpr std::size_t kRandomLen = 32;

@@ -18,14 +18,6 @@ class TunIf final : public net::NetIf {
       : net::NetIf(std::move(name), net::MacAddr::from_id(0x7F00)),
         tx_(std::move(tx)) {}
 
-  bool send(net::MacAddr /*dst*/, std::uint16_t ethertype,
-            util::ByteView payload) override {
-    if (ethertype != dot11::kEtherTypeIpv4) return false;
-    if (!up_) return false;
-    count_tx();
-    return tx_(payload);
-  }
-
   [[nodiscard]] bool link_up() const override { return up_; }
   [[nodiscard]] bool needs_arp() const override { return false; }
 
@@ -35,6 +27,15 @@ class TunIf final : public net::NetIf {
   void inject(util::ByteView ip_packet) {
     deliver_up(net::L2Frame{mac(), mac(), dot11::kEtherTypeIpv4,
                             util::Bytes(ip_packet.begin(), ip_packet.end())});
+  }
+
+ protected:
+  bool transmit(net::MacAddr /*dst*/, std::uint16_t ethertype,
+                util::ByteView payload) override {
+    if (ethertype != dot11::kEtherTypeIpv4) return false;
+    if (!up_) return false;
+    count_tx();
+    return tx_(payload);
   }
 
  private:

@@ -1,0 +1,273 @@
+// Fault-injection tests: deterministic plan generation, injector edge
+// semantics (overlap collapse, degrade max-severity), and end-to-end
+// recovery — VPN client reconnecting across an endpoint crash, station
+// rescan backoff across an AP outage, and TCP's retransmission machinery
+// under scripted burst loss on the radio medium.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "faults/fault.hpp"
+#include "net/tcp.hpp"
+#include "scenario/corp_world.hpp"
+#include "sim/simulator.hpp"
+#include "util/prng.hpp"
+
+namespace rogue::faults {
+namespace {
+
+PlanConfig minute_plan(double intensity) {
+  PlanConfig cfg;
+  cfg.intensity = intensity;
+  cfg.start = 3 * sim::kSecond;
+  cfg.horizon = 63 * sim::kSecond;  // exactly one simulated minute
+  return cfg;
+}
+
+TEST(Plan, IsAPureFunctionOfPrngStateAndConfig) {
+  const PlanConfig cfg = minute_plan(10.0);
+  util::Prng a(1234), b(1234), c(999);
+  const Plan plan_a = Plan::generate(a, cfg);
+  const Plan plan_b = Plan::generate(b, cfg);
+  ASSERT_EQ(plan_a.size(), plan_b.size());
+  ASSERT_GE(plan_a.size(), 10u);
+  for (std::size_t i = 0; i < plan_a.size(); ++i) {
+    EXPECT_EQ(plan_a.events()[i].kind, plan_b.events()[i].kind);
+    EXPECT_EQ(plan_a.events()[i].at, plan_b.events()[i].at);
+    EXPECT_EQ(plan_a.events()[i].duration, plan_b.events()[i].duration);
+    EXPECT_EQ(plan_a.events()[i].severity, plan_b.events()[i].severity);
+  }
+
+  // A different stream draws a different schedule.
+  const Plan plan_c = Plan::generate(c, cfg);
+  bool differs = plan_a.size() != plan_c.size();
+  for (std::size_t i = 0; !differs && i < plan_a.size(); ++i) {
+    differs = plan_a.events()[i].at != plan_c.events()[i].at ||
+              plan_a.events()[i].kind != plan_c.events()[i].kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Plan, CoversEveryEnabledKindWithinBounds) {
+  const PlanConfig cfg = minute_plan(8.0);
+  util::Prng rng(77);
+  const Plan plan = Plan::generate(rng, cfg);
+
+  bool seen[kFaultKindCount] = {};
+  sim::Time prev = 0;
+  for (const FaultEvent& event : plan.events()) {
+    seen[static_cast<std::size_t>(event.kind)] = true;
+    EXPECT_GE(event.at, cfg.start);
+    EXPECT_LT(event.at, cfg.horizon);
+    EXPECT_GE(event.at, prev);  // sorted
+    prev = event.at;
+    EXPECT_GE(event.duration, cfg.min_duration);
+    EXPECT_LE(event.duration, cfg.max_duration);
+    if (event.kind == FaultKind::kChannelDegrade) {
+      EXPECT_EQ(event.severity, cfg.degrade_loss);
+    }
+  }
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    EXPECT_TRUE(seen[k]) << "kind " << k << " never scheduled";
+  }
+}
+
+TEST(Plan, DisabledKindsNeverAppear) {
+  PlanConfig cfg = minute_plan(12.0);
+  cfg.ap_outage = false;
+  cfg.channel_degrade = false;
+  cfg.link_flap = false;
+  cfg.deauth_storm = false;  // endpoint outages only
+  util::Prng rng(5);
+  const Plan plan = Plan::generate(rng, cfg);
+  ASSERT_FALSE(plan.empty());
+  for (const FaultEvent& event : plan.events()) {
+    EXPECT_EQ(event.kind, FaultKind::kEndpointOutage);
+  }
+}
+
+/// Records every hook invocation, in order.
+class RecordingTarget final : public FaultTarget {
+ public:
+  void fault_ap(bool down) override {
+    log.push_back(down ? "ap:down" : "ap:up");
+  }
+  void fault_endpoint(bool down) override {
+    log.push_back(down ? "ep:down" : "ep:up");
+  }
+  void fault_channel(double extra_loss) override {
+    log.push_back("ch:" + std::to_string(extra_loss).substr(0, 4));
+  }
+  void fault_link(bool down) override {
+    log.push_back(down ? "link:down" : "link:up");
+  }
+  void fault_deauth_storm(bool active) override {
+    log.push_back(active ? "storm:on" : "storm:off");
+  }
+
+  std::vector<std::string> log;
+};
+
+TEST(Injector, CollapsesOverlappingWindowsPerKind) {
+  sim::Simulator sim(1);
+  RecordingTarget target;
+  Injector injector(sim, target);
+
+  // Two overlapping AP outages: [100ms, 600ms) and [300ms, 800ms) must
+  // surface as ONE down edge at 100ms and ONE up edge at 800ms.
+  std::vector<FaultEvent> events;
+  events.push_back({FaultKind::kApOutage, 100 * sim::kMillisecond,
+                    500 * sim::kMillisecond, 0.0});
+  events.push_back({FaultKind::kApOutage, 300 * sim::kMillisecond,
+                    500 * sim::kMillisecond, 0.0});
+  injector.install(Plan::from_events(std::move(events)));
+
+  sim.run_until(2 * sim::kSecond);
+  ASSERT_EQ(target.log.size(), 2u);
+  EXPECT_EQ(target.log[0], "ap:down");
+  EXPECT_EQ(target.log[1], "ap:up");
+  EXPECT_EQ(injector.injected(), 2u);
+}
+
+TEST(Injector, ChannelDegradeAppliesTheStrongestActiveSeverity) {
+  sim::Simulator sim(1);
+  RecordingTarget target;
+  Injector injector(sim, target);
+
+  // Mild window [1s, 3s) @0.30 overlapped by a harsh one [1.5s, 2.5s)
+  // @0.80: the target must always see the max of the active severities,
+  // and 0 once both lift.
+  std::vector<FaultEvent> events;
+  events.push_back({FaultKind::kChannelDegrade, 1 * sim::kSecond,
+                    2 * sim::kSecond, 0.30});
+  events.push_back({FaultKind::kChannelDegrade, 1500 * sim::kMillisecond,
+                    1 * sim::kSecond, 0.80});
+  injector.install(Plan::from_events(std::move(events)));
+
+  sim.run_until(4 * sim::kSecond);
+  const std::vector<std::string> expected = {"ch:0.30", "ch:0.80", "ch:0.30",
+                                             "ch:0.00"};
+  EXPECT_EQ(target.log, expected);
+}
+
+}  // namespace
+}  // namespace rogue::faults
+
+namespace rogue::scenario {
+namespace {
+
+/// Endpoint crash + restart: the self-healing client must detect the dead
+/// peer, retry with backoff while the endpoint is down, and re-establish
+/// once it returns — with the gap showing up in the robustness metrics.
+TEST(Recovery, VpnClientReconnectsAfterEndpointCrash) {
+  CorpConfig cfg;
+  cfg.do_download = false;
+  cfg.vpn_auto_reconnect = true;
+  CorpWorld world(cfg);
+  world.configure(11);
+  world.start();
+  world.run_for(3 * sim::kSecond);
+
+  bool initial_ok = false;
+  world.connect_vpn([&](bool ok) { initial_ok = ok; });
+  world.run_for(3 * sim::kSecond);
+  ASSERT_TRUE(initial_ok);
+  ASSERT_TRUE(world.victim_tunnel()->established());
+
+  world.vpn_endpoint().stop();
+  world.run_for(8 * sim::kSecond);  // DPD fires, reconnects fail, backoff
+  EXPECT_FALSE(world.victim_tunnel()->established());
+  EXPECT_TRUE(world.tunnel_health().gap_open());
+
+  world.vpn_endpoint().start();
+  world.run_for(12 * sim::kSecond);  // backoff is capped at 8s
+  EXPECT_TRUE(world.victim_tunnel()->established());
+
+  const Metrics m = world.collect_metrics();
+  EXPECT_TRUE(m.vpn_established);
+  EXPECT_GE(m.vpn_tunnel_losses, 1u);
+  EXPECT_GE(m.vpn_reconnects, 1u);
+  EXPECT_GT(m.vpn_downtime_s, 0.0);
+  EXPECT_GT(m.vpn_recover_p95_s, 0.0);
+  EXPECT_GE(m.vpn_recover_p95_s, m.vpn_recover_p50_s);
+}
+
+/// AP outage: the station loses beacons, backs its rescan cadence off
+/// exponentially while the AP is dark, and re-associates once it returns.
+TEST(Recovery, StationReassociatesWithBackoffAfterApOutage) {
+  CorpConfig cfg;
+  cfg.do_download = false;
+  CorpWorld world(cfg);
+  world.configure(3);
+  world.start();
+  world.run_for(3 * sim::kSecond);
+  ASSERT_TRUE(world.victim_sta().associated());
+
+  world.legit_ap().stop();
+  world.run_for(6 * sim::kSecond);
+  EXPECT_FALSE(world.victim_sta().associated());
+  // Failed scan cycles pushed the rescan delay beyond its base value.
+  EXPECT_GT(world.victim_sta().counters().scan_backoffs, 0u);
+
+  world.legit_ap().start();
+  world.run_for(6 * sim::kSecond);  // rescan backoff caps at 2s (+ jitter)
+  EXPECT_TRUE(world.victim_sta().associated());
+  EXPECT_GE(world.victim_sta().counters().associations, 2u);
+}
+
+/// Scripted burst loss on the radio medium: TCP must survive via its
+/// retransmission machinery — RTO events (whose timer doubles per firing:
+/// exponential backoff) through the blackout, fast retransmits through
+/// the partial-loss window — and still deliver every byte.
+TEST(Recovery, TcpRidesOutBurstLossOnTheMedium) {
+  CorpConfig cfg;
+  cfg.do_download = false;
+  CorpWorld world(cfg);
+  world.configure(21);
+  world.start();
+  world.run_for(3 * sim::kSecond);
+  ASSERT_TRUE(world.victim_sta().associated());
+
+  // Sink service on the web host; victim streams 64 KiB at it through the
+  // wireless hop the loss override governs.
+  constexpr std::size_t kTotal = 64 * 1024;
+  std::size_t received = 0;
+  world.web_server().tcp().listen(5000, [&](net::TcpConnectionPtr conn) {
+    conn->set_on_data([&received](util::ByteView data) {
+      received += data.size();
+    });
+  });
+  net::TcpConnectionPtr conn = world.victim().tcp().connect(
+      world.addr().victim, world.addr().web_server, 5000);
+  ASSERT_NE(conn, nullptr);
+  conn->set_on_connect([conn] {
+    const util::Bytes payload(kTotal, std::uint8_t{0x5a});
+    conn->send(payload);
+  });
+
+  // Blackout burst (~every packet lost for 900ms), then a partial-loss
+  // window that thins the stream enough for duplicate ACKs.
+  world.sim().at(4 * sim::kSecond,
+                 [&world] { world.medium().set_loss_override(0.97); });
+  world.sim().at(4900 * sim::kMillisecond,
+                 [&world] { world.medium().set_loss_override(0.0); });
+  world.sim().at(6 * sim::kSecond,
+                 [&world] { world.medium().set_loss_override(0.35); });
+  world.sim().at(8 * sim::kSecond,
+                 [&world] { world.medium().set_loss_override(0.0); });
+
+  world.run_for(30 * sim::kSecond);
+
+  const net::TcpStats& stats = conn->stats();
+  EXPECT_EQ(stats.bytes_acked, kTotal);
+  EXPECT_EQ(received, kTotal);
+  // The blackout outlives RTO_min several times over, so the timer must
+  // have fired (and doubled) more than once.
+  EXPECT_GE(stats.rto_events, 2u);
+  EXPECT_GE(stats.fast_retransmits, 1u);
+  EXPECT_GT(stats.retransmits, stats.fast_retransmits);
+}
+
+}  // namespace
+}  // namespace rogue::scenario

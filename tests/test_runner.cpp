@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "runner/metrics.hpp"
@@ -177,19 +178,132 @@ TEST(RunMetrics, ReportRunsRoundTripThroughReportJson) {
   EXPECT_EQ(i, report.runs.size());
 }
 
-TEST(Scenarios, StockRegistryKnowsBothWorlds) {
+TEST(Scenarios, StockRegistryKnowsAllLadders) {
   EXPECT_EQ(stock_variants("corp").size(), 4u);
   EXPECT_EQ(stock_variants("hotspot").size(), 3u);
+  EXPECT_EQ(stock_variants("corp-chaos").size(), 2u);
+  EXPECT_EQ(stock_variants("hotspot-chaos").size(), 2u);
   EXPECT_TRUE(stock_variants("nope").empty());
   const auto names = known_scenarios();
-  ASSERT_EQ(names.size(), 2u);
+  ASSERT_EQ(names.size(), 4u);
   for (const auto name : names) {
     std::vector<Variant> variants = stock_variants(name);
     ASSERT_FALSE(variants.empty());
-    // Every stock factory builds a world whose name matches the registry.
+    // Every stock factory builds a world whose scenario id prefixes the
+    // registry name (the chaos ladders reuse the base worlds).
     auto world = variants.front().make(1);
-    EXPECT_EQ(world->name(), name);
+    EXPECT_EQ(name.substr(0, world->name().size()), world->name());
   }
+}
+
+TEST(Scenarios, FaultIntensityOverlaysThePlainLadders) {
+  // stock_variants(name, intensity) must produce *configured* fault
+  // injection, visible as injected faults in a replica's metrics.
+  std::vector<Variant> variants = stock_variants("corp", 4.0);
+  ASSERT_FALSE(variants.empty());
+  auto world = variants.front().make(1);
+  world->configure(42);
+  world->run_episode();
+  EXPECT_GT(world->collect_metrics().faults_injected, 0u);
+}
+
+/// A variant whose replicas always throw: exercises the runner's
+/// per-replica failure isolation.
+class ExplodingWorld final : public scenario::World {
+ public:
+  explicit ExplodingWorld(std::uint64_t seed) : sim_(seed) {}
+  [[nodiscard]] std::string_view name() const override { return "exploding"; }
+  void configure(std::uint64_t seed) override { sim_.reseed(seed); }
+  void start() override {}
+  void run_for(sim::Time) override {}
+  void run_episode() override {
+    throw std::runtime_error("scripted replica failure");
+  }
+  [[nodiscard]] sim::Simulator& simulator() override { return sim_; }
+  [[nodiscard]] sim::Trace& trace() override { return trace_; }
+  [[nodiscard]] scenario::Metrics collect_metrics() const override {
+    return {};
+  }
+
+ private:
+  sim::Simulator sim_;
+  sim::Trace trace_;
+};
+
+TEST(Sweep, FailedReplicasAreIsolatedAndReported) {
+  SweepConfig cfg;
+  cfg.scenario = "corp";
+  cfg.seed_base = 100;
+  cfg.runs = 2;
+  cfg.jobs = 2;
+  ExperimentRunner exp(cfg);
+  exp.add_variant("healthy", [](std::uint64_t) {
+    scenario::CorpConfig c;
+    c.download_window = 10 * sim::kSecond;
+    return std::make_unique<scenario::CorpWorld>(c);
+  });
+  exp.add_variant("exploding", [](std::uint64_t seed) {
+    return std::make_unique<ExplodingWorld>(seed);
+  });
+
+  const SweepReport report = exp.run();
+  ASSERT_EQ(report.runs.size(), 4u);
+  EXPECT_EQ(report.failed_count(), 2u);
+  EXPECT_EQ(report.summaries[0].failed, 0u);
+  EXPECT_EQ(report.summaries[1].failed, 2u);
+  // Failed replicas stay out of the healthy aggregates.
+  EXPECT_EQ(report.summaries[1].events_fired.count(), 0u);
+
+  // The JSON surfaces (variant, seed, error) for every failure, and the
+  // per-replica records round-trip the failed flag.
+  const auto parsed = util::Json::parse(report.to_json().dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  const util::Json* failures = parsed->find("failures");
+  ASSERT_NE(failures, nullptr);
+  std::size_t listed = 0;
+  for (const util::Json& f : failures->items()) {
+    const util::Json* variant = f.find("variant");
+    const util::Json* error = f.find("error");
+    ASSERT_NE(variant, nullptr);
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(variant->as_string(), "exploding");
+    EXPECT_EQ(error->as_string(), "scripted replica failure");
+    ++listed;
+  }
+  EXPECT_EQ(listed, 2u);
+
+  for (const RunMetrics& run : report.runs) {
+    const auto back = run_metrics_from_json(to_json(run));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->failed, run.failed);
+    EXPECT_EQ(back->error, run.error);
+  }
+}
+
+TEST(Sweep, ChaosReportBytesAreIdenticalAcrossJobsAndReruns) {
+  // Satellite of the determinism guarantee: the *fault schedules* (and so
+  // every downstream metric) must also be a pure function of (variant,
+  // seed), never of worker interleaving or rerun count.
+  auto run_once = [](std::size_t jobs) {
+    SweepConfig cfg;
+    cfg.scenario = "corp-chaos";
+    cfg.seed_base = 7;
+    cfg.runs = 2;
+    cfg.jobs = jobs;
+    ExperimentRunner exp(cfg);
+    for (auto& v : corp_chaos_variants(2.0)) {
+      exp.add_variant(std::move(v.name), std::move(v.make));
+    }
+    return exp.run().to_json().dump(2);
+  };
+
+  const std::string baseline = run_once(1);
+  ASSERT_FALSE(baseline.empty());
+  for (const std::size_t jobs : {4u, 8u}) {
+    EXPECT_EQ(run_once(jobs), baseline) << "bytes changed at jobs=" << jobs;
+  }
+  // Rerun at an already-tested jobs value: no hidden global state.
+  EXPECT_EQ(run_once(4), baseline);
 }
 
 }  // namespace

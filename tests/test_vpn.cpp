@@ -3,6 +3,9 @@
 // transports, replay/tamper rejection, and the routing policy.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "vpn/client.hpp"
@@ -322,6 +325,78 @@ TEST(Vpn, UdpTransportSurvivesHandshakeLoss) {
   tunnel.start([&](bool r) { ok = r; });
   sim.run_until(40 * sim::kSecond);
   EXPECT_TRUE(ok);
+}
+
+/// Flatten a routing table for byte-for-byte comparison.
+std::vector<std::string> route_snapshot(net::Host& host) {
+  std::vector<std::string> out;
+  for (const net::Route& r : host.routes().entries()) {
+    out.push_back(r.network.to_string() + "/" + r.mask.to_string() + " via " +
+                  r.gateway.to_string() + " dev " + r.ifname + " metric " +
+                  std::to_string(r.metric));
+  }
+  return out;
+}
+
+TEST(Vpn, HandshakeTimeoutRollsBackPinnedRoute) {
+  // Regression: start() pins a /32 to the endpoint before the handshake.
+  // If the handshake times out (endpoint unreachable — here an address
+  // nobody owns), that pin and any half-installed routes must be rolled
+  // back, leaving the table exactly as it was.
+  VpnFixture f;
+  const std::vector<std::string> before = route_snapshot(*f.client);
+
+  ClientConfig cfg;
+  cfg.psk = to_bytes("shared-secret");
+  cfg.endpoint_ip = Ipv4Addr(10, 0, 1, 77);  // no such host
+  cfg.handshake_timeout = 2 * sim::kSecond;
+  ClientTunnel tunnel(*f.client, cfg);
+  bool ok = true;
+  bool done = false;
+  tunnel.start([&](bool r) {
+    ok = r;
+    done = true;
+  });
+  f.sim.run_until(10 * sim::kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(tunnel.established());
+  EXPECT_EQ(route_snapshot(*f.client), before);
+}
+
+TEST(Vpn, DeadPeerDetectionTriggersAutomaticReconnect) {
+  VpnFixture f;
+  ClientConfig cfg;
+  cfg.psk = to_bytes("shared-secret");
+  cfg.endpoint_ip = Ipv4Addr(10, 0, 1, 5);
+  cfg.auto_reconnect = true;
+  ClientTunnel tunnel(*f.client, cfg);
+
+  int ups = 0;
+  int downs = 0;
+  tunnel.set_session_handler([&](bool up) { (up ? ups : downs) += 1; });
+  bool ok = false;
+  tunnel.start([&](bool r) { ok = r; });
+  f.sim.run_until(5 * sim::kSecond);
+  ASSERT_TRUE(ok);
+  ASSERT_TRUE(tunnel.established());
+
+  // Endpoint process "crashes": sessions vaporize, keepalives go dark.
+  f.endpoint->stop();
+  f.sim.run_until(12 * sim::kSecond);
+  EXPECT_FALSE(tunnel.established());
+  EXPECT_GE(tunnel.counters().dead_peer_events, 1u);
+  EXPECT_EQ(downs, 1);
+
+  // It restarts; the client's capped-backoff retry loop must find it.
+  f.endpoint->start();
+  f.sim.run_until(26 * sim::kSecond);
+  EXPECT_TRUE(tunnel.established());
+  EXPECT_GE(tunnel.counters().sessions_established, 2u);
+  EXPECT_GE(tunnel.reconnects(), 1u);
+  EXPECT_EQ(ups, 2);
+  EXPECT_GT(tunnel.counters().keepalives_sent, 0u);
+  EXPECT_GT(tunnel.counters().keepalive_acks, 0u);
 }
 
 }  // namespace
