@@ -23,6 +23,8 @@
 #include "dot11/ap.hpp"
 #include "dot11/frame.hpp"
 #include "net/host.hpp"
+#include "phy/medium.hpp"
+#include "vpn/protocol.hpp"
 #include "net/link.hpp"
 #include "net/tcp.hpp"
 #include "sim/simulator.hpp"
@@ -251,6 +253,55 @@ void BM_BeaconStorm(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * 10);
 }
 BENCHMARK(BM_BeaconStorm);
+
+void BM_VpnSealOpen(benchmark::State& state) {
+  // Pooled tunnel-record round trip: seal_record_into encrypts in place in
+  // a reused wire buffer, open_record_append decrypts into a second one —
+  // the per-packet datapath of the VPN client and concentrator.
+  const util::Bytes key = random_bytes(crypto::kAeadKeyLen);
+  const util::Bytes pkt = random_bytes(1400);
+  util::Bytes record;
+  util::Bytes inner;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    vpn::seal_record_into(key, ++seq, pkt, record);
+    inner.clear();
+    std::uint64_t got_seq = 0;
+    benchmark::DoNotOptimize(vpn::open_record_append(key, record, &got_seq, inner));
+  }
+  state.SetBytesProcessed(state.iterations() * 1400);
+}
+BENCHMARK(BM_VpnSealOpen);
+
+void BM_MediumDeliver(benchmark::State& state) {
+  // N co-channel radios taking turns transmitting: stresses the per-channel
+  // radio index, the pairwise RSSI cache, and active-transmission tracking.
+  const int n = static_cast<int>(state.range(0));
+  const util::Bytes frame = random_bytes(256);
+  for (auto _ : state) {
+    sim::Simulator sim(9);
+    phy::Medium medium(sim);
+    std::vector<std::unique_ptr<phy::Radio>> radios;
+    std::uint64_t delivered = 0;
+    for (int i = 0; i < n; ++i) {
+      auto r = std::make_unique<phy::Radio>(medium, "r" + std::to_string(i));
+      r->set_position({static_cast<double>(i % 4) * 2.0,
+                       static_cast<double>(i / 4) * 2.0});
+      r->set_receive_handler(
+          [&delivered](util::ByteView, const phy::RxInfo&) { ++delivered; });
+      radios.push_back(std::move(r));
+    }
+    for (int t = 0; t < 200; ++t) {
+      sim.after(static_cast<sim::Time>(t) * 2000, [&radios, &frame, t, n] {
+        radios[static_cast<std::size_t>(t % n)]->transmit(frame);
+      });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 200 * (n - 1));
+}
+BENCHMARK(BM_MediumDeliver)->Arg(4)->Arg(16);
 
 void BM_TraceRecord(benchmark::State& state) {
   // Hot-path trace append with an interned tag: the record itself is a

@@ -26,7 +26,10 @@ void ArpSpoofer::poison_once() {
   reply.sender_ip = spoofed_ip_;
   reply.target_mac = victim_mac_;
   reply.target_ip = victim_ip_;
-  iface_->send(victim_mac_, dot11::kEtherTypeArp, reply.serialize());
+  util::Bytes raw = attacker_.simulator().buffer_pool().acquire(28);
+  reply.serialize_into(raw);
+  iface_->send(victim_mac_, dot11::kEtherTypeArp, raw);
+  attacker_.simulator().buffer_pool().release(std::move(raw));
   ++sent_;
 }
 

@@ -34,7 +34,7 @@ std::vector<ObservedBss> Sniffer::observed_bss() const {
 void Sniffer::on_receive(util::ByteView raw, const phy::RxInfo& info) {
   ++counters_.frames;
   if (pcap_ != nullptr) pcap_->add_frame(info.time, raw);
-  const auto frame = dot11::Frame::parse(raw);
+  const auto frame = dot11::FrameView::parse(raw);
   if (!frame) return;
 
   if (frame->type == dot11::FrameType::kManagement) {
@@ -61,7 +61,7 @@ void Sniffer::on_receive(util::ByteView raw, const phy::RxInfo& info) {
   if (frame->is_data()) handle_data(*frame);
 }
 
-void Sniffer::handle_data(const dot11::Frame& frame) {
+void Sniffer::handle_data(const dot11::FrameView& frame) {
   ++counters_.data_frames;
   counters_.data_bytes_on_air += frame.body.size();
   if (frame.to_ds) clients_.insert(frame.addr2);
@@ -69,24 +69,27 @@ void Sniffer::handle_data(const dot11::Frame& frame) {
   const net::MacAddr bssid = frame.to_ds ? frame.addr1 : frame.addr2;
   const net::MacAddr peer = frame.to_ds ? frame.addr2 : frame.addr1;
 
-  util::Bytes msdu;
+  util::Bytes decrypted;  // owns the plaintext when we had to decrypt
+  util::ByteView msdu;
   if (frame.protected_frame) {
     ++counters_.wep_data_frames;
     bool opened = false;
     if (config_.wep_key) {
-      const auto dec = crypto::wep_decrypt(frame.body, *config_.wep_key);
+      auto dec = crypto::wep_decrypt(frame.body, *config_.wep_key);
       if (dec) {
         counters_.decrypted_bytes += dec->plaintext.size();
-        msdu = std::move(dec->plaintext);
+        decrypted = std::move(dec->plaintext);
+        msdu = decrypted;
         opened = true;
       }
     }
     if (!opened && wpa_) {
       // Pairwise WPA traffic: derive the PTK from the observed handshake.
-      const auto dec = wpa_->decrypt(bssid, peer, frame.body);
+      auto dec = wpa_->decrypt(bssid, peer, frame.body);
       if (dec) {
         counters_.decrypted_bytes += dec->msdu.size();
-        msdu = dec->msdu;
+        decrypted = std::move(dec->msdu);
+        msdu = decrypted;
         opened = true;
       } else {
         ++counters_.wpa_decrypt_failures;

@@ -100,7 +100,7 @@ class Sniffer {
 
  private:
   void on_receive(util::ByteView raw, const phy::RxInfo& info);
-  void handle_data(const dot11::Frame& frame);
+  void handle_data(const dot11::FrameView& frame);
 
   sim::Simulator& sim_;
   SnifferConfig config_;

@@ -17,39 +17,61 @@ namespace {
   return nonce;
 }
 
+[[nodiscard]] std::array<std::uint8_t, 8> u64be_bytes(std::uint64_t v) {
+  std::array<std::uint8_t, 8> out;
+  for (std::size_t i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (8 * (7 - i)));
+  }
+  return out;
+}
+
+// Streams the MAC input (seq || len(ad) || ad || len(ct) || ct) through the
+// incremental HMAC instead of staging it in a per-record scratch buffer.
 [[nodiscard]] Sha256Digest record_mac(util::ByteView mac_key, std::uint64_t seq,
                                       util::ByteView ad, util::ByteView ciphertext) {
-  util::Bytes msg;
-  msg.reserve(8 + 8 + ad.size() + 8 + ciphertext.size());
-  util::ByteWriter w(msg);
-  w.u64be(seq);
-  w.u64be(ad.size());
-  w.raw(ad);
-  w.u64be(ciphertext.size());
-  w.raw(ciphertext);
-  return hmac_sha256(mac_key, msg);
+  HmacSha256 mac(mac_key);
+  const auto seq_be = u64be_bytes(seq);
+  const auto ad_len = u64be_bytes(ad.size());
+  const auto ct_len = u64be_bytes(ciphertext.size());
+  mac.update(util::ByteView(seq_be.data(), seq_be.size()));
+  mac.update(util::ByteView(ad_len.data(), ad_len.size()));
+  mac.update(ad);
+  mac.update(util::ByteView(ct_len.data(), ct_len.size()));
+  mac.update(ciphertext);
+  return mac.finish();
 }
 }  // namespace
 
-util::Bytes aead_seal(util::ByteView key, std::uint64_t seq, util::ByteView ad,
-                      util::ByteView plaintext) {
+void aead_seal_append(util::ByteView key, std::uint64_t seq, util::ByteView ad,
+                      util::ByteView plaintext, util::Bytes& out) {
   ROGUE_ASSERT_MSG(key.size() == kAeadKeyLen, "AEAD key must be 64 bytes");
   const util::ByteView enc_key = key.subspan(0, kChaChaKeyLen);
   const util::ByteView mac_key = key.subspan(kChaChaKeyLen);
 
+  const std::size_t base = out.size();
+  out.reserve(base + plaintext.size() + kAeadTagLen);
+  out.insert(out.end(), plaintext.begin(), plaintext.end());
+
   const auto nonce = nonce_from_seq(seq);
   ChaCha20 cipher(enc_key, util::ByteView(nonce.data(), nonce.size()));
-  util::Bytes out = cipher.apply(plaintext);
+  cipher.process(std::span<std::uint8_t>(out).subspan(base));  // encrypt in place
 
-  const Sha256Digest mac = record_mac(mac_key, seq, ad, out);
+  const Sha256Digest mac =
+      record_mac(mac_key, seq, ad, util::ByteView(out).subspan(base));
   out.insert(out.end(), mac.begin(), mac.begin() + kAeadTagLen);
+}
+
+util::Bytes aead_seal(util::ByteView key, std::uint64_t seq, util::ByteView ad,
+                      util::ByteView plaintext) {
+  util::Bytes out;
+  aead_seal_append(key, seq, ad, plaintext, out);
   return out;
 }
 
-std::optional<util::Bytes> aead_open(util::ByteView key, std::uint64_t seq,
-                                     util::ByteView ad, util::ByteView sealed) {
+bool aead_open_append(util::ByteView key, std::uint64_t seq, util::ByteView ad,
+                      util::ByteView sealed, util::Bytes& out) {
   ROGUE_ASSERT_MSG(key.size() == kAeadKeyLen, "AEAD key must be 64 bytes");
-  if (sealed.size() < kAeadTagLen) return std::nullopt;
+  if (sealed.size() < kAeadTagLen) return false;
   const util::ByteView enc_key = key.subspan(0, kChaChaKeyLen);
   const util::ByteView mac_key = key.subspan(kChaChaKeyLen);
 
@@ -58,12 +80,22 @@ std::optional<util::Bytes> aead_open(util::ByteView key, std::uint64_t seq,
 
   const Sha256Digest mac = record_mac(mac_key, seq, ad, ciphertext);
   if (!util::equal_ct(util::ByteView(mac.data(), kAeadTagLen), tag)) {
-    return std::nullopt;
+    return false;
   }
 
+  const std::size_t base = out.size();
+  out.insert(out.end(), ciphertext.begin(), ciphertext.end());
   const auto nonce = nonce_from_seq(seq);
   ChaCha20 cipher(enc_key, util::ByteView(nonce.data(), nonce.size()));
-  return cipher.apply(ciphertext);
+  cipher.process(std::span<std::uint8_t>(out).subspan(base));  // decrypt in place
+  return true;
+}
+
+std::optional<util::Bytes> aead_open(util::ByteView key, std::uint64_t seq,
+                                     util::ByteView ad, util::ByteView sealed) {
+  util::Bytes out;
+  if (!aead_open_append(key, seq, ad, sealed, out)) return std::nullopt;
+  return out;
 }
 
 }  // namespace rogue::crypto

@@ -26,4 +26,15 @@ inline constexpr std::size_t kAeadTagLen = 16;
                                                    util::ByteView associated_data,
                                                    util::ByteView sealed);
 
+/// Zero-copy variants for pooled buffers: append ciphertext||tag (resp. the
+/// recovered plaintext) to `out`, encrypting/decrypting in place in `out`
+/// rather than round-tripping through a fresh allocation per record.
+void aead_seal_append(util::ByteView key, std::uint64_t seq,
+                      util::ByteView associated_data, util::ByteView plaintext,
+                      util::Bytes& out);
+/// Returns false (leaving `out` untouched) on authentication failure.
+[[nodiscard]] bool aead_open_append(util::ByteView key, std::uint64_t seq,
+                                    util::ByteView associated_data,
+                                    util::ByteView sealed, util::Bytes& out);
+
 }  // namespace rogue::crypto

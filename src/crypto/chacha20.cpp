@@ -1,6 +1,11 @@
 #include "crypto/chacha20.hpp"
 
 #include <bit>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "util/assert.hpp"
 
@@ -24,6 +29,115 @@ void quarter_round(std::array<std::uint32_t, 16>& s, int a, int b, int c, int d)
          (static_cast<std::uint32_t>(b[off + 2]) << 16) |
          (static_cast<std::uint32_t>(b[off + 3]) << 24);
 }
+
+// Keystream words are defined in little-endian byte order (RFC 8439 §2.3);
+// on a big-endian host the in-memory XOR below needs the swapped form.
+[[nodiscard]] constexpr std::uint32_t to_wire32(std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return v;
+  } else {
+    return ((v & 0xff000000u) >> 24) | ((v & 0x00ff0000u) >> 8) |
+           ((v & 0x0000ff00u) << 8) | ((v & 0x000000ffu) << 24);
+  }
+}
+
+#if defined(__SSE2__)
+// One ChaCha20 double-round on the four row vectors. Column rounds are
+// vertical 4-lane ops; the diagonal round is the same ops after rotating
+// rows 1/2/3 by one, two and three lanes (RFC 8439 S2.3 diagonals).
+inline __m128i rotl_epi32(__m128i v, int n) {
+  return _mm_or_si128(_mm_slli_epi32(v, n), _mm_srli_epi32(v, 32 - n));
+}
+
+inline void half_round(__m128i& v0, __m128i& v1, __m128i& v2, __m128i& v3) {
+  v0 = _mm_add_epi32(v0, v1);
+  v3 = rotl_epi32(_mm_xor_si128(v3, v0), 16);
+  v2 = _mm_add_epi32(v2, v3);
+  v1 = rotl_epi32(_mm_xor_si128(v1, v2), 12);
+  v0 = _mm_add_epi32(v0, v1);
+  v3 = rotl_epi32(_mm_xor_si128(v3, v0), 8);
+  v2 = _mm_add_epi32(v2, v3);
+  v1 = rotl_epi32(_mm_xor_si128(v1, v2), 7);
+}
+
+// XOR one 64-byte keystream block into p. x86 stores lanes little-endian,
+// matching the RFC's keystream serialisation, so no byte swaps are needed.
+inline void xor_block_sse2(const std::array<std::uint32_t, 16>& state,
+                           std::uint8_t* p) {
+  const __m128i s0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data()));
+  const __m128i s1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data() + 4));
+  const __m128i s2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data() + 8));
+  const __m128i s3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data() + 12));
+  __m128i v0 = s0, v1 = s1, v2 = s2, v3 = s3;
+  for (int round = 0; round < 10; ++round) {
+    half_round(v0, v1, v2, v3);
+    v1 = _mm_shuffle_epi32(v1, _MM_SHUFFLE(0, 3, 2, 1));
+    v2 = _mm_shuffle_epi32(v2, _MM_SHUFFLE(1, 0, 3, 2));
+    v3 = _mm_shuffle_epi32(v3, _MM_SHUFFLE(2, 1, 0, 3));
+    half_round(v0, v1, v2, v3);
+    v1 = _mm_shuffle_epi32(v1, _MM_SHUFFLE(2, 1, 0, 3));
+    v2 = _mm_shuffle_epi32(v2, _MM_SHUFFLE(1, 0, 3, 2));
+    v3 = _mm_shuffle_epi32(v3, _MM_SHUFFLE(0, 3, 2, 1));
+  }
+  v0 = _mm_add_epi32(v0, s0);
+  v1 = _mm_add_epi32(v1, s1);
+  v2 = _mm_add_epi32(v2, s2);
+  v3 = _mm_add_epi32(v3, s3);
+  __m128i* out = reinterpret_cast<__m128i*>(p);
+  _mm_storeu_si128(out, _mm_xor_si128(_mm_loadu_si128(out), v0));
+  _mm_storeu_si128(out + 1, _mm_xor_si128(_mm_loadu_si128(out + 1), v1));
+  _mm_storeu_si128(out + 2, _mm_xor_si128(_mm_loadu_si128(out + 2), v2));
+  _mm_storeu_si128(out + 3, _mm_xor_si128(_mm_loadu_si128(out + 3), v3));
+}
+
+// Two consecutive blocks interleaved: eight live vectors fit x86-64's 16
+// xmm registers and the independent dependency chains keep the ALUs fed.
+inline void xor_block2_sse2(const std::array<std::uint32_t, 16>& state,
+                            std::uint8_t* p) {
+  const __m128i s0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data()));
+  const __m128i s1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data() + 4));
+  const __m128i s2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data() + 8));
+  const __m128i s3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data() + 12));
+  const __m128i s3b = _mm_add_epi32(s3, _mm_set_epi32(0, 0, 0, 1));
+  __m128i v0 = s0, v1 = s1, v2 = s2, v3 = s3;
+  __m128i w0 = s0, w1 = s1, w2 = s2, w3 = s3b;
+  for (int round = 0; round < 10; ++round) {
+    half_round(v0, v1, v2, v3);
+    half_round(w0, w1, w2, w3);
+    v1 = _mm_shuffle_epi32(v1, _MM_SHUFFLE(0, 3, 2, 1));
+    v2 = _mm_shuffle_epi32(v2, _MM_SHUFFLE(1, 0, 3, 2));
+    v3 = _mm_shuffle_epi32(v3, _MM_SHUFFLE(2, 1, 0, 3));
+    w1 = _mm_shuffle_epi32(w1, _MM_SHUFFLE(0, 3, 2, 1));
+    w2 = _mm_shuffle_epi32(w2, _MM_SHUFFLE(1, 0, 3, 2));
+    w3 = _mm_shuffle_epi32(w3, _MM_SHUFFLE(2, 1, 0, 3));
+    half_round(v0, v1, v2, v3);
+    half_round(w0, w1, w2, w3);
+    v1 = _mm_shuffle_epi32(v1, _MM_SHUFFLE(2, 1, 0, 3));
+    v2 = _mm_shuffle_epi32(v2, _MM_SHUFFLE(1, 0, 3, 2));
+    v3 = _mm_shuffle_epi32(v3, _MM_SHUFFLE(0, 3, 2, 1));
+    w1 = _mm_shuffle_epi32(w1, _MM_SHUFFLE(2, 1, 0, 3));
+    w2 = _mm_shuffle_epi32(w2, _MM_SHUFFLE(1, 0, 3, 2));
+    w3 = _mm_shuffle_epi32(w3, _MM_SHUFFLE(0, 3, 2, 1));
+  }
+  v0 = _mm_add_epi32(v0, s0);
+  v1 = _mm_add_epi32(v1, s1);
+  v2 = _mm_add_epi32(v2, s2);
+  v3 = _mm_add_epi32(v3, s3);
+  w0 = _mm_add_epi32(w0, s0);
+  w1 = _mm_add_epi32(w1, s1);
+  w2 = _mm_add_epi32(w2, s2);
+  w3 = _mm_add_epi32(w3, s3b);
+  __m128i* out = reinterpret_cast<__m128i*>(p);
+  _mm_storeu_si128(out, _mm_xor_si128(_mm_loadu_si128(out), v0));
+  _mm_storeu_si128(out + 1, _mm_xor_si128(_mm_loadu_si128(out + 1), v1));
+  _mm_storeu_si128(out + 2, _mm_xor_si128(_mm_loadu_si128(out + 2), v2));
+  _mm_storeu_si128(out + 3, _mm_xor_si128(_mm_loadu_si128(out + 3), v3));
+  _mm_storeu_si128(out + 4, _mm_xor_si128(_mm_loadu_si128(out + 4), w0));
+  _mm_storeu_si128(out + 5, _mm_xor_si128(_mm_loadu_si128(out + 5), w1));
+  _mm_storeu_si128(out + 6, _mm_xor_si128(_mm_loadu_si128(out + 6), w2));
+  _mm_storeu_si128(out + 7, _mm_xor_si128(_mm_loadu_si128(out + 7), w3));
+}
+#endif  // __SSE2__
 }  // namespace
 
 ChaCha20::ChaCha20(util::ByteView key, util::ByteView nonce, std::uint32_t counter) {
@@ -38,7 +152,7 @@ ChaCha20::ChaCha20(util::ByteView key, util::ByteView nonce, std::uint32_t count
   for (std::size_t i = 0; i < 3; ++i) state_[13 + i] = load32le(nonce, i * 4);
 }
 
-void ChaCha20::refill() {
+void ChaCha20::next_block_words(std::array<std::uint32_t, 16>& out) {
   std::array<std::uint32_t, 16> working = state_;
   for (int round = 0; round < 10; ++round) {
     quarter_round(working, 0, 4, 8, 12);
@@ -50,21 +164,67 @@ void ChaCha20::refill() {
     quarter_round(working, 2, 7, 8, 13);
     quarter_round(working, 3, 4, 9, 14);
   }
+  for (std::size_t i = 0; i < 16; ++i) out[i] = working[i] + state_[i];
+  ++state_[12];
+}
+
+void ChaCha20::refill() {
+  std::array<std::uint32_t, 16> words;
+  next_block_words(words);
   for (std::size_t i = 0; i < 16; ++i) {
-    const std::uint32_t v = working[i] + state_[i];
+    const std::uint32_t v = words[i];
     block_[i * 4] = static_cast<std::uint8_t>(v);
     block_[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
     block_[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
     block_[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
   }
-  ++state_[12];
   block_pos_ = 0;
 }
 
 void ChaCha20::process(std::span<std::uint8_t> data) {
-  for (auto& b : data) {
-    if (block_pos_ == block_.size()) refill();
-    b ^= block_[block_pos_++];
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+
+  // Drain keystream bytes buffered by a previous partial block so the
+  // stream position stays byte-exact across arbitrarily split calls.
+  while (i < n && block_pos_ < block_.size()) data[i++] ^= block_[block_pos_++];
+
+  // Whole 64-byte blocks: XOR the keystream straight into the data,
+  // skipping the byte-serialisation staging buffer. With SSE2 the whole
+  // block lives in four 128-bit registers; otherwise XOR words pairwise.
+#if defined(__SSE2__)
+  while (n - i >= 128) {
+    xor_block2_sse2(state_, data.data() + i);
+    state_[12] += 2;
+    i += 128;
+  }
+#endif
+  while (n - i >= 64) {
+#if defined(__SSE2__)
+    xor_block_sse2(state_, data.data() + i);
+    ++state_[12];
+#else
+    std::array<std::uint32_t, 16> words;
+    next_block_words(words);
+    std::uint8_t* p = data.data() + i;
+    for (std::size_t w = 0; w < 16; w += 2) {
+      const std::uint64_t k =
+          static_cast<std::uint64_t>(to_wire32(words[w])) |
+          (static_cast<std::uint64_t>(to_wire32(words[w + 1])) << 32);
+      std::uint64_t v;
+      std::memcpy(&v, p + w * 4, 8);
+      v ^= k;
+      std::memcpy(p + w * 4, &v, 8);
+    }
+#endif
+    i += 64;
+  }
+
+  // Tail shorter than a block: buffer one keystream block and finish
+  // byte-wise; leftover bytes stay in block_ for the next call.
+  if (i < n) {
+    refill();
+    while (i < n) data[i++] ^= block_[block_pos_++];
   }
 }
 

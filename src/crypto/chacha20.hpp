@@ -25,6 +25,7 @@ class ChaCha20 {
   [[nodiscard]] util::Bytes apply(util::ByteView data);
 
  private:
+  void next_block_words(std::array<std::uint32_t, 16>& out);
   void refill();
 
   std::array<std::uint32_t, 16> state_{};

@@ -1,28 +1,61 @@
 #include "crypto/crc32.hpp"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace rogue::crypto {
 
 namespace {
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8: table[0] is the classic byte table; table[k] advances a
+// byte through k additional zero bytes so eight input bytes fold in one
+// step. All tables derive from the same reflected 0xedb88320 polynomial,
+// so the result is bit-identical to the byte-at-a-time loop.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t n = 0; n < 256; ++n) {
     std::uint32_t c = n;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : (c >> 1);
     }
-    table[n] = c;
+    t[0][n] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      t[k][n] = (t[k - 1][n] >> 8) ^ t[0][t[k - 1][n] & 0xffu];
+    }
+  }
+  return t;
 }
-constexpr auto kTable = make_table();
+constexpr auto kTables = make_tables();
+
+[[nodiscard]] std::uint32_t load32le(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  if constexpr (std::endian::native == std::endian::big) {
+    v = ((v & 0xff000000u) >> 24) | ((v & 0x00ff0000u) >> 8) |
+        ((v & 0x0000ff00u) << 8) | ((v & 0x000000ffu) << 24);
+  }
+  return v;
+}
 }  // namespace
 
 void Crc32::update(util::ByteView data) {
   std::uint32_t c = state_;
-  for (const std::uint8_t byte : data) {
-    c = kTable[(c ^ byte) & 0xffu] ^ (c >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    const std::uint32_t lo = c ^ load32le(p);
+    const std::uint32_t hi = load32le(p + 4);
+    c = kTables[7][lo & 0xffu] ^ kTables[6][(lo >> 8) & 0xffu] ^
+        kTables[5][(lo >> 16) & 0xffu] ^ kTables[4][lo >> 24] ^
+        kTables[3][hi & 0xffu] ^ kTables[2][(hi >> 8) & 0xffu] ^
+        kTables[1][(hi >> 16) & 0xffu] ^ kTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- != 0) {
+    c = kTables[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
   }
   state_ = c;
 }

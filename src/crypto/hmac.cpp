@@ -5,7 +5,7 @@
 
 namespace rogue::crypto {
 
-Sha256Digest hmac_sha256(util::ByteView key, util::ByteView message) {
+HmacSha256::HmacSha256(util::ByteView key) {
   std::array<std::uint8_t, 64> block{};
   if (key.size() > block.size()) {
     const Sha256Digest kd = sha256(key);
@@ -15,21 +15,27 @@ Sha256Digest hmac_sha256(util::ByteView key, util::ByteView message) {
   }
 
   std::array<std::uint8_t, 64> ipad{};
-  std::array<std::uint8_t, 64> opad{};
   for (std::size_t i = 0; i < 64; ++i) {
     ipad[i] = block[i] ^ 0x36;
-    opad[i] = block[i] ^ 0x5c;
+    opad_[i] = block[i] ^ 0x5c;
   }
+  inner_.update(util::ByteView(ipad.data(), ipad.size()));
+}
 
-  Sha256 inner;
-  inner.update(util::ByteView(ipad.data(), ipad.size()));
-  inner.update(message);
-  const Sha256Digest inner_digest = inner.finish();
+void HmacSha256::update(util::ByteView data) { inner_.update(data); }
 
+Sha256Digest HmacSha256::finish() {
+  const Sha256Digest inner_digest = inner_.finish();
   Sha256 outer;
-  outer.update(util::ByteView(opad.data(), opad.size()));
+  outer.update(util::ByteView(opad_.data(), opad_.size()));
   outer.update(util::ByteView(inner_digest.data(), inner_digest.size()));
   return outer.finish();
+}
+
+Sha256Digest hmac_sha256(util::ByteView key, util::ByteView message) {
+  HmacSha256 mac(key);
+  mac.update(message);
+  return mac.finish();
 }
 
 util::Bytes kdf_expand(util::ByteView key, util::ByteView info, std::size_t out_len) {

@@ -9,6 +9,20 @@ namespace rogue::crypto {
 
 [[nodiscard]] Sha256Digest hmac_sha256(util::ByteView key, util::ByteView message);
 
+/// Incremental HMAC-SHA256 for messages assembled from several pieces
+/// (e.g. the AEAD record MAC) without staging them in a scratch buffer.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(util::ByteView key);
+
+  void update(util::ByteView data);
+  [[nodiscard]] Sha256Digest finish();
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, 64> opad_{};
+};
+
 /// HKDF-Expand-like: out_len bytes keyed by `key`, labelled by `info`.
 [[nodiscard]] util::Bytes kdf_expand(util::ByteView key, util::ByteView info,
                                      std::size_t out_len);

@@ -25,7 +25,23 @@ std::uint8_t Rc4::next() {
 }
 
 void Rc4::process(std::span<std::uint8_t> data) {
-  for (auto& b : data) b ^= next();
+  // Batched keystream generation: the PRGA indices live in locals for the
+  // whole run instead of round-tripping through members on every byte, and
+  // the swap is expressed as two stores so s_[i]/s_[j] load only once.
+  std::uint8_t i = i_;
+  std::uint8_t j = j_;
+  auto& s = s_;
+  for (auto& b : data) {
+    i = static_cast<std::uint8_t>(i + 1);
+    const std::uint8_t si = s[i];
+    j = static_cast<std::uint8_t>(j + si);
+    const std::uint8_t sj = s[j];
+    s[i] = sj;
+    s[j] = si;
+    b ^= s[static_cast<std::uint8_t>(si + sj)];
+  }
+  i_ = i;
+  j_ = j;
 }
 
 util::Bytes Rc4::apply(util::ByteView data) {

@@ -7,12 +7,12 @@ SeqNumMonitor::SeqNumMonitor(sim::Simulator& simulator, phy::Medium& medium,
     : sim_(simulator), config_(config), radio_(medium, "seq-monitor") {
   radio_.set_channel(config_.channel);
   radio_.set_receive_handler([this](util::ByteView raw, const phy::RxInfo& info) {
-    const auto frame = dot11::Frame::parse(raw);
+    const auto frame = dot11::FrameView::parse(raw);
     if (frame) observe(*frame, info.time);
   });
 }
 
-void SeqNumMonitor::observe(const dot11::Frame& frame, sim::Time at) {
+void SeqNumMonitor::observe(const dot11::FrameView& frame, sim::Time at) {
   ++frames_;
   auto& tx = state_[frame.addr2];
   const std::uint16_t seq = frame.sequence & 0x0fff;

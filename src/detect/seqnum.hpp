@@ -48,7 +48,7 @@ class SeqNumMonitor {
   [[nodiscard]] phy::Radio& radio() { return radio_; }
 
   /// Feed a frame directly (for offline analysis of captures).
-  void observe(const dot11::Frame& frame, sim::Time at);
+  void observe(const dot11::FrameView& frame, sim::Time at);
 
  private:
   sim::Simulator& sim_;

@@ -137,7 +137,7 @@ void AccessPoint::send_beacon() {
 void AccessPoint::on_receive(util::ByteView raw, const phy::RxInfo& info) {
   (void)info;
   if (!running_) return;
-  const auto frame = Frame::parse(raw);
+  const auto frame = FrameView::parse(raw);
   if (!frame) return;
   // Only frames addressed to this BSS (or broadcast probes).
   if (frame->addr1 != config_.bssid && !frame->addr1.is_broadcast()) return;
@@ -156,7 +156,7 @@ void AccessPoint::on_receive(util::ByteView raw, const phy::RxInfo& info) {
   }
 }
 
-void AccessPoint::handle_probe_req(const Frame& frame) {
+void AccessPoint::handle_probe_req(const FrameView& frame) {
   const auto req = ProbeReqBody::decode(frame.body);
   if (!req) return;
   if (!req->ssid.empty() && req->ssid != config_.ssid) return;
@@ -168,7 +168,7 @@ void AccessPoint::handle_probe_req(const Frame& frame) {
   send_mgmt(MgmtSubtype::kProbeResp, frame.addr2, resp.encode());
 }
 
-void AccessPoint::handle_auth(const Frame& frame) {
+void AccessPoint::handle_auth(const FrameView& frame) {
   // Shared-key transaction 3 arrives WEP-encapsulated (protected bit set);
   // everything else is cleartext.
   std::optional<AuthBody> auth;
@@ -267,7 +267,7 @@ void AccessPoint::handle_auth(const Frame& frame) {
   }
 }
 
-void AccessPoint::handle_assoc_req(const Frame& frame) {
+void AccessPoint::handle_assoc_req(const FrameView& frame) {
   const auto req = AssocReqBody::decode(frame.body);
   if (!req) return;
   const net::MacAddr sta = frame.addr2;
@@ -301,7 +301,7 @@ void AccessPoint::handle_assoc_req(const Frame& frame) {
   }
 }
 
-void AccessPoint::handle_deauth(const Frame& frame) {
+void AccessPoint::handle_deauth(const FrameView& frame) {
   const net::MacAddr sta = frame.addr2;
   wpa_.erase(sta);
   if (associated_.erase(sta) > 0 || authenticated_.erase(sta) > 0) {
@@ -310,23 +310,25 @@ void AccessPoint::handle_deauth(const Frame& frame) {
   }
 }
 
-void AccessPoint::handle_data(const Frame& frame) {
+void AccessPoint::handle_data(const FrameView& frame) {
   const net::MacAddr sta = frame.addr2;
   if (!associated_.contains(sta)) return;
 
-  util::Bytes msdu;
+  util::Bytes decrypted;  // owns the plaintext on the WEP/WPA paths
+  util::ByteView msdu;    // open mode views the frame body directly
   switch (config_.security) {
     case SecurityMode::kWep: {
       if (!frame.protected_frame) {
         ++counters_.dropped_unencrypted;
         return;
       }
-      const auto dec = crypto::wep_decrypt(frame.body, config_.wep_key);
+      auto dec = crypto::wep_decrypt(frame.body, config_.wep_key);
       if (!dec) {
         ++counters_.wep_icv_failures;
         return;
       }
-      msdu = dec->plaintext;
+      decrypted = std::move(dec->plaintext);
+      msdu = decrypted;
       break;
     }
     case SecurityMode::kEap:
@@ -343,7 +345,7 @@ void AccessPoint::handle_data(const Frame& frame) {
       }
       auto it = wpa_.find(sta);
       if (it == wpa_.end() || !it->second.established) return;
-      const auto opened = wpa_open(it->second.ptk.aead_key, frame.body);
+      auto opened = wpa_open(it->second.ptk.aead_key, frame.body);
       if (!opened) {
         ++counters_.wpa_open_failures;
         return;
@@ -354,7 +356,8 @@ void AccessPoint::handle_data(const Frame& frame) {
         return;
       }
       it->second.rx_pn_max = opened->pn;
-      msdu = opened->msdu;
+      decrypted = std::move(opened->msdu);
+      msdu = decrypted;
       break;
     }
     case SecurityMode::kOpen: {

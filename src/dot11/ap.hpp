@@ -118,11 +118,11 @@ class AccessPoint {
   };
 
   void on_receive(util::ByteView raw, const phy::RxInfo& info);
-  void handle_probe_req(const Frame& frame);
-  void handle_auth(const Frame& frame);
-  void handle_assoc_req(const Frame& frame);
-  void handle_data(const Frame& frame);
-  void handle_deauth(const Frame& frame);
+  void handle_probe_req(const FrameView& frame);
+  void handle_auth(const FrameView& frame);
+  void handle_assoc_req(const FrameView& frame);
+  void handle_data(const FrameView& frame);
+  void handle_deauth(const FrameView& frame);
   void start_wpa_handshake(net::MacAddr sta);
   /// EAPOL frames are unacknowledged; the authenticator retransmits the
   /// current message (M1 or M3) until the next one arrives or it gives up.

@@ -70,8 +70,31 @@ void Frame::serialize_into(util::Bytes& out) const {
 }
 
 std::optional<Frame> Frame::parse(util::ByteView raw) {
-  util::ByteReader r(raw);
+  const auto view = FrameView::parse(raw);
+  if (!view) return std::nullopt;
+  return view->to_frame();
+}
+
+Frame FrameView::to_frame() const {
   Frame f;
+  f.type = type;
+  f.subtype = subtype;
+  f.to_ds = to_ds;
+  f.from_ds = from_ds;
+  f.retry = retry;
+  f.protected_frame = protected_frame;
+  f.addr1 = addr1;
+  f.addr2 = addr2;
+  f.addr3 = addr3;
+  f.sequence = sequence;
+  f.fragment = fragment;
+  f.body.assign(body.begin(), body.end());
+  return f;
+}
+
+std::optional<FrameView> FrameView::parse(util::ByteView raw) {
+  util::ByteReader r(raw);
+  FrameView f;
   const std::uint8_t fc0 = r.u8();
   const std::uint8_t fc1 = r.u8();
   if ((fc0 & 0x03) != 0) return std::nullopt;  // protocol version must be 0
@@ -88,9 +111,8 @@ std::optional<Frame> Frame::parse(util::ByteView raw) {
   const std::uint16_t seq_ctrl = r.u16le();
   f.sequence = static_cast<std::uint16_t>(seq_ctrl >> 4);
   f.fragment = static_cast<std::uint8_t>(seq_ctrl & 0x0f);
-  const util::ByteView body = r.take_rest();
+  f.body = r.take_rest();
   if (!r.ok()) return std::nullopt;
-  f.body.assign(body.begin(), body.end());
   return f;
 }
 

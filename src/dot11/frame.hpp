@@ -92,6 +92,40 @@ struct Frame {
   [[nodiscard]] static std::optional<Frame> parse(util::ByteView raw);
 };
 
+/// Non-owning variant of Frame for rx hot paths: header fields are
+/// decoded, `body` views the delivered buffer. Valid only while that
+/// buffer lives — copy (to_frame / explicit assign) at ownership
+/// boundaries such as queues.
+struct FrameView {
+  FrameType type = FrameType::kManagement;
+  std::uint8_t subtype = 0;
+  bool to_ds = false;
+  bool from_ds = false;
+  bool retry = false;
+  bool protected_frame = false;
+
+  net::MacAddr addr1;
+  net::MacAddr addr2;
+  net::MacAddr addr3;
+
+  std::uint16_t sequence = 0;
+  std::uint8_t fragment = 0;
+
+  util::ByteView body;
+
+  [[nodiscard]] MgmtSubtype mgmt_subtype() const {
+    return static_cast<MgmtSubtype>(subtype);
+  }
+  [[nodiscard]] bool is_mgmt(MgmtSubtype s) const {
+    return type == FrameType::kManagement && mgmt_subtype() == s;
+  }
+  [[nodiscard]] bool is_data() const { return type == FrameType::kData; }
+
+  /// Owning copy (the body is materialised).
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static std::optional<FrameView> parse(util::ByteView raw);
+};
+
 // ---- Management frame bodies -------------------------------------------
 
 /// Capability bits (subset): privacy == WEP required.

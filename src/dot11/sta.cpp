@@ -262,7 +262,7 @@ void Station::arm_beacon_watchdog() {
 
 void Station::on_receive(util::ByteView raw, const phy::RxInfo& info) {
   if (!running_) return;
-  const auto frame = Frame::parse(raw);
+  const auto frame = FrameView::parse(raw);
   if (!frame) return;
 
   if (frame->is_mgmt(MgmtSubtype::kBeacon) || frame->is_mgmt(MgmtSubtype::kProbeResp)) {
@@ -285,7 +285,7 @@ void Station::on_receive(util::ByteView raw, const phy::RxInfo& info) {
   }
 }
 
-void Station::handle_beacon(const Frame& frame, const phy::RxInfo& info) {
+void Station::handle_beacon(const FrameView& frame, const phy::RxInfo& info) {
   const auto beacon = BeaconBody::decode(frame.body);
   if (!beacon) return;
 
@@ -308,7 +308,7 @@ void Station::handle_beacon(const Frame& frame, const phy::RxInfo& info) {
   }
 }
 
-void Station::handle_auth_resp(const Frame& frame) {
+void Station::handle_auth_resp(const FrameView& frame) {
   if (state_ != StationState::kAuthenticating) return;
   if (frame.addr2 != current_bss_.bssid) return;
   const auto auth = AuthBody::decode(frame.body);
@@ -339,7 +339,7 @@ void Station::handle_auth_resp(const Frame& frame) {
   }
 }
 
-void Station::handle_assoc_resp(const Frame& frame) {
+void Station::handle_assoc_resp(const FrameView& frame) {
   if (state_ != StationState::kAssociating) return;
   if (frame.addr2 != current_bss_.bssid) return;
   const auto resp = AssocRespBody::decode(frame.body);
@@ -352,7 +352,7 @@ void Station::handle_assoc_resp(const Frame& frame) {
   become_associated();
 }
 
-void Station::handle_deauth(const Frame& frame) {
+void Station::handle_deauth(const FrameView& frame) {
   // Note: no authentication of deauth frames in 802.11-1999 — anyone who
   // can forge addr2 == BSSID can kick us off (used by attack/deauth).
   if (state_ == StationState::kIdle || state_ == StationState::kScanning) return;
@@ -362,20 +362,22 @@ void Station::handle_deauth(const Frame& frame) {
   disconnect("deauth");
 }
 
-void Station::handle_data(const Frame& frame) {
+void Station::handle_data(const FrameView& frame) {
   if (state_ != StationState::kAssociated) return;
   if (frame.addr2 != current_bss_.bssid) return;
 
-  util::Bytes msdu;
+  util::Bytes decrypted;  // owns the plaintext on the WEP/WPA paths
+  util::ByteView msdu;    // open mode views the frame body directly
   switch (config_.security) {
     case SecurityMode::kWep: {
       if (!frame.protected_frame) return;
-      const auto dec = crypto::wep_decrypt(frame.body, config_.wep_key);
+      auto dec = crypto::wep_decrypt(frame.body, config_.wep_key);
       if (!dec) {
         ++counters_.wep_icv_failures;
         return;
       }
-      msdu = dec->plaintext;
+      decrypted = std::move(dec->plaintext);
+      msdu = decrypted;
       break;
     }
     case SecurityMode::kEap:
@@ -389,7 +391,7 @@ void Station::handle_data(const Frame& frame) {
       }
       if (!wpa_established_) return;
       const bool group = frame.addr1.is_broadcast() || frame.addr1.is_multicast();
-      const auto opened =
+      auto opened =
           wpa_open(group ? util::ByteView(gtk_) : util::ByteView(ptk_.aead_key),
                    frame.body);
       if (!opened) {
@@ -402,7 +404,8 @@ void Station::handle_data(const Frame& frame) {
         return;
       }
       high_water = opened->pn;
-      msdu = opened->msdu;
+      decrypted = std::move(opened->msdu);
+      msdu = decrypted;
       break;
     }
     case SecurityMode::kOpen: {

@@ -129,11 +129,11 @@ class Station {
 
  private:
   void on_receive(util::ByteView raw, const phy::RxInfo& info);
-  void handle_beacon(const Frame& frame, const phy::RxInfo& info);
-  void handle_auth_resp(const Frame& frame);
-  void handle_assoc_resp(const Frame& frame);
-  void handle_deauth(const Frame& frame);
-  void handle_data(const Frame& frame);
+  void handle_beacon(const FrameView& frame, const phy::RxInfo& info);
+  void handle_auth_resp(const FrameView& frame);
+  void handle_assoc_resp(const FrameView& frame);
+  void handle_deauth(const FrameView& frame);
+  void handle_data(const FrameView& frame);
   void handle_eapol(util::ByteView payload);
   void send_eapol(const WpaHandshakeFrame& frame);
 

@@ -6,6 +6,12 @@ namespace rogue::net {
 
 util::Bytes ArpPacket::serialize() const {
   util::Bytes out;
+  serialize_into(out);
+  return out;
+}
+
+void ArpPacket::serialize_into(util::Bytes& out) const {
+  out.clear();
   out.reserve(28);
   util::ByteWriter w(out);
   w.u16be(1);       // htype: Ethernet
@@ -17,7 +23,6 @@ util::Bytes ArpPacket::serialize() const {
   w.u32be(sender_ip.value());
   w.raw(util::ByteView(target_mac.octets().data(), 6));
   w.u32be(target_ip.value());
-  return out;
 }
 
 std::optional<ArpPacket> ArpPacket::parse(util::ByteView raw) {

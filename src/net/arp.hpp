@@ -25,6 +25,9 @@ struct ArpPacket {
   Ipv4Addr target_ip;
 
   [[nodiscard]] util::Bytes serialize() const;
+  /// serialize() into a caller-provided (typically pooled) buffer; `out`
+  /// is cleared first and its capacity reused.
+  void serialize_into(util::Bytes& out) const;
   [[nodiscard]] static std::optional<ArpPacket> parse(util::ByteView raw);
 };
 

@@ -1,15 +1,57 @@
 #include "net/checksum.hpp"
 
+#include <bit>
+#include <cstring>
+
 namespace rogue::net {
 
 namespace {
+// Wide accumulation: sum the buffer 64 bits at a time in native byte order
+// with end-around carry, fold to 16 bits, then swap into network order.
+// One's-complement sums are byte-order independent (RFC 1071 §2B), so this
+// matches the big-endian byte-pair loop exactly — including the 0/0xffff
+// representative, since a nonzero buffer can never fold to zero on either
+// path. The odd trailing byte is padded on its low-address side, which the
+// one-byte memcpy into a zeroed u16 reproduces on either endianness.
 [[nodiscard]] std::uint32_t sum16(util::ByteView data, std::uint32_t acc) {
-  std::size_t i = 0;
-  for (; i + 1 < data.size(); i += 2) {
-    acc += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  std::uint64_t sum = 0;
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    sum += w;
+    sum += static_cast<std::uint64_t>(sum < w);  // end-around carry
+    p += 8;
+    n -= 8;
   }
-  if (i < data.size()) acc += static_cast<std::uint32_t>(data[i] << 8);
-  return acc;
+  sum = (sum & 0xffffffffull) + (sum >> 32);
+  if (n >= 4) {
+    std::uint32_t w;
+    std::memcpy(&w, p, 4);
+    sum += w;
+    p += 4;
+    n -= 4;
+  }
+  if (n >= 2) {
+    std::uint16_t w;
+    std::memcpy(&w, p, 2);
+    sum += w;
+    p += 2;
+    n -= 2;
+  }
+  if (n != 0) {
+    std::uint16_t w = 0;
+    std::memcpy(&w, p, 1);
+    sum += w;
+  }
+  sum = (sum & 0xffffffffull) + (sum >> 32);
+  while ((sum >> 16) != 0) sum = (sum & 0xffffull) + (sum >> 16);
+  auto r = static_cast<std::uint16_t>(sum);
+  if constexpr (std::endian::native == std::endian::little) {
+    r = static_cast<std::uint16_t>((r >> 8) | (r << 8));
+  }
+  return acc + r;
 }
 
 [[nodiscard]] std::uint16_t fold(std::uint32_t acc) {

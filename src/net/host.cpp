@@ -24,7 +24,10 @@ NetIf& Host::attach(std::unique_ptr<NetIf> iface) {
       sim_, ref.mac(), [this, iface_ptr = &ref](const ArpPacket& pkt) {
         const MacAddr dst = pkt.op == ArpOp::kRequest ? MacAddr::broadcast()
                                                       : pkt.target_mac;
-        iface_ptr->send(dst, dot11::kEtherTypeArp, pkt.serialize());
+        util::Bytes raw = sim_.buffer_pool().acquire(28);
+        pkt.serialize_into(raw);
+        iface_ptr->send(dst, dot11::kEtherTypeArp, raw);
+        sim_.buffer_pool().release(std::move(raw));
       });
   arps_[ref.name()] = std::move(arp);
   iface->set_rx_callback(
@@ -185,9 +188,19 @@ void Host::on_frame(NetIf& iface, const L2Frame& frame) {
   // sniffers bypass this by reading the medium directly.
   if (frame.dst != iface.mac() && !frame.dst.is_broadcast()) return;
 
-  auto packet = Ipv4Packet::parse(frame.payload);
-  if (!packet) return;
-  on_ip_packet(iface, std::move(*packet));
+  const auto view = Ipv4View::parse(frame.payload);
+  if (!view) return;
+  // Zero-copy fast path: a locally-addressed packet with no tap and no
+  // netfilter work on the rx hooks is delivered straight off the frame
+  // buffer. Anything that can observe or mutate the packet (tap, rules,
+  // conntrack, forwarding) takes the owning-copy slow path instead.
+  if (!tap_ && netfilter_.quiescent(Hook::kPrerouting) &&
+      netfilter_.quiescent(Hook::kInput) && is_local_ip(view->dst)) {
+    ++counters_.ip_received;
+    deliver_local_view(*view);
+    return;
+  }
+  on_ip_packet(iface, view->to_packet());
 }
 
 void Host::on_ip_packet(NetIf& iface, Ipv4Packet packet) {
@@ -217,23 +230,32 @@ void Host::on_ip_packet(NetIf& iface, Ipv4Packet packet) {
 }
 
 void Host::deliver_local(const Ipv4Packet& packet) {
+  deliver_to_stack(packet.src, packet.dst, packet.protocol, packet.payload);
+}
+
+void Host::deliver_local_view(const Ipv4View& packet) {
+  deliver_to_stack(packet.src, packet.dst, packet.protocol, packet.payload);
+}
+
+void Host::deliver_to_stack(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
+                            util::ByteView payload) {
   ++counters_.ip_delivered;
-  switch (packet.protocol) {
+  switch (protocol) {
     case kProtoTcp:
-      tcp_.on_packet(packet.src, packet.dst, packet.payload);
+      tcp_.on_packet(src, dst, payload);
       return;
     case kProtoUdp:
-      udp_.on_packet(packet.src, packet.dst, packet.payload);
+      udp_.on_packet(src, dst, payload);
       return;
     case kProtoIcmp:
-      handle_icmp(packet);
+      handle_icmp(src, payload);
       return;
     default:
       break;
   }
-  const auto it = protocol_handlers_.find(packet.protocol);
+  const auto it = protocol_handlers_.find(protocol);
   if (it != protocol_handlers_.end()) {
-    it->second(packet.src, packet.dst, packet.payload);
+    it->second(src, dst, payload);
   }
 }
 
@@ -301,17 +323,15 @@ util::Bytes icmp_echo(std::uint8_t type, std::uint16_t id, std::uint16_t seq) {
 }
 }  // namespace
 
-void Host::handle_icmp(const Ipv4Packet& packet) {
-  if (packet.payload.size() < 8) return;
-  const std::uint8_t type = packet.payload[0];
-  const auto id = static_cast<std::uint16_t>((packet.payload[4] << 8) |
-                                             packet.payload[5]);
-  const auto seq = static_cast<std::uint16_t>((packet.payload[6] << 8) |
-                                              packet.payload[7]);
+void Host::handle_icmp(Ipv4Addr src, util::ByteView payload) {
+  if (payload.size() < 8) return;
+  const std::uint8_t type = payload[0];
+  const auto id = static_cast<std::uint16_t>((payload[4] << 8) | payload[5]);
+  const auto seq = static_cast<std::uint16_t>((payload[6] << 8) | payload[7]);
 
   if (type == kIcmpEchoRequest) {
     ++counters_.icmp_echo_replies;
-    send_ip(packet.src, kProtoIcmp, icmp_echo(kIcmpEchoReply, id, seq));
+    send_ip(src, kProtoIcmp, icmp_echo(kIcmpEchoReply, id, seq));
     return;
   }
   if (type == kIcmpEchoReply) {

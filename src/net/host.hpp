@@ -98,10 +98,14 @@ class Host {
   void on_frame(NetIf& iface, const L2Frame& frame);
   void on_ip_packet(NetIf& iface, Ipv4Packet packet);
   void deliver_local(const Ipv4Packet& packet);
+  /// Zero-copy variant of deliver_local for the rx fast path.
+  void deliver_local_view(const Ipv4View& packet);
+  void deliver_to_stack(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
+                        util::ByteView payload);
   void forward(NetIf& in_iface, Ipv4Packet packet);
   /// Route + ARP-resolve + hand to the interface.
   void transmit(Ipv4Packet packet, const Route& route);
-  void handle_icmp(const Ipv4Packet& packet);
+  void handle_icmp(Ipv4Addr src, util::ByteView payload);
 
   sim::Simulator& sim_;
   std::string name_;

@@ -34,12 +34,18 @@ void Ipv4Packet::serialize_into(util::Bytes& out) const {
 }
 
 std::optional<Ipv4Packet> Ipv4Packet::parse(util::ByteView raw) {
+  const auto view = Ipv4View::parse(raw);
+  if (!view) return std::nullopt;
+  return view->to_packet();
+}
+
+std::optional<Ipv4View> Ipv4View::parse(util::ByteView raw) {
   if (raw.size() < 20) return std::nullopt;
   if (raw[0] != 0x45) return std::nullopt;  // options unsupported
   if (internet_checksum(raw.subspan(0, 20)) != 0) return std::nullopt;
 
   util::ByteReader r(raw);
-  Ipv4Packet p;
+  Ipv4View p;
   (void)r.u8();
   p.tos = r.u8();
   const std::uint16_t total_len = r.u16be();
@@ -51,8 +57,19 @@ std::optional<Ipv4Packet> Ipv4Packet::parse(util::ByteView raw) {
   p.src = Ipv4Addr(r.u32be());
   p.dst = Ipv4Addr(r.u32be());
   if (total_len < 20 || total_len > raw.size()) return std::nullopt;
-  const util::ByteView body = raw.subspan(20, total_len - 20u);
-  p.payload.assign(body.begin(), body.end());
+  p.payload = raw.subspan(20, total_len - 20u);
+  return p;
+}
+
+Ipv4Packet Ipv4View::to_packet() const {
+  Ipv4Packet p;
+  p.tos = tos;
+  p.id = id;
+  p.ttl = ttl;
+  p.protocol = protocol;
+  p.src = src;
+  p.dst = dst;
+  p.payload.assign(payload.begin(), payload.end());
   return p;
 }
 

@@ -37,6 +37,25 @@ struct Ipv4Packet {
   [[nodiscard]] static std::optional<Ipv4Packet> parse(util::ByteView raw);
 };
 
+/// Non-owning parse result: header fields plus a view of the payload
+/// inside the delivered buffer. The rx fast path uses this to route and
+/// deliver without copying; valid only while the underlying buffer is.
+struct Ipv4View {
+  std::uint8_t tos = 0;
+  std::uint16_t id = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  util::ByteView payload;
+
+  /// Parse and verify header checksum; nullopt if malformed.
+  [[nodiscard]] static std::optional<Ipv4View> parse(util::ByteView raw);
+  /// Materialize an owning packet (copies the payload) — the ownership
+  /// boundary for paths that mutate or outlive the delivered buffer.
+  [[nodiscard]] Ipv4Packet to_packet() const;
+};
+
 /// Recompute the TCP/UDP checksum inside `packet.payload` using the
 /// packet's current src/dst (call after assigning/rewriting addresses).
 void fix_transport_checksum(Ipv4Packet& packet);

@@ -95,6 +95,18 @@ class Netfilter {
   [[nodiscard]] const NetfilterCounters& counters() const { return counters_; }
   [[nodiscard]] std::size_t conntrack_size() const { return nat_entries_.size(); }
 
+  /// True when run() on this hook is a guaranteed no-op for every packet:
+  /// the chain is empty and — for the NAT hooks, which consult conntrack
+  /// before any rule — there are no translation entries either. Gates the
+  /// host's zero-copy rx fast path.
+  [[nodiscard]] bool quiescent(Hook hook) const {
+    if (!chains_[static_cast<std::size_t>(hook)].empty()) return false;
+    if (hook == Hook::kPrerouting || hook == Hook::kPostrouting) {
+      return nat_entries_.empty();
+    }
+    return true;
+  }
+
   /// Extract transport ports (TCP/UDP only).
   [[nodiscard]] static std::optional<std::pair<std::uint16_t, std::uint16_t>>
   ports_of(const Ipv4Packet& packet);

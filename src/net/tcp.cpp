@@ -33,12 +33,12 @@ void TcpSegment::serialize_into(Ipv4Addr src, Ipv4Addr dst, util::Bytes& out) co
   out[17] = static_cast<std::uint8_t>(sum);
 }
 
-std::optional<TcpSegment> TcpSegment::parse(Ipv4Addr src, Ipv4Addr dst,
-                                            util::ByteView raw) {
+std::optional<TcpSegmentView> TcpSegmentView::parse(Ipv4Addr src, Ipv4Addr dst,
+                                                    util::ByteView raw) {
   if (raw.size() < 20) return std::nullopt;
   if (transport_checksum(src, dst, kProtoTcp, raw) != 0) return std::nullopt;
   util::ByteReader r(raw);
-  TcpSegment s;
+  TcpSegmentView s;
   s.sport = r.u16be();
   s.dport = r.u16be();
   s.seq = r.u32be();
@@ -50,8 +50,22 @@ std::optional<TcpSegment> TcpSegment::parse(Ipv4Addr src, Ipv4Addr dst,
   (void)r.u16be();
   const std::size_t header_len = static_cast<std::size_t>(offset_words) * 4;
   if (header_len < 20 || header_len > raw.size()) return std::nullopt;
-  const util::ByteView body = raw.subspan(header_len);
-  s.payload.assign(body.begin(), body.end());
+  s.payload = raw.subspan(header_len);
+  return s;
+}
+
+std::optional<TcpSegment> TcpSegment::parse(Ipv4Addr src, Ipv4Addr dst,
+                                            util::ByteView raw) {
+  const auto view = TcpSegmentView::parse(src, dst, raw);
+  if (!view) return std::nullopt;
+  TcpSegment s;
+  s.sport = view->sport;
+  s.dport = view->dport;
+  s.seq = view->seq;
+  s.ack = view->ack;
+  s.flags = view->flags;
+  s.window = view->window;
+  s.payload.assign(view->payload.begin(), view->payload.end());
   return s;
 }
 
@@ -83,7 +97,7 @@ void TcpConnection::start_connect() {
   arm_rtx_timer();
 }
 
-void TcpConnection::start_accept(const TcpSegment& syn) {
+void TcpConnection::start_accept(const TcpSegmentView& syn) {
   irs_ = syn.seq;
   rcv_nxt_ = syn.seq + 1;
   peer_window_ = syn.window;
@@ -240,7 +254,7 @@ void TcpConnection::on_rtx_timeout() {
   arm_rtx_timer();
 }
 
-void TcpConnection::on_segment(const TcpSegment& seg) {
+void TcpConnection::on_segment(const TcpSegmentView& seg) {
   if (finished_) return;
   ++stats_.segments_received;
   peer_window_ = seg.window;
@@ -292,7 +306,7 @@ void TcpConnection::on_segment(const TcpSegment& seg) {
   if (!seg.payload.empty() || seg.has(kTcpFin)) process_payload(seg);
 }
 
-void TcpConnection::process_ack(const TcpSegment& seg) {
+void TcpConnection::process_ack(const TcpSegmentView& seg) {
   const std::uint32_t ack = seg.ack;
 
   if (seq_lt(snd_una_, ack) && seq_le(ack, snd_nxt_)) {
@@ -383,7 +397,7 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
   }
 }
 
-void TcpConnection::process_payload(const TcpSegment& seg) {
+void TcpConnection::process_payload(const TcpSegmentView& seg) {
   std::uint32_t seq = seg.seq;
   util::ByteView data(seg.payload);
 
@@ -572,7 +586,8 @@ bool TcpStack::transmit(Ipv4Addr src, Ipv4Addr dst, const TcpSegment& seg) {
   return sent;
 }
 
-void TcpStack::send_rst(Ipv4Addr src, Ipv4Addr dst, const TcpSegment& offending) {
+void TcpStack::send_rst(Ipv4Addr src, Ipv4Addr dst,
+                        const TcpSegmentView& offending) {
   if (offending.has(kTcpRst)) return;
   TcpSegment rst;
   rst.sport = offending.dport;
@@ -585,7 +600,7 @@ void TcpStack::send_rst(Ipv4Addr src, Ipv4Addr dst, const TcpSegment& offending)
 }
 
 void TcpStack::on_packet(Ipv4Addr src, Ipv4Addr dst, util::ByteView payload) {
-  const auto seg = TcpSegment::parse(src, dst, payload);
+  const auto seg = TcpSegmentView::parse(src, dst, payload);
   if (!seg) return;
 
   const FlowKey key{dst, seg->dport, src, seg->sport};

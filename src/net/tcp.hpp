@@ -30,6 +30,24 @@ inline constexpr std::uint8_t kTcpRst = 0x04;
 inline constexpr std::uint8_t kTcpPsh = 0x08;
 inline constexpr std::uint8_t kTcpAck = 0x10;
 
+/// Non-owning parsed segment for the rx hot path: `payload` views the
+/// delivered IP payload buffer. Copies happen only where the stack
+/// genuinely takes ownership (out-of-order reassembly buffering).
+struct TcpSegmentView {
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  util::ByteView payload;
+
+  [[nodiscard]] bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
+  /// Verifies the pseudo-header checksum, like TcpSegment::parse.
+  [[nodiscard]] static std::optional<TcpSegmentView> parse(Ipv4Addr src, Ipv4Addr dst,
+                                                           util::ByteView raw);
+};
+
 struct TcpSegment {
   std::uint16_t sport = 0;
   std::uint16_t dport = 0;
@@ -136,10 +154,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
                 Ipv4Addr remote_ip, std::uint16_t remote_port);
 
   void start_connect();
-  void start_accept(const TcpSegment& syn);
-  void on_segment(const TcpSegment& seg);
-  void process_ack(const TcpSegment& seg);
-  void process_payload(const TcpSegment& seg);
+  void start_accept(const TcpSegmentView& syn);
+  void on_segment(const TcpSegmentView& seg);
+  void process_ack(const TcpSegmentView& seg);
+  void process_payload(const TcpSegmentView& seg);
   void try_send();
   void send_segment(std::uint8_t flags, std::uint32_t seq, util::Bytes payload);
   void send_ack();
@@ -250,7 +268,7 @@ class TcpStack {
   };
 
   bool transmit(Ipv4Addr src, Ipv4Addr dst, const TcpSegment& seg);
-  void send_rst(Ipv4Addr src, Ipv4Addr dst, const TcpSegment& offending);
+  void send_rst(Ipv4Addr src, Ipv4Addr dst, const TcpSegmentView& offending);
   void remove(TcpConnection* conn);
   [[nodiscard]] std::uint16_t ephemeral_port();
   [[nodiscard]] std::uint32_t initial_sequence();

@@ -27,6 +27,12 @@ util::Bytes Radio::acquire_buffer(std::size_t reserve_hint) {
   return medium_.simulator().buffer_pool().acquire(reserve_hint);
 }
 
+void Radio::set_channel(Channel ch) {
+  if (ch == channel_) return;
+  medium_.move_channel(this, channel_, ch);
+  channel_ = ch;
+}
+
 void Radio::transmit(util::Bytes frame) {
   queue_.push_back(std::move(frame));
   if (!attempt_pending_) {
@@ -107,10 +113,18 @@ double Medium::rssi_at(double tx_power_dbm, double dist_m) const {
   return tx_power_dbm - loss;
 }
 
-void Medium::attach(Radio* radio) { radios_.push_back(radio); }
+void Medium::attach(Radio* radio) {
+  radio->attach_seq_ = next_attach_seq_++;
+  radios_.push_back(radio);
+  by_channel_[radio->channel_].push_back(radio);
+}
 
 void Medium::detach(Radio* radio) {
   std::erase(radios_, radio);
+  std::erase(by_channel_[radio->channel_], radio);
+  // attach_seq_ values are never reused, but dropping the whole cache on a
+  // (rare) detach keeps it from accumulating dead pairs.
+  rssi_cache_.clear();
   // Any in-flight transmission from this radio is dropped at delivery time
   // (sender pointer no longer attached).
   for (auto& tx : active_) {
@@ -118,15 +132,39 @@ void Medium::detach(Radio* radio) {
   }
 }
 
+void Medium::move_channel(Radio* radio, Channel from, Channel to) {
+  std::erase(by_channel_[from], radio);
+  // Re-insert by attach_seq_ so the per-channel order always matches the
+  // relative order in radios_ (deliver's RNG draw order depends on it).
+  auto& list = by_channel_[to];
+  const auto pos = std::lower_bound(
+      list.begin(), list.end(), radio, [](const Radio* a, const Radio* b) {
+        return a->attach_seq_ < b->attach_seq_;
+      });
+  list.insert(pos, radio);
+}
+
+double Medium::pair_rssi(const Radio& tx, const Radio& rx) {
+  const std::uint64_t key = (tx.attach_seq_ << 32) | rx.attach_seq_;
+  const auto [it, inserted] = rssi_cache_.try_emplace(key);
+  RssiCacheEntry& entry = it->second;
+  if (inserted || entry.tx_epoch != tx.geom_epoch_ ||
+      entry.rx_epoch != rx.geom_epoch_) {
+    entry.tx_epoch = tx.geom_epoch_;
+    entry.rx_epoch = rx.geom_epoch_;
+    entry.rssi_dbm =
+        rssi_at(tx.tx_power_dbm_, distance(tx.position_, rx.position_));
+  }
+  return entry.rssi_dbm;
+}
+
 void Medium::transmit(Radio& sender, util::Bytes frame) {
   ++tx_count_;
   const sim::Time end = sim_.now() + airtime(frame.size());
   const std::uint64_t id = next_tx_id_++;
 
-  // Prune stale entries (delivered entries erase themselves; anything
-  // strictly past-end here is an orphan from a detached radio). Entries
-  // ending exactly now still have a pending deliver event — keep them.
-  std::erase_if(active_, [&](const ActiveTx& tx) { return tx.end_time < sim_.now(); });
+  // No pruning needed: every entry's deliver event erases it, and events
+  // fire in time order, so nothing in active_ is ever past its end_time.
   // Overlap on the same channel: two concurrent audible transmissions
   // corrupt each other (no capture effect).
   bool collided = false;
@@ -157,14 +195,13 @@ void Medium::deliver(std::uint64_t tx_id, const Radio* sender, const util::Bytes
   // Sender may have been detached mid-flight.
   if (std::find(radios_.begin(), radios_.end(), sender) == radios_.end()) return;
 
-  for (Radio* rx : radios_) {
+  // Per-channel index: same relative order as radios_, so the RNG draw
+  // sequence is identical to filtering the full list by channel.
+  for (Radio* rx : by_channel_[tx.channel]) {
     if (rx == sender) continue;
-    if (rx->channel() != tx.channel) continue;
     const double noise =
         config_.rssi_noise_db * (2.0 * sim_.rng().uniform01() - 1.0);
-    const double rssi =
-        rssi_at(sender->tx_power_dbm(), distance(sender->position(), rx->position())) +
-        noise;
+    const double rssi = pair_rssi(*sender, *rx) + noise;
     const double margin = rssi - rx->sensitivity_dbm();
     if (margin < 0.0) continue;
     const double floor_loss =

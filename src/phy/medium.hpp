@@ -10,9 +10,11 @@
 // on the same channel (collision, no capture effect).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -74,11 +76,17 @@ class Radio {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Channel channel() const { return channel_; }
-  void set_channel(Channel ch) { channel_ = ch; }
+  void set_channel(Channel ch);
   [[nodiscard]] const Position& position() const { return position_; }
-  void set_position(Position p) { position_ = p; }
+  void set_position(Position p) {
+    position_ = p;
+    ++geom_epoch_;
+  }
   [[nodiscard]] double tx_power_dbm() const { return tx_power_dbm_; }
-  void set_tx_power_dbm(double p) { tx_power_dbm_ = p; }
+  void set_tx_power_dbm(double p) {
+    tx_power_dbm_ = p;
+    ++geom_epoch_;
+  }
   [[nodiscard]] double sensitivity_dbm() const { return sensitivity_dbm_; }
   void set_sensitivity_dbm(double s) { sensitivity_dbm_ = s; }
 
@@ -109,6 +117,8 @@ class Radio {
   Position position_{};
   double tx_power_dbm_ = 15.0;
   double sensitivity_dbm_ = -85.0;
+  std::uint64_t attach_seq_ = 0;   ///< attach order; keys the medium's caches
+  std::uint32_t geom_epoch_ = 0;   ///< bumped on position/tx-power changes
   RxHandler handler_;
   std::vector<util::Bytes> queue_;
   sim::TimerHandle attempt_timer_;
@@ -157,16 +167,31 @@ class Medium {
     bool corrupted;
   };
 
+  /// Pairwise RSSI (before per-reception noise) memoised between geometry
+  /// changes; entries are revalidated against both radios' geom_epoch_.
+  struct RssiCacheEntry {
+    std::uint32_t tx_epoch = 0;
+    std::uint32_t rx_epoch = 0;
+    double rssi_dbm = 0.0;
+  };
+
   void attach(Radio* radio);
   void detach(Radio* radio);
+  void move_channel(Radio* radio, Channel from, Channel to);
   void transmit(Radio& sender, util::Bytes frame);
   void deliver(std::uint64_t tx_id, const Radio* sender, const util::Bytes& frame);
+  [[nodiscard]] double pair_rssi(const Radio& tx, const Radio& rx);
 
   sim::Simulator& sim_;
   MediumConfig config_;
   std::vector<Radio*> radios_;
+  /// Radios per channel, ordered by attach_seq_ — the same relative order
+  /// as radios_, so per-channel iteration preserves RNG draw order.
+  std::array<std::vector<Radio*>, 256> by_channel_{};
+  std::unordered_map<std::uint64_t, RssiCacheEntry> rssi_cache_;
   std::vector<ActiveTx> active_;
   double extra_loss_ = 0.0;
+  std::uint64_t next_attach_seq_ = 1;
   std::uint64_t next_tx_id_ = 1;
   std::uint64_t tx_count_ = 0;
   std::uint64_t collision_count_ = 0;

@@ -135,11 +135,26 @@ void ClientTunnel::teardown_transport() {
 }
 
 void ClientTunnel::send_message(const Message& msg) {
+  send_payload(msg.type, msg.payload);
+}
+
+void ClientTunnel::send_payload(MsgType type, util::ByteView payload) {
+  // Per-record hot path: wire encoding is built in a pooled buffer so
+  // steady-state tunnel traffic allocates nothing.
+  util::BufferPool& pool = host_.simulator().buffer_pool();
+  util::Bytes wire = pool.acquire(5 + payload.size());
   if (config_.transport == Transport::kTcp) {
-    if (tcp_) tcp_->send(msg.frame());
+    if (tcp_) {
+      frame_into(type, payload, wire);
+      tcp_->send(wire);
+    }
   } else {
-    if (udp_) udp_->send_to(config_.endpoint_ip, config_.endpoint_port, msg.datagram());
+    if (udp_) {
+      datagram_into(type, payload, wire);
+      udp_->send_to(config_.endpoint_ip, config_.endpoint_port, wire);
+    }
   }
+  pool.release(std::move(wire));
 }
 
 void ClientTunnel::report_initial(bool ok) {
@@ -271,12 +286,13 @@ void ClientTunnel::handle_assign(const Message& msg) {
 void ClientTunnel::bring_up_tun() {
   if (tun_ == nullptr) {
     auto tun = std::make_unique<TunIf>("tun0", [this](util::ByteView pkt) {
-      Message data;
-      data.type = MsgType::kData;
-      data.payload = seal_record(keys_.client_to_server, ++tx_seq_, pkt);
+      util::BufferPool& pool = host_.simulator().buffer_pool();
+      util::Bytes record = pool.acquire(8 + pkt.size() + crypto::kAeadTagLen);
+      seal_record_into(keys_.client_to_server, ++tx_seq_, pkt, record);
       counters_.bytes_sealed += pkt.size();
       ++counters_.records_out;
-      send_message(data);
+      send_payload(MsgType::kData, record);
+      pool.release(std::move(record));
       return true;
     });
     tun_ = tun.get();
@@ -312,18 +328,22 @@ void ClientTunnel::on_keepalive_tick() {
     return;
   }
   static const util::Bytes kProbeBody = {'k', 'a'};
-  Message probe;
-  probe.type = MsgType::kKeepalive;
-  probe.payload = seal_record(keys_.client_to_server, ++tx_seq_, kProbeBody);
+  util::BufferPool& pool = host_.simulator().buffer_pool();
+  util::Bytes record = pool.acquire(8 + kProbeBody.size() + crypto::kAeadTagLen);
+  seal_record_into(keys_.client_to_server, ++tx_seq_, kProbeBody, record);
   ++counters_.keepalives_sent;
-  send_message(probe);
+  send_payload(MsgType::kKeepalive, record);
+  pool.release(std::move(record));
 }
 
 void ClientTunnel::handle_keepalive_ack(const Message& msg) {
   if (!established_) return;
   std::uint64_t seq = 0;
-  const auto inner = open_record(keys_.server_to_client, msg.payload, &seq);
-  if (!inner) {
+  util::BufferPool& pool = host_.simulator().buffer_pool();
+  util::Bytes inner = pool.acquire(msg.payload.size());
+  const bool ok = open_record_append(keys_.server_to_client, msg.payload, &seq, inner);
+  pool.release(std::move(inner));
+  if (!ok) {
     ++counters_.records_bad;
     return;
   }
@@ -340,19 +360,25 @@ void ClientTunnel::handle_data(const Message& msg) {
   if (!established_) return;
   ++counters_.records_in;
   std::uint64_t seq = 0;
-  const auto inner = open_record(keys_.server_to_client, msg.payload, &seq);
-  if (!inner) {
+  util::BufferPool& pool = host_.simulator().buffer_pool();
+  util::Bytes inner = pool.acquire(msg.payload.size());
+  if (!open_record_append(keys_.server_to_client, msg.payload, &seq, inner)) {
+    pool.release(std::move(inner));
     ++counters_.records_bad;
     return;
   }
   if (seq <= last_rx_seq_ && last_rx_seq_ != 0) {
+    pool.release(std::move(inner));
     ++counters_.records_bad;
     return;
   }
   last_rx_seq_ = seq;
   last_peer_activity_ = host_.simulator().now();
-  counters_.bytes_decrypted += inner->size();
-  tun_->inject(*inner);
+  counters_.bytes_decrypted += inner.size();
+  // inject() copies at the L2Frame ownership boundary, so the pooled
+  // buffer can be released immediately after.
+  tun_->inject(inner);
+  pool.release(std::move(inner));
 }
 
 }  // namespace rogue::vpn

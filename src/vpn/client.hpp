@@ -111,6 +111,8 @@ class ClientTunnel {
   void teardown_transport();
   void report_initial(bool ok);
   void send_message(const Message& msg);
+  /// Hot-path variant: wire-encode (type, payload) in a pooled buffer.
+  void send_payload(MsgType type, util::ByteView payload);
   void on_message(const Message& msg);
   void handle_server_hello(const Message& msg);
   void handle_assign(const Message& msg);

@@ -88,8 +88,14 @@ void Endpoint::on_tcp_accept(net::TcpConnectionPtr conn) {
   auto session = std::make_shared<Session>();
   session->epoch = epoch_;
   std::weak_ptr<net::TcpConnection> weak = conn;
-  session->send = [weak](const Message& msg) {
-    if (const auto c = weak.lock()) c->send(msg.frame());
+  session->send = [this, weak](MsgType type, util::ByteView payload) {
+    if (const auto c = weak.lock()) {
+      util::BufferPool& pool = host_.simulator().buffer_pool();
+      util::Bytes wire = pool.acquire(5 + payload.size());
+      frame_into(type, payload, wire);
+      c->send(wire);
+      pool.release(std::move(wire));
+    }
   };
 
   auto reader = std::make_shared<MessageReader>();
@@ -118,8 +124,12 @@ void Endpoint::on_udp_datagram(net::Ipv4Addr src, std::uint16_t sport,
     session = std::make_shared<Session>();
     session->epoch = epoch_;
     auto socket = udp_;
-    session->send = [socket, src, sport](const Message& m) {
-      socket->send_to(src, sport, m.datagram());
+    session->send = [this, socket, src, sport](MsgType type, util::ByteView payload) {
+      util::BufferPool& pool = host_.simulator().buffer_pool();
+      util::Bytes wire = pool.acquire(1 + payload.size());
+      datagram_into(type, payload, wire);
+      socket->send_to(src, sport, wire);
+      pool.release(std::move(wire));
     };
   }
   handle_message(session, *msg);
@@ -155,10 +165,7 @@ void Endpoint::handle_client_hello(const SessionPtr& session, const Message& msg
       session->client_hello.size() >= msg.payload.size() &&
       std::equal(msg.payload.begin(), msg.payload.end(),
                  session->client_hello.begin())) {
-    Message cached;
-    cached.type = MsgType::kServerHello;
-    cached.payload = session->hello_reply;
-    session->send(cached);
+    session->send(MsgType::kServerHello, session->hello_reply);
     return;
   }
   session->client_hello = msg.payload;
@@ -181,27 +188,22 @@ void Endpoint::handle_client_hello(const SessionPtr& session, const Message& msg
   const crypto::Sha256Digest tag =
       server_auth_tag(config_.psk, session->client_hello, server_public);
 
-  Message hello;
-  hello.type = MsgType::kServerHello;
-  util::ByteWriter w(hello.payload);
+  session->hello_reply.clear();
+  util::ByteWriter w(session->hello_reply);
   w.raw(server_random);
   w.raw(server_public);
   w.raw(util::ByteView(tag.data(), tag.size()));
-  session->hello_reply = hello.payload;
   // Stash server_public for verifying the client's auth tag.
   session->client_hello.insert(session->client_hello.end(), server_public.begin(),
                                server_public.end());
-  session->send(hello);
+  session->send(MsgType::kServerHello, session->hello_reply);
 }
 
 void Endpoint::handle_client_auth(const SessionPtr& session, const Message& msg) {
   if (session->established) {
     // Duplicate auth after our Assign was lost: resend it.
     if (!session->assign_reply.empty()) {
-      Message cached;
-      cached.type = MsgType::kAssign;
-      cached.payload = session->assign_reply;
-      session->send(cached);
+      session->send(MsgType::kAssign, session->assign_reply);
     }
     return;
   }
@@ -228,12 +230,10 @@ void Endpoint::handle_client_auth(const SessionPtr& session, const Message& msg)
   by_tunnel_ip_[*tunnel_ip] = session;
   ++counters_.sessions_established;
 
-  Message assign;
-  assign.type = MsgType::kAssign;
-  util::ByteWriter w(assign.payload);
+  session->assign_reply.clear();
+  util::ByteWriter w(session->assign_reply);
   w.u32be(tunnel_ip->value());
-  session->assign_reply = assign.payload;
-  session->send(assign);
+  session->send(MsgType::kAssign, session->assign_reply);
 }
 
 void Endpoint::handle_data(const SessionPtr& session, const Message& msg) {
@@ -241,38 +241,39 @@ void Endpoint::handle_data(const SessionPtr& session, const Message& msg) {
   ++counters_.records_in;
 
   std::uint64_t seq = 0;
-  const auto inner =
-      open_record(session->keys.client_to_server, msg.payload, &seq);
-  if (!inner) {
-    ++counters_.records_bad;
-    return;
+  util::BufferPool& pool = host_.simulator().buffer_pool();
+  util::Bytes inner = pool.acquire(msg.payload.size());
+  bool ok = open_record_append(session->keys.client_to_server, msg.payload,
+                               &seq, inner);
+  if (ok && seq <= session->last_rx_seq && session->last_rx_seq != 0) {
+    ok = false;  // replay / reorder outside policy
   }
-  if (seq <= session->last_rx_seq && session->last_rx_seq != 0) {
-    ++counters_.records_bad;  // replay / reorder outside policy
-    return;
+  if (ok) {
+    session->last_rx_seq = seq;
+    const auto view = net::Ipv4View::parse(inner);
+    // Anti-spoofing: the inner source must be the assigned tunnel address.
+    if (view && view->src == session->tunnel_ip) {
+      counters_.bytes_decrypted += inner.size();
+      // to_packet() copies: the packet's ownership transfers to the host's
+      // forwarding path while the pooled buffer is recycled.
+      host_.send_packet(view->to_packet());
+    } else {
+      ok = false;
+    }
   }
-  session->last_rx_seq = seq;
-
-  auto packet = net::Ipv4Packet::parse(*inner);
-  if (!packet) {
-    ++counters_.records_bad;
-    return;
-  }
-  // Anti-spoofing: the inner source must be the assigned tunnel address.
-  if (packet->src != session->tunnel_ip) {
-    ++counters_.records_bad;
-    return;
-  }
-  counters_.bytes_decrypted += inner->size();
-  host_.send_packet(std::move(*packet));
+  if (!ok) ++counters_.records_bad;
+  pool.release(std::move(inner));
 }
 
 void Endpoint::handle_keepalive(const SessionPtr& session, const Message& msg) {
   if (!session->established) return;
   std::uint64_t seq = 0;
-  const auto inner =
-      open_record(session->keys.client_to_server, msg.payload, &seq);
-  if (!inner) {
+  util::BufferPool& pool = host_.simulator().buffer_pool();
+  util::Bytes inner = pool.acquire(msg.payload.size());
+  const bool ok =
+      open_record_append(session->keys.client_to_server, msg.payload, &seq, inner);
+  pool.release(std::move(inner));
+  if (!ok) {
     ++counters_.records_bad;
     return;
   }
@@ -284,27 +285,30 @@ void Endpoint::handle_keepalive(const SessionPtr& session, const Message& msg) {
   ++counters_.keepalives_in;
 
   static const util::Bytes kProbeBody = {'k', 'a'};
-  Message ack;
-  ack.type = MsgType::kKeepaliveAck;
-  ack.payload =
-      seal_record(session->keys.server_to_client, ++session->tx_seq, kProbeBody);
-  session->send(ack);
+  util::Bytes record = pool.acquire(8 + kProbeBody.size() + crypto::kAeadTagLen);
+  seal_record_into(session->keys.server_to_client, ++session->tx_seq, kProbeBody,
+                   record);
+  session->send(MsgType::kKeepaliveAck, record);
+  pool.release(std::move(record));
 }
 
 bool Endpoint::tun_transmit(util::ByteView ip_packet) {
-  const auto packet = net::Ipv4Packet::parse(ip_packet);
-  if (!packet) return false;
-  const auto it = by_tunnel_ip_.find(packet->dst);
+  // Ipv4View: only the header is inspected here; no reason to copy the
+  // payload just to read the destination address.
+  const auto view = net::Ipv4View::parse(ip_packet);
+  if (!view) return false;
+  const auto it = by_tunnel_ip_.find(view->dst);
   if (it == by_tunnel_ip_.end()) return false;
   Session& session = *it->second;
 
-  Message data;
-  data.type = MsgType::kData;
-  data.payload =
-      seal_record(session.keys.server_to_client, ++session.tx_seq, ip_packet);
+  util::BufferPool& pool = host_.simulator().buffer_pool();
+  util::Bytes record = pool.acquire(8 + ip_packet.size() + crypto::kAeadTagLen);
+  seal_record_into(session.keys.server_to_client, ++session.tx_seq, ip_packet,
+                   record);
   counters_.bytes_sealed += ip_packet.size();
   ++counters_.records_out;
-  session.send(data);
+  session.send(MsgType::kData, record);
+  pool.release(std::move(record));
   return true;
 }
 

@@ -78,8 +78,9 @@ class Endpoint {
     /// sessions from a pre-crash incarnation are dropped (their transport
     /// closures may still be alive inside TCP connection callbacks).
     std::uint64_t epoch = 0;
-    // Transport binding.
-    std::function<void(const Message&)> send;
+    // Transport binding: wire-encodes (type, payload) in a pooled buffer,
+    // so sealed records are sent without an intermediate Message copy.
+    std::function<void(MsgType type, util::ByteView payload)> send;
   };
   using SessionPtr = std::shared_ptr<Session>;
 

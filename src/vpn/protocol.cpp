@@ -4,20 +4,38 @@ namespace rogue::vpn {
 
 util::Bytes Message::frame() const {
   util::Bytes out;
+  frame_into(out);
+  return out;
+}
+
+void Message::frame_into(util::Bytes& out) const {
+  vpn::frame_into(type, payload, out);
+}
+
+void frame_into(MsgType type, util::ByteView payload, util::Bytes& out) {
+  out.clear();
   out.reserve(5 + payload.size());
   util::ByteWriter w(out);
   w.u32be(static_cast<std::uint32_t>(1 + payload.size()));
   w.u8(static_cast<std::uint8_t>(type));
   w.raw(payload);
-  return out;
 }
 
 util::Bytes Message::datagram() const {
   util::Bytes out;
+  datagram_into(out);
+  return out;
+}
+
+void Message::datagram_into(util::Bytes& out) const {
+  vpn::datagram_into(type, payload, out);
+}
+
+void datagram_into(MsgType type, util::ByteView payload, util::Bytes& out) {
+  out.clear();
   out.reserve(1 + payload.size());
   out.push_back(static_cast<std::uint8_t>(type));
   util::append(out, payload);
-  return out;
 }
 
 std::optional<Message> Message::from_datagram(util::ByteView raw) {
@@ -91,20 +109,35 @@ crypto::Sha256Digest client_auth_tag(util::ByteView psk, util::ByteView client_h
 util::Bytes seal_record(util::ByteView key, std::uint64_t seq,
                         util::ByteView inner_packet) {
   util::Bytes out;
+  seal_record_into(key, seq, inner_packet, out);
+  return out;
+}
+
+void seal_record_into(util::ByteView key, std::uint64_t seq,
+                      util::ByteView inner_packet, util::Bytes& out) {
+  out.clear();
+  out.reserve(8 + inner_packet.size() + crypto::kAeadTagLen);
   util::ByteWriter w(out);
   w.u64be(seq);
-  const util::Bytes sealed = crypto::aead_seal(key, seq, {}, inner_packet);
-  w.raw(sealed);
-  return out;
+  // Ciphertext and tag land directly after the seq header; the cipher runs
+  // in place in `out`, so the record is built with a single plaintext copy.
+  crypto::aead_seal_append(key, seq, {}, inner_packet, out);
 }
 
 std::optional<util::Bytes> open_record(util::ByteView key, util::ByteView record,
                                        std::uint64_t* seq_out) {
-  if (record.size() < 8) return std::nullopt;
+  util::Bytes out;
+  if (!open_record_append(key, record, seq_out, out)) return std::nullopt;
+  return out;
+}
+
+bool open_record_append(util::ByteView key, util::ByteView record,
+                        std::uint64_t* seq_out, util::Bytes& out) {
+  if (record.size() < 8) return false;
   util::ByteReader r(record);
   const std::uint64_t seq = r.u64be();
   if (seq_out != nullptr) *seq_out = seq;
-  return crypto::aead_open(key, seq, {}, r.take_rest());
+  return crypto::aead_open_append(key, seq, {}, r.take_rest(), out);
 }
 
 }  // namespace rogue::vpn

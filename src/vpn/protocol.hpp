@@ -51,8 +51,17 @@ struct Message {
   [[nodiscard]] util::Bytes frame() const;
   /// Datagram encoding (no length prefix): [u8 type][payload].
   [[nodiscard]] util::Bytes datagram() const;
+  /// Pooled-buffer variants: clear `out` and write the encoding into it.
+  void frame_into(util::Bytes& out) const;
+  void datagram_into(util::Bytes& out) const;
   [[nodiscard]] static std::optional<Message> from_datagram(util::ByteView raw);
 };
+
+/// Wire encodings for a (type, payload) pair without materialising a
+/// Message: stream framing [u32 len][u8 type][payload] and the datagram
+/// form [u8 type][payload]. `out` is cleared and its capacity reused.
+void frame_into(MsgType type, util::ByteView payload, util::Bytes& out);
+void datagram_into(MsgType type, util::ByteView payload, util::Bytes& out);
 
 /// Incremental deframer for the TCP transport.
 class MessageReader {
@@ -89,5 +98,12 @@ struct SessionKeys {
 [[nodiscard]] std::optional<util::Bytes> open_record(util::ByteView key,
                                                      util::ByteView record,
                                                      std::uint64_t* seq_out);
+/// Pooled-buffer variants: seal_record_into clears `out` and writes the
+/// whole record ([seq][ciphertext][tag]) encrypting in place; the open
+/// variant appends the inner packet to `out` (false on auth failure).
+void seal_record_into(util::ByteView key, std::uint64_t seq,
+                      util::ByteView inner_packet, util::Bytes& out);
+[[nodiscard]] bool open_record_append(util::ByteView key, util::ByteView record,
+                                      std::uint64_t* seq_out, util::Bytes& out);
 
 }  // namespace rogue::vpn

@@ -429,5 +429,120 @@ TEST(Wep, SequentialGeneratorEmitsWeakIvs) {
   EXPECT_GT(weak, 0);
 }
 
+
+// ---- Block-wise kernel equivalence ------------------------------------------
+
+TEST(ChaCha20, Rfc8439KeystreamBlock) {
+  // RFC 8439 S2.3.2: key 00..1f, nonce 00:00:00:09:00:00:00:4a:00:00:00:00,
+  // counter 1. Encrypting zeros exposes the raw keystream block.
+  Bytes key(32);
+  for (std::size_t i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  const Bytes nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  ChaCha20 cipher(key, nonce, 1);
+  Bytes zeros(64, 0);
+  cipher.process(zeros);
+  EXPECT_EQ(hex_encode(zeros),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, SplitCallsMatchOneShot) {
+  // The word-wise fast path keeps a partially consumed block across calls;
+  // chunked processing at odd offsets must resume the keystream exactly.
+  util::Prng rng(11);
+  Bytes key(32);
+  rng.fill(key);
+  Bytes nonce(12);
+  rng.fill(nonce);
+  Bytes msg(4096);
+  rng.fill(msg);
+  for (int trial = 0; trial < 10; ++trial) {
+    ChaCha20 one_shot(key, nonce, 7);
+    Bytes expect = msg;
+    one_shot.process(expect);
+
+    ChaCha20 chunked(key, nonce, 7);
+    Bytes got = msg;
+    std::size_t off = 0;
+    while (off < got.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng.uniform_u32(130), got.size() - off);
+      chunked.process(std::span<std::uint8_t>(got).subspan(off, n));
+      off += n;
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+namespace reference {
+
+// Bit-by-bit CRC-32, the textbook definition the slicing tables derive from.
+std::uint32_t crc32_bitwise(ByteView data) {
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xedb88320u : 0u);
+    }
+  }
+  return ~crc;
+}
+
+// Plain byte-at-a-time RC4 keystream generator.
+struct Rc4Bytewise {
+  std::array<std::uint8_t, 256> s;
+  std::uint8_t i = 0, j = 0;
+  explicit Rc4Bytewise(ByteView key) {
+    for (std::size_t k = 0; k < 256; ++k) s[k] = static_cast<std::uint8_t>(k);
+    std::uint8_t acc = 0;
+    for (std::size_t k = 0; k < 256; ++k) {
+      acc = static_cast<std::uint8_t>(acc + s[k] + key[k % key.size()]);
+      std::swap(s[k], s[acc]);
+    }
+  }
+  std::uint8_t next() {
+    ++i;
+    j = static_cast<std::uint8_t>(j + s[i]);
+    std::swap(s[i], s[j]);
+    return s[static_cast<std::uint8_t>(s[i] + s[j])];
+  }
+};
+
+}  // namespace reference
+
+TEST(Crc32, MatchesBitwiseReference) {
+  util::Prng rng(12);
+  for (int trial = 0; trial < 30; ++trial) {
+    Bytes data(rng.uniform_u32(300));
+    rng.fill(data);
+    EXPECT_EQ(crc32(data), reference::crc32_bitwise(data));
+    // Chunked updates at odd split points hit the unaligned head/tail paths.
+    Crc32 inc;
+    const std::size_t split = data.empty() ? 0 : rng.uniform_u32(
+        static_cast<std::uint32_t>(data.size()));
+    inc.update(ByteView(data).subspan(0, split));
+    inc.update(ByteView(data).subspan(split));
+    EXPECT_EQ(inc.value(), reference::crc32_bitwise(data));
+  }
+}
+
+TEST(Rc4, MatchesBytewiseReference) {
+  util::Prng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes key(1 + rng.uniform_u32(16));
+    rng.fill(key);
+    Bytes msg(1 + rng.uniform_u32(700));
+    rng.fill(msg);
+    reference::Rc4Bytewise ref(key);
+    Bytes expect = msg;
+    for (auto& b : expect) b ^= ref.next();
+    Rc4 fast(key);
+    Bytes got = msg;
+    fast.process(got);
+    EXPECT_EQ(got, expect);
+  }
+}
+
 }  // namespace
 }  // namespace rogue::crypto

@@ -19,8 +19,8 @@ using util::to_bytes;
 
 // ---- Sequence-number monitor (offline observations) --------------------------
 
-dot11::Frame frame_from(MacAddr src, std::uint16_t seq) {
-  dot11::Frame f;
+dot11::FrameView frame_from(MacAddr src, std::uint16_t seq) {
+  dot11::FrameView f;
   f.type = dot11::FrameType::kData;
   f.addr1 = MacAddr::broadcast();
   f.addr2 = src;

@@ -657,5 +657,38 @@ TEST(Host, TtlExpiryOnForwardingPath) {
   EXPECT_EQ(f.a->counters().ip_dropped_ttl, before + 1);
 }
 
+
+// ---- Checksum equivalence vs 16-bit reference --------------------------------
+
+namespace {
+// RFC 1071 as literally written: one 16-bit word at a time, end-around fold.
+std::uint16_t checksum_reference(util::ByteView data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+}  // namespace
+
+TEST(Checksum, MatchesReferenceRandomized) {
+  util::Prng rng(21);
+  // Odd and even lengths, including the empty buffer and single byte.
+  for (std::uint32_t len : {0u, 1u, 2u, 3u, 7u, 8u, 9u, 20u, 63u, 64u, 65u,
+                            1499u, 1500u}) {
+    Bytes data(len);
+    rng.fill(data);
+    EXPECT_EQ(internet_checksum(data), checksum_reference(data)) << len;
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes data(rng.uniform_u32(2000));
+    rng.fill(data);
+    EXPECT_EQ(internet_checksum(data), checksum_reference(data));
+  }
+}
+
 }  // namespace
 }  // namespace rogue::net

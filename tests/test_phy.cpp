@@ -197,5 +197,41 @@ TEST(Medium, DetachedRadioFrameDropped) {
   EXPECT_EQ(received, 0);
 }
 
+
+TEST(Medium, RssiCacheInvalidatedOnMove) {
+  // The pairwise path-loss cache must recompute after set_position: a
+  // receiver that moves away sees the weaker RSSI, not a stale cached one.
+  World w;
+  Radio tx(*w.medium, "tx");
+  Radio rx(*w.medium, "rx");
+  rx.set_position({5.0, 0.0});
+  double last_rssi = 0.0;
+  int received = 0;
+  rx.set_receive_handler([&](util::ByteView, const RxInfo& info) {
+    ++received;
+    last_rssi = info.rssi_dbm;
+  });
+
+  // Prime the cache with several deliveries at 5 m.
+  for (int i = 0; i < 20; ++i) {
+    w.sim.after(static_cast<sim::Time>(i) * 10'000,
+                [&] { tx.transmit(to_bytes("ping")); });
+  }
+  w.sim.run();
+  ASSERT_GT(received, 0);
+  const double near_rssi = last_rssi;
+
+  rx.set_position({25.0, 0.0});
+  received = 0;
+  for (int i = 0; i < 20; ++i) {
+    w.sim.after(static_cast<sim::Time>(i) * 10'000,
+                [&] { tx.transmit(to_bytes("ping")); });
+  }
+  w.sim.run();
+  ASSERT_GT(received, 0);
+  // 5 m -> 25 m is ~14 dB of extra path loss; noise jitter is ~1 dB.
+  EXPECT_LT(last_rssi, near_rssi - 10.0);
+}
+
 }  // namespace
 }  // namespace rogue::phy
