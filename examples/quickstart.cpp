@@ -3,10 +3,11 @@
 // download get trojaned with a forged MD5SUM (Figure 2) — then repeat
 // with the VPN countermeasure (Figure 3).
 //
-//   $ ./quickstart
+//   $ ./quickstart [--log-level LEVEL]
 #include <cstdio>
 
 #include "scenario/corp_world.hpp"
+#include "util/logging.hpp"
 #include "util/stats.hpp"
 
 using namespace rogue;
@@ -31,7 +32,8 @@ void report(const char* label, const apps::DownloadOutcome& outcome,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!util::Log::init_from_cli(argc, argv)) return 2;
   std::printf("Countering Rogues in Wireless Networks — quickstart\n");
   std::printf("---------------------------------------------------\n");
 

@@ -9,10 +9,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "obs/pcap.hpp"
 #include "runner/scenarios.hpp"
 #include "runner/sweep.hpp"
+#include "util/logging.hpp"
 
 using namespace rogue;
 
@@ -22,23 +25,47 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s [--scenario corp|hotspot|corp-chaos|hotspot-chaos]\n"
       "          [--runs N] [--jobs N] [--seed-base N] [--faults X]\n"
-      "          [--out report.json]\n"
+      "          [--out report.json] [--stats-out stats.json]\n"
+      "          [--pcap-out capture.pcap] [--profile]\n"
+      "          [--log-level trace|debug|info|warn|error|off]\n"
       "\n"
-      "  --faults X   inject a seed-derived fault plan at intensity X\n"
-      "               (faults per simulated minute; overlays the plain\n"
-      "               scenarios, scales the chaos ones)\n"
+      "  --faults X    inject a seed-derived fault plan at intensity X\n"
+      "                (faults per simulated minute; overlays the plain\n"
+      "                scenarios, scales the chaos ones)\n"
+      "  --stats-out F write the per-variant layer-counter aggregates as\n"
+      "                JSON (deterministic: identical bytes at any --jobs)\n"
+      "  --pcap-out F  run one extra frame-capturing replica of the first\n"
+      "                variant (seed-base) and dump its radio traffic as a\n"
+      "                LINKTYPE_IEEE802_11 pcap\n"
+      "  --profile     run one extra profiled replica per variant and print\n"
+      "                the sim-time profile (host wall-time; console only)\n"
+      "\n"
+      "ROGUE_LOG sets the default log level; --log-level overrides it.\n"
       "\n"
       "exits 1 when any replica failed (reported under \"failures\" in the\n"
       "JSON report), 2 on usage errors.\n",
       argv0);
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!util::Log::init_from_cli(argc, argv)) return 2;
   runner::SweepConfig cfg;
   cfg.runs = 20;
   std::string out_path;
+  std::string stats_path;
+  std::string pcap_path;
+  bool profile = false;
   double fault_intensity = 0.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -62,6 +89,12 @@ int main(int argc, char** argv) {
       fault_intensity = std::strtod(value(), nullptr);
     } else if (std::strcmp(arg, "--out") == 0) {
       out_path = value();
+    } else if (std::strcmp(arg, "--stats-out") == 0) {
+      stats_path = value();
+    } else if (std::strcmp(arg, "--pcap-out") == 0) {
+      pcap_path = value();
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      profile = true;
     } else if (std::strcmp(arg, "--help") == 0) {
       usage(argv[0]);
       return 0;
@@ -84,7 +117,9 @@ int main(int argc, char** argv) {
   }
 
   runner::ExperimentRunner exp(cfg);
-  for (auto& v : variants) exp.add_variant(std::move(v.name), std::move(v.make));
+  // Copies, not moves: the --pcap-out / --profile extra replicas below
+  // need the factories again after the sweep.
+  for (const auto& v : variants) exp.add_variant(v.name, v.make);
 
   std::printf("sweep: scenario=%s runs=%zu/variant variants=%zu jobs=%zu\n",
               cfg.scenario.c_str(), cfg.runs, exp.variant_count(),
@@ -97,16 +132,58 @@ int main(int argc, char** argv) {
 
   if (!out_path.empty()) {
     const std::string text = report.to_json().dump(2);
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (f == nullptr) {
+    if (!write_text_file(out_path, text)) {
       std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
       return 1;
     }
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
     std::printf("report written to %s (%zu bytes)\n", out_path.c_str(),
                 text.size() + 1);
+  }
+
+  if (!stats_path.empty()) {
+    const std::string text = report.stats_json().dump(2);
+    if (!write_text_file(stats_path, text)) {
+      std::fprintf(stderr, "cannot write %s\n", stats_path.c_str());
+      return 1;
+    }
+    std::printf("stats written to %s (%zu bytes)\n", stats_path.c_str(),
+                text.size() + 1);
+  }
+
+  if (!pcap_path.empty()) {
+    // One dedicated capture replica of the first variant: frame capture
+    // copies every radio frame, so it stays out of the sweep proper.
+    const runner::Variant& v = variants.front();
+    std::unique_ptr<scenario::World> world = v.make(cfg.seed_base);
+    world->enable_frame_capture();
+    world->configure(cfg.seed_base);
+    world->run_episode();
+    obs::PcapWriter pcap;
+    for (const sim::CapturedFrame& frame : world->trace().frames()) {
+      pcap.add_frame(frame.time, frame.bytes);
+    }
+    if (!pcap.write_file(pcap_path)) {
+      std::fprintf(stderr, "cannot write %s\n", pcap_path.c_str());
+      return 1;
+    }
+    std::printf("pcap written to %s (%zu frames, variant=%s seed=%llu)\n",
+                pcap_path.c_str(), pcap.frames(), v.name.c_str(),
+                static_cast<unsigned long long>(cfg.seed_base));
+  }
+
+  if (profile) {
+    // One profiled replica per variant. Wall-time attribution is a host
+    // measurement, so it is console-only — never part of the report files.
+    for (const runner::Variant& v : variants) {
+      std::unique_ptr<scenario::World> world = v.make(cfg.seed_base);
+      world->configure(cfg.seed_base);
+      world->simulator().profiler().set_enabled(true);
+      world->run_episode();
+      std::fprintf(stderr, "\nprofile: variant=%s seed=%llu\n%s",
+                   v.name.c_str(),
+                   static_cast<unsigned long long>(cfg.seed_base),
+                   world->simulator().profiler().report().table().c_str());
+    }
   }
 
   const std::size_t failed = report.failed_count();

@@ -39,6 +39,15 @@ AccessPoint::AccessPoint(sim::Simulator& simulator, phy::Medium& medium,
   radio_.set_channel(config_.channel);
   radio_.set_receive_handler(
       [this](util::ByteView raw, const phy::RxInfo& info) { on_receive(raw, info); });
+
+  obs::StatsRegistry& stats = sim_.stats();
+  stat_rx_mgmt_ = stats.counter("dot11.ap.rx_mgmt");
+  stat_rx_data_ = stats.counter("dot11.ap.rx_data");
+  stat_rx_retry_ = stats.counter("dot11.ap.rx_retry");
+  stat_deauth_rx_ = stats.counter("dot11.ap.deauth_rx");
+  stat_deauth_tx_ = stats.counter("dot11.ap.deauth_tx");
+  stat_beacons_ = stats.counter("dot11.ap.beacons_tx");
+  rx_scope_ = sim_.profiler().intern("dot11.ap.rx");
 }
 
 void AccessPoint::start() {
@@ -132,13 +141,18 @@ void AccessPoint::send_beacon() {
   b.channel = config_.channel;
   send_mgmt(MgmtSubtype::kBeacon, net::MacAddr::broadcast(), b.encode());
   ++counters_.beacons_sent;
+  sim_.stats().add(stat_beacons_);
 }
 
 void AccessPoint::on_receive(util::ByteView raw, const phy::RxInfo& info) {
   (void)info;
   if (!running_) return;
+  const obs::Profiler::Scope scope(sim_.profiler(), rx_scope_);
   const auto frame = FrameView::parse(raw);
   if (!frame) return;
+  obs::StatsRegistry& stats = sim_.stats();
+  stats.add(frame->type == FrameType::kData ? stat_rx_data_ : stat_rx_mgmt_);
+  if (frame->retry) stats.add(stat_rx_retry_);
   // Only frames addressed to this BSS (or broadcast probes).
   if (frame->addr1 != config_.bssid && !frame->addr1.is_broadcast()) return;
 
@@ -303,6 +317,7 @@ void AccessPoint::handle_assoc_req(const FrameView& frame) {
 
 void AccessPoint::handle_deauth(const FrameView& frame) {
   const net::MacAddr sta = frame.addr2;
+  sim_.stats().add(stat_deauth_rx_);
   wpa_.erase(sta);
   if (associated_.erase(sta) > 0 || authenticated_.erase(sta) > 0) {
     trace(util::format("deauth-rx {}", sta.to_string()), sim::Severity::kWarn);
@@ -539,6 +554,7 @@ void AccessPoint::deauth_station(net::MacAddr sta, ReasonCode reason) {
   DeauthBody body;
   body.reason = reason;
   send_mgmt(MgmtSubtype::kDeauth, sta, body.encode());
+  sim_.stats().add(stat_deauth_tx_);
   trace(util::format("deauth-tx {}", sta.to_string()), sim::Severity::kWarn);
   if (event_handler_) event_handler_("deauth", sta);
 }

@@ -169,6 +169,15 @@ class AccessPoint {
   DsHandler ds_handler_;
   EventHandler event_handler_;
   ApCounters counters_;
+
+  // Shared per-simulation stats (all APs aggregate into the same slots).
+  obs::CounterId stat_rx_mgmt_;
+  obs::CounterId stat_rx_data_;
+  obs::CounterId stat_rx_retry_;
+  obs::CounterId stat_deauth_rx_;
+  obs::CounterId stat_deauth_tx_;
+  obs::CounterId stat_beacons_;
+  obs::Profiler::ScopeId rx_scope_;
 };
 
 }  // namespace rogue::dot11

@@ -30,6 +30,15 @@ Station::Station(sim::Simulator& simulator, phy::Medium& medium,
   ROGUE_ASSERT_MSG(!config_.scan_channels.empty(), "station needs scan channels");
   radio_.set_receive_handler(
       [this](util::ByteView raw, const phy::RxInfo& info) { on_receive(raw, info); });
+
+  obs::StatsRegistry& stats = sim_.stats();
+  stat_rx_mgmt_ = stats.counter("dot11.sta.rx_mgmt");
+  stat_rx_data_ = stats.counter("dot11.sta.rx_data");
+  stat_rx_retry_ = stats.counter("dot11.sta.rx_retry");
+  stat_deauth_rx_ = stats.counter("dot11.sta.deauth_rx");
+  stat_scans_ = stats.counter("dot11.sta.scans");
+  stat_assocs_ = stats.counter("dot11.sta.associations");
+  rx_scope_ = sim_.profiler().intern("dot11.sta.rx");
 }
 
 void Station::start() {
@@ -86,6 +95,7 @@ void Station::begin_scan() {
   if (!running_) return;
   state_ = StationState::kScanning;
   ++counters_.scans;
+  sim_.stats().add(stat_scans_);
   scan_results_.clear();
   scan_channel_index_ = 0;
   trace("scan-start", sim::Severity::kDebug);
@@ -214,6 +224,7 @@ void Station::become_associated() {
   gtk_rx_pn_max_ = 0;
   wpa_tx_pn_ = 1;
   ++counters_.associations;
+  sim_.stats().add(stat_assocs_);
   last_beacon_time_ = sim_.now();
   arm_beacon_watchdog();
   if (wpa_like()) arm_wpa_watchdog();
@@ -262,8 +273,12 @@ void Station::arm_beacon_watchdog() {
 
 void Station::on_receive(util::ByteView raw, const phy::RxInfo& info) {
   if (!running_) return;
+  const obs::Profiler::Scope scope(sim_.profiler(), rx_scope_);
   const auto frame = FrameView::parse(raw);
   if (!frame) return;
+  obs::StatsRegistry& stats = sim_.stats();
+  stats.add(frame->type == FrameType::kData ? stat_rx_data_ : stat_rx_mgmt_);
+  if (frame->retry) stats.add(stat_rx_retry_);
 
   if (frame->is_mgmt(MgmtSubtype::kBeacon) || frame->is_mgmt(MgmtSubtype::kProbeResp)) {
     handle_beacon(*frame, info);
@@ -358,6 +373,7 @@ void Station::handle_deauth(const FrameView& frame) {
   if (state_ == StationState::kIdle || state_ == StationState::kScanning) return;
   if (frame.addr2 != current_bss_.bssid) return;
   ++counters_.deauths_received;
+  sim_.stats().add(stat_deauth_rx_);
   if (event_handler_) event_handler_("deauth", current_bss_);
   disconnect("deauth");
 }

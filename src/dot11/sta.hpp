@@ -209,6 +209,15 @@ class Station {
   RxHandler rx_handler_;
   EventHandler event_handler_;
   StationCounters counters_;
+
+  // Shared per-simulation stats (all stations aggregate into one slot set).
+  obs::CounterId stat_rx_mgmt_;
+  obs::CounterId stat_rx_data_;
+  obs::CounterId stat_rx_retry_;
+  obs::CounterId stat_deauth_rx_;
+  obs::CounterId stat_scans_;
+  obs::CounterId stat_assocs_;
+  obs::Profiler::ScopeId rx_scope_;
 };
 
 }  // namespace rogue::dot11

@@ -49,7 +49,12 @@ std::optional<ArpPacket> ArpPacket::parse(util::ByteView raw) {
 }
 
 ArpCache::ArpCache(sim::Simulator& simulator, MacAddr own_mac, TxFn tx)
-    : sim_(simulator), own_mac_(own_mac), tx_(std::move(tx)) {}
+    : sim_(simulator), own_mac_(own_mac), tx_(std::move(tx)) {
+  obs::StatsRegistry& stats = sim_.stats();
+  stat_requests_ = stats.counter("net.arp.requests");
+  stat_replies_ = stats.counter("net.arp.replies");
+  stat_failures_ = stats.counter("net.arp.failures");
+}
 
 std::optional<MacAddr> ArpCache::lookup(Ipv4Addr ip) const {
   const auto it = table_.find(ip);
@@ -95,6 +100,7 @@ void ArpCache::send_request(Ipv4Addr ip) {
   req.target_mac = MacAddr{};
   req.target_ip = ip;
   ++requests_sent_;
+  sim_.stats().add(stat_requests_);
   tx_(req);
 }
 
@@ -103,6 +109,7 @@ void ArpCache::on_timeout(Ipv4Addr ip) {
   if (it == pending_.end()) return;
   if (it->second.attempts >= kMaxAttempts) {
     ++failures_;
+    sim_.stats().add(stat_failures_);
     pending_.erase(it);
     return;
   }
@@ -137,6 +144,7 @@ void ArpCache::on_packet(const ArpPacket& packet) {
   reply.target_mac = packet.sender_mac;
   reply.target_ip = packet.sender_ip;
   ++replies_sent_;
+  sim_.stats().add(stat_replies_);
   tx_(reply);
 }
 

@@ -101,6 +101,9 @@ class ArpCache {
   std::uint64_t requests_sent_ = 0;
   std::uint64_t replies_sent_ = 0;
   std::uint64_t failures_ = 0;
+  obs::CounterId stat_requests_;
+  obs::CounterId stat_replies_;
+  obs::CounterId stat_failures_;
 
   static constexpr unsigned kMaxAttempts = 3;
   static constexpr sim::Time kRetryDelay = 100'000;  // 100 ms

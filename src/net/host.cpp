@@ -16,7 +16,17 @@ Host::Host(sim::Simulator& simulator, std::string name, TcpConfig tcp_config)
            tcp_config),
       udp_([this](Ipv4Addr dst, std::uint8_t proto, util::ByteView payload) {
         return send_ip(dst, proto, payload);
-      }) {}
+      }) {
+  obs::StatsRegistry& stats = sim_.stats();
+  stat_ip_sent_ = stats.counter("net.ip.sent");
+  stat_ip_received_ = stats.counter("net.ip.received");
+  stat_ip_delivered_ = stats.counter("net.ip.delivered");
+  stat_ip_forwarded_ = stats.counter("net.ip.forwarded");
+  stat_ip_drop_no_route_ = stats.counter("net.ip.drop_no_route");
+  stat_ip_drop_ttl_ = stats.counter("net.ip.drop_ttl");
+  stat_ip_drop_filter_ = stats.counter("net.ip.drop_filter");
+  stat_arp_unresolved_ = stats.counter("net.arp.unresolved");
+}
 
 NetIf& Host::attach(std::unique_ptr<NetIf> iface) {
   NetIf& ref = *iface;
@@ -112,11 +122,13 @@ bool Host::send_packet(Ipv4Packet packet) {
   const auto route = routes_.lookup(packet.dst);
   if (!route) {
     ++counters_.ip_dropped_no_route;
+    sim_.stats().add(stat_ip_drop_no_route_);
     return false;
   }
   NetIf* out_iface = interface(route->ifname);
   if (out_iface == nullptr) {
     ++counters_.ip_dropped_no_route;
+    sim_.stats().add(stat_ip_drop_no_route_);
     return false;
   }
   if (packet.src.is_any()) packet.src = out_iface->ip();
@@ -126,26 +138,31 @@ bool Host::send_packet(Ipv4Packet packet) {
   if (is_local_ip(packet.dst) && !packet.dst.is_broadcast()) {
     sim_.after(1, [this, p = std::move(packet)]() mutable { deliver_local(p); });
     ++counters_.ip_sent;
+    sim_.stats().add(stat_ip_sent_);
     return true;
   }
 
   if (netfilter_.run(Hook::kOutput, packet, "", route->ifname, out_iface->ip()) ==
       Verdict::kDrop) {
     ++counters_.ip_dropped_filter;
+    sim_.stats().add(stat_ip_drop_filter_);
     return false;
   }
   if (netfilter_.run(Hook::kPostrouting, packet, "", route->ifname,
                      out_iface->ip()) == Verdict::kDrop) {
     ++counters_.ip_dropped_filter;
+    sim_.stats().add(stat_ip_drop_filter_);
     return false;
   }
   // NAT may have changed the destination: re-route.
   const auto final_route = routes_.lookup(packet.dst);
   if (!final_route) {
     ++counters_.ip_dropped_no_route;
+    sim_.stats().add(stat_ip_drop_no_route_);
     return false;
   }
   ++counters_.ip_sent;
+  sim_.stats().add(stat_ip_sent_);
   if (tap_) tap_("tx", packet, final_route->ifname);
   transmit(std::move(packet), *final_route);
   return true;
@@ -173,6 +190,7 @@ void Host::transmit(Ipv4Packet packet, const Route& route) {
         sim_.buffer_pool().release(std::move(raw));
         if (!sent) {
           ++counters_.arp_unresolved;
+          sim_.stats().add(stat_arp_unresolved_);
         }
       });
 }
@@ -197,6 +215,7 @@ void Host::on_frame(NetIf& iface, const L2Frame& frame) {
   if (!tap_ && netfilter_.quiescent(Hook::kPrerouting) &&
       netfilter_.quiescent(Hook::kInput) && is_local_ip(view->dst)) {
     ++counters_.ip_received;
+    sim_.stats().add(stat_ip_received_);
     deliver_local_view(*view);
     return;
   }
@@ -205,11 +224,13 @@ void Host::on_frame(NetIf& iface, const L2Frame& frame) {
 
 void Host::on_ip_packet(NetIf& iface, Ipv4Packet packet) {
   ++counters_.ip_received;
+  sim_.stats().add(stat_ip_received_);
   if (tap_) tap_("rx", packet, iface.name());
 
   if (netfilter_.run(Hook::kPrerouting, packet, iface.name(), "", iface.ip()) ==
       Verdict::kDrop) {
     ++counters_.ip_dropped_filter;
+    sim_.stats().add(stat_ip_drop_filter_);
     return;
   }
 
@@ -217,6 +238,7 @@ void Host::on_ip_packet(NetIf& iface, Ipv4Packet packet) {
     if (netfilter_.run(Hook::kInput, packet, iface.name(), "", iface.ip()) ==
         Verdict::kDrop) {
       ++counters_.ip_dropped_filter;
+    sim_.stats().add(stat_ip_drop_filter_);
       return;
     }
     deliver_local(packet);
@@ -240,6 +262,7 @@ void Host::deliver_local_view(const Ipv4View& packet) {
 void Host::deliver_to_stack(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
                             util::ByteView payload) {
   ++counters_.ip_delivered;
+  sim_.stats().add(stat_ip_delivered_);
   switch (protocol) {
     case kProtoTcp:
       tcp_.on_packet(src, dst, payload);
@@ -262,6 +285,7 @@ void Host::deliver_to_stack(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
 void Host::forward(NetIf& in_iface, Ipv4Packet packet) {
   if (packet.ttl <= 1) {
     ++counters_.ip_dropped_ttl;
+    sim_.stats().add(stat_ip_drop_ttl_);
     return;
   }
   packet.ttl -= 1;
@@ -269,22 +293,26 @@ void Host::forward(NetIf& in_iface, Ipv4Packet packet) {
   const auto route = routes_.lookup(packet.dst);
   if (!route) {
     ++counters_.ip_dropped_no_route;
+    sim_.stats().add(stat_ip_drop_no_route_);
     return;
   }
   NetIf* out_iface = interface(route->ifname);
   if (out_iface == nullptr) {
     ++counters_.ip_dropped_no_route;
+    sim_.stats().add(stat_ip_drop_no_route_);
     return;
   }
 
   if (netfilter_.run(Hook::kForward, packet, in_iface.name(), route->ifname,
                      out_iface->ip()) == Verdict::kDrop) {
     ++counters_.ip_dropped_filter;
+    sim_.stats().add(stat_ip_drop_filter_);
     return;
   }
   if (netfilter_.run(Hook::kPostrouting, packet, in_iface.name(), route->ifname,
                      out_iface->ip()) == Verdict::kDrop) {
     ++counters_.ip_dropped_filter;
+    sim_.stats().add(stat_ip_drop_filter_);
     return;
   }
   // DNAT in PREROUTING may have redirected to one of our own addresses.
@@ -295,9 +323,11 @@ void Host::forward(NetIf& in_iface, Ipv4Packet packet) {
   const auto final_route = routes_.lookup(packet.dst);
   if (!final_route) {
     ++counters_.ip_dropped_no_route;
+    sim_.stats().add(stat_ip_drop_no_route_);
     return;
   }
   ++counters_.ip_forwarded;
+  sim_.stats().add(stat_ip_forwarded_);
   if (tap_) tap_("fwd", packet, final_route->ifname);
   transmit(std::move(packet), *final_route);
 }

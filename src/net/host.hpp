@@ -119,6 +119,15 @@ class Host {
   std::unordered_map<std::uint8_t, ProtocolHandler> protocol_handlers_;
   PacketTap tap_;
   HostCounters counters_;
+  // Shared per-simulation stats (all hosts aggregate into one slot set).
+  obs::CounterId stat_ip_sent_;
+  obs::CounterId stat_ip_received_;
+  obs::CounterId stat_ip_delivered_;
+  obs::CounterId stat_ip_forwarded_;
+  obs::CounterId stat_ip_drop_no_route_;
+  obs::CounterId stat_ip_drop_ttl_;
+  obs::CounterId stat_ip_drop_filter_;
+  obs::CounterId stat_arp_unresolved_;
   std::uint16_t next_ip_id_ = 1;
   std::uint16_t next_ping_id_ = 1;
   std::unordered_map<std::uint16_t,

@@ -279,6 +279,14 @@ class TcpStack {
   std::unordered_map<FlowKey, TcpConnectionPtr, FlowKeyHash> connections_;
   std::unordered_map<std::uint16_t, AcceptHandler> listeners_;
   std::uint16_t next_ephemeral_ = 40000;
+  // Per-simulation stats, shared across connections (registry aggregates).
+  obs::CounterId stat_segments_sent_;
+  obs::CounterId stat_segments_received_;
+  obs::CounterId stat_retransmits_;
+  obs::CounterId stat_rto_events_;
+  obs::CounterId stat_fast_retransmits_;
+  obs::CounterId stat_dup_acks_;
+  obs::CounterId stat_reassembly_buffered_;
 };
 
 }  // namespace rogue::net

@@ -1,10 +1,8 @@
-#include "attack/pcap.hpp"
+#include "obs/pcap.hpp"
 
 #include <cstdio>
-#include <optional>
-#include <vector>
 
-namespace rogue::attack {
+namespace rogue::obs {
 
 namespace {
 constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // standard (non-nanosecond) pcap
@@ -40,7 +38,7 @@ PcapWriter::PcapWriter(std::uint32_t link_type) {
   put_u32le(buffer_, link_type);
 }
 
-void PcapWriter::add_frame(sim::Time timestamp_us, util::ByteView frame) {
+void PcapWriter::add_frame(std::uint64_t timestamp_us, util::ByteView frame) {
   put_u32le(buffer_, static_cast<std::uint32_t>(timestamp_us / 1'000'000));
   put_u32le(buffer_, static_cast<std::uint32_t>(timestamp_us % 1'000'000));
   put_u32le(buffer_, static_cast<std::uint32_t>(frame.size()));
@@ -71,7 +69,7 @@ std::optional<PcapFile> pcap_parse(util::ByteView data) {
     pos += 16;
     if (pos + caplen > data.size()) return std::nullopt;  // truncated record
     PcapRecord rec;
-    rec.timestamp_us = static_cast<sim::Time>(sec) * 1'000'000 + usec;
+    rec.timestamp_us = static_cast<std::uint64_t>(sec) * 1'000'000 + usec;
     const util::ByteView body = data.subspan(pos, caplen);
     rec.frame.assign(body.begin(), body.end());
     out.records.push_back(std::move(rec));
@@ -81,4 +79,4 @@ std::optional<PcapFile> pcap_parse(util::ByteView data) {
   return out;
 }
 
-}  // namespace rogue::attack
+}  // namespace rogue::obs

@@ -1,0 +1,57 @@
+// pcap capture writer: serializes captured frames into the classic libpcap
+// file format (LINKTYPE_IEEE802_11 = 105), so simulated captures open in
+// Wireshark/tcpdump exactly like a real kismet/airodump dump — closing the
+// loop with the paper's tcpdump/ethereal methodology (§4, Figs. 1–2).
+// Timestamps are simulated microseconds (sim::Time), split into the
+// format's sec/usec fields.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace rogue::obs {
+
+/// In-memory pcap builder (write_file dumps it to disk at the end — the
+/// simulation itself stays free of filesystem side effects).
+class PcapWriter {
+ public:
+  /// LINKTYPE_IEEE802_11; use kLinkTypeEthernet for wired captures.
+  static constexpr std::uint32_t kLinkTypeIeee80211 = 105;
+  static constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+  explicit PcapWriter(std::uint32_t link_type = kLinkTypeIeee80211);
+
+  /// Append one frame with its simulation timestamp (µs precision).
+  void add_frame(std::uint64_t timestamp_us, util::ByteView frame);
+
+  [[nodiscard]] std::size_t frames() const { return frames_; }
+  /// The complete file image (global header + records).
+  [[nodiscard]] const util::Bytes& data() const { return buffer_; }
+
+  /// Write to disk; returns false on I/O error.
+  bool write_file(const std::string& path) const;
+
+ private:
+  util::Bytes buffer_;
+  std::size_t frames_ = 0;
+};
+
+/// Parse-back support (for tests and offline analysis tools).
+struct PcapRecord {
+  std::uint64_t timestamp_us = 0;
+  util::Bytes frame;
+};
+
+struct PcapFile {
+  std::uint32_t link_type = 0;
+  std::vector<PcapRecord> records;
+};
+
+/// Parse a pcap image; nullopt if the magic/headers are malformed.
+[[nodiscard]] std::optional<PcapFile> pcap_parse(util::ByteView data);
+
+}  // namespace rogue::obs

@@ -1,0 +1,98 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace rogue::obs {
+
+Profiler::Profiler() {
+  // Index 0 is a scrap scope so default-constructed ScopeIds stay inert.
+  names_.emplace_back("(unnamed)");
+  tallies_.emplace_back();
+  stack_.reserve(32);
+}
+
+Profiler::ScopeId Profiler::intern(std::string_view name) {
+  const auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return ScopeId{it->second};
+  const std::uint32_t index = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  tallies_.emplace_back();
+  ids_.emplace(std::string(name), index);
+  return ScopeId{index};
+}
+
+void Profiler::reset() {
+  ROGUE_ASSERT_MSG(stack_.empty(), "reset() with open scopes");
+  for (Tally& t : tallies_) t = Tally{};
+}
+
+void Profiler::push(ScopeId id) {
+  stack_.push_back(Frame{id.index, Clock::now(), 0});
+  Tally& t = tallies_[id.index];
+  ++t.calls;
+  ++t.active;
+}
+
+void Profiler::pop() {
+  Frame frame = stack_.back();
+  stack_.pop_back();
+  const std::uint64_t elapsed = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           frame.start)
+          .count());
+  Tally& t = tallies_[frame.id];
+  t.self_ns += elapsed >= frame.child_ns ? elapsed - frame.child_ns : 0;
+  // A recursive re-entry must not double-count its enclosing entry.
+  if (t.active == 1) t.total_ns += elapsed;
+  --t.active;
+  if (!stack_.empty()) stack_.back().child_ns += elapsed;
+}
+
+Profiler::Report Profiler::report() const {
+  Report out;
+  for (std::size_t i = 1; i < tallies_.size(); ++i) {
+    const Tally& t = tallies_[i];
+    if (t.calls == 0) continue;
+    out.rows.push_back(Row{names_[i], t.calls, t.total_ns, t.self_ns});
+  }
+  std::sort(out.rows.begin(), out.rows.end(), [](const Row& a, const Row& b) {
+    if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::string Profiler::Report::table() const {
+  std::uint64_t self_sum = 0;
+  for (const Row& r : rows) self_sum += r.self_ns;
+  util::Table t({"scope", "calls", "total ms", "self ms", "self %"});
+  for (const Row& r : rows) {
+    const double share = self_sum > 0
+                             ? static_cast<double>(r.self_ns) /
+                                   static_cast<double>(self_sum)
+                             : 0.0;
+    t.add_row({r.name, std::to_string(r.calls),
+               util::fmt_double(static_cast<double>(r.total_ns) / 1e6, 3),
+               util::fmt_double(static_cast<double>(r.self_ns) / 1e6, 3),
+               util::fmt_percent(share)});
+  }
+  return t.to_string();
+}
+
+util::Json Profiler::Report::to_json() const {
+  util::Json arr = util::Json::array();
+  for (const Row& r : rows) {
+    util::Json j = util::Json::object();
+    j.set("scope", r.name);
+    j.set("calls", r.calls);
+    j.set("total_ms", static_cast<double>(r.total_ns) / 1e6);
+    j.set("self_ms", static_cast<double>(r.self_ns) / 1e6);
+    arr.push_back(std::move(j));
+  }
+  return arr;
+}
+
+}  // namespace rogue::obs

@@ -1,0 +1,206 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rogue::obs {
+
+std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::uint32_t StatsRegistry::intern(std::string_view name, MetricKind kind,
+                                    std::uint32_t width) {
+  std::string key(name);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    const Metric& m = metrics_[it->second];
+    ROGUE_ASSERT_MSG(m.kind == kind, "metric re-interned with another kind");
+    return it->second;
+  }
+  ROGUE_ASSERT_MSG(!name.empty(), "metric needs a name");
+  const std::uint32_t slot = static_cast<std::uint32_t>(values_.size());
+  values_.resize(values_.size() + width, 0);
+  Metric m;
+  m.name = key;
+  m.kind = kind;
+  m.slot = slot;
+  metrics_.push_back(std::move(m));
+  const std::uint32_t idx = static_cast<std::uint32_t>(metrics_.size() - 1);
+  index_.emplace(std::move(key), idx);
+  return idx;
+}
+
+CounterId StatsRegistry::counter(std::string_view name) {
+  const std::uint32_t idx = intern(name, MetricKind::kCounter, 1);
+  return CounterId{metrics_[idx].slot};
+}
+
+GaugeId StatsRegistry::gauge(std::string_view name) {
+  const std::uint32_t idx = intern(name, MetricKind::kGauge, 2);
+  return GaugeId{metrics_[idx].slot};
+}
+
+HistogramId StatsRegistry::histogram(std::string_view name,
+                                     std::vector<std::uint64_t> bounds) {
+  ROGUE_ASSERT_MSG(!bounds.empty(), "histogram needs at least one bound");
+  ROGUE_ASSERT_MSG(std::is_sorted(bounds.begin(), bounds.end()) &&
+                       std::adjacent_find(bounds.begin(), bounds.end()) ==
+                           bounds.end(),
+                   "histogram bounds must be strictly increasing");
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    const Metric& m = metrics_[it->second];
+    ROGUE_ASSERT_MSG(m.kind == MetricKind::kHistogram &&
+                         m.bound_count == bounds.size(),
+                     "histogram re-interned with different bounds");
+    return HistogramId{m.slot, m.bound_count + 1, m.bound_offset};
+  }
+  // buckets + count + sum slots; bounds packed into the shared pool.
+  const std::uint32_t buckets = static_cast<std::uint32_t>(bounds.size()) + 1;
+  const std::uint32_t offset = static_cast<std::uint32_t>(bucket_bounds_.size());
+  bucket_bounds_.insert(bucket_bounds_.end(), bounds.begin(), bounds.end());
+  const std::uint32_t idx = intern(name, MetricKind::kHistogram, buckets + 2);
+  metrics_[idx].bound_count = static_cast<std::uint32_t>(bounds.size());
+  metrics_[idx].bound_offset = offset;
+  return HistogramId{metrics_[idx].slot, buckets, offset};
+}
+
+void StatsRegistry::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+}
+
+std::uint64_t StatsRegistry::on_snapshot(std::function<void()> hook) {
+  const std::uint64_t token = next_hook_token_++;
+  flush_hooks_.emplace_back(token, std::move(hook));
+  return token;
+}
+
+void StatsRegistry::remove_snapshot_hook(std::uint64_t token) {
+  std::erase_if(flush_hooks_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
+StatsSnapshot StatsRegistry::snapshot() const {
+  // Flush hooks mutate the registry through their own captured reference;
+  // running them first means the values read below are current.
+  for (const auto& [token, hook] : flush_hooks_) hook();
+  StatsSnapshot snap;
+  snap.entries.reserve(metrics_.size());
+  for (const Metric& m : metrics_) {
+    StatsSnapshot::Entry e;
+    e.name = m.name;
+    e.kind = m.kind;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        e.value = values_[m.slot];
+        break;
+      case MetricKind::kGauge:
+        e.value = values_[m.slot];
+        e.high_water = values_[m.slot + 1];
+        break;
+      case MetricKind::kHistogram: {
+        const std::uint32_t buckets = m.bound_count + 1;
+        e.hist.bounds.assign(bucket_bounds_.begin() + m.bound_offset,
+                             bucket_bounds_.begin() + m.bound_offset +
+                                 m.bound_count);
+        e.hist.buckets.assign(values_.begin() + m.slot,
+                              values_.begin() + m.slot + buckets);
+        e.hist.count = values_[m.slot + buckets];
+        e.hist.sum = values_[m.slot + buckets + 1];
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  snap.sort();
+  return snap;
+}
+
+void StatsSnapshot::sort() {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+}
+
+const StatsSnapshot::Entry* StatsSnapshot::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const Entry& e, std::string_view n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+std::uint64_t StatsSnapshot::value(std::string_view name) const {
+  const Entry* e = find(name);
+  return e != nullptr ? e->value : 0;
+}
+
+util::Json StatsSnapshot::to_json() const {
+  util::Json j = util::Json::object();
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        j.set(e.name, e.value);
+        break;
+      case MetricKind::kGauge: {
+        util::Json g = util::Json::object();
+        g.set("value", e.value);
+        g.set("high_water", e.high_water);
+        j.set(e.name, std::move(g));
+        break;
+      }
+      case MetricKind::kHistogram: {
+        util::Json h = util::Json::object();
+        h.set("count", e.hist.count);
+        h.set("sum", e.hist.sum);
+        util::Json bounds = util::Json::array();
+        for (const std::uint64_t b : e.hist.bounds) bounds.push_back(b);
+        util::Json buckets = util::Json::array();
+        for (const std::uint64_t b : e.hist.buckets) buckets.push_back(b);
+        h.set("bounds", std::move(bounds));
+        h.set("buckets", std::move(buckets));
+        j.set(e.name, std::move(h));
+        break;
+      }
+    }
+  }
+  return j;
+}
+
+StatsSnapshot StatsSnapshot::from_json(const util::Json& j) {
+  StatsSnapshot snap;
+  for (const util::Json::Member& m : j.members()) {
+    Entry e;
+    e.name = m.first;
+    const util::Json& v = m.second;
+    if (v.is_number()) {
+      e.kind = MetricKind::kCounter;
+      e.value = static_cast<std::uint64_t>(v.as_int());
+    } else if (v.find("high_water") != nullptr) {
+      e.kind = MetricKind::kGauge;
+      e.value = static_cast<std::uint64_t>(v.find("value")->as_int());
+      e.high_water = static_cast<std::uint64_t>(v.find("high_water")->as_int());
+    } else {
+      e.kind = MetricKind::kHistogram;
+      e.hist.count = static_cast<std::uint64_t>(v.find("count")->as_int());
+      e.hist.sum = static_cast<std::uint64_t>(v.find("sum")->as_int());
+      for (const util::Json& b : v.find("bounds")->items()) {
+        e.hist.bounds.push_back(static_cast<std::uint64_t>(b.as_int()));
+      }
+      for (const util::Json& b : v.find("buckets")->items()) {
+        e.hist.buckets.push_back(static_cast<std::uint64_t>(b.as_int()));
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  snap.sort();
+  return snap;
+}
+
+}  // namespace rogue::obs

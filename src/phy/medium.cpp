@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/trace.hpp"
 #include "util/assert.hpp"
 
 namespace rogue::phy {
@@ -59,6 +60,7 @@ void Radio::attempt_transmit() {
   const sim::Time busy_until = medium_.channel_busy_until(channel_);
   if (busy_until > now && backoff_attempts_ < 16) {
     ++deferred_;
+    ++medium_.deferral_count_;
     ++backoff_attempts_;
     contended_ = false;  // channel state changed: re-draw the backoff slot
     const sim::Time backoff =
@@ -87,7 +89,41 @@ void Radio::attempt_transmit() {
 }
 
 Medium::Medium(sim::Simulator& simulator, MediumConfig config)
-    : sim_(simulator), config_(config) {}
+    : sim_(simulator), config_(config) {
+  obs::StatsRegistry& stats = sim_.stats();
+  stat_tx_ = stats.counter("phy.tx_frames");
+  stat_collisions_ = stats.counter("phy.collisions");
+  stat_delivered_ = stats.counter("phy.delivered");
+  stat_drop_margin_ = stats.counter("phy.drop_below_sensitivity");
+  stat_drop_loss_ = stats.counter("phy.drop_random_loss");
+  stat_rssi_hits_ = stats.counter("phy.rssi_cache_hits");
+  stat_rssi_misses_ = stats.counter("phy.rssi_cache_misses");
+  stat_deferrals_ = stats.counter("phy.csma_deferrals");
+  stat_frame_bytes_ = stats.histogram("phy.frame_bytes",
+                                      {64, 128, 256, 512, 1024, 1536});
+  deliver_scope_ = sim_.profiler().intern("phy.deliver");
+  flush_token_ = stats.on_snapshot([this] { flush_stats(); });
+}
+
+Medium::~Medium() { sim_.stats().remove_snapshot_hook(flush_token_); }
+
+void Medium::flush_stats() {
+  // Derived counts: every non-sender receiver visit performs exactly one
+  // RSSI lookup, and a visit that neither dropped nor lacked a handler was
+  // a delivery — so the common-path quantities need no per-event counter.
+  const std::uint64_t hits = rssi_lookup_count_ - rssi_miss_count_;
+  const std::uint64_t delivered = rssi_lookup_count_ - drop_margin_count_ -
+                                  drop_loss_count_ - no_handler_count_;
+  obs::StatsRegistry& stats = sim_.stats();
+  stats.set_total(stat_tx_, tx_count_);
+  stats.set_total(stat_collisions_, collision_count_);
+  stats.set_total(stat_delivered_, delivered);
+  stats.set_total(stat_drop_margin_, drop_margin_count_);
+  stats.set_total(stat_drop_loss_, drop_loss_count_);
+  stats.set_total(stat_rssi_hits_, hits);
+  stats.set_total(stat_rssi_misses_, rssi_miss_count_);
+  stats.set_total(stat_deferrals_, deferral_count_);
+}
 
 sim::Time Medium::airtime(std::size_t bytes) const {
   const double data_us = static_cast<double>(bytes) * 8.0 / config_.bitrate_bps * 1e6;
@@ -150,6 +186,7 @@ double Medium::pair_rssi(const Radio& tx, const Radio& rx) {
   RssiCacheEntry& entry = it->second;
   if (inserted || entry.tx_epoch != tx.geom_epoch_ ||
       entry.rx_epoch != rx.geom_epoch_) {
+    ++rssi_miss_count_;  // recompute path: the increment is noise here
     entry.tx_epoch = tx.geom_epoch_;
     entry.rx_epoch = rx.geom_epoch_;
     entry.rssi_dbm =
@@ -160,6 +197,8 @@ double Medium::pair_rssi(const Radio& tx, const Radio& rx) {
 
 void Medium::transmit(Radio& sender, util::Bytes frame) {
   ++tx_count_;
+  sim_.stats().observe(stat_frame_bytes_, frame.size());
+  if (capture_ != nullptr) capture_->capture_frame(sim_.now(), frame);
   const sim::Time end = sim_.now() + airtime(frame.size());
   const std::uint64_t id = next_tx_id_++;
 
@@ -186,6 +225,19 @@ void Medium::transmit(Radio& sender, util::Bytes frame) {
 }
 
 void Medium::deliver(std::uint64_t tx_id, const Radio* sender, const util::Bytes& frame) {
+  // The RAII scope lives in this wrapper so the (usual) unprofiled path
+  // runs deliver_impl() with no cleanup object in its frame — keeping the
+  // receiver loop free of exception-unwind bookkeeping.
+  if (sim_.profiler().enabled()) {
+    const obs::Profiler::Scope scope(sim_.profiler(), deliver_scope_);
+    deliver_impl(tx_id, sender, frame);
+    return;
+  }
+  deliver_impl(tx_id, sender, frame);
+}
+
+void Medium::deliver_impl(std::uint64_t tx_id, const Radio* sender,
+                          const util::Bytes& frame) {
   const auto it = std::find_if(active_.begin(), active_.end(),
                                [&](const ActiveTx& tx) { return tx.id == tx_id; });
   ROGUE_ASSERT(it != active_.end());
@@ -197,19 +249,36 @@ void Medium::deliver(std::uint64_t tx_id, const Radio* sender, const util::Bytes
 
   // Per-channel index: same relative order as radios_, so the RNG draw
   // sequence is identical to filtering the full list by channel.
+  //
+  // Counting stays off the common path: one bulk add per delivery plus
+  // increments on the rare skip branches. flush_stats() derives the hot
+  // quantities (cache hits, delivered) from these by subtraction.
+  rssi_lookup_count_ += by_channel_[tx.channel].size();
   for (Radio* rx : by_channel_[tx.channel]) {
-    if (rx == sender) continue;
+    if (rx == sender) {
+      --rssi_lookup_count_;  // the sender never looks itself up
+      continue;
+    }
     const double noise =
         config_.rssi_noise_db * (2.0 * sim_.rng().uniform01() - 1.0);
     const double rssi = pair_rssi(*sender, *rx) + noise;
     const double margin = rssi - rx->sensitivity_dbm();
-    if (margin < 0.0) continue;
+    if (margin < 0.0) {
+      ++drop_margin_count_;
+      continue;
+    }
     const double floor_loss =
         std::min(1.0, config_.base_loss_prob + extra_loss_);
     const double success =
         (1.0 - floor_loss) * (1.0 - std::exp(-margin / config_.margin_scale_db));
-    if (!sim_.rng().chance(success)) continue;
-    if (!rx->handler_) continue;
+    if (!sim_.rng().chance(success)) {
+      ++drop_loss_count_;
+      continue;
+    }
+    if (!rx->handler_) {
+      ++no_handler_count_;
+      continue;
+    }
     ++rx->frames_received_;
     rx->handler_(frame, RxInfo{sim_.now(), rssi, tx.channel});
   }

@@ -20,6 +20,10 @@
 #include "sim/simulator.hpp"
 #include "util/bytes.hpp"
 
+namespace rogue::sim {
+class Trace;
+}  // namespace rogue::sim
+
 namespace rogue::phy {
 
 /// 802.11b channel number (1..14).
@@ -134,6 +138,10 @@ class Radio {
 class Medium {
  public:
   Medium(sim::Simulator& simulator, MediumConfig config = {});
+  ~Medium();
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] const MediumConfig& config() const { return config_; }
@@ -154,6 +162,11 @@ class Medium {
   /// scripted burst loss). 0 restores the configured floor.
   void set_loss_override(double extra_loss_prob);
   [[nodiscard]] double loss_override() const { return extra_loss_; }
+
+  /// Mirror every frame put on the air into `trace` (verbatim bytes +
+  /// simulated timestamp) for pcap export. nullptr detaches the tap; the
+  /// trace must also have frame capture enabled to retain anything.
+  void set_capture(sim::Trace* trace) { capture_ = trace; }
 
  private:
   friend class Radio;
@@ -180,7 +193,12 @@ class Medium {
   void move_channel(Radio* radio, Channel from, Channel to);
   void transmit(Radio& sender, util::Bytes frame);
   void deliver(std::uint64_t tx_id, const Radio* sender, const util::Bytes& frame);
+  void deliver_impl(std::uint64_t tx_id, const Radio* sender,
+                    const util::Bytes& frame);
   [[nodiscard]] double pair_rssi(const Radio& tx, const Radio& rx);
+  /// Publish the plain member tallies below into the stats registry;
+  /// runs from the registry's on_snapshot() hook.
+  void flush_stats();
 
   sim::Simulator& sim_;
   MediumConfig config_;
@@ -193,8 +211,32 @@ class Medium {
   double extra_loss_ = 0.0;
   std::uint64_t next_attach_seq_ = 1;
   std::uint64_t next_tx_id_ = 1;
+  sim::Trace* capture_ = nullptr;
+
+  // Hot-path tallies stay plain members (an increment is one add, no
+  // registry indirection); flush_stats() publishes them at snapshot time.
   std::uint64_t tx_count_ = 0;
   std::uint64_t collision_count_ = 0;
+  std::uint64_t rssi_lookup_count_ = 0;  ///< non-sender receiver visits
+  std::uint64_t drop_margin_count_ = 0;
+  std::uint64_t drop_loss_count_ = 0;
+  std::uint64_t rssi_miss_count_ = 0;
+  std::uint64_t no_handler_count_ = 0;
+  std::uint64_t deferral_count_ = 0;
+
+  // Interned stats handles (see Simulator::stats()), written by
+  // flush_stats(); the histogram alone is observed per transmit.
+  obs::CounterId stat_tx_;
+  obs::CounterId stat_collisions_;
+  obs::CounterId stat_delivered_;
+  obs::CounterId stat_drop_margin_;
+  obs::CounterId stat_drop_loss_;
+  obs::CounterId stat_rssi_hits_;
+  obs::CounterId stat_rssi_misses_;
+  obs::CounterId stat_deferrals_;
+  obs::HistogramId stat_frame_bytes_;
+  obs::Profiler::ScopeId deliver_scope_;
+  std::uint64_t flush_token_ = 0;
 };
 
 }  // namespace rogue::phy

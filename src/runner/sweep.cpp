@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <exception>
+#include <map>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -32,12 +33,31 @@ VariantSummary summarize(const Variant& variant, const RunMetrics* runs,
   s.runs = count;
   std::size_t captured = 0, downloaded = 0, deceived = 0, detected = 0,
               vpn_up = 0;
+  // Ordered map -> the per-name aggregates come out sorted, so the report
+  // bytes cannot depend on which replica interned a metric first.
+  std::map<std::string, util::Summary> stats_agg;
   for (std::size_t i = 0; i < count; ++i) {
     if (runs[i].failed) {
       ++s.failed;
       continue;  // default-constructed metrics would poison the aggregates
     }
     const scenario::Metrics& m = runs[i].metrics;
+    for (const obs::StatsSnapshot::Entry& e : m.stats.entries) {
+      switch (e.kind) {
+        case obs::MetricKind::kCounter:
+          stats_agg[e.name].add(static_cast<double>(e.value));
+          break;
+        case obs::MetricKind::kGauge:
+          stats_agg[e.name].add(static_cast<double>(e.value));
+          stats_agg[e.name + ".high_water"].add(
+              static_cast<double>(e.high_water));
+          break;
+        case obs::MetricKind::kHistogram:
+          stats_agg[e.name + ".count"].add(static_cast<double>(e.hist.count));
+          stats_agg[e.name + ".sum"].add(static_cast<double>(e.hist.sum));
+          break;
+      }
+    }
     if (m.victim_captured) {
       ++captured;
       s.time_to_capture_s.add(m.time_to_capture_s);
@@ -78,6 +98,7 @@ VariantSummary summarize(const Variant& variant, const RunMetrics* runs,
   s.deception_rate = static_cast<double>(deceived) / n;
   s.detection_rate = static_cast<double>(detected) / n;
   s.vpn_rate = static_cast<double>(vpn_up) / n;
+  s.stats.assign(stats_agg.begin(), stats_agg.end());
   return s;
 }
 
@@ -172,6 +193,12 @@ util::Json SweepReport::to_json() const {
     agg.set("events_fired", summary_stats_json(s.events_fired));
     agg.set("sim_time_s", summary_stats_json(s.sim_time_s));
 
+    util::Json layer_stats = util::Json::object();
+    for (const auto& [stat_name, summary] : s.stats) {
+      layer_stats.set(stat_name, summary_stats_json(summary));
+    }
+    agg.set("stats", std::move(layer_stats));
+
     util::Json replicas = util::Json::array();
     for (std::size_t i = v * config.runs;
          i < (v + 1) * config.runs && i < runs.size(); ++i) {
@@ -198,6 +225,26 @@ util::Json SweepReport::to_json() const {
     failures.push_back(std::move(f));
   }
   j.set("failures", std::move(failures));
+  return j;
+}
+
+util::Json SweepReport::stats_json() const {
+  util::Json j = util::Json::object();
+  j.set("scenario", config.scenario);
+  j.set("seed_base", config.seed_base);
+  j.set("runs_per_variant", static_cast<std::uint64_t>(config.runs));
+  util::Json variants = util::Json::array();
+  for (const VariantSummary& s : summaries) {
+    util::Json layer_stats = util::Json::object();
+    for (const auto& [stat_name, summary] : s.stats) {
+      layer_stats.set(stat_name, summary_stats_json(summary));
+    }
+    util::Json entry = util::Json::object();
+    entry.set("name", s.name);
+    entry.set("stats", std::move(layer_stats));
+    variants.push_back(std::move(entry));
+  }
+  j.set("variants", std::move(variants));
   return j;
 }
 

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runner/metrics.hpp"
@@ -67,6 +68,11 @@ struct VariantSummary {
   util::Summary clear_packets;
   util::Summary events_fired;
   util::Summary sim_time_s;
+  /// Layer-counter aggregates, one Summary per metric name over the
+  /// variant's non-failed replicas. Gauges contribute a second
+  /// "<name>.high_water" entry; histograms contribute "<name>.count" and
+  /// "<name>.sum". Sorted by name (deterministic report bytes).
+  std::vector<std::pair<std::string, util::Summary>> stats;
 };
 
 struct SweepReport {
@@ -78,6 +84,9 @@ struct SweepReport {
   /// Machine-readable report. Deterministic: depends only on the
   /// experiment parameters and seeds, never on jobs or host speed.
   [[nodiscard]] util::Json to_json() const;
+  /// Just the per-variant layer-counter aggregates (the --stats-out file).
+  /// Deterministic under the same contract as to_json().
+  [[nodiscard]] util::Json stats_json() const;
   /// Fixed-width console table of the per-variant aggregates.
   [[nodiscard]] std::string table() const;
   /// Replicas that threw instead of completing (drives CLI exit codes).

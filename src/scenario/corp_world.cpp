@@ -50,6 +50,10 @@ void CorpWorld::configure(std::uint64_t seed) {
 void CorpWorld::start() {
   if (started_) return;
   started_ = true;
+  if (capture_frames_) {
+    trace_.enable_frame_capture(true);
+    medium_.set_capture(&trace_);
+  }
   build_wired();
   build_wireless();
 }
@@ -378,6 +382,7 @@ Metrics CorpWorld::collect_metrics() const {
   m.events_fired = sim_.events_fired();
   m.trace_records = trace_.size();
   m.trace_warnings = trace_.count_at_least(sim::Severity::kWarn);
+  m.stats = sim_.stats_snapshot();
 
   m.victim_captured = capture_time_.has_value();
   if (capture_time_) {

@@ -149,6 +149,10 @@ class CorpWorld final : public World, private faults::FaultTarget {
   /// Bring up the wired network, legit AP, web site, VPN endpoint, victim.
   void start() override;
 
+  /// Record every radio frame into the trace (pcap export). Call before
+  /// start().
+  void enable_frame_capture() override { capture_frames_ = true; }
+
   /// Figure 1: stand up the rogue gateway (cloned SSID/WEP/BSSID, proxy
   /// ARP bridge, DNAT + netsed + trojan mirror).
   attack::RogueGateway& deploy_rogue();
@@ -254,6 +258,7 @@ class CorpWorld final : public World, private faults::FaultTarget {
   TunnelHealth health_;
 
   bool started_ = false;
+  bool capture_frames_ = false;
 
   // Episode observations, filled in as the scenario unfolds and read by
   // collect_metrics(). "-1 cast to Time" is avoided by optionals.

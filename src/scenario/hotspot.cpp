@@ -36,6 +36,10 @@ std::string HotspotWorld::trojan_md5() const { return crypto::md5_hex(trojan_); 
 void HotspotWorld::start() {
   if (started_) return;
   started_ = true;
+  if (capture_frames_) {
+    trace_.enable_frame_capture(true);
+    medium_.set_capture(&trace_);
+  }
 
   // Open hotspot AP (public hotspots of the era ran no WEP).
   dot11::ApConfig ap_cfg;
@@ -248,6 +252,7 @@ Metrics HotspotWorld::collect_metrics() const {
   m.events_fired = sim_.events_fired();
   m.trace_records = trace_.size();
   m.trace_warnings = trace_.count_at_least(sim::Severity::kWarn);
+  m.stats = sim_.stats_snapshot();
 
   // "Captured" here means attached to attacker-run infrastructure: in the
   // hostile variant the hotspot itself is the adversary, so joining it at

@@ -79,6 +79,10 @@ class HotspotWorld final : public World, private faults::FaultTarget {
 
   void start() override;
 
+  /// Record every radio frame into the trace (pcap export). Call before
+  /// start().
+  void enable_frame_capture() override { capture_frames_ = true; }
+
   /// Chaos: generate the seed-derived fault plan over the episode windows
   /// and schedule it. Called by run_episode() when inject_faults is set.
   void install_fault_plan();
@@ -142,6 +146,7 @@ class HotspotWorld final : public World, private faults::FaultTarget {
   TunnelHealth health_;
 
   bool started_ = false;
+  bool capture_frames_ = false;
 
   // Episode observations for collect_metrics().
   std::optional<sim::Time> join_time_;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "obs/stats.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "util/stats.hpp"
@@ -62,6 +63,11 @@ struct Metrics {
   std::uint64_t trace_records = 0;
   std::uint64_t trace_warnings = 0;  ///< records at Severity >= kWarn
   double sim_time_s = 0.0;
+
+  /// Full layer-counter snapshot (phy/dot11/net/vpn/sim.*), deterministic
+  /// per (variant, seed). Aggregated per variant by the sweep runner; not
+  /// serialized per replica.
+  obs::StatsSnapshot stats;
 };
 
 /// Folds a tunnel's up/down transitions (vpn::ClientTunnel's session
@@ -127,6 +133,11 @@ class World {
 
   /// Bring the testbed up (idempotent).
   virtual void start() = 0;
+
+  /// Ask the world to record every radio frame into its Trace (pcap
+  /// export). Must be called before start(); worlds without a radio may
+  /// ignore it. Off by default — capture copies every frame.
+  virtual void enable_frame_capture() {}
 
   /// Drive the simulation forward by `duration` of simulated time.
   virtual void run_for(sim::Time duration) = 0;

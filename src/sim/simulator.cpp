@@ -19,6 +19,7 @@ Simulator::Simulator(std::uint64_t seed) : seed_(seed), rng_(seed) {
   slots_.reserve(1024);
   free_slots_.reserve(1024);
   heap_.reserve(1024);
+  dispatch_scope_ = profiler_.intern("sim.dispatch");
 }
 
 void Simulator::reseed(std::uint64_t seed) {
@@ -69,6 +70,7 @@ TimerHandle Simulator::schedule(Time t, EventFn&& fn, bool periodic, Time period
   slot.period = period;
   heap_.push(HeapEntry{t, next_seq_++, index, slot.gen});
   ++live_;
+  if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
   return TimerHandle((static_cast<std::uint64_t>(slot.gen) << 32) | index);
 }
 
@@ -99,6 +101,7 @@ void Simulator::cancel(TimerHandle handle) {
   free_slot(index);
   --live_;
   ++stale_;
+  ++cancels_;
   maybe_compact();
 }
 
@@ -134,6 +137,9 @@ bool Simulator::step() {
   ROGUE_ASSERT(entry.time >= now_);
   now_ = entry.time;
   ++fired_;
+  // One branch when profiling is off; components nest their own scopes
+  // (phy.deliver, dot11.*, vpn.*) under this root while it is on.
+  const obs::Profiler::Scope scope(profiler_, dispatch_scope_);
 
   Slot& slot = slots_[entry.slot];
   if (slot.periodic) {
@@ -154,6 +160,28 @@ bool Simulator::step() {
     fn();
   }
   return true;
+}
+
+obs::StatsSnapshot Simulator::stats_snapshot() const {
+  obs::StatsSnapshot snap = stats_.snapshot();
+  const auto counter = [&snap](std::string_view name, std::uint64_t v) {
+    obs::StatsSnapshot::Entry e;
+    e.name = std::string(name);
+    e.kind = obs::MetricKind::kCounter;
+    e.value = v;
+    snap.entries.push_back(std::move(e));
+  };
+  counter("sim.events_fired", fired_);
+  counter("sim.cancels", cancels_);
+  counter("sim.heap_peak", static_cast<std::uint64_t>(heap_peak_));
+  const util::BufferPoolStats& pool = pool_.stats();
+  counter("sim.pool.acquires", pool.acquires);
+  counter("sim.pool.reuses", pool.reuses);
+  counter("sim.pool.releases", pool.releases);
+  counter("sim.pool.discards", pool.discards);
+  counter("sim.pool.max_pooled", pool.max_pooled);
+  snap.sort();
+  return snap;
 }
 
 void Simulator::run(std::uint64_t max_events) {

@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/profiler.hpp"
+#include "obs/stats.hpp"
 #include "sim/event_fn.hpp"
 #include "sim/event_heap.hpp"
 #include "util/buffer_pool.hpp"
@@ -69,6 +71,16 @@ class Simulator {
   /// Frame-buffer freelist shared by this simulation's phy/dot11/net hot
   /// paths. Per-simulator, so trials stay deterministic and thread-isolated.
   [[nodiscard]] util::BufferPool& buffer_pool() { return pool_; }
+  /// Per-simulation metrics registry. Components intern handles once and
+  /// bump plain uint64 slots on the hot path; values are deterministic
+  /// (a pure function of seed and config, like every other observable).
+  [[nodiscard]] obs::StatsRegistry& stats() { return stats_; }
+  /// Host wall-time profiler, disabled by default. Enabling it never
+  /// changes simulation behaviour — only how long the host takes.
+  [[nodiscard]] obs::Profiler& profiler() { return profiler_; }
+  /// Registry snapshot merged with the kernel's own instruments: event
+  /// heap depth/cancels and the buffer pool's hit/miss/high-water counts.
+  [[nodiscard]] obs::StatsSnapshot stats_snapshot() const;
 
   /// Schedule `fn` at absolute time t (must be >= now()).
   TimerHandle at(Time t, EventFn fn);
@@ -127,6 +139,11 @@ class Simulator {
   std::vector<std::uint32_t> free_slots_;
   util::Prng rng_;
   util::BufferPool pool_;
+  obs::StatsRegistry stats_;
+  obs::Profiler profiler_;
+  std::uint64_t cancels_ = 0;
+  std::size_t heap_peak_ = 0;  ///< deepest the event heap has been
+  obs::Profiler::ScopeId dispatch_scope_;
 };
 
 }  // namespace rogue::sim

@@ -30,6 +30,9 @@ void Trace::record(Time t, TagId tag, std::string_view message,
   r.message = ShortString(message);
   r.tag = tag;
   r.severity = severity;
+  if (tag >= tag_index_.size()) tag_index_.resize(tag + 1);
+  tag_index_[tag].push_back(static_cast<std::uint32_t>(records_.size()));
+  ++severity_counts_[static_cast<std::size_t>(severity)];
   records_.push_back(std::move(r));
 }
 
@@ -37,11 +40,15 @@ void Trace::record(Time t, std::string_view tag, std::string_view message) {
   record(t, intern(tag), message);
 }
 
+std::span<const std::uint32_t> Trace::tag_records(TagId tag) const {
+  if (tag >= tag_index_.size()) return {};
+  return tag_index_[tag];
+}
+
 std::vector<TraceRecord> Trace::with_tag(TagId tag) const {
   std::vector<TraceRecord> out;
-  for (const auto& r : records_) {
-    if (r.tag == tag) out.push_back(r);
-  }
+  out.reserve(count_with_tag(tag));
+  for_each_tag(tag, [&out](const TraceRecord& r) { out.push_back(r); });
   return out;
 }
 
@@ -61,8 +68,9 @@ std::size_t Trace::count_containing(std::string_view needle) const {
 
 std::size_t Trace::count_at_least(Severity min) const {
   std::size_t n = 0;
-  for (const auto& r : records_) {
-    if (r.severity >= min) ++n;
+  for (std::size_t s = static_cast<std::size_t>(min);
+       s < severity_counts_.size(); ++s) {
+    n += severity_counts_[s];
   }
   return n;
 }

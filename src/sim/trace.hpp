@@ -9,16 +9,19 @@
 // shims for existing callers and tests.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/bytes.hpp"
 
 namespace rogue::sim {
 
@@ -112,6 +115,14 @@ struct TraceRecord {
   [[nodiscard]] std::string_view text() const { return message.view(); }
 };
 
+/// One over-the-air frame kept verbatim when frame capture is enabled;
+/// obs::PcapWriter turns a run's captured frames into a Wireshark-readable
+/// .pcap (the paper's tcpdump/ethereal methodology).
+struct CapturedFrame {
+  Time time = 0;
+  util::Bytes bytes;
+};
+
 class Trace {
  public:
   /// Intern a tag string, returning a stable handle. Idempotent; interned
@@ -132,22 +143,64 @@ class Trace {
   [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
 
-  /// All records carrying this tag handle.
+  /// Record indices carrying this tag, oldest first — a view into the
+  /// per-tag index, valid until the next record()/clear(). The zero-copy
+  /// replacement for the copying with_tag() shims.
+  [[nodiscard]] std::span<const std::uint32_t> tag_records(TagId tag) const;
+  /// Number of records carrying `tag`; O(1).
+  [[nodiscard]] std::size_t count_with_tag(TagId tag) const {
+    return tag_records(tag).size();
+  }
+  /// Visit every record carrying `tag`, in time order, without copying.
+  template <typename Fn>
+  void for_each_tag(TagId tag, Fn&& fn) const {
+    for (const std::uint32_t idx : tag_records(tag)) {
+      fn(records_[idx]);
+    }
+  }
+
+  /// All records carrying this tag handle (copying compatibility shim —
+  /// prefer for_each_tag()/tag_records()).
   [[nodiscard]] std::vector<TraceRecord> with_tag(TagId tag) const;
   /// Compatibility shim: records whose tag *name* matches exactly.
   [[nodiscard]] std::vector<TraceRecord> with_tag(std::string_view tag) const;
   /// Count records whose message contains `needle`.
   [[nodiscard]] std::size_t count_containing(std::string_view needle) const;
-  /// Count records at severity >= `min`.
+  /// Count records at severity >= `min`; O(1) off per-severity tallies.
   [[nodiscard]] std::size_t count_at_least(Severity min) const;
 
-  /// Drop records; interned tags are kept.
-  void clear() { records_.clear(); }
+  // ---- frame capture -------------------------------------------------------
+  /// Keep verbatim copies of frames handed to capture_frame(). Off by
+  /// default: capture copies every frame on the air and is meant for
+  /// dedicated pcap-export replicas, not sweep hot paths.
+  void enable_frame_capture(bool on) { capture_frames_ = on; }
+  [[nodiscard]] bool frame_capture_enabled() const { return capture_frames_; }
+  /// Store one frame (no-op unless capture is enabled).
+  void capture_frame(Time t, util::ByteView frame) {
+    if (!capture_frames_) return;
+    frames_.push_back(CapturedFrame{t, util::Bytes(frame.begin(), frame.end())});
+  }
+  [[nodiscard]] const std::vector<CapturedFrame>& frames() const {
+    return frames_;
+  }
+
+  /// Drop records and captured frames; interned tags are kept.
+  void clear() {
+    records_.clear();
+    frames_.clear();
+    severity_counts_.fill(0);
+    for (auto& index : tag_index_) index.clear();
+  }
 
  private:
   std::vector<TraceRecord> records_;
   std::vector<std::string> tag_names_;  ///< index = TagId - 1
   std::unordered_map<std::string, TagId> tag_ids_;
+  /// tag_index_[tag] = indices into records_ (slot 0 = untagged records).
+  std::vector<std::vector<std::uint32_t>> tag_index_;
+  std::array<std::size_t, 4> severity_counts_{};  ///< per-Severity tallies
+  bool capture_frames_ = false;
+  std::vector<CapturedFrame> frames_;
 };
 
 }  // namespace rogue::sim

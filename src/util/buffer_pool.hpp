@@ -15,10 +15,11 @@
 namespace rogue::util {
 
 struct BufferPoolStats {
-  std::uint64_t acquires = 0;   ///< total acquire() calls
-  std::uint64_t reuses = 0;     ///< acquires served from the freelist
-  std::uint64_t releases = 0;   ///< buffers accepted back
-  std::uint64_t discards = 0;   ///< buffers rejected (pool full / oversized)
+  std::uint64_t acquires = 0;    ///< total acquire() calls
+  std::uint64_t reuses = 0;      ///< acquires served from the freelist
+  std::uint64_t releases = 0;    ///< buffers accepted back
+  std::uint64_t discards = 0;    ///< buffers rejected (pool full / oversized)
+  std::uint64_t max_pooled = 0;  ///< high-water mark of the freelist depth
 };
 
 class BufferPool {
@@ -58,6 +59,7 @@ class BufferPool {
     ++stats_.releases;
     buf.clear();
     free_.push_back(std::move(buf));
+    if (free_.size() > stats_.max_pooled) stats_.max_pooled = free_.size();
   }
 
   [[nodiscard]] std::size_t pooled() const { return free_.size(); }

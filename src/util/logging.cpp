@@ -1,7 +1,9 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace rogue::util {
@@ -16,6 +18,18 @@ std::string_view to_string(LogLevel level) {
     case LogLevel::kOff: return "OFF";
   }
   return "?";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
 }
 
 namespace {
@@ -34,6 +48,49 @@ void Log::set_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl), std::me
 void Log::set_sink(Sink sink) {
   const std::lock_guard lock(g_sink_mutex);
   sink_storage() = std::move(sink);
+}
+
+void Log::init_from_env() {
+  const char* env = std::getenv("ROGUE_LOG");
+  if (env == nullptr) return;
+  if (const auto lvl = parse_log_level(env)) set_level(*lvl);
+}
+
+bool Log::init_from_cli(int& argc, char** argv) {
+  init_from_env();
+  bool ok = true;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    bool have_value = false;
+    if (arg == "--log-level") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --log-level\n");
+        ok = false;
+        continue;
+      }
+      value = argv[++i];
+      have_value = true;
+    } else if (arg.substr(0, 12) == "--log-level=") {
+      value = arg.substr(12);
+      have_value = true;
+    }
+    if (!have_value) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (const auto lvl = parse_log_level(value)) {
+      set_level(*lvl);
+    } else {
+      std::fprintf(stderr, "bad --log-level: %.*s\n",
+                   static_cast<int>(value.size()), value.data());
+      ok = false;
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return ok;
 }
 
 void Log::write(LogLevel lvl, std::string_view msg) {

@@ -1,9 +1,11 @@
 // Minimal leveled logger. Simulation components log through a shared sink;
-// tests silence it, examples turn it up. Not thread-safe by design: each
-// simulation (and therefore each logger use) is confined to one thread.
+// tests silence it, examples turn it up. Thread-safe: the level is an
+// atomic and the sink is mutex-guarded, so parallel sweep replicas may log
+// concurrently (each replica's own simulation is still single-threaded).
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -14,6 +16,10 @@ namespace rogue::util {
 enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 [[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// Parse "trace" / "debug" / "info" / "warn" / "error" / "off"
+/// (case-insensitive); nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view text);
 
 /// Global log configuration (per-process; experiments run trials in
 /// worker threads but set the level once before spawning).
@@ -28,6 +34,17 @@ class Log {
   static void set_sink(Sink sink);
 
   static void write(LogLevel level, std::string_view msg);
+
+  /// Apply the ROGUE_LOG environment variable (if set and parseable) to
+  /// the global level. Examples call this before parsing --log-level, so
+  /// the flag wins over the environment.
+  static void init_from_env();
+
+  /// CLI bootstrap shared by every example binary: applies ROGUE_LOG, then
+  /// consumes "--log-level X" / "--log-level=X" out of argv (compacting it
+  /// so positional parsing downstream is unaffected). Returns false — with
+  /// a message on stderr — when the flag's value does not parse.
+  static bool init_from_cli(int& argc, char** argv);
 
   template <typename... Args>
   static void log(LogLevel lvl, std::string_view fmt, Args&&... args) {

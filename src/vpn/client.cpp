@@ -11,7 +11,19 @@ ClientTunnel::ClientTunnel(net::Host& host, ClientConfig config)
     : host_(host),
       config_(std::move(config)),
       reconnect_rng_(
-          host.simulator().derive_rng("vpn.reconnect." + host.name())) {}
+          host.simulator().derive_rng("vpn.reconnect." + host.name())) {
+  obs::StatsRegistry& stats = host_.simulator().stats();
+  stat_records_out_ = stats.counter("vpn.client.records_out");
+  stat_records_in_ = stats.counter("vpn.client.records_in");
+  stat_records_bad_ = stats.counter("vpn.client.records_bad");
+  stat_keepalives_ = stats.counter("vpn.client.keepalives_sent");
+  stat_keepalive_acks_ = stats.counter("vpn.client.keepalive_acks");
+  stat_dead_peer_ = stats.counter("vpn.client.dead_peer_events");
+  stat_sessions_ = stats.counter("vpn.client.sessions_established");
+  stat_reconnects_ = stats.counter("vpn.client.reconnects");
+  stat_connect_attempts_ = stats.counter("vpn.client.connect_attempts");
+  data_scope_ = host_.simulator().profiler().intern("vpn.client.data");
+}
 
 ClientTunnel::~ClientTunnel() {
   host_.simulator().cancel(timeout_timer_);
@@ -29,6 +41,7 @@ void ClientTunnel::start(EstablishedHandler done) {
 
 void ClientTunnel::begin_attempt() {
   ++counters_.connect_attempts;
+  host_.simulator().stats().add(stat_connect_attempts_);
   failed_ = false;
   established_ = false;
   server_authenticated_ = false;
@@ -89,6 +102,7 @@ void ClientTunnel::begin_attempt() {
     tcp_->set_on_close([this] {
       if (established_) {
         ++counters_.dead_peer_events;
+        host_.simulator().stats().add(stat_dead_peer_);
         session_lost();
       } else {
         attempt_failed();
@@ -270,6 +284,10 @@ void ClientTunnel::handle_assign(const Message& msg) {
                              msg.payload[3]);
   established_ = true;
   ++counters_.sessions_established;
+  host_.simulator().stats().add(stat_sessions_);
+  if (counters_.sessions_established > 1) {
+    host_.simulator().stats().add(stat_reconnects_);
+  }
   host_.simulator().cancel(timeout_timer_);
   host_.simulator().cancel(retransmit_timer_);
   bring_up_tun();
@@ -291,6 +309,7 @@ void ClientTunnel::bring_up_tun() {
       seal_record_into(keys_.client_to_server, ++tx_seq_, pkt, record);
       counters_.bytes_sealed += pkt.size();
       ++counters_.records_out;
+      host_.simulator().stats().add(stat_records_out_);
       send_payload(MsgType::kData, record);
       pool.release(std::move(record));
       return true;
@@ -324,6 +343,7 @@ void ClientTunnel::on_keepalive_tick() {
   const sim::Time now = host_.simulator().now();
   if (now - last_peer_activity_ >= config_.dead_peer_timeout) {
     ++counters_.dead_peer_events;
+    host_.simulator().stats().add(stat_dead_peer_);
     session_lost();
     return;
   }
@@ -332,6 +352,7 @@ void ClientTunnel::on_keepalive_tick() {
   util::Bytes record = pool.acquire(8 + kProbeBody.size() + crypto::kAeadTagLen);
   seal_record_into(keys_.client_to_server, ++tx_seq_, kProbeBody, record);
   ++counters_.keepalives_sent;
+  host_.simulator().stats().add(stat_keepalives_);
   send_payload(MsgType::kKeepalive, record);
   pool.release(std::move(record));
 }
@@ -345,31 +366,38 @@ void ClientTunnel::handle_keepalive_ack(const Message& msg) {
   pool.release(std::move(inner));
   if (!ok) {
     ++counters_.records_bad;
+    host_.simulator().stats().add(stat_records_bad_);
     return;
   }
   if (seq <= last_rx_seq_ && last_rx_seq_ != 0) {
     ++counters_.records_bad;
+    host_.simulator().stats().add(stat_records_bad_);
     return;
   }
   last_rx_seq_ = seq;
   ++counters_.keepalive_acks;
+  host_.simulator().stats().add(stat_keepalive_acks_);
   last_peer_activity_ = host_.simulator().now();
 }
 
 void ClientTunnel::handle_data(const Message& msg) {
   if (!established_) return;
+  const obs::Profiler::Scope scope(host_.simulator().profiler(), data_scope_);
   ++counters_.records_in;
+  host_.simulator().stats().add(stat_records_in_);
   std::uint64_t seq = 0;
   util::BufferPool& pool = host_.simulator().buffer_pool();
   util::Bytes inner = pool.acquire(msg.payload.size());
   if (!open_record_append(keys_.server_to_client, msg.payload, &seq, inner)) {
     pool.release(std::move(inner));
     ++counters_.records_bad;
+    host_.simulator().stats().add(stat_records_bad_);
     return;
   }
   if (seq <= last_rx_seq_ && last_rx_seq_ != 0) {
     pool.release(std::move(inner));
     ++counters_.records_bad;
+    host_.simulator().stats().add(stat_records_bad_);
     return;
   }
   last_rx_seq_ = seq;

@@ -153,6 +153,17 @@ class ClientTunnel {
   sim::TimerHandle keepalive_timer_;
   sim::TimerHandle reconnect_timer_;
   ClientCounters counters_;
+  // Per-simulation stats, aggregated across all client tunnels.
+  obs::CounterId stat_records_out_;
+  obs::CounterId stat_records_in_;
+  obs::CounterId stat_records_bad_;
+  obs::CounterId stat_keepalives_;
+  obs::CounterId stat_keepalive_acks_;
+  obs::CounterId stat_dead_peer_;
+  obs::CounterId stat_sessions_;
+  obs::CounterId stat_reconnects_;
+  obs::CounterId stat_connect_attempts_;
+  obs::Profiler::ScopeId data_scope_;
 };
 
 }  // namespace rogue::vpn

@@ -6,7 +6,16 @@
 namespace rogue::vpn {
 
 Endpoint::Endpoint(net::Host& host, EndpointConfig config)
-    : host_(host), config_(std::move(config)) {}
+    : host_(host), config_(std::move(config)) {
+  obs::StatsRegistry& stats = host_.simulator().stats();
+  stat_sessions_ = stats.counter("vpn.endpoint.sessions_established");
+  stat_auth_failures_ = stats.counter("vpn.endpoint.auth_failures");
+  stat_records_in_ = stats.counter("vpn.endpoint.records_in");
+  stat_records_out_ = stats.counter("vpn.endpoint.records_out");
+  stat_records_bad_ = stats.counter("vpn.endpoint.records_bad");
+  stat_keepalives_ = stats.counter("vpn.endpoint.keepalives_in");
+  data_scope_ = host_.simulator().profiler().intern("vpn.endpoint.data");
+}
 
 void Endpoint::start() {
   if (running_) return;
@@ -220,6 +229,7 @@ void Endpoint::handle_client_auth(const SessionPtr& session, const Message& msg)
       client_auth_tag(config_.psk, hello, server_public);
   if (!util::equal_ct(msg.payload, util::ByteView(expected.data(), expected.size()))) {
     ++counters_.auth_failures;
+    host_.simulator().stats().add(stat_auth_failures_);
     return;
   }
 
@@ -229,6 +239,7 @@ void Endpoint::handle_client_auth(const SessionPtr& session, const Message& msg)
   session->established = true;
   by_tunnel_ip_[*tunnel_ip] = session;
   ++counters_.sessions_established;
+  host_.simulator().stats().add(stat_sessions_);
 
   session->assign_reply.clear();
   util::ByteWriter w(session->assign_reply);
@@ -238,7 +249,9 @@ void Endpoint::handle_client_auth(const SessionPtr& session, const Message& msg)
 
 void Endpoint::handle_data(const SessionPtr& session, const Message& msg) {
   if (!session->established) return;
+  const obs::Profiler::Scope scope(host_.simulator().profiler(), data_scope_);
   ++counters_.records_in;
+  host_.simulator().stats().add(stat_records_in_);
 
   std::uint64_t seq = 0;
   util::BufferPool& pool = host_.simulator().buffer_pool();
@@ -261,7 +274,10 @@ void Endpoint::handle_data(const SessionPtr& session, const Message& msg) {
       ok = false;
     }
   }
-  if (!ok) ++counters_.records_bad;
+  if (!ok) {
+    ++counters_.records_bad;
+    host_.simulator().stats().add(stat_records_bad_);
+  }
   pool.release(std::move(inner));
 }
 
@@ -275,14 +291,17 @@ void Endpoint::handle_keepalive(const SessionPtr& session, const Message& msg) {
   pool.release(std::move(inner));
   if (!ok) {
     ++counters_.records_bad;
+    host_.simulator().stats().add(stat_records_bad_);
     return;
   }
   if (seq <= session->last_rx_seq && session->last_rx_seq != 0) {
     ++counters_.records_bad;  // replayed probe
+    host_.simulator().stats().add(stat_records_bad_);
     return;
   }
   session->last_rx_seq = seq;
   ++counters_.keepalives_in;
+  host_.simulator().stats().add(stat_keepalives_);
 
   static const util::Bytes kProbeBody = {'k', 'a'};
   util::Bytes record = pool.acquire(8 + kProbeBody.size() + crypto::kAeadTagLen);
@@ -307,6 +326,7 @@ bool Endpoint::tun_transmit(util::ByteView ip_packet) {
                    record);
   counters_.bytes_sealed += ip_packet.size();
   ++counters_.records_out;
+  host_.simulator().stats().add(stat_records_out_);
   session.send(MsgType::kData, record);
   pool.release(std::move(record));
   return true;

@@ -106,6 +106,14 @@ class Endpoint {
   bool plumbed_ = false;   ///< tun/route/SNAT installed (survives restarts)
   std::uint64_t epoch_ = 0;
   EndpointCounters counters_;
+  // Per-simulation stats, aggregated across all endpoints.
+  obs::CounterId stat_sessions_;
+  obs::CounterId stat_auth_failures_;
+  obs::CounterId stat_records_in_;
+  obs::CounterId stat_records_out_;
+  obs::CounterId stat_records_bad_;
+  obs::CounterId stat_keepalives_;
+  obs::Profiler::ScopeId data_scope_;
 };
 
 }  // namespace rogue::vpn

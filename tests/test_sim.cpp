@@ -378,6 +378,91 @@ TEST(Trace, ShortStringInlineAndHeapSpill) {
   EXPECT_EQ(trace.count_containing("yyy"), 1u);
 }
 
+TEST(Trace, ShortStringHeapAssignmentsAndSelfAssign) {
+  const std::string big(ShortString::kInlineCap + 57, 'z');
+  const std::string other(ShortString::kInlineCap + 9, 'w');
+  const std::string small = "inline";
+
+  // Copy-assign heap over heap frees the old allocation and deep-copies.
+  ShortString a(big);
+  ShortString b(other);
+  a = b;
+  EXPECT_EQ(a.view(), other);
+  EXPECT_EQ(b.view(), other);  // source untouched
+  EXPECT_TRUE(a.on_heap());
+
+  // Move-assign heap over heap steals the allocation, empties the source.
+  ShortString c(big);
+  c = ShortString(other);
+  EXPECT_EQ(c.view(), other);
+  ShortString d(small);
+  d = std::move(c);
+  EXPECT_EQ(d.view(), other);
+  EXPECT_EQ(c.view(), "");  // NOLINT(bugprone-use-after-move)
+
+  // Self-assignment (copy and move) leaves a heap string intact.
+  ShortString e(big);
+  ShortString& e_alias = e;
+  e = e_alias;
+  EXPECT_EQ(e.view(), big);
+  e = std::move(e_alias);
+  EXPECT_EQ(e.view(), big);
+
+  // Heap-to-inline and inline-to-heap assignments flip the storage mode.
+  ShortString f(big);
+  f = ShortString(small);
+  EXPECT_FALSE(f.on_heap());
+  EXPECT_EQ(f.view(), small);
+  f = ShortString(big);
+  EXPECT_TRUE(f.on_heap());
+  EXPECT_EQ(f.view(), big);
+}
+
+TEST(Trace, TagIndexQueriesAreConsistent) {
+  Trace trace;
+  const TagId ap = trace.intern("ap");
+  const TagId sta = trace.intern("sta");
+  trace.record(1, ap, "beacon");
+  trace.record(2, sta, "scan");
+  trace.record(3, ap, "assoc");
+  trace.record(4, ap, "deauth");
+
+  EXPECT_EQ(trace.count_with_tag(ap), 3u);
+  EXPECT_EQ(trace.count_with_tag(sta), 1u);
+  ASSERT_EQ(trace.tag_records(ap).size(), 3u);
+
+  // for_each_tag visits the tagged records in time order without copying.
+  std::vector<std::string> texts;
+  trace.for_each_tag(ap, [&](const TraceRecord& r) {
+    texts.emplace_back(r.text());
+  });
+  ASSERT_EQ(texts.size(), 3u);
+  EXPECT_EQ(texts[0], "beacon");
+  EXPECT_EQ(texts[1], "assoc");
+  EXPECT_EQ(texts[2], "deauth");
+  // The copying shim agrees with the index path.
+  EXPECT_EQ(trace.with_tag(ap).size(), trace.count_with_tag(ap));
+
+  trace.clear();
+  EXPECT_EQ(trace.count_with_tag(ap), 0u);
+  EXPECT_TRUE(trace.tag_records(ap).empty());
+}
+
+TEST(Trace, SeverityCountsAreO1Tallies) {
+  Trace trace;
+  const TagId tag = trace.intern("det");
+  for (Time i = 0; i < 10; ++i) trace.record(i, tag, "d", Severity::kDebug);
+  for (Time i = 0; i < 5; ++i) trace.record(i, tag, "i", Severity::kInfo);
+  for (Time i = 0; i < 3; ++i) trace.record(i, tag, "w", Severity::kWarn);
+  trace.record(99, tag, "a", Severity::kAlert);
+  EXPECT_EQ(trace.count_at_least(Severity::kDebug), 19u);
+  EXPECT_EQ(trace.count_at_least(Severity::kInfo), 9u);
+  EXPECT_EQ(trace.count_at_least(Severity::kWarn), 4u);
+  EXPECT_EQ(trace.count_at_least(Severity::kAlert), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.count_at_least(Severity::kDebug), 0u);
+}
+
 TEST(Simulator, ReseedRebasesRootSeedBeforeUse) {
   Simulator sim(1);
   EXPECT_EQ(sim.seed(), 1u);
