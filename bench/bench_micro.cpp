@@ -6,6 +6,7 @@
 // used as a CI sanity check that every scenario still executes.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -66,6 +67,43 @@ void BM_ChaCha20(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ChaCha20)->Arg(64)->Arg(1500)->Arg(65536);
+
+// Per-kernel variants: force one backend for the run, restore auto after.
+// Keeps the scalar/SSE2/AVX2 trajectory visible side by side in the gate,
+// and skips (rather than silently falls back) where a kernel can't run.
+void chacha20_backend_bench(benchmark::State& state,
+                            crypto::ChaChaBackend backend) {
+  if (crypto::chacha20_set_backend(backend) != backend) {
+    crypto::chacha20_set_backend(crypto::ChaChaBackend::kAuto);
+    state.SkipWithError("backend unavailable on this host");
+    return;
+  }
+  const util::Bytes key = random_bytes(32);
+  const util::Bytes nonce = random_bytes(12);
+  util::Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    crypto::ChaCha20 cipher(key, nonce);
+    cipher.process(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  crypto::chacha20_set_backend(crypto::ChaChaBackend::kAuto);
+}
+
+void BM_ChaCha20Scalar(benchmark::State& state) {
+  chacha20_backend_bench(state, crypto::ChaChaBackend::kScalar);
+}
+BENCHMARK(BM_ChaCha20Scalar)->Arg(1500)->Arg(65536);
+
+void BM_ChaCha20Sse2(benchmark::State& state) {
+  chacha20_backend_bench(state, crypto::ChaChaBackend::kSse2);
+}
+BENCHMARK(BM_ChaCha20Sse2)->Arg(1500)->Arg(65536);
+
+void BM_ChaCha20Avx2(benchmark::State& state) {
+  chacha20_backend_bench(state, crypto::ChaChaBackend::kAvx2);
+}
+BENCHMARK(BM_ChaCha20Avx2)->Arg(1500)->Arg(65536);
 
 void BM_Md5(benchmark::State& state) {
   const util::Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)));
@@ -302,6 +340,75 @@ void BM_MediumDeliver(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 200 * (n - 1));
 }
 BENCHMARK(BM_MediumDeliver)->Arg(4)->Arg(16);
+
+void BM_MediumDenseDeliver(benchmark::State& state) {
+  // Dense fan-out: N co-channel radios in a tight grid, every one within
+  // range of every other, senders rotating through the whole population so
+  // all N^2 (sender, receiver) pairs stay live. This is the metro-world
+  // delivery profile: one transmission, N-1 receiver visits.
+  //
+  // Each iteration is one full replica lifecycle — build the world, run a
+  // burst of traffic, tear it down — because that is exactly what the sweep
+  // runner does per replica. The pre-change cost here was dominated by
+  // per-pair RSSI cache node churn (allocate on miss, free ~N^2 hash nodes
+  // at teardown), which the delivery-plan + flat-map path eliminates.
+  const int n = static_cast<int>(state.range(0));
+  const int kTx = 4 * n;  // every radio transmits ~4 times: steady state,
+                          // not just world-construction + first delivery
+  const util::Bytes frame = random_bytes(256);
+  const int side = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  for (auto _ : state) {
+    sim::Simulator sim(11);
+    phy::Medium medium(sim);
+    std::vector<std::unique_ptr<phy::Radio>> radios;
+    std::uint64_t delivered = 0;
+    for (int i = 0; i < n; ++i) {
+      auto r = std::make_unique<phy::Radio>(medium, "r" + std::to_string(i));
+      r->set_position({static_cast<double>(i % side) * 3.0,
+                       static_cast<double>(i / side) * 3.0});
+      r->set_receive_handler(
+          [&delivered](util::ByteView, const phy::RxInfo&) { ++delivered; });
+      radios.push_back(std::move(r));
+    }
+    for (int t = 0; t < kTx; ++t) {
+      // Stride through the population so consecutive transmissions come
+      // from different senders (worst case for per-sender caching).
+      sim.after(static_cast<sim::Time>(t) * 2000, [&radios, &frame, t, n] {
+        radios[static_cast<std::size_t>((t * 7) % n)]->transmit(frame);
+      });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * kTx * (n - 1));
+}
+BENCHMARK(BM_MediumDenseDeliver)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ArenaAcquireRelease(benchmark::State& state) {
+  // Steady-state frame-buffer traffic: acquire a pooled buffer, serialize a
+  // frame-sized payload into it, hand it back. The depth-16 working set
+  // mimics in-flight frames queued across radios and sockets; the arena is
+  // pre-warmed so every acquire is a freelist pop, never a heap allocation.
+  util::BufferPoolConfig cfg;
+  cfg.slab_buffers = 32;
+  cfg.buffer_capacity = 2048;
+  util::BufferPool pool(cfg);
+  std::vector<util::Bytes> live;
+  live.reserve(16);
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      util::Bytes b = pool.acquire(1500);
+      b.resize(256);
+      b[0] = static_cast<std::uint8_t>(i);
+      live.push_back(std::move(b));
+    }
+    for (auto& b : live) pool.release(std::move(b));
+    live.clear();
+    benchmark::DoNotOptimize(pool.pooled());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);  // acquire + release
+}
+BENCHMARK(BM_ArenaAcquireRelease);
 
 void BM_TraceRecord(benchmark::State& state) {
   // Hot-path trace append with an interned tag: the record itself is a

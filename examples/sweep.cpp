@@ -27,11 +27,18 @@ void usage(const char* argv0) {
       "          [--runs N] [--jobs N] [--seed-base N] [--faults X]\n"
       "          [--out report.json] [--stats-out stats.json]\n"
       "          [--pcap-out capture.pcap] [--profile]\n"
+      "          [--pool-slab N] [--pool-buffer-bytes B] [--pool-poison]\n"
       "          [--log-level trace|debug|info|warn|error|off]\n"
       "\n"
       "  --faults X    inject a seed-derived fault plan at intensity X\n"
       "                (faults per simulated minute; overlays the plain\n"
       "                scenarios, scales the chaos ones)\n"
+      "  --pool-slab N pre-warm each replica's frame-buffer arena with N\n"
+      "                buffers (of --pool-buffer-bytes each, default 2048);\n"
+      "                adds sim.pool.high_water / sim.pool.spills to the\n"
+      "                stats so the slab can be sized from a trial run\n"
+      "  --pool-poison overwrite released frame buffers with 0xA5 so\n"
+      "                use-after-release bugs surface as loud garbage\n"
       "  --stats-out F write the per-variant layer-counter aggregates as\n"
       "                JSON (deterministic: identical bytes at any --jobs)\n"
       "  --pcap-out F  run one extra frame-capturing replica of the first\n"
@@ -91,6 +98,14 @@ int main(int argc, char** argv) {
       out_path = value();
     } else if (std::strcmp(arg, "--stats-out") == 0) {
       stats_path = value();
+    } else if (std::strcmp(arg, "--pool-slab") == 0) {
+      cfg.pool.slab_buffers =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (std::strcmp(arg, "--pool-buffer-bytes") == 0) {
+      cfg.pool.buffer_capacity =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (std::strcmp(arg, "--pool-poison") == 0) {
+      cfg.pool.poison_on_release = true;
     } else if (std::strcmp(arg, "--pcap-out") == 0) {
       pcap_path = value();
     } else if (std::strcmp(arg, "--profile") == 0) {

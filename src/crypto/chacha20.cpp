@@ -7,11 +7,57 @@
 #include <emmintrin.h>
 #endif
 
+#include "crypto/chacha20_kernels.hpp"
 #include "util/assert.hpp"
 
 namespace rogue::crypto {
 
 namespace {
+
+/// Resolved kernel flags. AVX2 requires both the dedicated TU to have been
+/// built with AVX2 codegen and the running CPU to report the feature;
+/// SSE2 is a compile-time property of this TU (baseline on x86-64).
+struct Dispatch {
+  bool use_sse2 = false;
+  bool use_avx2 = false;
+};
+
+[[nodiscard]] bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+[[nodiscard]] Dispatch resolve(ChaChaBackend requested) {
+  Dispatch d;
+#if defined(__SSE2__)
+  d.use_sse2 = true;
+#endif
+  d.use_avx2 = detail::chacha20_avx2_compiled() && cpu_has_avx2();
+  switch (requested) {
+    case ChaChaBackend::kAuto:
+      break;  // best available
+    case ChaChaBackend::kScalar:
+      d.use_sse2 = d.use_avx2 = false;
+      break;
+    case ChaChaBackend::kSse2:
+      d.use_avx2 = false;
+      break;  // falls back to scalar if SSE2 is not compiled in
+    case ChaChaBackend::kAvx2:
+      break;  // unsupported hosts keep the best they have
+  }
+  return d;
+}
+
+/// Process-wide kernel selection. The magic static makes first-use
+/// resolution thread-safe; chacha20_set_backend() is init/test-time only.
+Dispatch& dispatch() {
+  static Dispatch d = resolve(ChaChaBackend::kAuto);
+  return d;
+}
 void quarter_round(std::array<std::uint32_t, 16>& s, int a, int b, int c, int d) {
   s[static_cast<std::size_t>(a)] += s[static_cast<std::size_t>(b)];
   s[static_cast<std::size_t>(d)] = std::rotl(s[static_cast<std::size_t>(d)] ^ s[static_cast<std::size_t>(a)], 16);
@@ -140,6 +186,18 @@ inline void xor_block2_sse2(const std::array<std::uint32_t, 16>& state,
 #endif  // __SSE2__
 }  // namespace
 
+ChaChaBackend chacha20_set_backend(ChaChaBackend backend) {
+  dispatch() = resolve(backend);
+  return chacha20_backend();
+}
+
+ChaChaBackend chacha20_backend() {
+  const Dispatch& d = dispatch();
+  if (d.use_avx2) return ChaChaBackend::kAvx2;
+  if (d.use_sse2) return ChaChaBackend::kSse2;
+  return ChaChaBackend::kScalar;
+}
+
 ChaCha20::ChaCha20(util::ByteView key, util::ByteView nonce, std::uint32_t counter) {
   ROGUE_ASSERT_MSG(key.size() == kChaChaKeyLen, "ChaCha20 key must be 32 bytes");
   ROGUE_ASSERT_MSG(nonce.size() == kChaChaNonceLen, "ChaCha20 nonce must be 12 bytes");
@@ -190,20 +248,34 @@ void ChaCha20::process(std::span<std::uint8_t> data) {
   while (i < n && block_pos_ < block_.size()) data[i++] ^= block_[block_pos_++];
 
   // Whole 64-byte blocks: XOR the keystream straight into the data,
-  // skipping the byte-serialisation staging buffer. With SSE2 the whole
-  // block lives in four 128-bit registers; otherwise XOR words pairwise.
+  // skipping the byte-serialisation staging buffer. The widest kernel the
+  // dispatch allows eats first (4 blocks AVX2, then 2 and 1 block SSE2),
+  // and the scalar word loop covers forced-scalar mode and non-x86 hosts.
+  // Every path consumes the same counter sequence, so the keystream is
+  // byte-identical regardless of which kernels the cascade used.
+  const Dispatch& d = dispatch();
+  if (d.use_avx2) {
+    while (n - i >= 256) {
+      detail::chacha20_xor_blocks4_avx2(state_.data(), data.data() + i);
+      state_[12] += 4;
+      i += 256;
+    }
+  }
 #if defined(__SSE2__)
-  while (n - i >= 128) {
-    xor_block2_sse2(state_, data.data() + i);
-    state_[12] += 2;
-    i += 128;
+  if (d.use_sse2) {
+    while (n - i >= 128) {
+      xor_block2_sse2(state_, data.data() + i);
+      state_[12] += 2;
+      i += 128;
+    }
+    while (n - i >= 64) {
+      xor_block_sse2(state_, data.data() + i);
+      ++state_[12];
+      i += 64;
+    }
   }
 #endif
   while (n - i >= 64) {
-#if defined(__SSE2__)
-    xor_block_sse2(state_, data.data() + i);
-    ++state_[12];
-#else
     std::array<std::uint32_t, 16> words;
     next_block_words(words);
     std::uint8_t* p = data.data() + i;
@@ -216,7 +288,6 @@ void ChaCha20::process(std::span<std::uint8_t> data) {
       v ^= k;
       std::memcpy(p + w * 4, &v, 8);
     }
-#endif
     i += 64;
   }
 

@@ -14,6 +14,19 @@ namespace rogue::crypto {
 inline constexpr std::size_t kChaChaKeyLen = 32;
 inline constexpr std::size_t kChaChaNonceLen = 12;
 
+/// Keystream kernel selection. kAuto probes the CPU once (AVX2 > SSE2 >
+/// scalar); the explicit values force a path for tests and benchmarks.
+/// Every backend produces byte-identical keystream — only speed differs.
+enum class ChaChaBackend { kAuto, kScalar, kSse2, kAvx2 };
+
+/// Force the process() kernel. Call before streaming work starts (init or
+/// test setup — the switch is not synchronized against in-flight calls).
+/// Forcing a backend the host cannot run falls back to the best available
+/// one. Returns the backend actually in effect.
+ChaChaBackend chacha20_set_backend(ChaChaBackend backend);
+/// The backend process() currently dispatches to (never kAuto).
+[[nodiscard]] ChaChaBackend chacha20_backend();
+
 class ChaCha20 {
  public:
   /// key: 32 bytes, nonce: 12 bytes, counter: initial block counter.

@@ -1,0 +1,131 @@
+// 4-block AVX2 ChaCha20 keystream kernel. This TU alone is compiled with
+// -mavx2 (see src/CMakeLists.txt); everything else in the library stays at
+// baseline codegen and reaches this kernel only through the runtime CPUID
+// dispatch in chacha20.cpp, so one binary runs on SSE2-only hosts too.
+//
+// Layout: each ymm row vector carries the same ChaCha row of two
+// *independent* blocks, one per 128-bit lane. Two such pairs (v = blocks
+// c,c+1 and w = blocks c+2,c+3) run interleaved, giving four blocks per
+// call with two dependency chains to keep the vector ALUs fed.
+// _mm256_shuffle_epi32 operates per lane, so the SSE2 diagonalization
+// trick carries over unchanged; the 16- and 8-bit rotates use byte
+// shuffles instead of shift pairs (one uop on every AVX2 part).
+#include "crypto/chacha20_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace rogue::crypto::detail {
+
+namespace {
+
+inline __m256i rotl16(__m256i v) {
+  const __m256i mask = _mm256_setr_epi8(
+      2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13,  //
+      2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13);
+  return _mm256_shuffle_epi8(v, mask);
+}
+
+inline __m256i rotl8(__m256i v) {
+  const __m256i mask = _mm256_setr_epi8(
+      3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14,  //
+      3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14);
+  return _mm256_shuffle_epi8(v, mask);
+}
+
+inline __m256i rotl(__m256i v, int n) {
+  return _mm256_or_si256(_mm256_slli_epi32(v, n), _mm256_srli_epi32(v, 32 - n));
+}
+
+inline void half_round(__m256i& v0, __m256i& v1, __m256i& v2, __m256i& v3) {
+  v0 = _mm256_add_epi32(v0, v1);
+  v3 = rotl16(_mm256_xor_si256(v3, v0));
+  v2 = _mm256_add_epi32(v2, v3);
+  v1 = rotl(_mm256_xor_si256(v1, v2), 12);
+  v0 = _mm256_add_epi32(v0, v1);
+  v3 = rotl8(_mm256_xor_si256(v3, v0));
+  v2 = _mm256_add_epi32(v2, v3);
+  v1 = rotl(_mm256_xor_si256(v1, v2), 7);
+}
+
+/// XOR [a.lane(sel0) | b.lane(sel0or1)] into two consecutive 16-byte rows.
+inline void xor_store(std::uint8_t* p, __m256i lanes) {
+  __m256i* out = reinterpret_cast<__m256i*>(p);
+  _mm256_storeu_si256(out, _mm256_xor_si256(_mm256_loadu_si256(out), lanes));
+}
+
+}  // namespace
+
+bool chacha20_avx2_compiled() { return true; }
+
+void chacha20_xor_blocks4_avx2(const std::uint32_t* state, std::uint8_t* p) {
+  const __m128i r0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  const __m128i r1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  const __m128i r2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 8));
+  const __m128i r3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 12));
+  const __m256i s0 = _mm256_broadcastsi128_si256(r0);
+  const __m256i s1 = _mm256_broadcastsi128_si256(r1);
+  const __m256i s2 = _mm256_broadcastsi128_si256(r2);
+  // Row 3 is [counter, nonce0..2] per lane; bump the counter element so the
+  // lanes hold blocks c / c+1 (v) and c+2 / c+3 (w).
+  const __m256i s3v = _mm256_add_epi32(_mm256_broadcastsi128_si256(r3),
+                                       _mm256_set_epi32(0, 0, 0, 1, 0, 0, 0, 0));
+  const __m256i s3w = _mm256_add_epi32(_mm256_broadcastsi128_si256(r3),
+                                       _mm256_set_epi32(0, 0, 0, 3, 0, 0, 0, 2));
+
+  __m256i v0 = s0, v1 = s1, v2 = s2, v3 = s3v;
+  __m256i w0 = s0, w1 = s1, w2 = s2, w3 = s3w;
+  for (int round = 0; round < 10; ++round) {
+    half_round(v0, v1, v2, v3);
+    half_round(w0, w1, w2, w3);
+    v1 = _mm256_shuffle_epi32(v1, _MM_SHUFFLE(0, 3, 2, 1));
+    v2 = _mm256_shuffle_epi32(v2, _MM_SHUFFLE(1, 0, 3, 2));
+    v3 = _mm256_shuffle_epi32(v3, _MM_SHUFFLE(2, 1, 0, 3));
+    w1 = _mm256_shuffle_epi32(w1, _MM_SHUFFLE(0, 3, 2, 1));
+    w2 = _mm256_shuffle_epi32(w2, _MM_SHUFFLE(1, 0, 3, 2));
+    w3 = _mm256_shuffle_epi32(w3, _MM_SHUFFLE(2, 1, 0, 3));
+    half_round(v0, v1, v2, v3);
+    half_round(w0, w1, w2, w3);
+    v1 = _mm256_shuffle_epi32(v1, _MM_SHUFFLE(2, 1, 0, 3));
+    v2 = _mm256_shuffle_epi32(v2, _MM_SHUFFLE(1, 0, 3, 2));
+    v3 = _mm256_shuffle_epi32(v3, _MM_SHUFFLE(0, 3, 2, 1));
+    w1 = _mm256_shuffle_epi32(w1, _MM_SHUFFLE(2, 1, 0, 3));
+    w2 = _mm256_shuffle_epi32(w2, _MM_SHUFFLE(1, 0, 3, 2));
+    w3 = _mm256_shuffle_epi32(w3, _MM_SHUFFLE(0, 3, 2, 1));
+  }
+  v0 = _mm256_add_epi32(v0, s0);
+  v1 = _mm256_add_epi32(v1, s1);
+  v2 = _mm256_add_epi32(v2, s2);
+  v3 = _mm256_add_epi32(v3, s3v);
+  w0 = _mm256_add_epi32(w0, s0);
+  w1 = _mm256_add_epi32(w1, s1);
+  w2 = _mm256_add_epi32(w2, s2);
+  w3 = _mm256_add_epi32(w3, s3w);
+
+  // Each vector holds one row of two blocks; the keystream wants whole
+  // blocks contiguous. permute2x128 pairs up the low lanes (block c rows
+  // 0/1, then 2/3) and the high lanes (block c+1), likewise for w.
+  xor_store(p + 0, _mm256_permute2x128_si256(v0, v1, 0x20));
+  xor_store(p + 32, _mm256_permute2x128_si256(v2, v3, 0x20));
+  xor_store(p + 64, _mm256_permute2x128_si256(v0, v1, 0x31));
+  xor_store(p + 96, _mm256_permute2x128_si256(v2, v3, 0x31));
+  xor_store(p + 128, _mm256_permute2x128_si256(w0, w1, 0x20));
+  xor_store(p + 160, _mm256_permute2x128_si256(w2, w3, 0x20));
+  xor_store(p + 192, _mm256_permute2x128_si256(w0, w1, 0x31));
+  xor_store(p + 224, _mm256_permute2x128_si256(w2, w3, 0x31));
+}
+
+}  // namespace rogue::crypto::detail
+
+#else  // !__AVX2__: keep the symbols so dispatch links on any target.
+
+namespace rogue::crypto::detail {
+
+bool chacha20_avx2_compiled() { return false; }
+
+void chacha20_xor_blocks4_avx2(const std::uint32_t*, std::uint8_t*) {}
+
+}  // namespace rogue::crypto::detail
+
+#endif  // __AVX2__

@@ -1,0 +1,19 @@
+// Internal contract between chacha20.cpp and the ISA-specific keystream
+// kernel translation units. Not installed API: the public surface stays
+// chacha20.hpp's ChaCha20 class + backend selectors.
+#pragma once
+
+#include <cstdint>
+
+namespace rogue::crypto::detail {
+
+/// True when the AVX2 kernel TU was built with AVX2 codegen enabled (the
+/// build probes the compiler; the *runtime* CPU check is separate).
+[[nodiscard]] bool chacha20_avx2_compiled();
+
+/// XOR four consecutive 64-byte keystream blocks (counter, counter+1,
+/// counter+2, counter+3) into p[0..255]. Only callable when
+/// chacha20_avx2_compiled() and the CPU reports AVX2.
+void chacha20_xor_blocks4_avx2(const std::uint32_t* state, std::uint8_t* p);
+
+}  // namespace rogue::crypto::detail

@@ -102,6 +102,7 @@ Medium::Medium(sim::Simulator& simulator, MediumConfig config)
   stat_frame_bytes_ = stats.histogram("phy.frame_bytes",
                                       {64, 128, 256, 512, 1024, 1536});
   deliver_scope_ = sim_.profiler().intern("phy.deliver");
+  plan_scope_ = sim_.profiler().intern("phy.plan_rebuild");
   flush_token_ = stats.on_snapshot([this] { flush_stats(); });
 }
 
@@ -153,14 +154,19 @@ void Medium::attach(Radio* radio) {
   radio->attach_seq_ = next_attach_seq_++;
   radios_.push_back(radio);
   by_channel_[radio->channel_].push_back(radio);
+  invalidate_plans();
 }
 
 void Medium::detach(Radio* radio) {
   std::erase(radios_, radio);
   std::erase(by_channel_[radio->channel_], radio);
-  // attach_seq_ values are never reused, but dropping the whole cache on a
-  // (rare) detach keeps it from accumulating dead pairs.
-  rssi_cache_.clear();
+  // attach_seq_ values are never reused, but dropping every pair-cache
+  // slice on a (rare) detach keeps them from accumulating dead pairs.
+  // The bump invalidates lazily; each slice empties on its next probe.
+  ++cache_generation_;
+  // Stale PlanEntry::rx pointers into this radio are never dereferenced:
+  // the epoch bump forces every plan to rebuild before its next walk.
+  invalidate_plans();
   // Any in-flight transmission from this radio is dropped at delivery time
   // (sender pointer no longer attached).
   for (auto& tx : active_) {
@@ -178,12 +184,39 @@ void Medium::move_channel(Radio* radio, Channel from, Channel to) {
         return a->attach_seq_ < b->attach_seq_;
       });
   list.insert(pos, radio);
+  invalidate_plans();
+}
+
+const Radio::DeliveryPlan& Medium::delivery_plan(const Radio& sender,
+                                                 Channel channel) {
+  Radio::DeliveryPlan& plan = sender.plan_;
+  if (plan.epoch == world_epoch_ && plan.channel == channel) return plan;
+  const obs::Profiler::Scope scope(sim_.profiler(), plan_scope_);
+  ++plan_rebuild_count_;
+  plan.epoch = world_epoch_;
+  plan.channel = channel;
+  plan.entries.clear();
+  const std::vector<Radio*>& list = by_channel_[channel];
+  plan.entries.reserve(list.size());
+  // pair_rssi keeps the per-pair epoch cache: a rebuild triggered by one
+  // radio's move only recomputes the pairs whose endpoints actually
+  // changed, and the rssi_miss_count_ bookkeeping stays identical to the
+  // pre-plan per-visit probing (same pairs stale at the same times).
+  for (Radio* rx : list) {
+    if (rx == &sender) continue;
+    plan.entries.push_back(
+        Radio::PlanEntry{rx, pair_rssi(sender, *rx), rx->sensitivity_dbm_});
+  }
+  return plan;
 }
 
 double Medium::pair_rssi(const Radio& tx, const Radio& rx) {
-  const std::uint64_t key = (tx.attach_seq_ << 32) | rx.attach_seq_;
-  const auto [it, inserted] = rssi_cache_.try_emplace(key);
-  RssiCacheEntry& entry = it->second;
+  if (tx.cache_gen_seen_ != cache_generation_) {
+    tx.pair_cache_.clear();
+    tx.cache_gen_seen_ = cache_generation_;
+  }
+  const auto [slot, inserted] = tx.pair_cache_.try_emplace(rx.attach_seq_);
+  Radio::RssiCacheEntry& entry = *slot;
   if (inserted || entry.tx_epoch != tx.geom_epoch_ ||
       entry.rx_epoch != rx.geom_epoch_) {
     ++rssi_miss_count_;  // recompute path: the increment is noise here
@@ -247,40 +280,43 @@ void Medium::deliver_impl(std::uint64_t tx_id, const Radio* sender,
   // Sender may have been detached mid-flight.
   if (std::find(radios_.begin(), radios_.end(), sender) == radios_.end()) return;
 
-  // Per-channel index: same relative order as radios_, so the RNG draw
-  // sequence is identical to filtering the full list by channel.
+  // Batched fan-out: one walk over the sender's flattened delivery plan
+  // (per-channel order minus the sender, so the RNG draw sequence is
+  // identical to filtering the full list). The plan carries pairwise RSSI
+  // and receiver sensitivity inline — the loop streams a contiguous array
+  // and only dereferences a Radio on frames that actually land.
   //
   // Counting stays off the common path: one bulk add per delivery plus
   // increments on the rare skip branches. flush_stats() derives the hot
   // quantities (cache hits, delivered) from these by subtraction.
-  rssi_lookup_count_ += by_channel_[tx.channel].size();
-  for (Radio* rx : by_channel_[tx.channel]) {
-    if (rx == sender) {
-      --rssi_lookup_count_;  // the sender never looks itself up
-      continue;
-    }
-    const double noise =
-        config_.rssi_noise_db * (2.0 * sim_.rng().uniform01() - 1.0);
-    const double rssi = pair_rssi(*sender, *rx) + noise;
-    const double margin = rssi - rx->sensitivity_dbm();
+  const Radio::DeliveryPlan& plan = delivery_plan(*sender, tx.channel);
+  rssi_lookup_count_ += plan.entries.size();
+  const double floor_loss = std::min(1.0, config_.base_loss_prob + extra_loss_);
+  const double noise_span = config_.rssi_noise_db;
+  const double margin_scale = config_.margin_scale_db;
+  const sim::Time now = sim_.now();
+  util::Prng& rng = sim_.rng();
+  for (const Radio::PlanEntry& entry : plan.entries) {
+    const double noise = noise_span * (2.0 * rng.uniform01() - 1.0);
+    const double rssi = entry.rssi_dbm + noise;
+    const double margin = rssi - entry.sens_dbm;
     if (margin < 0.0) {
       ++drop_margin_count_;
       continue;
     }
-    const double floor_loss =
-        std::min(1.0, config_.base_loss_prob + extra_loss_);
     const double success =
-        (1.0 - floor_loss) * (1.0 - std::exp(-margin / config_.margin_scale_db));
-    if (!sim_.rng().chance(success)) {
+        (1.0 - floor_loss) * (1.0 - std::exp(-margin / margin_scale));
+    if (!rng.chance(success)) {
       ++drop_loss_count_;
       continue;
     }
+    Radio* rx = entry.rx;
     if (!rx->handler_) {
       ++no_handler_count_;
       continue;
     }
     ++rx->frames_received_;
-    rx->handler_(frame, RxInfo{sim_.now(), rssi, tx.channel});
+    rx->handler_(frame, RxInfo{now, rssi, tx.channel});
   }
 }
 

@@ -14,11 +14,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.hpp"
 #include "util/bytes.hpp"
+#include "util/flat_map.hpp"
 
 namespace rogue::sim {
 class Trace;
@@ -82,17 +82,11 @@ class Radio {
   [[nodiscard]] Channel channel() const { return channel_; }
   void set_channel(Channel ch);
   [[nodiscard]] const Position& position() const { return position_; }
-  void set_position(Position p) {
-    position_ = p;
-    ++geom_epoch_;
-  }
+  void set_position(Position p);
   [[nodiscard]] double tx_power_dbm() const { return tx_power_dbm_; }
-  void set_tx_power_dbm(double p) {
-    tx_power_dbm_ = p;
-    ++geom_epoch_;
-  }
+  void set_tx_power_dbm(double p);
   [[nodiscard]] double sensitivity_dbm() const { return sensitivity_dbm_; }
-  void set_sensitivity_dbm(double s) { sensitivity_dbm_ = s; }
+  void set_sensitivity_dbm(double s);
 
   void set_receive_handler(RxHandler handler) { handler_ = std::move(handler); }
 
@@ -113,6 +107,33 @@ class Radio {
  private:
   friend class Medium;
 
+  /// Pairwise RSSI (before per-reception noise) memoised between geometry
+  /// changes; entries are revalidated against both radios' geom_epoch_.
+  struct RssiCacheEntry {
+    std::uint32_t tx_epoch = 0;
+    std::uint32_t rx_epoch = 0;
+    double rssi_dbm = 0.0;
+  };
+
+  /// One receiver's row in this radio's cached delivery plan: the pairwise
+  /// RSSI (pre-noise) and the receiver's sensitivity, flattened so the
+  /// fan-out loop streams a contiguous array instead of probing a hash map
+  /// per (sender, receiver) pair.
+  struct PlanEntry {
+    Radio* rx;
+    double rssi_dbm;
+    double sens_dbm;
+  };
+
+  /// Per-sender fan-out table for one channel, valid while the medium's
+  /// world epoch is unchanged (any attach/detach/channel/geometry/
+  /// sensitivity change invalidates every plan at once).
+  struct DeliveryPlan {
+    std::uint64_t epoch = 0;  ///< world epoch at build; 0 = never built
+    Channel channel = 0;
+    std::vector<PlanEntry> entries;
+  };
+
   void attempt_transmit();
 
   Medium& medium_;
@@ -123,6 +144,15 @@ class Radio {
   double sensitivity_dbm_ = -85.0;
   std::uint64_t attach_seq_ = 0;   ///< attach order; keys the medium's caches
   std::uint32_t geom_epoch_ = 0;   ///< bumped on position/tx-power changes
+  /// Mutable: rebuilt lazily inside deliver_impl(), which sees the sender
+  /// through a const pointer recorded at transmit time.
+  mutable DeliveryPlan plan_;
+  /// This radio's slice of the pairwise RSSI cache, keyed by the receiver's
+  /// attach_seq_. Keeping the slice with the sender makes a plan rebuild an
+  /// L2-sized walk instead of 2N probes into one world-sized table, and
+  /// lets detach invalidate every slice in O(1) via cache_generation_.
+  mutable util::FlatU64Map<RssiCacheEntry> pair_cache_;
+  mutable std::uint64_t cache_gen_seen_ = 0;  ///< Medium::cache_generation_ sync
   RxHandler handler_;
   std::vector<util::Bytes> queue_;
   sim::TimerHandle attempt_timer_;
@@ -156,6 +186,13 @@ class Medium {
 
   [[nodiscard]] std::uint64_t frames_transmitted() const { return tx_count_; }
   [[nodiscard]] std::uint64_t collisions() const { return collision_count_; }
+  /// Number of per-sender delivery-plan rebuilds (each rebuild re-derives
+  /// one sender's flattened fan-out table after a world change). A static
+  /// world settles at one rebuild per active sender.
+  [[nodiscard]] std::uint64_t plan_rebuilds() const { return plan_rebuild_count_; }
+  /// Monotonic world epoch: bumped by any attach/detach/channel/geometry/
+  /// sensitivity change; delivery plans are validated against it.
+  [[nodiscard]] std::uint64_t world_epoch() const { return world_epoch_; }
 
   /// Chaos knob: extra loss probability layered on top of the configured
   /// base_loss_prob while a degradation window is open (fault injection,
@@ -180,14 +217,6 @@ class Medium {
     bool corrupted;
   };
 
-  /// Pairwise RSSI (before per-reception noise) memoised between geometry
-  /// changes; entries are revalidated against both radios' geom_epoch_.
-  struct RssiCacheEntry {
-    std::uint32_t tx_epoch = 0;
-    std::uint32_t rx_epoch = 0;
-    double rssi_dbm = 0.0;
-  };
-
   void attach(Radio* radio);
   void detach(Radio* radio);
   void move_channel(Radio* radio, Channel from, Channel to);
@@ -196,6 +225,12 @@ class Medium {
   void deliver_impl(std::uint64_t tx_id, const Radio* sender,
                     const util::Bytes& frame);
   [[nodiscard]] double pair_rssi(const Radio& tx, const Radio& rx);
+  /// Invalidate every sender's cached delivery plan (O(1): plans revalidate
+  /// lazily against the bumped epoch on their next use).
+  void invalidate_plans() { ++world_epoch_; }
+  /// The sender's flattened fan-out table for `channel`, rebuilt if stale.
+  [[nodiscard]] const Radio::DeliveryPlan& delivery_plan(const Radio& sender,
+                                                         Channel channel);
   /// Publish the plain member tallies below into the stats registry;
   /// runs from the registry's on_snapshot() hook.
   void flush_stats();
@@ -206,11 +241,16 @@ class Medium {
   /// Radios per channel, ordered by attach_seq_ — the same relative order
   /// as radios_, so per-channel iteration preserves RNG draw order.
   std::array<std::vector<Radio*>, 256> by_channel_{};
-  std::unordered_map<std::uint64_t, RssiCacheEntry> rssi_cache_;
   std::vector<ActiveTx> active_;
   double extra_loss_ = 0.0;
   std::uint64_t next_attach_seq_ = 1;
   std::uint64_t next_tx_id_ = 1;
+  std::uint64_t world_epoch_ = 1;  ///< starts above 0 so fresh plans are stale
+  std::uint64_t plan_rebuild_count_ = 0;
+  /// Bumped on detach: every radio's pair_cache_ slice is lazily dropped on
+  /// its next probe (same observable miss pattern as clearing one global
+  /// pair cache eagerly, without the world-sized sweep per detach).
+  std::uint64_t cache_generation_ = 1;
   sim::Trace* capture_ = nullptr;
 
   // Hot-path tallies stay plain members (an increment is one add, no
@@ -236,7 +276,27 @@ class Medium {
   obs::CounterId stat_deferrals_;
   obs::HistogramId stat_frame_bytes_;
   obs::Profiler::ScopeId deliver_scope_;
+  obs::Profiler::ScopeId plan_scope_;
   std::uint64_t flush_token_ = 0;
 };
+
+// Geometry/sensitivity setters invalidate every cached delivery plan, so
+// their bodies live after Medium's definition.
+inline void Radio::set_position(Position p) {
+  position_ = p;
+  ++geom_epoch_;
+  medium_.invalidate_plans();
+}
+
+inline void Radio::set_tx_power_dbm(double p) {
+  tx_power_dbm_ = p;
+  ++geom_epoch_;
+  medium_.invalidate_plans();
+}
+
+inline void Radio::set_sensitivity_dbm(double s) {
+  sensitivity_dbm_ = s;
+  medium_.invalidate_plans();
+}
 
 }  // namespace rogue::phy

@@ -138,6 +138,11 @@ SweepReport ExperimentRunner::run() {
         // as failed (the JSON carries variant/seed/error) and keep going.
         try {
           std::unique_ptr<scenario::World> world = variant.make(seed);
+          if (config_.pool.slab_buffers > 0) {
+            // Warm the replica's arena before configure() can serialize
+            // anything, so the slab — not the heap — serves first traffic.
+            world->simulator().configure_buffer_pool(config_.pool);
+          }
           world->configure(seed);
           world->run_episode();
           run.metrics = world->collect_metrics();

@@ -20,6 +20,7 @@
 
 #include "runner/metrics.hpp"
 #include "scenario/world.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
 
@@ -42,6 +43,11 @@ struct SweepConfig {
   std::uint64_t seed_base = 1;    ///< replica i uses seed_base + i
   std::size_t runs = 100;         ///< replicas per variant
   std::size_t jobs = 0;           ///< worker threads; 0 = hardware
+  /// Per-replica buffer-pool setup. slab_buffers > 0 pre-warms each
+  /// replica's arena before its episode runs (every replica owns its
+  /// simulator, so arenas never cross threads) and adds the arena's
+  /// high-water/spill counters to the stats report.
+  util::BufferPoolConfig pool;
 };
 
 /// Per-variant aggregate. Rates are over all replicas; the Summary fields

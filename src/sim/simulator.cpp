@@ -180,6 +180,12 @@ obs::StatsSnapshot Simulator::stats_snapshot() const {
   counter("sim.pool.releases", pool.releases);
   counter("sim.pool.discards", pool.discards);
   counter("sim.pool.max_pooled", pool.max_pooled);
+  if (pool_.config().slab_buffers > 0) {
+    // Arena-only names: emitting them unconditionally would change the
+    // byte-exact reports of configurations that predate the arena.
+    counter("sim.pool.high_water", pool.high_water);
+    counter("sim.pool.spills", pool.spills());
+  }
   snap.sort();
   return snap;
 }

@@ -71,6 +71,13 @@ class Simulator {
   /// Frame-buffer freelist shared by this simulation's phy/dot11/net hot
   /// paths. Per-simulator, so trials stay deterministic and thread-isolated.
   [[nodiscard]] util::BufferPool& buffer_pool() { return pool_; }
+  /// Reconfigure the buffer pool (arena pre-warm, poisoning) during world
+  /// setup. In arena mode stats_snapshot() additionally reports the pool's
+  /// in-flight high-water mark and heap spills — names that only exist
+  /// when the arena is on, so default-pool reports are unchanged.
+  void configure_buffer_pool(const util::BufferPoolConfig& config) {
+    pool_.configure(config);
+  }
   /// Per-simulation metrics registry. Components intern handles once and
   /// bump plain uint64 slots on the hot path; values are deterministic
   /// (a pure function of seed and config, like every other observable).

@@ -4,13 +4,39 @@
 // touching the allocator. One pool per Simulator: no locking, no
 // cross-thread sharing, and determinism is untouched because the pool
 // only changes *where* bytes live, never event order or content.
+//
+// Arena mode (opt-in via BufferPoolConfig::slab_buffers): the pool
+// pre-warms its freelist with a fixed slab of equally-sized buffers at
+// configure time, the per-replica BufferStore idiom. Steady-state traffic
+// then never allocates — every acquire pops a warm buffer in O(1) and
+// every release pushes it back in O(1). Demand beyond the slab spills to
+// the heap (counted, not fatal), and the high-water mark of in-flight
+// buffers is tracked so a sweep can size the slab from a trial run.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "util/bytes.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define ROGUE_POOL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ROGUE_POOL_ASAN 1
+#endif
+#endif
+#if defined(ROGUE_POOL_ASAN)
+#include <sanitizer/asan_interface.h>
+#define ROGUE_POOL_POISON(ptr, size) ASAN_POISON_MEMORY_REGION(ptr, size)
+#define ROGUE_POOL_UNPOISON(ptr, size) ASAN_UNPOISON_MEMORY_REGION(ptr, size)
+#else
+#define ROGUE_POOL_POISON(ptr, size) ((void)(ptr), (void)(size))
+#define ROGUE_POOL_UNPOISON(ptr, size) ((void)(ptr), (void)(size))
+#endif
 
 namespace rogue::util {
 
@@ -20,28 +46,80 @@ struct BufferPoolStats {
   std::uint64_t releases = 0;    ///< buffers accepted back
   std::uint64_t discards = 0;    ///< buffers rejected (pool full / oversized)
   std::uint64_t max_pooled = 0;  ///< high-water mark of the freelist depth
+  std::uint64_t high_water = 0;  ///< max buffers simultaneously in flight
+  /// Acquires the freelist could not serve — heap allocations. In arena
+  /// mode a nonzero value after warm-up means the slab is undersized.
+  [[nodiscard]] std::uint64_t spills() const { return acquires - reuses; }
+};
+
+struct BufferPoolConfig {
+  /// Freelist depth bound; raised to slab_buffers in arena mode so the
+  /// whole slab can come home.
+  std::size_t max_pooled = 128;
+  /// Oversized-release bound: keeps pathological one-off giants (bulk
+  /// payload copies) from pinning memory forever.
+  std::size_t max_capacity = 64 * 1024;
+  /// Arena mode when > 0: pre-warm the freelist with this many buffers.
+  std::size_t slab_buffers = 0;
+  /// Capacity of each pre-warmed buffer (arena mode). 0 picks an MTU-ish
+  /// default that covers every in-sim frame without reallocating.
+  std::size_t buffer_capacity = 0;
+  /// Overwrite returned buffers with 0xA5 so use-after-release reads are
+  /// loud garbage instead of stale-but-plausible frame bytes.
+  bool poison_on_release = false;
 };
 
 class BufferPool {
  public:
-  /// `max_pooled` bounds freelist depth; `max_capacity` keeps pathological
-  /// one-off giants (bulk payload copies) from pinning memory forever.
   explicit BufferPool(std::size_t max_pooled = 128,
-                      std::size_t max_capacity = 64 * 1024)
-      : max_pooled_(max_pooled), max_capacity_(max_capacity) {}
+                      std::size_t max_capacity = 64 * 1024) {
+    config_.max_pooled = max_pooled;
+    config_.max_capacity = max_capacity;
+  }
+
+  explicit BufferPool(const BufferPoolConfig& config) { configure(config); }
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
+
+  ~BufferPool() {
+    // ASan: pooled buffers sit poisoned while idle; hand clean memory back
+    // to the allocator.
+    for (Bytes& b : free_) ROGUE_POOL_UNPOISON(b.data(), b.capacity());
+  }
+
+  /// Apply a new configuration; in arena mode this pre-warms the freelist
+  /// (the only allocations the pool itself ever performs). Meant for
+  /// replica setup, before traffic starts; pooled buffers are kept.
+  void configure(const BufferPoolConfig& config) {
+    config_ = config;
+    if (config_.slab_buffers > 0) {
+      if (config_.buffer_capacity == 0) config_.buffer_capacity = 2048;
+      config_.max_pooled = std::max(config_.max_pooled, config_.slab_buffers);
+      config_.max_capacity =
+          std::max(config_.max_capacity, config_.buffer_capacity);
+      while (free_.size() < config_.slab_buffers) {
+        Bytes b;
+        b.reserve(config_.buffer_capacity);
+        ROGUE_POOL_POISON(b.data(), b.capacity());
+        free_.push_back(std::move(b));
+      }
+      stats_.max_pooled = std::max<std::uint64_t>(stats_.max_pooled, free_.size());
+    }
+  }
 
   /// Get an empty buffer with at least `reserve_hint` capacity. The buffer
   /// is an ordinary Bytes: callers that never release() it leak nothing.
   [[nodiscard]] Bytes acquire(std::size_t reserve_hint = 0) {
     ++stats_.acquires;
+    ++in_flight_;
+    if (in_flight_ > stats_.high_water) stats_.high_water = in_flight_;
     Bytes out;
     if (!free_.empty()) {
       ++stats_.reuses;
       out = std::move(free_.back());
       free_.pop_back();
+      ROGUE_POOL_UNPOISON(out.data(), out.capacity());
       out.clear();
     }
     if (out.capacity() < reserve_hint) out.reserve(reserve_hint);
@@ -51,24 +129,33 @@ class BufferPool {
   /// Return a buffer's backing store for reuse. Contents are dropped; the
   /// caller must not hold views into it past this call.
   void release(Bytes&& buf) {
-    if (buf.capacity() == 0 || buf.capacity() > max_capacity_ ||
-        free_.size() >= max_pooled_) {
+    // Callers also release buffers that never came from acquire() (frames
+    // handed in by application code), so in-flight is a floor-clamped gauge.
+    if (in_flight_ > 0) --in_flight_;
+    if (buf.capacity() == 0 || buf.capacity() > config_.max_capacity ||
+        free_.size() >= config_.max_pooled) {
       ++stats_.discards;  // caller's (moved-from) vector frees it as usual
       return;
     }
     ++stats_.releases;
+    if (config_.poison_on_release && !buf.empty()) {
+      std::memset(buf.data(), 0xA5, buf.size());
+    }
     buf.clear();
+    ROGUE_POOL_POISON(buf.data(), buf.capacity());
     free_.push_back(std::move(buf));
     if (free_.size() > stats_.max_pooled) stats_.max_pooled = free_.size();
   }
 
   [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+  [[nodiscard]] const BufferPoolConfig& config() const { return config_; }
   [[nodiscard]] const BufferPoolStats& stats() const { return stats_; }
 
  private:
   std::vector<Bytes> free_;
-  std::size_t max_pooled_;
-  std::size_t max_capacity_;
+  std::size_t in_flight_ = 0;
+  BufferPoolConfig config_;
   BufferPoolStats stats_;
 };
 

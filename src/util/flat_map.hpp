@@ -1,0 +1,115 @@
+// Open-addressed hash map from non-zero uint64 keys to small values.
+//
+// Node-based std::unordered_map costs one allocation per insert and one
+// free per node at clear/destruction — for the medium's N^2 pair-RSSI
+// cache that teardown alone dominated dense-world replica lifecycles.
+// This map keeps every slot in one contiguous allocation: inserts never
+// allocate (until a capacity doubling), clear() is a memset-style sweep,
+// and destruction is a single free.
+//
+// Deliberately minimal: no erase (callers invalidate logically via epochs
+// and drop stale state with clear()), key 0 is reserved as the empty-slot
+// sentinel, and values must be trivially copyable so rehashing is a raw
+// slot move.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rogue::util {
+
+template <typename V>
+class FlatU64Map {
+  static_assert(std::is_trivially_copyable_v<V>,
+                "slots are relocated bytewise on rehash");
+
+ public:
+  FlatU64Map() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Drop every entry but keep the allocation (steady-state reuse).
+  /// No-op when already empty, so clear-per-detach teardown patterns do
+  /// not re-sweep a large slot array once per radio.
+  void clear() {
+    if (size_ == 0) return;
+    for (Slot& s : slots_) s.key = 0;
+    size_ = 0;
+  }
+
+  /// Find-or-insert: returns the value slot for `key` plus whether it was
+  /// newly inserted (value-initialized). Mirrors unordered_map::try_emplace
+  /// with a default-constructed value, which is the cache-probe idiom.
+  std::pair<V*, bool> try_emplace(std::uint64_t key) {
+    ROGUE_ASSERT_MSG(key != 0, "key 0 is the empty-slot sentinel");
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.key == key) return {&s.value, false};
+      if (s.key == 0) {
+        s.key = key;
+        s.value = V{};
+        ++size_;
+        return {&s.value, true};
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Lookup without insertion; nullptr when absent.
+  [[nodiscard]] const V* find(std::uint64_t key) const {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == 0) return nullptr;
+      i = (i + 1) & mask;
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    V value{};
+  };
+
+  /// splitmix64 finalizer: full-avalanche mix so sequential pair keys
+  /// (attach_seq << 32 | attach_seq) spread across the table.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  void grow() {
+    const std::size_t next = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(next, Slot{});
+    const std::size_t mask = next - 1;
+    for (const Slot& s : old) {
+      if (s.key == 0) continue;
+      std::size_t i = mix(s.key) & mask;
+      while (slots_[i].key != 0) i = (i + 1) & mask;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rogue::util

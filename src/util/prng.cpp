@@ -18,18 +18,6 @@ Prng::Prng(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
-std::uint64_t Prng::next() {
-  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = std::rotl(s_[3], 45);
-  return result;
-}
-
 std::uint32_t Prng::uniform_u32(std::uint32_t bound) {
   if (bound <= 1) return 0;
   // Lemire's multiply-shift with rejection to remove modulo bias.
@@ -52,16 +40,6 @@ std::uint64_t Prng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
   std::uint64_t x = next();
   while (x >= limit) x = next();
   return lo + (x % range);
-}
-
-double Prng::uniform01() {
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool Prng::chance(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform01() < p;
 }
 
 double Prng::exponential(double mean) {

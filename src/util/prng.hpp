@@ -3,6 +3,7 @@
 // simulations replay bit-for-bit from a trial seed.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <span>
 
@@ -23,15 +24,34 @@ class Prng {
   [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
   result_type operator()() { return next(); }
 
-  std::uint64_t next();
+  // The three hot-path draws are defined inline: the medium's delivery
+  // loop makes one or two per receiver visit, and keeping them in-TU lets
+  // the compiler hold the xoshiro state in registers across the loop.
+  std::uint64_t next() {
+    const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = std::rotl(s_[3], 45);
+    return result;
+  }
   /// Uniform in [0, bound); bound must be > 0. Uses rejection sampling.
   std::uint32_t uniform_u32(std::uint32_t bound);
   /// Uniform in [lo, hi] inclusive.
   std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
   /// Uniform double in [0, 1).
-  double uniform01();
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
   /// Bernoulli trial with probability p (clamped to [0,1]).
-  bool chance(double p);
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
   /// Exponentially distributed with the given mean (> 0).
   double exponential(double mean);
   /// Fill a span with random bytes.

@@ -207,6 +207,116 @@ TEST(ChaCha20, RoundTrip) {
   EXPECT_EQ(dec.apply(enc.apply(msg)), msg);
 }
 
+// The scalar/SSE2/AVX2 kernels must be interchangeable: same keystream,
+// byte for byte, on every message shape. Backends the host lacks resolve
+// to the best available one, so the comparisons degrade to tautologies
+// (never failures) on older CPUs.
+class ChaChaBackends : public ::testing::Test {
+ protected:
+  void TearDown() override { chacha20_set_backend(ChaChaBackend::kAuto); }
+
+  static Bytes encrypt_with(ChaChaBackend backend, ByteView msg,
+                            std::uint32_t counter) {
+    chacha20_set_backend(backend);
+    Bytes key(32);
+    for (std::size_t i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+    const Bytes nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                         0x4a, 0x00, 0x00, 0x00, 0x00};
+    ChaCha20 cipher(key, nonce, counter);
+    return cipher.apply(msg);
+  }
+};
+
+TEST_F(ChaChaBackends, AllBackendsMatchRfc8439Vector) {
+  // RFC 8439 §2.4.2 through every kernel, not just the default one.
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  for (const ChaChaBackend b : {ChaChaBackend::kScalar, ChaChaBackend::kSse2,
+                                ChaChaBackend::kAvx2}) {
+    const Bytes ct = encrypt_with(b, to_bytes(plaintext), 1);
+    EXPECT_EQ(hex_encode(ByteView(ct).subspan(0, 16)),
+              "6e2e359a2568f98041ba0728dd0d6981")
+        << "backend " << static_cast<int>(b);
+    EXPECT_EQ(hex_encode(ByteView(ct).subspan(ct.size() - 16)),
+              "0bbf74a35be6b40b8eedf2785e42874d")
+        << "backend " << static_cast<int>(b);
+  }
+}
+
+TEST_F(ChaChaBackends, EquivalentAcrossTailLengthsAndOffsets) {
+  // Sizes straddle every cascade boundary: sub-block tails, exact 64/128/
+  // 256-byte multiples, and the +/-1 shapes that leave a partial block for
+  // the buffered path after the widest kernel has eaten its share.
+  util::Prng rng(7);
+  for (const std::size_t size :
+       {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{127}, std::size_t{128}, std::size_t{129}, std::size_t{255},
+        std::size_t{256}, std::size_t{257}, std::size_t{511}, std::size_t{512},
+        std::size_t{1500}, std::size_t{4096}, std::size_t{4099}}) {
+    Bytes msg(size);
+    rng.fill(msg);
+    const Bytes scalar = encrypt_with(ChaChaBackend::kScalar, msg, 0);
+    const Bytes sse2 = encrypt_with(ChaChaBackend::kSse2, msg, 0);
+    const Bytes avx2 = encrypt_with(ChaChaBackend::kAvx2, msg, 0);
+    EXPECT_EQ(scalar, sse2) << "size " << size;
+    EXPECT_EQ(scalar, avx2) << "size " << size;
+  }
+}
+
+TEST_F(ChaChaBackends, EquivalentAcrossSplitStreams) {
+  // One stream fed in ragged chunks must equal the one-shot stream no
+  // matter which kernel serves the large middle pieces: the buffered
+  // partial-block bytes and the counter have to line up across calls.
+  util::Prng rng(11);
+  Bytes msg(2048);
+  rng.fill(msg);
+  const Bytes oneshot = encrypt_with(ChaChaBackend::kScalar, msg, 5);
+  const std::size_t splits[] = {1, 37, 64, 300, 256, 13, 1000, 377};
+  for (const ChaChaBackend b : {ChaChaBackend::kSse2, ChaChaBackend::kAvx2}) {
+    chacha20_set_backend(b);
+    Bytes key(32);
+    for (std::size_t i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+    const Bytes nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                         0x4a, 0x00, 0x00, 0x00, 0x00};
+    ChaCha20 cipher(key, nonce, 5);
+    Bytes chunked = msg;
+    std::size_t off = 0;
+    for (const std::size_t step : splits) {
+      cipher.process(std::span<std::uint8_t>(chunked).subspan(off, step));
+      off += step;
+    }
+    cipher.process(std::span<std::uint8_t>(chunked).subspan(off));
+    EXPECT_EQ(chunked, oneshot) << "backend " << static_cast<int>(b);
+  }
+}
+
+TEST_F(ChaChaBackends, UnalignedBufferOffsets) {
+  // SIMD kernels use unaligned loads/stores; prove it by encrypting at
+  // every offset inside an overaligned arena and comparing to scalar.
+  util::Prng rng(13);
+  alignas(64) std::array<std::uint8_t, 64 + 512> arena{};
+  Bytes msg(512);
+  rng.fill(msg);
+  const Bytes want = encrypt_with(ChaChaBackend::kScalar, msg, 0);
+  for (const ChaChaBackend b : {ChaChaBackend::kSse2, ChaChaBackend::kAvx2}) {
+    for (std::size_t offset = 0; offset < 33; ++offset) {
+      chacha20_set_backend(b);
+      std::copy(msg.begin(), msg.end(), arena.begin() + offset);
+      Bytes key(32);
+      for (std::size_t i = 0; i < 32; ++i) {
+        key[i] = static_cast<std::uint8_t>(i);
+      }
+      const Bytes nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                           0x4a, 0x00, 0x00, 0x00, 0x00};
+      ChaCha20 cipher(key, nonce, 0);
+      cipher.process(std::span<std::uint8_t>(arena).subspan(offset, msg.size()));
+      EXPECT_TRUE(std::equal(want.begin(), want.end(), arena.begin() + offset))
+          << "backend " << static_cast<int>(b) << " offset " << offset;
+    }
+  }
+}
+
 // ---- AEAD ---------------------------------------------------------------------
 
 class AeadRoundTrip : public ::testing::TestWithParam<std::size_t> {};

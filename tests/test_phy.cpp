@@ -233,5 +233,78 @@ TEST(Medium, RssiCacheInvalidatedOnMove) {
   EXPECT_LT(last_rssi, near_rssi - 10.0);
 }
 
+TEST(Medium, DeliveryPlanRebuildsOncePerSenderWhenStatic) {
+  // A static world must settle at one fan-out plan rebuild per active
+  // sender, regardless of how many frames it transmits.
+  World w;
+  Radio tx(*w.medium, "tx");
+  Radio rx1(*w.medium, "rx1");
+  Radio rx2(*w.medium, "rx2");
+  rx1.set_position({5.0, 0.0});
+  rx2.set_position({0.0, 5.0});
+  const std::uint64_t epoch_after_setup = w.medium->world_epoch();
+
+  for (int i = 0; i < 30; ++i) {
+    w.sim.after(static_cast<sim::Time>(i) * 10'000,
+                [&] { tx.transmit(to_bytes("ping")); });
+  }
+  w.sim.run();
+  EXPECT_EQ(w.medium->plan_rebuilds(), 1u);
+  // Transmitting never perturbs the world epoch.
+  EXPECT_EQ(w.medium->world_epoch(), epoch_after_setup);
+}
+
+TEST(Medium, DeliveryPlanInvalidatedByWorldChanges) {
+  // Every world mutation that can change who hears whom must bump the
+  // epoch (so stale plans get rebuilt) — and a transmit after each
+  // mutation must trigger exactly one more rebuild for the sender.
+  World w;
+  Radio tx(*w.medium, "tx");
+  Radio rx(*w.medium, "rx");
+  rx.set_position({5.0, 0.0});
+
+  const auto send_once = [&] {
+    w.sim.after(0, [&] { tx.transmit(to_bytes("ping")); });
+    w.sim.run();
+  };
+
+  send_once();
+  EXPECT_EQ(w.medium->plan_rebuilds(), 1u);
+
+  std::uint64_t epoch = w.medium->world_epoch();
+  const auto expect_bumped = [&](const char* what) {
+    EXPECT_GT(w.medium->world_epoch(), epoch) << what;
+    epoch = w.medium->world_epoch();
+  };
+
+  rx.set_position({10.0, 0.0});
+  expect_bumped("set_position");
+  send_once();
+  EXPECT_EQ(w.medium->plan_rebuilds(), 2u);
+
+  rx.set_sensitivity_dbm(-80.0);
+  expect_bumped("set_sensitivity_dbm");
+  tx.set_tx_power_dbm(18.0);
+  expect_bumped("set_tx_power_dbm");
+  rx.set_channel(6);
+  expect_bumped("set_channel");
+  send_once();  // one rebuild covers all the queued-up invalidations
+  EXPECT_EQ(w.medium->plan_rebuilds(), 3u);
+
+  {
+    Radio late(*w.medium, "late");
+    expect_bumped("attach");
+    send_once();
+    EXPECT_EQ(w.medium->plan_rebuilds(), 4u);
+  }
+  expect_bumped("detach");
+  send_once();
+  EXPECT_EQ(w.medium->plan_rebuilds(), 5u);
+
+  // Re-sending with no further changes reuses the plan.
+  send_once();
+  EXPECT_EQ(w.medium->plan_rebuilds(), 5u);
+}
+
 }  // namespace
 }  // namespace rogue::phy

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "crypto/sha256.hpp"
 #include "runner/metrics.hpp"
 #include "runner/scenarios.hpp"
 #include "runner/sweep.hpp"
@@ -304,6 +305,88 @@ TEST(Sweep, ChaosReportBytesAreIdenticalAcrossJobsAndReruns) {
   }
   // Rerun at an already-tested jobs value: no hidden global state.
   EXPECT_EQ(run_once(4), baseline);
+}
+
+TEST(Sweep, ReportBytesPinnedAcrossJobsAndArenaPool) {
+  // Determinism smoke for the perf work: the serialized sweep report must
+  // be byte-identical at --jobs 1/4/8, with and without the per-replica
+  // arena pool (poisoning on, so any use-after-release of a pooled frame
+  // buffer would corrupt metrics loudly), and must match the pinned
+  // pre-optimization golden digest. If an intentional scenario change
+  // shifts the bytes, regenerate the digest below from a trusted build.
+  const auto run_report = [](std::size_t jobs, std::size_t slab_buffers) {
+    SweepConfig cfg;
+    cfg.scenario = "corp";
+    cfg.seed_base = 100;
+    cfg.runs = 2;
+    cfg.jobs = jobs;
+    cfg.pool.slab_buffers = slab_buffers;
+    cfg.pool.poison_on_release = slab_buffers > 0;
+    ExperimentRunner exp(cfg);
+    exp.add_variant("baseline", [](std::uint64_t) {
+      scenario::CorpConfig c;
+      c.download_window = 30 * sim::kSecond;
+      return std::make_unique<scenario::CorpWorld>(c);
+    });
+    exp.add_variant("rogue+deauth", [](std::uint64_t) {
+      return std::make_unique<scenario::CorpWorld>(quick_corp_attack());
+    });
+    return exp.run().to_json().dump(2);
+  };
+
+  // Deep-copy a report value with every sim.pool.* stat removed: the pool
+  // telemetry legitimately differs between heap and arena modes (slab
+  // pre-warm changes freelist depth; arena mode adds high_water/spills),
+  // but nothing else in the report may.
+  const auto strip_pool_stats = [](const util::Json& j) {
+    const auto strip = [](const auto& self, const util::Json& node) -> util::Json {
+      switch (node.type()) {
+        case util::Json::Type::kObject: {
+          util::Json out = util::Json::object();
+          for (const auto& [key, value] : node.members()) {
+            if (key.rfind("sim.pool.", 0) == 0) continue;
+            out.set(key, self(self, value));
+          }
+          return out;
+        }
+        case util::Json::Type::kArray: {
+          util::Json out = util::Json::array();
+          for (const util::Json& item : node.items()) {
+            out.push_back(self(self, item));
+          }
+          return out;
+        }
+        default:
+          return node;
+      }
+    };
+    return strip(strip, j).dump(2);
+  };
+
+  const std::string baseline = run_report(1, 0);
+  ASSERT_FALSE(baseline.empty());
+  for (const std::size_t jobs : {4u, 8u}) {
+    EXPECT_EQ(run_report(jobs, 0), baseline) << "bytes changed at jobs=" << jobs;
+  }
+
+  // Arena runs are byte-identical to each other at any job count, and
+  // identical to the heap-mode report outside the pool telemetry.
+  const std::string arena = run_report(1, 64);
+  for (const std::size_t jobs : {4u, 8u}) {
+    EXPECT_EQ(run_report(jobs, 64), arena)
+        << "arena report bytes changed at jobs=" << jobs;
+  }
+  const auto parsed_baseline = util::Json::parse(baseline);
+  const auto parsed_arena = util::Json::parse(arena);
+  ASSERT_TRUE(parsed_baseline.has_value());
+  ASSERT_TRUE(parsed_arena.has_value());
+  EXPECT_EQ(strip_pool_stats(*parsed_arena), strip_pool_stats(*parsed_baseline))
+      << "arena pool changed simulation results, not just pool telemetry";
+
+  const std::string digest = crypto::sha256_hex(util::to_bytes(baseline));
+  EXPECT_EQ(digest,
+            "1ec5dd66eb4dfb64d90616eaa9a9b247eec9c9689a12325ebdc3005112849f73")
+      << "sweep report bytes diverged from the pinned golden";
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "util/buffer_pool.hpp"
 #include "util/bytes.hpp"
+#include "util/flat_map.hpp"
 #include "util/fmt.hpp"
 #include "util/json.hpp"
 #include "util/prng.hpp"
@@ -274,6 +275,131 @@ TEST(BufferPool, ReuseNeverAliasesLiveBuffer) {
     }
   }
   EXPECT_GT(pool.stats().reuses, 0u);
+}
+
+TEST(BufferPool, ArenaServesFromSlabWithoutSpills) {
+  BufferPoolConfig cfg;
+  cfg.slab_buffers = 8;
+  cfg.buffer_capacity = 512;
+  BufferPool pool(cfg);
+  EXPECT_EQ(pool.pooled(), 8u);
+
+  // Depth-4 working set cycled many times: every acquire must be a reuse.
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Bytes> held;
+    for (int i = 0; i < 4; ++i) held.push_back(pool.acquire(256));
+    for (Bytes& b : held) pool.release(std::move(b));
+  }
+  EXPECT_EQ(pool.stats().spills(), 0u);
+  EXPECT_EQ(pool.stats().high_water, 4u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+  EXPECT_EQ(pool.pooled(), 8u);
+}
+
+TEST(BufferPool, ArenaExhaustionSpillsToHeap) {
+  BufferPoolConfig cfg;
+  cfg.slab_buffers = 4;
+  cfg.buffer_capacity = 256;
+  BufferPool pool(cfg);
+
+  // Drain the slab plus three more: the overflow acquires come from the
+  // heap (counted as spills), and the pool survives — spilling is a perf
+  // signal, never an error.
+  std::vector<Bytes> held;
+  for (int i = 0; i < 7; ++i) held.push_back(pool.acquire(128));
+  EXPECT_EQ(pool.pooled(), 0u);
+  EXPECT_EQ(pool.stats().spills(), 3u);
+  EXPECT_EQ(pool.stats().high_water, 7u);
+  EXPECT_EQ(pool.in_flight(), 7u);
+
+  // All seven fit back (max_pooled was raised to >= slab_buffers only, but
+  // the default 128 bound already covers them).
+  for (Bytes& b : held) pool.release(std::move(b));
+  EXPECT_EQ(pool.in_flight(), 0u);
+  EXPECT_EQ(pool.pooled(), 7u);
+  EXPECT_EQ(pool.stats().high_water, 7u);  // high-water is sticky
+}
+
+TEST(BufferPool, ArenaPoisonsReleasedBytes) {
+  BufferPoolConfig cfg;
+  cfg.slab_buffers = 1;
+  cfg.buffer_capacity = 64;
+  cfg.poison_on_release = true;
+  BufferPool pool(cfg);
+
+  Bytes b = pool.acquire(32);
+  b.assign(32, 0xCD);
+  const std::uint8_t* backing = b.data();
+  pool.release(std::move(b));
+
+#if !defined(ROGUE_POOL_ASAN)
+  // The backing store still belongs to the pool's freelist; a stale view
+  // into it must read the 0xA5 poison pattern, not the old frame bytes.
+  // (Under ASan the region is hard-poisoned instead, so reading it would
+  // — correctly — abort the test binary.)
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(backing[i], 0xA5) << "offset " << i;
+#endif
+
+  // Reacquiring hands back the same (cleared) backing store.
+  Bytes c = pool.acquire(16);
+  EXPECT_EQ(c.data(), backing);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(FlatU64Map, InsertFindAndTryEmplaceSemantics) {
+  FlatU64Map<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(42), nullptr);
+
+  auto [slot, inserted] = map.try_emplace(42);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*slot, 0);  // value-initialized
+  *slot = 7;
+
+  auto [again, inserted2] = map.try_emplace(42);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(*again, 7);  // existing value untouched
+  EXPECT_EQ(map.size(), 1u);
+
+  const int* found = map.find(42);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, 7);
+}
+
+TEST(FlatU64Map, GrowsAndKeepsAllEntries) {
+  FlatU64Map<std::uint64_t> map;
+  // Adversarial-ish keys: sequential, strided, and high-bit-heavy, well
+  // past several capacity doublings.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 1; i <= 500; ++i) keys.push_back(i);
+  for (std::uint64_t i = 1; i <= 500; ++i) keys.push_back(i << 32);
+  for (std::uint64_t i = 1; i <= 500; ++i) keys.push_back((i << 32) | i);
+  for (const std::uint64_t k : keys) {
+    auto [v, inserted] = map.try_emplace(k);
+    ASSERT_TRUE(inserted) << "key " << k;
+    *v = k * 3;
+  }
+  EXPECT_EQ(map.size(), keys.size());
+  EXPECT_GE(map.capacity() * 3, map.size() * 4);  // load factor <= 0.75
+  for (const std::uint64_t k : keys) {
+    const std::uint64_t* v = map.find(k);
+    ASSERT_NE(v, nullptr) << "key " << k;
+    EXPECT_EQ(*v, k * 3);
+  }
+  EXPECT_EQ(map.find(999999), nullptr);
+}
+
+TEST(FlatU64Map, ClearKeepsCapacityAndAllowsReinsert) {
+  FlatU64Map<int> map;
+  for (std::uint64_t k = 1; k <= 100; ++k) *map.try_emplace(k).first = 1;
+  const std::size_t cap = map.capacity();
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.capacity(), cap);  // allocation retained for reuse
+  EXPECT_EQ(map.find(50), nullptr);
+  auto [v, inserted] = map.try_emplace(50);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*v, 0);  // cleared slots come back value-initialized
 }
 
 TEST(ThreadPool, RunsAllTasks) {
