@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
 
   // --- Sequence-control anomalies ---------------------------------------------
   std::printf("\nSequence-control monitor (channel %d): %zu anomalies, suspects:\n",
-              static_cast<int>(cfg.legit_channel), seq_monitor.anomalies().size());
+              static_cast<int>(cfg.legit_channel), seq_monitor.alerts().size());
   for (const auto& mac : seq_monitor.suspects()) {
     std::printf("  %s %s\n", mac.to_string().c_str(),
                 mac == world.legit_bssid() ? "(our AP's identity — being forged!)"

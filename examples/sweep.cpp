@@ -12,9 +12,12 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "obs/pcap.hpp"
 #include "runner/scenarios.hpp"
 #include "runner/sweep.hpp"
+#include "runner/tournament.hpp"
 #include "util/logging.hpp"
 
 using namespace rogue;
@@ -29,6 +32,20 @@ void usage(const char* argv0) {
       "          [--pcap-out capture.pcap] [--profile]\n"
       "          [--pool-slab N] [--pool-buffer-bytes B] [--pool-poison]\n"
       "          [--log-level trace|debug|info|warn|error|off]\n"
+      "          [--tournament] [--attackers a,b,...] [--detectors d,e,...]\n"
+      "          [--wids-baseline-s X] [--wids-attack-s X]\n"
+      "\n"
+      "  --tournament  run the attacker x detector WIDS matrix instead of\n"
+      "                the variant ladder (scenario corp or hotspot). Every\n"
+      "                pair runs --runs seeded replicas; the report carries\n"
+      "                per-pair detection rate, FP rate and TTD p50/p95 and\n"
+      "                its bytes are identical at any --jobs\n"
+      "  --attackers   comma-separated registry attackers (default: stock\n"
+      "                roster incl. the \"none\" control row)\n"
+      "  --detectors   comma-separated registry detectors (default: stock\n"
+      "                roster incl. the composite)\n"
+      "  --wids-baseline-s X  quiet window before the attack (FP territory)\n"
+      "  --wids-attack-s X    attacker-active window\n"
       "\n"
       "  --faults X    inject a seed-derived fault plan at intensity X\n"
       "                (faults per simulated minute; overlays the plain\n"
@@ -54,6 +71,21 @@ void usage(const char* argv0) {
       argv0);
 }
 
+std::vector<std::string> split_csv(const char* text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(*p);
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
 bool write_text_file(const std::string& path, const std::string& text) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
@@ -74,6 +106,8 @@ int main(int argc, char** argv) {
   std::string pcap_path;
   bool profile = false;
   double fault_intensity = 0.0;
+  bool tournament = false;
+  runner::TournamentConfig tcfg;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -106,6 +140,18 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
     } else if (std::strcmp(arg, "--pool-poison") == 0) {
       cfg.pool.poison_on_release = true;
+    } else if (std::strcmp(arg, "--tournament") == 0) {
+      tournament = true;
+    } else if (std::strcmp(arg, "--attackers") == 0) {
+      tcfg.attackers = split_csv(value());
+    } else if (std::strcmp(arg, "--detectors") == 0) {
+      tcfg.detectors = split_csv(value());
+    } else if (std::strcmp(arg, "--wids-baseline-s") == 0) {
+      tcfg.baseline_window =
+          static_cast<sim::Time>(std::strtod(value(), nullptr) * 1e6);
+    } else if (std::strcmp(arg, "--wids-attack-s") == 0) {
+      tcfg.attack_window =
+          static_cast<sim::Time>(std::strtod(value(), nullptr) * 1e6);
     } else if (std::strcmp(arg, "--pcap-out") == 0) {
       pcap_path = value();
     } else if (std::strcmp(arg, "--profile") == 0) {
@@ -118,6 +164,49 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+  }
+
+  if (tournament) {
+    tcfg.scenario = cfg.scenario;
+    tcfg.seed_base = cfg.seed_base;
+    tcfg.runs = cfg.runs;
+    tcfg.jobs = cfg.jobs;
+    tcfg.pool = cfg.pool;
+    if (tcfg.scenario != "corp" && tcfg.scenario != "hotspot") {
+      std::fprintf(stderr,
+                   "tournament scenarios: corp, hotspot (got '%s')\n",
+                   tcfg.scenario.c_str());
+      return 2;
+    }
+    runner::TournamentReport report = runner::run_tournament(tcfg);
+    std::printf(
+        "tournament: scenario=%s attackers=%zu detectors=%zu runs=%zu/pair\n",
+        report.config.scenario.c_str(), report.config.attackers.size(),
+        report.config.detectors.size(), report.config.runs);
+    std::printf("\n%s\n%s", report.matrix().c_str(), report.table().c_str());
+    std::printf("\n%zu replicas in %.1f ms wall\n", report.runs.size(),
+                report.wall_ms);
+    if (!out_path.empty()) {
+      const std::string text = report.to_json().dump(2);
+      if (!write_text_file(out_path, text)) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      std::printf("report written to %s (%zu bytes)\n", out_path.c_str(),
+                  text.size() + 1);
+    }
+    const std::size_t failed = report.failed_count();
+    if (failed > 0) {
+      std::fprintf(stderr, "%zu replica(s) failed:\n", failed);
+      for (const runner::RunMetrics& run : report.runs) {
+        if (!run.failed) continue;
+        std::fprintf(stderr, "  pair=%s seed=%llu: %s\n", run.variant.c_str(),
+                     static_cast<unsigned long long>(run.seed),
+                     run.error.c_str());
+      }
+      return 1;
+    }
+    return 0;
   }
 
   std::vector<runner::Variant> variants =

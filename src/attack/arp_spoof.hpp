@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "attack/attacker.hpp"
 #include "net/host.hpp"
 
 namespace rogue::attack {
@@ -18,21 +19,26 @@ namespace rogue::attack {
 /// forged ARP replies. The attacker host should have ip_forward enabled
 /// and a real route to the true destination so traffic keeps flowing
 /// (transparent interception rather than denial of service).
-class ArpSpoofer {
+///
+/// Attacker-shaped for uniform start()/stop() control, but constructed
+/// directly (it needs a net::Host on the victim's segment, which the
+/// radio-oriented AttackerEnv cannot provide) — so it is not in
+/// make_attacker()'s registry.
+class ArpSpoofer final : public Attacker {
  public:
   /// `iface` is the attacker-host interface on the victim's segment.
   ArpSpoofer(net::Host& attacker, const std::string& iface,
              net::Ipv4Addr victim_ip, net::MacAddr victim_mac,
              net::Ipv4Addr spoofed_ip);
 
-  ArpSpoofer(const ArpSpoofer&) = delete;
-  ArpSpoofer& operator=(const ArpSpoofer&) = delete;
+  [[nodiscard]] std::string_view name() const override { return "arp-spoof"; }
 
   /// Send one forged reply immediately.
   void poison_once();
   /// Re-poison periodically (real caches age out; see ArpCache ttl).
-  void start(sim::Time period = 2 * sim::kSecond);
-  void stop();
+  void start(sim::Time period);
+  void start() override { start(period_); }
+  void stop() override;
 
   [[nodiscard]] std::uint64_t replies_sent() const { return sent_; }
 
@@ -42,6 +48,7 @@ class ArpSpoofer {
   net::Ipv4Addr victim_ip_;
   net::MacAddr victim_mac_;
   net::Ipv4Addr spoofed_ip_;
+  sim::Time period_ = 2 * sim::kSecond;
   std::uint64_t sent_ = 0;
   sim::TimerHandle timer_;
   bool running_ = false;

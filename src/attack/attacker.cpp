@@ -1,0 +1,23 @@
+#include "attack/attacker.hpp"
+
+#include "attack/cloner.hpp"
+#include "attack/deauth.hpp"
+#include "attack/low_slow.hpp"
+
+namespace rogue::attack {
+
+std::unique_ptr<Attacker> make_attacker(std::string_view name) {
+  if (name == "none") return std::make_unique<NullAttacker>();
+  if (name == "deauth-flood") return std::make_unique<DeauthAttacker>();
+  if (name == "low-slow-deauth") return std::make_unique<LowSlowDeauth>();
+  if (name == "rogue-gateway") return std::make_unique<ScriptedRogue>();
+  if (name == "cloner") return std::make_unique<FingerprintCloner>();
+  return nullptr;
+}
+
+std::vector<std::string_view> known_attackers() {
+  return {"none", "deauth-flood", "low-slow-deauth", "rogue-gateway",
+          "cloner"};
+}
+
+}  // namespace rogue::attack

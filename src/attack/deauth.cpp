@@ -4,12 +4,25 @@ namespace rogue::attack {
 
 DeauthAttacker::DeauthAttacker(sim::Simulator& simulator, phy::Medium& medium,
                                phy::Channel channel, net::MacAddr spoofed_bssid,
-                               net::MacAddr target)
-    : sim_(simulator),
-      radio_(medium, "deauth-attacker"),
-      spoofed_bssid_(spoofed_bssid),
-      target_(target) {
-  radio_.set_channel(channel);
+                               net::MacAddr target) {
+  AttackerEnv env;
+  env.sim = &simulator;
+  env.medium = &medium;
+  env.legit_channel = channel;
+  env.legit_bssid = spoofed_bssid;
+  env.victim_mac = target;
+  env.deauth_period = 50'000;
+  configure(env);
+}
+
+void DeauthAttacker::configure(const AttackerEnv& env) {
+  Attacker::configure(env);
+  spoofed_bssid_ = env_.legit_bssid;
+  target_ = env_.victim_mac;
+  period_ = env_.deauth_period;
+  radio_ = std::make_unique<phy::Radio>(*env_.medium, "deauth-attacker");
+  radio_->set_channel(env_.legit_channel);
+  radio_->set_position(env_.position);
 }
 
 void DeauthAttacker::send_once() {
@@ -26,9 +39,9 @@ void DeauthAttacker::send_once() {
   dot11::DeauthBody body;
   body.reason = dot11::ReasonCode::kPrevAuthExpired;
   f.body = body.encode();
-  util::Bytes raw = radio_.acquire_buffer(24 + f.body.size());
+  util::Bytes raw = radio_->acquire_buffer(24 + f.body.size());
   f.serialize_into(raw);
-  radio_.transmit(std::move(raw));
+  radio_->transmit(std::move(raw));
   ++sent_;
 }
 
@@ -36,13 +49,13 @@ void DeauthAttacker::start(sim::Time period) {
   if (running_) return;
   running_ = true;
   send_once();
-  timer_ = sim_.every(period, [this] { send_once(); });
+  timer_ = env_.sim->every(period, [this] { send_once(); });
 }
 
 void DeauthAttacker::stop() {
   if (!running_) return;
   running_ = false;
-  sim_.cancel(timer_);
+  env_.sim->cancel(timer_);
 }
 
 }  // namespace rogue::attack

@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "attack/attacker.hpp"
 #include "dot11/frame.hpp"
 #include "net/addr.hpp"
 #include "phy/medium.hpp"
@@ -14,31 +16,37 @@
 
 namespace rogue::attack {
 
-class DeauthAttacker {
+class DeauthAttacker final : public Attacker {
  public:
-  /// Forges deauth frames from `spoofed_bssid` to `target` (use
-  /// MacAddr::broadcast() to kick everyone) on `channel`.
+  DeauthAttacker() = default;
+  /// Legacy convenience: forges deauth frames from `spoofed_bssid` to
+  /// `target` (use MacAddr::broadcast() to kick everyone) on `channel`.
   DeauthAttacker(sim::Simulator& simulator, phy::Medium& medium,
                  phy::Channel channel, net::MacAddr spoofed_bssid,
                  net::MacAddr target);
 
-  DeauthAttacker(const DeauthAttacker&) = delete;
-  DeauthAttacker& operator=(const DeauthAttacker&) = delete;
+  [[nodiscard]] std::string_view name() const override {
+    return "deauth-flood";
+  }
+  /// Spoofs env.legit_bssid at env.victim_mac from env.position, flooding
+  /// at env.deauth_period.
+  void configure(const AttackerEnv& env) override;
 
   /// Send one forged deauthentication frame now.
   void send_once();
   /// Flood at the given period until stop().
-  void start(sim::Time period = 50'000);
-  void stop();
+  void start(sim::Time period);
+  void start() override { start(period_); }
+  void stop() override;
 
   [[nodiscard]] std::uint64_t frames_sent() const { return sent_; }
-  [[nodiscard]] phy::Radio& radio() { return radio_; }
+  [[nodiscard]] phy::Radio& radio() { return *radio_; }
 
  private:
-  sim::Simulator& sim_;
-  phy::Radio radio_;
+  std::unique_ptr<phy::Radio> radio_;
   net::MacAddr spoofed_bssid_;
   net::MacAddr target_;
+  sim::Time period_ = 50'000;
   std::uint16_t seq_ = 0;
   std::uint64_t sent_ = 0;
   sim::TimerHandle timer_;

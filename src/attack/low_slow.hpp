@@ -1,0 +1,45 @@
+// Low-and-slow deauthentication (arXiv 2512.10470's rate-evasion class):
+// instead of flooding, forge one deauth every few seconds with
+// seed-derived jitter, and stamp each forgery with the legitimate AP's
+// overheard sequence counter + 1 so the stream stays inside the
+// sequence-control monitor's retry tolerance. The victim still loses its
+// association on every frame; a rate- or sequence-based detector sees
+// nothing. Physics again betrays it: the forgeries carry the attacker's
+// RSSI, not the AP's.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "attack/attacker.hpp"
+
+namespace rogue::attack {
+
+class LowSlowDeauth final : public Attacker {
+ public:
+  LowSlowDeauth() = default;
+
+  [[nodiscard]] std::string_view name() const override {
+    return "low-slow-deauth";
+  }
+  /// Opens the listening radio immediately so the sequence counter is
+  /// already tracked when start() fires.
+  void configure(const AttackerEnv& env) override;
+  void start() override;
+  void stop() override;
+
+  [[nodiscard]] std::uint64_t frames_sent() const { return sent_; }
+
+ private:
+  void send_once();
+  void schedule_next();
+
+  std::unique_ptr<phy::Radio> radio_;
+  bool running_ = false;
+  bool seq_seen_ = false;
+  std::uint16_t last_seq_ = 0;
+  sim::TimerHandle timer_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace rogue::attack

@@ -14,6 +14,7 @@
 #include "apps/http.hpp"
 #include "apps/download.hpp"
 #include "apps/netsed.hpp"
+#include "attack/attacker.hpp"
 #include "bridge/arp_proxy.hpp"
 #include "dot11/ap.hpp"
 #include "dot11/sta.hpp"
@@ -61,17 +62,21 @@ struct RogueGatewayConfig {
   net::TcpConfig tcp;
 };
 
-class RogueGateway {
+/// Attacker-shaped for uniform start()/stop() control; tournaments drive
+/// it through the ScriptedRogue adapter because the World owns its
+/// config (IP plan, trojan payload, wired topology).
+class RogueGateway final : public Attacker {
  public:
   RogueGateway(sim::Simulator& simulator, phy::Medium& medium,
                RogueGatewayConfig config, sim::Trace* trace = nullptr);
 
-  RogueGateway(const RogueGateway&) = delete;
-  RogueGateway& operator=(const RogueGateway&) = delete;
+  [[nodiscard]] std::string_view name() const override {
+    return "rogue-gateway";
+  }
 
   /// Bring up the uplink station, the rogue AP, bridge, NAT and netsed.
-  void start();
-  void stop();
+  void start() override;
+  void stop() override;
 
   [[nodiscard]] bool uplink_associated() const { return uplink_->associated(); }
   [[nodiscard]] dot11::Station& uplink() { return *uplink_; }

@@ -1,0 +1,78 @@
+#include "detect/fingerprint.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace rogue::detect {
+
+void FingerprintDetector::attach(const DetectorEnv& env) {
+  Detector::attach(env);
+  inventory_ = env.inventory;
+  open_radios(env);
+}
+
+void FingerprintDetector::observe(const dot11::FrameView& frame,
+                                  const phy::RxInfo& info) {
+  ++frames_;
+  if (!frame.is_mgmt(dot11::MgmtSubtype::kBeacon) &&
+      !frame.is_mgmt(dot11::MgmtSubtype::kProbeResp)) {
+    return;
+  }
+  const auto body = dot11::BeaconBody::decode(frame.body);
+  if (!body) return;
+
+  const auto by_bssid = std::find_if(
+      inventory_.begin(), inventory_.end(),
+      [&](const TrustedAp& ap) { return ap.bssid == frame.addr2; });
+
+  if (by_bssid != inventory_.end()) {
+    const TrustedAp& ap = *by_bssid;
+    if (body->ssid != ap.ssid &&
+        first_alert(frame.addr2, AlertKind::kFingerprintMismatch)) {
+      emit({info.time, AlertKind::kFingerprintMismatch, frame.addr2,
+            "ssid \"" + body->ssid + "\" != \"" + ap.ssid + "\""});
+    }
+    if ((body->channel != ap.channel || info.channel != ap.channel) &&
+        first_alert(frame.addr2, AlertKind::kChannelMismatch)) {
+      emit({info.time, AlertKind::kChannelMismatch, frame.addr2,
+            "ch " + std::to_string(info.channel) + "/" +
+                std::to_string(body->channel) + " != " +
+                std::to_string(ap.channel)});
+    }
+    if (body->beacon_interval_tu != ap.beacon_interval_tu &&
+        first_alert(frame.addr2, AlertKind::kFingerprintMismatch)) {
+      emit({info.time, AlertKind::kFingerprintMismatch, frame.addr2,
+            "interval " + std::to_string(body->beacon_interval_tu) + " != " +
+                std::to_string(ap.beacon_interval_tu)});
+    }
+    const bool expect_privacy = (ap.capability & dot11::kCapPrivacy) != 0;
+    if (body->privacy() != expect_privacy &&
+        first_alert(frame.addr2, AlertKind::kPrivacyMismatch)) {
+      emit({info.time, AlertKind::kPrivacyMismatch, frame.addr2,
+            body->privacy() ? "privacy on, records say open"
+                            : "privacy off, records require it"});
+    }
+    if (body->capability != ap.capability && body->privacy() == expect_privacy &&
+        first_alert(frame.addr2, AlertKind::kFingerprintMismatch)) {
+      emit({info.time, AlertKind::kFingerprintMismatch, frame.addr2,
+            "capability " + std::to_string(body->capability) + " != " +
+                std::to_string(ap.capability)});
+    }
+    return;
+  }
+
+  const bool own_ssid = std::any_of(
+      inventory_.begin(), inventory_.end(),
+      [&](const TrustedAp& ap) { return ap.ssid == body->ssid; });
+  if (own_ssid) {
+    if (first_alert(frame.addr2, AlertKind::kUnknownBssid)) {
+      emit({info.time, AlertKind::kUnknownBssid, frame.addr2,
+            "ssid \"" + body->ssid + "\" from unregistered bssid"});
+    }
+  } else if (first_alert(frame.addr2, AlertKind::kUnknownSsid)) {
+    emit({info.time, AlertKind::kUnknownSsid, frame.addr2,
+          "foreign ssid \"" + body->ssid + "\""});
+  }
+}
+
+}  // namespace rogue::detect

@@ -1,0 +1,29 @@
+// Beacon fingerprint auditing (arXiv 1302.6274 §III: WIDS signature
+// checks): every beacon and probe response heard is compared field-by-
+// field against the administrator's AP inventory. A rogue advertising the
+// corporate SSID from its own BSSID, on the wrong channel, with the wrong
+// beacon interval or capability/privacy bits, is flagged on the first
+// off-book frame. A *perfect* clone (same BSSID, channel, interval,
+// capabilities) passes — countering that is the RSSI-profile and
+// probe-timing detectors' job, which is the point of running a panel.
+#pragma once
+
+#include <vector>
+
+#include "detect/detector.hpp"
+
+namespace rogue::detect {
+
+class FingerprintDetector final : public Detector {
+ public:
+  FingerprintDetector() = default;
+
+  [[nodiscard]] std::string_view name() const override { return "fingerprint"; }
+  void attach(const DetectorEnv& env) override;
+  void observe(const dot11::FrameView& frame, const phy::RxInfo& info) override;
+
+ private:
+  std::vector<TrustedAp> inventory_;
+};
+
+}  // namespace rogue::detect

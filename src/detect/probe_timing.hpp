@@ -1,0 +1,60 @@
+// Probe-response timing (arXiv 1302.6274 §III.C: active AP
+// interrogation): the detector runs its own prober that broadcasts
+// wildcard probe requests on each channel of the World's plan and times
+// the responses. Real AP firmware answers within microseconds of CSMA
+// access; a software clone answering from a host stack is milliseconds
+// slower, and a clone sharing the real AP's BSSID produces *two*
+// responses to one probe transaction — both are alarms the perfect
+// fingerprint clone cannot avoid without going silent to clients too.
+#pragma once
+
+#include <map>
+
+#include "detect/detector.hpp"
+
+namespace rogue::detect {
+
+struct ProbeTimingConfig {
+  /// Wildcard probe cadence per channel.
+  sim::Time probe_period = 500 * sim::kMillisecond;
+  /// Response latency beyond this alarms (legit AP + CSMA backoff stays
+  /// well under 1 ms at 11 Mb/s).
+  sim::Time skew_threshold = 2'500;
+};
+
+class ProbeTimingDetector final : public Detector {
+ public:
+  ProbeTimingDetector() = default;
+  explicit ProbeTimingDetector(ProbeTimingConfig config) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const override { return "probe-timing"; }
+  void attach(const DetectorEnv& env) override;
+  void observe(const dot11::FrameView& frame, const phy::RxInfo& info) override;
+
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  /// Locally-administered source MAC of the prober.
+  [[nodiscard]] net::MacAddr prober_mac() const { return prober_mac_; }
+
+  /// Open a probe transaction on `channel` at `at` without transmitting —
+  /// lets unit tests feed scripted response traces through observe().
+  void begin_transaction(phy::Channel channel, sim::Time at);
+
+ private:
+  void send_probe(std::size_t radio_index);
+
+  /// One outstanding probe transaction per channel: when we probed and
+  /// how many responses each BSSID has given since.
+  struct Txn {
+    bool open = false;
+    sim::Time probe_time = 0;
+    std::map<net::MacAddr, std::size_t> responders;
+  };
+
+  ProbeTimingConfig config_;
+  net::MacAddr prober_mac_ = net::MacAddr::from_id(0xD0D0D0D001ULL);
+  std::uint16_t probe_seq_ = 0;
+  std::uint64_t probes_sent_ = 0;
+  std::map<phy::Channel, Txn> txns_;
+};
+
+}  // namespace rogue::detect

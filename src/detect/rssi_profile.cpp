@@ -1,0 +1,52 @@
+#include "detect/rssi_profile.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace rogue::detect {
+
+namespace {
+std::string fmt_dbm(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+}  // namespace
+
+void RssiProfileDetector::attach(const DetectorEnv& env) {
+  Detector::attach(env);
+  watched_.clear();
+  for (const TrustedAp& ap : env.inventory) watched_.insert(ap.bssid);
+  open_radios(env);
+}
+
+void RssiProfileDetector::observe(const dot11::FrameView& frame,
+                                  const phy::RxInfo& info) {
+  ++frames_;
+  if (!watched_.contains(frame.addr2)) return;
+
+  Profile& p = profiles_[frame.addr2];
+  if (p.samples < config_.min_samples) {
+    ++p.samples;
+    p.mean += (info.rssi_dbm - p.mean) / static_cast<double>(p.samples);
+    return;
+  }
+  const double deviation = std::abs(info.rssi_dbm - p.mean);
+  if (deviation > config_.threshold_db &&
+      first_alert(frame.addr2, AlertKind::kRssiInconsistent)) {
+    emit({info.time, AlertKind::kRssiInconsistent, frame.addr2,
+          "rssi " + fmt_dbm(info.rssi_dbm) + " dBm vs profile " +
+              fmt_dbm(p.mean) + " dBm"});
+  }
+}
+
+double RssiProfileDetector::profile_mean(net::MacAddr bssid) const {
+  const auto it = profiles_.find(bssid);
+  if (it == profiles_.end() || it->second.samples < config_.min_samples) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return it->second.mean;
+}
+
+}  // namespace rogue::detect

@@ -1,0 +1,51 @@
+// RSSI-profile consistency (arXiv 1302.6274 §III.B: signalprint
+// localisation): a stationary AP heard by a stationary monitor has a
+// stable received-signal level, so the monitor learns a per-BSSID RSSI
+// baseline during quiet time and then flags frames claiming that BSSID
+// from a markedly different level — a transmitter at a different position
+// (perfect fingerprint clone, forged deauths) cannot fake its path loss.
+// The profile freezes after `min_samples` so an attacker transmitting
+// during the attack window cannot drag the baseline toward itself.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "detect/detector.hpp"
+
+namespace rogue::detect {
+
+struct RssiProfileConfig {
+  /// Baseline frames per BSSID before the profile freezes and enforcement
+  /// starts.
+  std::size_t min_samples = 16;
+  /// |rssi - baseline mean| beyond this alarms. The Medium draws ±2 dB of
+  /// per-reception noise, so 4 dB keeps a stationary legitimate AP safely
+  /// inside the envelope while a transmitter metres away falls outside.
+  double threshold_db = 4.0;
+};
+
+class RssiProfileDetector final : public Detector {
+ public:
+  RssiProfileDetector() = default;
+  explicit RssiProfileDetector(RssiProfileConfig config) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const override { return "rssi"; }
+  void attach(const DetectorEnv& env) override;
+  void observe(const dot11::FrameView& frame, const phy::RxInfo& info) override;
+
+  /// Frozen baseline mean for a BSSID; NaN until min_samples reached.
+  [[nodiscard]] double profile_mean(net::MacAddr bssid) const;
+
+ private:
+  struct Profile {
+    std::size_t samples = 0;
+    double mean = 0.0;
+  };
+
+  RssiProfileConfig config_;
+  std::set<net::MacAddr> watched_;
+  std::map<net::MacAddr, Profile> profiles_;
+};
+
+}  // namespace rogue::detect

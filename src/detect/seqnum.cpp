@@ -1,18 +1,26 @@
 #include "detect/seqnum.hpp"
 
+#include <string>
+
 namespace rogue::detect {
 
 SeqNumMonitor::SeqNumMonitor(sim::Simulator& simulator, phy::Medium& medium,
                              SeqMonitorConfig config)
-    : sim_(simulator), config_(config), radio_(medium, "seq-monitor") {
-  radio_.set_channel(config_.channel);
-  radio_.set_receive_handler([this](util::ByteView raw, const phy::RxInfo& info) {
-    const auto frame = dot11::FrameView::parse(raw);
-    if (frame) observe(*frame, info.time);
-  });
+    : config_(config) {
+  DetectorEnv env;
+  env.sim = &simulator;
+  env.medium = &medium;
+  env.channels = {config_.channel};
+  attach(env);
 }
 
-void SeqNumMonitor::observe(const dot11::FrameView& frame, sim::Time at) {
+void SeqNumMonitor::attach(const DetectorEnv& env) {
+  Detector::attach(env);
+  open_radios(env);
+}
+
+void SeqNumMonitor::observe(const dot11::FrameView& frame,
+                            const phy::RxInfo& info) {
   ++frames_;
   auto& tx = state_[frame.addr2];
   const std::uint16_t seq = frame.sequence & 0x0fff;
@@ -29,20 +37,11 @@ void SeqNumMonitor::observe(const dot11::FrameView& frame, sim::Time at) {
   const bool plausible_forward = forward > 0 && forward <= config_.max_forward_gap;
   const bool plausible_retry = backward <= config_.max_backward_step;
   if (!plausible_forward && !plausible_retry) {
-    ++tx.anomaly_count;
-    anomalies_.push_back(SeqAnomaly{
-        at, frame.addr2, tx.last_seq, seq,
-        frame.type == dot11::FrameType::kManagement});
+    emit({info.time, AlertKind::kSeqAnomaly, frame.addr2,
+          "prev=" + std::to_string(tx.last_seq) +
+              " obs=" + std::to_string(seq)});
   }
   tx.last_seq = seq;
-}
-
-std::vector<net::MacAddr> SeqNumMonitor::suspects(std::size_t min_anomalies) const {
-  std::vector<net::MacAddr> out;
-  for (const auto& [mac, tx] : state_) {
-    if (tx.anomaly_count >= min_anomalies) out.push_back(mac);
-  }
-  return out;
 }
 
 }  // namespace rogue::detect

@@ -10,22 +10,13 @@
 #include <unordered_map>
 #include <vector>
 
-#include "dot11/frame.hpp"
-#include "net/addr.hpp"
-#include "phy/medium.hpp"
-#include "sim/simulator.hpp"
+#include "detect/detector.hpp"
 
 namespace rogue::detect {
 
-struct SeqAnomaly {
-  sim::Time time = 0;
-  net::MacAddr transmitter;
-  std::uint16_t previous = 0;
-  std::uint16_t observed = 0;
-  bool management = false;
-};
-
 struct SeqMonitorConfig {
+  /// Channel used only by the legacy (sim, medium) constructor; attach()
+  /// follows the DetectorEnv channel plan instead.
   phy::Channel channel = 1;
   /// Forward gap (frames lost to the monitor) tolerated before alarming.
   std::uint16_t max_forward_gap = 64;
@@ -33,35 +24,39 @@ struct SeqMonitorConfig {
   std::uint16_t max_backward_step = 3;
 };
 
-class SeqNumMonitor {
+class SeqNumMonitor final : public Detector {
  public:
+  SeqNumMonitor() = default;
+  explicit SeqNumMonitor(SeqMonitorConfig config) : config_(config) {}
+  /// Legacy convenience: one monitor radio on config.channel, attached
+  /// immediately.
   SeqNumMonitor(sim::Simulator& simulator, phy::Medium& medium,
                 SeqMonitorConfig config);
 
-  SeqNumMonitor(const SeqNumMonitor&) = delete;
-  SeqNumMonitor& operator=(const SeqNumMonitor&) = delete;
-
-  [[nodiscard]] const std::vector<SeqAnomaly>& anomalies() const { return anomalies_; }
-  /// Transmitters with at least `min_anomalies` flags.
-  [[nodiscard]] std::vector<net::MacAddr> suspects(std::size_t min_anomalies = 2) const;
-  [[nodiscard]] std::uint64_t frames_observed() const { return frames_; }
-  [[nodiscard]] phy::Radio& radio() { return radio_; }
+  [[nodiscard]] std::string_view name() const override { return "seqnum"; }
+  void attach(const DetectorEnv& env) override;
+  void observe(const dot11::FrameView& frame, const phy::RxInfo& info) override;
 
   /// Feed a frame directly (for offline analysis of captures).
-  void observe(const dot11::FrameView& frame, sim::Time at);
+  void observe(const dot11::FrameView& frame, sim::Time at) {
+    observe(frame, phy::RxInfo{at, 0.0, config_.channel});
+  }
+
+  /// Transmitters with at least `min_alerts` anomalies; a single jump can
+  /// be an artefact, two or more is a second radio.
+  [[nodiscard]] std::vector<net::MacAddr> suspects(
+      std::size_t min_alerts = 2) const {
+    return Detector::suspects(min_alerts);
+  }
+  [[nodiscard]] phy::Radio& radio() { return *radios().front(); }
 
  private:
-  sim::Simulator& sim_;
   SeqMonitorConfig config_;
-  phy::Radio radio_;
   struct TxState {
     std::uint16_t last_seq = 0;
     bool seen = false;
-    std::size_t anomaly_count = 0;
   };
   std::unordered_map<net::MacAddr, TxState> state_;
-  std::vector<SeqAnomaly> anomalies_;
-  std::uint64_t frames_ = 0;
 };
 
 }  // namespace rogue::detect

@@ -7,33 +7,90 @@ namespace rogue::detect {
 SiteAudit::SiteAudit(std::vector<AuthorizedAp> inventory)
     : inventory_(std::move(inventory)) {}
 
+void SiteAudit::attach(const DetectorEnv& env) {
+  Detector::attach(env);
+  if (inventory_.empty()) {
+    for (const TrustedAp& ap : env.inventory) {
+      inventory_.push_back({ap.ssid, ap.bssid, ap.channel});
+    }
+  }
+  open_radios(env);
+}
+
+AuditFindingKind SiteAudit::classify(const attack::ObservedBss& bss,
+                                     bool* accounted) const {
+  *accounted = false;
+  const bool own_ssid = std::any_of(
+      inventory_.begin(), inventory_.end(),
+      [&](const AuthorizedAp& ap) { return ap.ssid == bss.ssid; });
+  const auto exact = std::find_if(
+      inventory_.begin(), inventory_.end(), [&](const AuthorizedAp& ap) {
+        return ap.ssid == bss.ssid && ap.bssid == bss.bssid &&
+               ap.channel == bss.channel;
+      });
+  if (exact != inventory_.end()) {
+    *accounted = true;
+    return AuditFindingKind::kUnknownSsid;  // unused when accounted
+  }
+  const bool known_bssid = std::any_of(
+      inventory_.begin(), inventory_.end(),
+      [&](const AuthorizedAp& ap) { return ap.bssid == bss.bssid; });
+  if (own_ssid && !known_bssid) return AuditFindingKind::kUnknownBssid;
+  if (known_bssid) {
+    // Our BSSID, but SSID/channel do not match the records: a clone.
+    return AuditFindingKind::kClonedBssidWrongChannel;
+  }
+  return AuditFindingKind::kUnknownSsid;
+}
+
+void SiteAudit::observe(const dot11::FrameView& frame,
+                        const phy::RxInfo& info) {
+  ++frames_;
+  if (!frame.is_mgmt(dot11::MgmtSubtype::kBeacon)) return;
+  const auto body = dot11::BeaconBody::decode(frame.body);
+  if (!body) return;
+
+  attack::ObservedBss bss;
+  bss.ssid = body->ssid;
+  bss.bssid = frame.addr2;
+  bss.channel = info.channel;
+  bss.privacy = body->privacy();
+  bss.last_rssi_dbm = info.rssi_dbm;
+
+  bool accounted = false;
+  const AuditFindingKind kind = classify(bss, &accounted);
+  if (accounted) return;
+
+  AlertKind alert_kind = AlertKind::kUnknownSsid;
+  std::string detail = "foreign ssid \"" + bss.ssid + "\"";
+  switch (kind) {
+    case AuditFindingKind::kUnknownBssid:
+      alert_kind = AlertKind::kUnknownBssid;
+      detail = "ssid \"" + bss.ssid + "\" from unregistered bssid";
+      break;
+    case AuditFindingKind::kClonedBssidWrongChannel:
+      alert_kind = AlertKind::kChannelMismatch;
+      detail = "our bssid off-book on ch " + std::to_string(bss.channel);
+      break;
+    case AuditFindingKind::kPrivacyMismatch:
+      alert_kind = AlertKind::kPrivacyMismatch;
+      detail = "privacy setting off-book";
+      break;
+    case AuditFindingKind::kUnknownSsid:
+      break;
+  }
+  if (first_alert(frame.addr2, alert_kind)) {
+    emit({info.time, alert_kind, frame.addr2, std::move(detail)});
+  }
+}
+
 std::vector<AuditFinding> SiteAudit::evaluate(
     const std::vector<attack::ObservedBss>& census) const {
   std::vector<AuditFinding> findings;
-
   for (const auto& bss : census) {
-    const bool own_ssid = std::any_of(
-        inventory_.begin(), inventory_.end(),
-        [&](const AuthorizedAp& ap) { return ap.ssid == bss.ssid; });
-    const auto exact = std::find_if(
-        inventory_.begin(), inventory_.end(), [&](const AuthorizedAp& ap) {
-          return ap.ssid == bss.ssid && ap.bssid == bss.bssid &&
-                 ap.channel == bss.channel;
-        });
-    if (exact != inventory_.end()) continue;  // fully accounted for
-
-    const bool known_bssid = std::any_of(
-        inventory_.begin(), inventory_.end(),
-        [&](const AuthorizedAp& ap) { return ap.bssid == bss.bssid; });
-
-    if (own_ssid && !known_bssid) {
-      findings.push_back({AuditFindingKind::kUnknownBssid, bss});
-    } else if (known_bssid) {
-      // Our BSSID, but SSID/channel do not match the records: a clone.
-      findings.push_back({AuditFindingKind::kClonedBssidWrongChannel, bss});
-    } else {
-      findings.push_back({AuditFindingKind::kUnknownSsid, bss});
-    }
+    bool accounted = false;
+    const AuditFindingKind kind = classify(bss, &accounted);
+    if (!accounted) findings.push_back({kind, bss});
   }
   return findings;
 }

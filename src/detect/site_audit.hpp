@@ -1,13 +1,16 @@
 // Radio site audit (§2.3: "Good record keeping and doing radio site
 // audits will help detect these rogues"): compare the BSS census gathered
 // by a monitor-mode sweep against the administrator's authorized AP
-// inventory and flag everything unexplained.
+// inventory and flag everything unexplained. Works two ways: the legacy
+// batch evaluate() over a sniffer census, and live as a detect::Detector
+// that audits each beacon as it is heard.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "attack/sniffer.hpp"
+#include "detect/detector.hpp"
 #include "net/addr.hpp"
 #include "phy/medium.hpp"
 
@@ -31,9 +34,16 @@ struct AuditFinding {
   attack::ObservedBss bss;
 };
 
-class SiteAudit {
+class SiteAudit final : public Detector {
  public:
+  SiteAudit() = default;
   explicit SiteAudit(std::vector<AuthorizedAp> inventory);
+
+  [[nodiscard]] std::string_view name() const override { return "site-audit"; }
+  /// Live mode: env.inventory becomes the authorized list (unless one was
+  /// given at construction) and every beacon heard is audited on arrival.
+  void attach(const DetectorEnv& env) override;
+  void observe(const dot11::FrameView& frame, const phy::RxInfo& info) override;
 
   /// Evaluate a census (from attack::Sniffer::observed_bss or a dedicated
   /// scan) against the inventory.
@@ -45,6 +55,9 @@ class SiteAudit {
       const std::vector<attack::ObservedBss>& census) const;
 
  private:
+  [[nodiscard]] AuditFindingKind classify(const attack::ObservedBss& bss,
+                                          bool* accounted) const;
+
   std::vector<AuthorizedAp> inventory_;
 };
 

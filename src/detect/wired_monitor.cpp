@@ -3,17 +3,32 @@
 namespace rogue::detect {
 
 WiredMonitor::WiredMonitor(sim::Simulator& simulator, net::L2Segment& segment,
-                           std::vector<net::MacAddr> known_macs)
-    : sim_(simulator) {
-  known_.insert(known_macs.begin(), known_macs.end());
-  segment.set_span([this](const net::L2Frame& frame) {
-    ++frames_;
-    seen_.insert(frame.src);
-    if (!known_.contains(frame.src) && !reported_.contains(frame.src)) {
-      reported_.insert(frame.src);
-      findings_.push_back(WiredFinding{sim_.now(), frame.src});
-    }
-  });
+                           std::vector<net::MacAddr> known_macs) {
+  DetectorEnv env;
+  env.sim = &simulator;
+  env.wired = &segment;
+  env.known_wired_macs = std::move(known_macs);
+  attach(env);
+}
+
+void WiredMonitor::attach(const DetectorEnv& env) {
+  Detector::attach(env);
+  known_.insert(env.known_wired_macs.begin(), env.known_wired_macs.end());
+  if (env.wired != nullptr) {
+    env.wired->set_span([this](const net::L2Frame& frame) { on_frame(frame); });
+  }
+}
+
+void WiredMonitor::on_frame(const net::L2Frame& frame) {
+  ++frames_;
+  seen_.insert(frame.src);
+  if (!known_.contains(frame.src) &&
+      first_alert(frame.src, AlertKind::kWiredUnknownMac)) {
+    const sim::Time now = sim() != nullptr ? sim()->now() : 0;
+    findings_.push_back(WiredFinding{now, frame.src});
+    emit({now, AlertKind::kWiredUnknownMac, frame.src,
+          "unregistered source mac on wired segment"});
+  }
 }
 
 }  // namespace rogue::detect

@@ -8,6 +8,7 @@
 #include <set>
 #include <vector>
 
+#include "detect/detector.hpp"
 #include "net/addr.hpp"
 #include "net/link.hpp"
 #include "sim/simulator.hpp"
@@ -19,14 +20,17 @@ struct WiredFinding {
   net::MacAddr mac;
 };
 
-class WiredMonitor {
+class WiredMonitor final : public Detector {
  public:
-  /// Installs itself as the segment's span (mirror) tap.
+  WiredMonitor() = default;
+  /// Legacy convenience: installs itself as the segment's span tap.
   WiredMonitor(sim::Simulator& simulator, net::L2Segment& segment,
                std::vector<net::MacAddr> known_macs);
 
-  WiredMonitor(const WiredMonitor&) = delete;
-  WiredMonitor& operator=(const WiredMonitor&) = delete;
+  [[nodiscard]] std::string_view name() const override { return "wired"; }
+  /// Uses env.wired / env.known_wired_macs; no-op tap when the scenario
+  /// has no monitored segment.
+  void attach(const DetectorEnv& env) override;
 
   void add_known(net::MacAddr mac) { known_.insert(mac); }
 
@@ -34,15 +38,13 @@ class WiredMonitor {
     return findings_;
   }
   [[nodiscard]] const std::set<net::MacAddr>& seen_macs() const { return seen_; }
-  [[nodiscard]] std::uint64_t frames_observed() const { return frames_; }
 
  private:
-  sim::Simulator& sim_;
+  void on_frame(const net::L2Frame& frame);
+
   std::set<net::MacAddr> known_;
   std::set<net::MacAddr> seen_;
-  std::set<net::MacAddr> reported_;
   std::vector<WiredFinding> findings_;
-  std::uint64_t frames_ = 0;
 };
 
 }  // namespace rogue::detect

@@ -38,6 +38,16 @@ util::Json to_json(const RunMetrics& run, bool include_wall) {
   metrics.set("trace_records", m.trace_records);
   metrics.set("trace_warnings", m.trace_warnings);
   metrics.set("sim_time_s", m.sim_time_s);
+  // WIDS block only when a tournament episode ran: legacy reports (and the
+  // pinned golden digest) stay byte-identical.
+  if (m.wids_enabled) {
+    util::Json wids = util::Json::object();
+    wids.set("attack_start_s", m.wids_attack_start_s);
+    wids.set("alerts", m.wids_alerts);
+    wids.set("false_alerts", m.wids_false_alerts);
+    wids.set("time_to_detect_s", m.wids_time_to_detect_s);
+    metrics.set("wids", std::move(wids));
+  }
   j.set("metrics", std::move(metrics));
   return j;
 }
@@ -117,6 +127,15 @@ std::optional<RunMetrics> run_metrics_from_json(const util::Json& j) {
   (void)read_double(*metrics, "vpn_recover_p50_s", &m.vpn_recover_p50_s);
   (void)read_double(*metrics, "vpn_recover_p95_s", &m.vpn_recover_p95_s);
   (void)read_u64(*metrics, "clear_packets", &m.clear_packets);
+  // WIDS block is optional; its presence implies wids_enabled.
+  const util::Json* wids = metrics->find("wids");
+  if (wids != nullptr && wids->type() == util::Json::Type::kObject) {
+    m.wids_enabled = true;
+    (void)read_double(*wids, "attack_start_s", &m.wids_attack_start_s);
+    (void)read_u64(*wids, "alerts", &m.wids_alerts);
+    (void)read_u64(*wids, "false_alerts", &m.wids_false_alerts);
+    (void)read_double(*wids, "time_to_detect_s", &m.wids_time_to_detect_s);
+  }
   return run;
 }
 

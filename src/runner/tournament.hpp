@@ -1,0 +1,85 @@
+// Attacker×detector tournament runner: the arms-race companion to the
+// variant sweep. A tournament crosses a roster of registry attackers
+// (attack::make_attacker) with a roster of registry detectors
+// (detect::make_detector) and runs `runs` seeded replicas per pair —
+// every pair becomes one ExperimentRunner variant named
+// "<attacker>|<detector>", so the report inherits the sweep's
+// determinism contract: bytes depend only on (config, seeds), never on
+// --jobs or host speed.
+//
+// Per pair the report aggregates:
+//   detection_rate — replicas with >= 1 true alert (after attack start)
+//   fp_rate        — replicas with >= 1 false alert (baseline window, or
+//                    any alert on the "none" control row)
+//   ttd_s          — attack start -> first true alert, p50/p95
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runner/sweep.hpp"
+#include "sim/simulator.hpp"
+
+namespace rogue::runner {
+
+struct TournamentConfig {
+  std::string scenario = "corp";  ///< "corp" or "hotspot"
+  /// Registry names (attack::known_attackers / detect::known_detectors).
+  /// Empty lists pick the stock rosters below.
+  std::vector<std::string> attackers;
+  std::vector<std::string> detectors;
+  std::uint64_t seed_base = 1;
+  std::size_t runs = 5;  ///< replicas per pair
+  std::size_t jobs = 0;  ///< worker threads; 0 = hardware
+  util::BufferPoolConfig pool;
+  /// Quiet window after settle: alerts here are false positives.
+  sim::Time baseline_window = 8 * sim::kSecond;
+  /// Attacker-active window: first alert here is the detection.
+  sim::Time attack_window = 20 * sim::kSecond;
+};
+
+/// Default rosters: every registry attacker (including the "none"
+/// control row) crossed with the four single detectors plus the
+/// composite. The hotspot world has no rogue-gateway stack, so its
+/// roster drops that attacker.
+[[nodiscard]] std::vector<std::string> stock_tournament_attackers(
+    std::string_view scenario);
+[[nodiscard]] std::vector<std::string> stock_tournament_detectors();
+
+/// Per-pair aggregate over the pair's non-failed replicas.
+struct PairSummary {
+  std::string attacker;
+  std::string detector;
+  std::size_t runs = 0;
+  std::size_t failed = 0;
+  std::size_t detected = 0;      ///< replicas with a true alert
+  double detection_rate = 0.0;   ///< detected / runs
+  double fp_rate = 0.0;          ///< replicas with >= 1 false alert / runs
+  util::Summary ttd_s;           ///< time-to-detect over detected replicas
+  util::Summary alerts;          ///< total alerts per replica
+  util::Summary false_alerts;    ///< false alerts per replica
+};
+
+struct TournamentReport {
+  TournamentConfig config;
+  double wall_ms = 0.0;          ///< console only, never serialized
+  std::vector<RunMetrics> runs;  ///< pair-major (attacker-major), seed-minor
+  std::vector<PairSummary> pairs;
+
+  /// Machine-readable report; deterministic bytes per (config, seeds).
+  [[nodiscard]] util::Json to_json() const;
+  /// Fixed-width per-pair table (one row per attacker×detector).
+  [[nodiscard]] std::string table() const;
+  /// Detection-rate grid: attackers down, detectors across.
+  [[nodiscard]] std::string matrix() const;
+  [[nodiscard]] std::size_t failed_count() const;
+};
+
+/// Run the full matrix. Unknown scenario/attacker/detector names fail the
+/// affected replicas (reported in the failures array) rather than
+/// aborting the tournament.
+[[nodiscard]] TournamentReport run_tournament(const TournamentConfig& config);
+
+}  // namespace rogue::runner

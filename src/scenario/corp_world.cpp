@@ -1,5 +1,7 @@
 #include "scenario/corp_world.hpp"
 
+#include <stdexcept>
+
 #include "crypto/aead.hpp"
 #include "crypto/md5.hpp"
 #include "util/assert.hpp"
@@ -78,6 +80,10 @@ detect::SeqNumMonitor& CorpWorld::enable_detection() {
 }
 
 void CorpWorld::run_episode() {
+  if (!config_.wids_detectors.empty() || !config_.wids_attacker.empty()) {
+    run_wids_episode();
+    return;
+  }
   start();
   if (config_.enable_detection && !monitor_) enable_detection();
   if (config_.inject_faults) install_fault_plan();
@@ -271,13 +277,16 @@ void CorpWorld::install_fault_plan() {
   // Ambient victim traffic for the episode: a tiny periodic heartbeat that
   // rides the tunnel while it is up and leaks onto the radio during a
   // fail-open gap — the packets Metrics::clear_packets counts.
-  if (config_.chatter_period > 0) {
-    chatter_sock_ = victim_->udp_open(0);
-    sim_.every(config_.chatter_period, [this] {
-      static const util::Bytes kBeacon = {'h', 'b'};
-      if (chatter_sock_) chatter_sock_->send_to(addr_.web_server, 9, kBeacon);
-    });
-  }
+  start_chatter();
+}
+
+void CorpWorld::start_chatter() {
+  if (config_.chatter_period == 0 || chatter_sock_) return;
+  chatter_sock_ = victim_->udp_open(0);
+  sim_.every(config_.chatter_period, [this] {
+    static const util::Bytes kBeacon = {'h', 'b'};
+    if (chatter_sock_) chatter_sock_->send_to(addr_.web_server, 9, kBeacon);
+  });
 }
 
 void CorpWorld::fault_ap(bool down) {
@@ -318,6 +327,110 @@ attack::DeauthAttacker& CorpWorld::start_deauth_forcing(sim::Time period) {
   deauth_->radio().set_position({config_.victim_to_rogue_m, 0.0});
   deauth_->start(period);
   return *deauth_;
+}
+
+detect::DetectorEnv CorpWorld::detector_env() {
+  const dot11::SecurityMode security = resolve_security(config_);
+  detect::DetectorEnv env;
+  env.sim = &sim_;
+  env.medium = &medium_;
+  env.trace = &trace_;
+  // The World's channel plan — the corporate channel plus wherever a
+  // rogue could park — not a hard-coded channel 1.
+  env.channels = {config_.legit_channel};
+  if (config_.rogue_channel != config_.legit_channel) {
+    env.channels.push_back(config_.rogue_channel);
+  }
+  // Between the victim and the legitimate AP, off-axis: hears both the
+  // AP's real counter and any forgeries.
+  env.position = {config_.victim_to_legit_m / 2.0, 4.0};
+  detect::TrustedAp ap;
+  ap.ssid = "CORP";
+  ap.bssid = kLegitBssid;
+  ap.channel = config_.legit_channel;
+  ap.beacon_interval_tu = 100;
+  ap.capability = dot11::kCapEss;
+  if (security != dot11::SecurityMode::kOpen) ap.capability |= dot11::kCapPrivacy;
+  env.inventory = {ap};
+  env.wired = &corp_lan_;
+  env.known_wired_macs = {kCorpGwLanMac, kVpnMac, kVictimMac, kStaffMac};
+  return env;
+}
+
+attack::AttackerEnv CorpWorld::attacker_env() {
+  const dot11::SecurityMode security = resolve_security(config_);
+  attack::AttackerEnv env;
+  env.sim = &sim_;
+  env.medium = &medium_;
+  env.trace = &trace_;
+  env.ssid = "CORP";
+  env.legit_bssid = kLegitBssid;
+  env.victim_mac = kVictimMac;
+  env.legit_channel = config_.legit_channel;
+  env.rogue_channel = config_.rogue_channel;
+  env.beacon_interval_tu = 100;
+  env.capability = dot11::kCapEss;
+  if (security != dot11::SecurityMode::kOpen) env.capability |= dot11::kCapPrivacy;
+  env.position = {config_.victim_to_rogue_m, 0.0};
+  env.deauth_period = config_.deauth_period;
+  // Named stream off the replica's root seed: every behavioural jitter
+  // the attacker draws is a pure function of (variant, seed).
+  env.rng = sim_.derive_rng("wids.attacker");
+  env.deploy_rogue = [this] {
+    if (!rogue_) deploy_rogue();
+  };
+  env.stop_rogue = [this] {
+    if (rogue_) rogue_->stop();
+  };
+  return env;
+}
+
+bool CorpWorld::attach_detector(std::string_view name) {
+  ROGUE_ASSERT_MSG(started_, "start() the world before attaching detectors");
+  auto detector = detect::make_detector(name);
+  if (!detector) return false;
+  detector->attach(detector_env());
+  wids_enabled_ = true;
+  detectors_.push_back(std::move(detector));
+  return true;
+}
+
+bool CorpWorld::attach_attacker(std::string_view name) {
+  ROGUE_ASSERT_MSG(started_, "start() the world before attaching attackers");
+  ROGUE_ASSERT_MSG(!attacker_, "attacker already attached");
+  wids_enabled_ = true;
+  if (name == "none") return true;  // control row: nothing ever transmits
+  auto attacker = attack::make_attacker(name);
+  if (!attacker) return false;
+  attacker->configure(attacker_env());
+  attacker_ = std::move(attacker);
+  return true;
+}
+
+void CorpWorld::run_wids_episode() {
+  start();
+  // Throw (not assert) on unknown registry names: a sweep replica with a
+  // bad roster entry should land in the report's failures array, not
+  // abort the whole worker pool.
+  for (const std::string& name : config_.wids_detectors) {
+    if (!attach_detector(name)) {
+      throw std::runtime_error("unknown wids detector: " + name);
+    }
+  }
+  if (!config_.wids_attacker.empty() &&
+      !attach_attacker(config_.wids_attacker)) {
+    throw std::runtime_error("unknown wids attacker: " + config_.wids_attacker);
+  }
+  // Ambient victim traffic: keeps the AP's sequence counter moving so
+  // mimicry has something to shadow, and gives the episode data frames.
+  start_chatter();
+  run_for(config_.settle_time + config_.wids_baseline_window);
+  if (attacker_) {
+    wids_attack_start_ = sim_.now();
+    attacker_->start();
+  }
+  run_for(config_.wids_attack_window);
+  if (attacker_) attacker_->stop();
 }
 
 void CorpWorld::connect_vpn(std::function<void(bool)> done) {
@@ -400,15 +513,39 @@ Metrics CorpWorld::collect_metrics() const {
   }
 
   if (monitor_) {
-    m.seq_anomalies = monitor_->anomalies().size();
+    m.seq_anomalies = monitor_->alerts().size();
     m.rogue_detected = !monitor_->suspects().empty();
     if (rogue_deploy_time_) {
-      for (const auto& anomaly : monitor_->anomalies()) {
-        if (anomaly.time < *rogue_deploy_time_) continue;
+      for (const detect::Alert& alert : monitor_->alerts()) {
+        if (alert.time < *rogue_deploy_time_) continue;
         m.detection_latency_s =
-            static_cast<double>(anomaly.time - *rogue_deploy_time_) / kUsPerSecond;
+            static_cast<double>(alert.time - *rogue_deploy_time_) / kUsPerSecond;
         break;
       }
+    }
+  }
+
+  if (wids_enabled_) {
+    m.wids_enabled = true;
+    if (wids_attack_start_) {
+      m.wids_attack_start_s =
+          static_cast<double>(*wids_attack_start_) / kUsPerSecond;
+    }
+    std::optional<sim::Time> first_true;
+    for (const auto& detector : detectors_) {
+      for (const detect::Alert& alert : detector->alerts()) {
+        ++m.wids_alerts;
+        if (!wids_attack_start_ || alert.time < *wids_attack_start_) {
+          ++m.wids_false_alerts;  // fired with no attack underway
+        } else if (!first_true || alert.time < *first_true) {
+          first_true = alert.time;
+        }
+      }
+    }
+    if (first_true) {
+      m.wids_time_to_detect_s =
+          static_cast<double>(*first_true - *wids_attack_start_) / kUsPerSecond;
+      m.rogue_detected = true;
     }
   }
 

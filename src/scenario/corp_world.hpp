@@ -20,12 +20,15 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/download.hpp"
 #include "apps/http.hpp"
+#include "attack/attacker.hpp"
 #include "attack/deauth.hpp"
 #include "attack/rogue_gateway.hpp"
 #include "attack/sniffer.hpp"
+#include "detect/detector.hpp"
 #include "detect/seqnum.hpp"
 #include "dot11/ap.hpp"
 #include "faults/fault.hpp"
@@ -114,6 +117,16 @@ struct CorpConfig {
   /// stalled download transmits nothing, so without ambient traffic the
   /// fail-open exposure meter would read zero by construction.
   sim::Time chatter_period = 500 * sim::kMillisecond;
+
+  // WIDS tournament episode (attacker×detector pairing). When either
+  // list is non-empty, run_episode() runs the tournament script instead
+  // of the legacy phases: settle, a quiet baseline window (false-positive
+  // territory), then the attacker's window. wids_attacker "none" is the
+  // control row; "" keeps the legacy episode.
+  std::vector<std::string> wids_detectors;
+  std::string wids_attacker;
+  sim::Time wids_baseline_window = 8 * sim::kSecond;
+  sim::Time wids_attack_window = 20 * sim::kSecond;
 };
 
 /// Well-known addresses inside the world.
@@ -171,6 +184,23 @@ class CorpWorld final : public World, private faults::FaultTarget {
   detect::SeqNumMonitor& enable_detection();
   [[nodiscard]] detect::SeqNumMonitor* detector() { return monitor_.get(); }
 
+  /// Pluggable WIDS: attach a registry detector wired to this world's
+  /// channel plan, AP inventory, monitor position and wired segment.
+  bool attach_detector(std::string_view name) override;
+  /// Pluggable attacker configured against the corporate network ("none"
+  /// arms nothing — the tournament's control row).
+  bool attach_attacker(std::string_view name) override;
+  [[nodiscard]] const std::vector<std::unique_ptr<detect::Detector>>&
+  wids_detectors() const {
+    return detectors_;
+  }
+  [[nodiscard]] attack::Attacker* wids_attacker() { return attacker_.get(); }
+  /// The environments the attach hooks hand out (exposed for tests).
+  [[nodiscard]] detect::DetectorEnv detector_env();
+  [[nodiscard]] attack::AttackerEnv attacker_env();
+  /// Tournament script: settle + quiet baseline, then the attack window.
+  void run_wids_episode();
+
   /// Figure 3: victim tunnels all traffic to the trusted endpoint.
   void connect_vpn(std::function<void(bool ok)> done);
   [[nodiscard]] vpn::ClientTunnel* victim_tunnel() { return victim_tunnel_.get(); }
@@ -217,6 +247,7 @@ class CorpWorld final : public World, private faults::FaultTarget {
  private:
   void build_wired();
   void build_wireless();
+  void start_chatter();
 
   // faults::FaultTarget — how chaos lands on this world's components.
   void fault_ap(bool down) override;
@@ -252,6 +283,8 @@ class CorpWorld final : public World, private faults::FaultTarget {
   std::unique_ptr<attack::RogueGateway> rogue_;
   std::unique_ptr<attack::DeauthAttacker> deauth_;
   std::unique_ptr<detect::SeqNumMonitor> monitor_;
+  std::vector<std::unique_ptr<detect::Detector>> detectors_;
+  std::unique_ptr<attack::Attacker> attacker_;
   std::unique_ptr<faults::Injector> injector_;
   std::unique_ptr<attack::DeauthAttacker> chaos_deauth_;
   std::shared_ptr<net::UdpSocket> chatter_sock_;
@@ -263,6 +296,8 @@ class CorpWorld final : public World, private faults::FaultTarget {
   // Episode observations, filled in as the scenario unfolds and read by
   // collect_metrics(). "-1 cast to Time" is avoided by optionals.
   std::optional<sim::Time> rogue_deploy_time_;
+  std::optional<sim::Time> wids_attack_start_;
+  bool wids_enabled_ = false;
   std::optional<sim::Time> capture_time_;
   std::optional<sim::Time> vpn_up_time_;
   bool vpn_attempted_ = false;

@@ -1,5 +1,7 @@
 #include "scenario/hotspot.hpp"
 
+#include <stdexcept>
+
 #include "crypto/aead.hpp"
 #include "crypto/md5.hpp"
 #include "util/assert.hpp"
@@ -150,13 +152,97 @@ void HotspotWorld::install_fault_plan() {
 
   // Ambient client heartbeat (see CorpWorld::install_fault_plan): gives
   // the fail-open exposure meter traffic to count during tunnel gaps.
-  if (config_.chatter_period > 0) {
-    chatter_sock_ = client_->udp_open(0);
-    sim_.every(config_.chatter_period, [this] {
-      static const util::Bytes kBeacon = {'h', 'b'};
-      if (chatter_sock_) chatter_sock_->send_to(addr_.web_server, 9, kBeacon);
-    });
+  start_chatter();
+}
+
+void HotspotWorld::start_chatter() {
+  if (config_.chatter_period == 0 || chatter_sock_) return;
+  chatter_sock_ = client_->udp_open(0);
+  sim_.every(config_.chatter_period, [this] {
+    static const util::Bytes kBeacon = {'h', 'b'};
+    if (chatter_sock_) chatter_sock_->send_to(addr_.web_server, 9, kBeacon);
+  });
+}
+
+detect::DetectorEnv HotspotWorld::detector_env() {
+  detect::DetectorEnv env;
+  env.sim = &sim_;
+  env.medium = &medium_;
+  env.trace = &trace_;
+  env.channels = {6};
+  // Near the AP: a hotspot operator audits from its own rack, which keeps
+  // the RSSI baseline tight.
+  env.position = {4.0, 2.0};
+  detect::TrustedAp ap;
+  ap.ssid = "HOTSPOT";
+  ap.bssid = kHotspotBssid;
+  ap.channel = 6;
+  env.inventory = {ap};
+  env.wired = &internet_;
+  env.known_wired_macs = {kGwWanMac, kWebMac, kHomeMac};
+  return env;
+}
+
+attack::AttackerEnv HotspotWorld::attacker_env() {
+  attack::AttackerEnv env;
+  env.sim = &sim_;
+  env.medium = &medium_;
+  env.trace = &trace_;
+  env.ssid = "HOTSPOT";
+  env.legit_bssid = kHotspotBssid;
+  env.victim_mac = kClientMac;
+  env.legit_channel = 6;
+  env.rogue_channel = 6;
+  env.position = {1.0, 0.0};  // lurking next to the client
+  env.deauth_period = config_.deauth_period;
+  env.rng = sim_.derive_rng("wids.attacker");
+  // No rogue-gateway stack in this world: the hooks stay empty and the
+  // "rogue-gateway" row degenerates to a no-op attacker.
+  return env;
+}
+
+bool HotspotWorld::attach_detector(std::string_view name) {
+  ROGUE_ASSERT_MSG(started_, "start() the world before attaching detectors");
+  auto detector = detect::make_detector(name);
+  if (!detector) return false;
+  detector->attach(detector_env());
+  wids_enabled_ = true;
+  detectors_.push_back(std::move(detector));
+  return true;
+}
+
+bool HotspotWorld::attach_attacker(std::string_view name) {
+  ROGUE_ASSERT_MSG(started_, "start() the world before attaching attackers");
+  ROGUE_ASSERT_MSG(!attacker_, "attacker already attached");
+  wids_enabled_ = true;
+  if (name == "none") return true;
+  auto attacker = attack::make_attacker(name);
+  if (!attacker) return false;
+  attacker->configure(attacker_env());
+  attacker_ = std::move(attacker);
+  return true;
+}
+
+void HotspotWorld::run_wids_episode() {
+  start();
+  // Throw (not assert) so a bad roster name fails the replica, not the pool.
+  for (const std::string& name : config_.wids_detectors) {
+    if (!attach_detector(name)) {
+      throw std::runtime_error("unknown wids detector: " + name);
+    }
   }
+  if (!config_.wids_attacker.empty() &&
+      !attach_attacker(config_.wids_attacker)) {
+    throw std::runtime_error("unknown wids attacker: " + config_.wids_attacker);
+  }
+  start_chatter();
+  run_for(config_.settle_time + config_.wids_baseline_window);
+  if (attacker_) {
+    wids_attack_start_ = sim_.now();
+    attacker_->start();
+  }
+  run_for(config_.wids_attack_window);
+  if (attacker_) attacker_->stop();
 }
 
 void HotspotWorld::fault_ap(bool down) {
@@ -230,6 +316,10 @@ void HotspotWorld::download(std::function<void(const apps::DownloadOutcome&)> do
 }
 
 void HotspotWorld::run_episode() {
+  if (!config_.wids_detectors.empty() || !config_.wids_attacker.empty()) {
+    run_wids_episode();
+    return;
+  }
   start();
   if (config_.inject_faults) install_fault_plan();
   run_for(config_.settle_time);
@@ -270,6 +360,30 @@ Metrics HotspotWorld::collect_metrics() const {
   }
 
   if (injector_) m.faults_injected = injector_->injected();
+
+  if (wids_enabled_) {
+    m.wids_enabled = true;
+    if (wids_attack_start_) {
+      m.wids_attack_start_s =
+          static_cast<double>(*wids_attack_start_) / kUsPerSecond;
+    }
+    std::optional<sim::Time> first_true;
+    for (const auto& detector : detectors_) {
+      for (const detect::Alert& alert : detector->alerts()) {
+        ++m.wids_alerts;
+        if (!wids_attack_start_ || alert.time < *wids_attack_start_) {
+          ++m.wids_false_alerts;
+        } else if (!first_true || alert.time < *first_true) {
+          first_true = alert.time;
+        }
+      }
+    }
+    if (first_true) {
+      m.wids_time_to_detect_s =
+          static_cast<double>(*first_true - *wids_attack_start_) / kUsPerSecond;
+      m.rogue_detected = true;
+    }
+  }
 
   if (tunnel_) {
     m.vpn_established = vpn_ok_ && tunnel_->established();

@@ -8,11 +8,15 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "apps/download.hpp"
 #include "apps/http.hpp"
 #include "apps/netsed.hpp"
+#include "attack/attacker.hpp"
 #include "attack/deauth.hpp"
+#include "detect/detector.hpp"
 #include "dot11/ap.hpp"
 #include "faults/fault.hpp"
 #include "dot11/sta.hpp"
@@ -50,6 +54,12 @@ struct HotspotConfig {
   bool vpn_fail_open = true;
   sim::Time deauth_period = 100 * sim::kMillisecond;
   sim::Time chatter_period = 500 * sim::kMillisecond;
+
+  // WIDS tournament episode — see CorpConfig for semantics.
+  std::vector<std::string> wids_detectors;
+  std::string wids_attacker;
+  sim::Time wids_baseline_window = 8 * sim::kSecond;
+  sim::Time wids_attack_window = 20 * sim::kSecond;
 };
 
 struct HotspotAddresses {
@@ -91,6 +101,14 @@ class HotspotWorld final : public World, private faults::FaultTarget {
   }
   [[nodiscard]] const TunnelHealth& tunnel_health() const { return health_; }
 
+  /// Pluggable WIDS hooks — the hotspot operator (or a visiting auditor)
+  /// watches its own airspace. See CorpWorld for semantics.
+  bool attach_detector(std::string_view name) override;
+  bool attach_attacker(std::string_view name) override;
+  [[nodiscard]] detect::DetectorEnv detector_env();
+  [[nodiscard]] attack::AttackerEnv attacker_env();
+  void run_wids_episode();
+
   /// Client tunnels everything home before doing anything else.
   void connect_vpn(std::function<void(bool ok)> done);
   /// The download workload, from the client.
@@ -109,6 +127,8 @@ class HotspotWorld final : public World, private faults::FaultTarget {
   [[nodiscard]] std::string trojan_md5() const;
 
  private:
+  void start_chatter();
+
   // faults::FaultTarget — how chaos lands on this world's components.
   void fault_ap(bool down) override;
   void fault_endpoint(bool down) override;
@@ -142,6 +162,8 @@ class HotspotWorld final : public World, private faults::FaultTarget {
 
   std::unique_ptr<faults::Injector> injector_;
   std::unique_ptr<attack::DeauthAttacker> chaos_deauth_;
+  std::vector<std::unique_ptr<detect::Detector>> detectors_;
+  std::unique_ptr<attack::Attacker> attacker_;
   std::shared_ptr<net::UdpSocket> chatter_sock_;
   TunnelHealth health_;
 
@@ -149,6 +171,8 @@ class HotspotWorld final : public World, private faults::FaultTarget {
   bool capture_frames_ = false;
 
   // Episode observations for collect_metrics().
+  std::optional<sim::Time> wids_attack_start_;
+  bool wids_enabled_ = false;
   std::optional<sim::Time> join_time_;
   std::optional<sim::Time> vpn_up_time_;
   bool vpn_ok_ = false;

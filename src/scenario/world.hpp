@@ -58,6 +58,16 @@ struct Metrics {
   /// fail-open exposure the defended path is supposed to prevent.
   std::uint64_t clear_packets = 0;
 
+  // WIDS tournament episode (attacker×detector pairings). Populated only
+  // when a detector/attacker was attached via the pluggable interfaces;
+  // wids_enabled gates their serialization so legacy reports are
+  // byte-identical.
+  bool wids_enabled = false;
+  double wids_attack_start_s = -1.0;   ///< -1 = control row (no attack)
+  std::uint64_t wids_alerts = 0;       ///< total alerts across detectors
+  std::uint64_t wids_false_alerts = 0; ///< alerts before the attack began
+  double wids_time_to_detect_s = -1.0; ///< attack start -> first true alert
+
   // Event-kernel counters (engineering health of the replica).
   std::uint64_t events_fired = 0;
   std::uint64_t trace_records = 0;
@@ -146,6 +156,16 @@ class World {
   /// (attack, VPN, workload, detection) is selected by episode knobs in
   /// the scenario's config. Calls start() itself.
   virtual void run_episode() = 0;
+
+  /// Attach a registry detector (detect::make_detector name) wired to
+  /// this world's channel plan, AP inventory and monitor position.
+  /// Returns false if the world does not support it or the name is
+  /// unknown. Call after start() (or let run_episode() do it from the
+  /// scenario config).
+  virtual bool attach_detector(std::string_view /*name*/) { return false; }
+  /// Attach a registry attacker (attack::make_attacker name) configured
+  /// against this world's network. Started by the episode script.
+  virtual bool attach_attacker(std::string_view /*name*/) { return false; }
 
   [[nodiscard]] virtual sim::Simulator& simulator() = 0;
   [[nodiscard]] virtual sim::Trace& trace() = 0;
