@@ -26,7 +26,8 @@ namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s [--scenario corp|hotspot|corp-chaos|hotspot-chaos]\n"
+      "usage: %s [--scenario corp|hotspot|corp-chaos|hotspot-chaos|\n"
+      "                      corp-transport]\n"
       "          [--runs N] [--jobs N] [--seed-base N] [--faults X]\n"
       "          [--out report.json] [--stats-out stats.json]\n"
       "          [--pcap-out capture.pcap] [--profile]\n"

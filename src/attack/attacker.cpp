@@ -3,6 +3,7 @@
 #include "attack/cloner.hpp"
 #include "attack/deauth.hpp"
 #include "attack/low_slow.hpp"
+#include "attack/replay.hpp"
 
 namespace rogue::attack {
 
@@ -12,12 +13,13 @@ std::unique_ptr<Attacker> make_attacker(std::string_view name) {
   if (name == "low-slow-deauth") return std::make_unique<LowSlowDeauth>();
   if (name == "rogue-gateway") return std::make_unique<ScriptedRogue>();
   if (name == "cloner") return std::make_unique<FingerprintCloner>();
+  if (name == "replay") return std::make_unique<RecordReplayer>();
   return nullptr;
 }
 
 std::vector<std::string_view> known_attackers() {
   return {"none", "deauth-flood", "low-slow-deauth", "rogue-gateway",
-          "cloner"};
+          "cloner", "replay"};
 }
 
 }  // namespace rogue::attack

@@ -1,0 +1,67 @@
+#include "attack/replay.hpp"
+
+namespace rogue::attack {
+
+void RecordReplayer::configure(const AttackerEnv& env) {
+  Attacker::configure(env);
+  radio_ = std::make_unique<phy::Radio>(*env_.medium, "replay");
+  radio_->set_channel(env_.legit_channel);
+  radio_->set_position(env_.position);
+  radio_->set_receive_handler(
+      [this](util::ByteView raw, const phy::RxInfo& /*info*/) {
+        const auto frame = dot11::FrameView::parse(raw);
+        // Bank only data frames moving through the victim BSS: those carry
+        // the tunnel's sealed records. Management/control frames are noise
+        // for this attack.
+        if (!frame || frame->type != dot11::FrameType::kData) return;
+        if (frame->addr1 != env_.legit_bssid && frame->addr2 != env_.legit_bssid) {
+          return;
+        }
+        if (captures_.size() < kCaptureCap) {
+          captures_.emplace_back(raw.begin(), raw.end());
+        } else {
+          captures_[next_slot_].assign(raw.begin(), raw.end());
+          next_slot_ = (next_slot_ + 1) % kCaptureCap;
+        }
+        ++captured_;
+      });
+}
+
+void RecordReplayer::replay_once() {
+  if (captures_.empty()) return;
+  // Replay a seed-chosen capture byte-for-byte: same MACs, same sequence
+  // number, same (still validly sealed) payload.
+  const auto idx = static_cast<std::size_t>(
+      env_.rng.uniform_u32(static_cast<std::uint32_t>(captures_.size())));
+  const auto& capture = captures_[idx];
+  util::Bytes raw = radio_->acquire_buffer(capture.size());
+  raw.assign(capture.begin(), capture.end());
+  radio_->transmit(std::move(raw));
+  ++replayed_;
+}
+
+void RecordReplayer::schedule_next() {
+  // 200–800 ms between replays: fast enough that a session sees many per
+  // keepalive interval, slow enough to stay under flood-rate monitors.
+  const sim::Time gap =
+      200'000 + static_cast<sim::Time>(env_.rng.uniform01() * 600'000.0);
+  timer_ = env_.sim->after(gap, [this] {
+    if (!running_) return;
+    replay_once();
+    schedule_next();
+  });
+}
+
+void RecordReplayer::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void RecordReplayer::stop() {
+  if (!running_) return;
+  running_ = false;
+  env_.sim->cancel(timer_);
+}
+
+}  // namespace rogue::attack

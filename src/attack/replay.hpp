@@ -1,0 +1,49 @@
+// Sealed-record replay: passively capture 802.11 data frames off the air
+// and retransmit them verbatim later. Against the paper's §5 tunnel
+// countermeasure this is the canonical "crypto is not enough" probe — a
+// captured record carries a valid MAC, so naive receivers that only check
+// authenticity re-accept it. The tunnel's anti-replay window is what must
+// hold the line: every replayed record lands inside (or behind) the
+// window and is dropped before decryption side effects, so the attacker's
+// acceptance rate against a windowed endpoint is exactly 0%.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "attack/attacker.hpp"
+
+namespace rogue::attack {
+
+class RecordReplayer final : public Attacker {
+ public:
+  RecordReplayer() = default;
+
+  [[nodiscard]] std::string_view name() const override { return "replay"; }
+  /// Opens the capture radio immediately so frames overheard before
+  /// start() are already banked when the first replay fires.
+  void configure(const AttackerEnv& env) override;
+  void start() override;
+  void stop() override;
+
+  [[nodiscard]] std::uint64_t frames_captured() const { return captured_; }
+  [[nodiscard]] std::uint64_t frames_replayed() const { return replayed_; }
+
+ private:
+  void replay_once();
+  void schedule_next();
+
+  static constexpr std::size_t kCaptureCap = 64;
+
+  std::unique_ptr<phy::Radio> radio_;
+  bool running_ = false;
+  /// Ring of verbatim raw captures (oldest overwritten once full).
+  std::vector<std::vector<std::uint8_t>> captures_;
+  std::size_t next_slot_ = 0;
+  sim::TimerHandle timer_;
+  std::uint64_t captured_ = 0;
+  std::uint64_t replayed_ = 0;
+};
+
+}  // namespace rogue::attack

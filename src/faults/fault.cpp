@@ -17,6 +17,9 @@ std::vector<FaultKind> enabled_kinds(const PlanConfig& config) {
   if (config.endpoint_outage) kinds.push_back(FaultKind::kEndpointOutage);
   if (config.link_flap) kinds.push_back(FaultKind::kLinkFlap);
   if (config.deauth_storm) kinds.push_back(FaultKind::kDeauthStorm);
+  if (config.reorder) kinds.push_back(FaultKind::kReorder);
+  if (config.duplicate) kinds.push_back(FaultKind::kDuplicate);
+  if (config.jitter) kinds.push_back(FaultKind::kJitter);
   return kinds;
 }
 
@@ -25,7 +28,13 @@ FaultEvent draw_event(util::Prng& rng, const PlanConfig& config, FaultKind kind)
   event.kind = kind;
   event.at = rng.uniform_u64(config.start, config.horizon - 1);
   event.duration = rng.uniform_u64(config.min_duration, config.max_duration);
-  if (kind == FaultKind::kChannelDegrade) event.severity = config.degrade_loss;
+  switch (kind) {
+    case FaultKind::kChannelDegrade: event.severity = config.degrade_loss; break;
+    case FaultKind::kReorder: event.severity = config.reorder_prob; break;
+    case FaultKind::kDuplicate: event.severity = config.duplicate_prob; break;
+    case FaultKind::kJitter: event.severity = config.jitter_ms; break;
+    default: break;
+  }
   return event;
 }
 
@@ -38,6 +47,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kEndpointOutage: return "endpoint-outage";
     case FaultKind::kLinkFlap: return "link-flap";
     case FaultKind::kDeauthStorm: return "deauth-storm";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kJitter: return "jitter";
   }
   return "unknown";
 }
@@ -109,7 +121,7 @@ void Injector::begin(const FaultEvent& event) {
       if (depth_[kind]++ == 0) target_.fault_ap(true);
       break;
     case FaultKind::kChannelDegrade:
-      push_degrade(event.severity);
+      push_severity(degrade_active_, event.kind, event.severity);
       break;
     case FaultKind::kEndpointOutage:
       if (depth_[kind]++ == 0) target_.fault_endpoint(true);
@@ -119,6 +131,15 @@ void Injector::begin(const FaultEvent& event) {
       break;
     case FaultKind::kDeauthStorm:
       if (depth_[kind]++ == 0) target_.fault_deauth_storm(true);
+      break;
+    case FaultKind::kReorder:
+      push_severity(reorder_active_, event.kind, event.severity);
+      break;
+    case FaultKind::kDuplicate:
+      push_severity(duplicate_active_, event.kind, event.severity);
+      break;
+    case FaultKind::kJitter:
+      push_severity(jitter_active_, event.kind, event.severity);
       break;
   }
 }
@@ -130,7 +151,7 @@ void Injector::end(const FaultEvent& event) {
       if (--depth_[kind] == 0) target_.fault_ap(false);
       break;
     case FaultKind::kChannelDegrade:
-      pop_degrade(event.severity);
+      pop_severity(degrade_active_, event.kind, event.severity);
       break;
     case FaultKind::kEndpointOutage:
       if (--depth_[kind] == 0) target_.fault_endpoint(false);
@@ -141,25 +162,43 @@ void Injector::end(const FaultEvent& event) {
     case FaultKind::kDeauthStorm:
       if (--depth_[kind] == 0) target_.fault_deauth_storm(false);
       break;
+    case FaultKind::kReorder:
+      pop_severity(reorder_active_, event.kind, event.severity);
+      break;
+    case FaultKind::kDuplicate:
+      pop_severity(duplicate_active_, event.kind, event.severity);
+      break;
+    case FaultKind::kJitter:
+      pop_severity(jitter_active_, event.kind, event.severity);
+      break;
   }
   ROGUE_ASSERT(depth_[kind] >= 0);
 }
 
-void Injector::push_degrade(double severity) {
-  degrade_active_.push_back(severity);
-  target_.fault_channel(*std::max_element(degrade_active_.begin(),
-                                          degrade_active_.end()));
+void Injector::apply_severity(FaultKind kind, const std::vector<double>& stack) {
+  const double value =
+      stack.empty() ? 0.0 : *std::max_element(stack.begin(), stack.end());
+  switch (kind) {
+    case FaultKind::kChannelDegrade: target_.fault_channel(value); break;
+    case FaultKind::kReorder: target_.fault_reorder(value); break;
+    case FaultKind::kDuplicate: target_.fault_duplicate(value); break;
+    case FaultKind::kJitter: target_.fault_jitter(value); break;
+    default: break;
+  }
 }
 
-void Injector::pop_degrade(double severity) {
-  const auto it =
-      std::find(degrade_active_.begin(), degrade_active_.end(), severity);
-  ROGUE_ASSERT(it != degrade_active_.end());
-  degrade_active_.erase(it);
-  target_.fault_channel(degrade_active_.empty()
-                            ? 0.0
-                            : *std::max_element(degrade_active_.begin(),
-                                                degrade_active_.end()));
+void Injector::push_severity(std::vector<double>& stack, FaultKind kind,
+                             double severity) {
+  stack.push_back(severity);
+  apply_severity(kind, stack);
+}
+
+void Injector::pop_severity(std::vector<double>& stack, FaultKind kind,
+                            double severity) {
+  const auto it = std::find(stack.begin(), stack.end(), severity);
+  ROGUE_ASSERT(it != stack.end());
+  stack.erase(it);
+  apply_severity(kind, stack);
 }
 
 }  // namespace rogue::faults

@@ -27,9 +27,15 @@ enum class FaultKind : std::uint8_t {
   kEndpointOutage = 2,  ///< VPN endpoint process crash + restart
   kLinkFlap = 3,        ///< endpoint uplink admin-down window
   kDeauthStorm = 4,     ///< forged deauth flood against the victim
+  // Transport-chaos kinds (default-disabled so pre-existing plans draw
+  // identically): datagram-level mangling on the phy::Medium that the
+  // tunnel's anti-replay window must absorb.
+  kReorder = 5,    ///< fraction of deliveries delayed past their successors
+  kDuplicate = 6,  ///< fraction of deliveries delivered twice
+  kJitter = 7,     ///< random extra delivery latency
 };
 
-inline constexpr std::uint8_t kFaultKindCount = 5;
+inline constexpr std::uint8_t kFaultKindCount = 8;
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -55,12 +61,24 @@ struct PlanConfig {
   sim::Time max_duration = 3 * sim::kSecond;
   /// Extra loss probability for channel-degradation windows.
   double degrade_loss = 0.85;
+  /// Per-delivery reorder probability during kReorder windows.
+  double reorder_prob = 0.25;
+  /// Per-delivery duplication probability during kDuplicate windows.
+  double duplicate_prob = 0.15;
+  /// Max extra delivery latency (milliseconds) during kJitter windows.
+  double jitter_ms = 4.0;
   // Per-kind enables (a corp chaos run may e.g. disable link flaps).
   bool ap_outage = true;
   bool channel_degrade = true;
   bool endpoint_outage = true;
   bool link_flap = true;
   bool deauth_storm = true;
+  // Transport-chaos kinds are opt-in: enabling a kind changes how many
+  // draws generate() makes, so defaults stay off to keep pre-existing
+  // seeded plans byte-identical.
+  bool reorder = false;
+  bool duplicate = false;
+  bool jitter = false;
 };
 
 /// A deterministic schedule of fault windows, sorted by start time.
@@ -99,6 +117,12 @@ class FaultTarget {
   virtual void fault_channel(double extra_loss) = 0;
   virtual void fault_link(bool down) = 0;
   virtual void fault_deauth_storm(bool active) = 0;
+  // Transport-chaos hooks carry the strongest active severity (0 = off).
+  // Default no-ops: worlds that predate these kinds — and test fakes —
+  // keep compiling; the kinds are opt-in anyway.
+  virtual void fault_reorder(double /*probability*/) {}
+  virtual void fault_duplicate(double /*probability*/) {}
+  virtual void fault_jitter(double /*max_ms*/) {}
 };
 
 /// Schedules a Plan's begin/end transitions on the simulator and folds
@@ -121,8 +145,11 @@ class Injector {
  private:
   void begin(const FaultEvent& event);
   void end(const FaultEvent& event);
-  void push_degrade(double severity);
-  void pop_degrade(double severity);
+  /// Severity-stacked kinds: the target sees the max active severity on
+  /// every edge, and 0 when the last window lifts.
+  void push_severity(std::vector<double>& stack, FaultKind kind, double severity);
+  void pop_severity(std::vector<double>& stack, FaultKind kind, double severity);
+  void apply_severity(FaultKind kind, const std::vector<double>& stack);
 
   sim::Simulator& sim_;
   FaultTarget& target_;
@@ -131,6 +158,9 @@ class Injector {
   std::uint64_t injected_ = 0;
   int depth_[kFaultKindCount] = {};
   std::vector<double> degrade_active_;
+  std::vector<double> reorder_active_;
+  std::vector<double> duplicate_active_;
+  std::vector<double> jitter_active_;
 };
 
 }  // namespace rogue::faults

@@ -39,12 +39,46 @@ void L2Segment::submit(SegmentPort& from, L2Frame frame) {
     wire_busy_until_ = start + std::max<sim::Time>(tx_us, 1);
     deliver_at = wire_busy_until_ + latency_;
   }
-  sim_.at(deliver_at, [this, outputs, f = std::move(frame)]() mutable {
+
+  // Apply per-port transport chaos. The default hook returns "none" for
+  // every port, so chaos-free segments take the single-event path below
+  // with the output set untouched.
+  std::vector<SegmentPort*> on_time;
+  on_time.reserve(outputs.size());
+  for (SegmentPort* port : outputs) {
+    const PortChaos chaos = port_chaos(port);
+    if (chaos.duplicate) {
+      deliver_late(port, deliver_at + chaos.duplicate_delay, frame);
+    }
+    if (chaos.extra_delay > 0) {
+      deliver_late(port, deliver_at + chaos.extra_delay, frame);
+    } else {
+      on_time.push_back(port);
+    }
+  }
+
+  sim_.at(deliver_at, [this, outputs = std::move(on_time), f = std::move(frame)]() mutable {
     for (SegmentPort* port : outputs) {
       if (port->rx_) port->rx_(f);
     }
     // Receivers have copied what they need; recycle the payload backing
     // store for the next frame on this simulator.
+    sim_.buffer_pool().release(std::move(f.payload));
+  });
+}
+
+void L2Segment::deliver_late(SegmentPort* port, sim::Time at, const L2Frame& frame) {
+  // The on-time event recycles the pooled payload, so late copies need
+  // their own backing store.
+  util::Bytes copy = sim_.buffer_pool().acquire(frame.payload.size());
+  copy.assign(frame.payload.begin(), frame.payload.end());
+  L2Frame late{frame.dst, frame.src, frame.ethertype, std::move(copy)};
+  sim_.at(at, [this, port, f = std::move(late)]() mutable {
+    // The port may have been unplugged while the copy was in flight.
+    if (std::find(ports_.begin(), ports_.end(), port) != ports_.end() &&
+        port->rx_) {
+      port->rx_(f);
+    }
     sim_.buffer_pool().release(std::move(f.payload));
   });
 }
@@ -94,6 +128,24 @@ std::vector<SegmentPort*> LossyHub::egress(SegmentPort& from, const L2Frame& fra
     out.push_back(p);
   }
   return out;
+}
+
+L2Segment::PortChaos LossyHub::port_chaos(SegmentPort* port) {
+  (void)port;
+  PortChaos chaos;
+  // Draw order (duplicate, then reorder) is fixed; each knob draws only
+  // when enabled so runs without chaos consume the same RNG stream as
+  // before the knobs existed.
+  if (duplicate_ > 0.0 && simulator().rng().chance(duplicate_)) {
+    chaos.duplicate = true;
+    chaos.duplicate_delay = simulator().rng().uniform_u64(100, 1000);
+    ++duplicated_;
+  }
+  if (reorder_ > 0.0 && simulator().rng().chance(reorder_)) {
+    chaos.extra_delay = simulator().rng().uniform_u64(500, 3000);
+    ++reordered_;
+  }
+  return chaos;
 }
 
 void Switch::port_removed(SegmentPort* port) {

@@ -158,9 +158,26 @@ class L2Segment {
   [[nodiscard]] virtual std::vector<SegmentPort*> egress(SegmentPort& from,
                                                          const L2Frame& frame) = 0;
 
+  /// Per-(frame, output port) transport chaos. Consulted by submit() for
+  /// every egress port; the default injects nothing and draws no RNG, so
+  /// chaos-free segments schedule exactly the events they always did.
+  struct PortChaos {
+    sim::Time extra_delay = 0;       ///< push this copy past the normal slot
+    bool duplicate = false;          ///< deliver a second copy as well
+    sim::Time duplicate_delay = 0;   ///< offset of the duplicate copy
+  };
+  [[nodiscard]] virtual PortChaos port_chaos(SegmentPort* port) {
+    (void)port;
+    return {};
+  }
+
   [[nodiscard]] const std::vector<SegmentPort*>& ports() const { return ports_; }
 
  private:
+  /// Deliver an out-of-band copy of `frame` to `port` at time `at`,
+  /// revalidating that the port is still attached when the event fires.
+  void deliver_late(SegmentPort* port, sim::Time at, const L2Frame& frame);
+
   sim::Simulator& sim_;
   sim::Time latency_;
   double bandwidth_bps_;
@@ -197,21 +214,36 @@ class Switch final : public L2Segment {
 };
 
 /// Hub with i.i.d. per-receiver frame loss — a stand-in for a degraded
-/// path (used to sweep loss rates in the TCP-over-TCP experiment).
+/// path (used to sweep loss rates in the TCP-over-TCP experiment). Also
+/// carries opt-in reorder/duplicate knobs so transport tests can exercise
+/// the tunnel's anti-replay window over a wired path: a reordered copy is
+/// delayed past its successors, a duplicated one arrives twice. Both draw
+/// RNG only when enabled, keeping legacy runs byte-identical.
 class LossyHub final : public L2Segment {
  public:
   LossyHub(sim::Simulator& simulator, double loss_probability,
            sim::Time latency = 5, double bandwidth_bps = 0.0);
 
   void set_loss(double p) { loss_ = p; }
+  /// Per-delivery probability of pushing a copy late (reordering it).
+  void set_reorder(double p) { reorder_ = p; }
+  /// Per-delivery probability of delivering a second copy.
+  void set_duplicate(double p) { duplicate_ = p; }
   [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t frames_reordered() const { return reordered_; }
+  [[nodiscard]] std::uint64_t frames_duplicated() const { return duplicated_; }
 
  protected:
   std::vector<SegmentPort*> egress(SegmentPort& from, const L2Frame& frame) override;
+  PortChaos port_chaos(SegmentPort* port) override;
 
  private:
   double loss_;
+  double reorder_ = 0.0;
+  double duplicate_ = 0.0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t duplicated_ = 0;
 };
 
 /// NetIf plugged into a wired segment.

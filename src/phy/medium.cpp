@@ -124,6 +124,15 @@ void Medium::flush_stats() {
   stats.set_total(stat_rssi_hits_, hits);
   stats.set_total(stat_rssi_misses_, rssi_miss_count_);
   stats.set_total(stat_deferrals_, deferral_count_);
+  if (chaos_delayed_count_ != 0 || chaos_duplicated_count_ != 0) {
+    if (!chaos_stats_interned_) {
+      chaos_stats_interned_ = true;
+      stat_chaos_delayed_ = stats.counter("phy.chaos_delayed");
+      stat_chaos_duplicated_ = stats.counter("phy.chaos_duplicated");
+    }
+    stats.set_total(stat_chaos_delayed_, chaos_delayed_count_);
+    stats.set_total(stat_chaos_duplicated_, chaos_duplicated_count_);
+  }
 }
 
 sim::Time Medium::airtime(std::size_t bytes) const {
@@ -296,6 +305,8 @@ void Medium::deliver_impl(std::uint64_t tx_id, const Radio* sender,
   const double margin_scale = config_.margin_scale_db;
   const sim::Time now = sim_.now();
   util::Prng& rng = sim_.rng();
+  const bool chaos =
+      reorder_prob_ > 0.0 || duplicate_prob_ > 0.0 || jitter_max_us_ > 0;
   for (const Radio::PlanEntry& entry : plan.entries) {
     const double noise = noise_span * (2.0 * rng.uniform01() - 1.0);
     const double rssi = entry.rssi_dbm + noise;
@@ -315,14 +326,77 @@ void Medium::deliver_impl(std::uint64_t tx_id, const Radio* sender,
       ++no_handler_count_;
       continue;
     }
-    ++rx->frames_received_;
-    rx->handler_(frame, RxInfo{now, rssi, tx.channel});
+    if (!chaos) {
+      ++rx->frames_received_;
+      rx->handler_(frame, RxInfo{now, rssi, tx.channel});
+      continue;
+    }
+    // Transport-chaos path (fault windows only): the extra RNG draws below
+    // happen iff a knob is nonzero, so chaos-free runs keep the exact draw
+    // sequence of the loop above.
+    sim::Time extra = 0;
+    if (jitter_max_us_ > 0) extra += rng.uniform_u64(0, jitter_max_us_);
+    if (reorder_prob_ > 0.0 && rng.chance(reorder_prob_)) {
+      // Held back far enough to land behind several later transmissions.
+      extra += rng.uniform_u64(500, 3000);
+    }
+    const bool duplicated = duplicate_prob_ > 0.0 && rng.chance(duplicate_prob_);
+    if (extra == 0 && !duplicated) {
+      ++rx->frames_received_;
+      rx->handler_(frame, RxInfo{now, rssi, tx.channel});
+      continue;
+    }
+    if (extra == 0) {
+      ++rx->frames_received_;
+      rx->handler_(frame, RxInfo{now, rssi, tx.channel});
+    } else {
+      ++chaos_delayed_count_;
+      deliver_late(rx, tx.channel, rssi, now + extra, frame);
+    }
+    if (duplicated) {
+      ++chaos_duplicated_count_;
+      deliver_late(rx, tx.channel, rssi, now + extra + rng.uniform_u64(100, 1000),
+                   frame);
+    }
   }
+}
+
+void Medium::deliver_late(Radio* rx, Channel channel, double rssi, sim::Time at,
+                          const util::Bytes& frame) {
+  // The original frame buffer is recycled when the delivery event returns,
+  // so a held-back copy needs its own pooled buffer.
+  util::Bytes copy = sim_.buffer_pool().acquire(frame.size());
+  copy.assign(frame.begin(), frame.end());
+  sim_.at(at, [this, rx, channel, rssi, f = std::move(copy)]() mutable {
+    // The world may have changed while the frame was held: deliver only if
+    // the receiver is still attached, tuned to the channel, and listening.
+    if (std::find(radios_.begin(), radios_.end(), rx) != radios_.end() &&
+        rx->channel_ == channel && rx->handler_) {
+      ++rx->frames_received_;
+      rx->handler_(f, RxInfo{sim_.now(), rssi, channel});
+    }
+    sim_.buffer_pool().release(std::move(f));
+  });
 }
 
 void Medium::set_loss_override(double extra_loss_prob) {
   ROGUE_ASSERT(extra_loss_prob >= 0.0);
   extra_loss_ = extra_loss_prob;
+}
+
+void Medium::set_reorder(double probability) {
+  ROGUE_ASSERT(probability >= 0.0 && probability <= 1.0);
+  reorder_prob_ = probability;
+}
+
+void Medium::set_duplicate(double probability) {
+  ROGUE_ASSERT(probability >= 0.0 && probability <= 1.0);
+  duplicate_prob_ = probability;
+}
+
+void Medium::set_jitter_ms(double max_ms) {
+  ROGUE_ASSERT(max_ms >= 0.0);
+  jitter_max_us_ = static_cast<sim::Time>(max_ms * 1000.0);
 }
 
 }  // namespace rogue::phy

@@ -200,6 +200,22 @@ class Medium {
   void set_loss_override(double extra_loss_prob);
   [[nodiscard]] double loss_override() const { return extra_loss_; }
 
+  // Transport-chaos knobs (fault injection). All default to 0 = off; while
+  // off the delivery path makes no extra RNG draws, so enabling them in
+  // one variant cannot perturb another variant's draw sequence.
+  /// Probability that a delivered frame is held back long enough to arrive
+  /// after frames transmitted later (per receiver).
+  void set_reorder(double probability);
+  [[nodiscard]] double reorder() const { return reorder_prob_; }
+  /// Probability that a delivered frame arrives twice (per receiver).
+  void set_duplicate(double probability);
+  [[nodiscard]] double duplicate() const { return duplicate_prob_; }
+  /// Max uniform extra delivery latency, in milliseconds (per receiver).
+  void set_jitter_ms(double max_ms);
+  [[nodiscard]] double jitter_ms() const {
+    return static_cast<double>(jitter_max_us_) / 1000.0;
+  }
+
   /// Mirror every frame put on the air into `trace` (verbatim bytes +
   /// simulated timestamp) for pcap export. nullptr detaches the tap; the
   /// trace must also have frame capture enabled to retain anything.
@@ -225,6 +241,10 @@ class Medium {
   void deliver_impl(std::uint64_t tx_id, const Radio* sender,
                     const util::Bytes& frame);
   [[nodiscard]] double pair_rssi(const Radio& tx, const Radio& rx);
+  /// Hand a chaos-delayed (or duplicated) frame copy to `rx` at the
+  /// scheduled time, re-validating attachment/channel/handler first.
+  void deliver_late(Radio* rx, Channel channel, double rssi, sim::Time at,
+                    const util::Bytes& frame);
   /// Invalidate every sender's cached delivery plan (O(1): plans revalidate
   /// lazily against the bumped epoch on their next use).
   void invalidate_plans() { ++world_epoch_; }
@@ -243,6 +263,9 @@ class Medium {
   std::array<std::vector<Radio*>, 256> by_channel_{};
   std::vector<ActiveTx> active_;
   double extra_loss_ = 0.0;
+  double reorder_prob_ = 0.0;
+  double duplicate_prob_ = 0.0;
+  sim::Time jitter_max_us_ = 0;
   std::uint64_t next_attach_seq_ = 1;
   std::uint64_t next_tx_id_ = 1;
   std::uint64_t world_epoch_ = 1;  ///< starts above 0 so fresh plans are stale
@@ -263,6 +286,8 @@ class Medium {
   std::uint64_t rssi_miss_count_ = 0;
   std::uint64_t no_handler_count_ = 0;
   std::uint64_t deferral_count_ = 0;
+  std::uint64_t chaos_delayed_count_ = 0;    ///< reorder/jitter-held frames
+  std::uint64_t chaos_duplicated_count_ = 0; ///< extra copies delivered
 
   // Interned stats handles (see Simulator::stats()), written by
   // flush_stats(); the histogram alone is observed per transmit.
@@ -274,6 +299,11 @@ class Medium {
   obs::CounterId stat_rssi_hits_;
   obs::CounterId stat_rssi_misses_;
   obs::CounterId stat_deferrals_;
+  // Interned lazily (first nonzero at snapshot) so legacy snapshots keep
+  // their exact metric set.
+  obs::CounterId stat_chaos_delayed_;
+  obs::CounterId stat_chaos_duplicated_;
+  bool chaos_stats_interned_ = false;
   obs::HistogramId stat_frame_bytes_;
   obs::Profiler::ScopeId deliver_scope_;
   obs::Profiler::ScopeId plan_scope_;

@@ -38,6 +38,18 @@ util::Json to_json(const RunMetrics& run, bool include_wall) {
   metrics.set("trace_records", m.trace_records);
   metrics.set("trace_warnings", m.trace_warnings);
   metrics.set("sim_time_s", m.sim_time_s);
+  // Transport block only when a UDP-tunnel episode ran: legacy reports
+  // (and the pinned golden digest) stay byte-identical.
+  if (m.transport_enabled) {
+    util::Json transport = util::Json::object();
+    transport.set("replay_drops", m.vpn_replay_drops);
+    transport.set("auth_fail_drops", m.vpn_auth_fail_drops);
+    transport.set("stale_epoch_drops", m.vpn_stale_epoch_drops);
+    transport.set("rekeys", m.vpn_rekeys);
+    transport.set("roams", m.vpn_roams);
+    transport.set("sessions_reaped", m.vpn_sessions_reaped);
+    metrics.set("transport", std::move(transport));
+  }
   // WIDS block only when a tournament episode ran: legacy reports (and the
   // pinned golden digest) stay byte-identical.
   if (m.wids_enabled) {
@@ -127,6 +139,17 @@ std::optional<RunMetrics> run_metrics_from_json(const util::Json& j) {
   (void)read_double(*metrics, "vpn_recover_p50_s", &m.vpn_recover_p50_s);
   (void)read_double(*metrics, "vpn_recover_p95_s", &m.vpn_recover_p95_s);
   (void)read_u64(*metrics, "clear_packets", &m.clear_packets);
+  // Transport block is optional; its presence implies transport_enabled.
+  const util::Json* transport = metrics->find("transport");
+  if (transport != nullptr && transport->type() == util::Json::Type::kObject) {
+    m.transport_enabled = true;
+    (void)read_u64(*transport, "replay_drops", &m.vpn_replay_drops);
+    (void)read_u64(*transport, "auth_fail_drops", &m.vpn_auth_fail_drops);
+    (void)read_u64(*transport, "stale_epoch_drops", &m.vpn_stale_epoch_drops);
+    (void)read_u64(*transport, "rekeys", &m.vpn_rekeys);
+    (void)read_u64(*transport, "roams", &m.vpn_roams);
+    (void)read_u64(*transport, "sessions_reaped", &m.vpn_sessions_reaped);
+  }
   // WIDS block is optional; its presence implies wids_enabled.
   const util::Json* wids = metrics->find("wids");
   if (wids != nullptr && wids->type() == util::Json::Type::kObject) {

@@ -140,6 +140,61 @@ std::vector<Variant> hotspot_chaos_variants(double fault_intensity) {
   return variants;
 }
 
+std::vector<Variant> corp_transport_variants(double fault_intensity) {
+  if (fault_intensity <= 0.0) fault_intensity = 1.0;
+
+  // EXP-T1: the same tunnelled download over both transports, across path
+  // conditions. No rogue — this is a transport study; the attack angle is
+  // covered separately by the sealed-record replay attacker.
+  scenario::CorpConfig base;
+  base.use_vpn = true;
+  base.vpn_auto_reconnect = true;
+  base.vpn_window = 5 * sim::kSecond;
+  base.download_window = 45 * sim::kSecond;
+  // Large enough that the window is bandwidth-limited: goodput then
+  // measures how the transport copes with the path, not the blob size.
+  base.release_size = 1024 * 1024;
+
+  std::vector<Variant> variants;
+  for (const vpn::Transport transport :
+       {vpn::Transport::kTcp, vpn::Transport::kUdp}) {
+    const bool udp = transport == vpn::Transport::kUdp;
+    const std::string prefix = udp ? "udp" : "tcp";
+    scenario::CorpConfig t = base;
+    t.vpn_transport = transport;
+    // Exercise the datagram transport's epoch machinery continuously:
+    // several rotations land inside every episode.
+    if (udp) t.vpn_rekey_interval = 5 * sim::kSecond;
+
+    scenario::CorpConfig clean = t;
+    variants.push_back(corp_variant(prefix + "-clean", clean));
+
+    scenario::CorpConfig loss5 = t;
+    loss5.medium.base_loss_prob = 0.05;
+    variants.push_back(corp_variant(prefix + "-loss5", loss5));
+
+    scenario::CorpConfig loss10 = t;
+    loss10.medium.base_loss_prob = 0.10;
+    variants.push_back(corp_variant(prefix + "-loss10", loss10));
+
+    // Transport chaos: reorder/duplicate/jitter windows plus endpoint
+    // outages. Other fault kinds are disabled so the matrix isolates what
+    // the record layer (vs the association layer) must absorb.
+    scenario::CorpConfig chaos = t;
+    chaos.inject_faults = true;
+    chaos.faults.intensity = fault_intensity;
+    chaos.faults.ap_outage = false;
+    chaos.faults.channel_degrade = false;
+    chaos.faults.link_flap = false;
+    chaos.faults.deauth_storm = false;
+    chaos.faults.reorder = true;
+    chaos.faults.duplicate = true;
+    chaos.faults.jitter = true;
+    variants.push_back(corp_variant(prefix + "-chaos", chaos));
+  }
+  return variants;
+}
+
 std::vector<Variant> stock_variants(std::string_view scenario,
                                     double fault_intensity) {
   if (scenario == "corp") return corp_variants(fault_intensity);
@@ -148,11 +203,14 @@ std::vector<Variant> stock_variants(std::string_view scenario,
   if (scenario == "hotspot-chaos") {
     return hotspot_chaos_variants(fault_intensity);
   }
+  if (scenario == "corp-transport") {
+    return corp_transport_variants(fault_intensity);
+  }
   return {};
 }
 
 std::vector<std::string_view> known_scenarios() {
-  return {"corp", "hotspot", "corp-chaos", "hotspot-chaos"};
+  return {"corp", "hotspot", "corp-chaos", "hotspot-chaos", "corp-transport"};
 }
 
 }  // namespace rogue::runner

@@ -33,6 +33,13 @@ namespace rogue::runner {
 /// cross attacker-owned infrastructure.
 [[nodiscard]] std::vector<Variant> hotspot_chaos_variants(double fault_intensity = 1.0);
 
+/// Transport matrix (EXP-T1): a tunnelled download over each VPN transport
+/// (tcp = TCP-over-TCP, udp = datagram records + anti-replay window +
+/// periodic rekey) crossed with path conditions — clean, 5%/10% loss, and
+/// transport chaos (reorder + duplicate + jitter + endpoint outages).
+/// `fault_intensity` scales the chaos variants (<= 0 keeps the default).
+[[nodiscard]] std::vector<Variant> corp_transport_variants(double fault_intensity = 1.0);
+
 /// Lookup by scenario name; empty vector when unknown. `fault_intensity`
 /// overlays fault injection on the plain ladders and scales the chaos ones
 /// (<= 0 keeps the chaos scenarios at their default intensity).

@@ -128,6 +128,7 @@ void CorpWorld::build_wired() {
   vpn::EndpointConfig ep_cfg;
   ep_cfg.psk = config_.vpn_psk;
   ep_cfg.port = addr_.vpn_port;
+  ep_cfg.replay_window = config_.vpn_replay_window;
   endpoint_ = std::make_unique<vpn::Endpoint>(*vpn_host_, ep_cfg);
   endpoint_->start();
 }
@@ -307,6 +308,18 @@ void CorpWorld::fault_link(bool down) {
   if (net::NetIf* eth = vpn_host_->interface("eth0")) eth->set_admin_up(!down);
 }
 
+void CorpWorld::fault_reorder(double probability) {
+  medium_.set_reorder(probability);
+}
+
+void CorpWorld::fault_duplicate(double probability) {
+  medium_.set_duplicate(probability);
+}
+
+void CorpWorld::fault_jitter(double max_ms) {
+  medium_.set_jitter_ms(max_ms);
+}
+
 void CorpWorld::fault_deauth_storm(bool active) {
   if (active) {
     if (!chaos_deauth_) {
@@ -442,6 +455,9 @@ void CorpWorld::connect_vpn(std::function<void(bool)> done) {
   cfg.transport = config_.vpn_transport;
   cfg.auto_reconnect = config_.vpn_auto_reconnect;
   cfg.fail_open = config_.vpn_fail_open;
+  cfg.replay_window = config_.vpn_replay_window;
+  cfg.rekey_after_records = config_.vpn_rekey_records;
+  cfg.rekey_after_time = config_.vpn_rekey_interval;
   victim_tunnel_ = std::make_unique<vpn::ClientTunnel>(*victim_, cfg);
   victim_tunnel_->set_session_handler([this](bool up) {
     health_.on_session(sim_.now(), up);
@@ -577,6 +593,19 @@ Metrics CorpWorld::collect_metrics() const {
           payload + kVpnRecordFraming *
                         static_cast<double>(c.records_out + c.records_in);
       m.vpn_overhead_ratio = wire / payload;
+    }
+    // Transport-resilience block (EXP-T1): only the datagram transport
+    // exercises the anti-replay / rekey / roam machinery, and gating on it
+    // keeps legacy TCP-variant reports byte-identical.
+    if (config_.vpn_transport == vpn::Transport::kUdp) {
+      const vpn::EndpointCounters& e = endpoint_->counters();
+      m.transport_enabled = true;
+      m.vpn_replay_drops = c.records_replayed + e.records_replayed;
+      m.vpn_auth_fail_drops = c.records_auth_fail + e.records_auth_fail;
+      m.vpn_stale_epoch_drops = c.records_stale_epoch + e.records_stale_epoch;
+      m.vpn_rekeys = c.rekeys;
+      m.vpn_roams = e.roams;
+      m.vpn_sessions_reaped = e.sessions_reaped;
     }
   }
   return m;

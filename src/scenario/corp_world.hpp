@@ -85,6 +85,11 @@ struct CorpConfig {
   // VPN configuration.
   vpn::Transport vpn_transport = vpn::Transport::kTcp;
   util::Bytes vpn_psk = util::to_bytes("corp-vpn-preshared-authenticator");
+  /// Anti-replay window width (records) on both tunnel directions.
+  std::size_t vpn_replay_window = 1024;
+  /// Client-initiated rekey thresholds; 0 disables that trigger.
+  std::uint64_t vpn_rekey_records = 0;
+  sim::Time vpn_rekey_interval = 0;
 
   // Episode script (World::run_episode()). Which phases run, and for how
   // long. Defaults reproduce Figure 2's baseline: no attack, plain
@@ -255,6 +260,9 @@ class CorpWorld final : public World, private faults::FaultTarget {
   void fault_channel(double extra_loss) override;
   void fault_link(bool down) override;
   void fault_deauth_storm(bool active) override;
+  void fault_reorder(double probability) override;
+  void fault_duplicate(double probability) override;
+  void fault_jitter(double max_ms) override;
 
   CorpConfig config_;
   CorpAddresses addr_;

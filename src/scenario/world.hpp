@@ -58,6 +58,17 @@ struct Metrics {
   /// fail-open exposure the defended path is supposed to prevent.
   std::uint64_t clear_packets = 0;
 
+  // Transport resilience (EXP-T1). Populated only when the scenario runs
+  // a UDP tunnel; transport_enabled gates serialization so legacy reports
+  // are byte-identical.
+  bool transport_enabled = false;
+  std::uint64_t vpn_replay_drops = 0;      ///< anti-replay window rejections
+  std::uint64_t vpn_auth_fail_drops = 0;   ///< MAC verification failures
+  std::uint64_t vpn_stale_epoch_drops = 0; ///< records from expired epochs
+  std::uint64_t vpn_rekeys = 0;            ///< completed epoch rotations
+  std::uint64_t vpn_roams = 0;             ///< endpoint path migrations
+  std::uint64_t vpn_sessions_reaped = 0;   ///< half-open/idle sessions expired
+
   // WIDS tournament episode (attacker×detector pairings). Populated only
   // when a detector/attacker was attached via the pluggable interfaces;
   // wids_enabled gates their serialization so legacy reports are

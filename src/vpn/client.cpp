@@ -23,13 +23,33 @@ ClientTunnel::ClientTunnel(net::Host& host, ClientConfig config)
   stat_reconnects_ = stats.counter("vpn.client.reconnects");
   stat_connect_attempts_ = stats.counter("vpn.client.connect_attempts");
   data_scope_ = host_.simulator().profiler().intern("vpn.client.data");
+  snapshot_hook_ = stats.on_snapshot([this] { flush_lazy_stats(); });
 }
 
 ClientTunnel::~ClientTunnel() {
+  host_.simulator().stats().remove_snapshot_hook(snapshot_hook_);
   host_.simulator().cancel(timeout_timer_);
   host_.simulator().cancel(retransmit_timer_);
   host_.simulator().cancel(keepalive_timer_);
   host_.simulator().cancel(reconnect_timer_);
+  host_.simulator().cancel(rekey_timer_);
+}
+
+void ClientTunnel::flush_lazy_stats() {
+  obs::StatsRegistry& stats = host_.simulator().stats();
+  const auto flush = [&stats](LazyStat& ls, std::uint64_t current) {
+    if (current == ls.flushed) return;
+    if (!ls.interned) {
+      ls.id = stats.counter(ls.name);
+      ls.interned = true;
+    }
+    stats.add(ls.id, current - ls.flushed);
+    ls.flushed = current;
+  };
+  flush(lazy_replayed_, counters_.records_replayed);
+  flush(lazy_auth_fail_, counters_.records_auth_fail);
+  flush(lazy_stale_epoch_, counters_.records_stale_epoch);
+  flush(lazy_rekeys_, counters_.rekeys);
 }
 
 void ClientTunnel::start(EstablishedHandler done) {
@@ -46,8 +66,12 @@ void ClientTunnel::begin_attempt() {
   established_ = false;
   server_authenticated_ = false;
   last_auth_ = {};
-  tx_seq_ = 0;
-  last_rx_seq_ = 0;
+  key_epoch_ = 0;
+  tx_counter_ = 0;
+  epoch_tx_records_ = 0;
+  rx_window_ = ReplayWindow(config_.replay_window);
+  grace_until_ = 0;
+  abandon_rekey();
   host_.simulator().cancel(timeout_timer_);
   host_.simulator().cancel(retransmit_timer_);
   teardown_transport();
@@ -126,6 +150,20 @@ void ClientTunnel::begin_attempt() {
   }
 }
 
+void ClientTunnel::migrate() {
+  if (config_.transport != Transport::kUdp || !established_ || !udp_) return;
+  // Swap to a fresh ephemeral port; the old socket's destruction is
+  // deferred one delta in case a datagram for it is already in flight
+  // through our own callbacks.
+  host_.simulator().after(0, [old = std::move(udp_)] {});
+  udp_ = host_.udp_open(0);
+  if (!udp_) return;
+  udp_->set_rx([this](net::Ipv4Addr, std::uint16_t, util::ByteView data) {
+    const auto msg = Message::from_datagram(data);
+    if (msg) on_message(*msg);
+  });
+}
+
 void ClientTunnel::teardown_transport() {
   // This runs from inside the transport's own rx/close callbacks (a bad
   // auth tag is detected mid on_data). Destroying those std::functions —
@@ -199,6 +237,7 @@ void ClientTunnel::session_lost() {
   established_ = false;
   server_authenticated_ = false;
   host_.simulator().cancel(keepalive_timer_);
+  abandon_rekey();
   teardown_transport();
   if (tun_ != nullptr) tun_->set_up(false);
   if (config_.route_all_traffic && config_.fail_open) {
@@ -227,6 +266,7 @@ void ClientTunnel::on_message(const Message& msg) {
     case MsgType::kAssign: handle_assign(msg); return;
     case MsgType::kData: handle_data(msg); return;
     case MsgType::kKeepaliveAck: handle_keepalive_ack(msg); return;
+    case MsgType::kRekeyAck: handle_rekey_ack(msg); return;
     default: return;
   }
 }
@@ -293,6 +333,7 @@ void ClientTunnel::handle_assign(const Message& msg) {
   bring_up_tun();
   backoff_ = config_.reconnect_backoff_min;
   last_peer_activity_ = host_.simulator().now();
+  epoch_started_ = last_peer_activity_;
   if (config_.auto_reconnect && config_.keepalive_interval > 0) {
     keepalive_timer_ = host_.simulator().every(config_.keepalive_interval,
                                                [this] { on_keepalive_tick(); });
@@ -306,12 +347,13 @@ void ClientTunnel::bring_up_tun() {
     auto tun = std::make_unique<TunIf>("tun0", [this](util::ByteView pkt) {
       util::BufferPool& pool = host_.simulator().buffer_pool();
       util::Bytes record = pool.acquire(8 + pkt.size() + crypto::kAeadTagLen);
-      seal_record_into(keys_.client_to_server, ++tx_seq_, pkt, record);
+      seal_record_into(keys_.client_to_server, next_tx_seq(), pkt, record);
       counters_.bytes_sealed += pkt.size();
       ++counters_.records_out;
       host_.simulator().stats().add(stat_records_out_);
       send_payload(MsgType::kData, record);
       pool.release(std::move(record));
+      maybe_rekey();
       return true;
     });
     tun_ = tun.get();
@@ -350,11 +392,130 @@ void ClientTunnel::on_keepalive_tick() {
   static const util::Bytes kProbeBody = {'k', 'a'};
   util::BufferPool& pool = host_.simulator().buffer_pool();
   util::Bytes record = pool.acquire(8 + kProbeBody.size() + crypto::kAeadTagLen);
-  seal_record_into(keys_.client_to_server, ++tx_seq_, kProbeBody, record);
+  seal_record_into(keys_.client_to_server, next_tx_seq(), kProbeBody, record);
   ++counters_.keepalives_sent;
   host_.simulator().stats().add(stat_keepalives_);
   send_payload(MsgType::kKeepalive, record);
   pool.release(std::move(record));
+  maybe_rekey();
+}
+
+ClientTunnel::OpenStatus ClientTunnel::open_incoming(util::ByteView record,
+                                                     std::uint64_t* seq_out,
+                                                     util::Bytes& inner) {
+  if (record.size() < 8 + crypto::kAeadTagLen) return OpenStatus::kAuthFail;
+  util::ByteReader r(record);
+  const std::uint64_t seq = r.u64be();
+  if (seq_out != nullptr) *seq_out = seq;
+  const std::uint16_t ep = record_epoch(seq);
+  const std::uint64_t counter = record_counter(seq);
+  const sim::Time now = host_.simulator().now();
+
+  if (ep == key_epoch_) {
+    // Window check before the AEAD: a replayed record carries a valid
+    // tag, so freshness — not the MAC — is what rejects it.
+    if (!rx_window_.check(counter)) return OpenStatus::kReplay;
+    if (!open_record_append(keys_.server_to_client, record, seq_out, inner)) {
+      return OpenStatus::kAuthFail;
+    }
+    rx_window_.accept(counter);
+    return OpenStatus::kOk;
+  }
+  if (key_epoch_ > 0 && ep + 1 == key_epoch_ && now < grace_until_) {
+    if (!prev_window_.check(counter)) return OpenStatus::kReplay;
+    if (!open_record_append(prev_keys_.server_to_client, record, seq_out, inner)) {
+      return OpenStatus::kAuthFail;
+    }
+    prev_window_.accept(counter);
+    return OpenStatus::kOk;
+  }
+  if (rekey_pending_ && ep == key_epoch_ + 1) {
+    // The endpoint already switched epochs; its ack may have been lost,
+    // but any record that authenticates under the pending keys is equal
+    // proof — commit and accept.
+    if (!open_record_append(pending_keys_.server_to_client, record, seq_out,
+                            inner)) {
+      return OpenStatus::kAuthFail;
+    }
+    commit_rekey();
+    rx_window_.accept(counter);
+    return OpenStatus::kOk;
+  }
+  return OpenStatus::kStaleEpoch;
+}
+
+void ClientTunnel::record_bad(OpenStatus status) {
+  ++counters_.records_bad;
+  host_.simulator().stats().add(stat_records_bad_);
+  switch (status) {
+    case OpenStatus::kReplay: ++counters_.records_replayed; break;
+    case OpenStatus::kAuthFail: ++counters_.records_auth_fail; break;
+    case OpenStatus::kStaleEpoch: ++counters_.records_stale_epoch; break;
+    case OpenStatus::kOk: break;
+  }
+}
+
+void ClientTunnel::maybe_rekey() {
+  if (!established_ || rekey_pending_) return;
+  const bool by_count = config_.rekey_after_records > 0 &&
+                        epoch_tx_records_ >= config_.rekey_after_records;
+  const bool by_time =
+      config_.rekey_after_time > 0 &&
+      host_.simulator().now() - epoch_started_ >= config_.rekey_after_time;
+  if (by_count || by_time) start_rekey();
+}
+
+void ClientTunnel::start_rekey() {
+  rekey_pending_ = true;
+  pending_keys_ = next_epoch_keys(keys_);
+  // The proposal itself is an ordinary record of the *current* epoch: it
+  // burns one counter and is windowed/authenticated like any other. The
+  // exact bytes are retained so retransmits don't burn further counters.
+  static const util::Bytes kRekeyBody = {'r', 'k'};
+  seal_record_into(keys_.client_to_server, next_tx_seq(), kRekeyBody,
+                   pending_rekey_record_);
+  send_payload(MsgType::kRekey, pending_rekey_record_);
+  rekey_timer_ = host_.simulator().every(config_.rekey_retransmit, [this] {
+    if (rekey_pending_ && established_) {
+      send_payload(MsgType::kRekey, pending_rekey_record_);
+    }
+  });
+}
+
+void ClientTunnel::commit_rekey() {
+  prev_keys_ = std::move(keys_);
+  prev_window_ = std::move(rx_window_);
+  grace_until_ = host_.simulator().now() + config_.rekey_grace;
+  keys_ = std::move(pending_keys_);
+  key_epoch_ = static_cast<std::uint16_t>(key_epoch_ + 1);
+  tx_counter_ = 0;
+  epoch_tx_records_ = 0;
+  epoch_started_ = host_.simulator().now();
+  rx_window_ = ReplayWindow(config_.replay_window);
+  abandon_rekey();
+  ++counters_.rekeys;
+}
+
+void ClientTunnel::abandon_rekey() {
+  rekey_pending_ = false;
+  pending_rekey_record_.clear();
+  host_.simulator().cancel(rekey_timer_);
+}
+
+void ClientTunnel::handle_rekey_ack(const Message& msg) {
+  if (!established_) return;
+  std::uint64_t seq = 0;
+  util::BufferPool& pool = host_.simulator().buffer_pool();
+  util::Bytes inner = pool.acquire(msg.payload.size());
+  // The ack is sealed under the next epoch's s2c key, so the pending-epoch
+  // branch of open_incoming both verifies it and commits the rotation.
+  const OpenStatus status = open_incoming(msg.payload, &seq, inner);
+  pool.release(std::move(inner));
+  if (status != OpenStatus::kOk) {
+    record_bad(status);
+    return;
+  }
+  last_peer_activity_ = host_.simulator().now();
 }
 
 void ClientTunnel::handle_keepalive_ack(const Message& msg) {
@@ -362,19 +523,12 @@ void ClientTunnel::handle_keepalive_ack(const Message& msg) {
   std::uint64_t seq = 0;
   util::BufferPool& pool = host_.simulator().buffer_pool();
   util::Bytes inner = pool.acquire(msg.payload.size());
-  const bool ok = open_record_append(keys_.server_to_client, msg.payload, &seq, inner);
+  const OpenStatus status = open_incoming(msg.payload, &seq, inner);
   pool.release(std::move(inner));
-  if (!ok) {
-    ++counters_.records_bad;
-    host_.simulator().stats().add(stat_records_bad_);
+  if (status != OpenStatus::kOk) {
+    record_bad(status);
     return;
   }
-  if (seq <= last_rx_seq_ && last_rx_seq_ != 0) {
-    ++counters_.records_bad;
-    host_.simulator().stats().add(stat_records_bad_);
-    return;
-  }
-  last_rx_seq_ = seq;
   ++counters_.keepalive_acks;
   host_.simulator().stats().add(stat_keepalive_acks_);
   last_peer_activity_ = host_.simulator().now();
@@ -388,19 +542,12 @@ void ClientTunnel::handle_data(const Message& msg) {
   std::uint64_t seq = 0;
   util::BufferPool& pool = host_.simulator().buffer_pool();
   util::Bytes inner = pool.acquire(msg.payload.size());
-  if (!open_record_append(keys_.server_to_client, msg.payload, &seq, inner)) {
+  const OpenStatus status = open_incoming(msg.payload, &seq, inner);
+  if (status != OpenStatus::kOk) {
     pool.release(std::move(inner));
-    ++counters_.records_bad;
-    host_.simulator().stats().add(stat_records_bad_);
+    record_bad(status);
     return;
   }
-  if (seq <= last_rx_seq_ && last_rx_seq_ != 0) {
-    pool.release(std::move(inner));
-    ++counters_.records_bad;
-    host_.simulator().stats().add(stat_records_bad_);
-    return;
-  }
-  last_rx_seq_ = seq;
   last_peer_activity_ = host_.simulator().now();
   counters_.bytes_decrypted += inner.size();
   // inject() copies at the L2Frame ownership boundary, so the pooled

@@ -48,12 +48,31 @@ struct ClientConfig {
   /// Tunnel down: true restores the saved default route (unprotected
   /// connectivity — exposure is measurable); false blackholes instead.
   bool fail_open = true;
+
+  // ---- Anti-replay / rekey knobs ----
+  /// Anti-replay window width in record counters (rounded up to 64).
+  std::size_t replay_window = 1024;
+  /// Rotate data keys after this many sealed records (0 = never).
+  std::uint64_t rekey_after_records = 0;
+  /// Rotate data keys after this much sim-time per epoch (0 = never;
+  /// checked on sends and keepalive ticks, so a fully idle tunnel without
+  /// keepalives only rotates when traffic resumes).
+  sim::Time rekey_after_time = 0;
+  /// kRekey retransmit period until the rotation is acknowledged.
+  sim::Time rekey_retransmit = 500 * sim::kMillisecond;
+  /// After committing a rekey, still accept the previous epoch's in-flight
+  /// records for this long.
+  sim::Time rekey_grace = 5 * sim::kSecond;
 };
 
 struct ClientCounters {
   std::uint64_t records_in = 0;
   std::uint64_t records_out = 0;
-  std::uint64_t records_bad = 0;
+  std::uint64_t records_bad = 0;       ///< total of the three classes below
+  std::uint64_t records_replayed = 0;  ///< anti-replay window rejects
+  std::uint64_t records_auth_fail = 0; ///< AEAD tag failures
+  std::uint64_t records_stale_epoch = 0;  ///< epoch outside the accepted set
+  std::uint64_t rekeys = 0;            ///< committed epoch rotations
   std::uint64_t bytes_sealed = 0;
   std::uint64_t bytes_decrypted = 0;
   std::uint64_t keepalives_sent = 0;
@@ -79,6 +98,12 @@ class ClientTunnel {
   ClientTunnel& operator=(const ClientTunnel&) = delete;
 
   void start(EstablishedHandler done);
+
+  /// Simulate an address change mid-session (roaming): reopen the UDP
+  /// transport on a fresh ephemeral port without touching session state.
+  /// The next record that authenticates from the new (addr, port) makes
+  /// the endpoint re-bind the session. No-op for TCP or while down.
+  void migrate();
 
   /// Observe tunnel up/down transitions (robustness metrics).
   void set_session_handler(SessionHandler handler) {
@@ -118,8 +143,29 @@ class ClientTunnel {
   void handle_assign(const Message& msg);
   void handle_data(const Message& msg);
   void handle_keepalive_ack(const Message& msg);
+  void handle_rekey_ack(const Message& msg);
   void on_keepalive_tick();
   void bring_up_tun();
+
+  /// How an inbound record fared against the epoch/window/key set.
+  enum class OpenStatus { kOk, kAuthFail, kReplay, kStaleEpoch };
+  /// Open an s2c record against the current epoch, the previous epoch
+  /// inside the rekey grace window, or — if a rekey is pending — trial-open
+  /// under the pending next-epoch keys (any success commits the rotation,
+  /// which makes a lost kRekeyAck harmless). Advances the matching
+  /// anti-replay window on kOk.
+  OpenStatus open_incoming(util::ByteView record, std::uint64_t* seq_out,
+                           util::Bytes& inner);
+  void record_bad(OpenStatus status);
+  [[nodiscard]] std::uint64_t next_tx_seq() {
+    ++epoch_tx_records_;
+    return make_record_seq(key_epoch_, ++tx_counter_);
+  }
+  void maybe_rekey();
+  void start_rekey();
+  void commit_rekey();
+  void abandon_rekey();
+  void flush_lazy_stats();
 
   net::Host& host_;
   ClientConfig config_;
@@ -139,8 +185,20 @@ class ClientTunnel {
   bool established_ = false;
   bool failed_ = false;
   net::Ipv4Addr tunnel_ip_;
-  std::uint64_t tx_seq_ = 0;
-  std::uint64_t last_rx_seq_ = 0;
+  std::uint16_t key_epoch_ = 0;   ///< current key epoch (0 = handshake keys)
+  std::uint64_t tx_counter_ = 0;  ///< per-epoch send counter
+  std::uint64_t epoch_tx_records_ = 0;  ///< records sealed this epoch
+  sim::Time epoch_started_ = 0;
+  ReplayWindow rx_window_;        ///< current-epoch anti-replay window
+  // Previous epoch, alive through the rekey grace period.
+  SessionKeys prev_keys_;
+  ReplayWindow prev_window_;
+  sim::Time grace_until_ = 0;
+  // Pending rekey: initiated, waiting for proof the endpoint switched
+  // (its ack or any record under the next epoch's keys).
+  bool rekey_pending_ = false;
+  SessionKeys pending_keys_;
+  util::Bytes pending_rekey_record_;  ///< retransmitted until committed
 
   TunIf* tun_ = nullptr;  // owned by host_
   bool pinned_route_ = false;  ///< our /32 endpoint pin is installed
@@ -152,6 +210,7 @@ class ClientTunnel {
   sim::TimerHandle retransmit_timer_;
   sim::TimerHandle keepalive_timer_;
   sim::TimerHandle reconnect_timer_;
+  sim::TimerHandle rekey_timer_;
   ClientCounters counters_;
   // Per-simulation stats, aggregated across all client tunnels.
   obs::CounterId stat_records_out_;
@@ -164,6 +223,20 @@ class ClientTunnel {
   obs::CounterId stat_reconnects_;
   obs::CounterId stat_connect_attempts_;
   obs::Profiler::ScopeId data_scope_;
+  // Resilience tallies are interned lazily (first nonzero value at
+  // snapshot time) so stats snapshots of legacy scenarios keep their
+  // exact metric set; deltas are added so multiple clients aggregate.
+  struct LazyStat {
+    const char* name;
+    obs::CounterId id{};
+    std::uint64_t flushed = 0;
+    bool interned = false;
+  };
+  LazyStat lazy_replayed_{"vpn.client.records_replayed"};
+  LazyStat lazy_auth_fail_{"vpn.client.records_auth_fail"};
+  LazyStat lazy_stale_epoch_{"vpn.client.records_stale_epoch"};
+  LazyStat lazy_rekeys_{"vpn.client.rekeys"};
+  std::uint64_t snapshot_hook_ = 0;
 };
 
 }  // namespace rogue::vpn

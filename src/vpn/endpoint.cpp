@@ -5,6 +5,11 @@
 
 namespace rogue::vpn {
 
+namespace {
+/// Period of the lazy UDP-session reaper; only runs while sessions exist.
+constexpr sim::Time kReapPeriod = 1 * sim::kSecond;
+}  // namespace
+
 Endpoint::Endpoint(net::Host& host, EndpointConfig config)
     : host_(host), config_(std::move(config)) {
   obs::StatsRegistry& stats = host_.simulator().stats();
@@ -15,6 +20,41 @@ Endpoint::Endpoint(net::Host& host, EndpointConfig config)
   stat_records_bad_ = stats.counter("vpn.endpoint.records_bad");
   stat_keepalives_ = stats.counter("vpn.endpoint.keepalives_in");
   data_scope_ = host_.simulator().profiler().intern("vpn.endpoint.data");
+  snapshot_hook_ = stats.on_snapshot([this] { flush_lazy_stats(); });
+}
+
+Endpoint::~Endpoint() {
+  host_.simulator().stats().remove_snapshot_hook(snapshot_hook_);
+  host_.simulator().cancel(reap_timer_);
+}
+
+void Endpoint::flush_lazy_stats() {
+  obs::StatsRegistry& stats = host_.simulator().stats();
+  const auto flush = [&stats](LazyStat& ls, std::uint64_t current) {
+    if (current == ls.flushed) return;
+    if (!ls.interned) {
+      ls.id = stats.counter(ls.name);
+      ls.interned = true;
+    }
+    stats.add(ls.id, current - ls.flushed);
+    ls.flushed = current;
+  };
+  flush(lazy_replayed_, counters_.records_replayed);
+  flush(lazy_auth_fail_, counters_.records_auth_fail);
+  flush(lazy_spoofed_, counters_.records_spoofed_src);
+  flush(lazy_stale_epoch_, counters_.records_stale_epoch);
+  flush(lazy_rekeys_, counters_.rekeys);
+  flush(lazy_roams_, counters_.roams);
+  flush(lazy_reaped_, counters_.sessions_reaped);
+  // Active-session gauge (high-water tracked by the registry). Interned on
+  // first UDP session so TCP-only snapshots keep their exact metric set.
+  if (!udp_sessions_.empty() || sessions_gauge_interned_) {
+    if (!sessions_gauge_interned_) {
+      sessions_gauge_ = stats.gauge("vpn.endpoint.sessions_active");
+      sessions_gauge_interned_ = true;
+    }
+    stats.set(sessions_gauge_, udp_sessions_.size());
+  }
 }
 
 void Endpoint::start() {
@@ -70,6 +110,8 @@ void Endpoint::stop() {
   udp_.reset();
   udp_sessions_.clear();
   by_tunnel_ip_.clear();
+  host_.simulator().cancel(reap_timer_);
+  reap_scheduled_ = false;
   // A restarted endpoint hands out addresses from the top of the pool
   // again, so the first client back gets its old tunnel IP and stalled
   // flows pinned to it resume.
@@ -96,6 +138,7 @@ void Endpoint::on_tcp_accept(net::TcpConnectionPtr conn) {
   if (!running_) return;
   auto session = std::make_shared<Session>();
   session->epoch = epoch_;
+  session->rx_window = ReplayWindow(config_.replay_window);
   std::weak_ptr<net::TcpConnection> weak = conn;
   session->send = [this, weak](MsgType type, util::ByteView payload) {
     if (const auto c = weak.lock()) {
@@ -128,20 +171,134 @@ void Endpoint::on_udp_datagram(net::Ipv4Addr src, std::uint16_t sport,
   if (!msg) return;
 
   if (!running_) return;
-  auto& session = udp_sessions_[{src, sport}];
-  if (!session) {
-    session = std::make_shared<Session>();
+  const UdpKey key{src, sport};
+  const auto it = udp_sessions_.find(key);
+  if (it != udp_sessions_.end()) {
+    handle_message(it->second, *msg);
+    return;
+  }
+  // Unknown (addr, port). Only a ClientHello creates session state —
+  // anything else is either a roaming client (re-bind on trial auth) or
+  // noise; creating sessions for arbitrary datagrams is how the old
+  // udp_sessions_ table leaked.
+  if (msg->type == MsgType::kClientHello) {
+    auto session = std::make_shared<Session>();
     session->epoch = epoch_;
+    session->rx_window = ReplayWindow(config_.replay_window);
+    session->via_udp = true;
+    session->udp_key = key;
+    session->created_at = host_.simulator().now();
+    session->last_activity = session->created_at;
     auto socket = udp_;
-    session->send = [this, socket, src, sport](MsgType type, util::ByteView payload) {
+    // The raw pointer is owned by the session holding this closure; the
+    // indirection through udp_key is what lets a roam re-target the reply
+    // path without rebuilding the closure.
+    Session* raw = session.get();
+    session->send = [this, socket, raw](MsgType type, util::ByteView payload) {
       util::BufferPool& pool = host_.simulator().buffer_pool();
       util::Bytes wire = pool.acquire(1 + payload.size());
       datagram_into(type, payload, wire);
-      socket->send_to(src, sport, wire);
+      socket->send_to(raw->udp_key.first, raw->udp_key.second, wire);
       pool.release(std::move(wire));
     };
+    udp_sessions_.emplace(key, session);
+    schedule_reap();
+    handle_message(session, *msg);
+    return;
   }
-  handle_message(session, *msg);
+  if (msg->type == MsgType::kData || msg->type == MsgType::kKeepalive ||
+      msg->type == MsgType::kRekey) {
+    try_roam(key, *msg);
+  }
+}
+
+bool Endpoint::trial_authenticates(Session& s, util::ByteView record) {
+  if (record.size() < 8 + crypto::kAeadTagLen) return false;
+  util::ByteReader r(record);
+  const std::uint64_t seq = r.u64be();
+  const std::uint16_t ep = record_epoch(seq);
+  const std::uint64_t counter = record_counter(seq);
+  const sim::Time now = host_.simulator().now();
+  const SessionKeys* keys = nullptr;
+  const ReplayWindow* window = nullptr;
+  if (ep == s.key_epoch) {
+    keys = &s.keys;
+    window = &s.rx_window;
+  } else if (ep + 1 == s.key_epoch && now < s.grace_until) {
+    keys = &s.prev_keys;
+    window = &s.prev_window;
+  } else {
+    return false;
+  }
+  // A replayed-but-authentic record must NOT trigger a re-bind, or a
+  // captured datagram replayed from an attacker address would steal the
+  // session's reply path.
+  if (!window->check(counter)) return false;
+  util::BufferPool& pool = host_.simulator().buffer_pool();
+  util::Bytes scratch = pool.acquire(record.size());
+  std::uint64_t seq_out = 0;
+  const bool ok = open_record_append(keys->client_to_server, record, &seq_out, scratch);
+  pool.release(std::move(scratch));
+  return ok;
+}
+
+void Endpoint::try_roam(const UdpKey& key, const Message& msg) {
+  // WireGuard-style path migration: an established client whose source
+  // address changed keeps its session iff the record authenticates.
+  SessionPtr roamed;
+  for (auto& [old_key, session] : udp_sessions_) {
+    if (!session->established || session->epoch != epoch_) continue;
+    if (trial_authenticates(*session, msg.payload)) {
+      roamed = session;
+      break;
+    }
+  }
+  if (!roamed) {
+    ++counters_.records_spoofed_src;
+    ++counters_.records_bad;
+    host_.simulator().stats().add(stat_records_bad_);
+    return;
+  }
+  udp_sessions_.erase(roamed->udp_key);
+  roamed->udp_key = key;
+  udp_sessions_.emplace(key, roamed);
+  ++counters_.roams;
+  handle_message(roamed, msg);
+}
+
+void Endpoint::schedule_reap() {
+  if (reap_scheduled_ || udp_sessions_.empty()) return;
+  reap_scheduled_ = true;
+  reap_timer_ = host_.simulator().after(kReapPeriod, [this] {
+    reap_scheduled_ = false;
+    reap_sessions();
+  });
+}
+
+void Endpoint::reap_sessions() {
+  const sim::Time now = host_.simulator().now();
+  for (auto it = udp_sessions_.begin(); it != udp_sessions_.end();) {
+    Session& s = *it->second;
+    bool dead = s.epoch != epoch_;
+    if (!dead && !s.established) {
+      dead = config_.handshake_timeout > 0 &&
+             now - s.created_at >= config_.handshake_timeout;
+    } else if (!dead) {
+      dead = config_.idle_timeout > 0 &&
+             now - s.last_activity >= config_.idle_timeout;
+    }
+    if (dead) {
+      if (s.established && s.epoch == epoch_) {
+        by_tunnel_ip_.erase(s.tunnel_ip);
+        free_tunnel_ips_.push_back(s.tunnel_ip);
+      }
+      ++counters_.sessions_reaped;
+      it = udp_sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (running_) schedule_reap();
 }
 
 void Endpoint::handle_message(const SessionPtr& session, const Message& msg) {
@@ -158,6 +315,9 @@ void Endpoint::handle_message(const SessionPtr& session, const Message& msg) {
       return;
     case MsgType::kKeepalive:
       handle_keepalive(session, msg);
+      return;
+    case MsgType::kRekey:
+      handle_rekey(session, msg);
       return;
     default:
       return;
@@ -237,6 +397,7 @@ void Endpoint::handle_client_auth(const SessionPtr& session, const Message& msg)
   if (!tunnel_ip) return;
   session->tunnel_ip = *tunnel_ip;
   session->established = true;
+  session->last_activity = host_.simulator().now();
   by_tunnel_ip_[*tunnel_ip] = session;
   ++counters_.sessions_established;
   host_.simulator().stats().add(stat_sessions_);
@@ -245,6 +406,50 @@ void Endpoint::handle_client_auth(const SessionPtr& session, const Message& msg)
   util::ByteWriter w(session->assign_reply);
   w.u32be(tunnel_ip->value());
   session->send(MsgType::kAssign, session->assign_reply);
+}
+
+Endpoint::OpenStatus Endpoint::open_session_record(Session& s, util::ByteView record,
+                                                   std::uint64_t* seq_out,
+                                                   util::Bytes& inner) {
+  if (record.size() < 8 + crypto::kAeadTagLen) return OpenStatus::kAuthFail;
+  util::ByteReader r(record);
+  const std::uint64_t seq = r.u64be();
+  if (seq_out != nullptr) *seq_out = seq;
+  const std::uint16_t ep = record_epoch(seq);
+  const std::uint64_t counter = record_counter(seq);
+  const sim::Time now = host_.simulator().now();
+
+  SessionKeys* keys = nullptr;
+  ReplayWindow* window = nullptr;
+  if (ep == s.key_epoch) {
+    keys = &s.keys;
+    window = &s.rx_window;
+  } else if (ep + 1 == s.key_epoch && now < s.grace_until) {
+    keys = &s.prev_keys;
+    window = &s.prev_window;
+  } else {
+    return OpenStatus::kStaleEpoch;
+  }
+  // Window check before the AEAD: a replayed record carries a valid tag,
+  // so freshness — not the MAC — is what rejects it.
+  if (!window->check(counter)) return OpenStatus::kReplay;
+  if (!open_record_append(keys->client_to_server, record, seq_out, inner)) {
+    return OpenStatus::kAuthFail;
+  }
+  window->accept(counter);
+  return OpenStatus::kOk;
+}
+
+void Endpoint::record_bad(OpenStatus status) {
+  ++counters_.records_bad;
+  host_.simulator().stats().add(stat_records_bad_);
+  switch (status) {
+    case OpenStatus::kReplay: ++counters_.records_replayed; break;
+    case OpenStatus::kAuthFail: ++counters_.records_auth_fail; break;
+    case OpenStatus::kStaleEpoch: ++counters_.records_stale_epoch; break;
+    case OpenStatus::kSpoofedSrc: ++counters_.records_spoofed_src; break;
+    case OpenStatus::kOk: break;
+  }
 }
 
 void Endpoint::handle_data(const SessionPtr& session, const Message& msg) {
@@ -256,27 +461,22 @@ void Endpoint::handle_data(const SessionPtr& session, const Message& msg) {
   std::uint64_t seq = 0;
   util::BufferPool& pool = host_.simulator().buffer_pool();
   util::Bytes inner = pool.acquire(msg.payload.size());
-  bool ok = open_record_append(session->keys.client_to_server, msg.payload,
-                               &seq, inner);
-  if (ok && seq <= session->last_rx_seq && session->last_rx_seq != 0) {
-    ok = false;  // replay / reorder outside policy
+  const OpenStatus status = open_session_record(*session, msg.payload, &seq, inner);
+  if (status != OpenStatus::kOk) {
+    record_bad(status);
+    pool.release(std::move(inner));
+    return;
   }
-  if (ok) {
-    session->last_rx_seq = seq;
-    const auto view = net::Ipv4View::parse(inner);
-    // Anti-spoofing: the inner source must be the assigned tunnel address.
-    if (view && view->src == session->tunnel_ip) {
-      counters_.bytes_decrypted += inner.size();
-      // to_packet() copies: the packet's ownership transfers to the host's
-      // forwarding path while the pooled buffer is recycled.
-      host_.send_packet(view->to_packet());
-    } else {
-      ok = false;
-    }
-  }
-  if (!ok) {
-    ++counters_.records_bad;
-    host_.simulator().stats().add(stat_records_bad_);
+  session->last_activity = host_.simulator().now();
+  const auto view = net::Ipv4View::parse(inner);
+  // Anti-spoofing: the inner source must be the assigned tunnel address.
+  if (view && view->src == session->tunnel_ip) {
+    counters_.bytes_decrypted += inner.size();
+    // to_packet() copies: the packet's ownership transfers to the host's
+    // forwarding path while the pooled buffer is recycled.
+    host_.send_packet(view->to_packet());
+  } else {
+    record_bad(OpenStatus::kSpoofedSrc);
   }
   pool.release(std::move(inner));
 }
@@ -286,29 +486,87 @@ void Endpoint::handle_keepalive(const SessionPtr& session, const Message& msg) {
   std::uint64_t seq = 0;
   util::BufferPool& pool = host_.simulator().buffer_pool();
   util::Bytes inner = pool.acquire(msg.payload.size());
-  const bool ok =
-      open_record_append(session->keys.client_to_server, msg.payload, &seq, inner);
+  const OpenStatus status = open_session_record(*session, msg.payload, &seq, inner);
   pool.release(std::move(inner));
-  if (!ok) {
-    ++counters_.records_bad;
-    host_.simulator().stats().add(stat_records_bad_);
+  if (status != OpenStatus::kOk) {
+    record_bad(status);
     return;
   }
-  if (seq <= session->last_rx_seq && session->last_rx_seq != 0) {
-    ++counters_.records_bad;  // replayed probe
-    host_.simulator().stats().add(stat_records_bad_);
-    return;
-  }
-  session->last_rx_seq = seq;
+  session->last_activity = host_.simulator().now();
   ++counters_.keepalives_in;
   host_.simulator().stats().add(stat_keepalives_);
 
   static const util::Bytes kProbeBody = {'k', 'a'};
   util::Bytes record = pool.acquire(8 + kProbeBody.size() + crypto::kAeadTagLen);
-  seal_record_into(session->keys.server_to_client, ++session->tx_seq, kProbeBody,
-                   record);
+  seal_record_into(session->keys.server_to_client, next_tx_seq(*session),
+                   kProbeBody, record);
   session->send(MsgType::kKeepaliveAck, record);
   pool.release(std::move(record));
+}
+
+void Endpoint::handle_rekey(const SessionPtr& session, const Message& msg) {
+  if (!session->established) return;
+  if (msg.payload.size() < 8 + crypto::kAeadTagLen) {
+    record_bad(OpenStatus::kAuthFail);
+    return;
+  }
+  util::ByteReader r(msg.payload);
+  const std::uint16_t ep = record_epoch(r.u64be());
+  const sim::Time now = host_.simulator().now();
+  util::BufferPool& pool = host_.simulator().buffer_pool();
+
+  if (ep + 1 == session->key_epoch && now < session->grace_until) {
+    // The client retransmitted the kRekey that already rotated us (our ack
+    // was lost). The record's counter was consumed by the first copy, so
+    // it can't pass the window — verify the MAC under the previous keys
+    // directly and resend the cached ack.
+    util::Bytes scratch = pool.acquire(msg.payload.size());
+    std::uint64_t seq = 0;
+    const bool ok = open_record_append(session->prev_keys.client_to_server,
+                                       msg.payload, &seq, scratch);
+    pool.release(std::move(scratch));
+    if (ok && !session->rekey_ack.empty()) {
+      session->send(MsgType::kRekeyAck, session->rekey_ack);
+    } else if (!ok) {
+      record_bad(OpenStatus::kAuthFail);
+    }
+    return;
+  }
+
+  std::uint64_t seq = 0;
+  util::Bytes inner = pool.acquire(msg.payload.size());
+  const OpenStatus status = open_session_record(*session, msg.payload, &seq, inner);
+  pool.release(std::move(inner));
+  if (status != OpenStatus::kOk) {
+    record_bad(status);
+    return;
+  }
+  if (record_epoch(seq) != session->key_epoch) {
+    // A grace-window record of the previous epoch can't propose a rotation
+    // we already performed.
+    return;
+  }
+  session->last_activity = now;
+
+  // Rotate: current becomes previous (kept through the grace window so
+  // in-flight old-epoch records still decrypt), ratchet forward, reset the
+  // per-epoch counter and window.
+  session->prev_keys = std::move(session->keys);
+  session->prev_window = std::move(session->rx_window);
+  session->grace_until = now + config_.rekey_grace;
+  session->keys = next_epoch_keys(session->prev_keys);
+  session->key_epoch = static_cast<std::uint16_t>(session->key_epoch + 1);
+  session->rx_window = ReplayWindow(config_.replay_window);
+  session->tx_counter = 0;
+  ++counters_.rekeys;
+
+  // Ack sealed under the NEW epoch's s2c key: receiving it proves to the
+  // client that we derived the same ratcheted keys.
+  static const util::Bytes kRekeyBody = {'r', 'k'};
+  session->rekey_ack.clear();
+  seal_record_into(session->keys.server_to_client, next_tx_seq(*session),
+                   kRekeyBody, session->rekey_ack);
+  session->send(MsgType::kRekeyAck, session->rekey_ack);
 }
 
 bool Endpoint::tun_transmit(util::ByteView ip_packet) {
@@ -322,7 +580,7 @@ bool Endpoint::tun_transmit(util::ByteView ip_packet) {
 
   util::BufferPool& pool = host_.simulator().buffer_pool();
   util::Bytes record = pool.acquire(8 + ip_packet.size() + crypto::kAeadTagLen);
-  seal_record_into(session.keys.server_to_client, ++session.tx_seq, ip_packet,
+  seal_record_into(session.keys.server_to_client, next_tx_seq(session), ip_packet,
                    record);
   counters_.bytes_sealed += ip_packet.size();
   ++counters_.records_out;

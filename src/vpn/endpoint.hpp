@@ -6,6 +6,15 @@
 // endpoint self-contained (no routes needed on other wired hosts) — and
 // doubles as the paper's §5.3 note that "the client's traffic can also be
 // anonymized for privacy reasons at the VPN endpoint".
+//
+// UDP-transport resilience: inbound records are policed by a sliding
+// anti-replay window per epoch (reordering tolerated, duplicates
+// rejected), sessions rotate keys via client-initiated kRekey exchanges
+// with a grace period for the previous epoch's in-flight records, an
+// established client that shows up from a new (addr, port) is re-bound to
+// its session if the record authenticates (path migration), and UDP
+// session state is reaped on handshake/idle timeouts so roaming plus
+// half-open garbage can't grow it unboundedly.
 #pragma once
 
 #include <cstdint>
@@ -29,22 +38,44 @@ struct EndpointConfig {
   unsigned tunnel_prefix = 24;
   bool snat_to_wire = true;    ///< masquerade tunnel clients behind our IP
   std::string egress_ifname = "eth0";
+
+  // ---- Transport resilience knobs ----
+  /// Anti-replay window width in record counters (rounded up to 64).
+  std::size_t replay_window = 1024;
+  /// Half-open UDP sessions that have not completed the handshake within
+  /// this budget are reaped (0 = never).
+  sim::Time handshake_timeout = 10 * sim::kSecond;
+  /// Established UDP sessions with no authenticated traffic for this long
+  /// are reaped and their tunnel IP released (0 = never).
+  sim::Time idle_timeout = 60 * sim::kSecond;
+  /// After a rekey, records sealed under the previous epoch's keys are
+  /// still accepted for this long (loss-free rotation).
+  sim::Time rekey_grace = 5 * sim::kSecond;
 };
 
 struct EndpointCounters {
   std::uint64_t sessions_established = 0;
-  std::uint64_t auth_failures = 0;
+  std::uint64_t auth_failures = 0;     ///< handshake transcript-MAC failures
   std::uint64_t records_in = 0;
   std::uint64_t records_out = 0;
-  std::uint64_t records_bad = 0;      ///< MAC failures / replays / spoofed src
+  std::uint64_t records_bad = 0;       ///< total of the four classes below
+  std::uint64_t records_replayed = 0;  ///< anti-replay window rejects
+  std::uint64_t records_auth_fail = 0; ///< AEAD tag failures
+  std::uint64_t records_spoofed_src = 0;  ///< inner src != assigned tunnel IP,
+                                          ///< or unauthenticated roam attempts
+  std::uint64_t records_stale_epoch = 0;  ///< epoch outside current/grace set
   std::uint64_t bytes_decrypted = 0;
   std::uint64_t bytes_sealed = 0;
-  std::uint64_t keepalives_in = 0;    ///< liveness probes answered
+  std::uint64_t keepalives_in = 0;     ///< liveness probes answered
+  std::uint64_t rekeys = 0;            ///< completed epoch rotations
+  std::uint64_t roams = 0;             ///< sessions re-bound to a new (addr, port)
+  std::uint64_t sessions_reaped = 0;   ///< half-open + idle UDP sessions expired
 };
 
 class Endpoint {
  public:
   Endpoint(net::Host& host, EndpointConfig config);
+  ~Endpoint();
 
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
@@ -62,14 +93,23 @@ class Endpoint {
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] const EndpointCounters& counters() const { return counters_; }
   [[nodiscard]] std::size_t active_sessions() const { return by_tunnel_ip_.size(); }
+  /// UDP session-table size including half-open entries (leak visibility).
+  [[nodiscard]] std::size_t udp_session_count() const { return udp_sessions_.size(); }
 
  private:
   struct Session {
     SessionKeys keys;
     net::Ipv4Addr tunnel_ip;
     bool established = false;
-    std::uint64_t tx_seq = 0;
-    std::uint64_t last_rx_seq = 0;
+    std::uint16_t key_epoch = 0;   ///< current key epoch (0 = handshake keys)
+    std::uint64_t tx_counter = 0;  ///< per-epoch send counter
+    ReplayWindow rx_window;        ///< current-epoch anti-replay window
+    // Previous epoch, kept alive through the rekey grace period so records
+    // sealed just before the switch still decrypt.
+    SessionKeys prev_keys;
+    ReplayWindow prev_window;
+    sim::Time grace_until = 0;
+    util::Bytes rekey_ack;     ///< cached ack (duplicate kRekeys resend it)
     util::Bytes client_hello;  ///< retained for transcript auth
     util::Bytes hello_reply;   ///< cached ServerHello (duplicate M1s resend it)
     util::Bytes assign_reply;  ///< cached Assign (duplicate auths resend it)
@@ -78,11 +118,20 @@ class Endpoint {
     /// sessions from a pre-crash incarnation are dropped (their transport
     /// closures may still be alive inside TCP connection callbacks).
     std::uint64_t epoch = 0;
+    // Reap bookkeeping (UDP sessions only).
+    sim::Time created_at = 0;
+    sim::Time last_activity = 0;
+    bool via_udp = false;
+    std::pair<net::Ipv4Addr, std::uint16_t> udp_key;  ///< current transport binding
     // Transport binding: wire-encodes (type, payload) in a pooled buffer,
     // so sealed records are sent without an intermediate Message copy.
     std::function<void(MsgType type, util::ByteView payload)> send;
   };
   using SessionPtr = std::shared_ptr<Session>;
+  using UdpKey = std::pair<net::Ipv4Addr, std::uint16_t>;
+
+  /// How an inbound record fared against the session's epoch/window/key set.
+  enum class OpenStatus { kOk, kAuthFail, kReplay, kStaleEpoch, kSpoofedSrc };
 
   void on_tcp_accept(net::TcpConnectionPtr conn);
   void on_udp_datagram(net::Ipv4Addr src, std::uint16_t sport, util::ByteView data);
@@ -91,20 +140,43 @@ class Endpoint {
   void handle_client_auth(const SessionPtr& session, const Message& msg);
   void handle_data(const SessionPtr& session, const Message& msg);
   void handle_keepalive(const SessionPtr& session, const Message& msg);
+  void handle_rekey(const SessionPtr& session, const Message& msg);
   bool tun_transmit(util::ByteView ip_packet);
   [[nodiscard]] std::optional<net::Ipv4Addr> allocate_tunnel_ip();
+
+  /// Open a c2s record against the session's current epoch (or the
+  /// previous one inside the rekey grace window), enforcing the
+  /// anti-replay window. On kOk the inner plaintext is appended to `inner`
+  /// and the window is advanced.
+  OpenStatus open_session_record(Session& s, util::ByteView record,
+                                 std::uint64_t* seq_out, util::Bytes& inner);
+  /// Would this record authenticate on `s` (MAC + window), without
+  /// consuming the window slot? Used by path-migration trial auth.
+  [[nodiscard]] bool trial_authenticates(Session& s, util::ByteView record);
+  /// Path migration: re-bind an established session to `key` if `msg`'s
+  /// record authenticates; dispatches the message on success.
+  void try_roam(const UdpKey& key, const Message& msg);
+  void record_bad(OpenStatus status);
+  [[nodiscard]] std::uint64_t next_tx_seq(Session& s) {
+    return make_record_seq(s.key_epoch, ++s.tx_counter);
+  }
+  void schedule_reap();
+  void reap_sessions();
+  void flush_lazy_stats();
 
   net::Host& host_;
   EndpointConfig config_;
   TunIf* tun_ = nullptr;  // owned by host_
   std::shared_ptr<net::UdpSocket> udp_;
-  std::map<std::pair<net::Ipv4Addr, std::uint16_t>, SessionPtr> udp_sessions_;
+  std::map<UdpKey, SessionPtr> udp_sessions_;
   std::unordered_map<net::Ipv4Addr, SessionPtr> by_tunnel_ip_;
   std::vector<net::Ipv4Addr> free_tunnel_ips_;  ///< released, reused LIFO
   std::uint32_t next_host_id_ = 2;
   bool running_ = false;
   bool plumbed_ = false;   ///< tun/route/SNAT installed (survives restarts)
   std::uint64_t epoch_ = 0;
+  sim::TimerHandle reap_timer_;
+  bool reap_scheduled_ = false;
   EndpointCounters counters_;
   // Per-simulation stats, aggregated across all endpoints.
   obs::CounterId stat_sessions_;
@@ -114,6 +186,25 @@ class Endpoint {
   obs::CounterId stat_records_bad_;
   obs::CounterId stat_keepalives_;
   obs::Profiler::ScopeId data_scope_;
+  // The resilience tallies are interned lazily (first nonzero value at
+  // snapshot time) so stats snapshots of legacy scenarios keep their
+  // exact metric set; deltas are added so multiple endpoints aggregate.
+  struct LazyStat {
+    const char* name;
+    obs::CounterId id{};
+    std::uint64_t flushed = 0;
+    bool interned = false;
+  };
+  LazyStat lazy_replayed_{"vpn.endpoint.records_replayed"};
+  LazyStat lazy_auth_fail_{"vpn.endpoint.records_auth_fail"};
+  LazyStat lazy_spoofed_{"vpn.endpoint.records_spoofed_src"};
+  LazyStat lazy_stale_epoch_{"vpn.endpoint.records_stale_epoch"};
+  LazyStat lazy_rekeys_{"vpn.endpoint.rekeys"};
+  LazyStat lazy_roams_{"vpn.endpoint.roams"};
+  LazyStat lazy_reaped_{"vpn.endpoint.sessions_reaped"};
+  obs::GaugeId sessions_gauge_{};
+  bool sessions_gauge_interned_ = false;
+  std::uint64_t snapshot_hook_ = 0;
 };
 
 }  // namespace rogue::vpn

@@ -1,6 +1,55 @@
 #include "vpn/protocol.hpp"
 
+#include <algorithm>
+
 namespace rogue::vpn {
+
+ReplayWindow::ReplayWindow(std::size_t width) {
+  bits_ = std::max<std::size_t>(64, (width + 63) / 64 * 64);
+  bitmap_.assign(bits_ / 64, 0);
+}
+
+bool ReplayWindow::bit(std::uint64_t counter) const {
+  const std::size_t idx = static_cast<std::size_t>(counter % bits_);
+  return (bitmap_[idx / 64] >> (idx % 64)) & 1;
+}
+
+void ReplayWindow::set_bit(std::uint64_t counter) {
+  const std::size_t idx = static_cast<std::size_t>(counter % bits_);
+  bitmap_[idx / 64] |= std::uint64_t{1} << (idx % 64);
+}
+
+bool ReplayWindow::check(std::uint64_t counter) const {
+  if (counter == 0) return false;
+  if (counter > max_seen_) return true;
+  if (max_seen_ - counter >= bits_) return false;  // older than the window
+  return !bit(counter);
+}
+
+bool ReplayWindow::accept(std::uint64_t counter) {
+  if (!check(counter)) return false;
+  if (counter > max_seen_) {
+    // Advance: clear every word the window slides over. A jump of >= bits_
+    // wipes the whole bitmap.
+    const std::uint64_t advance = counter - max_seen_;
+    if (advance >= bits_) {
+      std::fill(bitmap_.begin(), bitmap_.end(), 0);
+    } else {
+      for (std::uint64_t c = max_seen_ + 1; c <= counter; ++c) {
+        const std::size_t idx = static_cast<std::size_t>(c % bits_);
+        if (idx % 64 == 0) bitmap_[idx / 64] = 0;
+      }
+    }
+    max_seen_ = counter;
+  }
+  set_bit(counter);
+  return true;
+}
+
+void ReplayWindow::reset() {
+  std::fill(bitmap_.begin(), bitmap_.end(), 0);
+  max_seen_ = 0;
+}
 
 util::Bytes Message::frame() const {
   util::Bytes out;
@@ -82,6 +131,17 @@ SessionKeys derive_keys(util::ByteView psk, util::ByteView dh_shared,
   keys.server_to_client =
       crypto::kdf_expand(master_view, util::to_bytes("s2c"), crypto::kAeadKeyLen);
   return keys;
+}
+
+SessionKeys next_epoch_keys(const SessionKeys& current) {
+  SessionKeys next;
+  next.client_to_server = crypto::kdf_expand(current.client_to_server,
+                                             util::to_bytes("rekey-c2s"),
+                                             crypto::kAeadKeyLen);
+  next.server_to_client = crypto::kdf_expand(current.server_to_client,
+                                             util::to_bytes("rekey-s2c"),
+                                             crypto::kAeadKeyLen);
+  return next;
 }
 
 namespace {

@@ -15,10 +15,18 @@
 // Keys: master = HMAC(psk, dh_shared || client_random || server_random),
 // then c2s/s2c AEAD keys via kdf_expand. Data records:
 //   kData { seq[8], sealed = AEAD(key_dir, seq, ad = "", inner_ip_packet) }
+//
+// The 64-bit record sequence number is split into a 16-bit key epoch and a
+// 48-bit per-epoch counter: seq = (epoch << 48) | counter. Epoch 0 uses
+// the handshake-derived keys directly (legacy byte streams are unchanged);
+// each kRekey/kRekeyAck exchange ratchets both directional keys forward
+// and bumps the epoch, so the (key, nonce) pair never repeats even across
+// counter resets.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "crypto/aead.hpp"
 #include "crypto/dh.hpp"
@@ -39,9 +47,66 @@ enum class MsgType : std::uint8_t {
   // replayed probe is rejected exactly like a replayed data record.
   kKeepalive = 6,
   kKeepaliveAck = 7,
+  // Epoch rotation. kRekey is a sealed record under the *current* epoch's
+  // c2s key proposing epoch+1; kRekeyAck is sealed under the *new* epoch's
+  // s2c key (proving the peer derived it). Both share the record seq space.
+  kRekey = 8,
+  kRekeyAck = 9,
 };
 
 inline constexpr std::size_t kRandomLen = 32;
+
+// ---- Record sequence numbers: (epoch, counter) packing ----------------------
+
+/// High 16 bits of a record seq identify the key epoch.
+inline constexpr unsigned kEpochShift = 48;
+inline constexpr std::uint64_t kCounterMask = (std::uint64_t{1} << kEpochShift) - 1;
+
+[[nodiscard]] inline constexpr std::uint64_t make_record_seq(std::uint16_t epoch,
+                                                             std::uint64_t counter) {
+  return (static_cast<std::uint64_t>(epoch) << kEpochShift) |
+         (counter & kCounterMask);
+}
+[[nodiscard]] inline constexpr std::uint16_t record_epoch(std::uint64_t seq) {
+  return static_cast<std::uint16_t>(seq >> kEpochShift);
+}
+[[nodiscard]] inline constexpr std::uint64_t record_counter(std::uint64_t seq) {
+  return seq & kCounterMask;
+}
+
+// ---- RFC-6479-style sliding anti-replay window ------------------------------
+
+/// Bitmap anti-replay window over per-epoch record counters. Accepts
+/// benign reordering anywhere inside the trailing `width` counters while
+/// rejecting duplicates and anything older than the window. One window
+/// guards one (direction, epoch); reset() it on every epoch switch.
+class ReplayWindow {
+ public:
+  /// `width` is rounded up to a multiple of 64 bits (default 1024).
+  explicit ReplayWindow(std::size_t width = 1024);
+
+  /// Would `counter` be accepted? (No state change.)
+  [[nodiscard]] bool check(std::uint64_t counter) const;
+  /// Accept `counter` if fresh, marking it seen. False on replay (already
+  /// seen) or stale (older than the window). Counter 0 is never valid —
+  /// senders start at 1, so an all-zero record can't probe the window.
+  bool accept(std::uint64_t counter);
+
+  /// Forget everything (epoch switch / session restart).
+  void reset();
+
+  [[nodiscard]] std::size_t width() const { return bits_; }
+  /// Highest counter accepted so far (0 = none yet).
+  [[nodiscard]] std::uint64_t max_seen() const { return max_seen_; }
+
+ private:
+  [[nodiscard]] bool bit(std::uint64_t counter) const;
+  void set_bit(std::uint64_t counter);
+
+  std::vector<std::uint64_t> bitmap_;
+  std::size_t bits_ = 0;
+  std::uint64_t max_seen_ = 0;
+};
 
 struct Message {
   MsgType type = MsgType::kData;
@@ -83,6 +148,11 @@ struct SessionKeys {
 [[nodiscard]] SessionKeys derive_keys(util::ByteView psk, util::ByteView dh_shared,
                                       util::ByteView client_random,
                                       util::ByteView server_random);
+
+/// One-way ratchet to the next epoch's keys. Both peers derive the same
+/// result independently, and the old keys can't be recovered from the new
+/// ones (forward secrecy across epochs within a session).
+[[nodiscard]] SessionKeys next_epoch_keys(const SessionKeys& current);
 
 /// Transcript MACs binding the handshake to the PSK (endpoint auth).
 [[nodiscard]] crypto::Sha256Digest server_auth_tag(util::ByteView psk,

@@ -4,6 +4,7 @@
 
 #include "attack/attacker.hpp"
 #include "attack/deauth.hpp"
+#include "attack/replay.hpp"
 #include "attack/rogue_gateway.hpp"
 #include "detect/detector.hpp"
 #include "detect/fingerprint.hpp"
@@ -483,6 +484,50 @@ TEST(Evasion, LowSlowDeauthBeatsSeqnumButNotRssi) {
   const scenario::Metrics rssi = run_wids_pair("low-slow-deauth", "rssi");
   EXPECT_GE(rssi.wids_time_to_detect_s, 0.0);
   EXPECT_EQ(rssi.wids_false_alerts, 0u);
+}
+
+TEST(ReplayAttack, SealedRecordReplayGetsZeroAcceptance) {
+  // An attacker who banks the victim's over-the-air tunnel frames and
+  // replays them verbatim: WEP has no replay counter and the AP forwards
+  // duplicates happily, so the *tunnel's* anti-replay window is the only
+  // thing standing. Every replayed record must be dropped (0% acceptance)
+  // without disturbing the session or its reply path.
+  scenario::CorpConfig cfg;
+  cfg.use_vpn = true;
+  cfg.vpn_transport = vpn::Transport::kUdp;
+  cfg.vpn_auto_reconnect = true;
+  cfg.do_download = false;
+  scenario::CorpWorld world(cfg);
+  world.configure(11);
+  world.start();
+  world.run_for(cfg.settle_time);
+  bool up = false;
+  world.connect_vpn([&](bool ok) { up = ok; });
+  world.run_for(cfg.vpn_window);
+  ASSERT_TRUE(up);
+
+  ASSERT_TRUE(world.attach_attacker("replay"));
+  auto* replayer = dynamic_cast<attack::RecordReplayer*>(world.wids_attacker());
+  ASSERT_NE(replayer, nullptr);
+  const std::uint64_t handshakes =
+      world.vpn_endpoint().counters().sessions_established;
+  replayer->start();
+  world.run_for(30 * sim::kSecond);  // keepalives feed the capture ring
+  replayer->stop();
+
+  EXPECT_GT(replayer->frames_captured(), 0u);
+  EXPECT_GT(replayer->frames_replayed(), 0u);
+  const vpn::EndpointCounters& e = world.vpn_endpoint().counters();
+  const vpn::ClientCounters& c = world.victim_tunnel()->counters();
+  // Zero acceptance: every forwarded duplicate lands in the replay bucket,
+  // never in records_in as fresh traffic; none authenticates a roam.
+  EXPECT_GT(e.records_replayed + c.records_replayed, 0u);
+  EXPECT_EQ(e.records_auth_fail, 0u);
+  EXPECT_EQ(e.roams, 0u);
+  // The session itself shrugs it off: still up, no re-handshake.
+  EXPECT_TRUE(world.victim_tunnel()->established());
+  EXPECT_EQ(e.sessions_established, handshakes);
+  EXPECT_EQ(c.dead_peer_events, 0u);
 }
 
 TEST(Evasion, ControlRowStaysQuiet) {

@@ -68,8 +68,60 @@ TEST(Plan, CoversEveryEnabledKindWithinBounds) {
       EXPECT_EQ(event.severity, cfg.degrade_loss);
     }
   }
+  // Default-enabled kinds must all be covered; the transport-chaos kinds
+  // (reorder/duplicate/jitter) are opt-in and must NOT appear by default.
+  for (std::size_t k = 0; k <= static_cast<std::size_t>(FaultKind::kDeauthStorm);
+       ++k) {
+    EXPECT_TRUE(seen[k]) << "kind " << k << " never scheduled";
+  }
+  EXPECT_FALSE(seen[static_cast<std::size_t>(FaultKind::kReorder)]);
+  EXPECT_FALSE(seen[static_cast<std::size_t>(FaultKind::kDuplicate)]);
+  EXPECT_FALSE(seen[static_cast<std::size_t>(FaultKind::kJitter)]);
+}
+
+TEST(Plan, TransportChaosKindsAppearWhenOptedIn) {
+  PlanConfig cfg = minute_plan(8.0);
+  cfg.reorder = true;
+  cfg.duplicate = true;
+  cfg.jitter = true;
+  util::Prng rng(77);
+  const Plan plan = Plan::generate(rng, cfg);
+
+  bool seen[kFaultKindCount] = {};
+  for (const FaultEvent& event : plan.events()) {
+    seen[static_cast<std::size_t>(event.kind)] = true;
+    if (event.kind == FaultKind::kReorder) {
+      EXPECT_EQ(event.severity, cfg.reorder_prob);
+    }
+    if (event.kind == FaultKind::kDuplicate) {
+      EXPECT_EQ(event.severity, cfg.duplicate_prob);
+    }
+    if (event.kind == FaultKind::kJitter) {
+      EXPECT_EQ(event.severity, cfg.jitter_ms);
+    }
+  }
   for (std::size_t k = 0; k < kFaultKindCount; ++k) {
     EXPECT_TRUE(seen[k]) << "kind " << k << " never scheduled";
+  }
+}
+
+/// Opting into a transport-chaos kind changes how many draws generate()
+/// makes, but the legacy kinds' defaults must keep pre-existing seeded
+/// plans byte-identical — the determinism contract behind pinned digests.
+TEST(Plan, DefaultConfigDrawsAreUnchangedByNewKnobs) {
+  const PlanConfig cfg = minute_plan(6.0);
+  util::Prng a(4242), b(4242);
+  const Plan before = Plan::generate(a, cfg);
+  PlanConfig same = cfg;  // explicitly touch the new knobs' severities only
+  same.reorder_prob = 0.9;
+  same.duplicate_prob = 0.9;
+  same.jitter_ms = 50.0;
+  const Plan after = Plan::generate(b, same);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before.events()[i].kind, after.events()[i].kind);
+    EXPECT_EQ(before.events()[i].at, after.events()[i].at);
+    EXPECT_EQ(before.events()[i].severity, after.events()[i].severity);
   }
 }
 
@@ -104,6 +156,12 @@ class RecordingTarget final : public FaultTarget {
   }
   void fault_deauth_storm(bool active) override {
     log.push_back(active ? "storm:on" : "storm:off");
+  }
+  void fault_reorder(double probability) override {
+    log.push_back("ro:" + std::to_string(probability).substr(0, 4));
+  }
+  void fault_jitter(double max_ms) override {
+    log.push_back("jit:" + std::to_string(max_ms).substr(0, 4));
   }
 
   std::vector<std::string> log;
@@ -148,6 +206,28 @@ TEST(Injector, ChannelDegradeAppliesTheStrongestActiveSeverity) {
   sim.run_until(4 * sim::kSecond);
   const std::vector<std::string> expected = {"ch:0.30", "ch:0.80", "ch:0.30",
                                              "ch:0.00"};
+  EXPECT_EQ(target.log, expected);
+}
+
+TEST(Injector, TransportChaosSeveritiesStackLikeDegrade) {
+  sim::Simulator sim(1);
+  RecordingTarget target;
+  Injector injector(sim, target);
+
+  // Reorder [1s, 3s) @0.10 overlapped by [1.5s, 2.5s) @0.40, plus an
+  // independent jitter window: each kind folds its own stack.
+  std::vector<FaultEvent> events;
+  events.push_back({FaultKind::kReorder, 1 * sim::kSecond,
+                    2 * sim::kSecond, 0.10});
+  events.push_back({FaultKind::kReorder, 1500 * sim::kMillisecond,
+                    1 * sim::kSecond, 0.40});
+  events.push_back({FaultKind::kJitter, 2 * sim::kSecond,
+                    1 * sim::kSecond, 6.0});
+  injector.install(Plan::from_events(std::move(events)));
+
+  sim.run_until(4 * sim::kSecond);
+  const std::vector<std::string> expected = {"ro:0.10", "ro:0.40", "jit:6.00",
+                                             "ro:0.10", "ro:0.00", "jit:0.00"};
   EXPECT_EQ(target.log, expected);
 }
 

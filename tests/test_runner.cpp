@@ -121,6 +121,13 @@ TEST(RunMetrics, JsonRoundTrip) {
   run.metrics.trace_records = 4321;
   run.metrics.trace_warnings = 7;
   run.metrics.sim_time_s = 86.0;
+  run.metrics.transport_enabled = true;
+  run.metrics.vpn_replay_drops = 31;
+  run.metrics.vpn_auth_fail_drops = 2;
+  run.metrics.vpn_stale_epoch_drops = 1;
+  run.metrics.vpn_rekeys = 9;
+  run.metrics.vpn_roams = 3;
+  run.metrics.vpn_sessions_reaped = 5;
 
   const std::string text = to_json(run).dump(2);
   const auto parsed = util::Json::parse(text);
@@ -142,6 +149,15 @@ TEST(RunMetrics, JsonRoundTrip) {
   EXPECT_EQ(back->metrics.events_fired, run.metrics.events_fired);
   EXPECT_EQ(back->metrics.trace_warnings, run.metrics.trace_warnings);
   EXPECT_DOUBLE_EQ(back->metrics.sim_time_s, run.metrics.sim_time_s);
+  EXPECT_TRUE(back->metrics.transport_enabled);
+  EXPECT_EQ(back->metrics.vpn_replay_drops, run.metrics.vpn_replay_drops);
+  EXPECT_EQ(back->metrics.vpn_auth_fail_drops, run.metrics.vpn_auth_fail_drops);
+  EXPECT_EQ(back->metrics.vpn_stale_epoch_drops,
+            run.metrics.vpn_stale_epoch_drops);
+  EXPECT_EQ(back->metrics.vpn_rekeys, run.metrics.vpn_rekeys);
+  EXPECT_EQ(back->metrics.vpn_roams, run.metrics.vpn_roams);
+  EXPECT_EQ(back->metrics.vpn_sessions_reaped,
+            run.metrics.vpn_sessions_reaped);
 }
 
 TEST(RunMetrics, FromJsonRejectsMissingFields) {
@@ -184,9 +200,10 @@ TEST(Scenarios, StockRegistryKnowsAllLadders) {
   EXPECT_EQ(stock_variants("hotspot").size(), 3u);
   EXPECT_EQ(stock_variants("corp-chaos").size(), 2u);
   EXPECT_EQ(stock_variants("hotspot-chaos").size(), 2u);
+  EXPECT_EQ(stock_variants("corp-transport").size(), 8u);
   EXPECT_TRUE(stock_variants("nope").empty());
   const auto names = known_scenarios();
-  ASSERT_EQ(names.size(), 4u);
+  ASSERT_EQ(names.size(), 5u);
   for (const auto name : names) {
     std::vector<Variant> variants = stock_variants(name);
     ASSERT_FALSE(variants.empty());
@@ -305,6 +322,35 @@ TEST(Sweep, ChaosReportBytesAreIdenticalAcrossJobsAndReruns) {
   }
   // Rerun at an already-tested jobs value: no hidden global state.
   EXPECT_EQ(run_once(4), baseline);
+}
+
+TEST(Sweep, TransportChaosReportBytesAreIdenticalAcrossJobs) {
+  // EXP-T1's chaos cells stress the paths most likely to pick up hidden
+  // nondeterminism — chaos-delayed medium deliveries, rekey timers, replay
+  // windows — so pin the whole serialized report across worker counts.
+  // Only the chaos cells run here; the clean/loss cells share their code
+  // paths with the tests above.
+  auto run_once = [](std::size_t jobs) {
+    SweepConfig cfg;
+    cfg.scenario = "corp-transport";
+    cfg.seed_base = 31;
+    cfg.runs = 2;
+    cfg.jobs = jobs;
+    ExperimentRunner exp(cfg);
+    for (auto& v : corp_transport_variants(2.0)) {
+      if (v.name.find("chaos") == std::string::npos) continue;
+      exp.add_variant(std::move(v.name), std::move(v.make));
+    }
+    return exp.run().to_json().dump(2);
+  };
+
+  const std::string baseline = run_once(1);
+  ASSERT_FALSE(baseline.empty());
+  // The UDP cells must carry the transport block; TCP cells must not.
+  EXPECT_NE(baseline.find("\"transport\""), std::string::npos);
+  for (const std::size_t jobs : {4u, 8u}) {
+    EXPECT_EQ(run_once(jobs), baseline) << "bytes changed at jobs=" << jobs;
+  }
 }
 
 TEST(Sweep, ReportBytesPinnedAcrossJobsAndArenaPool) {

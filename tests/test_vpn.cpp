@@ -399,5 +399,345 @@ TEST(Vpn, DeadPeerDetectionTriggersAutomaticReconnect) {
   EXPECT_GT(tunnel.counters().keepalive_acks, 0u);
 }
 
+// ---- Anti-replay window ---------------------------------------------------
+
+TEST(ReplayWindow, AcceptsBoundaryRejectsOutsideAndDuplicates) {
+  ReplayWindow w(64);
+  EXPECT_EQ(w.width(), 64u);
+  EXPECT_FALSE(w.check(0));  // counter 0 is never valid (senders start at 1)
+
+  ASSERT_TRUE(w.accept(1000));
+  // Exact trailing edge of the window: 1000 - 63 is still inside...
+  EXPECT_TRUE(w.check(937));
+  EXPECT_TRUE(w.accept(937));
+  // ...but one further back is stale.
+  EXPECT_FALSE(w.check(936));
+  EXPECT_FALSE(w.accept(936));
+  // Duplicates inside the window are rejected.
+  EXPECT_FALSE(w.check(1000));
+  EXPECT_FALSE(w.check(937));
+  // A fresh counter inside the window is still fine after the duplicates.
+  EXPECT_TRUE(w.accept(999));
+  EXPECT_FALSE(w.check(999));
+}
+
+TEST(ReplayWindow, OutOfOrderWithinWindowAllAccepted) {
+  ReplayWindow w(1024);
+  // Delivery order a chaos plan could produce: ahead, behind, interleaved.
+  const std::uint64_t counters[] = {5, 3, 4, 1, 2, 40, 39, 41, 38, 1000, 999};
+  for (const std::uint64_t c : counters) {
+    EXPECT_TRUE(w.accept(c)) << "counter " << c << " wrongly rejected";
+  }
+  for (const std::uint64_t c : counters) {
+    EXPECT_FALSE(w.check(c)) << "counter " << c << " wrongly re-accepted";
+  }
+}
+
+TEST(ReplayWindow, FarFutureJumpWipesHistoryButKeepsNewWindow) {
+  ReplayWindow w(128);
+  ASSERT_TRUE(w.accept(5));
+  // A jump of many windows ahead: everything old becomes stale...
+  ASSERT_TRUE(w.accept(1'000'000));
+  EXPECT_FALSE(w.check(5));
+  EXPECT_FALSE(w.check(1'000'000));
+  // ...while the full new window is usable.
+  EXPECT_TRUE(w.accept(1'000'000 - 127));
+  EXPECT_FALSE(w.check(1'000'000 - 128));
+  EXPECT_EQ(w.max_seen(), 1'000'000u);
+}
+
+TEST(Protocol, EpochSeqPackingAndKeyRatchet) {
+  const std::uint64_t seq = make_record_seq(3, 77);
+  EXPECT_EQ(record_epoch(seq), 3u);
+  EXPECT_EQ(record_counter(seq), 77u);
+  EXPECT_EQ(record_epoch(make_record_seq(0, 1)), 0u);
+
+  const SessionKeys base =
+      derive_keys(to_bytes("psk"), to_bytes("s"), Bytes(32, 1), Bytes(32, 2));
+  const SessionKeys next = next_epoch_keys(base);
+  const SessionKeys next2 = next_epoch_keys(base);
+  // Deterministic ratchet, both directions fresh.
+  EXPECT_EQ(next.client_to_server, next2.client_to_server);
+  EXPECT_EQ(next.server_to_client, next2.server_to_client);
+  EXPECT_NE(next.client_to_server, base.client_to_server);
+  EXPECT_NE(next.server_to_client, base.server_to_client);
+  EXPECT_NE(next.client_to_server, next.server_to_client);
+}
+
+// ---- Transport resilience e2e ---------------------------------------------
+
+/// client --LossyHub(loss/reorder/duplicate)-- router --Switch-- {endpoint,
+/// app}. Chaos sits on the client's access path, so every outer tunnel
+/// datagram crosses it; the far side is clean (the trusted wired LAN).
+struct ChaosVpnFixture {
+  sim::Simulator sim{97};
+  net::LossyHub hub;
+  net::Switch far_lan;
+  net::Host client;
+  net::Host router;
+  net::Host server_host;
+  net::Host app;
+  std::unique_ptr<Endpoint> endpoint;
+  std::unique_ptr<ClientTunnel> tunnel;
+
+  explicit ChaosVpnFixture(EndpointConfig ep_cfg = {})
+      : hub(sim, 0.0),
+        far_lan(sim),
+        client(sim, "client"),
+        router(sim, "router"),
+        server_host(sim, "vpn-endpoint"),
+        app(sim, "app") {
+    client.add_wired("eth0", hub, MacAddr::from_id(0xC1));
+    client.configure("eth0", Ipv4Addr(10, 0, 0, 1), 24);
+    client.routes().add_default(Ipv4Addr(10, 0, 0, 254), "eth0");
+
+    router.add_wired("eth0", hub, MacAddr::from_id(0x99));
+    router.add_wired("eth1", far_lan, MacAddr::from_id(0x98));
+    router.configure("eth0", Ipv4Addr(10, 0, 0, 254), 24);
+    router.configure("eth1", Ipv4Addr(10, 0, 1, 254), 24);
+    router.set_ip_forward(true);
+
+    server_host.add_wired("eth0", far_lan, MacAddr::from_id(0x55));
+    server_host.configure("eth0", Ipv4Addr(10, 0, 1, 5), 24);
+    server_host.routes().add_default(Ipv4Addr(10, 0, 1, 254), "eth0");
+
+    app.add_wired("eth0", far_lan, MacAddr::from_id(0x56));
+    app.configure("eth0", Ipv4Addr(10, 0, 1, 80), 24);
+    app.routes().add_default(Ipv4Addr(10, 0, 1, 254), "eth0");
+
+    ep_cfg.psk = to_bytes("psk");
+    endpoint = std::make_unique<Endpoint>(server_host, ep_cfg);
+    endpoint->start();
+  }
+
+  /// Establish a UDP tunnel; returns success.
+  bool connect(ClientConfig cfg = {}) {
+    cfg.psk = to_bytes("psk");
+    cfg.endpoint_ip = Ipv4Addr(10, 0, 1, 5);
+    cfg.transport = Transport::kUdp;
+    cfg.handshake_timeout = 20 * sim::kSecond;
+    tunnel = std::make_unique<ClientTunnel>(client, cfg);
+    bool ok = false;
+    tunnel->start([&](bool r) { ok = r; });
+    sim.run_until(sim.now() + 25 * sim::kSecond);
+    return ok;
+  }
+
+  /// Stream `total` bytes through the tunnel to the app host and back-ack.
+  std::size_t stream(std::size_t total, sim::Time window) {
+    std::size_t received = 0;
+    app.tcp_listen(7777, [&](net::TcpConnectionPtr c) {
+      c->set_on_data([&received](util::ByteView d) { received += d.size(); });
+    });
+    auto conn = client.tcp_connect(Ipv4Addr(10, 0, 1, 80), 7777);
+    if (!conn) return 0;
+    conn->set_on_connect([conn, total] {
+      conn->send(Bytes(total, std::uint8_t{0x7e}));
+    });
+    sim.run_until(sim.now() + window);
+    return received;
+  }
+};
+
+TEST(Transport, UdpTunnelAbsorbsReorderingWithoutAnyDrops) {
+  // The acceptance property behind the sliding window: benign reordering
+  // (keepalive acks racing in-flight data included) must cause ZERO drops
+  // on either side. The strict-monotonic predecessor failed exactly here.
+  ChaosVpnFixture f;
+  f.hub.set_reorder(0.35);
+
+  ClientConfig cfg;
+  cfg.auto_reconnect = true;  // keepalives interleave with data both ways
+  ASSERT_TRUE(f.connect(cfg));
+  const std::size_t got = f.stream(32 * 1024, 40 * sim::kSecond);
+  EXPECT_EQ(got, 32u * 1024u);
+  ASSERT_TRUE(f.tunnel->established());
+  EXPECT_GT(f.tunnel->counters().keepalive_acks, 0u);
+
+  const ClientCounters& c = f.tunnel->counters();
+  const EndpointCounters& e = f.endpoint->counters();
+  EXPECT_GT(c.records_in, 0u);
+  EXPECT_GT(e.records_in, 0u);
+  EXPECT_EQ(c.records_replayed, 0u);
+  EXPECT_EQ(e.records_replayed, 0u);
+  EXPECT_EQ(c.records_auth_fail, 0u);
+  EXPECT_EQ(e.records_auth_fail, 0u);
+  EXPECT_EQ(c.records_stale_epoch, 0u);
+  EXPECT_EQ(e.records_stale_epoch, 0u);
+}
+
+TEST(Transport, KeepaliveAckAheadOfDataIsNotAReplay) {
+  // Regression for the keepalive/data seq-space interaction: the client's
+  // keepalive-ack handler and data handler share one rx window, so an ack
+  // (seq N+1) that overtakes an in-flight data record (seq N) must not
+  // get the data record dropped as a "replay" when it lands. Reorder
+  // probability 1.0 delays every hub frame by an independent random
+  // amount, so ack/data inversions happen constantly in both directions.
+  ChaosVpnFixture f;
+  f.hub.set_reorder(1.0);
+
+  ClientConfig cfg;
+  cfg.auto_reconnect = true;
+  ASSERT_TRUE(f.connect(cfg));
+  // Phase 1: keepalives only — acks advance the s2c window on their own.
+  f.sim.run_until(f.sim.now() + 5 * sim::kSecond);
+  ASSERT_GT(f.tunnel->counters().keepalive_acks, 0u);
+  // Phase 2: data races those acks through the scrambled hub.
+  const std::size_t got = f.stream(16 * 1024, 30 * sim::kSecond);
+  EXPECT_EQ(got, 16u * 1024u);
+
+  const ClientCounters& c = f.tunnel->counters();
+  EXPECT_GT(c.records_in, 0u);  // data was delivered, not replay-binned
+  EXPECT_EQ(c.records_replayed, 0u);
+  EXPECT_EQ(c.records_auth_fail, 0u);
+  EXPECT_EQ(c.records_stale_epoch, 0u);
+  EXPECT_EQ(f.endpoint->counters().records_replayed, 0u);
+  EXPECT_TRUE(f.tunnel->established());
+}
+
+TEST(Transport, DuplicatedRecordsDropSilentlyWithoutKillingSession) {
+  // Wire-level duplication IS a replay as far as the record layer can
+  // tell: the window must eat each copy without tearing anything down or
+  // miscounting it as an authentication failure.
+  ChaosVpnFixture f;
+  f.hub.set_duplicate(0.4);
+
+  ClientConfig cfg;
+  cfg.auto_reconnect = true;
+  ASSERT_TRUE(f.connect(cfg));
+  const std::size_t got = f.stream(32 * 1024, 40 * sim::kSecond);
+  EXPECT_EQ(got, 32u * 1024u);
+  EXPECT_TRUE(f.tunnel->established());
+
+  const ClientCounters& c = f.tunnel->counters();
+  const EndpointCounters& e = f.endpoint->counters();
+  EXPECT_GT(c.records_replayed + e.records_replayed, 0u);
+  EXPECT_EQ(c.records_auth_fail, 0u);
+  EXPECT_EQ(e.records_auth_fail, 0u);
+  EXPECT_EQ(f.tunnel->counters().dead_peer_events, 0u);
+}
+
+TEST(Transport, RekeyRotatesEpochsWithoutLosingRecords) {
+  ChaosVpnFixture f;
+
+  ClientConfig cfg;
+  cfg.auto_reconnect = true;
+  cfg.rekey_after_records = 40;  // several rotations inside one transfer
+  ASSERT_TRUE(f.connect(cfg));
+  const std::size_t got = f.stream(48 * 1024, 40 * sim::kSecond);
+  EXPECT_EQ(got, 48u * 1024u);
+  ASSERT_TRUE(f.tunnel->established());
+
+  const ClientCounters& c = f.tunnel->counters();
+  const EndpointCounters& e = f.endpoint->counters();
+  EXPECT_GE(c.rekeys, 2u);
+  EXPECT_EQ(c.rekeys, e.rekeys);
+  // Rotations must be seamless: the grace window absorbs in-flight records
+  // of the previous epoch, so no drops of any class on either side.
+  EXPECT_EQ(c.records_replayed, 0u);
+  EXPECT_EQ(e.records_replayed, 0u);
+  EXPECT_EQ(c.records_auth_fail, 0u);
+  EXPECT_EQ(e.records_auth_fail, 0u);
+  EXPECT_EQ(c.records_stale_epoch, 0u);
+  EXPECT_EQ(e.records_stale_epoch, 0u);
+}
+
+TEST(Transport, RekeySurvivesChaosOnTheWire) {
+  // Rekey control records are subject to the same loss/reorder/duplication
+  // as data; retransmit + grace must converge anyway.
+  ChaosVpnFixture f;
+  f.hub.set_loss(0.1);
+  f.hub.set_reorder(0.2);
+  f.hub.set_duplicate(0.2);
+
+  ClientConfig cfg;
+  cfg.auto_reconnect = true;
+  cfg.rekey_after_records = 60;
+  ASSERT_TRUE(f.connect(cfg));
+  (void)f.stream(24 * 1024, 60 * sim::kSecond);
+  EXPECT_TRUE(f.tunnel->established());
+  EXPECT_GE(f.tunnel->counters().rekeys, 1u);
+  EXPECT_EQ(f.tunnel->counters().rekeys, f.endpoint->counters().rekeys);
+  // Both sides ended on the same epoch: the full sealed round trip still
+  // works (keepalive out under the current c2s keys, ack back under s2c).
+  const std::uint64_t acks = f.tunnel->counters().keepalive_acks;
+  f.sim.run_until(f.sim.now() + 5 * sim::kSecond);
+  EXPECT_GT(f.tunnel->counters().keepalive_acks, acks);
+  EXPECT_EQ(f.tunnel->counters().dead_peer_events, 0u);
+}
+
+TEST(Transport, ClientMigrationRoamsTheSessionWithoutRehandshake) {
+  ChaosVpnFixture f;
+  ClientConfig cfg;
+  cfg.auto_reconnect = true;
+  ASSERT_TRUE(f.connect(cfg));
+  const std::uint64_t handshakes = f.endpoint->counters().sessions_established;
+
+  f.tunnel->migrate();  // address change: new ephemeral port
+  f.sim.run_until(f.sim.now() + 5 * sim::kSecond);
+
+  const EndpointCounters& e = f.endpoint->counters();
+  EXPECT_GE(e.roams, 1u);
+  EXPECT_EQ(e.sessions_established, handshakes);  // no re-handshake
+  EXPECT_EQ(e.records_spoofed_src, 0u);
+  EXPECT_TRUE(f.tunnel->established());
+  EXPECT_EQ(f.endpoint->udp_session_count(), 1u);
+
+  // The reply path followed the move: keepalive acks still arrive.
+  const std::uint64_t acks = f.tunnel->counters().keepalive_acks;
+  f.sim.run_until(f.sim.now() + 3 * sim::kSecond);
+  EXPECT_GT(f.tunnel->counters().keepalive_acks, acks);
+}
+
+TEST(Transport, HalfOpenSessionsAreReapedAfterHandshakeTimeout) {
+  EndpointConfig ep_cfg;
+  ep_cfg.handshake_timeout = 2 * sim::kSecond;
+  ChaosVpnFixture f(ep_cfg);
+
+  // Wrong PSK: the endpoint answers the hello (session created) but the
+  // client rejects the server's transcript and never completes — the
+  // session would previously leak in udp_sessions_ forever.
+  ClientConfig cfg;
+  cfg.psk = to_bytes("wrong-psk");
+  cfg.endpoint_ip = Ipv4Addr(10, 0, 1, 5);
+  cfg.transport = Transport::kUdp;
+  cfg.handshake_timeout = 3 * sim::kSecond;
+  ClientTunnel tunnel(f.client, cfg);
+  bool done = false;
+  tunnel.start([&](bool) { done = true; });
+  f.sim.run_until(2500 * sim::kMillisecond);
+  EXPECT_GE(f.endpoint->udp_session_count(), 0u);  // may already be reaped
+  f.sim.run_until(8 * sim::kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.endpoint->udp_session_count(), 0u);
+  EXPECT_GE(f.endpoint->counters().sessions_reaped, 1u);
+  // Surfaced through the stats layer for sweep aggregation.
+  EXPECT_GE(f.sim.stats_snapshot().value("vpn.endpoint.sessions_reaped"), 1u);
+}
+
+TEST(Transport, IdleEstablishedSessionsAreReaped) {
+  EndpointConfig ep_cfg;
+  ep_cfg.idle_timeout = 3 * sim::kSecond;
+  ChaosVpnFixture f(ep_cfg);
+
+  // One-shot client (no keepalives): after establishment it goes silent,
+  // so the endpoint must eventually reclaim the session and tunnel IP.
+  ClientConfig cfg;
+  cfg.psk = to_bytes("psk");
+  cfg.endpoint_ip = Ipv4Addr(10, 0, 1, 5);
+  cfg.transport = Transport::kUdp;
+  ClientTunnel tunnel(f.client, cfg);
+  bool ok = false;
+  tunnel.start([&](bool r) { ok = r; });
+  f.sim.run_until(2 * sim::kSecond);  // established, but idle < idle_timeout
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(f.endpoint->udp_session_count(), 1u);
+  EXPECT_EQ(f.sim.stats_snapshot().value("vpn.endpoint.sessions_active"), 1u);
+  f.sim.run_until(12 * sim::kSecond);
+  EXPECT_EQ(f.endpoint->udp_session_count(), 0u);
+  EXPECT_GE(f.endpoint->counters().sessions_reaped, 1u);
+  EXPECT_EQ(f.sim.stats_snapshot().value("vpn.endpoint.sessions_active"), 0u);
+}
+
 }  // namespace
 }  // namespace rogue::vpn
