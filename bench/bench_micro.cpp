@@ -384,6 +384,105 @@ void BM_MediumDenseDeliver(benchmark::State& state) {
 }
 BENCHMARK(BM_MediumDenseDeliver)->Arg(64)->Arg(256)->Arg(1024);
 
+void roam_churn(benchmark::State& state, bool grid) {
+  // Metro mobility profile: a city-sized co-channel population where every
+  // step moves one radio and then another one transmits, so each delivery
+  // pays whatever plan invalidation the move caused. Flat mode invalidates
+  // the whole world per move and walks all N radios per delivery; the
+  // spatial grid localizes both to the 3x3 neighborhood. perf_gate.py
+  // asserts the flat/grid cpu_time ratio at 4096 from the same run, which
+  // is machine-independent.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim(13);
+  phy::MediumConfig cfg;
+  cfg.spatial_grid = grid;
+  cfg.pair_rssi_cache = false;  // the metro medium profile
+  phy::Medium medium(sim, cfg);
+  const std::size_t side =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  radios.reserve(n);
+  std::uint64_t delivered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto r = std::make_unique<phy::Radio>(medium, "r" + std::to_string(i));
+    r->set_position({static_cast<double>(i % side) * 30.0,
+                     static_cast<double>(i / side) * 30.0});
+    r->set_receive_handler(
+        [&delivered](util::ByteView, const phy::RxInfo&) { ++delivered; });
+    radios.push_back(std::move(r));
+  }
+  const util::Bytes frame = random_bytes(128);
+  util::Prng rng(77);
+  constexpr int kSteps = 64;
+  for (auto _ : state) {
+    for (int s = 0; s < kSteps; ++s) {
+      phy::Radio& mover = *radios[rng.uniform_u64(0, n - 1)];
+      phy::Position p = mover.position();
+      p.x += rng.uniform01() * 12.0 - 6.0;
+      p.y += rng.uniform01() * 12.0 - 6.0;
+      mover.set_position(p);
+      sim.after(2'000, [&radios, &frame, idx = rng.uniform_u64(0, n - 1)] {
+        radios[idx]->transmit(frame);
+      });
+      sim.run();
+    }
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * kSteps);
+}
+void BM_MediumRoamChurnFlat(benchmark::State& state) {
+  roam_churn(state, false);
+}
+void BM_MediumRoamChurnGrid(benchmark::State& state) {
+  roam_churn(state, true);
+}
+BENCHMARK(BM_MediumRoamChurnFlat)->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MediumRoamChurnGrid)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_MetroDeliver(benchmark::State& state) {
+  // Steady-state metro delivery throughput on the spatial grid: N radios
+  // on a street-scale lattice cycling the {1, 6, 11} channel plan, senders
+  // striding through the population. Measures the per-transmission cost of
+  // the 3x3 gather + plan revalidation at population sizes where the flat
+  // path's O(N) walk stops being runnable at all (65536 radios).
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim(15);
+  phy::MediumConfig cfg;
+  cfg.spatial_grid = true;
+  cfg.pair_rssi_cache = false;
+  phy::Medium medium(sim, cfg);
+  const std::size_t side =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  constexpr phy::Channel kPlan[3] = {1, 6, 11};
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  radios.reserve(n);
+  std::uint64_t delivered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto r = std::make_unique<phy::Radio>(medium, "r" + std::to_string(i));
+    r->set_position({static_cast<double>(i % side) * 25.0,
+                     static_cast<double>(i / side) * 25.0});
+    r->set_channel(kPlan[i % 3]);
+    r->set_receive_handler(
+        [&delivered](util::ByteView, const phy::RxInfo&) { ++delivered; });
+    radios.push_back(std::move(r));
+  }
+  const util::Bytes frame = random_bytes(256);
+  constexpr int kTx = 64;
+  std::size_t sender = 0;
+  for (auto _ : state) {
+    for (int t = 0; t < kTx; ++t) {
+      sender = (sender + n / 2 + 7) % n;  // stride across the city
+      sim.after(2'000, [&radios, &frame, sender] {
+        radios[sender]->transmit(frame);
+      });
+      sim.run();
+    }
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * kTx);
+}
+BENCHMARK(BM_MetroDeliver)->Arg(4096)->Arg(65536)->Unit(benchmark::kMicrosecond);
+
 void BM_ArenaAcquireRelease(benchmark::State& state) {
   // Steady-state frame-buffer traffic: acquire a pooled buffer, serialize a
   // frame-sized payload into it, hand it back. The depth-16 working set

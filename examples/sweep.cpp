@@ -27,7 +27,7 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--scenario corp|hotspot|corp-chaos|hotspot-chaos|\n"
-      "                      corp-transport]\n"
+      "                      corp-transport|metro|metro-city]\n"
       "          [--runs N] [--jobs N] [--seed-base N] [--faults X]\n"
       "          [--out report.json] [--stats-out stats.json]\n"
       "          [--pcap-out capture.pcap] [--profile]\n"
@@ -50,7 +50,12 @@ void usage(const char* argv0) {
       "\n"
       "  --faults X    inject a seed-derived fault plan at intensity X\n"
       "                (faults per simulated minute; overlays the plain\n"
-      "                scenarios, scales the chaos ones)\n"
+      "                scenarios, scales the chaos ones; ignored by the\n"
+      "                metro roaming scenarios)\n"
+      "  metro         spatial-grid roaming ladder (EXP-C5): street-grid\n"
+      "                APs, waypoint-roaming STAs, evil-twin promiscuity\n"
+      "  metro-city    the same at acceptance scale (210 APs, 50k STAs);\n"
+      "                one replica is CPU-minutes — use --runs 1..2\n"
       "  --pool-slab N pre-warm each replica's frame-buffer arena with N\n"
       "                buffers (of --pool-buffer-bytes each, default 2048);\n"
       "                adds sim.pool.high_water / sim.pool.spills to the\n"

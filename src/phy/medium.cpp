@@ -28,6 +28,11 @@ util::Bytes Radio::acquire_buffer(std::size_t reserve_hint) {
   return medium_.simulator().buffer_pool().acquire(reserve_hint);
 }
 
+void Radio::trim_tx_state() {
+  plan_ = DeliveryPlan{};
+  pair_cache_ = util::FlatU64Map<RssiCacheEntry>{};
+}
+
 void Radio::set_channel(Channel ch) {
   if (ch == channel_) return;
   medium_.move_channel(this, channel_, ch);
@@ -57,7 +62,7 @@ void Radio::attempt_transmit() {
     return;
   }
   // CSMA: defer while another (visible) transmission occupies the channel.
-  const sim::Time busy_until = medium_.channel_busy_until(channel_);
+  const sim::Time busy_until = medium_.channel_busy_for(*this);
   if (busy_until > now && backoff_attempts_ < 16) {
     ++deferred_;
     ++medium_.deferral_count_;
@@ -90,6 +95,12 @@ void Radio::attempt_transmit() {
 
 Medium::Medium(sim::Simulator& simulator, MediumConfig config)
     : sim_(simulator), config_(config) {
+  if (config_.spatial_grid) {
+    grid_power_ceiling_ = config_.grid_tx_power_ceiling_dbm;
+    grid_sens_floor_ = config_.grid_sensitivity_floor_dbm;
+    cell_size_m_ = std::max(
+        config_.grid_cell_m, audible_range(grid_power_ceiling_, grid_sens_floor_));
+  }
   obs::StatsRegistry& stats = sim_.stats();
   stat_tx_ = stats.counter("phy.tx_frames");
   stat_collisions_ = stats.counter("phy.collisions");
@@ -152,6 +163,23 @@ sim::Time Medium::channel_busy_until(Channel channel) const {
   return busy;
 }
 
+sim::Time Medium::channel_busy_for(const Radio& listener) const {
+  if (!grid_enabled()) return channel_busy_until(listener.channel_);
+  // Grid mode: carrier sense is as local as reception — only transmitters
+  // in the listener's 3x3 neighborhood are audible energy. A one-cell
+  // world degenerates to exactly the flat behavior.
+  const sim::Time now = sim_.now();
+  const Cell& home = cells_[listener.cell_];
+  sim::Time busy = 0;
+  for (const auto& tx : active_) {
+    if (tx.channel != listener.channel_ || tx.end_time <= now) continue;
+    if (tx.start_time + config_.sense_latency_us > now) continue;
+    if (cell_chebyshev(tx.cx, tx.cy, home.cx, home.cy) > 1) continue;
+    busy = std::max(busy, tx.end_time);
+  }
+  return busy;
+}
+
 double Medium::rssi_at(double tx_power_dbm, double dist_m) const {
   const double d = std::max(dist_m, 0.5);  // clamp: no near-field singularity
   const double loss =
@@ -159,16 +187,196 @@ double Medium::rssi_at(double tx_power_dbm, double dist_m) const {
   return tx_power_dbm - loss;
 }
 
+double Medium::audible_range(double tx_power_dbm, double sensitivity_dbm) const {
+  // Invert rssi_at(): the distance at which tx power minus path loss equals
+  // sensitivity minus the most favourable +rssi_noise_db fade. The small
+  // absolute slack absorbs the round trip through pow/log10 so a receiver
+  // parked exactly on the audibility boundary never falls outside the
+  // neighborhood a flat medium would have reached.
+  const double budget = tx_power_dbm - (sensitivity_dbm - config_.rssi_noise_db) -
+                        config_.ref_loss_dbm;
+  const double d = std::pow(10.0, budget / (10.0 * config_.path_loss_exponent));
+  return std::max(d, 1.0) + 1e-6;
+}
+
+// ---- Flat-mode channel index ------------------------------------------------
+
+std::vector<Radio*>& Medium::channel_list(Channel ch) {
+  for (ChannelList& cl : channels_) {
+    if (cl.channel == ch) return cl.radios;
+  }
+  channels_.push_back(ChannelList{ch, {}});
+  return channels_.back().radios;
+}
+
+const std::vector<Radio*>* Medium::find_channel_list(Channel ch) const {
+  for (const ChannelList& cl : channels_) {
+    if (cl.channel == ch) return &cl.radios;
+  }
+  return nullptr;
+}
+
+// ---- Grid internals ---------------------------------------------------------
+
+std::uint64_t Medium::cell_key(std::int32_t cx, std::int32_t cy) {
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+      static_cast<std::uint32_t>(cy);
+  // The XOR keeps the key nonzero (FlatU64Map reserves 0) for every
+  // coordinate pair grid_coords() can produce: key 0 would need |cx|, |cy|
+  // beyond the +/-2^30 clamp.
+  return packed ^ 0x9e3779b97f4a7c15ull;
+}
+
+std::pair<std::int32_t, std::int32_t> Medium::grid_coords(const Position& p) const {
+  ROGUE_ASSERT_MSG(cell_size_m_ > 0.0, "grid_coords() needs spatial_grid on");
+  constexpr double kLimit = 1073741824.0;  // 2^30: keeps cell_key() nonzero
+  const double fx = std::clamp(std::floor(p.x / cell_size_m_), -kLimit, kLimit);
+  const double fy = std::clamp(std::floor(p.y / cell_size_m_), -kLimit, kLimit);
+  return {static_cast<std::int32_t>(fx), static_cast<std::int32_t>(fy)};
+}
+
+std::uint32_t Medium::cell_at(std::int32_t cx, std::int32_t cy) {
+  const auto [slot, inserted] = cell_index_.try_emplace(cell_key(cx, cy));
+  if (inserted) {
+    *slot = static_cast<std::uint32_t>(cells_.size()) + 1;
+    cells_.push_back(Cell{cx, cy, 1, {}});
+  }
+  return *slot - 1;
+}
+
+std::uint32_t Medium::find_cell(std::int32_t cx, std::int32_t cy) const {
+  const std::uint32_t* slot = cell_index_.find(cell_key(cx, cy));
+  return slot != nullptr ? *slot - 1 : Radio::kNoCell;
+}
+
+std::int32_t Medium::cell_chebyshev(std::int32_t ax, std::int32_t ay,
+                                    std::int32_t bx, std::int32_t by) {
+  // 64-bit intermediates: coordinate differences can exceed int32 range.
+  const std::int64_t dx = std::int64_t{ax} - bx;
+  const std::int64_t dy = std::int64_t{ay} - by;
+  const std::int64_t d = std::max(dx < 0 ? -dx : dx, dy < 0 ? -dy : dy);
+  return d > 3 ? 3 : static_cast<std::int32_t>(d);  // callers compare <= 2
+}
+
+std::uint64_t Medium::neighborhood_epochs(std::int32_t cx, std::int32_t cy) const {
+  // Sum of monotone counters over a fixed 3x3 neighborhood: strictly
+  // increases on any membership/geometry change inside it (including a
+  // cell springing into existence — insertion bumps the new cell's epoch
+  // past its initial value), so an equal sum means an unchanged audible
+  // world. Missing cells contribute 0.
+  std::uint64_t sum = 0;
+  for (std::int32_t dy = -1; dy <= 1; ++dy) {
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+      const std::uint32_t ci = find_cell(cx + dx, cy + dy);
+      if (ci != Radio::kNoCell) sum += cells_[ci].epoch;
+    }
+  }
+  return sum;
+}
+
+void Medium::grid_insert(Radio* radio) {
+  const auto [cx, cy] = grid_coords(radio->position_);
+  const std::uint32_t ci = cell_at(cx, cy);
+  Cell& cell = cells_[ci];
+  // Sorted by attach_seq_ so neighborhood gathers can restore the flat
+  // path's receiver order with one small sort.
+  const auto pos = std::lower_bound(
+      cell.members.begin(), cell.members.end(), radio,
+      [](const Radio* a, const Radio* b) { return a->attach_seq_ < b->attach_seq_; });
+  cell.members.insert(pos, radio);
+  ++cell.epoch;
+  radio->cell_ = ci;
+}
+
+void Medium::grid_remove(Radio* radio) {
+  Cell& cell = cells_[radio->cell_];
+  std::erase(cell.members, radio);
+  ++cell.epoch;
+  radio->cell_ = Radio::kNoCell;
+}
+
+void Medium::radio_moved(Radio& radio) {
+  const auto [cx, cy] = grid_coords(radio.position_);
+  Cell& cell = cells_[radio.cell_];
+  if (cell.cx == cx && cell.cy == cy) {
+    // Same cell: geometry changed, so every plan whose neighborhood holds
+    // this cell must refresh its RSSIs — but only those. Senders more than
+    // one cell away never heard this radio and keep their plans.
+    ++cell.epoch;
+    return;
+  }
+  grid_remove(&radio);
+  grid_insert(&radio);
+}
+
+void Medium::radio_retuned(Radio& radio) {
+  ensure_grid_bounds(radio);
+  ++cells_[radio.cell_].epoch;
+}
+
+void Medium::ensure_grid_bounds(const Radio& radio) {
+  bool widened = false;
+  if (radio.tx_power_dbm_ > grid_power_ceiling_) {
+    grid_power_ceiling_ = radio.tx_power_dbm_;
+    widened = true;
+  }
+  if (radio.sensitivity_dbm_ < grid_sens_floor_) {
+    grid_sens_floor_ = radio.sensitivity_dbm_;
+    widened = true;
+  }
+  if (!widened) return;
+  const double need = std::max(
+      config_.grid_cell_m, audible_range(grid_power_ceiling_, grid_sens_floor_));
+  if (need > cell_size_m_) regrid(need);
+}
+
+void Medium::regrid(double new_cell_m) {
+  // Rare (a radio exceeded the configured bounds): rebuild every cell at
+  // the wider side. grid_epoch_ stales every outstanding plan at once.
+  cell_size_m_ = new_cell_m;
+  ++grid_epoch_;
+  cells_.clear();
+  cell_index_.clear();
+  for (Radio* radio : radios_) grid_insert(radio);
+}
+
+std::vector<const Radio*> Medium::grid_cell_members(std::int32_t cx,
+                                                    std::int32_t cy) const {
+  const std::uint32_t ci = find_cell(cx, cy);
+  if (ci == Radio::kNoCell) return {};
+  return {cells_[ci].members.begin(), cells_[ci].members.end()};
+}
+
+// ---- Membership -------------------------------------------------------------
+
 void Medium::attach(Radio* radio) {
   radio->attach_seq_ = next_attach_seq_++;
+  radio->radios_index_ = radios_.size();
   radios_.push_back(radio);
-  by_channel_[radio->channel_].push_back(radio);
+  *by_seq_.try_emplace(radio->attach_seq_).first = radio;
+  if (grid_enabled()) {
+    ensure_grid_bounds(*radio);
+    grid_insert(radio);
+  } else {
+    // Attach order is attach_seq_ order, so push_back keeps the per-channel
+    // list sorted (deliver's RNG draw order depends on it).
+    channel_list(radio->channel_).push_back(radio);
+  }
   invalidate_plans();
 }
 
 void Medium::detach(Radio* radio) {
-  std::erase(radios_, radio);
-  std::erase(by_channel_[radio->channel_], radio);
+  Radio* last = radios_.back();
+  radios_[radio->radios_index_] = last;
+  last->radios_index_ = radio->radios_index_;
+  radios_.pop_back();
+  *by_seq_.try_emplace(radio->attach_seq_).first = nullptr;
+  if (grid_enabled()) {
+    grid_remove(radio);
+  } else {
+    std::erase(channel_list(radio->channel_), radio);
+  }
   // attach_seq_ values are never reused, but dropping every pair-cache
   // slice on a (rare) detach keeps them from accumulating dead pairs.
   // The bump invalidates lazily; each slice empties on its next probe.
@@ -176,50 +384,103 @@ void Medium::detach(Radio* radio) {
   // Stale PlanEntry::rx pointers into this radio are never dereferenced:
   // the epoch bump forces every plan to rebuild before its next walk.
   invalidate_plans();
-  // Any in-flight transmission from this radio is dropped at delivery time
-  // (sender pointer no longer attached).
+  // Any in-flight transmission from this radio is corrupted here, which is
+  // what makes deliver_impl()'s sender pointer safe to dereference: a
+  // non-corrupted ActiveTx implies its sender is still attached.
   for (auto& tx : active_) {
     if (tx.sender == radio) tx.corrupted = true;
   }
 }
 
 void Medium::move_channel(Radio* radio, Channel from, Channel to) {
-  std::erase(by_channel_[from], radio);
-  // Re-insert by attach_seq_ so the per-channel order always matches the
-  // relative order in radios_ (deliver's RNG draw order depends on it).
-  auto& list = by_channel_[to];
-  const auto pos = std::lower_bound(
-      list.begin(), list.end(), radio, [](const Radio* a, const Radio* b) {
-        return a->attach_seq_ < b->attach_seq_;
-      });
-  list.insert(pos, radio);
+  if (grid_enabled()) {
+    // Cell membership is channel-agnostic; the hop only perturbs plans in
+    // the radio's own neighborhood (it appears/disappears as a receiver).
+    ++cells_[radio->cell_].epoch;
+  } else {
+    std::erase(channel_list(from), radio);
+    // Re-insert by attach_seq_ so the per-channel order stays the global
+    // attach order (deliver's RNG draw order depends on it).
+    auto& list = channel_list(to);
+    const auto pos = std::lower_bound(
+        list.begin(), list.end(), radio, [](const Radio* a, const Radio* b) {
+          return a->attach_seq_ < b->attach_seq_;
+        });
+    list.insert(pos, radio);
+  }
   invalidate_plans();
 }
+
+// ---- Delivery ---------------------------------------------------------------
 
 const Radio::DeliveryPlan& Medium::delivery_plan(const Radio& sender,
                                                  Channel channel) {
   Radio::DeliveryPlan& plan = sender.plan_;
-  if (plan.epoch == world_epoch_ && plan.channel == channel) return plan;
+  if (!grid_enabled()) {
+    if (plan.epoch == world_epoch_ && plan.channel == channel) return plan;
+    const obs::Profiler::Scope scope(sim_.profiler(), plan_scope_);
+    ++plan_rebuild_count_;
+    plan.epoch = world_epoch_;
+    plan.channel = channel;
+    plan.entries.clear();
+    // pair_rssi keeps the per-pair epoch cache: a rebuild triggered by one
+    // radio's move only recomputes the pairs whose endpoints actually
+    // changed, and the rssi_miss_count_ bookkeeping stays identical to the
+    // pre-plan per-visit probing (same pairs stale at the same times).
+    if (const std::vector<Radio*>* list = find_channel_list(channel)) {
+      plan.entries.reserve(list->size());
+      for (Radio* rx : *list) {
+        if (rx == &sender) continue;
+        plan.entries.push_back(
+            Radio::PlanEntry{rx, pair_rssi(sender, *rx), rx->sensitivity_dbm_});
+      }
+    }
+    return plan;
+  }
+
+  const Cell& home = cells_[sender.cell_];
+  const std::uint64_t neigh = neighborhood_epochs(home.cx, home.cy);
+  if (plan.epoch == grid_epoch_ && plan.channel == channel &&
+      plan.cell == sender.cell_ && plan.neigh_epochs == neigh) {
+    return plan;
+  }
   const obs::Profiler::Scope scope(sim_.profiler(), plan_scope_);
   ++plan_rebuild_count_;
-  plan.epoch = world_epoch_;
+  plan.epoch = grid_epoch_;
   plan.channel = channel;
+  plan.cell = sender.cell_;
+  plan.neigh_epochs = neigh;
   plan.entries.clear();
-  const std::vector<Radio*>& list = by_channel_[channel];
-  plan.entries.reserve(list.size());
-  // pair_rssi keeps the per-pair epoch cache: a rebuild triggered by one
-  // radio's move only recomputes the pairs whose endpoints actually
-  // changed, and the rssi_miss_count_ bookkeeping stays identical to the
-  // pre-plan per-visit probing (same pairs stale at the same times).
-  for (Radio* rx : list) {
-    if (rx == &sender) continue;
-    plan.entries.push_back(
-        Radio::PlanEntry{rx, pair_rssi(sender, *rx), rx->sensitivity_dbm_});
+  for (std::int32_t dy = -1; dy <= 1; ++dy) {
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+      const std::uint32_t ci = find_cell(home.cx + dx, home.cy + dy);
+      if (ci == Radio::kNoCell) continue;
+      for (Radio* rx : cells_[ci].members) {
+        if (rx == &sender || rx->channel_ != channel) continue;
+        plan.entries.push_back(
+            Radio::PlanEntry{rx, pair_rssi(sender, *rx), rx->sensitivity_dbm_});
+      }
+    }
   }
+  // Receivers must be visited in attach_seq_ order — the order the flat
+  // path walks them — so a delivery's RNG draw sequence cannot depend on
+  // cell geometry. Cells are individually sorted; the 9-way union is
+  // small, so one sort beats a heap merge.
+  std::sort(plan.entries.begin(), plan.entries.end(),
+            [](const Radio::PlanEntry& a, const Radio::PlanEntry& b) {
+              return a.rx->attach_seq_ < b.rx->attach_seq_;
+            });
   return plan;
 }
 
 double Medium::pair_rssi(const Radio& tx, const Radio& rx) {
+  if (!config_.pair_rssi_cache) {
+    // Metro-scale worlds: constant mobility stales every entry before its
+    // next use while tens of thousands of per-sender slices cost real
+    // memory, so compute directly. Every probe counts as a miss.
+    ++rssi_miss_count_;
+    return rssi_at(tx.tx_power_dbm_, distance(tx.position_, rx.position_));
+  }
   if (tx.cache_gen_seen_ != cache_generation_) {
     tx.pair_cache_.clear();
     tx.cache_gen_seen_ = cache_generation_;
@@ -244,19 +505,29 @@ void Medium::transmit(Radio& sender, util::Bytes frame) {
   const sim::Time end = sim_.now() + airtime(frame.size());
   const std::uint64_t id = next_tx_id_++;
 
+  std::int32_t scx = 0;
+  std::int32_t scy = 0;
+  if (grid_enabled()) {
+    const Cell& cell = cells_[sender.cell_];
+    scx = cell.cx;
+    scy = cell.cy;
+  }
   // No pruning needed: every entry's deliver event erases it, and events
   // fire in time order, so nothing in active_ is ever past its end_time.
   // Overlap on the same channel: two concurrent audible transmissions
-  // corrupt each other (no capture effect).
+  // corrupt each other (no capture effect). Grid mode corrupts only when
+  // the senders are within two cells — any receiver hearing both is within
+  // one cell of each, so farther pairs cannot share a victim.
   bool collided = false;
   for (auto& tx : active_) {
-    if (tx.channel == sender.channel() && tx.end_time > sim_.now()) {
-      tx.corrupted = true;
-      ++collision_count_;
-      collided = true;
-    }
+    if (tx.channel != sender.channel() || tx.end_time <= sim_.now()) continue;
+    if (grid_enabled() && cell_chebyshev(tx.cx, tx.cy, scx, scy) > 2) continue;
+    tx.corrupted = true;
+    ++collision_count_;
+    collided = true;
   }
-  active_.push_back(ActiveTx{id, sender.channel(), sim_.now(), end, &sender, collided});
+  active_.push_back(
+      ActiveTx{id, sender.channel(), sim_.now(), end, &sender, collided, scx, scy});
 
   // Exactly 48 captured bytes: stays in EventFn's inline storage. The
   // frame buffer is recycled once every receiver has been handed its view.
@@ -285,9 +556,9 @@ void Medium::deliver_impl(std::uint64_t tx_id, const Radio* sender,
   ROGUE_ASSERT(it != active_.end());
   const ActiveTx tx = *it;
   active_.erase(it);
+  // A detached-mid-flight sender's transmissions were corrupted by
+  // detach(), so a surviving entry's sender pointer is safe to follow.
   if (tx.corrupted) return;
-  // Sender may have been detached mid-flight.
-  if (std::find(radios_.begin(), radios_.end(), sender) == radios_.end()) return;
 
   // Batched fan-out: one walk over the sender's flattened delivery plan
   // (per-channel order minus the sender, so the RNG draw sequence is
@@ -351,29 +622,46 @@ void Medium::deliver_impl(std::uint64_t tx_id, const Radio* sender,
       rx->handler_(frame, RxInfo{now, rssi, tx.channel});
     } else {
       ++chaos_delayed_count_;
-      deliver_late(rx, tx.channel, rssi, now + extra, frame);
+      deliver_late(rx, tx.channel, rssi, now + extra, frame, tx.cx, tx.cy);
     }
     if (duplicated) {
       ++chaos_duplicated_count_;
       deliver_late(rx, tx.channel, rssi, now + extra + rng.uniform_u64(100, 1000),
-                   frame);
+                   frame, tx.cx, tx.cy);
     }
   }
 }
 
 void Medium::deliver_late(Radio* rx, Channel channel, double rssi, sim::Time at,
-                          const util::Bytes& frame) {
+                          const util::Bytes& frame, std::int32_t from_cx,
+                          std::int32_t from_cy) {
   // The original frame buffer is recycled when the delivery event returns,
-  // so a held-back copy needs its own pooled buffer.
+  // so a held-back copy needs its own pooled buffer. The receiver rides
+  // along as its attach_seq_ — never as a pointer — because it may be
+  // destroyed before the event fires.
   util::Bytes copy = sim_.buffer_pool().acquire(frame.size());
   copy.assign(frame.begin(), frame.end());
-  sim_.at(at, [this, rx, channel, rssi, f = std::move(copy)]() mutable {
+  sim_.at(at, [this, seq = rx->attach_seq_, channel, rssi, from_cx, from_cy,
+               f = std::move(copy)]() mutable {
     // The world may have changed while the frame was held: deliver only if
-    // the receiver is still attached, tuned to the channel, and listening.
-    if (std::find(radios_.begin(), radios_.end(), rx) != radios_.end() &&
-        rx->channel_ == channel && rx->handler_) {
-      ++rx->frames_received_;
-      rx->handler_(f, RxInfo{sim_.now(), rssi, channel});
+    // the receiver is still attached, tuned to the channel, listening —
+    // and, in grid mode, still within audible range of the cell the frame
+    // left from. A radio that migrated out of that 3x3 neighborhood mid-
+    // flight can no longer hear the transmitter. (After a regrid the
+    // captured coordinates refer to the old cell size; the check stays a
+    // sound approximation and regrids are rare.)
+    Radio* const* slot = by_seq_.find(seq);
+    Radio* live = slot != nullptr ? *slot : nullptr;
+    if (live != nullptr && live->channel_ == channel && live->handler_) {
+      bool audible = true;
+      if (grid_enabled()) {
+        const Cell& cell = cells_[live->cell_];
+        audible = cell_chebyshev(cell.cx, cell.cy, from_cx, from_cy) <= 1;
+      }
+      if (audible) {
+        ++live->frames_received_;
+        live->handler_(f, RxInfo{sim_.now(), rssi, channel});
+      }
     }
     sim_.buffer_pool().release(std::move(f));
   });

@@ -8,12 +8,23 @@
 // its RSSI clears the radio's sensitivity, it survives a margin-dependent
 // error probability, and it did not overlap another audible transmission
 // on the same channel (collision, no capture effect).
+//
+// Two delivery geometries share this interface:
+//   - flat (default): every radio on the channel is a delivery candidate,
+//     and any world change bumps one global epoch. Right for office-sized
+//     worlds where everyone hears everyone.
+//   - spatial grid (MediumConfig::spatial_grid): radios are bucketed into
+//     square cells whose side is the maximum audible range, so a sender's
+//     delivery plan only walks its 3x3 cell neighborhood and a position
+//     change invalidates only the senders whose neighborhoods contain the
+//     affected cell. Carrier sense and collisions localize the same way.
+//     Right for metro-scale worlds (hundreds of APs, 10k+ roaming STAs).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -62,6 +73,29 @@ struct MediumConfig {
   sim::Time sense_latency_us = 15;
   /// Max random backoff added when deferring to a busy channel.
   sim::Time max_backoff_us = 300;
+
+  // ---- Spatial grid (metro scale) ----------------------------------------
+  /// Bucket radios into square cells of the maximum audible range and
+  /// deliver from the 3x3 cell neighborhood instead of the whole channel.
+  /// Off by default: flat worlds keep their exact delivery and RNG-draw
+  /// behavior (including golden report digests).
+  bool spatial_grid = false;
+  /// Explicit cell side in metres; 0 derives it from the power ceiling /
+  /// sensitivity floor below. The effective side is never below the
+  /// derived audible range — an undersized cell would silence receivers a
+  /// flat medium could reach.
+  double grid_cell_m = 0.0;
+  /// Loudest transmitter / most sensitive receiver the grid is sized for
+  /// (defaults match Radio's defaults). Attaching or re-tuning a radio
+  /// beyond these bounds widens them and triggers a (rare) full regrid,
+  /// so the 3x3 neighborhood always covers the true audible range.
+  double grid_tx_power_ceiling_dbm = 15.0;
+  double grid_sensitivity_floor_dbm = -85.0;
+  /// Pairwise-RSSI memoisation (Radio::pair_cache_). Worth it for mostly
+  /// static worlds; metro-scale roaming turns it off because every
+  /// mobility tick stales the entries while tens of thousands of
+  /// per-sender slices cost real memory.
+  bool pair_rssi_cache = true;
 };
 
 class Medium;
@@ -99,6 +133,13 @@ class Radio {
   /// the simulator's BufferPool, returned to it after delivery.
   [[nodiscard]] util::Bytes acquire_buffer(std::size_t reserve_hint = 0);
 
+  /// Release the per-sender fan-out state (delivery plan + pair-RSSI
+  /// slice) back to the allocator. Purely a memory knob for worlds with
+  /// many rarely-transmitting radios (a metro STA sends a handful of
+  /// join frames, then holds a neighborhood-sized plan forever); the
+  /// state rebuilds transparently on the next transmission.
+  void trim_tx_state();
+
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
   [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
   [[nodiscard]] std::uint64_t frames_deferred() const { return deferred_; }
@@ -106,6 +147,8 @@ class Radio {
 
  private:
   friend class Medium;
+
+  static constexpr std::uint32_t kNoCell = 0xffffffffu;
 
   /// Pairwise RSSI (before per-reception noise) memoised between geometry
   /// changes; entries are revalidated against both radios' geom_epoch_.
@@ -125,12 +168,18 @@ class Radio {
     double sens_dbm;
   };
 
-  /// Per-sender fan-out table for one channel, valid while the medium's
-  /// world epoch is unchanged (any attach/detach/channel/geometry/
-  /// sensitivity change invalidates every plan at once).
+  /// Per-sender fan-out table for one channel. Flat mode validates it
+  /// against the medium's world epoch (any attach/detach/channel/
+  /// geometry/sensitivity change invalidates every plan at once). Grid
+  /// mode validates it against the sender's cell plus the summed epochs
+  /// of the 3x3 neighborhood (cell epochs only move forward, so an
+  /// unchanged sum over a fixed neighborhood means an unchanged world
+  /// within audible range).
   struct DeliveryPlan {
-    std::uint64_t epoch = 0;  ///< world epoch at build; 0 = never built
+    std::uint64_t epoch = 0;  ///< world epoch (flat) / grid epoch (grid); 0 = never built
     Channel channel = 0;
+    std::uint32_t cell = kNoCell;    ///< sender's cell index at build (grid)
+    std::uint64_t neigh_epochs = 0;  ///< 3x3 cell-epoch sum at build (grid)
     std::vector<PlanEntry> entries;
   };
 
@@ -144,6 +193,8 @@ class Radio {
   double sensitivity_dbm_ = -85.0;
   std::uint64_t attach_seq_ = 0;   ///< attach order; keys the medium's caches
   std::uint32_t geom_epoch_ = 0;   ///< bumped on position/tx-power changes
+  std::uint32_t cell_ = kNoCell;   ///< grid cell index (grid mode only)
+  std::size_t radios_index_ = 0;   ///< slot in Medium::radios_ (O(1) detach)
   /// Mutable: rebuilt lazily inside deliver_impl(), which sees the sender
   /// through a const pointer recorded at transmit time.
   mutable DeliveryPlan plan_;
@@ -180,8 +231,14 @@ class Medium {
   [[nodiscard]] sim::Time airtime(std::size_t bytes) const;
   /// RSSI (dBm) at distance d metres for the given tx power.
   [[nodiscard]] double rssi_at(double tx_power_dbm, double dist_m) const;
+  /// Distance at which a transmitter at `tx_power_dbm` can still reach a
+  /// receiver at `sensitivity_dbm` after the most favourable +rssi_noise_db
+  /// fade — the radius the grid's cell side must cover.
+  [[nodiscard]] double audible_range(double tx_power_dbm,
+                                     double sensitivity_dbm) const;
   /// Latest end time of transmissions on `channel` that a carrier-sensing
   /// radio can currently see (ignores those inside the blind window).
+  /// World-wide view; grid-mode senders use the localized overload below.
   [[nodiscard]] sim::Time channel_busy_until(Channel channel) const;
 
   [[nodiscard]] std::uint64_t frames_transmitted() const { return tx_count_; }
@@ -190,9 +247,29 @@ class Medium {
   /// one sender's flattened fan-out table after a world change). A static
   /// world settles at one rebuild per active sender.
   [[nodiscard]] std::uint64_t plan_rebuilds() const { return plan_rebuild_count_; }
-  /// Monotonic world epoch: bumped by any attach/detach/channel/geometry/
-  /// sensitivity change; delivery plans are validated against it.
+  /// Monotonic world epoch: bumped by any attach/detach/channel change (and
+  /// in flat mode by geometry/sensitivity changes too — grid mode keeps
+  /// those cell-local, which is the whole point). Flat delivery plans are
+  /// validated against it.
   [[nodiscard]] std::uint64_t world_epoch() const { return world_epoch_; }
+
+  // ---- Spatial-grid introspection (tests, benchmarks) ---------------------
+  [[nodiscard]] bool grid_enabled() const { return config_.spatial_grid; }
+  /// Effective cell side (0 when the grid is off). May grow over the run
+  /// if a radio exceeds the configured power ceiling / sensitivity floor.
+  [[nodiscard]] double grid_cell_size_m() const { return cell_size_m_; }
+  /// Cells that have ever held a radio (never shrinks during a run).
+  [[nodiscard]] std::size_t grid_cell_count() const { return cells_.size(); }
+  /// Bumped on every regrid (bounds widening); plans from before a regrid
+  /// are all stale.
+  [[nodiscard]] std::uint64_t grid_generation() const { return grid_epoch_; }
+  /// Cell coordinates a radio at `p` belongs to.
+  [[nodiscard]] std::pair<std::int32_t, std::int32_t> grid_coords(
+      const Position& p) const;
+  /// Members of one cell in attach_seq_ order (empty if the cell does not
+  /// exist). For property tests against brute-force recomputation.
+  [[nodiscard]] std::vector<const Radio*> grid_cell_members(
+      std::int32_t cx, std::int32_t cy) const;
 
   /// Chaos knob: extra loss probability layered on top of the configured
   /// base_loss_prob while a degradation window is open (fault injection,
@@ -231,6 +308,27 @@ class Medium {
     sim::Time end_time;
     const Radio* sender;
     bool corrupted;
+    std::int32_t cx;  ///< sender cell coords at tx start (grid mode)
+    std::int32_t cy;
+  };
+
+  /// One grid cell: the radios currently inside one cell-sized square,
+  /// sorted by attach_seq_ so neighborhood gathers preserve the flat
+  /// path's RNG draw order. Cells are created on first occupancy and kept
+  /// for the life of the run (their epoch must stay monotone).
+  struct Cell {
+    std::int32_t cx = 0;
+    std::int32_t cy = 0;
+    std::uint64_t epoch = 1;  ///< bumped on membership/geometry change
+    std::vector<Radio*> members;
+  };
+
+  /// Flat-mode per-channel index. Sized by occupancy — worlds touch a
+  /// handful of channels, so a fixed 256-entry array was dead weight per
+  /// sweep replica. Lists are sorted by attach_seq_ (RNG draw order).
+  struct ChannelList {
+    Channel channel = 0;
+    std::vector<Radio*> radios;
   };
 
   void attach(Radio* radio);
@@ -242,26 +340,82 @@ class Medium {
                     const util::Bytes& frame);
   [[nodiscard]] double pair_rssi(const Radio& tx, const Radio& rx);
   /// Hand a chaos-delayed (or duplicated) frame copy to `rx` at the
-  /// scheduled time, re-validating attachment/channel/handler first.
+  /// scheduled time, re-validating attachment/channel/handler — and, in
+  /// grid mode, that the receiver is still within audible range of the
+  /// cell the frame left from (`from_cx`/`from_cy`).
   void deliver_late(Radio* rx, Channel channel, double rssi, sim::Time at,
-                    const util::Bytes& frame);
-  /// Invalidate every sender's cached delivery plan (O(1): plans revalidate
-  /// lazily against the bumped epoch on their next use).
+                    const util::Bytes& frame, std::int32_t from_cx,
+                    std::int32_t from_cy);
+  /// Flat mode: invalidate every sender's cached delivery plan (O(1):
+  /// plans revalidate lazily against the bumped epoch on their next use).
   void invalidate_plans() { ++world_epoch_; }
   /// The sender's flattened fan-out table for `channel`, rebuilt if stale.
   [[nodiscard]] const Radio::DeliveryPlan& delivery_plan(const Radio& sender,
                                                          Channel channel);
+  /// CSMA view for one listening radio: in grid mode only transmissions
+  /// from the listener's 3x3 neighborhood are sensed.
+  [[nodiscard]] sim::Time channel_busy_for(const Radio& listener) const;
   /// Publish the plain member tallies below into the stats registry;
   /// runs from the registry's on_snapshot() hook.
   void flush_stats();
 
+  // ---- Flat-mode channel index --------------------------------------------
+  [[nodiscard]] std::vector<Radio*>& channel_list(Channel ch);
+  [[nodiscard]] const std::vector<Radio*>* find_channel_list(Channel ch) const;
+
+  // ---- Grid internals -----------------------------------------------------
+  [[nodiscard]] static std::uint64_t cell_key(std::int32_t cx, std::int32_t cy);
+  /// Cell index for (cx, cy), creating the cell on first use.
+  [[nodiscard]] std::uint32_t cell_at(std::int32_t cx, std::int32_t cy);
+  /// Index of an existing cell, or Radio::kNoCell.
+  [[nodiscard]] std::uint32_t find_cell(std::int32_t cx, std::int32_t cy) const;
+  /// Sum of the 3x3 neighborhood's cell epochs around (cx, cy). Missing
+  /// cells contribute 0; a cell springing into existence bumps the sum
+  /// because insertion bumps its epoch past the initial value.
+  [[nodiscard]] std::uint64_t neighborhood_epochs(std::int32_t cx,
+                                                 std::int32_t cy) const;
+  /// Insert `radio` into the cell for its current position (sorted by
+  /// attach_seq_) and bump that cell's epoch.
+  void grid_insert(Radio* radio);
+  /// Remove `radio` from its cell and bump that cell's epoch.
+  void grid_remove(Radio* radio);
+  /// set_position() hook: same cell -> bump its epoch (geometry changed);
+  /// cell crossing -> move membership and bump both cells.
+  void radio_moved(Radio& radio);
+  /// set_tx_power/set_sensitivity hook: widen grid bounds if needed, bump
+  /// the radio's cell.
+  void radio_retuned(Radio& radio);
+  /// Widen the power ceiling / sensitivity floor to cover `radio`; regrids
+  /// (rare, O(N)) when the audible range outgrows the current cell side.
+  void ensure_grid_bounds(const Radio& radio);
+  /// Rebuild every cell at `new_cell_m`; all outstanding plans go stale
+  /// via grid_epoch_.
+  void regrid(double new_cell_m);
+  /// Chebyshev distance in cells between two cell coordinates.
+  [[nodiscard]] static std::int32_t cell_chebyshev(std::int32_t ax, std::int32_t ay,
+                                                   std::int32_t bx, std::int32_t by);
+
   sim::Simulator& sim_;
   MediumConfig config_;
+  /// Every attached radio, unordered (detach swap-removes via
+  /// Radio::radios_index_). Delivery order never reads this — flat mode
+  /// orders by the per-channel lists, grid mode by per-cell membership.
   std::vector<Radio*> radios_;
-  /// Radios per channel, ordered by attach_seq_ — the same relative order
-  /// as radios_, so per-channel iteration preserves RNG draw order.
-  std::array<std::vector<Radio*>, 256> by_channel_{};
+  /// attach_seq_ -> radio, nulled on detach (FlatU64Map has no erase).
+  /// Lets chaos-delayed deliveries revalidate a receiver without an O(N)
+  /// scan and without dereferencing a possibly-destroyed pointer.
+  util::FlatU64Map<Radio*> by_seq_;
+  std::vector<ChannelList> channels_;
   std::vector<ActiveTx> active_;
+
+  // Spatial grid state (grid mode only; empty containers otherwise).
+  std::vector<Cell> cells_;
+  util::FlatU64Map<std::uint32_t> cell_index_;  ///< cell_key -> index + 1
+  double cell_size_m_ = 0.0;
+  double grid_power_ceiling_ = 0.0;
+  double grid_sens_floor_ = 0.0;
+  std::uint64_t grid_epoch_ = 1;
+
   double extra_loss_ = 0.0;
   double reorder_prob_ = 0.0;
   double duplicate_prob_ = 0.0;
@@ -310,23 +464,36 @@ class Medium {
   std::uint64_t flush_token_ = 0;
 };
 
-// Geometry/sensitivity setters invalidate every cached delivery plan, so
-// their bodies live after Medium's definition.
+// Geometry/sensitivity setters route through the medium so the right
+// invalidation fires (global world epoch in flat mode, cell-local epochs
+// in grid mode); their bodies live after Medium's definition.
 inline void Radio::set_position(Position p) {
   position_ = p;
   ++geom_epoch_;
-  medium_.invalidate_plans();
+  if (medium_.grid_enabled()) {
+    medium_.radio_moved(*this);
+  } else {
+    medium_.invalidate_plans();
+  }
 }
 
 inline void Radio::set_tx_power_dbm(double p) {
   tx_power_dbm_ = p;
   ++geom_epoch_;
-  medium_.invalidate_plans();
+  if (medium_.grid_enabled()) {
+    medium_.radio_retuned(*this);
+  } else {
+    medium_.invalidate_plans();
+  }
 }
 
 inline void Radio::set_sensitivity_dbm(double s) {
   sensitivity_dbm_ = s;
-  medium_.invalidate_plans();
+  if (medium_.grid_enabled()) {
+    medium_.radio_retuned(*this);
+  } else {
+    medium_.invalidate_plans();
+  }
 }
 
 }  // namespace rogue::phy

@@ -50,6 +50,24 @@ util::Json to_json(const RunMetrics& run, bool include_wall) {
     transport.set("sessions_reaped", m.vpn_sessions_reaped);
     metrics.set("transport", std::move(transport));
   }
+  // Metro block only when a metro roaming episode ran: legacy reports (and
+  // the pinned golden digest) stay byte-identical.
+  if (m.metro_enabled) {
+    util::Json metro = util::Json::object();
+    metro.set("stas", m.metro_stas);
+    metro.set("aps", m.metro_aps);
+    metro.set("associations", m.metro_associations);
+    metro.set("roams", m.metro_roams);
+    metro.set("beacon_losses", m.metro_beacon_losses);
+    metro.set("join_failures", m.metro_join_failures);
+    metro.set("deauths", m.metro_deauths);
+    metro.set("promiscuous_assocs", m.metro_promiscuous_assocs);
+    metro.set("promiscuous_rate", m.metro_promiscuous_rate);
+    metro.set("assoc_fraction", m.metro_assoc_fraction);
+    metro.set("roam_p50_s", m.metro_roam_p50_s);
+    metro.set("roam_p95_s", m.metro_roam_p95_s);
+    metrics.set("metro", std::move(metro));
+  }
   // WIDS block only when a tournament episode ran: legacy reports (and the
   // pinned golden digest) stay byte-identical.
   if (m.wids_enabled) {
@@ -149,6 +167,23 @@ std::optional<RunMetrics> run_metrics_from_json(const util::Json& j) {
     (void)read_u64(*transport, "rekeys", &m.vpn_rekeys);
     (void)read_u64(*transport, "roams", &m.vpn_roams);
     (void)read_u64(*transport, "sessions_reaped", &m.vpn_sessions_reaped);
+  }
+  // Metro block is optional; its presence implies metro_enabled.
+  const util::Json* metro = metrics->find("metro");
+  if (metro != nullptr && metro->type() == util::Json::Type::kObject) {
+    m.metro_enabled = true;
+    (void)read_u64(*metro, "stas", &m.metro_stas);
+    (void)read_u64(*metro, "aps", &m.metro_aps);
+    (void)read_u64(*metro, "associations", &m.metro_associations);
+    (void)read_u64(*metro, "roams", &m.metro_roams);
+    (void)read_u64(*metro, "beacon_losses", &m.metro_beacon_losses);
+    (void)read_u64(*metro, "join_failures", &m.metro_join_failures);
+    (void)read_u64(*metro, "deauths", &m.metro_deauths);
+    (void)read_u64(*metro, "promiscuous_assocs", &m.metro_promiscuous_assocs);
+    (void)read_double(*metro, "promiscuous_rate", &m.metro_promiscuous_rate);
+    (void)read_double(*metro, "assoc_fraction", &m.metro_assoc_fraction);
+    (void)read_double(*metro, "roam_p50_s", &m.metro_roam_p50_s);
+    (void)read_double(*metro, "roam_p95_s", &m.metro_roam_p95_s);
   }
   // WIDS block is optional; its presence implies wids_enabled.
   const util::Json* wids = metrics->find("wids");

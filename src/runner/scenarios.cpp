@@ -4,6 +4,7 @@
 
 #include "scenario/corp_world.hpp"
 #include "scenario/hotspot.hpp"
+#include "scenario/metro_world.hpp"
 
 namespace rogue::runner {
 
@@ -28,6 +29,12 @@ Variant corp_variant(std::string name, scenario::CorpConfig cfg) {
 Variant hotspot_variant(std::string name, scenario::HotspotConfig cfg) {
   return Variant{std::move(name), [cfg](std::uint64_t) {
                    return std::make_unique<scenario::HotspotWorld>(cfg);
+                 }};
+}
+
+Variant metro_variant(std::string name, scenario::MetroConfig cfg) {
+  return Variant{std::move(name), [cfg](std::uint64_t) {
+                   return std::make_unique<scenario::MetroWorld>(cfg);
                  }};
 }
 
@@ -195,6 +202,44 @@ std::vector<Variant> corp_transport_variants(double fault_intensity) {
   return variants;
 }
 
+std::vector<Variant> metro_variants(double /*fault_intensity*/) {
+  // EXP-C5 at neighborhood scale: small enough for CI smokes and the
+  // default 100-replica sweep, large enough that roaming crosses many
+  // grid cells and several same-channel AP boundaries.
+  scenario::MetroConfig base;  // 6x4 APs, 512 STAs, spatial grid
+
+  std::vector<Variant> variants;
+  variants.push_back(metro_variant("baseline", base));
+
+  scenario::MetroConfig twin = base;
+  twin.rogue_count = 4;
+  variants.push_back(metro_variant("evil-twin", twin));
+
+  // The same world on the flat medium: sweep output then carries a
+  // same-binary grid-vs-flat comparison (equivalence is asserted by the
+  // test suite; this keeps the runtime delta visible in reports).
+  scenario::MetroConfig flat = twin;
+  flat.spatial_grid = false;
+  variants.push_back(metro_variant("flat-ref", flat));
+
+  return variants;
+}
+
+std::vector<Variant> metro_city_variants(double /*fault_intensity*/) {
+  // The acceptance-scale world: >= 200 APs, >= 50k STAs. Episode length is
+  // trimmed so one replica stays in CPU-minutes territory.
+  scenario::MetroConfig city;
+  city.ap_cols = 15;
+  city.ap_rows = 14;  // 210 legitimate APs
+  city.sta_count = 50'000;
+  city.rogue_count = 8;
+  city.episode_duration = 10 * sim::kSecond;
+
+  std::vector<Variant> variants;
+  variants.push_back(metro_variant("city", city));
+  return variants;
+}
+
 std::vector<Variant> stock_variants(std::string_view scenario,
                                     double fault_intensity) {
   if (scenario == "corp") return corp_variants(fault_intensity);
@@ -206,11 +251,14 @@ std::vector<Variant> stock_variants(std::string_view scenario,
   if (scenario == "corp-transport") {
     return corp_transport_variants(fault_intensity);
   }
+  if (scenario == "metro") return metro_variants(fault_intensity);
+  if (scenario == "metro-city") return metro_city_variants(fault_intensity);
   return {};
 }
 
 std::vector<std::string_view> known_scenarios() {
-  return {"corp", "hotspot", "corp-chaos", "hotspot-chaos", "corp-transport"};
+  return {"corp",           "hotspot", "corp-chaos", "hotspot-chaos",
+          "corp-transport", "metro",   "metro-city"};
 }
 
 }  // namespace rogue::runner

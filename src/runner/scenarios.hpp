@@ -40,6 +40,19 @@ namespace rogue::runner {
 /// `fault_intensity` scales the chaos variants (<= 0 keeps the default).
 [[nodiscard]] std::vector<Variant> corp_transport_variants(double fault_intensity = 1.0);
 
+/// Metro roaming ladder (EXP-C5 at city scale): a street grid of APs with
+/// a waypoint-roaming STA population on the spatial-grid medium. Variants:
+/// baseline (no rogues), evil-twin (rogue APs advertising the same ESS),
+/// and flat-ref (the same small world on the flat medium, for grid-vs-flat
+/// cross-checks in sweep output). `fault_intensity` is ignored — the metro
+/// episode is a roaming study, not a chaos study.
+[[nodiscard]] std::vector<Variant> metro_variants(double fault_intensity = 0.0);
+
+/// City-scale acceptance ladder: hundreds of APs, tens of thousands of
+/// STAs. One replica is minutes of CPU — meant for `--runs 1..2` scaling
+/// and determinism runs, not the default 100-replica sweep.
+[[nodiscard]] std::vector<Variant> metro_city_variants(double fault_intensity = 0.0);
+
 /// Lookup by scenario name; empty vector when unknown. `fault_intensity`
 /// overlays fault injection on the plain ladders and scales the chaos ones
 /// (<= 0 keeps the chaos scenarios at their default intensity).

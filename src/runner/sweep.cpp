@@ -89,6 +89,14 @@ VariantSummary summarize(const Variant& variant, const RunMetrics* runs,
     if (m.faults_injected > 0) {
       s.faults_injected.add(static_cast<double>(m.faults_injected));
     }
+    if (m.metro_enabled) {
+      ++s.metro_runs;
+      s.metro_associations.add(static_cast<double>(m.metro_associations));
+      s.metro_roams.add(static_cast<double>(m.metro_roams));
+      if (m.metro_roam_p95_s >= 0.0) s.metro_roam_p95_s.add(m.metro_roam_p95_s);
+      s.metro_promiscuous_rate.add(m.metro_promiscuous_rate);
+      s.metro_assoc_fraction.add(m.metro_assoc_fraction);
+    }
     s.events_fired.add(static_cast<double>(m.events_fired));
     s.sim_time_s.add(m.sim_time_s);
   }
@@ -197,6 +205,19 @@ util::Json SweepReport::to_json() const {
     agg.set("clear_packets", summary_stats_json(s.clear_packets));
     agg.set("events_fired", summary_stats_json(s.events_fired));
     agg.set("sim_time_s", summary_stats_json(s.sim_time_s));
+    // Gated like the per-replica metro block: present only when a metro
+    // episode contributed, so legacy reports keep their exact bytes.
+    if (s.metro_runs > 0) {
+      util::Json metro = util::Json::object();
+      metro.set("runs", static_cast<std::uint64_t>(s.metro_runs));
+      metro.set("associations", summary_stats_json(s.metro_associations));
+      metro.set("roams", summary_stats_json(s.metro_roams));
+      metro.set("roam_p95_s", summary_stats_json(s.metro_roam_p95_s));
+      metro.set("promiscuous_rate",
+                summary_stats_json(s.metro_promiscuous_rate));
+      metro.set("assoc_fraction", summary_stats_json(s.metro_assoc_fraction));
+      agg.set("metro", std::move(metro));
+    }
 
     util::Json layer_stats = util::Json::object();
     for (const auto& [stat_name, summary] : s.stats) {

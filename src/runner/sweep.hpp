@@ -74,6 +74,14 @@ struct VariantSummary {
   util::Summary clear_packets;
   util::Summary events_fired;
   util::Summary sim_time_s;
+  // Metro roaming (replicas with metro_enabled; the aggregate block is
+  // serialized only when metro_runs > 0, keeping legacy report bytes).
+  std::size_t metro_runs = 0;
+  util::Summary metro_associations;
+  util::Summary metro_roams;
+  util::Summary metro_roam_p95_s;
+  util::Summary metro_promiscuous_rate;
+  util::Summary metro_assoc_fraction;
   /// Layer-counter aggregates, one Summary per metric name over the
   /// variant's non-failed replicas. Gauges contribute a second
   /// "<name>.high_water" entry; histograms contribute "<name>.count" and

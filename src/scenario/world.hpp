@@ -79,6 +79,23 @@ struct Metrics {
   std::uint64_t wids_false_alerts = 0; ///< alerts before the attack began
   double wids_time_to_detect_s = -1.0; ///< attack start -> first true alert
 
+  // Metro roaming episode (EXP-C5 at city scale). Populated only by
+  // scenario::MetroWorld; metro_enabled gates serialization so legacy
+  // reports are byte-identical.
+  bool metro_enabled = false;
+  std::uint64_t metro_stas = 0;               ///< roaming population size
+  std::uint64_t metro_aps = 0;                ///< APs incl. evil twins
+  std::uint64_t metro_associations = 0;       ///< successful (re)associations
+  std::uint64_t metro_roams = 0;              ///< voluntary better-AP moves
+  std::uint64_t metro_beacon_losses = 0;      ///< watchdog-triggered drops
+  std::uint64_t metro_join_failures = 0;      ///< auth/assoc timeouts
+  std::uint64_t metro_deauths = 0;            ///< AP-initiated kicks received
+  std::uint64_t metro_promiscuous_assocs = 0; ///< joins onto an evil twin
+  double metro_promiscuous_rate = 0.0;        ///< rogue joins / all joins
+  double metro_assoc_fraction = 0.0;          ///< STAs associated at end
+  double metro_roam_p50_s = -1.0;             ///< disassoc->assoc latency
+  double metro_roam_p95_s = -1.0;             ///< -1 = no closed roam gaps
+
   // Event-kernel counters (engineering health of the replica).
   std::uint64_t events_fired = 0;
   std::uint64_t trace_records = 0;

@@ -201,9 +201,11 @@ TEST(Scenarios, StockRegistryKnowsAllLadders) {
   EXPECT_EQ(stock_variants("corp-chaos").size(), 2u);
   EXPECT_EQ(stock_variants("hotspot-chaos").size(), 2u);
   EXPECT_EQ(stock_variants("corp-transport").size(), 8u);
+  EXPECT_EQ(stock_variants("metro").size(), 3u);
+  EXPECT_EQ(stock_variants("metro-city").size(), 1u);
   EXPECT_TRUE(stock_variants("nope").empty());
   const auto names = known_scenarios();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 7u);
   for (const auto name : names) {
     std::vector<Variant> variants = stock_variants(name);
     ASSERT_FALSE(variants.empty());
