@@ -24,6 +24,7 @@
 #include "dot11/ap.hpp"
 #include "dot11/frame.hpp"
 #include "net/host.hpp"
+#include "obs/tracer.hpp"
 #include "phy/medium.hpp"
 #include "vpn/protocol.hpp"
 #include "net/link.hpp"
@@ -543,6 +544,48 @@ void BM_TraceRecordLegacy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_TraceRecordLegacy);
+
+void BM_TracerRecord(benchmark::State& state) {
+  // Causal-tracer hot path with the ring enabled: one POD store per
+  // record into the preallocated flight-recorder ring, no allocation.
+  obs::Tracer tracer;
+  tracer.set_seed(1);
+  std::uint64_t clock = 0;
+  tracer.bind_clock(&clock);
+  const obs::TraceNameId name = tracer.name("phy.rx");
+  const obs::TraceActorId actor = tracer.actor("sta:51");
+  tracer.enable(1 << 16);
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      clock = i;
+      tracer.instant(name, actor, obs::TraceLayer::kPhy, i | 1, i);
+    }
+    benchmark::DoNotOptimize(tracer.recorded());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TracerRecord);
+
+void BM_TraceDisabled(benchmark::State& state) {
+  // The price every datapath pays when tracing is off: must stay a single
+  // predictable branch per call. Gated tightly (<= 3%) by perf_gate.py —
+  // this is the "observability is free until you turn it on" contract.
+  obs::Tracer tracer;
+  tracer.set_seed(1);
+  std::uint64_t clock = 0;
+  tracer.bind_clock(&clock);
+  const obs::TraceNameId name = tracer.name("phy.rx");
+  const obs::TraceActorId actor = tracer.actor("sta:51");
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      tracer.instant(name, actor, obs::TraceLayer::kPhy, i | 1, i);
+    }
+    benchmark::DoNotOptimize(tracer.recorded());
+    benchmark::DoNotOptimize(tracer.enabled());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TraceDisabled);
 
 void BM_SimTcpTransfer(benchmark::State& state) {
   // Full in-sim TCP transfer of 100 KiB between two wired hosts:

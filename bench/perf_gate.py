@@ -42,6 +42,14 @@ RATIO_CHECKS = [
     ("BM_MediumRoamChurnFlat/4096", "BM_MediumRoamChurnGrid/4096", 10.0),
 ]
 
+# Per-benchmark thresholds stricter than --threshold. BM_TraceDisabled is
+# the disabled-tracer overhead contract (EXP-O2): instrumentation on every
+# datapath must stay within 3% when tracing is off, so a regression there
+# means someone put work ahead of the enabled check.
+TIGHT_THRESHOLDS = {
+    "BM_TraceDisabled": 0.03,
+}
+
 
 def load_benchmarks(path):
     """Return {name: cpu_time_ns} for healthy entries, plus skipped names."""
@@ -110,10 +118,13 @@ def main():
           f"{'ratio':>7} {'norm':>7}")
     for name in shared:
         norm = ratios[name] / machine
+        threshold = min(args.threshold, TIGHT_THRESHOLDS.get(name, args.threshold))
         flag = ""
-        if norm > 1.0 + args.threshold:
+        if norm > 1.0 + threshold:
             regressions.append((name, norm))
             flag = "  << REGRESSION"
+            if threshold != args.threshold:
+                flag += f" (tight {threshold:.0%} gate)"
         print(f"{name:<40} {base[name]:>10.0f}ns {cur[name]:>10.0f}ns "
               f"{ratios[name]:>6.2f}x {norm:>6.2f}x{flag}")
 

@@ -11,10 +11,11 @@
 #include <cstring>
 #include <memory>
 #include <string>
-
+#include <utility>
 #include <vector>
 
 #include "obs/pcap.hpp"
+#include "obs/profiler.hpp"
 #include "runner/scenarios.hpp"
 #include "runner/sweep.hpp"
 #include "runner/tournament.hpp"
@@ -30,7 +31,10 @@ void usage(const char* argv0) {
       "                      corp-transport|metro|metro-city]\n"
       "          [--runs N] [--jobs N] [--seed-base N] [--faults X]\n"
       "          [--out report.json] [--stats-out stats.json]\n"
+      "          [--trace-out trace.json] [--trace-ring-events N]\n"
+      "          [--timeseries-out series.jsonl] [--timeseries-dt X]\n"
       "          [--pcap-out capture.pcap] [--profile]\n"
+      "          [--profile-out profile.json]\n"
       "          [--pool-slab N] [--pool-buffer-bytes B] [--pool-poison]\n"
       "          [--log-level trace|debug|info|warn|error|off]\n"
       "          [--tournament] [--attackers a,b,...] [--detectors d,e,...]\n"
@@ -64,11 +68,32 @@ void usage(const char* argv0) {
       "                use-after-release bugs surface as loud garbage\n"
       "  --stats-out F write the per-variant layer-counter aggregates as\n"
       "                JSON (deterministic: identical bytes at any --jobs)\n"
+      "  --trace-out F enable the causal tracer / flight recorder in every\n"
+      "                replica and write a Chrome trace-event JSON (load in\n"
+      "                Perfetto or chrome://tracing; one process per\n"
+      "                replica, one track per actor, sim-time as us).\n"
+      "                Deterministic: identical bytes at any --jobs; failed\n"
+      "                replicas also embed their flight-recorder tail under\n"
+      "                \"failures\" in the report\n"
+      "  --trace-ring-events N  per-replica flight-recorder capacity in\n"
+      "                records (default 65536; oldest overwritten)\n"
+      "  --timeseries-out F  sample every replica's StatsRegistry on a\n"
+      "                sim-time cadence and write one JSON object per line\n"
+      "                (deterministic: identical bytes at any --jobs)\n"
+      "  --timeseries-dt X   sample period in sim-seconds (default 1.0)\n"
       "  --pcap-out F  run one extra frame-capturing replica of the first\n"
       "                variant (seed-base) and dump its radio traffic as a\n"
       "                LINKTYPE_IEEE802_11 pcap\n"
       "  --profile     run one extra profiled replica per variant and print\n"
       "                the sim-time profile (host wall-time; console only)\n"
+      "  --profile-out F  like --profile, but also write the per-variant\n"
+      "                profiles as JSON (host wall-time: nondeterministic,\n"
+      "                never part of the deterministic report files). With\n"
+      "                --trace-out, the profiled replicas additionally\n"
+      "                appear in the trace file as \"host-profile\" tracks\n"
+      "                (marked nondeterministic; excluded from the\n"
+      "                byte-determinism contract, so CI compares traces\n"
+      "                produced without profiling)\n"
       "\n"
       "ROGUE_LOG sets the default log level; --log-level overrides it.\n"
       "\n"
@@ -101,6 +126,44 @@ bool write_text_file(const std::string& path, const std::string& text) {
   return true;
 }
 
+/// Lay one profiled replica's rows onto a host-time track: "X" slices
+/// packed end to end in self-time order. The track visualizes *relative*
+/// host cost next to the sim-time tracks; its timestamps are host
+/// measurements, hence nondeterministic and excluded from the trace file's
+/// byte-determinism contract (CI compares traces made without --profile).
+void append_profile_track(util::Json& events, std::uint64_t pid,
+                          const std::string& variant,
+                          const obs::Profiler::Report& profile) {
+  util::Json meta_args = util::Json::object();
+  meta_args.set("name", "host-profile " + variant + " (nondeterministic)");
+  util::Json meta = util::Json::object();
+  meta.set("name", "process_name");
+  meta.set("ph", "M");
+  meta.set("pid", pid);
+  meta.set("tid", std::uint64_t{0});
+  meta.set("args", std::move(meta_args));
+  events.push_back(std::move(meta));
+
+  std::uint64_t cursor_ns = 0;
+  for (const obs::Profiler::Row& row : profile.rows) {
+    util::Json args = util::Json::object();
+    args.set("calls", row.calls);
+    args.set("total_ns", row.total_ns);
+    args.set("self_ns", row.self_ns);
+    util::Json e = util::Json::object();
+    e.set("name", row.name);
+    e.set("cat", "host");
+    e.set("ph", "X");
+    e.set("ts", cursor_ns / 1000);
+    e.set("dur", row.self_ns / 1000);
+    e.set("pid", pid);
+    e.set("tid", std::uint64_t{0});
+    e.set("args", std::move(args));
+    events.push_back(std::move(e));
+    cursor_ns += row.self_ns;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,6 +173,9 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string stats_path;
   std::string pcap_path;
+  std::string trace_path;
+  std::string timeseries_path;
+  std::string profile_path;
   bool profile = false;
   double fault_intensity = 0.0;
   bool tournament = false;
@@ -138,6 +204,16 @@ int main(int argc, char** argv) {
       out_path = value();
     } else if (std::strcmp(arg, "--stats-out") == 0) {
       stats_path = value();
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      trace_path = value();
+      cfg.trace = true;
+    } else if (std::strcmp(arg, "--trace-ring-events") == 0) {
+      cfg.trace_ring_events =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (std::strcmp(arg, "--timeseries-out") == 0) {
+      timeseries_path = value();
+    } else if (std::strcmp(arg, "--timeseries-dt") == 0) {
+      cfg.timeseries_dt_s = std::strtod(value(), nullptr);
     } else if (std::strcmp(arg, "--pool-slab") == 0) {
       cfg.pool.slab_buffers =
           static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
@@ -162,6 +238,9 @@ int main(int argc, char** argv) {
       pcap_path = value();
     } else if (std::strcmp(arg, "--profile") == 0) {
       profile = true;
+    } else if (std::strcmp(arg, "--profile-out") == 0) {
+      profile_path = value();
+      profile = true;
     } else if (std::strcmp(arg, "--help") == 0) {
       usage(argv[0]);
       return 0;
@@ -170,6 +249,9 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+  }
+  if (!timeseries_path.empty() && cfg.timeseries_dt_s <= 0.0) {
+    cfg.timeseries_dt_s = 1.0;
   }
 
   if (tournament) {
@@ -281,19 +363,74 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cfg.seed_base));
   }
 
+  // One profiled replica per variant. Wall-time attribution is a host
+  // measurement, so it never joins the deterministic report files: the
+  // console table and --profile-out JSON carry it, and with --trace-out it
+  // rides along as clearly-marked nondeterministic host-profile tracks.
+  std::vector<std::pair<std::string, obs::Profiler::Report>> profiles;
   if (profile) {
-    // One profiled replica per variant. Wall-time attribution is a host
-    // measurement, so it is console-only — never part of the report files.
     for (const runner::Variant& v : variants) {
       std::unique_ptr<scenario::World> world = v.make(cfg.seed_base);
       world->configure(cfg.seed_base);
       world->simulator().profiler().set_enabled(true);
       world->run_episode();
+      profiles.emplace_back(v.name, world->simulator().profiler().report());
       std::fprintf(stderr, "\nprofile: variant=%s seed=%llu\n%s",
                    v.name.c_str(),
                    static_cast<unsigned long long>(cfg.seed_base),
-                   world->simulator().profiler().report().table().c_str());
+                   profiles.back().second.table().c_str());
     }
+  }
+
+  if (!profile_path.empty()) {
+    util::Json j = util::Json::object();
+    j.set("scenario", cfg.scenario);
+    j.set("seed", cfg.seed_base);
+    j.set("nondeterministic", true);  // host wall-time: never diff this file
+    util::Json vars = util::Json::array();
+    for (const auto& [vname, vprofile] : profiles) {
+      util::Json entry = util::Json::object();
+      entry.set("name", vname);
+      entry.set("profile", vprofile.to_json());
+      vars.push_back(std::move(entry));
+    }
+    j.set("variants", std::move(vars));
+    const std::string text = j.dump(2);
+    if (!write_text_file(profile_path, text)) {
+      std::fprintf(stderr, "cannot write %s\n", profile_path.c_str());
+      return 1;
+    }
+    std::printf("profile written to %s (%zu bytes)\n", profile_path.c_str(),
+                text.size() + 1);
+  }
+
+  if (!trace_path.empty()) {
+    util::Json events = report.chrome_trace_events();
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      append_profile_track(events, 1000000 + i, profiles[i].first,
+                           profiles[i].second);
+    }
+    util::Json trace = util::Json::object();
+    trace.set("traceEvents", std::move(events));
+    trace.set("displayTimeUnit", "ms");
+    const std::string text = trace.dump();
+    if (!write_text_file(trace_path, text)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu bytes)\n", trace_path.c_str(),
+                text.size() + 1);
+  }
+
+  if (!timeseries_path.empty()) {
+    std::string text = report.timeseries_jsonl();
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    if (!write_text_file(timeseries_path, text)) {
+      std::fprintf(stderr, "cannot write %s\n", timeseries_path.c_str());
+      return 1;
+    }
+    std::printf("timeseries written to %s (%zu bytes)\n",
+                timeseries_path.c_str(), text.size() + 1);
   }
 
   const std::size_t failed = report.failed_count();

@@ -33,6 +33,8 @@ void Detector::attach(const DetectorEnv& env) {
   if (sim_ != nullptr) {
     stat_alerts_ =
         sim_->stats().counter("detect." + std::string(name()) + ".alerts");
+    tracer_alert_ = sim_->tracer().name("detect.alert");
+    tracer_actor_ = sim_->tracer().actor("detect:" + std::string(name()));
   }
   if (trace_ != nullptr) {
     trace_tag_ = trace_->intern("detect." + std::string(name()));
@@ -42,7 +44,15 @@ void Detector::attach(const DetectorEnv& env) {
 void Detector::observe(const dot11::FrameView&, const phy::RxInfo&) {}
 
 void Detector::emit(Alert alert) {
-  if (sim_ != nullptr) sim_->stats().add(stat_alerts_);
+  if (sim_ != nullptr) {
+    sim_->stats().add(stat_alerts_);
+    // Runs inside the offending frame's delivery scope, so the alert
+    // inherits the attack frame's trace id — chain reconstruction links
+    // attacker tx -> monitor rx -> this alert with no extra plumbing.
+    sim_->tracer().instant(tracer_alert_, tracer_actor_,
+                           obs::TraceLayer::kDetect, 0,
+                           static_cast<std::uint64_t>(alert.kind));
+  }
   if (trace_ != nullptr) {
     trace_->record(alert.time, trace_tag_,
                    std::string(to_string(alert.kind)) + " " +

@@ -141,6 +141,8 @@ class Detector {
   sim::Trace* trace_ = nullptr;
   sim::TagId trace_tag_ = 0;
   obs::CounterId stat_alerts_;
+  obs::TraceNameId tracer_alert_;
+  obs::TraceActorId tracer_actor_;
   std::vector<std::unique_ptr<phy::Radio>> radios_;
   std::vector<Alert> alerts_;
   std::set<std::pair<net::MacAddr, AlertKind>> emitted_;

@@ -48,6 +48,15 @@ AccessPoint::AccessPoint(sim::Simulator& simulator, phy::Medium& medium,
   stat_deauth_tx_ = stats.counter("dot11.ap.deauth_tx");
   stat_beacons_ = stats.counter("dot11.ap.beacons_tx");
   rx_scope_ = sim_.profiler().intern("dot11.ap.rx");
+  obs::Tracer& tracer = sim_.tracer();
+  trace_auth_ = tracer.name("dot11.auth");
+  trace_assoc_ = tracer.name("dot11.assoc");
+  trace_assoc_reject_ = tracer.name("dot11.assoc-reject");
+  trace_deauth_rx_ = tracer.name("dot11.deauth-rx");
+  trace_deauth_tx_ = tracer.name("dot11.deauth-tx");
+  trace_wpa_span_ = tracer.name("dot11.wpa");
+  trace_wpa_m2_ = tracer.name("dot11.wpa.m2");
+  trace_wpa_m3_ = tracer.name("dot11.wpa.m3");
 }
 
 void AccessPoint::start() {
@@ -199,6 +208,9 @@ void AccessPoint::handle_auth(const FrameView& frame) {
   }
   if (!auth && !frame.protected_frame) return;
   const net::MacAddr sta = frame.addr2;
+  sim_.tracer().instant(trace_auth_, radio_.trace_actor(),
+                        obs::TraceLayer::kDot11, 0,
+                        auth ? auth->transaction_seq : 0);
 
   auto reject = [&](StatusCode code) {
     AuthBody resp;
@@ -293,6 +305,8 @@ void AccessPoint::handle_assoc_req(const FrameView& frame) {
       !mac_allowed(sta)) {
     resp.status = StatusCode::kAssocDeniedUnspec;
     ++counters_.assoc_rejected;
+    sim_.tracer().instant(trace_assoc_reject_, radio_.trace_actor(),
+                          obs::TraceLayer::kDot11);
     send_mgmt(MgmtSubtype::kAssocResp, sta, resp.encode());
     trace(util::format("assoc-reject {}", sta.to_string()), sim::Severity::kWarn);
     return;
@@ -303,6 +317,8 @@ void AccessPoint::handle_assoc_req(const FrameView& frame) {
   resp.status = StatusCode::kSuccess;
   resp.association_id = aid;
   ++counters_.assoc_ok;
+  sim_.tracer().instant(trace_assoc_, radio_.trace_actor(),
+                        obs::TraceLayer::kDot11, 0, aid);
   send_mgmt(MgmtSubtype::kAssocResp, sta, resp.encode());
   trace(util::format("assoc {}", sta.to_string()));
   if (event_handler_) event_handler_("assoc", sta);
@@ -320,6 +336,8 @@ void AccessPoint::handle_deauth(const FrameView& frame) {
   sim_.stats().add(stat_deauth_rx_);
   wpa_.erase(sta);
   if (associated_.erase(sta) > 0 || authenticated_.erase(sta) > 0) {
+    sim_.tracer().instant(trace_deauth_rx_, radio_.trace_actor(),
+                          obs::TraceLayer::kDot11);
     trace(util::format("deauth-rx {}", sta.to_string()), sim::Severity::kWarn);
     if (event_handler_) event_handler_("deauth", sta);
   }
@@ -462,6 +480,12 @@ void AccessPoint::start_wpa_handshake(net::MacAddr sta) {
   state.rx_pn_max = 0;
   state.retries = 0;
   sim_.rng().fill(state.anonce);
+  // Span: M1 send -> M4 verified. The M1 transmission below starts the
+  // causal chain the whole 4-step exchange rides (each M inherits the
+  // previous one's delivery context), with `arg` binding the span to the
+  // station on APs juggling several handshakes.
+  sim_.tracer().begin(trace_wpa_span_, radio_.trace_actor(),
+                      obs::TraceLayer::kDot11, 0, sta.to_u64());
   WpaHandshakeFrame m1;
   m1.msg = WpaMsg::kM1;
   m1.nonce = state.anonce;
@@ -525,6 +549,10 @@ void AccessPoint::handle_eapol(net::MacAddr sta, util::ByteView payload) {
     state.ptk = ptk;
     state.have_ptk = true;
     state.retries = 0;
+    sim_.tracer().instant(trace_wpa_m2_, radio_.trace_actor(),
+                          obs::TraceLayer::kDot11, 0, sta.to_u64());
+    sim_.tracer().instant(trace_wpa_m3_, radio_.trace_actor(),
+                          obs::TraceLayer::kDot11, 0, sta.to_u64());
     send_m3(sta, state);
     schedule_eapol_retry(sta);
     return;
@@ -534,6 +562,8 @@ void AccessPoint::handle_eapol(net::MacAddr sta, util::ByteView payload) {
     sim_.cancel(state.retry_timer);
     state.established = true;
     ++counters_.wpa_handshakes_completed;
+    sim_.tracer().end(trace_wpa_span_, radio_.trace_actor(),
+                      obs::TraceLayer::kDot11, 0, sta.to_u64());
     trace(util::format("wpa-up {}", sta.to_string()));
     if (event_handler_) event_handler_("wpa-up", sta);
   }
@@ -553,6 +583,9 @@ void AccessPoint::deauth_station(net::MacAddr sta, ReasonCode reason) {
   authenticated_.erase(sta);
   DeauthBody body;
   body.reason = reason;
+  sim_.tracer().instant(trace_deauth_tx_, radio_.trace_actor(),
+                        obs::TraceLayer::kDot11, 0,
+                        static_cast<std::uint64_t>(reason));
   send_mgmt(MgmtSubtype::kDeauth, sta, body.encode());
   sim_.stats().add(stat_deauth_tx_);
   trace(util::format("deauth-tx {}", sta.to_string()), sim::Severity::kWarn);

@@ -178,6 +178,14 @@ class AccessPoint {
   obs::CounterId stat_deauth_tx_;
   obs::CounterId stat_beacons_;
   obs::Profiler::ScopeId rx_scope_;
+  obs::TraceNameId trace_auth_;
+  obs::TraceNameId trace_assoc_;
+  obs::TraceNameId trace_assoc_reject_;
+  obs::TraceNameId trace_deauth_rx_;
+  obs::TraceNameId trace_deauth_tx_;
+  obs::TraceNameId trace_wpa_span_;
+  obs::TraceNameId trace_wpa_m2_;
+  obs::TraceNameId trace_wpa_m3_;
 };
 
 }  // namespace rogue::dot11

@@ -39,6 +39,13 @@ Station::Station(sim::Simulator& simulator, phy::Medium& medium,
   stat_scans_ = stats.counter("dot11.sta.scans");
   stat_assocs_ = stats.counter("dot11.sta.associations");
   rx_scope_ = sim_.profiler().intern("dot11.sta.rx");
+  obs::Tracer& tracer = sim_.tracer();
+  trace_scan_ = tracer.name("dot11.scan-start");
+  trace_associated_ = tracer.name("dot11.associated");
+  trace_disconnect_ = tracer.name("dot11.disconnect");
+  trace_deauth_rx_ = tracer.name("dot11.deauth-rx");
+  trace_wpa_m1_ = tracer.name("dot11.wpa.m1");
+  trace_wpa_up_ = tracer.name("dot11.wpa-up");
 }
 
 void Station::start() {
@@ -98,6 +105,8 @@ void Station::begin_scan() {
   sim_.stats().add(stat_scans_);
   scan_results_.clear();
   scan_channel_index_ = 0;
+  sim_.tracer().instant(trace_scan_, radio_.trace_actor(),
+                        obs::TraceLayer::kDot11);
   trace("scan-start", sim::Severity::kDebug);
   radio_.set_channel(config_.scan_channels[0]);
   scan_timer_ = sim_.after(config_.scan_dwell, [this] { scan_next_channel(); });
@@ -228,6 +237,9 @@ void Station::become_associated() {
   last_beacon_time_ = sim_.now();
   arm_beacon_watchdog();
   if (wpa_like()) arm_wpa_watchdog();
+  sim_.tracer().instant(trace_associated_, radio_.trace_actor(),
+                        obs::TraceLayer::kDot11, 0,
+                        current_bss_.bssid.to_u64());
   trace(util::format("associated {}", current_bss_.bssid.to_string()));
   if (event_handler_) event_handler_("assoc", current_bss_);
 }
@@ -250,6 +262,8 @@ void Station::disconnect(std::string_view why) {
   sim_.cancel(beacon_watchdog_);
   sim_.cancel(join_timer_);
   sim_.cancel(wpa_watchdog_);
+  sim_.tracer().instant(trace_disconnect_, radio_.trace_actor(),
+                        obs::TraceLayer::kDot11);
   trace(util::format("disconnect ({})", why), sim::Severity::kWarn);
   state_ = StationState::kIdle;
   if (running_) {
@@ -374,6 +388,8 @@ void Station::handle_deauth(const FrameView& frame) {
   if (frame.addr2 != current_bss_.bssid) return;
   ++counters_.deauths_received;
   sim_.stats().add(stat_deauth_rx_);
+  sim_.tracer().instant(trace_deauth_rx_, radio_.trace_actor(),
+                        obs::TraceLayer::kDot11);
   if (event_handler_) event_handler_("deauth", current_bss_);
   disconnect("deauth");
 }
@@ -498,6 +514,8 @@ void Station::handle_eapol(util::ByteView payload) {
       sim_.rng().fill(snonce_);
       ptk_ = wpa_ptk(pmk_, current_bss_.bssid, config_.mac, hs->nonce, snonce_);
     }
+    sim_.tracer().instant(trace_wpa_m1_, radio_.trace_actor(),
+                          obs::TraceLayer::kDot11);
     WpaHandshakeFrame m2;
     m2.msg = WpaMsg::kM2;
     m2.nonce = snonce_;
@@ -520,6 +538,8 @@ void Station::handle_eapol(util::ByteView payload) {
     send_eapol(m4);
     wpa_established_ = true;
     sim_.cancel(wpa_watchdog_);
+    sim_.tracer().instant(trace_wpa_up_, radio_.trace_actor(),
+                          obs::TraceLayer::kDot11);
     trace("wpa-up");
     if (event_handler_) event_handler_("wpa-up", current_bss_);
   }

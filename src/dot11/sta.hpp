@@ -218,6 +218,12 @@ class Station {
   obs::CounterId stat_scans_;
   obs::CounterId stat_assocs_;
   obs::Profiler::ScopeId rx_scope_;
+  obs::TraceNameId trace_scan_;
+  obs::TraceNameId trace_associated_;
+  obs::TraceNameId trace_disconnect_;
+  obs::TraceNameId trace_deauth_rx_;
+  obs::TraceNameId trace_wpa_m1_;
+  obs::TraceNameId trace_wpa_up_;
 };
 
 }  // namespace rogue::dot11

@@ -96,7 +96,14 @@ Plan Plan::from_events(std::vector<FaultEvent> events) {
 }
 
 Injector::Injector(sim::Simulator& simulator, FaultTarget& target)
-    : sim_(simulator), target_(target) {}
+    : sim_(simulator), target_(target) {
+  obs::Tracer& tracer = sim_.tracer();
+  trace_actor_ = tracer.actor("faults");
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    trace_names_[i] = tracer.name(
+        "fault." + std::string(to_string(static_cast<FaultKind>(i))));
+  }
+}
 
 Injector::~Injector() {
   for (const sim::TimerHandle handle : timers_) sim_.cancel(handle);
@@ -116,6 +123,9 @@ void Injector::install(Plan plan) {
 void Injector::begin(const FaultEvent& event) {
   ++injected_;
   const auto kind = static_cast<std::size_t>(event.kind);
+  sim_.tracer().begin(trace_names_[kind], trace_actor_,
+                      obs::TraceLayer::kFaults, 0,
+                      static_cast<std::uint64_t>(event.severity * 1000.0));
   switch (event.kind) {
     case FaultKind::kApOutage:
       if (depth_[kind]++ == 0) target_.fault_ap(true);
@@ -146,6 +156,9 @@ void Injector::begin(const FaultEvent& event) {
 
 void Injector::end(const FaultEvent& event) {
   const auto kind = static_cast<std::size_t>(event.kind);
+  sim_.tracer().end(trace_names_[kind], trace_actor_,
+                    obs::TraceLayer::kFaults, 0,
+                    static_cast<std::uint64_t>(event.severity * 1000.0));
   switch (event.kind) {
     case FaultKind::kApOutage:
       if (--depth_[kind] == 0) target_.fault_ap(false);

@@ -157,6 +157,8 @@ class Injector {
   std::vector<sim::TimerHandle> timers_;
   std::uint64_t injected_ = 0;
   int depth_[kFaultKindCount] = {};
+  obs::TraceActorId trace_actor_;
+  obs::TraceNameId trace_names_[kFaultKindCount];
   std::vector<double> degrade_active_;
   std::vector<double> reorder_active_;
   std::vector<double> duplicate_active_;

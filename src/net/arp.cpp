@@ -54,6 +54,10 @@ ArpCache::ArpCache(sim::Simulator& simulator, MacAddr own_mac, TxFn tx)
   stat_requests_ = stats.counter("net.arp.requests");
   stat_replies_ = stats.counter("net.arp.replies");
   stat_failures_ = stats.counter("net.arp.failures");
+  obs::Tracer& tracer = sim_.tracer();
+  trace_actor_ = tracer.actor("arp:" + own_mac_.to_string());
+  trace_request_ = tracer.name("net.arp.request");
+  trace_reply_ = tracer.name("net.arp.reply");
 }
 
 std::optional<MacAddr> ArpCache::lookup(Ipv4Addr ip) const {
@@ -101,6 +105,8 @@ void ArpCache::send_request(Ipv4Addr ip) {
   req.target_ip = ip;
   ++requests_sent_;
   sim_.stats().add(stat_requests_);
+  sim_.tracer().instant(trace_request_, trace_actor_, obs::TraceLayer::kNet, 0,
+                        ip.value());
   tx_(req);
 }
 
@@ -145,6 +151,8 @@ void ArpCache::on_packet(const ArpPacket& packet) {
   reply.target_ip = packet.sender_ip;
   ++replies_sent_;
   sim_.stats().add(stat_replies_);
+  sim_.tracer().instant(trace_reply_, trace_actor_, obs::TraceLayer::kNet, 0,
+                        packet.target_ip.value());
   tx_(reply);
 }
 

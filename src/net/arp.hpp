@@ -104,6 +104,9 @@ class ArpCache {
   obs::CounterId stat_requests_;
   obs::CounterId stat_replies_;
   obs::CounterId stat_failures_;
+  obs::TraceActorId trace_actor_;
+  obs::TraceNameId trace_request_;
+  obs::TraceNameId trace_reply_;
 
   static constexpr unsigned kMaxAttempts = 3;
   static constexpr sim::Time kRetryDelay = 100'000;  // 100 ms

@@ -93,6 +93,10 @@ void TcpConnection::start_connect() {
   snd_una_ = iss_;
   snd_nxt_ = iss_ + 1;
   state_ = TcpState::kSynSent;
+  stack_.sim_.tracer().instant(stack_.trace_syn_sent_, stack_.trace_actor_tcp_,
+                               obs::TraceLayer::kNet, 0,
+                               (static_cast<std::uint64_t>(local_port_) << 16) |
+                                   remote_port_);
   send_segment(kTcpSyn, iss_, {});
   arm_rtx_timer();
 }
@@ -277,6 +281,10 @@ void TcpConnection::on_segment(const TcpSegmentView& seg) {
       rto_ = stack_.config().rto_initial;
       cancel_rtx_timer();
       state_ = TcpState::kEstablished;
+      stack_.sim_.tracer().instant(
+          stack_.trace_established_, stack_.trace_actor_tcp_,
+          obs::TraceLayer::kNet, 0,
+          (static_cast<std::uint64_t>(local_port_) << 16) | remote_port_);
       cwnd_ = static_cast<double>(stack_.config().initial_window_segments *
                                   stack_.config().mss);
       send_ack();
@@ -292,6 +300,10 @@ void TcpConnection::on_segment(const TcpSegmentView& seg) {
       consecutive_rtx_ = 0;
       cancel_rtx_timer();
       state_ = TcpState::kEstablished;
+      stack_.sim_.tracer().instant(
+          stack_.trace_established_, stack_.trace_actor_tcp_,
+          obs::TraceLayer::kNet, 0,
+          (static_cast<std::uint64_t>(local_port_) << 16) | remote_port_);
       cwnd_ = static_cast<double>(stack_.config().initial_window_segments *
                                   stack_.config().mss);
       if (on_connect_) on_connect_();
@@ -489,6 +501,10 @@ void TcpConnection::process_payload(const TcpSegmentView& seg) {
 void TcpConnection::enter_time_wait() {
   if (state_ == TcpState::kTimeWait) return;
   state_ = TcpState::kTimeWait;
+  stack_.sim_.tracer().instant(stack_.trace_time_wait_, stack_.trace_actor_tcp_,
+                               obs::TraceLayer::kNet, 0,
+                               (static_cast<std::uint64_t>(local_port_) << 16) |
+                                   remote_port_);
   cancel_rtx_timer();
   std::weak_ptr<TcpConnection> weak = weak_from_this();
   time_wait_timer_ = stack_.simulator().after(stack_.config().time_wait, [weak] {
@@ -509,6 +525,10 @@ void TcpConnection::finish(bool notify) {
   cancel_rtx_timer();
   stack_.simulator().cancel(time_wait_timer_);
   state_ = TcpState::kClosed;
+  stack_.sim_.tracer().instant(stack_.trace_closed_, stack_.trace_actor_tcp_,
+                               obs::TraceLayer::kNet, 0,
+                               (static_cast<std::uint64_t>(local_port_) << 16) |
+                                   remote_port_);
   if (notify) notify_close();
   // Handlers routinely capture this connection's own shared_ptr (both the
   // tests and the apps do), which would form a reference cycle and leak
@@ -538,6 +558,12 @@ TcpStack::TcpStack(sim::Simulator& simulator, SendIpFn send_ip, TcpConfig config
   stat_fast_retransmits_ = stats.counter("net.tcp.fast_retransmits");
   stat_dup_acks_ = stats.counter("net.tcp.dup_acks");
   stat_reassembly_buffered_ = stats.counter("net.tcp.reassembly_buffered");
+  obs::Tracer& tracer = sim_.tracer();
+  trace_actor_tcp_ = tracer.actor("tcp");
+  trace_syn_sent_ = tracer.name("net.tcp.syn-sent");
+  trace_established_ = tracer.name("net.tcp.established");
+  trace_time_wait_ = tracer.name("net.tcp.time-wait");
+  trace_closed_ = tracer.name("net.tcp.closed");
 }
 
 TcpStack::~TcpStack() {

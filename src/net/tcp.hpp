@@ -287,6 +287,13 @@ class TcpStack {
   obs::CounterId stat_fast_retransmits_;
   obs::CounterId stat_dup_acks_;
   obs::CounterId stat_reassembly_buffered_;
+  // Tracer lifecycle records; connections reach these through the stack
+  // (arg packs local<<16|remote port to tell connections apart).
+  obs::TraceActorId trace_actor_tcp_;
+  obs::TraceNameId trace_syn_sent_;
+  obs::TraceNameId trace_established_;
+  obs::TraceNameId trace_time_wait_;
+  obs::TraceNameId trace_closed_;
 };
 
 }  // namespace rogue::net

@@ -16,6 +16,7 @@ double distance(const Position& a, const Position& b) {
 
 Radio::Radio(Medium& medium, std::string name)
     : medium_(medium), name_(std::move(name)) {
+  trace_actor_ = medium_.simulator().tracer().actor(name_);
   medium_.attach(this);
 }
 
@@ -41,6 +42,10 @@ void Radio::set_channel(Channel ch) {
 
 void Radio::transmit(util::Bytes frame) {
   queue_.push_back(std::move(frame));
+  // Frames queue synchronously inside delivery handlers but hit the air
+  // from CSMA timers; stamp the chain now so the response still inherits
+  // the inbound frame's causal context when it finally transmits.
+  queue_chain_.push_back(medium_.simulator().tracer().current());
   if (!attempt_pending_) {
     attempt_pending_ = true;
     backoff_attempts_ = 0;
@@ -86,9 +91,12 @@ void Radio::attempt_transmit() {
 
   util::Bytes frame = std::move(queue_.front());
   queue_.erase(queue_.begin());
+  const std::uint64_t chain = queue_chain_.front();
+  queue_chain_.erase(queue_chain_.begin());
   backoff_attempts_ = 0;
   own_busy_until_ = now + medium_.airtime(frame.size()) + 10;  // +SIFS
   ++frames_sent_;
+  const obs::Tracer::IdScope causal(sim.tracer(), chain);
   medium_.transmit(*this, std::move(frame));
   attempt_timer_ = sim.at(own_busy_until_, [this] { attempt_transmit(); });
 }
@@ -114,6 +122,13 @@ Medium::Medium(sim::Simulator& simulator, MediumConfig config)
                                       {64, 128, 256, 512, 1024, 1536});
   deliver_scope_ = sim_.profiler().intern("phy.deliver");
   plan_scope_ = sim_.profiler().intern("phy.plan_rebuild");
+  obs::Tracer& tracer = sim_.tracer();
+  trace_tx_ = tracer.name("phy.tx");
+  trace_rx_ = tracer.name("phy.rx");
+  trace_rx_late_ = tracer.name("phy.rx-late");
+  trace_drop_margin_ = tracer.name("phy.drop-margin");
+  trace_drop_loss_ = tracer.name("phy.drop-loss");
+  trace_drop_corrupt_ = tracer.name("phy.drop-collision");
   flush_token_ = stats.on_snapshot([this] { flush_stats(); });
 }
 
@@ -518,16 +533,38 @@ void Medium::transmit(Radio& sender, util::Bytes frame) {
   // corrupt each other (no capture effect). Grid mode corrupts only when
   // the senders are within two cells — any receiver hearing both is within
   // one cell of each, so farther pairs cannot share a victim.
+  obs::Tracer& tracer = sim_.tracer();
+  const bool tracing = tracer.enabled();
   bool collided = false;
   for (auto& tx : active_) {
     if (tx.channel != sender.channel() || tx.end_time <= sim_.now()) continue;
     if (grid_enabled() && cell_chebyshev(tx.cx, tx.cy, scx, scy) > 2) continue;
+    if (tracing && !tx.corrupted) {
+      // A not-yet-corrupted entry's sender is alive (detach corrupts its
+      // in-flight transmissions), so the actor deref is safe here.
+      tracer.instant(trace_drop_corrupt_, tx.sender->trace_actor_,
+                     obs::TraceLayer::kPhy, tx.trace_id);
+    }
     tx.corrupted = true;
     ++collision_count_;
     collided = true;
   }
-  active_.push_back(
-      ActiveTx{id, sender.channel(), sim_.now(), end, &sender, collided, scx, scy});
+  // Causal chain id: a frame transmitted from inside a delivery handler
+  // (probe response, auth reply, EAPOL M2...) inherits the inbound frame's
+  // chain; anything else starts a fresh seed-derived chain.
+  std::uint64_t trace_id = 0;
+  if (tracing) {
+    trace_id = tracer.current();
+    if (trace_id == 0) trace_id = tracer.new_trace_id();
+    tracer.instant(trace_tx_, sender.trace_actor_, obs::TraceLayer::kPhy,
+                   trace_id, frame.size());
+    if (collided) {
+      tracer.instant(trace_drop_corrupt_, sender.trace_actor_,
+                     obs::TraceLayer::kPhy, trace_id);
+    }
+  }
+  active_.push_back(ActiveTx{id, sender.channel(), sim_.now(), end, &sender,
+                             collided, scx, scy, trace_id});
 
   // Exactly 48 captured bytes: stays in EventFn's inline storage. The
   // frame buffer is recycled once every receiver has been handed its view.
@@ -576,20 +613,44 @@ void Medium::deliver_impl(std::uint64_t tx_id, const Radio* sender,
   const double margin_scale = config_.margin_scale_db;
   const sim::Time now = sim_.now();
   util::Prng& rng = sim_.rng();
+  obs::Tracer& tracer = sim_.tracer();
+  const bool tracing = tracer.enabled();
   const bool chaos =
       reorder_prob_ > 0.0 || duplicate_prob_ > 0.0 || jitter_max_us_ > 0;
+  // Hand the frame to one receiver under the frame's causal context, so
+  // any response it transmits inherits the chain.
+  const auto hand_off = [&](Radio* rx, double rssi) {
+    ++rx->frames_received_;
+    if (tracing) {
+      tracer.instant(trace_rx_, rx->trace_actor_, obs::TraceLayer::kPhy,
+                     tx.trace_id,
+                     static_cast<std::uint64_t>(static_cast<std::int64_t>(rssi)));
+      const obs::Tracer::IdScope causal(tracer, tx.trace_id);
+      rx->handler_(frame, RxInfo{now, rssi, tx.channel});
+      return;
+    }
+    rx->handler_(frame, RxInfo{now, rssi, tx.channel});
+  };
   for (const Radio::PlanEntry& entry : plan.entries) {
     const double noise = noise_span * (2.0 * rng.uniform01() - 1.0);
     const double rssi = entry.rssi_dbm + noise;
     const double margin = rssi - entry.sens_dbm;
     if (margin < 0.0) {
       ++drop_margin_count_;
+      if (tracing) {
+        tracer.instant(trace_drop_margin_, entry.rx->trace_actor_,
+                       obs::TraceLayer::kPhy, tx.trace_id);
+      }
       continue;
     }
     const double success =
         (1.0 - floor_loss) * (1.0 - std::exp(-margin / margin_scale));
     if (!rng.chance(success)) {
       ++drop_loss_count_;
+      if (tracing) {
+        tracer.instant(trace_drop_loss_, entry.rx->trace_actor_,
+                       obs::TraceLayer::kPhy, tx.trace_id);
+      }
       continue;
     }
     Radio* rx = entry.rx;
@@ -598,8 +659,7 @@ void Medium::deliver_impl(std::uint64_t tx_id, const Radio* sender,
       continue;
     }
     if (!chaos) {
-      ++rx->frames_received_;
-      rx->handler_(frame, RxInfo{now, rssi, tx.channel});
+      hand_off(rx, rssi);
       continue;
     }
     // Transport-chaos path (fault windows only): the extra RNG draws below
@@ -613,28 +673,27 @@ void Medium::deliver_impl(std::uint64_t tx_id, const Radio* sender,
     }
     const bool duplicated = duplicate_prob_ > 0.0 && rng.chance(duplicate_prob_);
     if (extra == 0 && !duplicated) {
-      ++rx->frames_received_;
-      rx->handler_(frame, RxInfo{now, rssi, tx.channel});
+      hand_off(rx, rssi);
       continue;
     }
     if (extra == 0) {
-      ++rx->frames_received_;
-      rx->handler_(frame, RxInfo{now, rssi, tx.channel});
+      hand_off(rx, rssi);
     } else {
       ++chaos_delayed_count_;
-      deliver_late(rx, tx.channel, rssi, now + extra, frame, tx.cx, tx.cy);
+      deliver_late(rx, tx.channel, rssi, now + extra, frame, tx.cx, tx.cy,
+                   tx.trace_id);
     }
     if (duplicated) {
       ++chaos_duplicated_count_;
       deliver_late(rx, tx.channel, rssi, now + extra + rng.uniform_u64(100, 1000),
-                   frame, tx.cx, tx.cy);
+                   frame, tx.cx, tx.cy, tx.trace_id);
     }
   }
 }
 
 void Medium::deliver_late(Radio* rx, Channel channel, double rssi, sim::Time at,
                           const util::Bytes& frame, std::int32_t from_cx,
-                          std::int32_t from_cy) {
+                          std::int32_t from_cy, std::uint64_t trace_id) {
   // The original frame buffer is recycled when the delivery event returns,
   // so a held-back copy needs its own pooled buffer. The receiver rides
   // along as its attach_seq_ — never as a pointer — because it may be
@@ -642,7 +701,7 @@ void Medium::deliver_late(Radio* rx, Channel channel, double rssi, sim::Time at,
   util::Bytes copy = sim_.buffer_pool().acquire(frame.size());
   copy.assign(frame.begin(), frame.end());
   sim_.at(at, [this, seq = rx->attach_seq_, channel, rssi, from_cx, from_cy,
-               f = std::move(copy)]() mutable {
+               trace_id, f = std::move(copy)]() mutable {
     // The world may have changed while the frame was held: deliver only if
     // the receiver is still attached, tuned to the channel, listening —
     // and, in grid mode, still within audible range of the cell the frame
@@ -660,7 +719,15 @@ void Medium::deliver_late(Radio* rx, Channel channel, double rssi, sim::Time at,
       }
       if (audible) {
         ++live->frames_received_;
-        live->handler_(f, RxInfo{sim_.now(), rssi, channel});
+        obs::Tracer& tracer = sim_.tracer();
+        if (tracer.enabled()) {
+          tracer.instant(trace_rx_late_, live->trace_actor_,
+                         obs::TraceLayer::kPhy, trace_id);
+          const obs::Tracer::IdScope causal(tracer, trace_id);
+          live->handler_(f, RxInfo{sim_.now(), rssi, channel});
+        } else {
+          live->handler_(f, RxInfo{sim_.now(), rssi, channel});
+        }
       }
     }
     sim_.buffer_pool().release(std::move(f));

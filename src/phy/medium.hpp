@@ -145,6 +145,10 @@ class Radio {
   [[nodiscard]] std::uint64_t frames_deferred() const { return deferred_; }
   [[nodiscard]] std::size_t tx_queue_depth() const { return queue_.size(); }
 
+  /// This radio's tracer track (interned from its name at attach). MAC
+  /// layers reuse it so phy and dot11 records share one track per radio.
+  [[nodiscard]] obs::TraceActorId trace_actor() const { return trace_actor_; }
+
  private:
   friend class Medium;
 
@@ -192,6 +196,7 @@ class Radio {
   double tx_power_dbm_ = 15.0;
   double sensitivity_dbm_ = -85.0;
   std::uint64_t attach_seq_ = 0;   ///< attach order; keys the medium's caches
+  obs::TraceActorId trace_actor_;  ///< tracer track for this radio's records
   std::uint32_t geom_epoch_ = 0;   ///< bumped on position/tx-power changes
   std::uint32_t cell_ = kNoCell;   ///< grid cell index (grid mode only)
   std::size_t radios_index_ = 0;   ///< slot in Medium::radios_ (O(1) detach)
@@ -206,6 +211,9 @@ class Radio {
   mutable std::uint64_t cache_gen_seen_ = 0;  ///< Medium::cache_generation_ sync
   RxHandler handler_;
   std::vector<util::Bytes> queue_;
+  /// Causal context captured when each queued frame was handed to the
+  /// radio — CSMA deferral must not sever the chain a response rides.
+  std::vector<std::uint64_t> queue_chain_;
   sim::TimerHandle attempt_timer_;
   bool attempt_pending_ = false;
   bool contended_ = false;
@@ -310,6 +318,10 @@ class Medium {
     bool corrupted;
     std::int32_t cx;  ///< sender cell coords at tx start (grid mode)
     std::int32_t cy;
+    /// Causal chain id the frame carries through delivery. Rides here, not
+    /// in the delivery event's capture — the EventFn capture is exactly
+    /// sized to its inline storage and must not grow.
+    std::uint64_t trace_id;
   };
 
   /// One grid cell: the radios currently inside one cell-sized square,
@@ -345,7 +357,7 @@ class Medium {
   /// cell the frame left from (`from_cx`/`from_cy`).
   void deliver_late(Radio* rx, Channel channel, double rssi, sim::Time at,
                     const util::Bytes& frame, std::int32_t from_cx,
-                    std::int32_t from_cy);
+                    std::int32_t from_cy, std::uint64_t trace_id);
   /// Flat mode: invalidate every sender's cached delivery plan (O(1):
   /// plans revalidate lazily against the bumped epoch on their next use).
   void invalidate_plans() { ++world_epoch_; }
@@ -461,6 +473,14 @@ class Medium {
   obs::HistogramId stat_frame_bytes_;
   obs::Profiler::ScopeId deliver_scope_;
   obs::Profiler::ScopeId plan_scope_;
+  // Tracer record names (interned at construction; recording is gated on
+  // the tracer's enabled flag, one branch per site when off).
+  obs::TraceNameId trace_tx_;
+  obs::TraceNameId trace_rx_;
+  obs::TraceNameId trace_rx_late_;
+  obs::TraceNameId trace_drop_margin_;
+  obs::TraceNameId trace_drop_loss_;
+  obs::TraceNameId trace_drop_corrupt_;
   std::uint64_t flush_token_ = 0;
 };
 

@@ -76,6 +76,18 @@ util::Json to_json(const RunMetrics& run, bool include_wall) {
     wids.set("alerts", m.wids_alerts);
     wids.set("false_alerts", m.wids_false_alerts);
     wids.set("time_to_detect_s", m.wids_time_to_detect_s);
+    // Per-alert timeline: sim-time of every alert per detector, so TTD
+    // percentiles (EXP-D1) are re-derivable from the report alone.
+    util::Json timeline = util::Json::array();
+    for (const scenario::Metrics::WidsAlert& a : m.wids_alert_timeline) {
+      util::Json row = util::Json::object();
+      row.set("t_s", a.t_s);
+      row.set("detector", a.detector);
+      row.set("kind", a.kind);
+      row.set("false_alert", a.false_alert);
+      timeline.push_back(std::move(row));
+    }
+    wids.set("timeline", std::move(timeline));
     metrics.set("wids", std::move(wids));
   }
   j.set("metrics", std::move(metrics));
@@ -193,6 +205,19 @@ std::optional<RunMetrics> run_metrics_from_json(const util::Json& j) {
     (void)read_u64(*wids, "alerts", &m.wids_alerts);
     (void)read_u64(*wids, "false_alerts", &m.wids_false_alerts);
     (void)read_double(*wids, "time_to_detect_s", &m.wids_time_to_detect_s);
+    // Timeline is optional so pre-timeline reports still parse.
+    const util::Json* timeline = wids->find("timeline");
+    if (timeline != nullptr && timeline->type() == util::Json::Type::kArray) {
+      for (const util::Json& row : timeline->items()) {
+        if (row.type() != util::Json::Type::kObject) continue;
+        scenario::Metrics::WidsAlert a;
+        (void)read_double(row, "t_s", &a.t_s);
+        (void)read_string(row, "detector", &a.detector);
+        (void)read_string(row, "kind", &a.kind);
+        (void)read_bool(row, "false_alert", &a.false_alert);
+        m.wids_alert_timeline.push_back(std::move(a));
+      }
+    }
   }
   return run;
 }

@@ -5,9 +5,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "obs/tracer.hpp"
 #include "scenario/world.hpp"
 #include "util/json.hpp"
 
@@ -23,6 +26,20 @@ struct RunMetrics {
   bool failed = false;
   std::string error;
   scenario::Metrics metrics;
+
+  /// One StatsRegistry snapshot taken at a timeseries sample point.
+  struct TimeSample {
+    double t_s = 0.0;
+    obs::StatsSnapshot stats;
+  };
+
+  // Tracing sidecars. Neither is serialized by to_json() — the flight
+  // recorder and timeseries go to their own files (SweepReport::
+  // chrome_trace_json() / timeseries_jsonl()), so per-replica report
+  // records keep their exact legacy bytes. Both stay empty/null unless
+  // the sweep ran with tracing / timeseries enabled.
+  std::shared_ptr<obs::TracerDump> trace;
+  std::vector<TimeSample> timeseries;
 };
 
 /// Serialize one record. `include_wall` is off for report files so the

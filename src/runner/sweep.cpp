@@ -144,14 +144,34 @@ SweepReport ExperimentRunner::run() {
         run.seed = seed;
         // One faulty replica must not take down the other N-1: report it
         // as failed (the JSON carries variant/seed/error) and keep going.
+        // `world` outlives the try so a throwing episode still surrenders
+        // its flight-recorder tail.
+        std::unique_ptr<scenario::World> world;
         try {
-          std::unique_ptr<scenario::World> world = variant.make(seed);
+          world = variant.make(seed);
+          if (config_.trace) {
+            world->simulator().tracer().enable(config_.trace_ring_events);
+          }
           if (config_.pool.slab_buffers > 0) {
             // Warm the replica's arena before configure() can serialize
             // anything, so the slab — not the heap — serves first traffic.
             world->simulator().configure_buffer_pool(config_.pool);
           }
           world->configure(seed);
+          if (config_.timeseries_dt_s > 0.0) {
+            // Scheduled after configure() (reseed needs a pristine
+            // simulator) and before run_episode(); fires only while the
+            // episode drives the clock, so the series self-terminates.
+            sim::Simulator& sim = world->simulator();
+            const auto dt = static_cast<sim::Time>(
+                config_.timeseries_dt_s * static_cast<double>(sim::kSecond));
+            sim.every(dt, [&sim, &run] {
+              run.timeseries.push_back(RunMetrics::TimeSample{
+                  static_cast<double>(sim.now()) /
+                      static_cast<double>(sim::kSecond),
+                  sim.stats().snapshot()});
+            });
+          }
           world->run_episode();
           run.metrics = world->collect_metrics();
         } catch (const std::exception& e) {
@@ -160,6 +180,10 @@ SweepReport ExperimentRunner::run() {
         } catch (...) {
           run.failed = true;
           run.error = "unknown exception";
+        }
+        if (config_.trace && world != nullptr) {
+          run.trace = std::make_shared<obs::TracerDump>(
+              world->simulator().tracer().dump());
         }
         run.wall_ms = elapsed_ms(replica_start);
         return run;
@@ -248,10 +272,74 @@ util::Json SweepReport::to_json() const {
     f.set("variant", run.variant);
     f.set("seed", run.seed);
     f.set("error", run.error);
+    // With tracing on, a failed replica carries its flight-recorder tail:
+    // the last records before the throw, capped so one crashed replica
+    // cannot balloon the report. Gated on tracing, so legacy bytes hold.
+    if (run.trace != nullptr && !run.trace->empty()) {
+      constexpr std::size_t kFailureTailEvents = 256;
+      obs::TracerDump tail = *run.trace;
+      if (tail.events.size() > kFailureTailEvents) {
+        tail.dropped += tail.events.size() - kFailureTailEvents;
+        tail.events.erase(tail.events.begin(),
+                          tail.events.end() - kFailureTailEvents);
+      }
+      f.set("flight_recorder", obs::flight_recorder_json(tail));
+    }
     failures.push_back(std::move(f));
   }
   j.set("failures", std::move(failures));
   return j;
+}
+
+util::Json SweepReport::chrome_trace_events() const {
+  util::Json events = util::Json::array();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunMetrics& run = runs[i];
+    if (run.trace == nullptr || run.trace->empty()) continue;
+    obs::append_chrome_trace(
+        events, *run.trace, i,
+        run.variant + " seed=" + std::to_string(run.seed));
+  }
+  return events;
+}
+
+util::Json SweepReport::chrome_trace_json() const {
+  util::Json j = util::Json::object();
+  j.set("traceEvents", chrome_trace_events());
+  j.set("displayTimeUnit", "ms");
+  return j;
+}
+
+std::string SweepReport::timeseries_jsonl() const {
+  std::string out;
+  for (const RunMetrics& run : runs) {
+    for (const RunMetrics::TimeSample& sample : run.timeseries) {
+      util::Json stats = util::Json::object();
+      for (const obs::StatsSnapshot::Entry& e : sample.stats.entries) {
+        switch (e.kind) {
+          case obs::MetricKind::kCounter:
+            stats.set(e.name, e.value);
+            break;
+          case obs::MetricKind::kGauge:
+            stats.set(e.name, e.value);
+            stats.set(e.name + ".high_water", e.high_water);
+            break;
+          case obs::MetricKind::kHistogram:
+            stats.set(e.name + ".count", e.hist.count);
+            stats.set(e.name + ".sum", e.hist.sum);
+            break;
+        }
+      }
+      util::Json line = util::Json::object();
+      line.set("variant", run.variant);
+      line.set("seed", run.seed);
+      line.set("t_s", sample.t_s);
+      line.set("stats", std::move(stats));
+      out += line.dump();
+      out += '\n';
+    }
+  }
+  return out;
 }
 
 util::Json SweepReport::stats_json() const {

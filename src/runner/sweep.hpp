@@ -48,6 +48,15 @@ struct SweepConfig {
   /// simulator, so arenas never cross threads) and adds the arena's
   /// high-water/spill counters to the stats report.
   util::BufferPoolConfig pool;
+  /// Enable the causal tracer / flight recorder in every replica. Off by
+  /// default: the legacy report bytes (and hot-path cost) are unchanged.
+  bool trace = false;
+  /// Per-replica flight-recorder ring capacity (records).
+  std::size_t trace_ring_events = 1 << 16;
+  /// Snapshot each replica's StatsRegistry every this many sim-seconds
+  /// (0 = timeseries sampling off). Adds one periodic event per replica,
+  /// so events_fired shifts — like `trace`, off by default.
+  double timeseries_dt_s = 0.0;
 };
 
 /// Per-variant aggregate. Rates are over all replicas; the Summary fields
@@ -101,6 +110,16 @@ struct SweepReport {
   /// Just the per-variant layer-counter aggregates (the --stats-out file).
   /// Deterministic under the same contract as to_json().
   [[nodiscard]] util::Json stats_json() const;
+  /// Chrome trace-event JSON (load in Perfetto / chrome://tracing): one
+  /// process per replica, one track per actor, sim-time as microseconds.
+  /// Deterministic under the same contract as to_json().
+  [[nodiscard]] util::Json chrome_trace_json() const;
+  /// The bare traceEvents array behind chrome_trace_json() — for callers
+  /// that append extra (e.g. host-time profiler) tracks before wrapping.
+  [[nodiscard]] util::Json chrome_trace_events() const;
+  /// Timeseries samples as JSON Lines, one StatsRegistry snapshot per
+  /// (replica, sample point) — the --timeseries-out file. Deterministic.
+  [[nodiscard]] std::string timeseries_jsonl() const;
   /// Fixed-width console table of the per-variant aggregates.
   [[nodiscard]] std::string table() const;
   /// Replicas that threw instead of completing (drives CLI exit codes).

@@ -371,11 +371,17 @@ Metrics HotspotWorld::collect_metrics() const {
     for (const auto& detector : detectors_) {
       for (const detect::Alert& alert : detector->alerts()) {
         ++m.wids_alerts;
-        if (!wids_attack_start_ || alert.time < *wids_attack_start_) {
+        const bool false_alert =
+            !wids_attack_start_ || alert.time < *wids_attack_start_;
+        if (false_alert) {
           ++m.wids_false_alerts;
         } else if (!first_true || alert.time < *first_true) {
           first_true = alert.time;
         }
+        m.wids_alert_timeline.push_back(Metrics::WidsAlert{
+            static_cast<double>(alert.time) / kUsPerSecond,
+            std::string(detector->name()),
+            std::string(detect::to_string(alert.kind)), false_alert});
       }
     }
     if (first_true) {

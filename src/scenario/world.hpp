@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/stats.hpp"
 #include "sim/simulator.hpp"
@@ -78,6 +80,16 @@ struct Metrics {
   std::uint64_t wids_alerts = 0;       ///< total alerts across detectors
   std::uint64_t wids_false_alerts = 0; ///< alerts before the attack began
   double wids_time_to_detect_s = -1.0; ///< attack start -> first true alert
+  /// One entry per alert: when it fired, which detector, what kind — the
+  /// raw timeline the tournament's TTD percentiles derive from (and are
+  /// re-derivable from). Serialized inside the gated wids block.
+  struct WidsAlert {
+    double t_s = 0.0;         ///< simulated seconds
+    std::string detector;     ///< registry name, e.g. "fingerprint"
+    std::string kind;         ///< detect::to_string(AlertKind)
+    bool false_alert = false; ///< fired before the attack began
+  };
+  std::vector<WidsAlert> wids_alert_timeline;
 
   // Metro roaming episode (EXP-C5 at city scale). Populated only by
   // scenario::MetroWorld; metro_enabled gates serialization so legacy

@@ -20,6 +20,8 @@ Simulator::Simulator(std::uint64_t seed) : seed_(seed), rng_(seed) {
   free_slots_.reserve(1024);
   heap_.reserve(1024);
   dispatch_scope_ = profiler_.intern("sim.dispatch");
+  tracer_.set_seed(seed);
+  tracer_.bind_clock(&now_);
 }
 
 void Simulator::reseed(std::uint64_t seed) {
@@ -27,6 +29,7 @@ void Simulator::reseed(std::uint64_t seed) {
                    "reseed() must precede any scheduling or stepping");
   seed_ = seed;
   rng_ = util::Prng(seed);
+  tracer_.set_seed(seed);
 }
 
 util::Prng Simulator::derive_rng(std::string_view stream) const {

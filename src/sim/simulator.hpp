@@ -18,6 +18,7 @@
 
 #include "obs/profiler.hpp"
 #include "obs/stats.hpp"
+#include "obs/tracer.hpp"
 #include "sim/event_fn.hpp"
 #include "sim/event_heap.hpp"
 #include "util/buffer_pool.hpp"
@@ -85,6 +86,11 @@ class Simulator {
   /// Host wall-time profiler, disabled by default. Enabling it never
   /// changes simulation behaviour — only how long the host takes.
   [[nodiscard]] obs::Profiler& profiler() { return profiler_; }
+  /// Causal tracer / flight recorder, disabled by default. Records stamp
+  /// sim-time and derive ids from the root seed, so dumps are as
+  /// deterministic as every other observable; enabling it never changes
+  /// simulation behaviour.
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
   /// Registry snapshot merged with the kernel's own instruments: event
   /// heap depth/cancels and the buffer pool's hit/miss/high-water counts.
   [[nodiscard]] obs::StatsSnapshot stats_snapshot() const;
@@ -148,6 +154,7 @@ class Simulator {
   util::BufferPool pool_;
   obs::StatsRegistry stats_;
   obs::Profiler profiler_;
+  obs::Tracer tracer_;
   std::uint64_t cancels_ = 0;
   std::size_t heap_peak_ = 0;  ///< deepest the event heap has been
   obs::Profiler::ScopeId dispatch_scope_;

@@ -23,6 +23,11 @@ ClientTunnel::ClientTunnel(net::Host& host, ClientConfig config)
   stat_reconnects_ = stats.counter("vpn.client.reconnects");
   stat_connect_attempts_ = stats.counter("vpn.client.connect_attempts");
   data_scope_ = host_.simulator().profiler().intern("vpn.client.data");
+  obs::Tracer& tracer = host_.simulator().tracer();
+  trace_actor_ = tracer.actor("vpn:" + host_.name());
+  trace_session_ = tracer.name("vpn.session");
+  trace_rekey_ = tracer.name("vpn.rekey");
+  trace_record_bad_ = tracer.name("vpn.record-bad");
   snapshot_hook_ = stats.on_snapshot([this] { flush_lazy_stats(); });
 }
 
@@ -235,6 +240,8 @@ void ClientTunnel::attempt_failed() {
 void ClientTunnel::session_lost() {
   if (!established_) return;
   established_ = false;
+  host_.simulator().tracer().end(trace_session_, trace_actor_,
+                                 obs::TraceLayer::kVpn);
   server_authenticated_ = false;
   host_.simulator().cancel(keepalive_timer_);
   abandon_rekey();
@@ -325,6 +332,9 @@ void ClientTunnel::handle_assign(const Message& msg) {
   established_ = true;
   ++counters_.sessions_established;
   host_.simulator().stats().add(stat_sessions_);
+  host_.simulator().tracer().begin(trace_session_, trace_actor_,
+                                   obs::TraceLayer::kVpn, 0,
+                                   counters_.sessions_established);
   if (counters_.sessions_established > 1) {
     host_.simulator().stats().add(stat_reconnects_);
   }
@@ -447,6 +457,9 @@ ClientTunnel::OpenStatus ClientTunnel::open_incoming(util::ByteView record,
 void ClientTunnel::record_bad(OpenStatus status) {
   ++counters_.records_bad;
   host_.simulator().stats().add(stat_records_bad_);
+  host_.simulator().tracer().instant(trace_record_bad_, trace_actor_,
+                                     obs::TraceLayer::kVpn, 0,
+                                     static_cast<std::uint64_t>(status));
   switch (status) {
     case OpenStatus::kReplay: ++counters_.records_replayed; break;
     case OpenStatus::kAuthFail: ++counters_.records_auth_fail; break;
@@ -467,6 +480,8 @@ void ClientTunnel::maybe_rekey() {
 
 void ClientTunnel::start_rekey() {
   rekey_pending_ = true;
+  host_.simulator().tracer().begin(trace_rekey_, trace_actor_,
+                                   obs::TraceLayer::kVpn, 0, key_epoch_);
   pending_keys_ = next_epoch_keys(keys_);
   // The proposal itself is an ordinary record of the *current* epoch: it
   // burns one counter and is windowed/authenticated like any other. The
@@ -492,6 +507,8 @@ void ClientTunnel::commit_rekey() {
   epoch_tx_records_ = 0;
   epoch_started_ = host_.simulator().now();
   rx_window_ = ReplayWindow(config_.replay_window);
+  host_.simulator().tracer().end(trace_rekey_, trace_actor_,
+                                 obs::TraceLayer::kVpn, 0, key_epoch_);
   abandon_rekey();
   ++counters_.rekeys;
 }

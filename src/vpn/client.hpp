@@ -222,6 +222,10 @@ class ClientTunnel {
   obs::CounterId stat_sessions_;
   obs::CounterId stat_reconnects_;
   obs::CounterId stat_connect_attempts_;
+  obs::TraceActorId trace_actor_;
+  obs::TraceNameId trace_session_;
+  obs::TraceNameId trace_rekey_;
+  obs::TraceNameId trace_record_bad_;
   obs::Profiler::ScopeId data_scope_;
   // Resilience tallies are interned lazily (first nonzero value at
   // snapshot time) so stats snapshots of legacy scenarios keep their

@@ -34,6 +34,10 @@ TEST(WidsMetrics, JsonRoundTripCarriesWidsBlock) {
   run.metrics.wids_alerts = 3;
   run.metrics.wids_false_alerts = 1;
   run.metrics.wids_time_to_detect_s = 0.25;
+  run.metrics.wids_alert_timeline.push_back(
+      {10.5, "seqnum", "seq-anomaly", true});
+  run.metrics.wids_alert_timeline.push_back(
+      {11.25, "composite", "fingerprint-mismatch", false});
 
   const util::Json j = to_json(run, /*include_wall=*/false);
   const auto parsed = run_metrics_from_json(j);
@@ -43,6 +47,13 @@ TEST(WidsMetrics, JsonRoundTripCarriesWidsBlock) {
   EXPECT_EQ(parsed->metrics.wids_alerts, 3u);
   EXPECT_EQ(parsed->metrics.wids_false_alerts, 1u);
   EXPECT_DOUBLE_EQ(parsed->metrics.wids_time_to_detect_s, 0.25);
+  ASSERT_EQ(parsed->metrics.wids_alert_timeline.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->metrics.wids_alert_timeline[0].t_s, 10.5);
+  EXPECT_EQ(parsed->metrics.wids_alert_timeline[0].detector, "seqnum");
+  EXPECT_EQ(parsed->metrics.wids_alert_timeline[0].kind, "seq-anomaly");
+  EXPECT_TRUE(parsed->metrics.wids_alert_timeline[0].false_alert);
+  EXPECT_EQ(parsed->metrics.wids_alert_timeline[1].detector, "composite");
+  EXPECT_FALSE(parsed->metrics.wids_alert_timeline[1].false_alert);
 }
 
 TEST(WidsMetrics, LegacyRecordsHaveNoWidsBlock) {
